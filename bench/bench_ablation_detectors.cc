@@ -1,0 +1,157 @@
+// Ablation A5 — the event-detection substrate: CART decision tree (the
+// paper's refs [6][7] use decision-tree/rule mining) vs instance-based
+// k-NN, both on real Table-1 features extracted from rendered synthetic
+// footage. Reports accuracy, macro-F1 and train/inference costs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace hmmm::bench {
+namespace {
+
+struct DetectorData {
+  LabeledDataset train;
+  LabeledDataset test;
+};
+
+const DetectorData& Data() {
+  static const DetectorData& data = *new DetectorData([] {
+    SoccerGeneratorConfig config;
+    config.seed = 202;
+    config.min_shots_per_video = 12;
+    config.max_shots_per_video = 16;
+    config.event_shot_fraction = 0.5;
+    SoccerVideoGenerator generator(config);
+    ShotFeatureExtractor extractor;
+    LabeledDataset dataset;
+    std::vector<std::vector<double>> rows;
+    for (int v = 0; v < 10; ++v) {
+      const SyntheticVideo video = generator.Generate(v);
+      for (size_t s = 0; s < video.shots.size(); ++s) {
+        auto features = extractor.ExtractForShot(video, s);
+        HMMM_CHECK(features.ok());
+        rows.push_back(std::move(features).value());
+        const auto& events = video.shots[s].events;
+        dataset.labels.push_back(events.empty() ? kBackgroundLabel
+                                                : events[0]);
+      }
+    }
+    auto matrix = Matrix::FromRows(rows);
+    HMMM_CHECK(matrix.ok());
+    dataset.features = std::move(matrix).value();
+    Rng rng(3);
+    auto split = SplitDataset(dataset, 0.3, rng);
+    HMMM_CHECK(split.ok());
+    return DetectorData{std::move(split->train), std::move(split->test)};
+  }());
+  return data;
+}
+
+void BM_TreePredict(benchmark::State& state) {
+  DecisionTree tree;
+  HMMM_CHECK(tree.Train(Data().train).ok());
+  const auto row = Data().test.features.Row(0);
+  for (auto _ : state) {
+    auto predicted = tree.Predict(row);
+    benchmark::DoNotOptimize(predicted);
+  }
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_KnnPredict(benchmark::State& state) {
+  KnnClassifier knn;
+  HMMM_CHECK(knn.Train(Data().train).ok());
+  const auto row = Data().test.features.Row(0);
+  for (auto _ : state) {
+    auto predicted = knn.Predict(row);
+    benchmark::DoNotOptimize(predicted);
+  }
+}
+BENCHMARK(BM_KnnPredict);
+
+void PrintDetectorComparison() {
+  Banner("Ablation A5: decision tree vs k-NN event detection");
+  std::printf("training set: %zu shots; test set: %zu shots; "
+              "classes: events + background\n",
+              Data().train.size(), Data().test.size());
+  Row({"detector", "train ms", "predict us/shot", "accuracy", "macro-F1"});
+
+  {
+    DecisionTree tree;
+    const double train_ms =
+        MedianMillis([&] { HMMM_CHECK(tree.Train(Data().train).ok()); }, 3);
+    const double predict_ms = MedianMillis([&] {
+      for (size_t i = 0; i < Data().test.size(); ++i) {
+        auto predicted = tree.Predict(Data().test.features.Row(i));
+        benchmark::DoNotOptimize(predicted);
+      }
+    });
+    auto metrics = EvaluateClassifier(tree, Data().test);
+    HMMM_CHECK(metrics.ok());
+    Row({"decision tree", Fmt("%8.2f", train_ms),
+         Fmt("%8.2f", 1000.0 * predict_ms /
+                          static_cast<double>(Data().test.size())),
+         Fmt("%5.2f", metrics->accuracy), Fmt("%5.2f", metrics->MacroF1())});
+  }
+  for (int k : {1, 5, 9}) {
+    KnnOptions options;
+    options.k = k;
+    KnnClassifier knn(options);
+    const double train_ms =
+        MedianMillis([&] { HMMM_CHECK(knn.Train(Data().train).ok()); }, 3);
+    double correct = 0.0;
+    std::map<int, std::pair<size_t, size_t>> per_class;  // hits, support
+    const double predict_ms = MedianMillis([&] {
+      correct = 0.0;
+      for (size_t i = 0; i < Data().test.size(); ++i) {
+        auto predicted = knn.Predict(Data().test.features.Row(i));
+        HMMM_CHECK(predicted.ok());
+        if (*predicted == Data().test.labels[i]) correct += 1.0;
+      }
+    });
+    // Macro-F1 via a second pass (cheap).
+    std::map<int, size_t> support, predicted_count, hits;
+    for (size_t i = 0; i < Data().test.size(); ++i) {
+      const int truth = Data().test.labels[i];
+      const int predicted = *knn.Predict(Data().test.features.Row(i));
+      ++support[truth];
+      ++predicted_count[predicted];
+      if (predicted == truth) ++hits[truth];
+    }
+    double f1_sum = 0.0;
+    size_t counted = 0;
+    for (const auto& [label, n] : support) {
+      const double p = predicted_count[label] > 0
+                           ? static_cast<double>(hits[label]) /
+                                 static_cast<double>(predicted_count[label])
+                           : 0.0;
+      const double r = static_cast<double>(hits[label]) /
+                       static_cast<double>(n);
+      f1_sum += (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+      ++counted;
+    }
+    Row({StrFormat("k-NN (k=%d)", k), Fmt("%8.2f", train_ms),
+         Fmt("%8.2f", 1000.0 * predict_ms /
+                          static_cast<double>(Data().test.size())),
+         Fmt("%5.2f", correct / static_cast<double>(Data().test.size())),
+         Fmt("%5.2f", f1_sum / static_cast<double>(counted))});
+  }
+  std::printf("\nShape: the tree pays its cost at training time and\n"
+              "predicts in sub-microsecond leaf walks; k-NN trains for\n"
+              "free but scans the training set per prediction. On these\n"
+              "well-separated synthetic features their accuracy is in the\n"
+              "same band — supporting the paper's choice of tree/rule\n"
+              "detectors for the annotation pipeline where inference cost\n"
+              "dominates (every shot of every ingested video).\n");
+}
+
+}  // namespace
+}  // namespace hmmm::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  hmmm::bench::PrintDetectorComparison();
+  return 0;
+}

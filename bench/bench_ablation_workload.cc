@@ -1,0 +1,109 @@
+// Ablation A6 — model-driven workloads: the generative side of the
+// mediator (pattern sampling from Pi/A1) and frequent-pattern mining are
+// used to build query workloads that actually exist in the archive, and
+// retrieval is evaluated against them. Queries sampled from the model
+// should be answerable (the sampled shots witness them), and mined
+// patterns give the workload's head.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+
+namespace hmmm::bench {
+namespace {
+
+const VideoCatalog& Catalog() {
+  static const VideoCatalog& catalog =
+      *new VideoCatalog(MakeSoccerCatalog(30, 99, 0.2, 60, 110));
+  return catalog;
+}
+
+void BM_SamplePattern(benchmark::State& state) {
+  auto model = ModelBuilder(Catalog()).Build();
+  HMMM_CHECK(model.ok());
+  Rng rng(1);
+  for (auto _ : state) {
+    auto sample = SamplePattern(*model, rng, 2);
+    benchmark::DoNotOptimize(sample);
+  }
+}
+BENCHMARK(BM_SamplePattern);
+
+void BM_MinePatterns(benchmark::State& state) {
+  for (auto _ : state) {
+    auto mined = MineFrequentEventPatterns(Catalog());
+    benchmark::DoNotOptimize(mined);
+  }
+}
+BENCHMARK(BM_MinePatterns);
+
+void PrintWorkloadTable() {
+  auto model = ModelBuilder(Catalog()).Build();
+  HMMM_CHECK(model.ok());
+
+  Banner("Ablation A6: mined workload head");
+  PatternMiningOptions mining;
+  mining.max_results = 8;
+  mining.min_support = 2;
+  const auto mined = MineFrequentEventPatterns(Catalog(), mining);
+  Row({"support", "videos", "pattern"});
+  for (const MinedPattern& pattern : mined) {
+    Row({StrFormat("%4zu", pattern.support),
+         StrFormat("%3zu", pattern.video_support),
+         pattern.ToQuery(Catalog().vocabulary())});
+  }
+
+  Banner("Ablation A6: retrieval vs a model-sampled query workload");
+  TraversalOptions options;
+  options.beam_width = 4;
+  options.max_results = 10;
+  HmmmTraversal traversal(*model, Catalog(), options);
+
+  Rng rng(7);
+  std::map<size_t, std::pair<double, int>> by_length;  // len -> (P@10 sum, n)
+  const int workload_size = 30;
+  double latency_sum = 0.0;
+  int answered = 0;
+  for (int q = 0; q < workload_size; ++q) {
+    const size_t length = 2 + static_cast<size_t>(q % 2);  // mix of 2s, 3s
+    auto events = SampleEventPattern(*model, Catalog(), rng, length);
+    if (!events.ok()) continue;
+    const auto pattern = TemporalPattern::FromEvents(*events);
+    std::vector<RetrievedPattern> results;
+    latency_sum += TimeMillis([&] {
+      auto r = traversal.Retrieve(pattern);
+      HMMM_CHECK(r.ok());
+      results = std::move(r).value();
+    });
+    const auto metrics = EvaluateRanking(Catalog(), pattern, results, 10);
+    auto& [p10_sum, count] = by_length[length];
+    p10_sum += metrics.precision_at_k;
+    ++count;
+    if (metrics.relevant_retrieved > 0) ++answered;
+  }
+  Row({"pattern length", "queries", "mean P@10"});
+  for (const auto& [length, stats] : by_length) {
+    Row({StrFormat("%zu", length), StrFormat("%d", stats.second),
+         Fmt("%5.2f", stats.first / stats.second)});
+  }
+  std::printf("answered (>=1 annotation-exact hit): %d of %d; "
+              "mean latency %.3f ms\n",
+              answered, workload_size, latency_sum / workload_size);
+  std::printf("\nShape: every sampled query is witnessed by construction\n"
+              "(the sampled shots themselves form a true occurrence), so\n"
+              "this isolates ranking quality from query feasibility; the\n"
+              "mined head doubles as the realistic 'popular queries' mix\n"
+              "for capacity planning.\n");
+}
+
+}  // namespace
+}  // namespace hmmm::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  hmmm::bench::PrintWorkloadTable();
+  return 0;
+}

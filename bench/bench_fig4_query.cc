@@ -1,0 +1,100 @@
+// Experiment F4 — Figure 4 of the paper: the MATN-based query model and a
+// ranked temporal-pattern result list. Reproduces the paper's example
+// queries — the Fig. 4/5 "goal followed by a free kick" demonstration
+// (paper: 8 two-shot patterns / 16 shots) and the Section-3 four-step
+// pattern — printing the MATN and the ranked result table.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace hmmm::bench {
+namespace {
+
+const VideoCatalog& Catalog() {
+  // Densely annotated mid-size archive so the demo queries have many hits.
+  static const VideoCatalog& catalog =
+      *new VideoCatalog(MakeSoccerCatalog(16, 42, 0.30, 60, 110));
+  return catalog;
+}
+
+void BM_Fig4Query(benchmark::State& state) {
+  auto engine = RetrievalEngine::Create(Catalog());
+  HMMM_CHECK(engine.ok());
+  for (auto _ : state) {
+    auto results = engine->Query("goal ; free_kick");
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_Fig4Query);
+
+void RunQueryDemo(const std::string& query, int top_k) {
+  const EventVocabulary& vocab = Catalog().vocabulary();
+  auto graph = ParseQuery(query, vocab);
+  HMMM_CHECK(graph.ok());
+  std::printf("\nquery: \"%s\"\nMATN:\n%s", query.c_str(),
+              graph->ToString(vocab).c_str());
+
+  auto pattern = TranslateMatn(*graph);
+  HMMM_CHECK(pattern.ok());
+
+  ModelBuilderOptions builder_options;
+  builder_options.learn_feature_weights = true;
+  TraversalOptions traversal_options;
+  traversal_options.beam_width = 4;
+  traversal_options.max_results = top_k;
+  auto engine =
+      RetrievalEngine::Create(Catalog(), builder_options, traversal_options);
+  HMMM_CHECK(engine.ok());
+
+  RetrievalStats stats;
+  auto results = engine->Retrieve(*pattern, &stats);
+  HMMM_CHECK(results.ok());
+
+  size_t total_shots = 0;
+  for (const auto& r : *results) total_shots += r.shots.size();
+  std::printf("retrieved %zu ranked patterns (%zu shots)\n", results->size(),
+              total_shots);
+  Row({"rank", "score", "pattern (video/shot(events))", "annotation match"});
+  for (size_t i = 0; i < results->size(); ++i) {
+    const bool relevant =
+        PatternMatchesAnnotations(Catalog(), (*results)[i].shots, *pattern);
+    Row({StrFormat("%2zu", i + 1), Fmt("%10.3e", (*results)[i].score),
+         (*results)[i].ToString(Catalog()), relevant ? "yes" : "no"});
+  }
+  const auto metrics = EvaluateRanking(Catalog(), *pattern, *results,
+                                       static_cast<size_t>(top_k));
+  std::printf("P@%d=%.2f recall=%.2f MAP=%.2f nDCG=%.2f "
+              "(truth occurrences: %zu)\n",
+              top_k, metrics.precision_at_k, metrics.recall,
+              metrics.average_precision, metrics.ndcg,
+              metrics.total_relevant);
+}
+
+void PrintFig4() {
+  Banner("Figure 4 (reproduced): MATN query model + ranked results");
+  // The paper's demonstration query: "a goal shot followed by a free
+  // kick", which its interface answered with 8 patterns / 16 shots.
+  RunQueryDemo("goal ; free_kick", 8);
+  // The Section-3 motivating pattern: free-kick goal, then a corner kick,
+  // then a player change, finally another goal.
+  RunQueryDemo("free_kick & goal ; corner_kick ; player_change ; goal", 8);
+  // An alternative-branch MATN (parallel arcs).
+  RunQueryDemo("(corner_kick | free_kick) ; goal", 8);
+  std::printf("\nPaper: Fig. 4 shows the MATN for a temporal query and the\n"
+              "key frames of retrieved patterns; Fig. 5's walkthrough\n"
+              "retrieves 8 two-shot patterns for goal->free_kick. The\n"
+              "tables above reproduce that artefact shape: a ranked list\n"
+              "of k patterns with C shots each, top-ranked entries being\n"
+              "annotation-exact matches.\n");
+}
+
+}  // namespace
+}  // namespace hmmm::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  hmmm::bench::PrintFig4();
+  return 0;
+}

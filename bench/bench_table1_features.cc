@@ -1,0 +1,117 @@
+// Experiment T1 — Table 1 of the paper: the 20 visual/audio shot-level
+// features. Micro-benchmarks the extraction pipeline on rendered synthetic
+// soccer footage and prints the measured per-feature statistics in Table-1
+// order (the paper lists names/descriptions; we add the measured value
+// distributions of our substrate).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dsp/stats.h"
+
+namespace hmmm::bench {
+namespace {
+
+SoccerGeneratorConfig MediaConfig() {
+  SoccerGeneratorConfig config;
+  config.seed = 7;
+  config.min_shots_per_video = 10;
+  config.max_shots_per_video = 14;
+  config.min_frames_per_shot = 12;
+  config.max_frames_per_shot = 28;
+  config.event_shot_fraction = 0.4;
+  return config;
+}
+
+const SyntheticVideo& SharedVideo() {
+  static const SyntheticVideo& video =
+      *new SyntheticVideo(SoccerVideoGenerator(MediaConfig()).Generate(0));
+  return video;
+}
+
+void BM_VisualFeatures(benchmark::State& state) {
+  const SyntheticVideo& video = SharedVideo();
+  const ShotTruth& shot = video.shots[0];
+  for (auto _ : state) {
+    auto features =
+        ExtractVisualFeatures(video.frames, shot.begin_frame, shot.end_frame);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VisualFeatures);
+
+void BM_AudioFeatures(benchmark::State& state) {
+  const SyntheticVideo& video = SharedVideo();
+  const ShotTruth& shot = video.shots[0];
+  const AudioClip clip =
+      video.AudioForFrames(shot.begin_frame, shot.end_frame);
+  for (auto _ : state) {
+    auto features = ExtractAudioFeatures(clip);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AudioFeatures);
+
+void BM_FullShotExtraction(benchmark::State& state) {
+  const SyntheticVideo& video = SharedVideo();
+  const ShotFeatureExtractor extractor;
+  size_t shot_index = 0;
+  for (auto _ : state) {
+    auto features = extractor.ExtractForShot(video, shot_index);
+    benchmark::DoNotOptimize(features);
+    shot_index = (shot_index + 1) % video.shots.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullShotExtraction);
+
+void PrintTable1() {
+  const SoccerVideoGenerator generator(MediaConfig());
+  const ShotFeatureExtractor extractor;
+
+  std::vector<dsp::RunningStats> stats(kNumFeatures);
+  size_t shots = 0;
+  const int videos = 4;
+  const double total_ms = TimeMillis([&] {
+    for (int v = 0; v < videos; ++v) {
+      const SyntheticVideo video = generator.Generate(v);
+      for (size_t s = 0; s < video.shots.size(); ++s) {
+        auto features = extractor.ExtractForShot(video, s);
+        HMMM_CHECK(features.ok());
+        for (int f = 0; f < kNumFeatures; ++f) {
+          stats[static_cast<size_t>(f)].Add((*features)[static_cast<size_t>(f)]);
+        }
+        ++shots;
+      }
+    }
+  });
+
+  Banner("Table 1 (reproduced): 5 visual + 15 audio shot features");
+  std::printf("extracted %zu shots from %d rendered videos in %.1f ms "
+              "(%.1f shots/s, includes rendering)\n",
+              shots, videos, total_ms, 1000.0 * shots / total_ms);
+  Row({"idx", "category", "feature", "mean", "std", "min", "max"});
+  for (int f = 0; f < kNumFeatures; ++f) {
+    const auto& s = stats[static_cast<size_t>(f)];
+    Row({StrFormat("%2d", f), IsVisualFeature(f) ? "visual" : "audio",
+         StrFormat("%-20s", FeatureName(f).c_str()),
+         Fmt("%7.4f", s.mean()), Fmt("%7.4f", s.stddev()),
+         Fmt("%7.4f", s.min()), Fmt("%7.4f", s.max())});
+  }
+  std::printf("\nPaper: Table 1 lists the same 20 features by name; the\n"
+              "distributions here come from the synthetic media substrate\n"
+              "(see DESIGN.md substitutions). Non-degenerate spread on every\n"
+              "feature confirms each extractor produces signal.\n");
+}
+
+}  // namespace
+}  // namespace hmmm::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  hmmm::bench::PrintTable1();
+  return 0;
+}

@@ -1,0 +1,75 @@
+#ifndef HMMM_BENCH_BENCH_UTIL_H_
+#define HMMM_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "hmmm.h"
+
+namespace hmmm::bench {
+
+/// Builds a feature-level soccer catalog at a chosen scale. Defaults give
+/// the paper's per-video shape; `num_videos` scales the archive.
+inline VideoCatalog MakeSoccerCatalog(int num_videos, uint64_t seed = 1,
+                                      double event_fraction = 0.1,
+                                      int min_shots = 100,
+                                      int max_shots = 240) {
+  FeatureLevelConfig config = SoccerFeatureLevelDefaults(seed);
+  config.num_videos = num_videos;
+  config.min_shots_per_video = min_shots;
+  config.max_shots_per_video = max_shots;
+  config.event_shot_fraction = event_fraction;
+  FeatureLevelGenerator generator(config);
+  auto catalog = VideoCatalog::FromGeneratedCorpus(generator.Generate());
+  HMMM_CHECK(catalog.ok());
+  return std::move(catalog).value();
+}
+
+/// The paper's corpus: 54 videos, ~11.5k shots, ~506 annotated events.
+inline VideoCatalog MakePaperScaleCatalog(uint64_t seed = 1) {
+  FeatureLevelGenerator generator(SoccerFeatureLevelDefaults(seed));
+  auto catalog = VideoCatalog::FromGeneratedCorpus(generator.Generate());
+  HMMM_CHECK(catalog.ok());
+  return std::move(catalog).value();
+}
+
+/// Wall-clock milliseconds of one invocation.
+inline double TimeMillis(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Median wall-clock milliseconds over `repeats` invocations.
+inline double MedianMillis(const std::function<void()>& fn, int repeats = 5) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) times.push_back(TimeMillis(fn));
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Section banner for the shape tables printed after the micro benches.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints one row of '|'-separated cells.
+inline void Row(const std::vector<std::string>& cells) {
+  std::printf("|");
+  for (const std::string& cell : cells) std::printf(" %s |", cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(const char* format, double value) {
+  return StrFormat(format, value);
+}
+
+}  // namespace hmmm::bench
+
+#endif  // HMMM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,202 @@
+// Command-line archive tool: build, persist, inspect and query HMMM
+// archives from a shell. The closest thing to the paper's Fig.-5 server
+// without a GUI.
+//
+//   archive_tool generate <catalog.bin> [videos] [seed]   synthesize archive
+//   archive_tool build <catalog.bin> <model.bin>          build + save HMMM
+//   archive_tool stats <catalog.bin>                      archive statistics
+//   archive_tool query <catalog.bin> <model.bin> "<q>"    temporal query
+//   archive_tool similar <catalog.bin> <model.bin> <shot> query by example
+//   archive_tool clusters <catalog.bin> <model.bin> [k]   category level
+//   archive_tool mine <catalog.bin> [k]                   frequent patterns
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "hmmm.h"
+
+namespace {
+
+using namespace hmmm;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  archive_tool generate <catalog.bin> [videos] [seed]\n"
+      "  archive_tool build <catalog.bin> <model.bin>\n"
+      "  archive_tool stats <catalog.bin>\n"
+      "  archive_tool query <catalog.bin> <model.bin> \"<pattern>\" [k]\n"
+      "  archive_tool similar <catalog.bin> <model.bin> <shot_id> [k]\n"
+      "  archive_tool clusters <catalog.bin> <model.bin> [k]\n"
+      "  archive_tool mine <catalog.bin> [k]\n");
+  return 2;
+}
+
+int Mine(const std::string& catalog_path, size_t k) {
+  auto catalog = LoadCatalog(catalog_path);
+  if (!catalog.ok()) return Fail(catalog.status());
+  PatternMiningOptions options;
+  options.max_results = k;
+  options.min_support = 2;
+  const auto mined = MineFrequentEventPatterns(*catalog, options);
+  std::printf("%zu frequent temporal patterns (gap <= %d):\n", mined.size(),
+              options.max_gap);
+  for (const MinedPattern& pattern : mined) {
+    std::printf("  support=%3zu videos=%2zu  %s\n", pattern.support,
+                pattern.video_support,
+                pattern.ToQuery(catalog->vocabulary()).c_str());
+  }
+  return 0;
+}
+
+int Generate(const std::string& path, int videos, uint64_t seed) {
+  FeatureLevelConfig config = SoccerFeatureLevelDefaults(seed);
+  config.num_videos = videos;
+  FeatureLevelGenerator generator(config);
+  auto catalog = VideoCatalog::FromGeneratedCorpus(generator.Generate());
+  if (!catalog.ok()) return Fail(catalog.status());
+  if (Status s = SaveCatalog(*catalog, path); !s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu videos, %zu shots, %zu annotated\n",
+              path.c_str(), catalog->num_videos(), catalog->num_shots(),
+              catalog->num_annotated_shots());
+  return 0;
+}
+
+int Build(const std::string& catalog_path, const std::string& model_path) {
+  auto catalog = LoadCatalog(catalog_path);
+  if (!catalog.ok()) return Fail(catalog.status());
+  ModelBuilderOptions options;
+  options.learn_feature_weights = true;
+  auto model = ModelBuilder(*catalog, options).Build();
+  if (!model.ok()) return Fail(model.status());
+  if (Status s = model->SaveToFile(model_path); !s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu videos, %zu states, %d features\n",
+              model_path.c_str(), model->num_videos(),
+              model->num_global_states(), model->num_features());
+  return 0;
+}
+
+int Stats(const std::string& catalog_path) {
+  auto catalog = LoadCatalog(catalog_path);
+  if (!catalog.ok()) return Fail(catalog.status());
+  std::printf("videos:          %zu\n", catalog->num_videos());
+  std::printf("shots:           %zu\n", catalog->num_shots());
+  std::printf("annotated shots: %zu\n", catalog->num_annotated_shots());
+  std::printf("annotations:     %zu\n", catalog->num_annotations());
+  std::printf("features:        %d\n", catalog->num_features());
+  std::printf("events:\n");
+  const Matrix b2 = catalog->EventCountMatrix();
+  for (size_t e = 0; e < catalog->vocabulary().size(); ++e) {
+    double total = 0.0;
+    for (size_t v = 0; v < b2.rows(); ++v) total += b2.at(v, e);
+    std::printf("  %-16s %5.0f occurrences\n",
+                catalog->vocabulary().Name(static_cast<EventId>(e)).c_str(),
+                total);
+  }
+  return 0;
+}
+
+int Query(const std::string& catalog_path, const std::string& model_path,
+          const std::string& query, int k) {
+  auto catalog = LoadCatalog(catalog_path);
+  if (!catalog.ok()) return Fail(catalog.status());
+  auto model = HierarchicalModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+  TraversalOptions options;
+  options.beam_width = 4;
+  options.max_results = k;
+  RetrievalEngine engine(*catalog, std::move(model).value(), options);
+  RetrievalStats stats;
+  auto results = engine.Query(query, &stats);
+  if (!results.ok()) return Fail(results.status());
+  std::printf("%zu results (%zu expansions, %zu sim evaluations)\n",
+              results->size(), stats.states_visited, stats.sim_evaluations);
+  for (size_t i = 0; i < results->size(); ++i) {
+    std::printf("#%zu %s\n", i + 1, (*results)[i].ToString(*catalog).c_str());
+  }
+  return 0;
+}
+
+int Similar(const std::string& catalog_path, const std::string& model_path,
+            ShotId shot, int k) {
+  auto catalog = LoadCatalog(catalog_path);
+  if (!catalog.ok()) return Fail(catalog.status());
+  auto model = HierarchicalModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+  QbeOptions options;
+  options.max_results = k;
+  QbeMatcher matcher(*model, options);
+  auto results = matcher.RetrieveSimilarTo(shot);
+  if (!results.ok()) return Fail(results.status());
+  std::printf("shots similar to %s:\n",
+              RetrievedPattern{{shot}, {}, 0.0, catalog->shot(shot).video_id,
+                               false}
+                  .ToString(*catalog)
+                  .c_str());
+  for (const QbeResult& r : *results) {
+    std::printf("  sim=%8.4f %s\n", r.similarity,
+                RetrievedPattern{{r.shot}, {}, 0.0,
+                                 catalog->shot(r.shot).video_id, false}
+                    .ToString(*catalog)
+                    .c_str());
+  }
+  return 0;
+}
+
+int Clusters(const std::string& catalog_path, const std::string& model_path,
+             int k) {
+  auto catalog = LoadCatalog(catalog_path);
+  if (!catalog.ok()) return Fail(catalog.status());
+  auto model = HierarchicalModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+  CategoryLevelOptions options;
+  options.num_clusters = k;
+  auto level = BuildCategoryLevel(*model, options);
+  if (!level.ok()) return Fail(level.status());
+  std::printf("%s", level->ToString(catalog->vocabulary()).c_str());
+  const auto members = level->VideosByCluster();
+  for (size_t c = 0; c < members.size(); ++c) {
+    std::printf("cluster %zu members:", c);
+    for (VideoId v : members[c]) {
+      std::printf(" %s", catalog->video(v).name.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") {
+    const int videos = argc > 3 ? std::atoi(argv[3]) : 54;
+    const uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    return Generate(argv[2], videos, seed);
+  }
+  if (command == "build" && argc >= 4) return Build(argv[2], argv[3]);
+  if (command == "stats") return Stats(argv[2]);
+  if (command == "query" && argc >= 5) {
+    return Query(argv[2], argv[3], argv[4], argc > 5 ? std::atoi(argv[5]) : 10);
+  }
+  if (command == "similar" && argc >= 5) {
+    return Similar(argv[2], argv[3], std::atoi(argv[4]),
+                   argc > 5 ? std::atoi(argv[5]) : 10);
+  }
+  if (command == "clusters" && argc >= 4) {
+    return Clusters(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 0);
+  }
+  if (command == "mine") {
+    return Mine(argv[2],
+                argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 15);
+  }
+  return Usage();
+}

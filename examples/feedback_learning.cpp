@@ -1,0 +1,71 @@
+// Relevance feedback demo: a simulated user marks retrieved temporal
+// patterns positive; the offline learner folds the access patterns into
+// A1/Pi1/A2/Pi2 (Eqs. 1-6) and the ranking sharpens round after round —
+// the paper's "continuous improvement" loop.
+//
+//   ./build/examples/feedback_learning
+
+#include <cstdio>
+
+#include "hmmm.h"
+
+int main() {
+  using namespace hmmm;
+
+  FeatureLevelConfig config = SoccerFeatureLevelDefaults(/*seed=*/4711);
+  config.num_videos = 16;
+  config.min_shots_per_video = 60;
+  config.max_shots_per_video = 100;
+  config.event_shot_fraction = 0.2;
+  FeatureLevelGenerator generator(config);
+  auto catalog = VideoCatalog::FromGeneratedCorpus(generator.Generate());
+  if (!catalog.ok()) return 1;
+
+  TraversalOptions traversal_options;
+  traversal_options.beam_width = 4;
+  traversal_options.max_results = 10;
+  auto engine = RetrievalEngine::Create(*catalog, {}, traversal_options);
+  if (!engine.ok()) return 1;
+
+  const std::string query = "free_kick ; goal";
+  auto pattern = CompileQuery(query, catalog->vocabulary());
+  if (!pattern.ok()) return 1;
+
+  SimulatedUser user(*catalog);
+  FeedbackTrainerOptions trainer_options;
+  trainer_options.retrain_threshold = 1;  // retrain after every round
+  trainer_options.relearn_feature_weights = true;
+  FeedbackTrainer trainer(*catalog, trainer_options);
+
+  std::printf("query \"%s\" on %zu videos / %zu annotated shots\n\n",
+              query.c_str(), catalog->num_videos(),
+              catalog->num_annotated_shots());
+  std::printf("%-6s %-6s %-6s %-6s %s\n", "round", "P@10", "MAP", "nDCG",
+              "marked positive");
+
+  for (int round = 0; round <= 5; ++round) {
+    auto results = engine->Retrieve(*pattern);
+    if (!results.ok()) return 1;
+    const auto metrics = EvaluateRanking(*catalog, *pattern, *results, 10);
+    const auto positives = user.JudgePositive(*pattern, *results);
+    std::printf("%-6d %-6.2f %-6.2f %-6.2f %zu of %zu inspected\n", round,
+                metrics.precision_at_k, metrics.average_precision,
+                metrics.ndcg, positives.size(), results->size());
+    if (round == 5) break;
+    for (size_t i : positives) {
+      if (Status s = trainer.MarkPositive(engine->model(), (*results)[i]);
+          !s.ok()) {
+        std::fprintf(stderr, "mark: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    auto trained = trainer.MaybeTrain(engine->mutable_model(), /*force=*/true);
+    if (!trained.ok()) return 1;
+  }
+
+  std::printf("\nafter training, the learned initial-state distribution of "
+              "the most-accessed video concentrates on the pattern's "
+              "first shot, and A1 rows along positive paths sharpen — "
+              "inspect engine.model().local(v).a1 / .pi1 to see it.\n");
+  return 0;
+}

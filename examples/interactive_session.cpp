@@ -1,0 +1,144 @@
+// Interactive retrieval session: a text-mode stand-in for the paper's
+// Fig.-5 client. Builds (or loads) an archive, then reads commands from
+// stdin:
+//
+//   query <pattern>      e.g. query free_kick ; goal
+//   mark <rank>          mark the rank-th result of the last query positive
+//   train                force an offline learning round
+//   similar <shot_id>    query by example
+//   stats                archive statistics
+//   clusters             category level summary
+//   help / quit
+//
+//   ./build/examples/interactive_session [catalog.bin model.bin]
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "hmmm.h"
+
+namespace {
+
+using namespace hmmm;
+
+void PrintResults(const VideoDatabase& db,
+                  const std::vector<RetrievedPattern>& results) {
+  if (results.empty()) {
+    std::printf("no results\n");
+    return;
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("#%zu %s\n", i + 1, results[i].ToString(db.catalog()).c_str());
+  }
+}
+
+int Run(int argc, char** argv) {
+  StatusOr<VideoDatabase> db = [&]() -> StatusOr<VideoDatabase> {
+    VideoDatabaseOptions options;
+    options.traversal.beam_width = 4;
+    options.traversal.max_results = 8;
+    options.feedback.retrain_threshold = 3;
+    if (argc >= 3) {
+      std::printf("loading %s + %s ...\n", argv[1], argv[2]);
+      return VideoDatabase::Open(argv[1], argv[2], options);
+    }
+    std::printf("no archive given; synthesizing a 20-video soccer corpus\n");
+    FeatureLevelConfig config = SoccerFeatureLevelDefaults(2026);
+    config.num_videos = 20;
+    FeatureLevelGenerator generator(config);
+    HMMM_ASSIGN_OR_RETURN(VideoCatalog catalog,
+                          VideoCatalog::FromGeneratedCorpus(generator.Generate()));
+    return VideoDatabase::Create(std::move(catalog), options);
+  }();
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("archive ready: %zu videos, %zu shots, %zu annotated. "
+              "Type 'help'.\n",
+              db->catalog().num_videos(), db->catalog().num_shots(),
+              db->catalog().num_annotated_shots());
+
+  std::vector<RetrievedPattern> last_results;
+  std::string line;
+  while (std::printf("hmmm> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      std::printf("commands: query <pattern> | mark <rank> | train | "
+                  "similar <shot_id> | stats | clusters | quit\n");
+    } else if (command == "query") {
+      std::string pattern_text;
+      std::getline(in, pattern_text);
+      auto results = db->Query(pattern_text);
+      if (!results.ok()) {
+        std::printf("error: %s\n", results.status().ToString().c_str());
+        continue;
+      }
+      last_results = std::move(results).value();
+      PrintResults(*db, last_results);
+    } else if (command == "mark") {
+      size_t rank = 0;
+      in >> rank;
+      if (rank < 1 || rank > last_results.size()) {
+        std::printf("no result at rank %zu\n", rank);
+        continue;
+      }
+      if (Status s = db->MarkPositive(last_results[rank - 1]); !s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("marked; %zu training rounds so far\n",
+                    db->training_rounds());
+      }
+    } else if (command == "train") {
+      auto trained = db->Train();
+      if (!trained.ok()) {
+        std::printf("error: %s\n", trained.status().ToString().c_str());
+      } else {
+        std::printf(*trained ? "trained\n" : "nothing to train on\n");
+      }
+    } else if (command == "similar") {
+      int shot = -1;
+      in >> shot;
+      auto results = db->MoreLikeShot(shot);
+      if (!results.ok()) {
+        std::printf("error: %s\n", results.status().ToString().c_str());
+        continue;
+      }
+      for (const QbeResult& r : *results) {
+        std::printf("sim=%8.4f shot %d (%s)\n", r.similarity, r.shot,
+                    db->catalog()
+                        .video(db->catalog().shot(r.shot).video_id)
+                        .name.c_str());
+      }
+    } else if (command == "stats") {
+      std::printf("videos=%zu shots=%zu annotated=%zu annotations=%zu "
+                  "states=%zu training_rounds=%zu\n",
+                  db->catalog().num_videos(), db->catalog().num_shots(),
+                  db->catalog().num_annotated_shots(),
+                  db->catalog().num_annotations(),
+                  db->model().num_global_states(), db->training_rounds());
+    } else if (command == "clusters") {
+      if (Status s = db->RebuildCategories(); !s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      std::printf("%s", db->categories()
+                            ->ToString(db->catalog().vocabulary())
+                            .c_str());
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", command.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,71 @@
+// Quickstart: build a small synthetic soccer archive, construct the
+// two-level HMMM over it, and answer a temporal pattern query.
+//
+//   cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "hmmm.h"
+
+int main() {
+  using namespace hmmm;
+
+  // 1. Synthesize an archive (feature-level: annotations + Table-1-like
+  //    feature vectors, no raster rendering — see examples/soccer_retrieval
+  //    for the full media pipeline).
+  FeatureLevelConfig config = SoccerFeatureLevelDefaults(/*seed=*/2024);
+  config.num_videos = 12;
+  config.min_shots_per_video = 50;
+  config.max_shots_per_video = 90;
+  config.event_shot_fraction = 0.25;
+  FeatureLevelGenerator generator(config);
+  auto catalog = VideoCatalog::FromGeneratedCorpus(generator.Generate());
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "catalog: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("archive: %zu videos, %zu shots, %zu annotated event shots\n",
+              catalog->num_videos(), catalog->num_shots(),
+              catalog->num_annotated_shots());
+
+  // 2. Build the HMMM and the retrieval engine.
+  ModelBuilderOptions builder_options;
+  builder_options.learn_feature_weights = true;  // Eq. 10 instead of Eq. 7
+  TraversalOptions traversal_options;
+  traversal_options.beam_width = 4;
+  traversal_options.max_results = 5;
+  auto engine =
+      RetrievalEngine::Create(*catalog, builder_options, traversal_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Ask for a temporal event pattern: a free kick followed by a goal.
+  const std::string query = "free_kick ; goal";
+  RetrievalStats stats;
+  auto results = engine->Query(query, &stats);
+  if (!results.ok()) {
+    std::fprintf(stderr, "query: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nquery \"%s\": %zu ranked patterns "
+              "(%zu lattice expansions, %zu sim evaluations)\n",
+              query.c_str(), results->size(), stats.states_visited,
+              stats.sim_evaluations);
+  for (size_t i = 0; i < results->size(); ++i) {
+    std::printf("  #%zu %s\n", i + 1,
+                (*results)[i].ToString(*catalog).c_str());
+  }
+
+  // 4. Persist the model for later sessions.
+  const std::string path = "/tmp/quickstart.hmmm";
+  if (Status s = engine->model().SaveToFile(path); !s.ok()) {
+    std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nmodel saved to %s (%zu bytes)\n", path.c_str(),
+              engine->model().Serialize().size());
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "api/video_database.h"
+
+#include "storage/model_io.h"
+
+namespace hmmm {
+
+VideoDatabase::VideoDatabase(VideoCatalog catalog, HierarchicalModel model,
+                             VideoDatabaseOptions options)
+    : options_(std::move(options)),
+      catalog_(std::make_unique<VideoCatalog>(std::move(catalog))),
+      model_(std::make_unique<HierarchicalModel>(std::move(model))),
+      trainer_(std::make_unique<FeedbackTrainer>(*catalog_,
+                                                 options_.feedback)) {}
+
+StatusOr<VideoDatabase> VideoDatabase::Create(VideoCatalog catalog,
+                                              VideoDatabaseOptions options) {
+  HMMM_RETURN_IF_ERROR(catalog.Validate());
+  ModelBuilder builder(catalog, options.builder);
+  HMMM_ASSIGN_OR_RETURN(HierarchicalModel model, builder.Build());
+  VideoDatabase db(std::move(catalog), std::move(model), std::move(options));
+  if (db.options_.enable_category_level) {
+    HMMM_RETURN_IF_ERROR(db.RebuildCategories());
+  }
+  return db;
+}
+
+StatusOr<VideoDatabase> VideoDatabase::Open(const std::string& catalog_path,
+                                            const std::string& model_path,
+                                            VideoDatabaseOptions options) {
+  HMMM_ASSIGN_OR_RETURN(VideoCatalog catalog, LoadCatalog(catalog_path));
+  HMMM_ASSIGN_OR_RETURN(HierarchicalModel model,
+                        HierarchicalModel::LoadFromFile(model_path));
+  if (model.num_videos() != catalog.num_videos()) {
+    return Status::FailedPrecondition(
+        "model and catalog disagree on video count");
+  }
+  if (model.num_global_states() != catalog.num_annotated_shots()) {
+    return Status::FailedPrecondition(
+        "model and catalog disagree on annotated shots");
+  }
+  VideoDatabase db(std::move(catalog), std::move(model), std::move(options));
+  if (db.options_.enable_category_level) {
+    HMMM_RETURN_IF_ERROR(db.RebuildCategories());
+  }
+  return db;
+}
+
+Status VideoDatabase::Save(const std::string& catalog_path,
+                           const std::string& model_path) const {
+  HMMM_RETURN_IF_ERROR(SaveCatalog(*catalog_, catalog_path));
+  return model_->SaveToFile(model_path);
+}
+
+StatusOr<std::vector<RetrievedPattern>> VideoDatabase::Query(
+    const std::string& text, RetrievalStats* stats) const {
+  HMMM_ASSIGN_OR_RETURN(TemporalPattern pattern,
+                        CompileQuery(text, catalog_->vocabulary()));
+  return Retrieve(pattern, stats);
+}
+
+StatusOr<std::vector<RetrievedPattern>> VideoDatabase::Retrieve(
+    const TemporalPattern& pattern, RetrievalStats* stats) const {
+  if (categories_.has_value()) {
+    ThreeLevelTraversal traversal(*model_, *catalog_, *categories_,
+                                  options_.traversal);
+    return traversal.Retrieve(pattern, stats);
+  }
+  HmmmTraversal traversal(*model_, *catalog_, options_.traversal);
+  return traversal.Retrieve(pattern, stats);
+}
+
+StatusOr<std::vector<QbeResult>> VideoDatabase::QueryByExample(
+    const std::vector<double>& raw_features, QbeOptions options) const {
+  QbeMatcher matcher(*model_, std::move(options));
+  return matcher.Retrieve(raw_features);
+}
+
+StatusOr<std::vector<QbeResult>> VideoDatabase::MoreLikeShot(
+    ShotId shot, QbeOptions options) const {
+  QbeMatcher matcher(*model_, std::move(options));
+  return matcher.RetrieveSimilarTo(shot);
+}
+
+Status VideoDatabase::MarkPositive(const RetrievedPattern& pattern) {
+  HMMM_RETURN_IF_ERROR(trainer_->MarkPositive(*model_, pattern));
+  HMMM_ASSIGN_OR_RETURN(bool trained, trainer_->MaybeTrain(*model_));
+  (void)trained;
+  return Status::OK();
+}
+
+StatusOr<bool> VideoDatabase::Train() {
+  return trainer_->MaybeTrain(*model_, /*force=*/true);
+}
+
+Status VideoDatabase::ReplaceCatalog(VideoCatalog catalog) {
+  HMMM_RETURN_IF_ERROR(catalog.Validate());
+  HMMM_ASSIGN_OR_RETURN(
+      HierarchicalModel model,
+      RebuildPreservingLearning(*model_, catalog, options_.builder));
+  *catalog_ = std::move(catalog);
+  *model_ = std::move(model);
+  // The trainer references the catalog object (stable address), but any
+  // pending global-state feedback refers to the old model: start fresh.
+  trainer_ = std::make_unique<FeedbackTrainer>(*catalog_, options_.feedback);
+  if (options_.enable_category_level) {
+    HMMM_RETURN_IF_ERROR(RebuildCategories());
+  }
+  return Status::OK();
+}
+
+Status VideoDatabase::RebuildCategories() {
+  HMMM_ASSIGN_OR_RETURN(CategoryLevel level,
+                        BuildCategoryLevel(*model_, options_.categories));
+  categories_ = std::move(level);
+  return Status::OK();
+}
+
+}  // namespace hmmm

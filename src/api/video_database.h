@@ -1,0 +1,114 @@
+#ifndef HMMM_API_VIDEO_DATABASE_H_
+#define HMMM_API_VIDEO_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/category_level.h"
+#include "core/model_builder.h"
+#include "feedback/trainer.h"
+#include "retrieval/qbe.h"
+#include "retrieval/three_level.h"
+#include "retrieval/traversal.h"
+
+namespace hmmm {
+
+/// Options bundle for a VideoDatabase instance.
+struct VideoDatabaseOptions {
+  ModelBuilderOptions builder;
+  TraversalOptions traversal;
+  FeedbackTrainerOptions feedback;
+  /// Build and use the third (video-category) level for Step-2 pruning.
+  bool enable_category_level = false;
+  CategoryLevelOptions categories;
+};
+
+/// The multimedia database management system view of this library
+/// (the paper's MMDBMS): one object owning the archive catalog, the
+/// HMMM, the feedback trainer and (optionally) the category level, with
+/// query / feedback / persistence entry points. This is the recommended
+/// API for applications; the lower-level pieces remain available for
+/// research use.
+class VideoDatabase {
+ public:
+  /// Builds a database over an ingested catalog (takes ownership).
+  static StatusOr<VideoDatabase> Create(VideoCatalog catalog,
+                                        VideoDatabaseOptions options = {});
+
+  /// Loads a persisted catalog + model pair.
+  static StatusOr<VideoDatabase> Open(const std::string& catalog_path,
+                                      const std::string& model_path,
+                                      VideoDatabaseOptions options = {});
+
+  /// Persists the catalog and the (possibly trained) model.
+  Status Save(const std::string& catalog_path,
+              const std::string& model_path) const;
+
+  VideoDatabase(VideoDatabase&&) = default;
+  VideoDatabase& operator=(VideoDatabase&&) = default;
+
+  // -- Queries -----------------------------------------------------------
+
+  /// Compiles and answers a textual temporal pattern query.
+  StatusOr<std::vector<RetrievedPattern>> Query(
+      const std::string& text, RetrievalStats* stats = nullptr) const;
+
+  /// Answers a translated pattern.
+  StatusOr<std::vector<RetrievedPattern>> Retrieve(
+      const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
+
+  /// Query by example: ranks shots against a raw feature vector.
+  StatusOr<std::vector<QbeResult>> QueryByExample(
+      const std::vector<double>& raw_features, QbeOptions options = {}) const;
+
+  /// "More like this shot".
+  StatusOr<std::vector<QbeResult>> MoreLikeShot(ShotId shot,
+                                                QbeOptions options = {}) const;
+
+  // -- Feedback ----------------------------------------------------------
+
+  /// Marks a retrieved pattern as positive; triggers offline retraining
+  /// automatically when the feedback threshold is reached.
+  Status MarkPositive(const RetrievedPattern& pattern);
+
+  /// Forces a retraining round regardless of the threshold. Returns true
+  /// if training ran.
+  StatusOr<bool> Train();
+
+  /// Feedback rounds applied so far.
+  size_t training_rounds() const { return trainer_->rounds_trained(); }
+
+  // -- Introspection -----------------------------------------------------
+
+  const VideoCatalog& catalog() const { return *catalog_; }
+  const HierarchicalModel& model() const { return *model_; }
+  /// Present only when options.enable_category_level was set.
+  const CategoryLevel* categories() const {
+    return categories_.has_value() ? &*categories_ : nullptr;
+  }
+
+  /// Re-clusters the category level (e.g. after heavy retraining).
+  Status RebuildCategories();
+
+  /// Swaps in a grown catalog (e.g. replayed from a CatalogJournal after
+  /// more footage was ingested) and rebuilds the model, carrying over
+  /// learned A1/Pi1/A2/Pi2 where possible (RebuildPreservingLearning).
+  /// Pending un-trained feedback is dropped.
+  Status ReplaceCatalog(VideoCatalog catalog);
+
+ private:
+  VideoDatabase(VideoCatalog catalog, HierarchicalModel model,
+                VideoDatabaseOptions options);
+
+  VideoDatabaseOptions options_;
+  std::unique_ptr<VideoCatalog> catalog_;
+  std::unique_ptr<HierarchicalModel> model_;
+  std::unique_ptr<FeedbackTrainer> trainer_;
+  std::optional<CategoryLevel> categories_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_API_VIDEO_DATABASE_H_

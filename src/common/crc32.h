@@ -1,0 +1,16 @@
+#ifndef HMMM_COMMON_CRC32_H_
+#define HMMM_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hmmm {
+
+/// CRC-32C (Castagnoli) over `data`. Used to detect corruption in the
+/// binary model/catalog files; `seed` allows incremental computation by
+/// passing the previous result.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace hmmm
+
+#endif  // HMMM_COMMON_CRC32_H_

@@ -1,0 +1,50 @@
+#ifndef HMMM_COMMON_LOGGING_H_
+#define HMMM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hmmm {
+
+/// Severity levels, lowest to highest. kFatal aborts the process after
+/// emitting the message.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Returns the process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum emitted level. Not thread-safe with
+/// concurrent logging; intended for test/benchmark setup.
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Used via the HMMM_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace hmmm
+
+#define HMMM_LOG(level)                                                \
+  ::hmmm::internal_logging::LogMessage(::hmmm::LogLevel::k##level,     \
+                                       __FILE__, __LINE__)             \
+      .stream()
+
+/// Invariant check that is active in all build modes (unlike assert).
+#define HMMM_CHECK(cond)                                       \
+  while (!(cond)) HMMM_LOG(Fatal) << "check failed: " #cond " "
+
+#endif  // HMMM_COMMON_LOGGING_H_

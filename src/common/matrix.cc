@@ -1,0 +1,147 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+StatusOr<Matrix> Matrix::FromRows(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  const size_t cols = rows[0].size();
+  for (const auto& row : rows) {
+    if (row.size() != cols) {
+      return Status::InvalidArgument("ragged rows in Matrix::FromRows");
+    }
+  }
+  Matrix m(rows.size(), cols);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < cols; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  return std::vector<double>(data_.begin() + r * cols_,
+                             data_.begin() + (r + 1) * cols_);
+}
+
+Status Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  if (r >= rows_) return Status::OutOfRange("row index out of range");
+  if (values.size() != cols_) {
+    return Status::InvalidArgument("row width mismatch in SetRow");
+  }
+  std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
+  return Status::OK();
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double Matrix::RowSum(size_t r) const {
+  double sum = 0.0;
+  for (size_t c = 0; c < cols_; ++c) sum += at(r, c);
+  return sum;
+}
+
+void Matrix::NormalizeRows(double zero_tolerance) {
+  for (size_t r = 0; r < rows_; ++r) {
+    const double sum = RowSum(r);
+    if (sum <= zero_tolerance) continue;
+    for (size_t c = 0; c < cols_; ++c) at(r, c) /= sum;
+  }
+}
+
+int Matrix::RowArgMax(size_t r) const {
+  if (cols_ == 0) return -1;
+  int best = 0;
+  for (size_t c = 1; c < cols_; ++c) {
+    if (at(r, c) > at(r, static_cast<size_t>(best))) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+void Matrix::Scale(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+StatusOr<Matrix> Matrix::Multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("matrix shape mismatch in Multiply");
+  }
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double v = at(r, k);
+      if (v == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += v * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+bool Matrix::IsRowStochastic(double tolerance, bool accept_zero_rows) const {
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) {
+      const double v = at(r, c);
+      if (v < -tolerance) return false;
+      sum += v;
+    }
+    if (accept_zero_rows && std::abs(sum) <= tolerance) continue;
+    if (std::abs(sum - 1.0) > tolerance) return false;
+  }
+  return true;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double max_diff = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << at(r, c);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace hmmm

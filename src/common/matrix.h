@@ -1,0 +1,100 @@
+#ifndef HMMM_COMMON_MATRIX_H_
+#define HMMM_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hmmm {
+
+/// Dense row-major matrix of doubles. This is the workhorse behind every
+/// HMMM component matrix (A, B, Pi as a 1xN, P, L, AF accumulators, ...).
+/// Sized for the paper's regime (hundreds of states, tens of features), so
+/// a simple contiguous buffer without blocking is appropriate.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Builds from nested initializer data; all rows must be equally long.
+  static StatusOr<Matrix> FromRows(
+      const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return at(r, c); }
+  double operator()(size_t r, size_t c) const { return at(r, c); }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Copies row r out.
+  std::vector<double> Row(size_t r) const;
+
+  /// Overwrites row r; `values` must have cols() entries.
+  Status SetRow(size_t r, const std::vector<double>& values);
+
+  /// Fills the whole matrix with `value`.
+  void Fill(double value);
+
+  /// Sum of entries in row r.
+  double RowSum(size_t r) const;
+
+  /// Divides each row by its sum, making the matrix row-stochastic.
+  /// Rows that sum to <= `zero_tolerance` are left untouched (the caller
+  /// keeps the prior distribution for never-updated states).
+  void NormalizeRows(double zero_tolerance = 0.0);
+
+  /// Index of the maximum entry in row r (first one on ties); -1 if empty.
+  int RowArgMax(size_t r) const;
+
+  /// Elementwise in-place scale.
+  void Scale(double factor);
+
+  /// Matrix product; error on dimension mismatch.
+  StatusOr<Matrix> Multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// True if every row sums to 1 within `tolerance` and all entries are
+  /// non-negative. Empty rows (all zero) are accepted when
+  /// `accept_zero_rows` is true.
+  bool IsRowStochastic(double tolerance = 1e-9,
+                       bool accept_zero_rows = false) const;
+
+  /// Max absolute elementwise difference; infinity on shape mismatch.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+  /// Debug rendering with fixed precision.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_COMMON_MATRIX_H_

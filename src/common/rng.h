@@ -1,0 +1,73 @@
+#ifndef HMMM_COMMON_RNG_H_
+#define HMMM_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hmmm {
+
+/// Deterministic pseudo-random number generator (xoshiro256++). Every
+/// generator in the library takes an explicit seed so that all experiments
+/// are reproducible bit-for-bit across runs and platforms.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds give uncorrelated
+  /// streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool NextBernoulli(double p);
+
+  /// Samples an index according to the (not necessarily normalized)
+  /// non-negative weights. Returns -1 if all weights are zero or the
+  /// vector is empty.
+  int NextWeighted(const std::vector<double>& weights);
+
+  /// Exponential deviate with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  /// Fisher-Yates shuffle of [first, last) index order on a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each video /
+  /// shot its own deterministic stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_COMMON_RNG_H_

@@ -1,0 +1,90 @@
+#ifndef HMMM_COMMON_SERIALIZATION_H_
+#define HMMM_COMMON_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace hmmm {
+
+/// Append-only binary encoder. Fixed-width little-endian scalars, varint
+/// lengths for strings/vectors. Pairs with BinaryReader.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteUint8(uint8_t v);
+  void WriteUint32(uint32_t v);
+  void WriteUint64(uint64_t v);
+  void WriteInt32(int32_t v);
+  void WriteInt64(int64_t v);
+  void WriteDouble(double v);
+  void WriteVarint(uint64_t v);
+  void WriteString(std::string_view s);
+  void WriteDoubleVector(const std::vector<double>& v);
+  void WriteInt32Vector(const std::vector<int32_t>& v);
+  void WriteMatrix(const Matrix& m);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string&& TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Sequential binary decoder over an in-memory buffer. All reads are
+/// bounds-checked and return Status on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  StatusOr<uint8_t> ReadUint8();
+  StatusOr<uint32_t> ReadUint32();
+  StatusOr<uint64_t> ReadUint64();
+  StatusOr<int32_t> ReadInt32();
+  StatusOr<int64_t> ReadInt64();
+  StatusOr<double> ReadDouble();
+  StatusOr<uint64_t> ReadVarint();
+  StatusOr<std::string> ReadString();
+  StatusOr<std::vector<double>> ReadDoubleVector();
+  StatusOr<std::vector<int32_t>> ReadInt32Vector();
+  StatusOr<Matrix> ReadMatrix();
+
+  /// Advances past `n` bytes without decoding them.
+  Status Skip(size_t n);
+
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Writes `contents` to `path` atomically-ish (tmp file + rename).
+Status WriteFile(const std::string& path, std::string_view contents);
+
+/// Reads a whole file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Wraps a payload in a checksummed envelope:
+/// magic(4) | version(4) | payload_size(8) | crc32c(4) | payload.
+std::string WrapChecksummed(uint32_t magic, uint32_t version,
+                            std::string_view payload);
+
+/// Verifies and strips the envelope written by WrapChecksummed. Checks the
+/// magic, returns the version through `version_out` if non-null.
+StatusOr<std::string> UnwrapChecksummed(uint32_t magic, std::string_view data,
+                                        uint32_t* version_out = nullptr);
+
+}  // namespace hmmm
+
+#endif  // HMMM_COMMON_SERIALIZATION_H_

@@ -1,0 +1,155 @@
+#ifndef HMMM_COMMON_STATUS_H_
+#define HMMM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hmmm {
+
+/// Error categories used across the library. Mirrors the usual database
+/// library convention (RocksDB/Abseil style): code + human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kAlreadyExists = 5,
+  kDataLoss = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+  kIOError = 9,
+};
+
+/// Returns a stable lowercase name for `code` ("ok", "invalid_argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error indicator. The library does not use exceptions;
+/// every fallible operation returns a Status (or StatusOr<T>).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// non-OK StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from error status, so call sites can
+  /// `return value;` or `return Status::NotFound(...);` directly.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK without value");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hmmm
+
+/// Propagates a non-OK Status from an expression. Usage:
+///   HMMM_RETURN_IF_ERROR(DoThing());
+#define HMMM_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::hmmm::Status _hmmm_status = (expr);         \
+    if (!_hmmm_status.ok()) return _hmmm_status;  \
+  } while (0)
+
+/// Evaluates a StatusOr expression, assigning the value or propagating the
+/// error. Usage: HMMM_ASSIGN_OR_RETURN(auto x, MakeX());
+#define HMMM_ASSIGN_OR_RETURN(lhs, expr)                        \
+  HMMM_ASSIGN_OR_RETURN_IMPL_(                                  \
+      HMMM_STATUS_CONCAT_(_hmmm_statusor, __LINE__), lhs, expr)
+
+#define HMMM_STATUS_CONCAT_INNER_(a, b) a##b
+#define HMMM_STATUS_CONCAT_(a, b) HMMM_STATUS_CONCAT_INNER_(a, b)
+#define HMMM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // HMMM_COMMON_STATUS_H_

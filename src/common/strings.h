@@ -1,0 +1,32 @@
+#ifndef HMMM_COMMON_STRINGS_H_
+#define HMMM_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmmm {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` at every occurrence of `sep`; empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep` between them.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace hmmm
+
+#endif  // HMMM_COMMON_STRINGS_H_

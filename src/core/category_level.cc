@@ -1,0 +1,193 @@
+#include "core/category_level.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace hmmm {
+
+namespace {
+
+/// Row-normalized event distribution per video; all-zero rows (videos
+/// without annotations) stay zero.
+Matrix EventDistributions(const Matrix& b2) {
+  Matrix out = b2;
+  out.NormalizeRows();
+  return out;
+}
+
+double SquaredDistance(const Matrix& a, size_t row_a, const Matrix& b,
+                       size_t row_b) {
+  double sum = 0.0;
+  for (size_t c = 0; c < a.cols(); ++c) {
+    const double d = a.at(row_a, c) - b.at(row_b, c);
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<std::vector<VideoId>> CategoryLevel::VideosByCluster() const {
+  std::vector<std::vector<VideoId>> out(num_clusters());
+  for (size_t v = 0; v < cluster_of_video_.size(); ++v) {
+    out[static_cast<size_t>(cluster_of_video_[v])].push_back(
+        static_cast<VideoId>(v));
+  }
+  return out;
+}
+
+bool CategoryLevel::ClusterContainsEvent(int cluster, EventId event) const {
+  if (cluster < 0 || static_cast<size_t>(cluster) >= b3_.rows()) return false;
+  if (event < 0 || static_cast<size_t>(event) >= b3_.cols()) return false;
+  return b3_.at(static_cast<size_t>(cluster), static_cast<size_t>(event)) >
+         0.0;
+}
+
+Status CategoryLevel::Validate() const {
+  const size_t k = num_clusters();
+  for (int c : cluster_of_video_) {
+    if (c < 0 || static_cast<size_t>(c) >= k) {
+      return Status::Internal("video assigned to invalid cluster");
+    }
+  }
+  if (a3_.rows() != k || a3_.cols() != k) {
+    return Status::Internal("A3 shape mismatch");
+  }
+  if (!a3_.IsRowStochastic(1e-6, /*accept_zero_rows=*/true)) {
+    return Status::Internal("A3 not row-stochastic");
+  }
+  if (pi3_.size() != k) return Status::Internal("Pi3 size mismatch");
+  double pi_sum = 0.0;
+  for (double p : pi3_) pi_sum += p;
+  if (k > 0 && std::abs(pi_sum - 1.0) > 1e-6) {
+    return Status::Internal("Pi3 not a distribution");
+  }
+  if (centroids_.rows() != k || centroids_.cols() != b3_.cols()) {
+    return Status::Internal("centroid shape mismatch");
+  }
+  return Status::OK();
+}
+
+std::string CategoryLevel::ToString(const EventVocabulary& vocabulary) const {
+  std::string out;
+  const auto members = VideosByCluster();
+  for (size_t c = 0; c < num_clusters(); ++c) {
+    out += StrFormat("cluster %zu: %zu videos, top events:", c,
+                     members[c].size());
+    // Top-3 events by B3 mass.
+    std::vector<size_t> order(b3_.cols());
+    for (size_t e = 0; e < order.size(); ++e) order[e] = e;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return b3_.at(c, a) > b3_.at(c, b);
+    });
+    for (size_t i = 0; i < std::min<size_t>(3, order.size()); ++i) {
+      if (b3_.at(c, order[i]) <= 0.0) break;
+      out += StrFormat(" %s(%.0f)",
+                       vocabulary.Name(static_cast<EventId>(order[i])).c_str(),
+                       b3_.at(c, order[i]));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<CategoryLevel> BuildCategoryLevel(const HierarchicalModel& model,
+                                           const CategoryLevelOptions& options) {
+  const size_t m = model.num_videos();
+  if (m == 0) return Status::InvalidArgument("no videos to cluster");
+  const Matrix distributions = EventDistributions(model.b2());
+  const size_t num_events = distributions.cols();
+
+  size_t k = options.num_clusters > 0
+                 ? static_cast<size_t>(options.num_clusters)
+                 : std::max<size_t>(
+                       m > 1 ? 2 : 1,
+                       static_cast<size_t>(std::sqrt(static_cast<double>(m) / 2.0)));
+  k = std::min(k, m);
+
+  // k-means++ seeding.
+  Rng rng(options.seed);
+  Matrix centroids(k, num_events, 0.0);
+  std::vector<size_t> seeds;
+  seeds.push_back(rng.NextUint64(m));
+  while (seeds.size() < k) {
+    std::vector<double> weights(m, 0.0);
+    for (size_t v = 0; v < m; ++v) {
+      double best = 1e300;
+      for (size_t s : seeds) {
+        best = std::min(best, SquaredDistance(distributions, v,
+                                              distributions, s));
+      }
+      weights[v] = best;
+    }
+    int pick = rng.NextWeighted(weights);
+    if (pick < 0) pick = static_cast<int>(rng.NextUint64(m));
+    seeds.push_back(static_cast<size_t>(pick));
+  }
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t e = 0; e < num_events; ++e) {
+      centroids.at(c, e) = distributions.at(seeds[c], e);
+    }
+  }
+
+  // Lloyd iterations.
+  std::vector<int> assignment(m, 0);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    bool changed = false;
+    for (size_t v = 0; v < m; ++v) {
+      int best = 0;
+      double best_distance = 1e300;
+      for (size_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(distributions, v, centroids, c);
+        if (d < best_distance) {
+          best_distance = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (assignment[v] != best) {
+        assignment[v] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids; empty clusters keep their previous centroid.
+    Matrix sums(k, num_events, 0.0);
+    std::vector<double> counts(k, 0.0);
+    for (size_t v = 0; v < m; ++v) {
+      const auto c = static_cast<size_t>(assignment[v]);
+      counts[c] += 1.0;
+      for (size_t e = 0; e < num_events; ++e) {
+        sums.at(c, e) += distributions.at(v, e);
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] <= 0.0) continue;
+      for (size_t e = 0; e < num_events; ++e) {
+        centroids.at(c, e) = sums.at(c, e) / counts[c];
+      }
+    }
+    if (!changed) break;
+  }
+
+  CategoryLevel level;
+  level.cluster_of_video_ = assignment;
+  level.centroids_ = centroids;
+  level.b3_ = Matrix(k, num_events, 0.0);
+  for (size_t v = 0; v < m; ++v) {
+    const auto c = static_cast<size_t>(assignment[v]);
+    for (size_t e = 0; e < num_events; ++e) {
+      level.b3_.at(c, e) += model.b2().at(v, e);
+    }
+  }
+  level.a3_ = Matrix(k, k, 1.0 / static_cast<double>(k));
+  level.pi3_.assign(k, 0.0);
+  for (int c : assignment) {
+    level.pi3_[static_cast<size_t>(c)] += 1.0 / static_cast<double>(m);
+  }
+  HMMM_RETURN_IF_ERROR(level.Validate());
+  return level;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,86 @@
+#ifndef HMMM_CORE_CATEGORY_LEVEL_H_
+#define HMMM_CORE_CATEGORY_LEVEL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/hierarchical_model.h"
+
+namespace hmmm {
+
+/// Options for building the third HMMM level.
+struct CategoryLevelOptions {
+  /// Number of clusters (S3 states); 0 = heuristic sqrt(M/2), at least 2
+  /// when the archive has more than one video.
+  int num_clusters = 0;
+  int max_iterations = 64;
+  uint64_t seed = 17;
+};
+
+/// The video-category level of a d=3 HMMM (Definition 1 with one more
+/// level): S3 states are semantic video clusters discovered from the B2
+/// event signatures ("the integrated MMM is constructed such that the
+/// system is able to learn the semantic concepts and then cluster the
+/// videos into different categories", Section 4.2.2). Carries the
+/// level-3 matrices (A3, B3, Pi3) and the L23 links (cluster_of_video).
+class CategoryLevel {
+ public:
+  CategoryLevel() = default;
+
+  size_t num_clusters() const { return b3_.rows(); }
+  size_t num_videos() const { return cluster_of_video_.size(); }
+
+  /// L23 membership: cluster index of each video.
+  const std::vector<int>& cluster_of_video() const {
+    return cluster_of_video_;
+  }
+  int ClusterOf(VideoId video) const {
+    return cluster_of_video_[static_cast<size_t>(video)];
+  }
+
+  /// B3: clusters x events — summed event counts of member videos.
+  const Matrix& b3() const { return b3_; }
+  /// A3: cluster-level transition/affinity matrix (uniform until video
+  /// co-access feedback is aggregated through L23).
+  const Matrix& a3() const { return a3_; }
+  Matrix& mutable_a3() { return a3_; }
+  /// Pi3: initial cluster distribution, proportional to cluster size.
+  const std::vector<double>& pi3() const { return pi3_; }
+
+  /// Cluster centroids in event-distribution space (rows sum to 1 for
+  /// non-empty clusters).
+  const Matrix& centroids() const { return centroids_; }
+
+  /// Member videos per cluster.
+  std::vector<std::vector<VideoId>> VideosByCluster() const;
+
+  /// True if any member video of `cluster` contains `event` (B3 check —
+  /// the level-3 analogue of the traversal's Step-2 B2 check).
+  bool ClusterContainsEvent(int cluster, EventId event) const;
+
+  /// Structural invariants.
+  Status Validate() const;
+
+  /// Human-readable summary ("cluster 0: 6 videos, top events ...").
+  std::string ToString(const EventVocabulary& vocabulary) const;
+
+ private:
+  friend StatusOr<CategoryLevel> BuildCategoryLevel(
+      const HierarchicalModel& model, const CategoryLevelOptions& options);
+
+  std::vector<int> cluster_of_video_;
+  Matrix b3_;
+  Matrix a3_;
+  std::vector<double> pi3_;
+  Matrix centroids_;
+};
+
+/// Builds the category level by k-means (k-means++ seeding, deterministic
+/// in options.seed) over the videos' row-normalized B2 event signatures.
+/// Requires a model with at least one video.
+StatusOr<CategoryLevel> BuildCategoryLevel(
+    const HierarchicalModel& model, const CategoryLevelOptions& options = {});
+
+}  // namespace hmmm
+
+#endif  // HMMM_CORE_CATEGORY_LEVEL_H_

@@ -1,0 +1,120 @@
+#include "core/generative.h"
+
+#include <cmath>
+#include <limits>
+
+namespace hmmm {
+
+namespace {
+constexpr double kNegativeInfinity = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+double SequenceLogProbability(const LocalShotModel& local,
+                              const std::vector<int>& states) {
+  if (states.empty()) return kNegativeInfinity;
+  const int n = static_cast<int>(local.num_states());
+  for (int s : states) {
+    if (s < 0 || s >= n) return kNegativeInfinity;
+  }
+  double log_probability =
+      local.pi1[static_cast<size_t>(states[0])] > 0.0
+          ? std::log(local.pi1[static_cast<size_t>(states[0])])
+          : kNegativeInfinity;
+  for (size_t j = 0; j + 1 < states.size(); ++j) {
+    const double transition = local.a1.at(static_cast<size_t>(states[j]),
+                                          static_cast<size_t>(states[j + 1]));
+    log_probability +=
+        transition > 0.0 ? std::log(transition) : kNegativeInfinity;
+  }
+  return log_probability;
+}
+
+StatusOr<SampledPattern> SamplePattern(const HierarchicalModel& model,
+                                       Rng& rng, size_t length) {
+  if (length == 0) return Status::InvalidArgument("length must be >= 1");
+
+  // Restrict the video draw to locals that can host the walk at all.
+  std::vector<double> weights(model.num_videos(), 0.0);
+  bool any = false;
+  for (size_t v = 0; v < model.num_videos(); ++v) {
+    if (model.local(static_cast<VideoId>(v)).num_states() >= length) {
+      weights[v] = model.pi2()[v];
+      any = true;
+    }
+  }
+  if (!any) {
+    return Status::FailedPrecondition(
+        "no video has enough annotated shots for the requested length");
+  }
+  // Pi2 mass may sit entirely on too-short videos; fall back to uniform
+  // over the feasible ones.
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    for (size_t v = 0; v < model.num_videos(); ++v) {
+      if (model.local(static_cast<VideoId>(v)).num_states() >= length) {
+        weights[v] = 1.0;
+      }
+    }
+  }
+  const int video = rng.NextWeighted(weights);
+  if (video < 0) return Status::Internal("video sampling failed");
+  const LocalShotModel& local = model.local(video);
+  const int n = static_cast<int>(local.num_states());
+
+  SampledPattern sample;
+  sample.video = video;
+  // Start state from Pi1, then walk A1. A walk can stall in an absorbing
+  // state whose remaining row mass cannot reach `length` more states; the
+  // upper-triangular structure guarantees progress while mass remains, so
+  // retry a few times from fresh starts.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    sample.local_states.clear();
+    int state = rng.NextWeighted(local.pi1);
+    if (state < 0) break;
+    sample.local_states.push_back(state);
+    while (sample.local_states.size() < length) {
+      std::vector<double> row(static_cast<size_t>(n), 0.0);
+      // Exclude the self-loop so the walk always advances.
+      for (int t = state + 1; t < n; ++t) {
+        row[static_cast<size_t>(t)] =
+            local.a1.at(static_cast<size_t>(state), static_cast<size_t>(t));
+      }
+      const int next = rng.NextWeighted(row);
+      if (next < 0) break;  // stalled
+      sample.local_states.push_back(next);
+      state = next;
+    }
+    if (sample.local_states.size() == length) {
+      sample.log_probability =
+          SequenceLogProbability(local, sample.local_states);
+      for (int s : sample.local_states) {
+        sample.shots.push_back(local.states[static_cast<size_t>(s)]);
+      }
+      return sample;
+    }
+  }
+  return Status::FailedPrecondition(
+      "sampling stalled: the learned chain cannot produce the length");
+}
+
+StatusOr<std::vector<EventId>> SampleEventPattern(
+    const HierarchicalModel& model, const VideoCatalog& catalog, Rng& rng,
+    size_t length) {
+  HMMM_ASSIGN_OR_RETURN(SampledPattern sample,
+                        SamplePattern(model, rng, length));
+  std::vector<EventId> events;
+  events.reserve(sample.shots.size());
+  for (ShotId shot : sample.shots) {
+    const std::vector<EventId>& annotations = catalog.shot(shot).events;
+    if (annotations.empty()) {
+      return Status::Internal("sampled state without annotations");
+    }
+    const auto pick =
+        static_cast<size_t>(rng.NextUint64(annotations.size()));
+    events.push_back(annotations[pick]);
+  }
+  return events;
+}
+
+}  // namespace hmmm

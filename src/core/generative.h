@@ -1,0 +1,46 @@
+#ifndef HMMM_CORE_GENERATIVE_H_
+#define HMMM_CORE_GENERATIVE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hierarchical_model.h"
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// Log-probability of a local state sequence under one video's shot-level
+/// MMM: log Pi1(s1) + sum log A1(s_j, s_(j+1)). Returns -infinity for
+/// impossible sequences (zero-probability hop or out-of-range state).
+/// The generative reading of the mediator: Eq. 12/13 without the
+/// similarity terms.
+double SequenceLogProbability(const LocalShotModel& local,
+                              const std::vector<int>& states);
+
+/// A pattern drawn from the model's own stochastic process.
+struct SampledPattern {
+  VideoId video = -1;
+  std::vector<ShotId> shots;       // length as requested
+  std::vector<int> local_states;   // the local indices walked
+  double log_probability = 0.0;
+};
+
+/// Samples a temporal pattern of `length` shots: a video from Pi2
+/// (restricted to videos with enough states to finish the walk), a start
+/// state from Pi1, then hops along A1. After feedback training the walk
+/// concentrates on the access patterns users marked positive — sampling
+/// is how one inspects what the mediator has learned, and a natural
+/// query-workload generator for benchmarks.
+StatusOr<SampledPattern> SamplePattern(const HierarchicalModel& model,
+                                       Rng& rng, size_t length);
+
+/// Samples a pattern and maps each shot to one of its annotated events —
+/// a model-driven temporal *event* pattern (e.g. to feed back in as a
+/// query). Shots are annotated by construction (they are HMMM states).
+StatusOr<std::vector<EventId>> SampleEventPattern(
+    const HierarchicalModel& model, const VideoCatalog& catalog, Rng& rng,
+    size_t length);
+
+}  // namespace hmmm
+
+#endif  // HMMM_CORE_GENERATIVE_H_

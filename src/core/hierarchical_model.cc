@@ -1,0 +1,189 @@
+#include "core/hierarchical_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/serialization.h"
+#include "common/strings.h"
+#include "storage/model_io.h"
+
+namespace hmmm {
+
+namespace {
+constexpr uint32_t kModelVersion = 1;
+}  // namespace
+
+StatusOr<std::vector<double>> HierarchicalModel::NormalizeFeatures(
+    const std::vector<double>& raw) const {
+  if (feature_minima_.empty()) {
+    return Status::FailedPrecondition("model has no normalizer parameters");
+  }
+  if (raw.size() != feature_minima_.size()) {
+    return Status::InvalidArgument("feature width mismatch");
+  }
+  std::vector<double> out(raw.size());
+  for (size_t c = 0; c < raw.size(); ++c) {
+    const double span = feature_maxima_[c] - feature_minima_[c];
+    const double v = span > 0.0 ? (raw[c] - feature_minima_[c]) / span : 0.0;
+    out[c] = std::clamp(v, 0.0, 1.0);
+  }
+  return out;
+}
+
+Matrix HierarchicalModel::LinkMatrix() const {
+  Matrix l12(locals_.size(), state_shots_.size(), 0.0);
+  size_t state = 0;
+  for (size_t v = 0; v < locals_.size(); ++v) {
+    for (size_t s = 0; s < locals_[v].states.size(); ++s) {
+      l12.at(v, state++) = 1.0;
+    }
+  }
+  return l12;
+}
+
+int HierarchicalModel::GlobalStateOf(ShotId shot) const {
+  if (shot < 0 || static_cast<size_t>(shot) >= state_of_shot_.size()) {
+    return -1;
+  }
+  return state_of_shot_[static_cast<size_t>(shot)];
+}
+
+void HierarchicalModel::RebuildStateIndex() {
+  state_shots_.clear();
+  ShotId max_shot = -1;
+  for (const LocalShotModel& local : locals_) {
+    for (ShotId shot : local.states) {
+      state_shots_.push_back(shot);
+      max_shot = std::max(max_shot, shot);
+    }
+  }
+  state_of_shot_.assign(static_cast<size_t>(max_shot) + 1, -1);
+  for (size_t i = 0; i < state_shots_.size(); ++i) {
+    state_of_shot_[static_cast<size_t>(state_shots_[i])] =
+        static_cast<int>(i);
+  }
+}
+
+Status HierarchicalModel::Validate() const {
+  const size_t num_events = vocabulary_.size();
+  const size_t k = b1_.cols();
+
+  size_t total_states = 0;
+  for (size_t v = 0; v < locals_.size(); ++v) {
+    const LocalShotModel& local = locals_[v];
+    if (local.video_id != static_cast<VideoId>(v)) {
+      return Status::Internal("local model video_id not dense");
+    }
+    const size_t n = local.num_states();
+    total_states += n;
+    Mmm level_view{local.a1, Matrix(n, k, 0.0), local.pi1};
+    HMMM_RETURN_IF_ERROR(level_view.Validate());
+  }
+  if (b1_.rows() != total_states) {
+    return Status::Internal(StrFormat("B1 has %zu rows for %zu states",
+                                      b1_.rows(), total_states));
+  }
+  if (state_shots_.size() != total_states) {
+    return Status::Internal("state index out of sync");
+  }
+  if (a2_.rows() != locals_.size() || a2_.cols() != locals_.size()) {
+    return Status::Internal("A2 shape mismatch");
+  }
+  if (!a2_.IsRowStochastic(1e-6, /*accept_zero_rows=*/true)) {
+    return Status::Internal("A2 not row-stochastic");
+  }
+  if (b2_.rows() != locals_.size() || b2_.cols() != num_events) {
+    return Status::Internal("B2 shape mismatch");
+  }
+  if (pi2_.size() != locals_.size()) {
+    return Status::Internal("Pi2 size mismatch");
+  }
+  double pi2_sum = 0.0;
+  for (double p : pi2_) pi2_sum += p;
+  if (!locals_.empty() && std::abs(pi2_sum - 1.0) > 1e-6) {
+    return Status::Internal("Pi2 not a distribution");
+  }
+  if (p12_.rows() != num_events || p12_.cols() != k) {
+    return Status::Internal("P12 shape mismatch");
+  }
+  if (b1_prime_.rows() != num_events || b1_prime_.cols() != k) {
+    return Status::Internal("B1' shape mismatch");
+  }
+  return Status::OK();
+}
+
+std::string HierarchicalModel::Serialize() const {
+  BinaryWriter w;
+  w.WriteVarint(vocabulary_.size());
+  for (const std::string& name : vocabulary_.names()) w.WriteString(name);
+
+  w.WriteVarint(locals_.size());
+  for (const LocalShotModel& local : locals_) {
+    w.WriteInt32(local.video_id);
+    w.WriteInt32Vector(
+        std::vector<int32_t>(local.states.begin(), local.states.end()));
+    w.WriteMatrix(local.a1);
+    w.WriteDoubleVector(local.pi1);
+  }
+  w.WriteMatrix(b1_);
+  w.WriteDoubleVector(feature_minima_);
+  w.WriteDoubleVector(feature_maxima_);
+  w.WriteMatrix(a2_);
+  w.WriteMatrix(b2_);
+  w.WriteDoubleVector(pi2_);
+  w.WriteMatrix(p12_);
+  w.WriteMatrix(b1_prime_);
+  return WrapChecksummed(kModelMagic, kModelVersion, w.buffer());
+}
+
+StatusOr<HierarchicalModel> HierarchicalModel::Deserialize(
+    std::string_view data) {
+  uint32_t version = 0;
+  HMMM_ASSIGN_OR_RETURN(std::string payload,
+                        UnwrapChecksummed(kModelMagic, data, &version));
+  if (version != kModelVersion) {
+    return Status::DataLoss("unsupported model version");
+  }
+  BinaryReader r(payload);
+  HierarchicalModel model;
+
+  HMMM_ASSIGN_OR_RETURN(uint64_t vocab_size, r.ReadVarint());
+  for (uint64_t i = 0; i < vocab_size; ++i) {
+    HMMM_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    model.vocabulary_.Register(name);
+  }
+  HMMM_ASSIGN_OR_RETURN(uint64_t num_locals, r.ReadVarint());
+  for (uint64_t i = 0; i < num_locals; ++i) {
+    LocalShotModel local;
+    HMMM_ASSIGN_OR_RETURN(local.video_id, r.ReadInt32());
+    HMMM_ASSIGN_OR_RETURN(auto states, r.ReadInt32Vector());
+    local.states.assign(states.begin(), states.end());
+    HMMM_ASSIGN_OR_RETURN(local.a1, r.ReadMatrix());
+    HMMM_ASSIGN_OR_RETURN(local.pi1, r.ReadDoubleVector());
+    model.locals_.push_back(std::move(local));
+  }
+  HMMM_ASSIGN_OR_RETURN(model.b1_, r.ReadMatrix());
+  HMMM_ASSIGN_OR_RETURN(model.feature_minima_, r.ReadDoubleVector());
+  HMMM_ASSIGN_OR_RETURN(model.feature_maxima_, r.ReadDoubleVector());
+  HMMM_ASSIGN_OR_RETURN(model.a2_, r.ReadMatrix());
+  HMMM_ASSIGN_OR_RETURN(model.b2_, r.ReadMatrix());
+  HMMM_ASSIGN_OR_RETURN(model.pi2_, r.ReadDoubleVector());
+  HMMM_ASSIGN_OR_RETURN(model.p12_, r.ReadMatrix());
+  HMMM_ASSIGN_OR_RETURN(model.b1_prime_, r.ReadMatrix());
+  if (!r.AtEnd()) return Status::DataLoss("trailing bytes in model blob");
+  model.RebuildStateIndex();
+  HMMM_RETURN_IF_ERROR(model.Validate());
+  return model;
+}
+
+Status HierarchicalModel::SaveToFile(const std::string& path) const {
+  return WriteFile(path, Serialize());
+}
+
+StatusOr<HierarchicalModel> HierarchicalModel::LoadFromFile(
+    const std::string& path) {
+  HMMM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return Deserialize(data);
+}
+
+}  // namespace hmmm

@@ -1,0 +1,132 @@
+#ifndef HMMM_CORE_HIERARCHICAL_MODEL_H_
+#define HMMM_CORE_HIERARCHICAL_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "core/mmm.h"
+#include "media/event_types.h"
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// One per-video local MMM at the shot level. Its states are the video's
+/// annotated shots in temporal order; `a1` and `pi1` are over those local
+/// indices; `states` maps local index -> global ShotId.
+struct LocalShotModel {
+  VideoId video_id = -1;
+  std::vector<ShotId> states;
+  Matrix a1;                 // temporal relative affinity (Section 4.2.1.1)
+  std::vector<double> pi1;   // initial-state probabilities (Eq. 4)
+
+  size_t num_states() const { return states.size(); }
+};
+
+/// The two-level Hierarchical Markov Model Mediator of Definition 1,
+/// instantiated at d = 2:
+///   level 1: one local MMM per video over annotated shots (A1, B1, Pi1)
+///   level 2: the integrated MMM over videos (A2, B2, Pi2)
+///   cross-level: P12 (feature importance), B1' (event centroids), and
+///   L12 (video <-> shot membership links).
+///
+/// All matrices are owned here; the retrieval engine and the learner
+/// operate on this object. The model refers to catalog shots by ShotId and
+/// is only meaningful next to the catalog it was built from.
+class HierarchicalModel {
+ public:
+  HierarchicalModel() = default;
+
+  /// Definition 1's `d` — the number of levels.
+  static constexpr int kLevels = 2;
+
+  // -- Level 1 (shot level) --------------------------------------------
+  const std::vector<LocalShotModel>& locals() const { return locals_; }
+  std::vector<LocalShotModel>& mutable_locals() { return locals_; }
+  const LocalShotModel& local(VideoId video) const {
+    return locals_[static_cast<size_t>(video)];
+  }
+
+  /// B1: normalized (Eq. 3) feature matrix over all annotated shots.
+  /// Rows are indexed by *global state index* (see GlobalStateOf).
+  const Matrix& b1() const { return b1_; }
+  Matrix& mutable_b1() { return b1_; }
+
+  /// Per-feature minima/maxima the Eq.-3 normalizer was fitted with;
+  /// needed to map *new* raw feature vectors (query samples, freshly
+  /// ingested shots) into B1 space.
+  const std::vector<double>& feature_minima() const { return feature_minima_; }
+  const std::vector<double>& feature_maxima() const { return feature_maxima_; }
+
+  /// Applies Eq. 3 with the stored parameters to a raw feature vector,
+  /// clamping to [0, 1].
+  StatusOr<std::vector<double>> NormalizeFeatures(
+      const std::vector<double>& raw) const;
+
+  // -- Level 2 (video level) -------------------------------------------
+  const Matrix& a2() const { return a2_; }
+  Matrix& mutable_a2() { return a2_; }
+  const Matrix& b2() const { return b2_; }
+  Matrix& mutable_b2() { return b2_; }
+  const std::vector<double>& pi2() const { return pi2_; }
+  std::vector<double>& mutable_pi2() { return pi2_; }
+
+  // -- Cross-level ------------------------------------------------------
+  /// P12: events x features weight-importance matrix (Eqs. 7-10).
+  const Matrix& p12() const { return p12_; }
+  Matrix& mutable_p12() { return p12_; }
+  /// B1': events x features per-event feature centroids (Eq. 11).
+  const Matrix& b1_prime() const { return b1_prime_; }
+  Matrix& mutable_b1_prime() { return b1_prime_; }
+
+  /// L12 as an explicit videos x global-states 0/1 matrix
+  /// (Section 4.2.3.3); built on demand from the membership links.
+  Matrix LinkMatrix() const;
+
+  // -- State index mapping ----------------------------------------------
+  /// Dense index of `shot` among all annotated shots (the row of B1), or
+  /// -1 if the shot is not an HMMM state.
+  int GlobalStateOf(ShotId shot) const;
+  /// Inverse of GlobalStateOf.
+  ShotId ShotOfGlobalState(int state) const {
+    return state_shots_[static_cast<size_t>(state)];
+  }
+  size_t num_global_states() const { return state_shots_.size(); }
+
+  const EventVocabulary& vocabulary() const { return vocabulary_; }
+  int num_features() const { return static_cast<int>(b1_.cols()); }
+  size_t num_videos() const { return locals_.size(); }
+
+  /// Full structural validation of the 8-tuple.
+  Status Validate() const;
+
+  /// Checksummed binary round-trip.
+  std::string Serialize() const;
+  static StatusOr<HierarchicalModel> Deserialize(std::string_view data);
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<HierarchicalModel> LoadFromFile(const std::string& path);
+
+ private:
+  friend class ModelBuilder;
+
+  /// Rebuilds the ShotId <-> global-state maps from `locals_`.
+  void RebuildStateIndex();
+
+  EventVocabulary vocabulary_;
+  std::vector<LocalShotModel> locals_;
+  Matrix b1_;
+  std::vector<double> feature_minima_;
+  std::vector<double> feature_maxima_;
+  Matrix a2_;
+  Matrix b2_;
+  std::vector<double> pi2_;
+  Matrix p12_;
+  Matrix b1_prime_;
+  std::vector<ShotId> state_shots_;       // global state -> ShotId
+  std::vector<int> state_of_shot_;        // ShotId -> global state (-1)
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_CORE_HIERARCHICAL_MODEL_H_

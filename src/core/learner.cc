@@ -1,0 +1,159 @@
+#include "core/learner.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+Matrix UniformFeatureWeights(size_t num_events, size_t num_features) {
+  const double weight =
+      num_features > 0 ? 1.0 / static_cast<double>(num_features) : 0.0;
+  return Matrix(num_events, num_features, weight);
+}
+
+StatusOr<Matrix> ComputeEventCentroids(const HierarchicalModel& model,
+                                       const VideoCatalog& catalog) {
+  const size_t num_events = model.vocabulary().size();
+  const size_t k = model.b1().cols();
+  Matrix centroids(num_events, k, 0.0);
+  std::vector<double> counts(num_events, 0.0);
+
+  for (size_t state = 0; state < model.num_global_states(); ++state) {
+    const ShotId shot = model.ShotOfGlobalState(static_cast<int>(state));
+    for (EventId e : catalog.shot(shot).events) {
+      counts[static_cast<size_t>(e)] += 1.0;
+      for (size_t f = 0; f < k; ++f) {
+        centroids.at(static_cast<size_t>(e), f) += model.b1().at(state, f);
+      }
+    }
+  }
+  for (size_t e = 0; e < num_events; ++e) {
+    if (counts[e] <= 0.0) continue;
+    for (size_t f = 0; f < k; ++f) centroids.at(e, f) /= counts[e];
+  }
+  return centroids;
+}
+
+StatusOr<Matrix> ComputeFeatureWeights(const HierarchicalModel& model,
+                                       const VideoCatalog& catalog,
+                                       double min_stddev) {
+  const size_t num_events = model.vocabulary().size();
+  const size_t k = model.b1().cols();
+  if (min_stddev <= 0.0) {
+    return Status::InvalidArgument("min_stddev must be positive");
+  }
+
+  // Per-event Welford accumulation over B1 rows of shots carrying it.
+  struct Accum {
+    std::vector<double> mean, m2;
+    double count = 0.0;
+  };
+  std::vector<Accum> accums(num_events);
+  for (Accum& a : accums) {
+    a.mean.assign(k, 0.0);
+    a.m2.assign(k, 0.0);
+  }
+  for (size_t state = 0; state < model.num_global_states(); ++state) {
+    const ShotId shot = model.ShotOfGlobalState(static_cast<int>(state));
+    for (EventId e : catalog.shot(shot).events) {
+      Accum& a = accums[static_cast<size_t>(e)];
+      a.count += 1.0;
+      for (size_t f = 0; f < k; ++f) {
+        const double x = model.b1().at(state, f);
+        const double delta = x - a.mean[f];
+        a.mean[f] += delta / a.count;
+        a.m2[f] += delta * (x - a.mean[f]);
+      }
+    }
+  }
+
+  Matrix p12 = UniformFeatureWeights(num_events, k);
+  for (size_t e = 0; e < num_events; ++e) {
+    const Accum& a = accums[e];
+    if (a.count < 2.0) continue;  // keep the uniform row (Eq. 7)
+    // Eq. 8: P'(i,j) = 1 / Std_{i,j}; Eq. 9-10: row-normalize.
+    std::vector<double> inverse_std(k, 0.0);
+    double row_sum = 0.0;
+    for (size_t f = 0; f < k; ++f) {
+      const double stddev = std::sqrt(a.m2[f] / a.count);
+      inverse_std[f] = 1.0 / std::max(stddev, min_stddev);
+      row_sum += inverse_std[f];
+    }
+    for (size_t f = 0; f < k; ++f) {
+      p12.at(e, f) = inverse_std[f] / row_sum;
+    }
+  }
+  return p12;
+}
+
+Status OfflineLearner::ApplyShotPatterns(
+    HierarchicalModel& model, const std::vector<AccessPattern>& patterns) const {
+  // Split each global pattern into per-video fragments with local indices.
+  std::map<VideoId, std::vector<AccessPattern>> per_video;
+  for (const AccessPattern& pattern : patterns) {
+    std::map<VideoId, AccessPattern> fragments;
+    for (int state : pattern.states) {
+      if (state < 0 ||
+          static_cast<size_t>(state) >= model.num_global_states()) {
+        return Status::OutOfRange(
+            StrFormat("global state %d out of range", state));
+      }
+      // Locate the owning local model and the local index. Global states
+      // are laid out video-by-video in local order.
+      int remaining = state;
+      VideoId video = -1;
+      int local_index = -1;
+      for (const LocalShotModel& local : model.locals()) {
+        const int n = static_cast<int>(local.num_states());
+        if (remaining < n) {
+          video = local.video_id;
+          local_index = remaining;
+          break;
+        }
+        remaining -= n;
+      }
+      if (video < 0) return Status::Internal("state mapping failure");
+      AccessPattern& fragment = fragments[video];
+      fragment.access_count = pattern.access_count;
+      fragment.states.push_back(local_index);
+    }
+    for (auto& [video, fragment] : fragments) {
+      per_video[video].push_back(std::move(fragment));
+    }
+  }
+
+  for (auto& [video, video_patterns] : per_video) {
+    LocalShotModel& local =
+        model.mutable_locals()[static_cast<size_t>(video)];
+    HMMM_ASSIGN_OR_RETURN(Matrix af1,
+                          AccumulateShotAffinity(local.a1, video_patterns));
+    local.a1 = NormalizeAffinity(af1, local.a1);
+    local.pi1 = DistributionFromPatterns(local.num_states(), video_patterns,
+                                         options_.pi_semantics, local.pi1);
+  }
+  return Status::OK();
+}
+
+Status OfflineLearner::ApplyVideoPatterns(
+    HierarchicalModel& model, const std::vector<AccessPattern>& patterns) const {
+  HMMM_ASSIGN_OR_RETURN(Matrix af2,
+                        AccumulateVideoAffinity(model.num_videos(), patterns));
+  model.mutable_a2() = NormalizeAffinity(af2, model.a2());
+  model.mutable_pi2() = DistributionFromPatterns(
+      model.num_videos(), patterns, options_.pi_semantics, model.pi2());
+  return Status::OK();
+}
+
+Status OfflineLearner::RelearnFeatureWeights(HierarchicalModel& model,
+                                             const VideoCatalog& catalog) const {
+  HMMM_ASSIGN_OR_RETURN(Matrix p12, ComputeFeatureWeights(model, catalog));
+  HMMM_ASSIGN_OR_RETURN(Matrix centroids,
+                        ComputeEventCentroids(model, catalog));
+  model.mutable_p12() = std::move(p12);
+  model.mutable_b1_prime() = std::move(centroids);
+  return Status::OK();
+}
+
+}  // namespace hmmm

@@ -1,0 +1,38 @@
+#include "core/mmm.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+Status Mmm::Validate() const {
+  const size_t n = pi.size();
+  if (a.rows() != n || a.cols() != n) {
+    return Status::Internal(
+        StrFormat("A is %zux%zu for %zu states", a.rows(), a.cols(), n));
+  }
+  if (b.rows() != n) {
+    return Status::Internal(
+        StrFormat("B has %zu rows for %zu states", b.rows(), n));
+  }
+  if (!a.IsRowStochastic(1e-6, /*accept_zero_rows=*/true)) {
+    return Status::Internal("A is not row-stochastic");
+  }
+  double pi_sum = 0.0;
+  for (double p : pi) {
+    if (p < -1e-12) return Status::Internal("negative Pi entry");
+    pi_sum += p;
+  }
+  if (n > 0 && std::abs(pi_sum - 1.0) > 1e-6) {
+    return Status::Internal(StrFormat("Pi sums to %f", pi_sum));
+  }
+  return Status::OK();
+}
+
+std::vector<double> UniformDistribution(size_t n) {
+  if (n == 0) return {};
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+}  // namespace hmmm

@@ -1,0 +1,33 @@
+#ifndef HMMM_CORE_MMM_H_
+#define HMMM_CORE_MMM_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace hmmm {
+
+/// One Markov Model Mediator level: states with a transition matrix A, a
+/// feature matrix B, and an initial state distribution Pi. The states'
+/// external identities (ShotId / VideoId) are kept by the owner; an Mmm
+/// works in dense local indices 0..n-1.
+struct Mmm {
+  Matrix a;                // n x n transition/affinity matrix
+  Matrix b;                // n x k feature matrix
+  std::vector<double> pi;  // n initial-state probabilities
+
+  size_t num_states() const { return pi.size(); }
+
+  /// Checks shape consistency, row-stochasticity of A (empty rows allowed
+  /// for never-trained states) and that Pi is a distribution.
+  Status Validate() const;
+};
+
+/// Uniform distribution over n states (used before any training data
+/// exists; the paper derives Pi from the training set, Eq. 4).
+std::vector<double> UniformDistribution(size_t n);
+
+}  // namespace hmmm
+
+#endif  // HMMM_CORE_MMM_H_

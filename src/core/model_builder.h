@@ -1,0 +1,60 @@
+#ifndef HMMM_CORE_MODEL_BUILDER_H_
+#define HMMM_CORE_MODEL_BUILDER_H_
+
+#include "core/hierarchical_model.h"
+#include "features/normalization.h"
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// Options controlling initial model construction.
+struct ModelBuilderOptions {
+  /// Learn P12 from per-event feature deviations at build time (Eq. 10)
+  /// instead of the uniform 1/K initialization of Eq. 7. The paper
+  /// initializes uniform and learns later; benchmarks ablate this.
+  bool learn_feature_weights = false;
+};
+
+/// Builds the initial two-level HMMM from a catalog (Section 4.2):
+///  - per video: A1 from annotation counts, Pi1 uniform (no training data
+///    yet; Eq. 4 applies once feedback exists),
+///  - B1 by Eq.-3 normalization over all annotated shots,
+///  - A2 uniform (co-access training applies Eqs. 5-6 later), B2 event
+///    counts, Pi2 uniform,
+///  - P12 by Eq. 7 (or Eq. 10 when learn_feature_weights), B1' by Eq. 11,
+///  - L12 from shot membership.
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(const VideoCatalog& catalog,
+                        ModelBuilderOptions options = {});
+
+  StatusOr<HierarchicalModel> Build() const;
+
+  /// The Eq.-3 normalizer fitted over the annotated shots' raw features;
+  /// valid after a successful Build().
+  const FeatureNormalizer& normalizer() const { return normalizer_; }
+
+ private:
+  const VideoCatalog& catalog_;
+  ModelBuilderOptions options_;
+  mutable FeatureNormalizer normalizer_;
+};
+
+/// Rebuilds the model over a (typically grown) catalog while carrying
+/// over what feedback has taught the old model:
+///  - videos whose annotated-shot list is unchanged keep their learned
+///    A1 and Pi1 (new/changed videos get fresh initialization),
+///  - the old A2 block is embedded into the new matrix and re-normalized
+///    (rows of new videos start uniform),
+///  - Pi2 carries the old preferences, giving each new video a uniform
+///    1/M share before re-normalizing.
+/// B1/B2/P12/B1' always come from the new catalog (Eq. 3 renormalizes
+/// over the grown archive). This is the maintenance path after appending
+/// footage through the CatalogJournal.
+StatusOr<HierarchicalModel> RebuildPreservingLearning(
+    const HierarchicalModel& old_model, const VideoCatalog& catalog,
+    ModelBuilderOptions options = {});
+
+}  // namespace hmmm
+
+#endif  // HMMM_CORE_MODEL_BUILDER_H_

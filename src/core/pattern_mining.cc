@@ -1,0 +1,91 @@
+#include "core/pattern_mining.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+std::string MinedPattern::ToQuery(const EventVocabulary& vocabulary) const {
+  std::vector<std::string> names;
+  names.reserve(events.size());
+  for (EventId e : events) names.push_back(vocabulary.Name(e));
+  return StrJoin(names, " ; ");
+}
+
+std::vector<MinedPattern> MineFrequentEventPatterns(
+    const VideoCatalog& catalog, const PatternMiningOptions& options) {
+  struct Counts {
+    size_t occurrences = 0;
+    std::set<VideoId> videos;
+  };
+  std::map<std::vector<EventId>, Counts> counts;
+  size_t budget = options.max_occurrences;
+
+  for (const VideoRecord& video : catalog.videos()) {
+    const std::vector<ShotId> annotated = catalog.AnnotatedShots(video.id);
+    const int n = static_cast<int>(annotated.size());
+
+    // DFS over gap-bounded positions; at each extension, branch over the
+    // shot's event annotations.
+    std::vector<EventId> current;
+    auto extend = [&](auto&& self, int position) -> bool {
+      if (current.size() >= options.min_length) {
+        if (budget == 0) return false;
+        --budget;
+        Counts& entry = counts[current];
+        ++entry.occurrences;
+        entry.videos.insert(video.id);
+      }
+      if (current.size() >= options.max_length) return true;
+      const int last = position + options.max_gap;
+      for (int next = position + 1; next <= last && next < n; ++next) {
+        for (EventId e :
+             catalog.shot(annotated[static_cast<size_t>(next)]).events) {
+          current.push_back(e);
+          const bool keep_going = self(self, next);
+          current.pop_back();
+          if (!keep_going) return false;
+        }
+      }
+      return true;
+    };
+    bool keep_going = true;
+    for (int start = 0; start < n && keep_going; ++start) {
+      for (EventId e :
+           catalog.shot(annotated[static_cast<size_t>(start)]).events) {
+        current.push_back(e);
+        keep_going = extend(extend, start);
+        current.pop_back();
+        if (!keep_going) break;
+      }
+    }
+    if (!keep_going) break;
+  }
+
+  std::vector<MinedPattern> results;
+  for (const auto& [events, entry] : counts) {
+    if (entry.occurrences < options.min_support) continue;
+    MinedPattern pattern;
+    pattern.events = events;
+    pattern.support = entry.occurrences;
+    pattern.video_support = entry.videos.size();
+    results.push_back(std::move(pattern));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const MinedPattern& a, const MinedPattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.video_support != b.video_support) {
+                return a.video_support > b.video_support;
+              }
+              return a.events < b.events;
+            });
+  if (results.size() > options.max_results) {
+    results.resize(options.max_results);
+  }
+  return results;
+}
+
+}  // namespace hmmm

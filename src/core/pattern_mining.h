@@ -1,0 +1,49 @@
+#ifndef HMMM_CORE_PATTERN_MINING_H_
+#define HMMM_CORE_PATTERN_MINING_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// A frequent temporal event pattern discovered in the archive.
+struct MinedPattern {
+  std::vector<EventId> events;
+  /// Number of gap-bounded occurrences across the archive.
+  size_t support = 0;
+  /// Number of distinct videos containing at least one occurrence.
+  size_t video_support = 0;
+
+  /// Renders the pattern in query-language syntax ("free_kick ; goal"),
+  /// ready to feed back into RetrievalEngine::Query.
+  std::string ToQuery(const EventVocabulary& vocabulary) const;
+};
+
+/// Options for frequent-pattern mining.
+struct PatternMiningOptions {
+  size_t min_length = 2;
+  size_t max_length = 3;
+  /// Consecutive pattern events must occur within this many annotated
+  /// shots of each other (the same unit as the query language's `;<N`).
+  int max_gap = 3;
+  /// Patterns below this occurrence count are dropped.
+  size_t min_support = 2;
+  size_t max_results = 20;
+  /// Safety cap on enumerated occurrences archive-wide.
+  size_t max_occurrences = 2000000;
+};
+
+/// Mines the archive's frequent temporal event patterns: gap-bounded
+/// event n-grams over each video's annotated shot sequence, ranked by
+/// support (occurrences), ties broken by video support then lexicographic
+/// order. The discovery complement to retrieval — it surfaces which
+/// temporal patterns an archive actually contains, and its output is
+/// directly queryable (MinedPattern::ToQuery).
+std::vector<MinedPattern> MineFrequentEventPatterns(
+    const VideoCatalog& catalog, const PatternMiningOptions& options = {});
+
+}  // namespace hmmm
+
+#endif  // HMMM_CORE_PATTERN_MINING_H_

@@ -1,0 +1,63 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+namespace hmmm::dsp {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Status Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  if (n == 0) return Status::InvalidArgument("empty FFT input");
+  if ((n & (n - 1)) != 0) {
+    return Status::InvalidArgument("FFT size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::complex<double>>> RealFft(
+    const std::vector<double>& signal) {
+  if (signal.empty()) return Status::InvalidArgument("empty signal");
+  const size_t n = NextPowerOfTwo(signal.size());
+  std::vector<std::complex<double>> data(n, std::complex<double>(0.0, 0.0));
+  for (size_t i = 0; i < signal.size(); ++i) data[i] = signal[i];
+  HMMM_RETURN_IF_ERROR(Fft(data));
+  return data;
+}
+
+StatusOr<std::vector<double>> MagnitudeSpectrum(
+    const std::vector<double>& signal) {
+  HMMM_ASSIGN_OR_RETURN(auto spectrum, RealFft(signal));
+  const size_t bins = spectrum.size() / 2 + 1;
+  std::vector<double> mags(bins);
+  for (size_t i = 0; i < bins; ++i) mags[i] = std::abs(spectrum[i]);
+  return mags;
+}
+
+}  // namespace hmmm::dsp

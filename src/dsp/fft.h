@@ -1,0 +1,31 @@
+#ifndef HMMM_DSP_FFT_H_
+#define HMMM_DSP_FFT_H_
+
+#include <complex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hmmm::dsp {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` computes the unnormalized inverse transform;
+/// callers divide by N to invert exactly.
+Status Fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+/// The input is zero-padded to the next power of two.
+StatusOr<std::vector<std::complex<double>>> RealFft(
+    const std::vector<double>& signal);
+
+/// Magnitude spectrum (|X[k]|) of the first N/2+1 bins of a real signal's
+/// FFT, the usual one-sided representation for audio analysis.
+StatusOr<std::vector<double>> MagnitudeSpectrum(
+    const std::vector<double>& signal);
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+}  // namespace hmmm::dsp
+
+#endif  // HMMM_DSP_FFT_H_

@@ -1,0 +1,65 @@
+#include "dsp/filterbank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+
+namespace hmmm::dsp {
+
+std::vector<SubBand> DefaultSubBands() {
+  return {
+      {0.00, 0.25},
+      {0.25, 0.50},
+      {0.50, 0.75},
+      {0.75, 1.00},
+  };
+}
+
+StatusOr<std::vector<double>> SubBandRms(const std::vector<double>& frame,
+                                         const std::vector<SubBand>& bands) {
+  if (bands.empty()) return Status::InvalidArgument("no sub-bands given");
+  HMMM_ASSIGN_OR_RETURN(auto mags, MagnitudeSpectrum(frame));
+  const size_t bins = mags.size();
+  std::vector<double> out;
+  out.reserve(bands.size());
+  for (const SubBand& band : bands) {
+    if (band.low_fraction < 0.0 || band.high_fraction > 1.0 ||
+        band.low_fraction >= band.high_fraction) {
+      return Status::InvalidArgument("malformed sub-band");
+    }
+    const size_t lo = static_cast<size_t>(band.low_fraction *
+                                          static_cast<double>(bins));
+    size_t hi = static_cast<size_t>(band.high_fraction *
+                                    static_cast<double>(bins));
+    hi = std::max(hi, lo + 1);
+    hi = std::min(hi, bins);
+    double energy = 0.0;
+    for (size_t k = lo; k < hi; ++k) energy += mags[k] * mags[k];
+    out.push_back(std::sqrt(energy / static_cast<double>(hi - lo)));
+  }
+  return out;
+}
+
+double FrameRms(const std::vector<double>& frame) {
+  if (frame.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (double x : frame) sum_sq += x * x;
+  return std::sqrt(sum_sq / static_cast<double>(frame.size()));
+}
+
+StatusOr<double> SpectralFlux(const std::vector<double>& previous,
+                              const std::vector<double>& current) {
+  if (previous.size() != current.size()) {
+    return Status::InvalidArgument("spectra size mismatch in SpectralFlux");
+  }
+  if (previous.empty()) return Status::InvalidArgument("empty spectra");
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < previous.size(); ++i) {
+    const double diff = current[i] - previous[i];
+    sum_sq += diff * diff;
+  }
+  return std::sqrt(sum_sq) / static_cast<double>(previous.size());
+}
+
+}  // namespace hmmm::dsp

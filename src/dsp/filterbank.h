@@ -1,0 +1,40 @@
+#ifndef HMMM_DSP_FILTERBANK_H_
+#define HMMM_DSP_FILTERBANK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hmmm::dsp {
+
+/// A frequency sub-band expressed as a fraction of the Nyquist frequency,
+/// [low, high) with 0 <= low < high <= 1.
+struct SubBand {
+  double low_fraction;
+  double high_fraction;
+};
+
+/// Default 4-band split used by the paper's audio features (refs [6][7]
+/// use sub-band 1 = lowest quarter and sub-band 3 = third quarter of the
+/// spectrum).
+std::vector<SubBand> DefaultSubBands();
+
+/// Computes the RMS energy of `frame` restricted to each sub-band: the
+/// frame's magnitude spectrum is integrated over the band's bins and
+/// normalized by the band width. One value per band.
+StatusOr<std::vector<double>> SubBandRms(const std::vector<double>& frame,
+                                         const std::vector<SubBand>& bands);
+
+/// Plain time-domain RMS of a frame (sqrt(mean(x^2))).
+double FrameRms(const std::vector<double>& frame);
+
+/// Spectral flux between two consecutive magnitude spectra: the L2 norm of
+/// the (positive) bin-to-bin differences, normalized by bin count. Spectra
+/// must be equal length.
+StatusOr<double> SpectralFlux(const std::vector<double>& previous,
+                              const std::vector<double>& current);
+
+}  // namespace hmmm::dsp
+
+#endif  // HMMM_DSP_FILTERBANK_H_

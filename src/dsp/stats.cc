@@ -1,0 +1,87 @@
+#include "dsp/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmmm::dsp {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size()));
+}
+
+std::vector<double> Differences(const std::vector<double>& values) {
+  std::vector<double> out;
+  if (values.size() < 2) return out;
+  out.reserve(values.size() - 1);
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    out.push_back(values[i + 1] - values[i]);
+  }
+  return out;
+}
+
+double DynamicRange(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  if (*max_it <= 0.0) return 0.0;
+  return (*max_it - *min_it) / *max_it;
+}
+
+double LowRate(const std::vector<double>& values, double threshold_factor) {
+  if (values.empty()) return 0.0;
+  const double threshold = threshold_factor * Mean(values);
+  size_t below = 0;
+  for (double v : values) {
+    if (v < threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(values.size());
+}
+
+}  // namespace hmmm::dsp

@@ -1,0 +1,55 @@
+#ifndef HMMM_DSP_STATS_H_
+#define HMMM_DSP_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hmmm::dsp {
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm),
+/// used throughout feature extraction and the P12 learner.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation (0 for fewer than 2 values).
+double StdDev(const std::vector<double>& values);
+
+/// First differences: out[i] = values[i+1] - values[i].
+std::vector<double> Differences(const std::vector<double>& values);
+
+/// Dynamic range (max - min) / max as used by the paper's volume_range
+/// feature; returns 0 when max <= 0.
+double DynamicRange(const std::vector<double>& values);
+
+/// Fraction of values strictly below `threshold_factor * mean(values)`
+/// (the paper's *_lowrate features use threshold_factor = 0.5).
+double LowRate(const std::vector<double>& values, double threshold_factor);
+
+}  // namespace hmmm::dsp
+
+#endif  // HMMM_DSP_STATS_H_

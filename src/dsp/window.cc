@@ -1,0 +1,49 @@
+#include "dsp/window.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmmm::dsp {
+
+std::vector<double> HannWindow(size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n < 2) return w;
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 0.5 * (1.0 - std::cos(2.0 * M_PI * static_cast<double>(i) /
+                                 static_cast<double>(n - 1)));
+  }
+  return w;
+}
+
+std::vector<double> HammingWindow(size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n < 2) return w;
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 0.54 - 0.46 * std::cos(2.0 * M_PI * static_cast<double>(i) /
+                                  static_cast<double>(n - 1));
+  }
+  return w;
+}
+
+void ApplyWindow(std::vector<double>& frame,
+                 const std::vector<double>& window) {
+  const size_t n = std::min(frame.size(), window.size());
+  for (size_t i = 0; i < n; ++i) frame[i] *= window[i];
+}
+
+std::vector<std::vector<double>> FrameSignal(const std::vector<double>& signal,
+                                             size_t frame_size,
+                                             size_t hop_size) {
+  std::vector<std::vector<double>> frames;
+  if (frame_size == 0 || hop_size == 0 || signal.size() < frame_size) {
+    return frames;
+  }
+  for (size_t start = 0; start + frame_size <= signal.size();
+       start += hop_size) {
+    frames.emplace_back(signal.begin() + static_cast<ptrdiff_t>(start),
+                        signal.begin() + static_cast<ptrdiff_t>(start + frame_size));
+  }
+  return frames;
+}
+
+}  // namespace hmmm::dsp

@@ -1,0 +1,27 @@
+#ifndef HMMM_DSP_WINDOW_H_
+#define HMMM_DSP_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hmmm::dsp {
+
+/// Hann window of length n.
+std::vector<double> HannWindow(size_t n);
+
+/// Hamming window of length n.
+std::vector<double> HammingWindow(size_t n);
+
+/// Multiplies `frame` elementwise by `window` (sizes must match; the
+/// shorter length is used if they differ).
+void ApplyWindow(std::vector<double>& frame, const std::vector<double>& window);
+
+/// Splits `signal` into consecutive frames of `frame_size` advancing by
+/// `hop_size`. The trailing partial frame is dropped (standard STFT framing).
+std::vector<std::vector<double>> FrameSignal(const std::vector<double>& signal,
+                                             size_t frame_size,
+                                             size_t hop_size);
+
+}  // namespace hmmm::dsp
+
+#endif  // HMMM_DSP_WINDOW_H_

@@ -1,0 +1,64 @@
+#include "events/annotation.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+Status LabeledDataset::Validate(int num_events) const {
+  if (features.rows() != labels.size()) {
+    return Status::InvalidArgument(
+        StrFormat("feature rows (%zu) != labels (%zu)", features.rows(),
+                  labels.size()));
+  }
+  for (int label : labels) {
+    if (label != kBackgroundLabel && (label < 0 || label >= num_events)) {
+      return Status::InvalidArgument(StrFormat("label %d out of range", label));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<size_t>> LabeledDataset::IndicesByClass(
+    int num_events) const {
+  std::vector<std::vector<size_t>> out(static_cast<size_t>(num_events) + 1);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const int label = labels[i];
+    if (label == kBackgroundLabel) {
+      out.back().push_back(i);
+    } else if (label >= 0 && label < num_events) {
+      out[static_cast<size_t>(label)].push_back(i);
+    }
+  }
+  return out;
+}
+
+size_t CleanDataset(LabeledDataset& dataset) {
+  const size_t cols = dataset.features.cols();
+  Matrix cleaned_features(0, 0);
+  std::vector<std::vector<double>> kept_rows;
+  std::vector<int> kept_labels;
+  for (size_t r = 0; r < dataset.features.rows(); ++r) {
+    bool finite = true;
+    for (size_t c = 0; c < cols; ++c) {
+      if (!std::isfinite(dataset.features.at(r, c))) {
+        finite = false;
+        break;
+      }
+    }
+    if (finite) {
+      kept_rows.push_back(dataset.features.Row(r));
+      kept_labels.push_back(dataset.labels[r]);
+    }
+  }
+  const size_t dropped = dataset.labels.size() - kept_labels.size();
+  if (dropped > 0) {
+    auto rebuilt = Matrix::FromRows(kept_rows);
+    dataset.features = rebuilt.ok() ? std::move(rebuilt).value() : Matrix();
+    dataset.labels = std::move(kept_labels);
+  }
+  return dropped;
+}
+
+}  // namespace hmmm

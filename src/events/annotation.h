@@ -1,0 +1,36 @@
+#ifndef HMMM_EVENTS_ANNOTATION_H_
+#define HMMM_EVENTS_ANNOTATION_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "media/event_types.h"
+
+namespace hmmm {
+
+/// Class label used for shots that carry no semantic event.
+inline constexpr int kBackgroundLabel = -1;
+
+/// A supervised dataset for the event classifiers: one feature row per
+/// example and a class label per row (kBackgroundLabel or an EventId).
+struct LabeledDataset {
+  Matrix features;          // rows = examples, cols = features
+  std::vector<int> labels;  // size == features.rows()
+
+  size_t size() const { return labels.size(); }
+
+  /// Shape consistency + label sanity against `num_events` classes.
+  Status Validate(int num_events) const;
+
+  /// Row indices per class, background last; useful for stratified splits.
+  std::vector<std::vector<size_t>> IndicesByClass(int num_events) const;
+};
+
+/// Removes degenerate examples (non-finite feature values) — the paper's
+/// "data cleaning" stage in Fig. 1. Returns the number of rows dropped.
+size_t CleanDataset(LabeledDataset& dataset);
+
+}  // namespace hmmm
+
+#endif  // HMMM_EVENTS_ANNOTATION_H_

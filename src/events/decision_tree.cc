@@ -1,0 +1,219 @@
+#include "events/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+namespace {
+
+double Gini(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) {
+    const double p = c / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeOptions options) : options_(options) {}
+
+Status DecisionTree::Train(const LabeledDataset& dataset) {
+  if (dataset.size() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (dataset.features.rows() != dataset.labels.size()) {
+    return Status::InvalidArgument("dataset shape mismatch");
+  }
+  nodes_.clear();
+  classes_.clear();
+  num_features_ = dataset.features.cols();
+
+  // Stable internal class ids in ascending label order.
+  std::map<int, int> class_of_label;
+  for (int label : dataset.labels) class_of_label.emplace(label, 0);
+  for (auto& [label, id] : class_of_label) {
+    id = static_cast<int>(classes_.size());
+    classes_.push_back(label);
+  }
+  std::vector<int> class_ids(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    class_ids[i] = class_of_label[dataset.labels[i]];
+  }
+
+  std::vector<size_t> indices(dataset.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  BuildNode(dataset.features, class_ids, indices, 0, indices.size(), 0);
+  return Status::OK();
+}
+
+int DecisionTree::BuildNode(const Matrix& features,
+                            const std::vector<int>& class_ids,
+                            std::vector<size_t>& indices, size_t begin,
+                            size_t end, int depth) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.depth = depth;
+    node.class_counts.assign(classes_.size(), 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      node.class_counts[static_cast<size_t>(class_ids[indices[i]])] += 1.0;
+    }
+    node.impurity = Gini(node.class_counts, static_cast<double>(end - begin));
+  }
+
+  const auto total = static_cast<double>(end - begin);
+  const double node_impurity = nodes_[static_cast<size_t>(node_index)].impurity;
+  if (depth >= options_.max_depth || node_impurity <= 0.0 ||
+      end - begin < static_cast<size_t>(options_.min_samples_split)) {
+    return node_index;
+  }
+
+  // Exhaustive best split: for each feature, sort the segment and scan
+  // candidate thresholds between distinct consecutive values.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_decrease = options_.min_impurity_decrease;
+  std::vector<size_t> segment(indices.begin() + static_cast<ptrdiff_t>(begin),
+                              indices.begin() + static_cast<ptrdiff_t>(end));
+  for (size_t f = 0; f < num_features_; ++f) {
+    std::sort(segment.begin(), segment.end(), [&](size_t a, size_t b) {
+      return features.at(a, f) < features.at(b, f);
+    });
+    std::vector<double> left_counts(classes_.size(), 0.0);
+    std::vector<double> right_counts =
+        nodes_[static_cast<size_t>(node_index)].class_counts;
+    for (size_t i = 0; i + 1 < segment.size(); ++i) {
+      const size_t row = segment[i];
+      left_counts[static_cast<size_t>(class_ids[row])] += 1.0;
+      right_counts[static_cast<size_t>(class_ids[row])] -= 1.0;
+      const double v = features.at(row, f);
+      const double next_v = features.at(segment[i + 1], f);
+      if (next_v <= v) continue;  // not a distinct threshold
+      const auto left_n = static_cast<double>(i + 1);
+      const double right_n = total - left_n;
+      if (left_n < options_.min_samples_leaf ||
+          right_n < options_.min_samples_leaf) {
+        continue;
+      }
+      const double weighted =
+          (left_n / total) * Gini(left_counts, left_n) +
+          (right_n / total) * Gini(right_counts, right_n);
+      const double decrease = node_impurity - weighted;
+      if (decrease > best_decrease) {
+        best_decrease = decrease;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (v + next_v);
+      }
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  // Partition the index range in place around the chosen split.
+  auto middle = std::partition(
+      indices.begin() + static_cast<ptrdiff_t>(begin),
+      indices.begin() + static_cast<ptrdiff_t>(end), [&](size_t row) {
+        return features.at(row, static_cast<size_t>(best_feature)) <=
+               best_threshold;
+      });
+  const size_t split = static_cast<size_t>(middle - indices.begin());
+  if (split == begin || split == end) return node_index;  // degenerate
+
+  const int left = BuildNode(features, class_ids, indices, begin, split,
+                             depth + 1);
+  const int right = BuildNode(features, class_ids, indices, split, end,
+                              depth + 1);
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  node.is_leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+const DecisionTree::Node& DecisionTree::Walk(
+    const std::vector<double>& features) const {
+  const Node* node = &nodes_[0];
+  while (!node->is_leaf) {
+    if (features[static_cast<size_t>(node->feature)] <= node->threshold) {
+      node = &nodes_[static_cast<size_t>(node->left)];
+    } else {
+      node = &nodes_[static_cast<size_t>(node->right)];
+    }
+  }
+  return *node;
+}
+
+StatusOr<int> DecisionTree::Predict(const std::vector<double>& features) const {
+  if (!trained()) return Status::FailedPrecondition("tree not trained");
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument(
+        StrFormat("feature width %zu != %zu", features.size(), num_features_));
+  }
+  const Node& leaf = Walk(features);
+  size_t best = 0;
+  for (size_t c = 1; c < leaf.class_counts.size(); ++c) {
+    if (leaf.class_counts[c] > leaf.class_counts[best]) best = c;
+  }
+  return classes_[best];
+}
+
+StatusOr<std::vector<double>> DecisionTree::PredictProba(
+    const std::vector<double>& features) const {
+  if (!trained()) return Status::FailedPrecondition("tree not trained");
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument("feature width mismatch");
+  }
+  const Node& leaf = Walk(features);
+  double total = 0.0;
+  for (double c : leaf.class_counts) total += c;
+  std::vector<double> proba(leaf.class_counts.size(), 0.0);
+  if (total > 0.0) {
+    for (size_t c = 0; c < proba.size(); ++c) {
+      proba[c] = leaf.class_counts[c] / total;
+    }
+  }
+  return proba;
+}
+
+int DecisionTree::depth() const {
+  int max_depth = 0;
+  for (const Node& node : nodes_) max_depth = std::max(max_depth, node.depth);
+  return max_depth;
+}
+
+std::vector<double> DecisionTree::FeatureImportances() const {
+  std::vector<double> importances(num_features_, 0.0);
+  for (const Node& node : nodes_) {
+    if (node.is_leaf) continue;
+    double total = 0.0;
+    for (double c : node.class_counts) total += c;
+    const Node& left = nodes_[static_cast<size_t>(node.left)];
+    const Node& right = nodes_[static_cast<size_t>(node.right)];
+    double left_n = 0.0, right_n = 0.0;
+    for (double c : left.class_counts) left_n += c;
+    for (double c : right.class_counts) right_n += c;
+    if (total <= 0.0) continue;
+    const double decrease =
+        node.impurity - (left_n / total) * left.impurity -
+        (right_n / total) * right.impurity;
+    importances[static_cast<size_t>(node.feature)] += decrease * total;
+  }
+  double sum = 0.0;
+  for (double v : importances) sum += v;
+  if (sum > 0.0) {
+    for (double& v : importances) v /= sum;
+  }
+  return importances;
+}
+
+}  // namespace hmmm

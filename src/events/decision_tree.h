@@ -1,0 +1,77 @@
+#ifndef HMMM_EVENTS_DECISION_TREE_H_
+#define HMMM_EVENTS_DECISION_TREE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "events/annotation.h"
+
+namespace hmmm {
+
+/// Training options for the CART decision tree.
+struct DecisionTreeOptions {
+  int max_depth = 10;
+  int min_samples_leaf = 2;
+  int min_samples_split = 4;
+  /// Splits must reduce weighted Gini impurity by at least this much.
+  double min_impurity_decrease = 1e-6;
+};
+
+/// CART-style multiclass decision tree (Gini impurity, axis-aligned
+/// threshold splits). This is the from-scratch stand-in for the
+/// decision-tree event-detection framework of the paper's refs [6][7]:
+/// trained on Table-1 shot features, it produces the semantic event
+/// annotations the HMMM is built from.
+class DecisionTree {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {});
+
+  /// Fits the tree. Labels are remapped internally; kBackgroundLabel is a
+  /// legal class. Requires a non-empty dataset of consistent shape.
+  Status Train(const LabeledDataset& dataset);
+
+  /// Predicted class label (kBackgroundLabel or an EventId).
+  StatusOr<int> Predict(const std::vector<double>& features) const;
+
+  /// Class posterior at the reached leaf, indexed by internal class order
+  /// given by `classes()`.
+  StatusOr<std::vector<double>> PredictProba(
+      const std::vector<double>& features) const;
+
+  /// Distinct labels seen in training, in internal order.
+  const std::vector<int>& classes() const { return classes_; }
+
+  bool trained() const { return !nodes_.empty(); }
+  size_t node_count() const { return nodes_.size(); }
+  int depth() const;
+
+  /// Total impurity decrease contributed by each feature, normalized to
+  /// sum to 1 (Gini importance).
+  std::vector<double> FeatureImportances() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;   // feature value <= threshold
+    int right = -1;  // feature value > threshold
+    std::vector<double> class_counts;  // at this node, internal class order
+    double impurity = 0.0;
+    int depth = 0;
+  };
+
+  int BuildNode(const Matrix& features, const std::vector<int>& class_ids,
+                std::vector<size_t>& indices, size_t begin, size_t end,
+                int depth);
+  const Node& Walk(const std::vector<double>& features) const;
+
+  DecisionTreeOptions options_;
+  std::vector<int> classes_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  size_t num_features_ = 0;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_EVENTS_DECISION_TREE_H_

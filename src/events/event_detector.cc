@@ -1,0 +1,46 @@
+#include "events/event_detector.h"
+
+namespace hmmm {
+
+EventDetector::EventDetector(const EventVocabulary& vocabulary,
+                             EventDetectorOptions options)
+    : vocabulary_(vocabulary), options_(options), tree_(options.tree) {}
+
+Status EventDetector::Train(const LabeledDataset& dataset) {
+  HMMM_RETURN_IF_ERROR(
+      dataset.Validate(static_cast<int>(vocabulary_.size())));
+  LabeledDataset cleaned = dataset;
+  CleanDataset(cleaned);
+  if (cleaned.size() == 0) {
+    return Status::InvalidArgument("no usable examples after cleaning");
+  }
+  return tree_.Train(cleaned);
+}
+
+StatusOr<std::vector<EventId>> EventDetector::Detect(
+    const std::vector<double>& features) const {
+  HMMM_ASSIGN_OR_RETURN(auto proba, tree_.PredictProba(features));
+  const auto& classes = tree_.classes();
+
+  // Pick the most probable non-background class; emit it if it both beats
+  // background and clears the confidence gate.
+  double background_p = 0.0;
+  int best_class = kBackgroundLabel;
+  double best_p = 0.0;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    if (classes[c] == kBackgroundLabel) {
+      background_p = proba[c];
+    } else if (proba[c] > best_p) {
+      best_p = proba[c];
+      best_class = classes[c];
+    }
+  }
+  std::vector<EventId> events;
+  if (best_class != kBackgroundLabel && best_p >= options_.min_confidence &&
+      best_p > background_p) {
+    events.push_back(best_class);
+  }
+  return events;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,48 @@
+#ifndef HMMM_EVENTS_EVENT_DETECTOR_H_
+#define HMMM_EVENTS_EVENT_DETECTOR_H_
+
+#include <vector>
+
+#include "events/decision_tree.h"
+#include "media/event_types.h"
+
+namespace hmmm {
+
+/// Options for the shot-level event detector.
+struct EventDetectorOptions {
+  DecisionTreeOptions tree;
+  /// Minimum leaf posterior for a non-background class to be emitted as a
+  /// detection.
+  double min_confidence = 0.5;
+};
+
+/// Shot-level semantic event detector: a multiclass decision tree over the
+/// Table-1 features, with a confidence gate. Mirrors the role of the
+/// authors' multimodal data-mining detectors (refs [6][7]) in Fig. 1 —
+/// producing the event annotations the HMMM is then built from.
+class EventDetector {
+ public:
+  explicit EventDetector(const EventVocabulary& vocabulary,
+                         EventDetectorOptions options = {});
+
+  /// Trains on labeled shots (label kBackgroundLabel = no event).
+  Status Train(const LabeledDataset& dataset);
+
+  /// Detected events for one shot's features: empty (background), or the
+  /// single most probable event above the confidence gate.
+  StatusOr<std::vector<EventId>> Detect(
+      const std::vector<double>& features) const;
+
+  const EventVocabulary& vocabulary() const { return vocabulary_; }
+  const DecisionTree& tree() const { return tree_; }
+  bool trained() const { return tree_.trained(); }
+
+ private:
+  EventVocabulary vocabulary_;
+  EventDetectorOptions options_;
+  DecisionTree tree_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_EVENTS_EVENT_DETECTOR_H_

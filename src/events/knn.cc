@@ -1,0 +1,87 @@
+#include "events/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace hmmm {
+
+KnnClassifier::KnnClassifier(KnnOptions options) : options_(options) {}
+
+Status KnnClassifier::Train(const LabeledDataset& dataset) {
+  if (dataset.size() == 0) return Status::InvalidArgument("empty dataset");
+  if (dataset.features.rows() != dataset.labels.size()) {
+    return Status::InvalidArgument("dataset shape mismatch");
+  }
+  if (options_.k < 1) return Status::InvalidArgument("k must be >= 1");
+  examples_ = dataset.features;
+  labels_ = dataset.labels;
+
+  std::map<int, int> class_of_label;
+  for (int label : labels_) class_of_label.emplace(label, 0);
+  classes_.clear();
+  for (auto& [label, id] : class_of_label) {
+    id = static_cast<int>(classes_.size());
+    classes_.push_back(label);
+  }
+  class_ids_.resize(labels_.size());
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    class_ids_[i] = class_of_label[labels_[i]];
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> KnnClassifier::Votes(
+    const std::vector<double>& features) const {
+  if (!trained()) return Status::FailedPrecondition("classifier not trained");
+  if (features.size() != examples_.cols()) {
+    return Status::InvalidArgument("feature width mismatch");
+  }
+  // Squared distances to all examples; partial sort for the k nearest.
+  std::vector<std::pair<double, size_t>> distances(labels_.size());
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    double sum = 0.0;
+    for (size_t f = 0; f < features.size(); ++f) {
+      const double d = examples_.at(i, f) - features[f];
+      sum += d * d;
+    }
+    distances[i] = {sum, i};
+  }
+  const size_t k = std::min(static_cast<size_t>(options_.k), labels_.size());
+  std::partial_sort(distances.begin(),
+                    distances.begin() + static_cast<ptrdiff_t>(k),
+                    distances.end());
+
+  std::vector<double> votes(classes_.size(), 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    const double weight =
+        options_.distance_weighted
+            ? 1.0 / (std::sqrt(distances[i].first) + 1e-9)
+            : 1.0;
+    votes[static_cast<size_t>(class_ids_[distances[i].second])] += weight;
+  }
+  return votes;
+}
+
+StatusOr<int> KnnClassifier::Predict(
+    const std::vector<double>& features) const {
+  HMMM_ASSIGN_OR_RETURN(auto votes, Votes(features));
+  size_t best = 0;
+  for (size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return classes_[best];
+}
+
+StatusOr<std::vector<double>> KnnClassifier::PredictProba(
+    const std::vector<double>& features) const {
+  HMMM_ASSIGN_OR_RETURN(auto votes, Votes(features));
+  double total = 0.0;
+  for (double v : votes) total += v;
+  if (total > 0.0) {
+    for (double& v : votes) v /= total;
+  }
+  return votes;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,54 @@
+#ifndef HMMM_EVENTS_KNN_H_
+#define HMMM_EVENTS_KNN_H_
+
+#include <vector>
+
+#include "events/annotation.h"
+
+namespace hmmm {
+
+/// Options for the k-nearest-neighbour classifier.
+struct KnnOptions {
+  int k = 5;
+  /// Weight votes by inverse distance instead of uniformly.
+  bool distance_weighted = true;
+};
+
+/// Lazy k-NN classifier over L2 feature distance. The comparison baseline
+/// for the decision-tree event detector (the paper's refs [6][7] evaluate
+/// rule/tree-based detection; k-NN is the standard instance-based
+/// alternative): no training cost, higher per-query cost, often similar
+/// accuracy on well-separated features.
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(KnnOptions options = {});
+
+  /// Stores the dataset (labels may include kBackgroundLabel).
+  Status Train(const LabeledDataset& dataset);
+
+  /// Majority / distance-weighted vote among the k nearest neighbours.
+  StatusOr<int> Predict(const std::vector<double>& features) const;
+
+  /// Vote distribution over `classes()` at the query point.
+  StatusOr<std::vector<double>> PredictProba(
+      const std::vector<double>& features) const;
+
+  /// Distinct labels seen in training, ascending.
+  const std::vector<int>& classes() const { return classes_; }
+  bool trained() const { return !labels_.empty(); }
+  size_t size() const { return labels_.size(); }
+
+ private:
+  StatusOr<std::vector<double>> Votes(
+      const std::vector<double>& features) const;
+
+  KnnOptions options_;
+  Matrix examples_;
+  std::vector<int> labels_;        // per example
+  std::vector<int> class_ids_;     // per example, index into classes_
+  std::vector<int> classes_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_EVENTS_KNN_H_

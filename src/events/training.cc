@@ -1,0 +1,91 @@
+#include "events/training.h"
+
+#include <map>
+#include <numeric>
+
+namespace hmmm {
+
+StatusOr<TrainTestSplit> SplitDataset(const LabeledDataset& dataset,
+                                      double test_fraction, Rng& rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  if (dataset.size() < 2) {
+    return Status::InvalidArgument("dataset too small to split");
+  }
+  std::vector<size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  const auto test_count = static_cast<size_t>(
+      std::max<double>(1.0, test_fraction * static_cast<double>(dataset.size())));
+  TrainTestSplit split;
+  std::vector<std::vector<double>> train_rows, test_rows;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const size_t row = order[i];
+    if (i < test_count) {
+      test_rows.push_back(dataset.features.Row(row));
+      split.test.labels.push_back(dataset.labels[row]);
+    } else {
+      train_rows.push_back(dataset.features.Row(row));
+      split.train.labels.push_back(dataset.labels[row]);
+    }
+  }
+  HMMM_ASSIGN_OR_RETURN(split.train.features, Matrix::FromRows(train_rows));
+  HMMM_ASSIGN_OR_RETURN(split.test.features, Matrix::FromRows(test_rows));
+  return split;
+}
+
+double ClassifierMetrics::MacroF1() const {
+  double sum = 0.0;
+  size_t counted = 0;
+  for (const PerClass& pc : per_class) {
+    if (pc.support == 0) continue;
+    const double denom = pc.precision + pc.recall;
+    sum += denom > 0.0 ? 2.0 * pc.precision * pc.recall / denom : 0.0;
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+StatusOr<ClassifierMetrics> EvaluateClassifier(const DecisionTree& tree,
+                                               const LabeledDataset& test) {
+  if (test.size() == 0) return Status::InvalidArgument("empty test set");
+  ClassifierMetrics metrics;
+  metrics.examples = test.size();
+
+  std::map<int, size_t> true_counts;     // label -> support
+  std::map<int, size_t> predicted_counts;  // label -> #predicted
+  std::map<int, size_t> correct_counts;  // label -> #correct
+  size_t correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    HMMM_ASSIGN_OR_RETURN(int predicted, tree.Predict(test.features.Row(i)));
+    const int truth = test.labels[i];
+    ++true_counts[truth];
+    ++predicted_counts[predicted];
+    if (predicted == truth) {
+      ++correct;
+      ++correct_counts[truth];
+    }
+  }
+  metrics.accuracy = static_cast<double>(correct) / static_cast<double>(test.size());
+  for (const auto& [label, support] : true_counts) {
+    ClassifierMetrics::PerClass pc;
+    pc.label = label;
+    pc.support = support;
+    const size_t predicted = predicted_counts.count(label)
+                                 ? predicted_counts[label]
+                                 : 0;
+    const size_t hit = correct_counts.count(label) ? correct_counts[label] : 0;
+    pc.precision = predicted > 0
+                       ? static_cast<double>(hit) / static_cast<double>(predicted)
+                       : 0.0;
+    pc.recall = support > 0
+                    ? static_cast<double>(hit) / static_cast<double>(support)
+                    : 0.0;
+    metrics.per_class.push_back(pc);
+  }
+  return metrics;
+}
+
+}  // namespace hmmm

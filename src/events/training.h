@@ -1,0 +1,44 @@
+#ifndef HMMM_EVENTS_TRAINING_H_
+#define HMMM_EVENTS_TRAINING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "events/decision_tree.h"
+
+namespace hmmm {
+
+/// Random split of a dataset into train/test partitions.
+struct TrainTestSplit {
+  LabeledDataset train;
+  LabeledDataset test;
+};
+
+/// Shuffles and splits `dataset`; `test_fraction` in (0, 1).
+StatusOr<TrainTestSplit> SplitDataset(const LabeledDataset& dataset,
+                                      double test_fraction, Rng& rng);
+
+/// Aggregate classifier quality over a labeled test set.
+struct ClassifierMetrics {
+  double accuracy = 0.0;
+  size_t examples = 0;
+  /// Per-class precision/recall keyed by the label values that occur.
+  struct PerClass {
+    int label = 0;
+    size_t support = 0;
+    double precision = 0.0;
+    double recall = 0.0;
+  };
+  std::vector<PerClass> per_class;
+
+  /// Macro-averaged F1 over classes with support.
+  double MacroF1() const;
+};
+
+/// Evaluates a trained tree on `test`.
+StatusOr<ClassifierMetrics> EvaluateClassifier(const DecisionTree& tree,
+                                               const LabeledDataset& test);
+
+}  // namespace hmmm
+
+#endif  // HMMM_EVENTS_TRAINING_H_

@@ -1,0 +1,84 @@
+#include "features/audio_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "dsp/filterbank.h"
+#include "dsp/stats.h"
+#include "dsp/window.h"
+
+namespace hmmm {
+
+StatusOr<AudioFeatures> ExtractAudioFeatures(
+    const AudioClip& clip, const AudioAnalysisOptions& options) {
+  AudioFeatures out;
+  if (clip.sample_rate() <= 0) {
+    if (clip.empty()) return out;  // empty clip: all-zero features
+    return Status::InvalidArgument("audio clip without sample rate");
+  }
+  const auto window_size = static_cast<size_t>(
+      std::max(1.0, options.window_seconds * clip.sample_rate()));
+  const auto hop_size = static_cast<size_t>(
+      std::max(1.0, options.hop_seconds * clip.sample_rate()));
+  const auto frames = dsp::FrameSignal(clip.samples(), window_size, hop_size);
+  if (frames.empty()) return out;  // too short to analyze
+
+  const std::vector<double> hann = dsp::HannWindow(window_size);
+  const std::vector<dsp::SubBand> bands = dsp::DefaultSubBands();
+
+  std::vector<double> volume;        // time-domain RMS per window
+  std::vector<double> sub1_energy;   // sub-band 1 RMS per window
+  std::vector<double> sub3_energy;   // sub-band 3 RMS per window
+  std::vector<double> flux;          // spectral flux per window pair
+  volume.reserve(frames.size());
+  sub1_energy.reserve(frames.size());
+  sub3_energy.reserve(frames.size());
+
+  std::vector<double> previous_spectrum;
+  for (const auto& raw_frame : frames) {
+    volume.push_back(dsp::FrameRms(raw_frame));
+
+    std::vector<double> windowed = raw_frame;
+    dsp::ApplyWindow(windowed, hann);
+    HMMM_ASSIGN_OR_RETURN(auto spectrum, dsp::MagnitudeSpectrum(windowed));
+    HMMM_ASSIGN_OR_RETURN(auto band_rms, dsp::SubBandRms(windowed, bands));
+    sub1_energy.push_back(band_rms[0]);
+    sub3_energy.push_back(band_rms[2]);
+
+    if (!previous_spectrum.empty()) {
+      HMMM_ASSIGN_OR_RETURN(double f,
+                            dsp::SpectralFlux(previous_spectrum, spectrum));
+      flux.push_back(f);
+    }
+    previous_spectrum = std::move(spectrum);
+  }
+
+  const double max_volume =
+      *std::max_element(volume.begin(), volume.end());
+  const double volume_norm = max_volume > 0.0 ? max_volume : 1.0;
+  out.volume_mean = dsp::Mean(volume) / volume_norm;
+  out.volume_std = dsp::StdDev(volume) / volume_norm;
+  out.volume_stdd = dsp::StdDev(dsp::Differences(volume)) / volume_norm;
+  out.volume_range = dsp::DynamicRange(volume);
+
+  out.energy_mean = dsp::Mean(volume);
+  out.sub1_mean = dsp::Mean(sub1_energy);
+  out.sub3_mean = dsp::Mean(sub3_energy);
+  out.energy_lowrate = dsp::LowRate(volume, 0.5);
+  out.sub1_lowrate = dsp::LowRate(sub1_energy, 0.5);
+  out.sub3_lowrate = dsp::LowRate(sub3_energy, 0.5);
+  out.sub1_std = dsp::StdDev(sub1_energy);
+
+  if (!flux.empty()) {
+    const double max_flux = *std::max_element(flux.begin(), flux.end());
+    const double flux_norm = max_flux > 0.0 ? max_flux : 1.0;
+    out.sf_mean = dsp::Mean(flux);
+    out.sf_std = dsp::StdDev(flux) / flux_norm;
+    out.sf_stdd = dsp::StdDev(dsp::Differences(flux)) / flux_norm;
+    out.sf_range = dsp::DynamicRange(flux);
+  }
+  return out;
+}
+
+}  // namespace hmmm

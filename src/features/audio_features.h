@@ -1,0 +1,45 @@
+#ifndef HMMM_FEATURES_AUDIO_FEATURES_H_
+#define HMMM_FEATURES_AUDIO_FEATURES_H_
+
+#include "common/status.h"
+#include "media/audio.h"
+
+namespace hmmm {
+
+/// The fifteen audio features of Table 1 computed over one shot's audio.
+struct AudioFeatures {
+  double volume_mean = 0.0;
+  double volume_std = 0.0;
+  double volume_stdd = 0.0;
+  double volume_range = 0.0;
+  double energy_mean = 0.0;
+  double sub1_mean = 0.0;
+  double sub3_mean = 0.0;
+  double energy_lowrate = 0.0;
+  double sub1_lowrate = 0.0;
+  double sub3_lowrate = 0.0;
+  double sub1_std = 0.0;
+  double sf_mean = 0.0;
+  double sf_std = 0.0;
+  double sf_stdd = 0.0;
+  double sf_range = 0.0;
+};
+
+/// STFT framing used by the audio extractor.
+struct AudioAnalysisOptions {
+  double window_seconds = 0.032;
+  double hop_seconds = 0.016;
+};
+
+/// Computes the audio feature block of a shot. Volume is the per-window
+/// RMS; sub-band energies come from an FFT magnitude-spectrum filterbank
+/// (band 1 = lowest quarter, band 3 = third quarter of the spectrum, as in
+/// refs [6][7]); spectral flux is the normalized L2 distance between
+/// consecutive magnitude spectra. Clips shorter than one analysis window
+/// yield all-zero features (valid — silent/empty shots exist).
+StatusOr<AudioFeatures> ExtractAudioFeatures(
+    const AudioClip& clip, const AudioAnalysisOptions& options = {});
+
+}  // namespace hmmm
+
+#endif  // HMMM_FEATURES_AUDIO_FEATURES_H_

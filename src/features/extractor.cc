@@ -1,0 +1,61 @@
+#include "features/extractor.h"
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+ShotFeatureExtractor::ShotFeatureExtractor(AudioAnalysisOptions audio_options)
+    : audio_options_(audio_options) {}
+
+std::vector<double> ShotFeatureExtractor::Pack(const VisualFeatures& visual,
+                                               const AudioFeatures& audio) {
+  std::vector<double> out(static_cast<size_t>(kNumFeatures), 0.0);
+  out[static_cast<size_t>(FeatureIndex::kGrassRatio)] = visual.grass_ratio;
+  out[static_cast<size_t>(FeatureIndex::kPixelChangePercent)] =
+      visual.pixel_change_percent;
+  out[static_cast<size_t>(FeatureIndex::kHistoChange)] = visual.histo_change;
+  out[static_cast<size_t>(FeatureIndex::kBackgroundVar)] =
+      visual.background_var;
+  out[static_cast<size_t>(FeatureIndex::kBackgroundMean)] =
+      visual.background_mean;
+  out[static_cast<size_t>(FeatureIndex::kVolumeMean)] = audio.volume_mean;
+  out[static_cast<size_t>(FeatureIndex::kVolumeStd)] = audio.volume_std;
+  out[static_cast<size_t>(FeatureIndex::kVolumeStdd)] = audio.volume_stdd;
+  out[static_cast<size_t>(FeatureIndex::kVolumeRange)] = audio.volume_range;
+  out[static_cast<size_t>(FeatureIndex::kEnergyMean)] = audio.energy_mean;
+  out[static_cast<size_t>(FeatureIndex::kSub1Mean)] = audio.sub1_mean;
+  out[static_cast<size_t>(FeatureIndex::kSub3Mean)] = audio.sub3_mean;
+  out[static_cast<size_t>(FeatureIndex::kEnergyLowRate)] =
+      audio.energy_lowrate;
+  out[static_cast<size_t>(FeatureIndex::kSub1LowRate)] = audio.sub1_lowrate;
+  out[static_cast<size_t>(FeatureIndex::kSub3LowRate)] = audio.sub3_lowrate;
+  out[static_cast<size_t>(FeatureIndex::kSub1Std)] = audio.sub1_std;
+  out[static_cast<size_t>(FeatureIndex::kSfMean)] = audio.sf_mean;
+  out[static_cast<size_t>(FeatureIndex::kSfStd)] = audio.sf_std;
+  out[static_cast<size_t>(FeatureIndex::kSfStdd)] = audio.sf_stdd;
+  out[static_cast<size_t>(FeatureIndex::kSfRange)] = audio.sf_range;
+  return out;
+}
+
+StatusOr<std::vector<double>> ShotFeatureExtractor::Extract(
+    const std::vector<Frame>& frames, int begin_frame, int end_frame,
+    const AudioClip& shot_audio) const {
+  HMMM_ASSIGN_OR_RETURN(VisualFeatures visual,
+                        ExtractVisualFeatures(frames, begin_frame, end_frame));
+  HMMM_ASSIGN_OR_RETURN(AudioFeatures audio,
+                        ExtractAudioFeatures(shot_audio, audio_options_));
+  return Pack(visual, audio);
+}
+
+StatusOr<std::vector<double>> ShotFeatureExtractor::ExtractForShot(
+    const SyntheticVideo& video, size_t shot_index) const {
+  if (shot_index >= video.shots.size()) {
+    return Status::OutOfRange(
+        StrFormat("shot %zu out of %zu", shot_index, video.shots.size()));
+  }
+  const ShotTruth& shot = video.shots[shot_index];
+  return Extract(video.frames, shot.begin_frame, shot.end_frame,
+                 video.AudioForFrames(shot.begin_frame, shot.end_frame));
+}
+
+}  // namespace hmmm

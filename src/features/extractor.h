@@ -1,0 +1,44 @@
+#ifndef HMMM_FEATURES_EXTRACTOR_H_
+#define HMMM_FEATURES_EXTRACTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "features/audio_features.h"
+#include "features/feature_schema.h"
+#include "features/visual_features.h"
+#include "media/video.h"
+
+namespace hmmm {
+
+/// Assembles the 20-dimensional Table-1 feature vector of a shot from its
+/// frames and aligned audio. Produces the raw (un-normalized) values that
+/// populate the BB1 matrix of Eq. 3; the FeatureNormalizer turns those into
+/// the B1 matrix.
+class ShotFeatureExtractor {
+ public:
+  explicit ShotFeatureExtractor(AudioAnalysisOptions audio_options = {});
+
+  /// Features for the frame span [begin_frame, end_frame) with that span's
+  /// audio. The result has exactly kNumFeatures entries in FeatureIndex
+  /// order.
+  StatusOr<std::vector<double>> Extract(const std::vector<Frame>& frames,
+                                        int begin_frame, int end_frame,
+                                        const AudioClip& shot_audio) const;
+
+  /// Features for the `shot_index`-th ground-truth shot of a synthetic
+  /// video (convenience for pipeline code and tests).
+  StatusOr<std::vector<double>> ExtractForShot(const SyntheticVideo& video,
+                                               size_t shot_index) const;
+
+  /// Packs the two typed blocks into the flat FeatureIndex-ordered vector.
+  static std::vector<double> Pack(const VisualFeatures& visual,
+                                  const AudioFeatures& audio);
+
+ private:
+  AudioAnalysisOptions audio_options_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_FEATURES_EXTRACTOR_H_

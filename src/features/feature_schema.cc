@@ -1,0 +1,95 @@
+#include "features/feature_schema.h"
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+namespace {
+
+struct FeatureInfo {
+  std::string name;
+  std::string description;
+};
+
+const std::vector<FeatureInfo>& Infos() {
+  static const std::vector<FeatureInfo>& infos = *new std::vector<FeatureInfo>{
+      {"grass_ratio", "Average percent of grass areas in a shot"},
+      {"pixel_change_percent",
+       "Average percent of the changed pixels between frames within a shot"},
+      {"histo_change",
+       "Mean value of the histogram difference between frames within a shot"},
+      {"background_var", "Mean value of the variance of background pixels"},
+      {"background_mean", "Mean value of the background pixels"},
+      {"volume_mean",
+       "Mean volume, normalized by the maximum volume (reconstructed from "
+       "ref [6])"},
+      {"volume_std",
+       "Standard deviation of the volume, normalized by the maximum volume"},
+      {"volume_stdd",
+       "Standard deviation of the difference of the volume"},
+      {"volume_range",
+       "Dynamic range of the volume, (max(v) - min(v)) / max(v)"},
+      {"energy_mean", "Average RMS energy"},
+      {"sub1_mean", "Average RMS energy of the first sub-band"},
+      {"sub3_mean", "Average RMS energy of the third sub-band"},
+      {"energy_lowrate",
+       "Percentage of samples with RMS power less than 0.5 times the mean "
+       "RMS power"},
+      {"sub1_lowrate",
+       "Percentage of samples with RMS power less than 0.5 times the mean "
+       "RMS power of the first sub-band"},
+      {"sub3_lowrate",
+       "Percentage of samples with RMS power less than 0.5 times the mean "
+       "RMS power of the third sub-band"},
+      {"sub1_std",
+       "Standard deviation of the mean RMS power of the first sub-band "
+       "energy"},
+      {"sf_mean", "Mean value of the spectrum flux"},
+      {"sf_std",
+       "Standard deviation of the spectrum flux, normalized by the maximum "
+       "spectrum flux"},
+      {"sf_stdd",
+       "Standard deviation of the difference of the spectrum flux, "
+       "normalized"},
+      {"sf_range", "Dynamic range of the spectrum flux"},
+  };
+  return infos;
+}
+
+const std::string kUnknown = "<unknown>";
+
+}  // namespace
+
+const std::string& FeatureName(int index) {
+  if (index < 0 || index >= kNumFeatures) return kUnknown;
+  return Infos()[static_cast<size_t>(index)].name;
+}
+
+const std::string& FeatureDescription(int index) {
+  if (index < 0 || index >= kNumFeatures) return kUnknown;
+  return Infos()[static_cast<size_t>(index)].description;
+}
+
+bool IsVisualFeature(int index) {
+  return index >= 0 && index < kNumVisualFeatures;
+}
+
+const std::vector<std::string>& AllFeatureNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>([] {
+    std::vector<std::string> out;
+    out.reserve(kNumFeatures);
+    for (const auto& info : Infos()) out.push_back(info.name);
+    return out;
+  }());
+  return names;
+}
+
+StatusOr<int> FindFeature(const std::string& name) {
+  const auto& infos = Infos();
+  for (size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound(StrFormat("unknown feature '%s'", name.c_str()));
+}
+
+}  // namespace hmmm

@@ -1,0 +1,62 @@
+#include "features/normalization.h"
+
+#include <algorithm>
+
+namespace hmmm {
+
+Status FeatureNormalizer::Fit(const Matrix& raw) {
+  if (raw.rows() == 0 || raw.cols() == 0) {
+    return Status::InvalidArgument("cannot fit normalizer on empty matrix");
+  }
+  minima_.assign(raw.cols(), 0.0);
+  maxima_.assign(raw.cols(), 0.0);
+  for (size_t c = 0; c < raw.cols(); ++c) {
+    double lo = raw.at(0, c);
+    double hi = raw.at(0, c);
+    for (size_t r = 1; r < raw.rows(); ++r) {
+      lo = std::min(lo, raw.at(r, c));
+      hi = std::max(hi, raw.at(r, c));
+    }
+    minima_[c] = lo;
+    maxima_[c] = hi;
+  }
+  return Status::OK();
+}
+
+StatusOr<Matrix> FeatureNormalizer::Transform(const Matrix& raw) const {
+  if (!fitted()) return Status::FailedPrecondition("normalizer not fitted");
+  if (raw.cols() != minima_.size()) {
+    return Status::InvalidArgument("column count mismatch in Transform");
+  }
+  Matrix out(raw.rows(), raw.cols());
+  for (size_t r = 0; r < raw.rows(); ++r) {
+    for (size_t c = 0; c < raw.cols(); ++c) {
+      const double span = maxima_[c] - minima_[c];
+      const double v = span > 0.0 ? (raw.at(r, c) - minima_[c]) / span : 0.0;
+      out.at(r, c) = std::clamp(v, 0.0, 1.0);
+    }
+  }
+  return out;
+}
+
+StatusOr<Matrix> FeatureNormalizer::FitTransform(const Matrix& raw) {
+  HMMM_RETURN_IF_ERROR(Fit(raw));
+  return Transform(raw);
+}
+
+StatusOr<std::vector<double>> FeatureNormalizer::TransformRow(
+    const std::vector<double>& raw) const {
+  if (!fitted()) return Status::FailedPrecondition("normalizer not fitted");
+  if (raw.size() != minima_.size()) {
+    return Status::InvalidArgument("width mismatch in TransformRow");
+  }
+  std::vector<double> out(raw.size());
+  for (size_t c = 0; c < raw.size(); ++c) {
+    const double span = maxima_[c] - minima_[c];
+    const double v = span > 0.0 ? (raw[c] - minima_[c]) / span : 0.0;
+    out[c] = std::clamp(v, 0.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace hmmm

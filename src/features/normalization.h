@@ -1,0 +1,46 @@
+#ifndef HMMM_FEATURES_NORMALIZATION_H_
+#define HMMM_FEATURES_NORMALIZATION_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace hmmm {
+
+/// Per-column min-max normalizer implementing Eq. 3 of the paper:
+///   B1(i,j) = (BB1(i,j) - min_j) / (max_j - min_j),
+/// mapping every feature column of the raw matrix BB1 into [0, 1].
+/// Constant columns (max == min) normalize to 0 — documented behaviour,
+/// since Eq. 3 is undefined there.
+class FeatureNormalizer {
+ public:
+  FeatureNormalizer() = default;
+
+  /// Learns column minima/maxima from the raw feature matrix BB1 (rows =
+  /// shots, cols = features). Requires at least one row.
+  Status Fit(const Matrix& raw);
+
+  /// Applies Eq. 3 to a whole matrix (must have the fitted column count).
+  StatusOr<Matrix> Transform(const Matrix& raw) const;
+
+  /// Fit + Transform in one call: builds B1 from BB1.
+  StatusOr<Matrix> FitTransform(const Matrix& raw);
+
+  /// Applies Eq. 3 to one raw feature vector. Values outside the fitted
+  /// range are clamped to [0, 1] (new shots may exceed the training range).
+  StatusOr<std::vector<double>> TransformRow(
+      const std::vector<double>& raw) const;
+
+  bool fitted() const { return !minima_.empty(); }
+  const std::vector<double>& minima() const { return minima_; }
+  const std::vector<double>& maxima() const { return maxima_; }
+
+ private:
+  std::vector<double> minima_;
+  std::vector<double> maxima_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_FEATURES_NORMALIZATION_H_

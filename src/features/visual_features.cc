@@ -1,0 +1,76 @@
+#include "features/visual_features.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "dsp/stats.h"
+#include "shots/histogram.h"
+
+namespace hmmm {
+
+namespace {
+
+// A pixel is "background" if it barely changes between consecutive frames.
+constexpr int kBackgroundStableThreshold = 10;
+
+}  // namespace
+
+StatusOr<VisualFeatures> ExtractVisualFeatures(const std::vector<Frame>& frames,
+                                               int begin_frame, int end_frame) {
+  if (begin_frame < 0 || end_frame > static_cast<int>(frames.size()) ||
+      begin_frame >= end_frame) {
+    return Status::InvalidArgument("bad frame span for visual features");
+  }
+
+  VisualFeatures out;
+  dsp::RunningStats grass;
+  dsp::RunningStats pixel_change;
+  dsp::RunningStats histo_change;
+  dsp::RunningStats bg_mean_per_frame;
+  dsp::RunningStats bg_var_per_frame;
+
+  ColorHistogram previous_histogram =
+      ColorHistogram::FromFrame(frames[static_cast<size_t>(begin_frame)]);
+  grass.Add(GrassRatio(frames[static_cast<size_t>(begin_frame)]));
+
+  for (int f = begin_frame + 1; f < end_frame; ++f) {
+    const Frame& prev = frames[static_cast<size_t>(f - 1)];
+    const Frame& curr = frames[static_cast<size_t>(f)];
+    grass.Add(GrassRatio(curr));
+    pixel_change.Add(PixelChangeFraction(prev, curr));
+
+    const ColorHistogram histogram = ColorHistogram::FromFrame(curr);
+    histo_change.Add(previous_histogram.L1Distance(histogram));
+    previous_histogram = histogram;
+
+    // Background = temporally stable pixels; take their luminance stats.
+    dsp::RunningStats luminance;
+    const auto& pp = prev.pixels();
+    const auto& cp = curr.pixels();
+    if (pp.size() == cp.size()) {
+      for (size_t i = 0; i < cp.size(); ++i) {
+        const int dr = std::abs(static_cast<int>(pp[i].r) - cp[i].r);
+        const int dg = std::abs(static_cast<int>(pp[i].g) - cp[i].g);
+        const int db = std::abs(static_cast<int>(pp[i].b) - cp[i].b);
+        if (dr <= kBackgroundStableThreshold &&
+            dg <= kBackgroundStableThreshold &&
+            db <= kBackgroundStableThreshold) {
+          luminance.Add(Frame::Luminance(cp[i]) / 255.0);
+        }
+      }
+    }
+    if (luminance.count() > 0) {
+      bg_mean_per_frame.Add(luminance.mean());
+      bg_var_per_frame.Add(luminance.variance());
+    }
+  }
+
+  out.grass_ratio = grass.mean();
+  out.pixel_change_percent = pixel_change.mean();
+  out.histo_change = histo_change.mean();
+  out.background_mean = bg_mean_per_frame.mean();
+  out.background_var = bg_var_per_frame.mean();
+  return out;
+}
+
+}  // namespace hmmm

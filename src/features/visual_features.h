@@ -1,0 +1,31 @@
+#ifndef HMMM_FEATURES_VISUAL_FEATURES_H_
+#define HMMM_FEATURES_VISUAL_FEATURES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "media/frame.h"
+
+namespace hmmm {
+
+/// The five visual features of Table 1 computed over one shot's frames.
+struct VisualFeatures {
+  double grass_ratio = 0.0;
+  double pixel_change_percent = 0.0;
+  double histo_change = 0.0;
+  double background_var = 0.0;
+  double background_mean = 0.0;
+};
+
+/// Computes the visual feature block for the frame span
+/// [begin_frame, end_frame) of `frames`. Background pixels are the
+/// temporally stable pixels between consecutive frames (per-channel change
+/// below a small threshold); their luminance mean/variance give
+/// background_mean/background_var. Shots need at least one frame; with a
+/// single frame the inter-frame features are zero.
+StatusOr<VisualFeatures> ExtractVisualFeatures(const std::vector<Frame>& frames,
+                                               int begin_frame, int end_frame);
+
+}  // namespace hmmm
+
+#endif  // HMMM_FEATURES_VISUAL_FEATURES_H_

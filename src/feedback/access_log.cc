@@ -1,0 +1,40 @@
+#include "feedback/access_log.h"
+
+namespace hmmm {
+
+namespace {
+
+void RecordInto(std::vector<AccessPattern>& patterns,
+                const std::vector<int>& states, double access_count) {
+  for (AccessPattern& existing : patterns) {
+    if (existing.states == states) {
+      existing.access_count += access_count;
+      return;
+    }
+  }
+  patterns.push_back(AccessPattern{states, access_count});
+}
+
+}  // namespace
+
+void AccessLog::RecordShotPattern(const std::vector<int>& global_states,
+                                  double access_count) {
+  if (global_states.empty() || access_count <= 0.0) return;
+  RecordInto(shot_patterns_, global_states, access_count);
+  ++feedback_events_;
+}
+
+void AccessLog::RecordVideoAccess(const std::vector<VideoId>& videos,
+                                  double access_count) {
+  if (videos.empty() || access_count <= 0.0) return;
+  std::vector<int> states(videos.begin(), videos.end());
+  RecordInto(video_patterns_, states, access_count);
+}
+
+void AccessLog::Clear() {
+  shot_patterns_.clear();
+  video_patterns_.clear();
+  feedback_events_ = 0;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,52 @@
+#ifndef HMMM_FEEDBACK_ACCESS_LOG_H_
+#define HMMM_FEEDBACK_ACCESS_LOG_H_
+
+#include <vector>
+
+#include "core/affinity.h"
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// Accumulates positive user access patterns between offline retraining
+/// rounds (Section 4.2.1.1: "the training system can only record all the
+/// user access patterns and access frequencies during a training period,
+/// instead of updating the A1 matrix online every time"). Shot-level
+/// patterns use *global state indices*; video-level patterns use VideoIds.
+class AccessLog {
+ public:
+  AccessLog() = default;
+
+  /// Records a positive shot-level pattern. If an identical state sequence
+  /// was recorded before, its access count is incremented instead
+  /// (access_k in Eq. 1).
+  void RecordShotPattern(const std::vector<int>& global_states,
+                         double access_count = 1.0);
+
+  /// Records a video-level co-access (use_2 / access_2 of Eq. 5).
+  void RecordVideoAccess(const std::vector<VideoId>& videos,
+                         double access_count = 1.0);
+
+  const std::vector<AccessPattern>& shot_patterns() const {
+    return shot_patterns_;
+  }
+  const std::vector<AccessPattern>& video_patterns() const {
+    return video_patterns_;
+  }
+
+  /// Number of distinct positive shot patterns recorded (q in Eq. 1).
+  size_t num_shot_patterns() const { return shot_patterns_.size(); }
+  /// Total feedback events recorded since the last Clear().
+  size_t num_feedback_events() const { return feedback_events_; }
+
+  void Clear();
+
+ private:
+  std::vector<AccessPattern> shot_patterns_;
+  std::vector<AccessPattern> video_patterns_;
+  size_t feedback_events_ = 0;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_FEEDBACK_ACCESS_LOG_H_

@@ -1,0 +1,30 @@
+#include "feedback/simulated_user.h"
+
+#include <algorithm>
+
+#include "retrieval/metrics.h"
+
+namespace hmmm {
+
+SimulatedUser::SimulatedUser(const VideoCatalog& catalog,
+                             SimulatedUserOptions options)
+    : catalog_(catalog), options_(options), rng_(options.seed) {}
+
+std::vector<size_t> SimulatedUser::JudgePositive(
+    const TemporalPattern& pattern,
+    const std::vector<RetrievedPattern>& results) {
+  std::vector<size_t> positives;
+  const size_t inspected = std::min(options_.inspect_top_k, results.size());
+  for (size_t i = 0; i < inspected; ++i) {
+    bool relevant =
+        PatternMatchesAnnotations(catalog_, results[i].shots, pattern);
+    if (options_.judgment_noise > 0.0 &&
+        rng_.NextBernoulli(options_.judgment_noise)) {
+      relevant = !relevant;
+    }
+    if (relevant) positives.push_back(i);
+  }
+  return positives;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,47 @@
+#ifndef HMMM_FEEDBACK_SIMULATED_USER_H_
+#define HMMM_FEEDBACK_SIMULATED_USER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "query/translator.h"
+#include "retrieval/result.h"
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// Options for the simulated relevance-feedback user.
+struct SimulatedUserOptions {
+  uint64_t seed = 42;
+  /// The user inspects at most this many top-ranked results per query
+  /// (Fig. 5's result panel shows a top-k page).
+  size_t inspect_top_k = 10;
+  /// Probability of flipping any single judgment (annotator noise).
+  double judgment_noise = 0.0;
+};
+
+/// Stand-in for the human in the paper's feedback loop (Fig. 5's drop-down
+/// "mark as preferred"). The oracle judgment is annotation ground truth:
+/// a retrieved pattern is positive when each of its shots carries the
+/// events its step demands; optional noise flips judgments.
+class SimulatedUser {
+ public:
+  /// The catalog must outlive the user.
+  explicit SimulatedUser(const VideoCatalog& catalog,
+                         SimulatedUserOptions options = {});
+
+  /// Returns the indices (into `results`) of patterns the user marks
+  /// "Positive" for this query.
+  std::vector<size_t> JudgePositive(
+      const TemporalPattern& pattern,
+      const std::vector<RetrievedPattern>& results);
+
+ private:
+  const VideoCatalog& catalog_;
+  SimulatedUserOptions options_;
+  Rng rng_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_FEEDBACK_SIMULATED_USER_H_

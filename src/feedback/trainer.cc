@@ -1,0 +1,57 @@
+#include "feedback/trainer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+FeedbackTrainer::FeedbackTrainer(const VideoCatalog& catalog,
+                                 FeedbackTrainerOptions options)
+    : catalog_(catalog), options_(options) {}
+
+Status FeedbackTrainer::MarkPositive(const HierarchicalModel& model,
+                                     const RetrievedPattern& pattern) {
+  if (pattern.shots.empty()) {
+    return Status::InvalidArgument("empty pattern marked positive");
+  }
+  std::vector<int> states;
+  std::vector<VideoId> videos;
+  states.reserve(pattern.shots.size());
+  for (ShotId shot : pattern.shots) {
+    const int state = model.GlobalStateOf(shot);
+    if (state < 0) {
+      return Status::InvalidArgument(
+          StrFormat("shot %d is not an HMMM state", shot));
+    }
+    states.push_back(state);
+    const VideoId video = catalog_.shot(shot).video_id;
+    if (std::find(videos.begin(), videos.end(), video) == videos.end()) {
+      videos.push_back(video);
+    }
+  }
+  log_.RecordShotPattern(states);
+  log_.RecordVideoAccess(videos);
+  return Status::OK();
+}
+
+StatusOr<bool> FeedbackTrainer::MaybeTrain(HierarchicalModel& model,
+                                           bool force) {
+  if (!force && log_.num_feedback_events() < options_.retrain_threshold) {
+    return false;
+  }
+  if (log_.num_feedback_events() == 0) return false;
+
+  OfflineLearner learner(OfflineLearnerOptions{options_.pi_semantics});
+  HMMM_RETURN_IF_ERROR(learner.ApplyShotPatterns(model, log_.shot_patterns()));
+  HMMM_RETURN_IF_ERROR(
+      learner.ApplyVideoPatterns(model, log_.video_patterns()));
+  if (options_.relearn_feature_weights) {
+    HMMM_RETURN_IF_ERROR(learner.RelearnFeatureWeights(model, catalog_));
+  }
+  log_.Clear();
+  ++rounds_trained_;
+  return true;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,62 @@
+#ifndef HMMM_HMMM_H_
+#define HMMM_HMMM_H_
+
+/// \file
+/// Umbrella header for the HMMM library — the public API surface of this
+/// reproduction of "Video Database Modeling and Temporal Pattern Retrieval
+/// using Hierarchical Markov Model Mediator" (Zhao, Chen, Shyu; ICDE 2006).
+///
+/// Typical usage (see examples/quickstart.cc):
+///   1. synthesize or ingest an archive into a hmmm::VideoCatalog,
+///   2. build the model: hmmm::RetrievalEngine::Create(catalog),
+///   3. query: engine.Query("free_kick & goal ; corner_kick"),
+///   4. learn: hmmm::FeedbackTrainer + hmmm::SimulatedUser (or real marks).
+
+#include "api/video_database.h"
+#include "common/logging.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "core/affinity.h"
+#include "core/category_level.h"
+#include "core/generative.h"
+#include "core/pattern_mining.h"
+#include "core/hierarchical_model.h"
+#include "core/learner.h"
+#include "core/mmm.h"
+#include "core/model_builder.h"
+#include "events/decision_tree.h"
+#include "events/event_detector.h"
+#include "events/knn.h"
+#include "events/training.h"
+#include "features/extractor.h"
+#include "features/feature_schema.h"
+#include "features/normalization.h"
+#include "feedback/access_log.h"
+#include "feedback/simulated_user.h"
+#include "feedback/trainer.h"
+#include "media/event_types.h"
+#include "media/feature_level_generator.h"
+#include "media/news_generator.h"
+#include "media/soccer_generator.h"
+#include "query/matn.h"
+#include "query/parser.h"
+#include "query/translator.h"
+#include "retrieval/baseline_exhaustive.h"
+#include "retrieval/baseline_index.h"
+#include "retrieval/engine.h"
+#include "retrieval/metrics.h"
+#include "retrieval/qbe.h"
+#include "retrieval/three_level.h"
+#include "retrieval/traversal.h"
+#include "shots/boundary_detector.h"
+#include "shots/keyframe.h"
+#include "shots/segmenter.h"
+#include "storage/catalog.h"
+#include "storage/catalog_journal.h"
+#include "storage/event_index.h"
+#include "storage/model_io.h"
+#include "storage/record_log.h"
+
+#endif  // HMMM_HMMM_H_

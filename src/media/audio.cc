@@ -1,0 +1,30 @@
+#include "media/audio.h"
+
+#include <algorithm>
+
+namespace hmmm {
+
+AudioClip AudioClip::Slice(size_t begin_sample, size_t end_sample) const {
+  begin_sample = std::min(begin_sample, samples_.size());
+  end_sample = std::min(end_sample, samples_.size());
+  if (begin_sample >= end_sample) return AudioClip(sample_rate_, {});
+  return AudioClip(
+      sample_rate_,
+      std::vector<double>(samples_.begin() + static_cast<ptrdiff_t>(begin_sample),
+                          samples_.begin() + static_cast<ptrdiff_t>(end_sample)));
+}
+
+Status AudioClip::Append(const AudioClip& other) {
+  if (other.empty()) return Status::OK();
+  if (empty()) {
+    *this = other;
+    return Status::OK();
+  }
+  if (sample_rate_ != other.sample_rate_) {
+    return Status::InvalidArgument("sample rate mismatch in AudioClip::Append");
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  return Status::OK();
+}
+
+}  // namespace hmmm

@@ -1,0 +1,45 @@
+#ifndef HMMM_MEDIA_AUDIO_H_
+#define HMMM_MEDIA_AUDIO_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hmmm {
+
+/// Mono PCM audio clip, float samples nominally in [-1, 1].
+class AudioClip {
+ public:
+  AudioClip() = default;
+  AudioClip(int sample_rate, std::vector<double> samples)
+      : sample_rate_(sample_rate), samples_(std::move(samples)) {}
+
+  int sample_rate() const { return sample_rate_; }
+  const std::vector<double>& samples() const { return samples_; }
+  std::vector<double>& mutable_samples() { return samples_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Duration in seconds.
+  double duration() const {
+    return sample_rate_ > 0
+               ? static_cast<double>(samples_.size()) / sample_rate_
+               : 0.0;
+  }
+
+  /// Copies samples in the half-open window [begin_sample, end_sample),
+  /// clipped to the clip bounds.
+  AudioClip Slice(size_t begin_sample, size_t end_sample) const;
+
+  /// Appends another clip; sample rates must match (error otherwise).
+  Status Append(const AudioClip& other);
+
+ private:
+  int sample_rate_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_MEDIA_AUDIO_H_

@@ -1,0 +1,61 @@
+#include "media/event_types.h"
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+namespace {
+const std::string kInvalidName = "<invalid>";
+}  // namespace
+
+EventId EventVocabulary::Register(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const EventId id = static_cast<EventId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+StatusOr<EventId> EventVocabulary::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return Status::NotFound(StrFormat("unknown event '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+bool EventVocabulary::Contains(const std::string& name) const {
+  return ids_.count(name) > 0;
+}
+
+const std::string& EventVocabulary::Name(EventId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= names_.size()) return kInvalidName;
+  return names_[static_cast<size_t>(id)];
+}
+
+EventVocabulary SoccerEvents() {
+  EventVocabulary vocab;
+  vocab.Register(soccer::kGoal);
+  vocab.Register(soccer::kCornerKick);
+  vocab.Register(soccer::kFreeKick);
+  vocab.Register(soccer::kFoul);
+  vocab.Register(soccer::kGoalKick);
+  vocab.Register(soccer::kYellowCard);
+  vocab.Register(soccer::kRedCard);
+  vocab.Register(soccer::kPlayerChange);
+  return vocab;
+}
+
+EventVocabulary NewsEvents() {
+  EventVocabulary vocab;
+  vocab.Register("anchor");
+  vocab.Register("interview");
+  vocab.Register("field_report");
+  vocab.Register("weather");
+  vocab.Register("sports_recap");
+  vocab.Register("commercial");
+  return vocab;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,67 @@
+#ifndef HMMM_MEDIA_EVENT_TYPES_H_
+#define HMMM_MEDIA_EVENT_TYPES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hmmm {
+
+/// Identifier of a semantic event concept (a column of B2, a row of P12).
+using EventId = int;
+
+/// Registry of semantic event names <-> ids. The HMMM core is domain
+/// agnostic; vocabularies define the event set for a concrete archive
+/// (soccer, news, ...).
+class EventVocabulary {
+ public:
+  EventVocabulary() = default;
+
+  /// Registers `name`, returning its id; returns the existing id if the
+  /// name is already present.
+  EventId Register(const std::string& name);
+
+  /// Looks up the id of `name`.
+  StatusOr<EventId> Find(const std::string& name) const;
+
+  /// True if the name is registered.
+  bool Contains(const std::string& name) const;
+
+  /// Name of event `id`; "<invalid>" for out-of-range ids.
+  const std::string& Name(EventId id) const;
+
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, EventId> ids_;
+};
+
+/// Canonical soccer event names from the paper (Section 3): goal,
+/// corner_kick, free_kick, foul, goal_kick, yellow_card, red_card, plus the
+/// player_change used in the paper's example temporal query.
+namespace soccer {
+inline constexpr const char* kGoal = "goal";
+inline constexpr const char* kCornerKick = "corner_kick";
+inline constexpr const char* kFreeKick = "free_kick";
+inline constexpr const char* kFoul = "foul";
+inline constexpr const char* kGoalKick = "goal_kick";
+inline constexpr const char* kYellowCard = "yellow_card";
+inline constexpr const char* kRedCard = "red_card";
+inline constexpr const char* kPlayerChange = "player_change";
+}  // namespace soccer
+
+/// Vocabulary holding the eight soccer events above, ids in declaration
+/// order starting at 0.
+EventVocabulary SoccerEvents();
+
+/// Vocabulary for the news-archive generality demo: anchor, interview,
+/// field_report, weather, sports_recap, commercial.
+EventVocabulary NewsEvents();
+
+}  // namespace hmmm
+
+#endif  // HMMM_MEDIA_EVENT_TYPES_H_

@@ -1,0 +1,142 @@
+#include "media/feature_level_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "media/soccer_generator.h"
+
+namespace hmmm {
+
+size_t GeneratedCorpus::TotalShots() const {
+  size_t n = 0;
+  for (const auto& v : videos) n += v.shots.size();
+  return n;
+}
+
+size_t GeneratedCorpus::TotalAnnotatedShots() const {
+  size_t n = 0;
+  for (const auto& v : videos) {
+    for (const auto& s : v.shots) {
+      if (!s.events.empty()) ++n;
+    }
+  }
+  return n;
+}
+
+FeatureLevelConfig SoccerFeatureLevelDefaults(uint64_t seed) {
+  FeatureLevelConfig config;
+  config.seed = seed;
+  config.vocabulary = SoccerEvents();
+  config.transitions = SoccerVideoGenerator::EventTransitions();
+  return config;
+}
+
+FeatureLevelGenerator::FeatureLevelGenerator(FeatureLevelConfig config)
+    : config_(std::move(config)) {
+  if (config_.vocabulary.size() == 0) {
+    config_.vocabulary = SoccerEvents();
+  }
+  transitions_ = config_.transitions.empty()
+                     ? SoccerVideoGenerator::EventTransitions()
+                     : config_.transitions;
+  HMMM_CHECK(transitions_.size() == config_.vocabulary.size() + 1);
+  HMMM_CHECK(config_.num_features >= 1);
+  HMMM_CHECK(config_.informative_features >= 0 &&
+             config_.informative_features <= config_.num_features);
+
+  // Event-conditional means: informative features get a per-event mean
+  // spread around 0.5; uninformative ones share the background mean. The
+  // final row is the background (non-event play) profile.
+  const size_t num_events = config_.vocabulary.size();
+  Rng rng(config_.seed ^ 0xFEA7A7E5ull);
+  event_means_ = Matrix(num_events + 1, static_cast<size_t>(config_.num_features));
+  std::vector<double> background(static_cast<size_t>(config_.num_features));
+  for (int f = 0; f < config_.num_features; ++f) {
+    background[static_cast<size_t>(f)] = std::clamp(
+        0.5 + 0.15 * rng.NextGaussian(), 0.05, 0.95);
+  }
+  for (size_t e = 0; e <= num_events; ++e) {
+    for (int f = 0; f < config_.num_features; ++f) {
+      const bool informative = f < config_.informative_features;
+      double mean = background[static_cast<size_t>(f)];
+      if (informative && e < num_events) {
+        mean = std::clamp(
+            0.5 + config_.class_separation * 0.28 * rng.NextGaussian(), 0.02,
+            0.98);
+      }
+      event_means_.at(e, static_cast<size_t>(f)) = mean;
+    }
+  }
+}
+
+std::vector<double> FeatureLevelGenerator::SampleFeatures(
+    Rng& rng, const std::vector<EventId>& events) const {
+  const size_t background_row = config_.vocabulary.size();
+  std::vector<double> features(static_cast<size_t>(config_.num_features));
+  for (int f = 0; f < config_.num_features; ++f) {
+    double mean = 0.0;
+    if (events.empty()) {
+      mean = event_means_.at(background_row, static_cast<size_t>(f));
+    } else {
+      for (EventId e : events) {
+        mean += event_means_.at(static_cast<size_t>(e), static_cast<size_t>(f));
+      }
+      mean /= static_cast<double>(events.size());
+    }
+    // Uninformative features carry extra noise so they actively hurt a
+    // uniform-weight similarity; the learned P12 should down-weight them.
+    const bool informative = f < config_.informative_features;
+    const double noise = informative ? config_.feature_noise
+                                     : config_.feature_noise * 2.5;
+    features[static_cast<size_t>(f)] =
+        std::clamp(mean + noise * rng.NextGaussian(), 0.0, 1.0);
+  }
+  return features;
+}
+
+GeneratedCorpus FeatureLevelGenerator::Generate() const {
+  GeneratedCorpus corpus;
+  corpus.vocabulary = config_.vocabulary;
+  corpus.num_features = config_.num_features;
+
+  Rng corpus_rng(config_.seed);
+  const size_t num_events = config_.vocabulary.size();
+  for (int v = 0; v < config_.num_videos; ++v) {
+    Rng rng = corpus_rng.Fork();
+    GeneratedVideo video;
+    video.name = StrFormat("video_%04d", v);
+    const int shots = corpus_rng.NextInt(config_.min_shots_per_video,
+                                         config_.max_shots_per_video);
+    double clock = 0.0;
+    int previous_event = -1;
+    for (int s = 0; s < shots; ++s) {
+      GeneratedShot shot;
+      shot.begin_time = clock;
+      clock += std::max(0.5, rng.NextExponential(1.0 / config_.mean_shot_seconds));
+      shot.end_time = clock;
+      if (rng.NextBernoulli(config_.event_shot_fraction)) {
+        const auto& row =
+            previous_event >= 0
+                ? transitions_[static_cast<size_t>(previous_event)]
+                : transitions_.back();
+        const int event = rng.NextWeighted(row);
+        HMMM_CHECK(event >= 0 && static_cast<size_t>(event) < num_events);
+        shot.events.push_back(event);
+        if (rng.NextBernoulli(config_.double_event_probability)) {
+          const int second =
+              rng.NextWeighted(transitions_[static_cast<size_t>(event)]);
+          if (second >= 0 && second != event) shot.events.push_back(second);
+        }
+        previous_event = shot.events.front();
+      }
+      shot.features = SampleFeatures(rng, shot.events);
+      video.shots.push_back(std::move(shot));
+    }
+    corpus.videos.push_back(std::move(video));
+  }
+  return corpus;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,102 @@
+#ifndef HMMM_MEDIA_FEATURE_LEVEL_GENERATOR_H_
+#define HMMM_MEDIA_FEATURE_LEVEL_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "media/event_types.h"
+
+namespace hmmm {
+
+/// One synthesized shot at the annotation/feature level (no raster media).
+struct GeneratedShot {
+  double begin_time = 0.0;
+  double end_time = 0.0;
+  std::vector<EventId> events;     // empty => un-annotated shot
+  std::vector<double> features;    // raw (un-normalized) Table-1-like values
+};
+
+/// One synthesized video.
+struct GeneratedVideo {
+  std::string name;
+  std::vector<GeneratedShot> shots;
+};
+
+/// A whole synthesized archive, ready for VideoCatalog ingestion.
+struct GeneratedCorpus {
+  EventVocabulary vocabulary;
+  int num_features = 0;
+  std::vector<GeneratedVideo> videos;
+
+  size_t TotalShots() const;
+  size_t TotalAnnotatedShots() const;
+};
+
+/// Configuration of the fast feature-level corpus generator. Defaults
+/// reproduce the paper's corpus scale: 54 videos, ~11.5k shots, ~5% of
+/// shots annotated (paper: 506 of 11,567).
+struct FeatureLevelConfig {
+  uint64_t seed = 1;
+
+  int num_videos = 54;
+  int min_shots_per_video = 160;
+  int max_shots_per_video = 270;
+  double mean_shot_seconds = 6.0;
+
+  /// Fraction of shots carrying >= 1 event annotation.
+  double event_shot_fraction = 0.044;
+  double double_event_probability = 0.10;
+
+  int num_features = 20;
+  /// How many of the features actually separate event classes; the rest
+  /// share one background distribution (this is what the P12 learner is
+  /// supposed to discover).
+  int informative_features = 14;
+  /// Within-class feature standard deviation.
+  double feature_noise = 0.10;
+  /// Scale of between-class mean spread; larger = easier retrieval.
+  double class_separation = 1.0;
+
+  /// Event vocabulary (defaults to soccer via UseSoccerDefaults()).
+  EventVocabulary vocabulary;
+  /// Row-stochastic transitions between events, one row per event plus a
+  /// final initial-distribution row; empty => soccer defaults.
+  std::vector<std::vector<double>> transitions;
+};
+
+/// Synthesizes corpora at the annotation/feature level: per-video shot
+/// lists with event labels drawn from a Markov chain and feature vectors
+/// drawn from event-conditional Gaussians. This skips raster rendering, so
+/// paper-scale archives (tens of videos, >10k shots) build in milliseconds
+/// while exercising exactly the statistics HMMM consumes.
+class FeatureLevelGenerator {
+ public:
+  explicit FeatureLevelGenerator(FeatureLevelConfig config);
+
+  const FeatureLevelConfig& config() const { return config_; }
+
+  /// Event-conditional feature means, rows = events (+ one background row
+  /// last), cols = features. Deterministic in config.seed.
+  const Matrix& event_means() const { return event_means_; }
+
+  GeneratedCorpus Generate() const;
+
+ private:
+  std::vector<double> SampleFeatures(Rng& rng,
+                                     const std::vector<EventId>& events) const;
+
+  FeatureLevelConfig config_;
+  std::vector<std::vector<double>> transitions_;
+  Matrix event_means_;  // (num_events + 1) x num_features
+};
+
+/// Fills soccer defaults into a config: SoccerEvents() vocabulary and the
+/// SoccerVideoGenerator transition chain.
+FeatureLevelConfig SoccerFeatureLevelDefaults(uint64_t seed = 1);
+
+}  // namespace hmmm
+
+#endif  // HMMM_MEDIA_FEATURE_LEVEL_GENERATOR_H_

@@ -1,0 +1,53 @@
+#include "media/frame.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hmmm {
+
+Frame::Frame(int width, int height, Rgb fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<size_t>(width) * static_cast<size_t>(height), fill) {}
+
+void Frame::FillRect(int x0, int y0, int x1, int y1, Rgb color) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, width_);
+  y1 = std::min(y1, height_);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) at(x, y) = color;
+  }
+}
+
+double Frame::Luminance(const Rgb& p) {
+  return 0.299 * p.r + 0.587 * p.g + 0.114 * p.b;
+}
+
+double GrassRatio(const Frame& frame) {
+  if (frame.empty()) return 0.0;
+  size_t grass = 0;
+  for (const Rgb& p : frame.pixels()) {
+    // Grass: clearly dominant green with moderate brightness.
+    if (p.g > 70 && p.g > p.r + 20 && p.g > p.b + 20) ++grass;
+  }
+  return static_cast<double>(grass) / static_cast<double>(frame.pixel_count());
+}
+
+double PixelChangeFraction(const Frame& a, const Frame& b, int threshold) {
+  if (a.width() != b.width() || a.height() != b.height() || a.empty()) {
+    return 0.0;
+  }
+  size_t changed = 0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    const int dr = std::abs(static_cast<int>(pa[i].r) - pb[i].r);
+    const int dg = std::abs(static_cast<int>(pa[i].g) - pb[i].g);
+    const int db = std::abs(static_cast<int>(pa[i].b) - pb[i].b);
+    if (dr > threshold || dg > threshold || db > threshold) ++changed;
+  }
+  return static_cast<double>(changed) / static_cast<double>(pa.size());
+}
+
+}  // namespace hmmm

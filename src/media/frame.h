@@ -1,0 +1,65 @@
+#ifndef HMMM_MEDIA_FRAME_H_
+#define HMMM_MEDIA_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hmmm {
+
+/// A single RGB pixel.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  bool operator==(const Rgb&) const = default;
+};
+
+/// A raster video frame (row-major RGB, 8 bits per channel). The synthetic
+/// generator renders small frames (default 48x32) — large enough for the
+/// visual features (grass ratio, histograms, background statistics) to be
+/// meaningful, small enough to run thousands of shots quickly.
+class Frame {
+ public:
+  Frame() = default;
+  Frame(int width, int height, Rgb fill = Rgb{0, 0, 0});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+  size_t pixel_count() const { return pixels_.size(); }
+
+  Rgb& at(int x, int y) { return pixels_[static_cast<size_t>(y) * width_ + x]; }
+  const Rgb& at(int x, int y) const {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+
+  const std::vector<Rgb>& pixels() const { return pixels_; }
+  std::vector<Rgb>& mutable_pixels() { return pixels_; }
+
+  /// Fills an axis-aligned rectangle (clipped to the frame) with `color`.
+  void FillRect(int x0, int y0, int x1, int y1, Rgb color);
+
+  /// Per-pixel luminance (ITU BT.601) in [0, 255].
+  static double Luminance(const Rgb& p);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+/// Fraction of pixels in [0,1] whose colour classifies as soccer-pitch
+/// grass (dominant green channel). The basis of the paper's grass_ratio
+/// feature.
+double GrassRatio(const Frame& frame);
+
+/// Fraction of pixels whose colour differs between two equally-sized
+/// frames by more than `threshold` per channel (paper: pixel_change_percent).
+/// Returns 0 for mismatched sizes.
+double PixelChangeFraction(const Frame& a, const Frame& b, int threshold = 16);
+
+}  // namespace hmmm
+
+#endif  // HMMM_MEDIA_FRAME_H_

@@ -1,0 +1,30 @@
+#include "media/news_generator.h"
+
+namespace hmmm {
+
+FeatureLevelConfig NewsFeatureLevelDefaults(uint64_t seed) {
+  FeatureLevelConfig config;
+  config.seed = seed;
+  config.vocabulary = NewsEvents();
+  config.num_videos = 12;
+  config.min_shots_per_video = 60;
+  config.max_shots_per_video = 120;
+  config.mean_shot_seconds = 8.0;
+  config.event_shot_fraction = 0.5;  // news segments are densely annotated
+  config.double_event_probability = 0.02;
+
+  // Periodic programme structure: anchor alternates with field content.
+  //                anchor intrvw report weathr sports commcl
+  config.transitions = {
+      /*anchor*/ {0.05, 0.20, 0.40, 0.10, 0.15, 0.10},
+      /*interview*/ {0.55, 0.15, 0.15, 0.02, 0.03, 0.10},
+      /*field_report*/ {0.55, 0.15, 0.15, 0.02, 0.03, 0.10},
+      /*weather*/ {0.40, 0.02, 0.05, 0.03, 0.30, 0.20},
+      /*sports_recap*/ {0.40, 0.05, 0.05, 0.10, 0.15, 0.25},
+      /*commercial*/ {0.60, 0.05, 0.15, 0.05, 0.05, 0.10},
+      /*initial*/ {0.80, 0.02, 0.08, 0.02, 0.03, 0.05},
+  };
+  return config;
+}
+
+}  // namespace hmmm

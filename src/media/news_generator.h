@@ -1,0 +1,19 @@
+#ifndef HMMM_MEDIA_NEWS_GENERATOR_H_
+#define HMMM_MEDIA_NEWS_GENERATOR_H_
+
+#include <cstdint>
+
+#include "media/feature_level_generator.h"
+
+namespace hmmm {
+
+/// Feature-level config for a synthetic broadcast-news archive. News
+/// programmes have a strongly periodic structure (anchor -> report ->
+/// anchor -> weather ...), a different vocabulary, and denser annotations
+/// than soccer; the video-level MMM should cluster news videos apart from
+/// soccer videos when both live in one archive (the paper's §4.2.2 claim).
+FeatureLevelConfig NewsFeatureLevelDefaults(uint64_t seed = 7);
+
+}  // namespace hmmm
+
+#endif  // HMMM_MEDIA_NEWS_GENERATOR_H_

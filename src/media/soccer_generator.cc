@@ -1,0 +1,318 @@
+#include "media/soccer_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hmmm {
+
+namespace {
+
+// Event ids follow the registration order in SoccerEvents().
+constexpr EventId kGoal = 0;
+constexpr EventId kCornerKick = 1;
+constexpr EventId kFreeKick = 2;
+constexpr EventId kFoul = 3;
+constexpr EventId kGoalKick = 4;
+constexpr EventId kYellowCard = 5;
+constexpr EventId kRedCard = 6;
+constexpr EventId kPlayerChange = 7;
+constexpr int kNumSoccerEvents = 8;
+
+uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+Rgb Jitter(Rng& rng, Rgb base, double amount) {
+  return Rgb{ClampByte(base.r + rng.NextGaussian(0.0, amount)),
+             ClampByte(base.g + rng.NextGaussian(0.0, amount)),
+             ClampByte(base.b + rng.NextGaussian(0.0, amount))};
+}
+
+}  // namespace
+
+SoccerVideoGenerator::SoccerVideoGenerator(const SoccerGeneratorConfig& config)
+    : config_(config), vocabulary_(SoccerEvents()) {
+  HMMM_CHECK(config_.frame_width > 4 && config_.frame_height > 4);
+  HMMM_CHECK(config_.min_shots_per_video >= 1);
+  HMMM_CHECK(config_.max_shots_per_video >= config_.min_shots_per_video);
+  HMMM_CHECK(config_.min_frames_per_shot >= 2);
+  HMMM_CHECK(config_.max_frames_per_shot >= config_.min_frames_per_shot);
+}
+
+SoccerVideoGenerator::EventProfile SoccerVideoGenerator::ProfileFor(
+    EventId event) {
+  switch (event) {
+    case kGoal:
+      return {SceneClass::kMediumShot, 3.2, 0.95, false};
+    case kCornerKick:
+      return {SceneClass::kLongShot, 1.8, 0.55, true};
+    case kFreeKick:
+      return {SceneClass::kLongShot, 1.2, 0.45, true};
+    case kFoul:
+      return {SceneClass::kMediumShot, 2.4, 0.60, true};
+    case kGoalKick:
+      return {SceneClass::kLongShot, 0.8, 0.25, false};
+    case kYellowCard:
+      return {SceneClass::kCloseUp, 0.5, 0.40, true};
+    case kRedCard:
+      return {SceneClass::kCloseUp, 0.5, 0.70, true};
+    case kPlayerChange:
+      return {SceneClass::kCloseUp, 0.4, 0.20, false};
+    default:
+      return {SceneClass::kMediumShot, 1.0, 0.30, false};
+  }
+}
+
+std::vector<std::vector<double>> SoccerVideoGenerator::EventTransitions() {
+  // Rows: previous event (0..7); final row: initial distribution. Values
+  // encode soccer-plausible temporal structure: free kicks and corners set
+  // up goals, fouls precede free kicks and cards, goals restart play.
+  //            goal  corner free  foul  g.kick yellow red  change
+  std::vector<std::vector<double>> t = {
+      /*goal*/ {0.05, 0.15, 0.10, 0.15, 0.25, 0.05, 0.01, 0.24},
+      /*corner*/ {0.30, 0.15, 0.10, 0.15, 0.20, 0.05, 0.01, 0.04},
+      /*free*/ {0.35, 0.15, 0.08, 0.15, 0.17, 0.05, 0.01, 0.04},
+      /*foul*/ {0.04, 0.08, 0.40, 0.08, 0.10, 0.22, 0.04, 0.04},
+      /*g.kick*/ {0.08, 0.12, 0.15, 0.25, 0.15, 0.08, 0.02, 0.15},
+      /*yellow*/ {0.06, 0.10, 0.35, 0.15, 0.15, 0.05, 0.04, 0.10},
+      /*red*/ {0.05, 0.10, 0.30, 0.10, 0.15, 0.05, 0.01, 0.24},
+      /*change*/ {0.12, 0.15, 0.15, 0.18, 0.20, 0.08, 0.02, 0.10},
+      /*initial*/ {0.10, 0.15, 0.20, 0.20, 0.20, 0.08, 0.02, 0.05},
+  };
+  for (auto& row : t) {
+    double sum = 0.0;
+    for (double v : row) sum += v;
+    for (double& v : row) v /= sum;
+  }
+  return t;
+}
+
+SoccerVideoGenerator::ShotPlan SoccerVideoGenerator::PlanShot(
+    Rng& rng, int previous_event) const {
+  static const std::vector<std::vector<double>>& transitions =
+      *new std::vector<std::vector<double>>(EventTransitions());
+
+  ShotPlan plan;
+  plan.frames = rng.NextInt(config_.min_frames_per_shot,
+                            config_.max_frames_per_shot);
+  const bool has_event = rng.NextBernoulli(config_.event_shot_fraction);
+  if (has_event) {
+    const auto& row = previous_event >= 0
+                          ? transitions[static_cast<size_t>(previous_event)]
+                          : transitions.back();
+    const int event = rng.NextWeighted(row);
+    HMMM_CHECK(event >= 0 && event < kNumSoccerEvents);
+    plan.events.push_back(event);
+    if (rng.NextBernoulli(config_.double_event_probability)) {
+      // A second simultaneous annotation, e.g. "free kick" + "goal".
+      const int second = rng.NextWeighted(transitions[static_cast<size_t>(event)]);
+      if (second >= 0 && second != event) plan.events.push_back(second);
+    }
+    const EventProfile profile = ProfileFor(event);
+    plan.scene = profile.scene;
+    plan.motion = profile.motion;
+    plan.excitement = profile.excitement;
+    plan.whistle = profile.whistle;
+  } else {
+    // Generic play: wide or medium view, calm crowd.
+    plan.scene = rng.NextBernoulli(0.6) ? SceneClass::kLongShot
+                                        : SceneClass::kMediumShot;
+    plan.motion = rng.NextDouble(0.6, 1.6);
+    plan.excitement = rng.NextDouble(0.10, 0.35);
+    plan.whistle = false;
+  }
+  return plan;
+}
+
+void SoccerVideoGenerator::RenderShot(const ShotPlan& plan, Rng& rng,
+                                      SyntheticVideo& video) const {
+  const int w = config_.frame_width;
+  const int h = config_.frame_height;
+
+  // Per-shot scene parameters. A new shot re-rolls all of them, which is
+  // what makes the histogram jump at cuts (the boundary detector's signal).
+  double horizon = 0.0;  // fraction of the frame above the grass
+  Rgb grass_base{40, 150, 45};
+  Rgb upper_base{120, 120, 135};  // crowd / stands
+  switch (plan.scene) {
+    case SceneClass::kLongShot:
+      horizon = rng.NextDouble(0.10, 0.25);
+      break;
+    case SceneClass::kMediumShot:
+      horizon = rng.NextDouble(0.35, 0.50);
+      break;
+    case SceneClass::kCloseUp:
+      horizon = rng.NextDouble(0.80, 0.95);
+      upper_base = Rgb{ClampByte(rng.NextDouble(90, 220)),
+                       ClampByte(rng.NextDouble(60, 160)),
+                       ClampByte(rng.NextDouble(60, 160))};
+      break;
+    case SceneClass::kCrowd:
+      horizon = 1.0;
+      break;
+  }
+  grass_base = Jitter(rng, grass_base, 10.0);
+  const int horizon_y = static_cast<int>(horizon * h);
+
+  // Players: coloured blocks with per-shot velocities.
+  struct Player {
+    double x, y, vx, vy;
+    Rgb color;
+  };
+  const int player_count =
+      plan.scene == SceneClass::kCloseUp ? 1 : rng.NextInt(3, 6);
+  std::vector<Player> players;
+  for (int i = 0; i < player_count; ++i) {
+    players.push_back(Player{
+        rng.NextDouble(0, w), rng.NextDouble(horizon_y, h),
+        rng.NextGaussian(0.0, plan.motion), rng.NextGaussian(0.0, plan.motion * 0.4),
+        rng.NextBernoulli(0.5) ? Rgb{200, 30, 30} : Rgb{240, 240, 240}});
+  }
+  const double pan_speed = rng.NextGaussian(0.0, plan.motion * 0.6);
+  double pan = rng.NextDouble(0.0, 64.0);
+
+  for (int f = 0; f < plan.frames; ++f) {
+    Frame frame(w, h);
+    // Upper region: crowd speckle keyed on (x+pan, y) so panning moves it.
+    for (int y = 0; y < horizon_y; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const int phase =
+            static_cast<int>(x + pan) * 31 + y * 17;
+        const double n = ((phase * 2654435761u) >> 24) / 255.0;
+        frame.at(x, y) = Rgb{ClampByte(upper_base.r * (0.6 + 0.6 * n)),
+                             ClampByte(upper_base.g * (0.6 + 0.6 * n)),
+                             ClampByte(upper_base.b * (0.6 + 0.6 * n))};
+      }
+    }
+    // Grass with mowing stripes that move under camera pan.
+    for (int y = horizon_y; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const int stripe = (static_cast<int>(x + pan) / 6) % 2;
+        const double shade = stripe == 0 ? 1.0 : 0.86;
+        frame.at(x, y) = Rgb{ClampByte(grass_base.r * shade),
+                             ClampByte(grass_base.g * shade),
+                             ClampByte(grass_base.b * shade)};
+      }
+    }
+    // Players.
+    for (Player& p : players) {
+      const int size = plan.scene == SceneClass::kCloseUp
+                           ? std::max(4, h / 2)
+                           : std::max(2, h / 10);
+      const int px = static_cast<int>(p.x);
+      const int py = static_cast<int>(p.y);
+      frame.FillRect(px, py - size, px + std::max(1, size / 2), py, p.color);
+      p.x += p.vx;
+      p.y += p.vy;
+      if (p.x < 0 || p.x >= w) p.vx = -p.vx;
+      if (p.y < horizon_y || p.y >= h) p.vy = -p.vy;
+      p.x = std::clamp(p.x, 0.0, static_cast<double>(w - 1));
+      p.y = std::clamp(p.y, static_cast<double>(horizon_y),
+                       static_cast<double>(h - 1));
+    }
+    pan += pan_speed;
+    video.frames.push_back(std::move(frame));
+  }
+}
+
+void SoccerVideoGenerator::SynthesizeShotAudio(const ShotPlan& plan, Rng& rng,
+                                               AudioClip& audio) const {
+  const int rate = config_.audio_sample_rate;
+  const auto samples =
+      static_cast<size_t>(plan.frames / config_.fps * rate);
+  std::vector<double> shot_audio(samples, 0.0);
+
+  // Crowd noise: white noise through a crude one-pole lowpass, volume
+  // envelope rising with excitement (goals: crescendo over the shot).
+  double lp = 0.0;
+  for (size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(samples);
+    const double envelope =
+        0.08 + plan.excitement * (0.4 + 0.6 * t);
+    const double noise = rng.NextDouble(-1.0, 1.0);
+    lp = 0.85 * lp + 0.15 * noise;
+    shot_audio[i] = envelope * lp;
+  }
+  // Referee whistle: ~3 kHz burst in the first 150 ms with vibrato.
+  if (plan.whistle) {
+    const size_t burst = std::min(samples, static_cast<size_t>(0.15 * rate));
+    for (size_t i = 0; i < burst; ++i) {
+      const double t = static_cast<double>(i) / rate;
+      const double vibrato = 1.0 + 0.01 * std::sin(2.0 * M_PI * 40.0 * t);
+      shot_audio[i] += 0.5 * std::sin(2.0 * M_PI * 3000.0 * vibrato * t);
+    }
+  }
+  AudioClip clip(rate, std::move(shot_audio));
+  HMMM_CHECK(audio.Append(clip).ok());
+}
+
+SyntheticVideo SoccerVideoGenerator::Generate(int video_index) const {
+  Rng corpus_rng(config_.seed);
+  // Derive a per-video stream so Generate(i) is independent of other calls.
+  Rng rng(corpus_rng.NextUint64() ^
+          (static_cast<uint64_t>(video_index) * 0xA24BAED4963EE407ull +
+           0x9FB21C651E98DF25ull));
+
+  SyntheticVideo video;
+  video.name = StrFormat("soccer_%04d", video_index);
+  video.fps = config_.fps;
+  video.audio = AudioClip(config_.audio_sample_rate, {});
+
+  const int shot_count =
+      rng.NextInt(config_.min_shots_per_video, config_.max_shots_per_video);
+  int previous_event = -1;
+  int frame_cursor = 0;
+  for (int s = 0; s < shot_count; ++s) {
+    const ShotPlan plan = PlanShot(rng, previous_event);
+    ShotTruth truth;
+    truth.begin_frame = frame_cursor;
+    truth.end_frame = frame_cursor + plan.frames;
+    truth.events = plan.events;
+    truth.scene_class = static_cast<int>(plan.scene);
+    truth.dissolve_in =
+        s > 0 && rng.NextBernoulli(config_.dissolve_probability);
+    video.shots.push_back(truth);
+
+    RenderShot(plan, rng, video);
+    SynthesizeShotAudio(plan, rng, video.audio);
+
+    frame_cursor += plan.frames;
+    if (!plan.events.empty()) previous_event = plan.events.front();
+  }
+
+  // Post-pass: replace the frames around dissolve boundaries with an
+  // alpha blend between the outgoing and incoming scene (broadcast-style
+  // gradual transition). Frame indices are unchanged: the blend spans the
+  // last half of the window in the previous shot and the first half in
+  // the next.
+  for (size_t s = 1; s < video.shots.size(); ++s) {
+    if (!video.shots[s].dissolve_in) continue;
+    const int boundary = video.shots[s].begin_frame;
+    const int half = std::max(1, config_.dissolve_frames / 2);
+    const int lo = std::max(video.shots[s - 1].begin_frame, boundary - half);
+    const int hi = std::min(video.shots[s].end_frame - 1, boundary + half);
+    if (hi <= lo) continue;
+    const Frame from = video.frames[static_cast<size_t>(lo)];
+    const Frame to = video.frames[static_cast<size_t>(hi)];
+    if (from.width() != to.width() || from.height() != to.height()) continue;
+    for (int f = lo; f <= hi; ++f) {
+      const double alpha = static_cast<double>(f - lo) /
+                           static_cast<double>(hi - lo);
+      Frame& frame = video.frames[static_cast<size_t>(f)];
+      for (size_t p = 0; p < frame.pixel_count(); ++p) {
+        const Rgb& a = from.pixels()[p];
+        const Rgb& b = to.pixels()[p];
+        frame.mutable_pixels()[p] = Rgb{
+            static_cast<uint8_t>((1.0 - alpha) * a.r + alpha * b.r),
+            static_cast<uint8_t>((1.0 - alpha) * a.g + alpha * b.g),
+            static_cast<uint8_t>((1.0 - alpha) * a.b + alpha * b.b)};
+      }
+    }
+  }
+  return video;
+}
+
+}  // namespace hmmm

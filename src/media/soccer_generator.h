@@ -1,0 +1,102 @@
+#ifndef HMMM_MEDIA_SOCCER_GENERATOR_H_
+#define HMMM_MEDIA_SOCCER_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "media/video.h"
+
+namespace hmmm {
+
+/// Scene classes the renderer uses; exposed so tests can assert on the
+/// visual statistics each class produces.
+enum class SceneClass {
+  kLongShot = 0,   // wide field view, high grass ratio
+  kMediumShot = 1, // mid-field action, moderate grass ratio
+  kCloseUp = 2,    // player close-up, little grass
+  kCrowd = 3,      // stands, no grass
+};
+
+/// Configuration of the procedural soccer-broadcast generator.
+struct SoccerGeneratorConfig {
+  uint64_t seed = 1;
+
+  int frame_width = 48;
+  int frame_height = 32;
+  double fps = 25.0;
+  int audio_sample_rate = 8000;
+
+  int min_shots_per_video = 8;
+  int max_shots_per_video = 14;
+  int min_frames_per_shot = 12;
+  int max_frames_per_shot = 40;
+
+  /// Fraction of shots that carry at least one semantic event annotation
+  /// (the paper's corpus has 506 annotated of 11,567 shots in 54 videos,
+  /// i.e. ~4.4%; demos default higher so small corpora stay interesting).
+  double event_shot_fraction = 0.30;
+
+  /// Probability that an event shot carries a second simultaneous event
+  /// (e.g. "free kick" and "goal" in the paper's Section 4.2.1.1 example).
+  double double_event_probability = 0.10;
+
+  /// Probability that a shot boundary is a gradual dissolve instead of a
+  /// hard cut: the frames around the boundary are alpha-blended across
+  /// `dissolve_frames` frames (broadcast-style transition). 0 = cuts only.
+  double dissolve_probability = 0.0;
+  int dissolve_frames = 6;
+};
+
+/// Renders synthetic soccer videos: grass/crowd/close-up scenes with moving
+/// players and camera pan, plus synchronized PCM audio (crowd noise whose
+/// excitement tracks the event, referee whistles). Event occurrences follow
+/// a first-order Markov chain with soccer-plausible transitions (free kicks
+/// tend to precede goals, fouls precede cards, ...), which gives the
+/// temporal patterns HMMM is designed to retrieve.
+class SoccerVideoGenerator {
+ public:
+  explicit SoccerVideoGenerator(const SoccerGeneratorConfig& config);
+
+  const EventVocabulary& vocabulary() const { return vocabulary_; }
+  const SoccerGeneratorConfig& config() const { return config_; }
+
+  /// Generates the `video_index`-th video of the corpus. Deterministic in
+  /// (config.seed, video_index).
+  SyntheticVideo Generate(int video_index) const;
+
+  /// Visual/audio signature of an event class; exposed for tests.
+  struct EventProfile {
+    SceneClass scene;
+    double motion;      // player velocity scale, pixels/frame
+    double excitement;  // crowd volume scale in [0, 1]
+    bool whistle;       // referee whistle at shot start
+  };
+  static EventProfile ProfileFor(EventId event);
+
+  /// Row-stochastic event transition probabilities used by the Markov
+  /// chain over event annotations (index = event id; an extra last row is
+  /// the initial distribution). Exposed for tests and EXPERIMENTS.md.
+  static std::vector<std::vector<double>> EventTransitions();
+
+ private:
+  struct ShotPlan {
+    int frames;
+    SceneClass scene;
+    std::vector<EventId> events;
+    double motion;
+    double excitement;
+    bool whistle;
+  };
+
+  ShotPlan PlanShot(Rng& rng, int previous_event) const;
+  void RenderShot(const ShotPlan& plan, Rng& rng, SyntheticVideo& video) const;
+  void SynthesizeShotAudio(const ShotPlan& plan, Rng& rng,
+                           AudioClip& audio) const;
+
+  SoccerGeneratorConfig config_;
+  EventVocabulary vocabulary_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_MEDIA_SOCCER_GENERATOR_H_

@@ -1,0 +1,23 @@
+#include "media/video.h"
+
+#include <cmath>
+
+namespace hmmm {
+
+AudioClip SyntheticVideo::AudioForFrames(int begin_frame, int end_frame) const {
+  const double spf = samples_per_frame();
+  if (spf <= 0.0) return AudioClip(audio.sample_rate(), {});
+  const auto begin_sample = static_cast<size_t>(std::llround(begin_frame * spf));
+  const auto end_sample = static_cast<size_t>(std::llround(end_frame * spf));
+  return audio.Slice(begin_sample, end_sample);
+}
+
+std::vector<int> SyntheticVideo::TrueBoundaries() const {
+  std::vector<int> boundaries;
+  for (size_t i = 1; i < shots.size(); ++i) {
+    boundaries.push_back(shots[i].begin_frame);
+  }
+  return boundaries;
+}
+
+}  // namespace hmmm

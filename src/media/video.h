@@ -1,0 +1,55 @@
+#ifndef HMMM_MEDIA_VIDEO_H_
+#define HMMM_MEDIA_VIDEO_H_
+
+#include <string>
+#include <vector>
+
+#include "media/audio.h"
+#include "media/event_types.h"
+#include "media/frame.h"
+
+namespace hmmm {
+
+/// Ground-truth description of one shot inside a synthetic video: frame
+/// span, semantic events occurring in it (possibly several, possibly none),
+/// and the scene class the renderer used (useful for tests).
+struct ShotTruth {
+  int begin_frame = 0;  // inclusive
+  int end_frame = 0;    // exclusive
+  std::vector<EventId> events;
+  int scene_class = 0;  // renderer-internal view type
+  /// True when the transition *into* this shot is a gradual dissolve
+  /// rather than a hard cut (always false for the first shot).
+  bool dissolve_in = false;
+
+  int length() const { return end_frame - begin_frame; }
+};
+
+/// A fully rendered synthetic video: frames + synchronized audio + the
+/// ground truth the generator knows (true shot boundaries, true events).
+class SyntheticVideo {
+ public:
+  SyntheticVideo() = default;
+
+  std::string name;
+  double fps = 25.0;
+  std::vector<Frame> frames;
+  AudioClip audio;
+  std::vector<ShotTruth> shots;
+
+  /// Samples of audio per frame (sample_rate / fps).
+  double samples_per_frame() const {
+    return fps > 0.0 ? audio.sample_rate() / fps : 0.0;
+  }
+
+  /// Audio slice aligned with the frame span [begin_frame, end_frame).
+  AudioClip AudioForFrames(int begin_frame, int end_frame) const;
+
+  /// True shot boundary frame indices (start of every shot except the
+  /// first), the reference for boundary-detector evaluation.
+  std::vector<int> TrueBoundaries() const;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_MEDIA_VIDEO_H_

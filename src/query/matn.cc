@@ -1,0 +1,61 @@
+#include "query/matn.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+int MatnGraph::AddState() { return num_states_++; }
+
+Status MatnGraph::AddArc(int from, int to, std::vector<EventId> all_of,
+                         int max_gap) {
+  if (from < 0 || from >= num_states_ || to < 0 || to >= num_states_) {
+    return Status::OutOfRange("MATN arc endpoint out of range");
+  }
+  if (from >= to) {
+    return Status::InvalidArgument("MATN arcs must advance (from < to)");
+  }
+  if (all_of.empty()) {
+    return Status::InvalidArgument("MATN arc needs at least one event");
+  }
+  if (max_gap != -1 && max_gap < 1) {
+    return Status::InvalidArgument("MATN arc max_gap must be -1 or >= 1");
+  }
+  arcs_.push_back(MatnArc{from, to, std::move(all_of), max_gap});
+  return Status::OK();
+}
+
+std::vector<const MatnArc*> MatnGraph::ArcsFrom(int state) const {
+  std::vector<const MatnArc*> out;
+  for (const MatnArc& arc : arcs_) {
+    if (arc.from == state) out.push_back(&arc);
+  }
+  return out;
+}
+
+bool MatnGraph::IsLinearChain() const {
+  if (num_states_ < 2) return false;
+  std::vector<bool> pair_covered(static_cast<size_t>(num_states_) - 1, false);
+  for (const MatnArc& arc : arcs_) {
+    if (arc.to != arc.from + 1) return false;
+    pair_covered[static_cast<size_t>(arc.from)] = true;
+  }
+  return std::all_of(pair_covered.begin(), pair_covered.end(),
+                     [](bool covered) { return covered; });
+}
+
+std::string MatnGraph::ToString(const EventVocabulary& vocabulary) const {
+  std::string out;
+  for (const MatnArc& arc : arcs_) {
+    std::vector<std::string> names;
+    names.reserve(arc.all_of.size());
+    for (EventId e : arc.all_of) names.push_back(vocabulary.Name(e));
+    std::string label = StrJoin(names, "&");
+    if (arc.max_gap >= 0) label += StrFormat(" [gap<=%d]", arc.max_gap);
+    out += StrFormat("S%d --%s--> S%d\n", arc.from, label.c_str(), arc.to);
+  }
+  return out;
+}
+
+}  // namespace hmmm

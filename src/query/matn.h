@@ -1,0 +1,64 @@
+#ifndef HMMM_QUERY_MATN_H_
+#define HMMM_QUERY_MATN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "media/event_types.h"
+
+namespace hmmm {
+
+/// An arc of a Multimedia Augmented Transition Network. The arc is taken
+/// by a shot that exhibits *all* events in `all_of` (the paper's example
+/// of a shot annotated both "free kick" and "goal").
+struct MatnArc {
+  int from = 0;
+  int to = 0;
+  std::vector<EventId> all_of;
+  /// Temporal gap constraint: the shot matched by this arc must lie
+  /// within `max_gap` annotated shots after the previous step's shot
+  /// (1 = immediately next annotated shot); -1 = unbounded ("at some
+  /// point in time later", the paper's default temporal relation).
+  int max_gap = -1;
+};
+
+/// Query-side Multimedia Augmented Transition Network (Fig. 4; MATNs are
+/// from the authors' earlier semantic-model work [5]). For temporal
+/// pattern queries the network is a chain of states S0 -> S1 -> ... -> SC
+/// where parallel arcs between two states express alternatives.
+class MatnGraph {
+ public:
+  MatnGraph() = default;
+
+  /// Adds a state; returns its index. State 0 is the start state; the
+  /// highest-indexed state is the accepting state.
+  int AddState();
+
+  /// Adds an arc. States must exist, from < to, all_of non-empty, and
+  /// max_gap -1 (unbounded) or >= 1.
+  Status AddArc(int from, int to, std::vector<EventId> all_of,
+                int max_gap = -1);
+
+  int num_states() const { return num_states_; }
+  const std::vector<MatnArc>& arcs() const { return arcs_; }
+
+  /// Arcs leaving `state`.
+  std::vector<const MatnArc*> ArcsFrom(int state) const;
+
+  /// True if the network is a chain S0 -> S1 -> ... -> S(n-1) where every
+  /// arc advances exactly one state and every consecutive state pair has
+  /// at least one arc — the form temporal pattern queries use.
+  bool IsLinearChain() const;
+
+  /// Human-readable rendering, e.g. "S0 --free_kick&goal--> S1".
+  std::string ToString(const EventVocabulary& vocabulary) const;
+
+ private:
+  int num_states_ = 0;
+  std::vector<MatnArc> arcs_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_QUERY_MATN_H_

@@ -1,0 +1,213 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+namespace {
+
+constexpr size_t kMaxArcsPerStep = 64;
+
+enum class TokenKind { kEvent, kThen, kAnd, kOr, kLParen, kRParen, kLess, kEnd };
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+      } else if (c == ';') {
+        tokens.push_back({TokenKind::kThen, ";"});
+        ++i;
+      } else if (c == '-' && i + 1 < text_.size() && text_[i + 1] == '>') {
+        tokens.push_back({TokenKind::kThen, "->"});
+        i += 2;
+      } else if (c == '<') {
+        tokens.push_back({TokenKind::kLess, "<"});
+        ++i;
+      } else if (c == '&') {
+        tokens.push_back({TokenKind::kAnd, "&"});
+        ++i;
+      } else if (c == '|') {
+        tokens.push_back({TokenKind::kOr, "|"});
+        ++i;
+      } else if (c == '(') {
+        tokens.push_back({TokenKind::kLParen, "("});
+        ++i;
+      } else if (c == ')') {
+        tokens.push_back({TokenKind::kRParen, ")"});
+        ++i;
+      } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '_')) {
+          ++j;
+        }
+        tokens.push_back({TokenKind::kEvent, text_.substr(i, j - i)});
+        i = j;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+    }
+    tokens.push_back({TokenKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const EventVocabulary& vocabulary)
+      : tokens_(std::move(tokens)), vocabulary_(vocabulary) {}
+
+  StatusOr<MatnGraph> Parse() {
+    MatnGraph graph;
+    int previous_state = graph.AddState();
+    int pending_gap = -1;  // constraint attached to the upcoming step
+    while (true) {
+      HMMM_ASSIGN_OR_RETURN(auto step_arcs, ParseStep());
+      const int next_state = graph.AddState();
+      for (auto& all_of : step_arcs) {
+        HMMM_RETURN_IF_ERROR(graph.AddArc(previous_state, next_state,
+                                          std::move(all_of), pending_gap));
+      }
+      previous_state = next_state;
+      pending_gap = -1;
+      if (Peek().kind == TokenKind::kThen) {
+        Consume();
+        // Optional temporal gap constraint: ";<N" bounds the next step to
+        // within N annotated shots of the previous one.
+        if (Peek().kind == TokenKind::kLess) {
+          Consume();
+          HMMM_ASSIGN_OR_RETURN(pending_gap, ParseNumber());
+          if (pending_gap < 1) {
+            return Status::InvalidArgument("gap bound must be >= 1");
+          }
+        }
+        continue;
+      }
+      break;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument(
+          StrFormat("unexpected token '%s'", Peek().text.c_str()));
+    }
+    return graph;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Consume() { return tokens_[pos_++]; }
+
+  // step := term ("&" term)*; each term is a set of alternative events;
+  // the step expands to the cross product of its terms' alternatives.
+  StatusOr<std::vector<std::vector<EventId>>> ParseStep() {
+    HMMM_ASSIGN_OR_RETURN(auto first, ParseTerm());
+    std::vector<std::vector<EventId>> expansions;
+    for (EventId e : first) expansions.push_back({e});
+    while (Peek().kind == TokenKind::kAnd) {
+      Consume();
+      HMMM_ASSIGN_OR_RETURN(auto alternatives, ParseTerm());
+      std::vector<std::vector<EventId>> next;
+      for (const auto& partial : expansions) {
+        for (EventId e : alternatives) {
+          auto extended = partial;
+          extended.push_back(e);
+          next.push_back(std::move(extended));
+          if (next.size() > kMaxArcsPerStep) {
+            return Status::InvalidArgument(
+                "query step expands to too many alternatives");
+          }
+        }
+      }
+      expansions = std::move(next);
+    }
+    return expansions;
+  }
+
+  // term := EVENT | "(" EVENT ("|" EVENT)+ ")"
+  StatusOr<std::vector<EventId>> ParseTerm() {
+    if (Peek().kind == TokenKind::kLParen) {
+      Consume();
+      std::vector<EventId> alternatives;
+      HMMM_ASSIGN_OR_RETURN(EventId first, ParseEvent());
+      alternatives.push_back(first);
+      while (Peek().kind == TokenKind::kOr) {
+        Consume();
+        HMMM_ASSIGN_OR_RETURN(EventId e, ParseEvent());
+        alternatives.push_back(e);
+      }
+      if (Peek().kind != TokenKind::kRParen) {
+        return Status::InvalidArgument("expected ')' in query");
+      }
+      Consume();
+      if (alternatives.size() < 2) {
+        return Status::InvalidArgument(
+            "alternative group needs at least two events");
+      }
+      return alternatives;
+    }
+    HMMM_ASSIGN_OR_RETURN(EventId e, ParseEvent());
+    return std::vector<EventId>{e};
+  }
+
+  StatusOr<int> ParseNumber() {
+    if (Peek().kind != TokenKind::kEvent) {
+      return Status::InvalidArgument("expected a number after '<'");
+    }
+    const std::string text = Consume().text;
+    for (char c : text) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return Status::InvalidArgument(
+            StrFormat("'%s' is not a number", text.c_str()));
+      }
+    }
+    return std::atoi(text.c_str());
+  }
+
+  StatusOr<EventId> ParseEvent() {
+    if (Peek().kind != TokenKind::kEvent) {
+      return Status::InvalidArgument(
+          StrFormat("expected event name, got '%s'", Peek().text.c_str()));
+    }
+    const std::string name = Consume().text;
+    return vocabulary_.Find(name);
+  }
+
+  std::vector<Token> tokens_;
+  const EventVocabulary& vocabulary_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<MatnGraph> ParseQuery(const std::string& text,
+                               const EventVocabulary& vocabulary) {
+  if (StripWhitespace(text).empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  Lexer lexer(text);
+  HMMM_ASSIGN_OR_RETURN(auto tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), vocabulary);
+  return parser.Parse();
+}
+
+}  // namespace hmmm

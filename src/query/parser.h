@@ -1,0 +1,29 @@
+#ifndef HMMM_QUERY_PARSER_H_
+#define HMMM_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/matn.h"
+
+namespace hmmm {
+
+/// Parses the textual temporal-pattern query language into a MATN.
+///
+/// Grammar (whitespace-insensitive):
+///   pattern := step ( (";" | "->") step )*
+///   step    := term ( "&" term )*
+///   term    := EVENT | "(" EVENT ("|" EVENT)+ ")"
+///   EVENT   := [a-z0-9_]+   (must exist in the vocabulary)
+///
+/// Each step describes one shot of the anticipated pattern; "&" demands
+/// simultaneous events on one shot (the paper's "free kick & goal" shot),
+/// "(a|b)" accepts either event. The paper's Section-3 example is
+///   "free_kick & goal ; corner_kick ; player_change ; goal".
+/// A step with conjunctions of alternatives expands into the cross
+/// product of parallel MATN arcs (bounded to 64 arcs per step).
+StatusOr<MatnGraph> ParseQuery(const std::string& text,
+                               const EventVocabulary& vocabulary);
+
+}  // namespace hmmm
+
+#endif  // HMMM_QUERY_PARSER_H_

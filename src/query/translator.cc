@@ -1,0 +1,82 @@
+#include "query/translator.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "query/parser.h"
+
+namespace hmmm {
+
+std::vector<EventId> PatternStep::AllEvents() const {
+  std::vector<EventId> out;
+  for (const auto& alternative : alternatives) {
+    for (EventId e : alternative) {
+      if (std::find(out.begin(), out.end(), e) == out.end()) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+TemporalPattern TemporalPattern::FromEvents(const std::vector<EventId>& events) {
+  TemporalPattern pattern;
+  for (EventId e : events) {
+    PatternStep step;
+    step.alternatives.push_back({e});
+    pattern.steps.push_back(std::move(step));
+  }
+  return pattern;
+}
+
+std::string TemporalPattern::ToString(const EventVocabulary& vocabulary) const {
+  std::string out;
+  for (size_t j = 0; j < steps.size(); ++j) {
+    const PatternStep& step = steps[j];
+    if (j > 0) {
+      out += step.max_gap >= 0 ? StrFormat(" ;<%d ", step.max_gap) : " ; ";
+    }
+    std::vector<std::string> alternative_texts;
+    for (const auto& alternative : step.alternatives) {
+      std::vector<std::string> names;
+      for (EventId e : alternative) names.push_back(vocabulary.Name(e));
+      alternative_texts.push_back(StrJoin(names, "&"));
+    }
+    if (alternative_texts.size() == 1) {
+      out += alternative_texts[0];
+    } else {
+      out += "(" + StrJoin(alternative_texts, "|") + ")";
+    }
+  }
+  return out;
+}
+
+StatusOr<TemporalPattern> TranslateMatn(const MatnGraph& graph) {
+  if (!graph.IsLinearChain()) {
+    return Status::InvalidArgument(
+        "temporal pattern queries require a linear-chain MATN");
+  }
+  TemporalPattern pattern;
+  for (int state = 0; state + 1 < graph.num_states(); ++state) {
+    PatternStep step;
+    bool first_arc = true;
+    for (const MatnArc* arc : graph.ArcsFrom(state)) {
+      step.alternatives.push_back(arc->all_of);
+      if (first_arc) {
+        step.max_gap = arc->max_gap;
+        first_arc = false;
+      } else if (step.max_gap != arc->max_gap) {
+        return Status::InvalidArgument(
+            "parallel MATN arcs disagree on the gap bound");
+      }
+    }
+    pattern.steps.push_back(std::move(step));
+  }
+  return pattern;
+}
+
+StatusOr<TemporalPattern> CompileQuery(const std::string& text,
+                                       const EventVocabulary& vocabulary) {
+  HMMM_ASSIGN_OR_RETURN(MatnGraph graph, ParseQuery(text, vocabulary));
+  return TranslateMatn(graph);
+}
+
+}  // namespace hmmm

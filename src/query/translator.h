@@ -1,0 +1,51 @@
+#ifndef HMMM_QUERY_TRANSLATOR_H_
+#define HMMM_QUERY_TRANSLATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "query/matn.h"
+
+namespace hmmm {
+
+/// One step of a temporal pattern: the shot matched at this position must
+/// exhibit all events of one of the `alternatives` (each alternative is a
+/// conjunctive event set — one MATN arc).
+struct PatternStep {
+  std::vector<std::vector<EventId>> alternatives;
+  /// Temporal gap bound relative to the previous step, measured in
+  /// annotated shots (1 = the immediately next annotated shot); -1 =
+  /// unbounded. Ignored on the first step.
+  int max_gap = -1;
+
+  /// The union of all events mentioned by this step.
+  std::vector<EventId> AllEvents() const;
+};
+
+/// A translated temporal pattern query: the ordered event requirements
+/// R = {e1 <= e2 <= ... <= eC} of Section 5, with per-step alternatives.
+struct TemporalPattern {
+  std::vector<PatternStep> steps;
+
+  size_t size() const { return steps.size(); }
+  bool empty() const { return steps.empty(); }
+
+  /// Builds the simple linear pattern e1 ; e2 ; ... ; eC.
+  static TemporalPattern FromEvents(const std::vector<EventId>& events);
+
+  /// Rendering like "free_kick&goal ; corner_kick ; goal".
+  std::string ToString(const EventVocabulary& vocabulary) const;
+};
+
+/// The query translator of Fig. 1: converts a (linear-chain) MATN into the
+/// TemporalPattern consumed by the retrieval engine. Non-chain networks
+/// are rejected.
+StatusOr<TemporalPattern> TranslateMatn(const MatnGraph& graph);
+
+/// Convenience: parse + translate in one call.
+StatusOr<TemporalPattern> CompileQuery(const std::string& text,
+                                       const EventVocabulary& vocabulary);
+
+}  // namespace hmmm
+
+#endif  // HMMM_QUERY_TRANSLATOR_H_

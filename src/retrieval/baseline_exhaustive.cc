@@ -1,0 +1,127 @@
+#include "retrieval/baseline_exhaustive.h"
+
+#include <algorithm>
+
+namespace hmmm {
+
+namespace {
+
+/// DFS context for one video's enumeration.
+struct VideoEnumeration {
+  const HierarchicalModel* model;
+  const LocalShotModel* local;
+  const TemporalPattern* pattern;
+  const SimilarityScorer* scorer;
+  const ExhaustiveOptions* options;
+  RetrievalStats* stats;
+  size_t* tuples_budget;
+
+  std::vector<int> current_locals;
+  std::vector<double> current_weights;
+  std::vector<RetrievedPattern>* results;
+
+  void Emit(double score_sum) {
+    RetrievedPattern result;
+    result.shots.reserve(current_locals.size());
+    for (int i : current_locals) {
+      result.shots.push_back(local->states[static_cast<size_t>(i)]);
+    }
+    result.edge_weights = current_weights;
+    result.score = score_sum;
+    result.video = local->video_id;
+    results->push_back(std::move(result));
+    if (stats != nullptr) ++stats->candidates_scored;
+  }
+
+  // Extends the partial assignment at pattern position `j` with weight
+  // state (`last_weight`, `score_sum`). Returns false when the tuple
+  // budget is exhausted.
+  bool Extend(size_t j, double last_weight, double score_sum) {
+    if (j == pattern->size()) {
+      Emit(score_sum);
+      return true;
+    }
+    int n = static_cast<int>(local->num_states());
+    int first = 0;
+    if (j > 0) {
+      first = options->allow_same_shot ? current_locals.back()
+                                       : current_locals.back() + 1;
+      // Temporal gap bound relative to the previous step's shot.
+      const int max_gap = pattern->steps[j].max_gap;
+      if (max_gap >= 0) {
+        n = std::min(n, current_locals.back() + max_gap + 1);
+      }
+    }
+    for (int t = first; t < n; ++t) {
+      if (*tuples_budget == 0) {
+        if (stats != nullptr) stats->truncated = true;
+        return false;
+      }
+      --*tuples_budget;
+      if (stats != nullptr) ++stats->states_visited;
+
+      const int global =
+          model->GlobalStateOf(local->states[static_cast<size_t>(t)]);
+      const double sim = scorer->StepSimilarity(global, pattern->steps[j]);
+      double weight;
+      if (j == 0) {
+        weight = local->pi1[static_cast<size_t>(t)] * sim;  // Eq. 12
+      } else {
+        const double transition =
+            local->a1.at(static_cast<size_t>(current_locals.back()),
+                         static_cast<size_t>(t));
+        if (transition <= 0.0) continue;
+        weight = last_weight * transition * sim;  // Eq. 13
+      }
+      current_locals.push_back(t);
+      current_weights.push_back(weight);
+      const bool keep_going = Extend(j + 1, weight, score_sum + weight);
+      current_locals.pop_back();
+      current_weights.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+ExhaustiveMatcher::ExhaustiveMatcher(const HierarchicalModel& model,
+                                     const VideoCatalog& catalog,
+                                     ExhaustiveOptions options)
+    : model_(model), catalog_(catalog), options_(std::move(options)) {}
+
+StatusOr<std::vector<RetrievedPattern>> ExhaustiveMatcher::Retrieve(
+    const TemporalPattern& pattern, RetrievalStats* stats) const {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty temporal pattern");
+  }
+  SimilarityScorer scorer(model_, options_.scorer);
+  std::vector<RetrievedPattern> results;
+  size_t budget = options_.max_tuples;
+
+  for (const LocalShotModel& local : model_.locals()) {
+    if (local.num_states() < pattern.size() && !options_.allow_same_shot) {
+      continue;
+    }
+    if (local.num_states() == 0) continue;
+    if (stats != nullptr) ++stats->videos_considered;
+
+    VideoEnumeration enumeration{
+        &model_, &local,   &pattern, &scorer, &options_,
+        stats,   &budget, {},       {},      &results};
+    if (!enumeration.Extend(0, 0.0, 0.0)) break;  // budget exhausted
+  }
+
+  std::stable_sort(results.begin(), results.end(),
+                   [](const RetrievedPattern& a, const RetrievedPattern& b) {
+                     return a.score > b.score;
+                   });
+  if (results.size() > static_cast<size_t>(options_.max_results)) {
+    results.resize(static_cast<size_t>(options_.max_results));
+  }
+  if (stats != nullptr) stats->sim_evaluations = scorer.evaluations();
+  return results;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,45 @@
+#ifndef HMMM_RETRIEVAL_BASELINE_EXHAUSTIVE_H_
+#define HMMM_RETRIEVAL_BASELINE_EXHAUSTIVE_H_
+
+#include <vector>
+
+#include "retrieval/result.h"
+#include "retrieval/scorer.h"
+
+namespace hmmm {
+
+/// Options for the exhaustive baseline.
+struct ExhaustiveOptions {
+  int max_results = 20;
+  /// Safety cap on enumerated candidate tuples across the whole archive;
+  /// hitting it sets RetrievalStats::truncated.
+  size_t max_tuples = 5000000;
+  bool allow_same_shot = false;
+  ScorerOptions scorer;
+};
+
+/// Brute-force baseline: enumerates *every* temporally increasing
+/// C-tuple of annotated shots within each video, scores each with the
+/// exact same Eq. 12-15 weights as the HMMM traversal, and ranks globally.
+/// It is the quality gold standard (it cannot miss the best-scoring
+/// sequence) and the cost anti-baseline (its work grows as O(N^C) per
+/// video), which is the comparison behind the paper's "retrieve accurate
+/// patterns quickly with lower computational costs" claim.
+class ExhaustiveMatcher {
+ public:
+  ExhaustiveMatcher(const HierarchicalModel& model,
+                    const VideoCatalog& catalog,
+                    ExhaustiveOptions options = {});
+
+  StatusOr<std::vector<RetrievedPattern>> Retrieve(
+      const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
+
+ private:
+  const HierarchicalModel& model_;
+  const VideoCatalog& catalog_;
+  ExhaustiveOptions options_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_BASELINE_EXHAUSTIVE_H_

@@ -1,0 +1,147 @@
+#include "retrieval/baseline_index.h"
+
+#include <algorithm>
+
+namespace hmmm {
+
+namespace {
+
+/// True if the shot's annotations satisfy some alternative of the step.
+bool ShotMatchesStep(const ShotRecord& shot, const PatternStep& step) {
+  for (const auto& alternative : step.alternatives) {
+    bool all = true;
+    for (EventId e : alternative) {
+      if (!shot.HasEvent(e)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+IndexJoinMatcher::IndexJoinMatcher(const HierarchicalModel& model,
+                                   const VideoCatalog& catalog,
+                                   const EventIndex& index,
+                                   IndexJoinOptions options)
+    : model_(model),
+      catalog_(catalog),
+      index_(index),
+      options_(std::move(options)) {}
+
+StatusOr<std::vector<RetrievedPattern>> IndexJoinMatcher::Retrieve(
+    const TemporalPattern& pattern, RetrievalStats* stats) const {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty temporal pattern");
+  }
+  SimilarityScorer scorer(model_, options_.scorer);
+  std::vector<RetrievedPattern> results;
+  size_t budget = options_.max_tuples;
+
+  // Collect per-video posting lists for the first step via the index; the
+  // union of alternatives' first events prunes the video set.
+  std::vector<bool> video_touched(catalog_.num_videos(), false);
+  for (const auto& alternative : pattern.steps.front().alternatives) {
+    if (alternative.empty()) continue;
+    for (ShotId sid : index_.Lookup(alternative.front())) {
+      video_touched[static_cast<size_t>(catalog_.shot(sid).video_id)] = true;
+    }
+  }
+
+  for (size_t v = 0; v < catalog_.num_videos(); ++v) {
+    if (!video_touched[v]) continue;
+    const auto video = static_cast<VideoId>(v);
+    const LocalShotModel& local = model_.local(video);
+    const int n = static_cast<int>(local.num_states());
+    if (n == 0) continue;
+    if (stats != nullptr) ++stats->videos_considered;
+
+    // Per-step matching local states (exact annotation joins).
+    std::vector<std::vector<int>> step_candidates(pattern.size());
+    for (size_t j = 0; j < pattern.size(); ++j) {
+      for (int i = 0; i < n; ++i) {
+        const ShotRecord& shot =
+            catalog_.shot(local.states[static_cast<size_t>(i)]);
+        if (ShotMatchesStep(shot, pattern.steps[j])) {
+          step_candidates[j].push_back(i);
+        }
+      }
+      if (step_candidates[j].empty()) break;
+    }
+    if (std::any_of(step_candidates.begin(), step_candidates.end(),
+                    [](const std::vector<int>& c) { return c.empty(); })) {
+      continue;
+    }
+
+    // Temporally ordered join (DFS over posting lists).
+    std::vector<int> chosen;
+    std::vector<double> weights;
+    bool budget_ok = true;
+    auto dfs = [&](auto&& self, size_t j, double last_weight,
+                   double score_sum) -> void {
+      if (!budget_ok) return;
+      if (j == pattern.size()) {
+        RetrievedPattern result;
+        for (int i : chosen) {
+          result.shots.push_back(local.states[static_cast<size_t>(i)]);
+        }
+        result.edge_weights = weights;
+        result.score = score_sum;
+        result.video = video;
+        results.push_back(std::move(result));
+        if (stats != nullptr) ++stats->candidates_scored;
+        return;
+      }
+      for (int t : step_candidates[j]) {
+        if (j > 0) {
+          const int prev = chosen.back();
+          if (options_.allow_same_shot ? t < prev : t <= prev) continue;
+          const int max_gap = pattern.steps[j].max_gap;
+          if (max_gap >= 0 && t - prev > max_gap) break;  // sorted ascending
+        }
+        if (budget == 0) {
+          budget_ok = false;
+          if (stats != nullptr) stats->truncated = true;
+          return;
+        }
+        --budget;
+        if (stats != nullptr) ++stats->states_visited;
+        const int global =
+            model_.GlobalStateOf(local.states[static_cast<size_t>(t)]);
+        const double sim = scorer.StepSimilarity(global, pattern.steps[j]);
+        double weight;
+        if (j == 0) {
+          weight = local.pi1[static_cast<size_t>(t)] * sim;
+        } else {
+          const double transition = local.a1.at(
+              static_cast<size_t>(chosen.back()), static_cast<size_t>(t));
+          if (transition <= 0.0) continue;
+          weight = last_weight * transition * sim;
+        }
+        chosen.push_back(t);
+        weights.push_back(weight);
+        self(self, j + 1, weight, score_sum + weight);
+        chosen.pop_back();
+        weights.pop_back();
+        if (!budget_ok) return;
+      }
+    };
+    dfs(dfs, 0, 0.0, 0.0);
+    if (!budget_ok) break;
+  }
+
+  std::stable_sort(results.begin(), results.end(),
+                   [](const RetrievedPattern& a, const RetrievedPattern& b) {
+                     return a.score > b.score;
+                   });
+  if (results.size() > static_cast<size_t>(options_.max_results)) {
+    results.resize(static_cast<size_t>(options_.max_results));
+  }
+  if (stats != nullptr) stats->sim_evaluations = scorer.evaluations();
+  return results;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,43 @@
+#ifndef HMMM_RETRIEVAL_BASELINE_INDEX_H_
+#define HMMM_RETRIEVAL_BASELINE_INDEX_H_
+
+#include <vector>
+
+#include "retrieval/result.h"
+#include "retrieval/scorer.h"
+#include "storage/event_index.h"
+
+namespace hmmm {
+
+/// Options for the index-join baseline.
+struct IndexJoinOptions {
+  int max_results = 20;
+  size_t max_tuples = 5000000;
+  bool allow_same_shot = false;
+  ScorerOptions scorer;
+};
+
+/// ClassView-style baseline ([10] in the paper): an inverted event index
+/// provides, per video, the shots *literally annotated* with each query
+/// event; candidates are temporally ordered joins of those posting lists,
+/// scored with the same Eq. 12-15 weights for comparability. Fast on
+/// exactly-annotated archives, but blind to "similar" shots that lack the
+/// annotation — the capability HMMM's feature-space similarity adds.
+class IndexJoinMatcher {
+ public:
+  IndexJoinMatcher(const HierarchicalModel& model, const VideoCatalog& catalog,
+                   const EventIndex& index, IndexJoinOptions options = {});
+
+  StatusOr<std::vector<RetrievedPattern>> Retrieve(
+      const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
+
+ private:
+  const HierarchicalModel& model_;
+  const VideoCatalog& catalog_;
+  const EventIndex& index_;
+  IndexJoinOptions options_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_BASELINE_INDEX_H_

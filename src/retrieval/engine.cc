@@ -1,0 +1,33 @@
+#include "retrieval/engine.h"
+
+namespace hmmm {
+
+StatusOr<RetrievalEngine> RetrievalEngine::Create(
+    const VideoCatalog& catalog, ModelBuilderOptions builder_options,
+    TraversalOptions traversal_options) {
+  ModelBuilder builder(catalog, builder_options);
+  HMMM_ASSIGN_OR_RETURN(HierarchicalModel model, builder.Build());
+  return RetrievalEngine(catalog, std::move(model), traversal_options);
+}
+
+RetrievalEngine::RetrievalEngine(const VideoCatalog& catalog,
+                                 HierarchicalModel model,
+                                 TraversalOptions traversal_options)
+    : catalog_(&catalog),
+      model_(std::make_unique<HierarchicalModel>(std::move(model))),
+      traversal_options_(traversal_options) {}
+
+StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Query(
+    const std::string& text, RetrievalStats* stats) const {
+  HMMM_ASSIGN_OR_RETURN(TemporalPattern pattern,
+                        CompileQuery(text, catalog_->vocabulary()));
+  return Retrieve(pattern, stats);
+}
+
+StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Retrieve(
+    const TemporalPattern& pattern, RetrievalStats* stats) const {
+  HmmmTraversal traversal(*model_, *catalog_, traversal_options_);
+  return traversal.Retrieve(pattern, stats);
+}
+
+}  // namespace hmmm

@@ -1,0 +1,61 @@
+#ifndef HMMM_RETRIEVAL_ENGINE_H_
+#define HMMM_RETRIEVAL_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_builder.h"
+#include "retrieval/traversal.h"
+
+namespace hmmm {
+
+/// High-level facade over catalog + model + traversal: the public entry
+/// point a downstream application uses ("build the HMMM over my archive,
+/// then answer temporal pattern queries").
+class RetrievalEngine {
+ public:
+  /// Builds the engine's HMMM from the catalog. The catalog must outlive
+  /// the engine.
+  static StatusOr<RetrievalEngine> Create(const VideoCatalog& catalog,
+                                          ModelBuilderOptions builder_options = {},
+                                          TraversalOptions traversal_options = {});
+
+  /// Wraps a pre-built (e.g. deserialized or trained) model.
+  RetrievalEngine(const VideoCatalog& catalog, HierarchicalModel model,
+                  TraversalOptions traversal_options = {});
+
+  RetrievalEngine(RetrievalEngine&&) = default;
+  RetrievalEngine& operator=(RetrievalEngine&&) = default;
+
+  /// Compiles and runs a textual temporal-pattern query.
+  StatusOr<std::vector<RetrievedPattern>> Query(
+      const std::string& text, RetrievalStats* stats = nullptr) const;
+
+  /// Runs an already-translated pattern.
+  StatusOr<std::vector<RetrievedPattern>> Retrieve(
+      const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
+
+  const VideoCatalog& catalog() const { return *catalog_; }
+  const HierarchicalModel& model() const { return *model_; }
+  /// Mutable model access for the feedback trainer.
+  HierarchicalModel& mutable_model() { return *model_; }
+
+  const TraversalOptions& traversal_options() const {
+    return traversal_options_;
+  }
+  void set_traversal_options(const TraversalOptions& options) {
+    traversal_options_ = options;
+  }
+
+ private:
+  const VideoCatalog* catalog_;
+  /// unique_ptr so the engine stays movable while traversals hold stable
+  /// references.
+  std::unique_ptr<HierarchicalModel> model_;
+  TraversalOptions traversal_options_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_ENGINE_H_

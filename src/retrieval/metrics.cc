@@ -1,0 +1,175 @@
+#include "retrieval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace hmmm {
+
+namespace {
+
+/// Position of each annotated shot within its video's annotated-shot
+/// sequence (the unit temporal gap bounds are measured in).
+std::map<ShotId, int> AnnotatedPositions(const VideoCatalog& catalog,
+                                         VideoId video) {
+  std::map<ShotId, int> positions;
+  int position = 0;
+  for (ShotId sid : catalog.AnnotatedShots(video)) {
+    positions[sid] = position++;
+  }
+  return positions;
+}
+
+bool ShotSatisfiesStep(const ShotRecord& shot, const PatternStep& step) {
+  for (const auto& alternative : step.alternatives) {
+    bool all = true;
+    for (EventId e : alternative) {
+      if (!shot.HasEvent(e)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PatternMatchesAnnotations(const VideoCatalog& catalog,
+                               const std::vector<ShotId>& shots,
+                               const TemporalPattern& pattern) {
+  if (shots.size() != pattern.size()) return false;
+  for (size_t j = 0; j < shots.size(); ++j) {
+    if (shots[j] < 0 ||
+        static_cast<size_t>(shots[j]) >= catalog.num_shots()) {
+      return false;
+    }
+    if (!ShotSatisfiesStep(catalog.shot(shots[j]), pattern.steps[j])) {
+      return false;
+    }
+    // Temporal gap bound against the previous step's shot.
+    const int max_gap = pattern.steps[j].max_gap;
+    if (j > 0 && max_gap >= 0) {
+      const ShotRecord& prev = catalog.shot(shots[j - 1]);
+      const ShotRecord& curr = catalog.shot(shots[j]);
+      if (prev.video_id != curr.video_id) return false;
+      const auto positions = AnnotatedPositions(catalog, curr.video_id);
+      const auto p = positions.find(prev.id);
+      const auto c = positions.find(curr.id);
+      if (p == positions.end() || c == positions.end()) return false;
+      if (c->second - p->second > max_gap) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<ShotId>> EnumerateTrueOccurrences(
+    const VideoCatalog& catalog, const TemporalPattern& pattern,
+    size_t max_count) {
+  std::vector<std::vector<ShotId>> occurrences;
+  if (pattern.empty()) return occurrences;
+
+  for (const VideoRecord& video : catalog.videos()) {
+    const std::vector<ShotId> annotated = catalog.AnnotatedShots(video.id);
+    // Per-step matching shots within this video.
+    std::vector<std::vector<ShotId>> step_matches(pattern.size());
+    bool feasible = true;
+    for (size_t j = 0; j < pattern.size(); ++j) {
+      for (ShotId sid : annotated) {
+        if (ShotSatisfiesStep(catalog.shot(sid), pattern.steps[j])) {
+          step_matches[j].push_back(sid);
+        }
+      }
+      if (step_matches[j].empty()) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    const auto positions = AnnotatedPositions(catalog, video.id);
+    std::vector<ShotId> chosen;
+    auto dfs = [&](auto&& self, size_t j) -> bool {
+      if (occurrences.size() >= max_count) return false;
+      if (j == pattern.size()) {
+        occurrences.push_back(chosen);
+        return occurrences.size() < max_count;
+      }
+      for (ShotId sid : step_matches[j]) {
+        if (j > 0 && sid <= chosen.back()) continue;  // temporal order
+        const int max_gap = pattern.steps[j].max_gap;
+        if (j > 0 && max_gap >= 0 &&
+            positions.at(sid) - positions.at(chosen.back()) > max_gap) {
+          continue;
+        }
+        chosen.push_back(sid);
+        const bool keep_going = self(self, j + 1);
+        chosen.pop_back();
+        if (!keep_going) return false;
+      }
+      return true;
+    };
+    if (!dfs(dfs, 0)) break;
+  }
+  return occurrences;
+}
+
+RankingMetrics EvaluateRanking(const VideoCatalog& catalog,
+                               const TemporalPattern& pattern,
+                               const std::vector<RetrievedPattern>& results,
+                               size_t k) {
+  RankingMetrics metrics;
+  metrics.retrieved = results.size();
+  const auto truth = EnumerateTrueOccurrences(catalog, pattern);
+  metrics.total_relevant = truth.size();
+  std::set<std::vector<ShotId>> truth_set(truth.begin(), truth.end());
+
+  const size_t cutoff = std::min(k, results.size());
+  size_t relevant_in_cutoff = 0;
+  size_t relevant_so_far = 0;
+  double ap_sum = 0.0;
+  double dcg = 0.0;
+  std::set<std::vector<ShotId>> distinct_relevant;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const bool relevant =
+        PatternMatchesAnnotations(catalog, results[i].shots, pattern);
+    if (relevant) {
+      ++relevant_so_far;
+      ap_sum += static_cast<double>(relevant_so_far) /
+                static_cast<double>(i + 1);
+      if (truth_set.count(results[i].shots) > 0) {
+        distinct_relevant.insert(results[i].shots);
+      }
+      if (i < cutoff) {
+        ++relevant_in_cutoff;
+        dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+      }
+    }
+  }
+  metrics.relevant_retrieved = relevant_so_far;
+  metrics.precision_at_k =
+      cutoff > 0 ? static_cast<double>(relevant_in_cutoff) /
+                       static_cast<double>(cutoff)
+                 : 0.0;
+  metrics.recall =
+      metrics.total_relevant > 0
+          ? static_cast<double>(distinct_relevant.size()) /
+                static_cast<double>(metrics.total_relevant)
+          : 0.0;
+  metrics.average_precision =
+      metrics.total_relevant > 0
+          ? ap_sum / static_cast<double>(
+                         std::min(metrics.total_relevant, results.size()))
+          : 0.0;
+  double ideal_dcg = 0.0;
+  const size_t ideal_hits = std::min(cutoff, metrics.total_relevant);
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    ideal_dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  metrics.ndcg = ideal_dcg > 0.0 ? dcg / ideal_dcg : 0.0;
+  return metrics;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,47 @@
+#ifndef HMMM_RETRIEVAL_METRICS_H_
+#define HMMM_RETRIEVAL_METRICS_H_
+
+#include <vector>
+
+#include "query/translator.h"
+#include "retrieval/result.h"
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// True if each retrieved shot literally carries the annotations its
+/// pattern step demands (binary relevance judgment against ground truth).
+bool PatternMatchesAnnotations(const VideoCatalog& catalog,
+                               const std::vector<ShotId>& shots,
+                               const TemporalPattern& pattern);
+
+/// Enumerates the true occurrences of a pattern: temporally increasing
+/// in-video tuples of annotated shots whose annotations satisfy each step.
+/// Enumeration stops at `max_count` tuples (returned vector size caps
+/// there; callers treat the count as a lower bound in that case).
+std::vector<std::vector<ShotId>> EnumerateTrueOccurrences(
+    const VideoCatalog& catalog, const TemporalPattern& pattern,
+    size_t max_count = 100000);
+
+/// Standard ranking quality metrics for one query under binary relevance.
+struct RankingMetrics {
+  size_t retrieved = 0;
+  size_t relevant_retrieved = 0;
+  size_t total_relevant = 0;   // from EnumerateTrueOccurrences (may be capped)
+  double precision_at_k = 0.0; // k = min(k, retrieved)
+  double recall = 0.0;         // distinct relevant tuples found / total
+  double average_precision = 0.0;
+  double ndcg = 0.0;           // binary gains, log2 discount
+};
+
+/// Evaluates a ranked result list against annotation ground truth.
+/// `k` bounds precision@k (and the nDCG cutoff); recall counts distinct
+/// true occurrences among all returned results.
+RankingMetrics EvaluateRanking(const VideoCatalog& catalog,
+                               const TemporalPattern& pattern,
+                               const std::vector<RetrievedPattern>& results,
+                               size_t k);
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_METRICS_H_

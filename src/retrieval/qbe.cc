@@ -1,0 +1,80 @@
+#include "retrieval/qbe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hmmm {
+
+QbeMatcher::QbeMatcher(const HierarchicalModel& model, QbeOptions options)
+    : model_(model), options_(std::move(options)) {
+  if (options_.feature_subset.empty()) {
+    features_.resize(static_cast<size_t>(model_.num_features()));
+    for (size_t i = 0; i < features_.size(); ++i) {
+      features_[i] = static_cast<int>(i);
+    }
+  } else {
+    features_ = options_.feature_subset;
+    for (int f : features_) {
+      HMMM_CHECK(f >= 0 && f < model_.num_features());
+    }
+  }
+}
+
+std::vector<QbeResult> QbeMatcher::RankAgainst(
+    const std::vector<double>& normalized, int exclude_state) const {
+  const Matrix& b1 = model_.b1();
+  const bool weighted =
+      options_.weight_event >= 0 &&
+      static_cast<size_t>(options_.weight_event) < model_.p12().rows();
+  const double uniform_weight =
+      features_.empty() ? 0.0 : 1.0 / static_cast<double>(features_.size());
+
+  std::vector<QbeResult> results;
+  results.reserve(model_.num_global_states());
+  for (size_t state = 0; state < model_.num_global_states(); ++state) {
+    if (static_cast<int>(state) == exclude_state) continue;
+    double sim = 0.0;
+    for (int f : features_) {
+      const auto fy = static_cast<size_t>(f);
+      const double weight =
+          weighted ? model_.p12().at(
+                         static_cast<size_t>(options_.weight_event), fy)
+                   : uniform_weight;
+      // Eq. 14 with the query sample playing the role of the event
+      // centroid B1'.
+      const double reference = std::max(normalized[fy], options_.epsilon);
+      const double diff = std::abs(b1.at(state, fy) - normalized[fy]);
+      sim += weight * (1.0 - diff) / reference;
+    }
+    results.push_back(
+        QbeResult{model_.ShotOfGlobalState(static_cast<int>(state)), sim});
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const QbeResult& a, const QbeResult& b) {
+                     return a.similarity > b.similarity;
+                   });
+  if (results.size() > static_cast<size_t>(options_.max_results)) {
+    results.resize(static_cast<size_t>(options_.max_results));
+  }
+  return results;
+}
+
+StatusOr<std::vector<QbeResult>> QbeMatcher::Retrieve(
+    const std::vector<double>& raw_example) const {
+  HMMM_ASSIGN_OR_RETURN(auto normalized,
+                        model_.NormalizeFeatures(raw_example));
+  return RankAgainst(normalized, /*exclude_state=*/-1);
+}
+
+StatusOr<std::vector<QbeResult>> QbeMatcher::RetrieveSimilarTo(
+    ShotId shot) const {
+  const int state = model_.GlobalStateOf(shot);
+  if (state < 0) {
+    return Status::NotFound("shot is not an HMMM state");
+  }
+  return RankAgainst(model_.b1().Row(static_cast<size_t>(state)), state);
+}
+
+}  // namespace hmmm

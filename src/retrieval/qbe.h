@@ -1,0 +1,60 @@
+#ifndef HMMM_RETRIEVAL_QBE_H_
+#define HMMM_RETRIEVAL_QBE_H_
+
+#include <vector>
+
+#include "core/hierarchical_model.h"
+#include "retrieval/scorer.h"
+
+namespace hmmm {
+
+/// A query-by-example result: one shot with its similarity to the query
+/// sample.
+struct QbeResult {
+  ShotId shot = -1;
+  double similarity = 0.0;
+};
+
+/// Options for query-by-example retrieval.
+struct QbeOptions {
+  int max_results = 20;
+  /// Restrict to these features (the paper's "K non-zero features of the
+  /// query sample", 1 <= K <= 20); empty = all.
+  std::vector<int> feature_subset;
+  /// Weight features with this event's learned P12 row; -1 = uniform.
+  EventId weight_event = -1;
+  /// Guard for near-zero query feature values in the Eq.-14 denominator.
+  double epsilon = 1e-3;
+};
+
+/// Query-by-example over the HMMM shot states: ranks annotated shots by
+/// the Eq.-14 similarity between their B1 rows and a raw example feature
+/// vector (normalized with the model's stored Eq.-3 parameters). This is
+/// the content-based retrieval mode of the authors' earlier MMM work
+/// ([15]) exposed through the same model — useful when the user has an
+/// example shot instead of an event pattern.
+class QbeMatcher {
+ public:
+  /// Model must outlive the matcher.
+  explicit QbeMatcher(const HierarchicalModel& model, QbeOptions options = {});
+
+  /// Ranks states against a *raw* (un-normalized) example feature vector.
+  StatusOr<std::vector<QbeResult>> Retrieve(
+      const std::vector<double>& raw_example) const;
+
+  /// Ranks states against an existing state's features ("more like this
+  /// shot"); the probe itself is excluded from the results.
+  StatusOr<std::vector<QbeResult>> RetrieveSimilarTo(ShotId shot) const;
+
+ private:
+  std::vector<QbeResult> RankAgainst(const std::vector<double>& normalized,
+                                     int exclude_state) const;
+
+  const HierarchicalModel& model_;
+  QbeOptions options_;
+  std::vector<int> features_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_QBE_H_

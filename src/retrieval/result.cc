@@ -1,0 +1,27 @@
+#include "retrieval/result.h"
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+std::string RetrievedPattern::ToString(const VideoCatalog& catalog) const {
+  std::string shot_list;
+  for (size_t i = 0; i < shots.size(); ++i) {
+    if (i > 0) shot_list += " ";
+    const ShotRecord& shot = catalog.shot(shots[i]);
+    shot_list += StrFormat("%s/s%d", catalog.video(shot.video_id).name.c_str(),
+                           shot.index_in_video);
+    if (!shot.events.empty()) {
+      shot_list += "(";
+      for (size_t e = 0; e < shot.events.size(); ++e) {
+        if (e > 0) shot_list += ",";
+        shot_list += catalog.vocabulary().Name(shot.events[e]);
+      }
+      shot_list += ")";
+    }
+  }
+  return StrFormat("[%s] score=%.6g%s", shot_list.c_str(), score,
+                   crosses_videos ? " (cross-video)" : "");
+}
+
+}  // namespace hmmm

@@ -1,0 +1,37 @@
+#ifndef HMMM_RETRIEVAL_RESULT_H_
+#define HMMM_RETRIEVAL_RESULT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// One retrieved candidate shot sequence Q_k = {s_1, ..., s_C} with its
+/// edge weights and final similarity score SS(R, Q_k) (Eqs. 12-15).
+struct RetrievedPattern {
+  std::vector<ShotId> shots;
+  std::vector<double> edge_weights;  // w_j per step
+  double score = 0.0;                // SS = sum_j w_j
+  VideoId video = -1;                // video of the first shot
+  bool crosses_videos = false;
+
+  /// "v3[s12 s15] score=0.0123" style rendering for result tables.
+  std::string ToString(const VideoCatalog& catalog) const;
+};
+
+/// Cost accounting reported by all matchers, the basis of the paper's
+/// "lower computational costs" comparison.
+struct RetrievalStats {
+  size_t videos_considered = 0;
+  size_t states_visited = 0;       // lattice node expansions / tuples seen
+  size_t sim_evaluations = 0;      // Eq.-14 evaluations
+  size_t candidates_scored = 0;    // complete candidate sequences
+  bool truncated = false;          // an enumeration cap was hit
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_RESULT_H_

@@ -1,0 +1,60 @@
+#include "retrieval/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hmmm {
+
+SimilarityScorer::SimilarityScorer(const HierarchicalModel& model,
+                                   ScorerOptions options)
+    : model_(model), options_(std::move(options)) {
+  if (options_.feature_subset.empty()) {
+    features_.resize(static_cast<size_t>(model_.num_features()));
+    for (size_t i = 0; i < features_.size(); ++i) {
+      features_[i] = static_cast<int>(i);
+    }
+  } else {
+    features_ = options_.feature_subset;
+    for (int f : features_) {
+      HMMM_CHECK(f >= 0 && f < model_.num_features());
+    }
+  }
+}
+
+double SimilarityScorer::EventSimilarity(int global_state,
+                                         EventId event) const {
+  ++evaluations_;
+  const auto state = static_cast<size_t>(global_state);
+  const auto e = static_cast<size_t>(event);
+  double sim = 0.0;
+  for (int f : features_) {
+    const auto fy = static_cast<size_t>(f);
+    const double centroid =
+        std::max(model_.b1_prime().at(e, fy), options_.centroid_epsilon);
+    const double diff =
+        std::abs(model_.b1().at(state, fy) - model_.b1_prime().at(e, fy));
+    sim += model_.p12().at(e, fy) * (1.0 - diff) / centroid;
+  }
+  return sim;
+}
+
+double SimilarityScorer::StepSimilarity(int global_state,
+                                        const PatternStep& step) const {
+  double best = 0.0;
+  bool first = true;
+  for (const auto& alternative : step.alternatives) {
+    if (alternative.empty()) continue;
+    double sum = 0.0;
+    for (EventId e : alternative) sum += EventSimilarity(global_state, e);
+    const double mean = sum / static_cast<double>(alternative.size());
+    if (first || mean > best) {
+      best = mean;
+      first = false;
+    }
+  }
+  return first ? 0.0 : best;
+}
+
+}  // namespace hmmm

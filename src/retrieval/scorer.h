@@ -1,0 +1,52 @@
+#ifndef HMMM_RETRIEVAL_SCORER_H_
+#define HMMM_RETRIEVAL_SCORER_H_
+
+#include <vector>
+
+#include "core/hierarchical_model.h"
+#include "query/translator.h"
+
+namespace hmmm {
+
+/// Options for the Eq.-14 similarity function.
+struct ScorerOptions {
+  /// Guard for the division by B1'(e_j, f_y): centroids below this are
+  /// clamped (Eq. 14 is undefined at zero centroids; DESIGN.md §5).
+  double centroid_epsilon = 1e-3;
+  /// Restrict the evaluation to these feature indices (the paper's
+  /// "non-zero features of the query sample", 1 <= K <= 20). Empty = all.
+  std::vector<int> feature_subset;
+};
+
+/// Implements the similarity of Eq. 14:
+///   sim(s, e) = sum_y P12(e, f_y) * (1 - |B1(s,f_y) - B1'(e,f_y)|) / B1'(e,f_y)
+/// plus the step-level extension for compound query steps: a conjunctive
+/// arc scores the mean of its events' similarities, and a step scores its
+/// best alternative arc.
+class SimilarityScorer {
+ public:
+  /// The model must outlive the scorer.
+  explicit SimilarityScorer(const HierarchicalModel& model,
+                            ScorerOptions options = {});
+
+  /// Eq. 14 for one global state and one event.
+  double EventSimilarity(int global_state, EventId event) const;
+
+  /// Similarity of a state to a compound pattern step.
+  double StepSimilarity(int global_state, const PatternStep& step) const;
+
+  /// Number of sim() evaluations performed so far (cost accounting for
+  /// the benchmarks).
+  size_t evaluations() const { return evaluations_; }
+  void ResetEvaluationCount() { evaluations_ = 0; }
+
+ private:
+  const HierarchicalModel& model_;
+  ScorerOptions options_;
+  std::vector<int> features_;  // resolved feature index list
+  mutable size_t evaluations_ = 0;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_SCORER_H_

@@ -1,0 +1,95 @@
+#include "retrieval/three_level.h"
+
+#include <algorithm>
+
+namespace hmmm {
+
+ThreeLevelTraversal::ThreeLevelTraversal(const HierarchicalModel& model,
+                                         const VideoCatalog& catalog,
+                                         const CategoryLevel& categories,
+                                         TraversalOptions options)
+    : model_(model),
+      categories_(categories),
+      traversal_(model, catalog, options) {}
+
+std::vector<VideoId> ThreeLevelTraversal::PrunedVideoOrder(
+    const TemporalPattern& pattern) const {
+  std::vector<VideoId> order;
+  if (pattern.empty() || categories_.num_clusters() == 0) return order;
+
+  // Level-3 Step 2: which clusters contain a first-step event?
+  const std::vector<EventId> first_events =
+      pattern.steps.front().AllEvents();
+  std::vector<int> containing;
+  for (size_t c = 0; c < categories_.num_clusters(); ++c) {
+    for (EventId e : first_events) {
+      if (categories_.ClusterContainsEvent(static_cast<int>(c), e)) {
+        containing.push_back(static_cast<int>(c));
+        break;
+      }
+    }
+  }
+  if (containing.empty()) {
+    // Degenerate archive: fall back to the 2-level order over all videos.
+    return traversal_.VideoOrder(pattern);
+  }
+
+  // Seed with the highest-Pi3 containing cluster, chain by A3 affinity.
+  std::vector<bool> visited(categories_.num_clusters(), false);
+  std::vector<int> cluster_order;
+  int previous = -1;
+  while (cluster_order.size() < containing.size()) {
+    int best = -1;
+    double best_score = -1.0;
+    for (int c : containing) {
+      if (visited[static_cast<size_t>(c)]) continue;
+      const double score =
+          previous < 0 ? categories_.pi3()[static_cast<size_t>(c)]
+                       : categories_.a3().at(static_cast<size_t>(previous),
+                                             static_cast<size_t>(c));
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    if (best < 0) break;
+    visited[static_cast<size_t>(best)] = true;
+    cluster_order.push_back(best);
+    previous = best;
+  }
+
+  // Within each cluster, order member videos by the 2-level heuristic:
+  // videos containing a first-step event first, then by Pi2.
+  const auto members = categories_.VideosByCluster();
+  for (int cluster : cluster_order) {
+    std::vector<VideoId> videos = members[static_cast<size_t>(cluster)];
+    std::stable_sort(videos.begin(), videos.end(), [&](VideoId a, VideoId b) {
+      auto contains = [&](VideoId v) {
+        for (EventId e : first_events) {
+          if (model_.b2().at(static_cast<size_t>(v), static_cast<size_t>(e)) >
+              0.0) {
+            return 1;
+          }
+        }
+        return 0;
+      };
+      const int ca = contains(a), cb = contains(b);
+      if (ca != cb) return ca > cb;
+      return model_.pi2()[static_cast<size_t>(a)] >
+             model_.pi2()[static_cast<size_t>(b)];
+    });
+    order.insert(order.end(), videos.begin(), videos.end());
+  }
+  return order;
+}
+
+StatusOr<std::vector<RetrievedPattern>> ThreeLevelTraversal::Retrieve(
+    const TemporalPattern& pattern, RetrievalStats* stats) const {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty temporal pattern");
+  }
+  return traversal_.RetrieveWithVideoOrder(pattern, PrunedVideoOrder(pattern),
+                                           stats);
+}
+
+}  // namespace hmmm

@@ -1,0 +1,42 @@
+#ifndef HMMM_RETRIEVAL_THREE_LEVEL_H_
+#define HMMM_RETRIEVAL_THREE_LEVEL_H_
+
+#include <vector>
+
+#include "core/category_level.h"
+#include "retrieval/traversal.h"
+
+namespace hmmm {
+
+/// Temporal pattern retrieval over a d=3 HMMM: the category level (S3)
+/// prunes the Step-2 video scan. Only the videos of clusters whose B3
+/// signature contains a first-step event are traversed — the multi-level
+/// generalization Definition 1 allows, applied as ClassView-style ([10])
+/// hierarchical pruning on top of the 2-level engine.
+class ThreeLevelTraversal {
+ public:
+  /// All references must outlive the traversal.
+  ThreeLevelTraversal(const HierarchicalModel& model,
+                      const VideoCatalog& catalog,
+                      const CategoryLevel& categories,
+                      TraversalOptions options = {});
+
+  /// Runs the pruned retrieval; results sorted by descending SS.
+  StatusOr<std::vector<RetrievedPattern>> Retrieve(
+      const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
+
+  /// The pruned video visiting order: clusters containing a first-step
+  /// event (ordered by Pi3 then A3 chaining), their member videos
+  /// in-cluster; videos of non-containing clusters are skipped entirely.
+  /// Falls back to all videos when no cluster contains the event.
+  std::vector<VideoId> PrunedVideoOrder(const TemporalPattern& pattern) const;
+
+ private:
+  const HierarchicalModel& model_;
+  const CategoryLevel& categories_;
+  HmmmTraversal traversal_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_THREE_LEVEL_H_

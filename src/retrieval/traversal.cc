@@ -1,0 +1,342 @@
+#include "retrieval/traversal.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hmmm {
+
+HmmmTraversal::HmmmTraversal(const HierarchicalModel& model,
+                             const VideoCatalog& catalog,
+                             TraversalOptions options)
+    : model_(model), catalog_(catalog), options_(std::move(options)) {
+  HMMM_CHECK(options_.beam_width >= 1);
+  HMMM_CHECK(options_.max_results >= 1);
+}
+
+bool HmmmTraversal::VideoContainsStep(VideoId v, const PatternStep& step) const {
+  // Step 2: check matrix B2 for a video containing the anticipated event.
+  // A step with alternatives is containable if any conjunctive alternative
+  // is fully present.
+  for (const auto& alternative : step.alternatives) {
+    bool all_present = true;
+    for (EventId e : alternative) {
+      if (model_.b2().at(static_cast<size_t>(v), static_cast<size_t>(e)) <=
+          0.0) {
+        all_present = false;
+        break;
+      }
+    }
+    if (all_present) return true;
+  }
+  return false;
+}
+
+bool HmmmTraversal::ShotAnnotatedForStep(ShotId shot,
+                                         const PatternStep& step) const {
+  const ShotRecord& record = catalog_.shot(shot);
+  for (const auto& alternative : step.alternatives) {
+    bool all = true;
+    for (EventId e : alternative) {
+      if (!record.HasEvent(e)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+std::vector<int> HmmmTraversal::CandidateStates(const LocalShotModel& local,
+                                                int first, int last,
+                                                const PatternStep& step) const {
+  const int n = std::min(static_cast<int>(local.num_states()), last + 1);
+  std::vector<int> all;
+  std::vector<int> annotated;
+  for (int t = first; t < n; ++t) {
+    all.push_back(t);
+    if (options_.annotated_first &&
+        ShotAnnotatedForStep(local.states[static_cast<size_t>(t)], step)) {
+      annotated.push_back(t);
+    }
+  }
+  // Step 3: prefer shots annotated as e_j; fall back to "similar" shots.
+  if (!annotated.empty()) return annotated;
+  return all;
+}
+
+std::vector<VideoId> HmmmTraversal::VideoOrder(
+    const TemporalPattern& pattern) const {
+  const size_t m = model_.num_videos();
+  std::vector<VideoId> order;
+  if (m == 0 || pattern.empty()) return order;
+
+  std::vector<bool> visited(m, false);
+  std::vector<VideoId> containing;
+  for (size_t v = 0; v < m; ++v) {
+    if (VideoContainsStep(static_cast<VideoId>(v), pattern.steps.front())) {
+      containing.push_back(static_cast<VideoId>(v));
+    }
+  }
+  // Seed with the highest-Pi2 containing video, then chain by A2 affinity
+  // with the previously chosen video (Step 2: "close affinity relationship
+  // with the previous video").
+  VideoId previous = -1;
+  for (size_t picked = 0; picked < containing.size(); ++picked) {
+    VideoId best = -1;
+    double best_score = -1.0;
+    for (VideoId v : containing) {
+      if (visited[static_cast<size_t>(v)]) continue;
+      const double score =
+          previous < 0
+              ? model_.pi2()[static_cast<size_t>(v)]
+              : model_.a2().at(static_cast<size_t>(previous),
+                               static_cast<size_t>(v));
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    if (best < 0) break;
+    visited[static_cast<size_t>(best)] = true;
+    order.push_back(best);
+    previous = best;
+  }
+  // Step 7 walks all M videos; the ones without e_1 come last (they can
+  // still host "similar" shots).
+  std::vector<VideoId> rest;
+  for (size_t v = 0; v < m; ++v) {
+    if (!visited[v]) rest.push_back(static_cast<VideoId>(v));
+  }
+  std::stable_sort(rest.begin(), rest.end(), [&](VideoId a, VideoId b) {
+    return model_.pi2()[static_cast<size_t>(a)] >
+           model_.pi2()[static_cast<size_t>(b)];
+  });
+  order.insert(order.end(), rest.begin(), rest.end());
+  return order;
+}
+
+std::vector<HmmmTraversal::Path> HmmmTraversal::ExpandWithinVideo(
+    const Path& path, const PatternStep& step, const SimilarityScorer& scorer,
+    RetrievalStats* stats) const {
+  std::vector<Path> expansions;
+  const LocalShotModel& local = model_.local(path.current_video);
+  const int n = static_cast<int>(local.num_states());
+  if (n == 0) return expansions;
+
+  const int current_global = path.states.back();
+  const ShotId current_shot = model_.ShotOfGlobalState(current_global);
+  // Local index of the current state within its video.
+  int current_local = -1;
+  for (int i = 0; i < n; ++i) {
+    if (local.states[static_cast<size_t>(i)] == current_shot) {
+      current_local = i;
+      break;
+    }
+  }
+  HMMM_CHECK(current_local >= 0);
+
+  const int first_next = options_.allow_same_shot ? current_local
+                                                  : current_local + 1;
+  // Temporal gap bound: the next shot must lie within max_gap annotated
+  // shots of the current one.
+  const int last_next =
+      step.max_gap >= 0 ? current_local + step.max_gap : n - 1;
+  for (int t : CandidateStates(local, first_next, last_next, step)) {
+    const double transition =
+        local.a1.at(static_cast<size_t>(current_local), static_cast<size_t>(t));
+    if (transition <= 0.0) continue;
+    const int next_global =
+        model_.GlobalStateOf(local.states[static_cast<size_t>(t)]);
+    const double sim = scorer.StepSimilarity(next_global, step);
+    const double weight = path.last_weight * transition * sim;  // Eq. 13
+    if (stats != nullptr) ++stats->states_visited;
+
+    Path extended = path;
+    extended.states.push_back(next_global);
+    extended.edge_weights.push_back(weight);
+    extended.last_weight = weight;
+    extended.score_sum += weight;
+    expansions.push_back(std::move(extended));
+  }
+  return expansions;
+}
+
+std::vector<HmmmTraversal::Path> HmmmTraversal::ExpandCrossVideo(
+    const Path& path, const PatternStep& step, const SimilarityScorer& scorer,
+    RetrievalStats* stats) const {
+  std::vector<Path> expansions;
+  const size_t m = model_.num_videos();
+  // Rank candidate next videos by A2 affinity from the current one,
+  // preferring videos that contain the anticipated event (Fig. 3's
+  // higher-level hand-over).
+  std::vector<VideoId> candidates;
+  for (size_t v = 0; v < m; ++v) {
+    const auto video = static_cast<VideoId>(v);
+    if (video == path.current_video) continue;
+    if (model_.local(video).num_states() == 0) continue;
+    if (!VideoContainsStep(video, step)) continue;
+    candidates.push_back(video);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](VideoId a, VideoId b) {
+                     const auto from = static_cast<size_t>(path.current_video);
+                     return model_.a2().at(from, static_cast<size_t>(a)) >
+                            model_.a2().at(from, static_cast<size_t>(b));
+                   });
+  if (candidates.size() > static_cast<size_t>(options_.beam_width)) {
+    candidates.resize(static_cast<size_t>(options_.beam_width));
+  }
+
+  for (VideoId video : candidates) {
+    const LocalShotModel& local = model_.local(video);
+    const double hop = model_.a2().at(static_cast<size_t>(path.current_video),
+                                      static_cast<size_t>(video));
+    for (int ti : CandidateStates(local, 0,
+                                  static_cast<int>(local.num_states()) - 1,
+                                  step)) {
+      const auto t = static_cast<size_t>(ti);
+      const int next_global = model_.GlobalStateOf(local.states[t]);
+      const double sim = scorer.StepSimilarity(next_global, step);
+      const double weight = path.last_weight * hop * local.pi1[t] * sim;
+      if (stats != nullptr) ++stats->states_visited;
+
+      Path extended = path;
+      extended.states.push_back(next_global);
+      extended.edge_weights.push_back(weight);
+      extended.last_weight = weight;
+      extended.score_sum += weight;
+      extended.crossed_video = true;
+      extended.current_video = video;
+      expansions.push_back(std::move(extended));
+    }
+  }
+  return expansions;
+}
+
+StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::Retrieve(
+    const TemporalPattern& pattern, RetrievalStats* stats) const {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty temporal pattern");
+  }
+  return RetrieveWithVideoOrder(pattern, VideoOrder(pattern), stats);
+}
+
+StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
+    const TemporalPattern& pattern, const std::vector<VideoId>& video_order,
+    RetrievalStats* stats) const {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty temporal pattern");
+  }
+  for (const PatternStep& step : pattern.steps) {
+    if (step.alternatives.empty()) {
+      return Status::InvalidArgument("pattern step without alternatives");
+    }
+    for (const auto& alternative : step.alternatives) {
+      for (EventId e : alternative) {
+        if (e < 0 || static_cast<size_t>(e) >= model_.vocabulary().size()) {
+          return Status::InvalidArgument("pattern references unknown event");
+        }
+      }
+    }
+  }
+  for (VideoId video : video_order) {
+    if (video < 0 || static_cast<size_t>(video) >= model_.num_videos()) {
+      return Status::OutOfRange("video order references unknown video");
+    }
+  }
+
+  SimilarityScorer scorer(model_, options_.scorer);
+  std::vector<RetrievedPattern> candidates;
+  std::vector<VideoId> order = video_order;
+  if (options_.max_videos >= 0 &&
+      order.size() > static_cast<size_t>(options_.max_videos)) {
+    order.resize(static_cast<size_t>(options_.max_videos));
+  }
+
+  const auto beam = static_cast<size_t>(options_.beam_width);
+  for (VideoId video : order) {
+    const LocalShotModel& local = model_.local(video);
+    if (local.num_states() == 0) continue;
+    if (stats != nullptr) ++stats->videos_considered;
+
+    // Step 4 (j = 1): w1 = Pi1(s1) * sim(s1, e1)  (Eq. 12).
+    std::vector<Path> beam_paths;
+    for (int ii : CandidateStates(local, 0,
+                                  static_cast<int>(local.num_states()) - 1,
+                                  pattern.steps.front())) {
+      const auto i = static_cast<size_t>(ii);
+      const int global = model_.GlobalStateOf(local.states[i]);
+      const double weight =
+          local.pi1[i] * scorer.StepSimilarity(global, pattern.steps.front());
+      if (stats != nullptr) ++stats->states_visited;
+      Path path;
+      path.states = {global};
+      path.edge_weights = {weight};
+      path.last_weight = weight;
+      path.score_sum = weight;
+      path.current_video = video;
+      beam_paths.push_back(std::move(path));
+    }
+    std::stable_sort(beam_paths.begin(), beam_paths.end(),
+                     [](const Path& a, const Path& b) {
+                       return a.last_weight > b.last_weight;
+                     });
+    if (beam_paths.size() > beam) beam_paths.resize(beam);
+
+    // Steps 3-5: extend through the remaining events of the pattern.
+    for (size_t j = 1; j < pattern.size() && !beam_paths.empty(); ++j) {
+      std::vector<Path> expansions;
+      for (const Path& path : beam_paths) {
+        std::vector<Path> within =
+            ExpandWithinVideo(path, pattern.steps[j], scorer, stats);
+        // A finite gap bound implies same-video continuation: the gap is
+        // measured in annotated-shot positions, which another video's
+        // timeline cannot satisfy.
+        if (within.empty() && options_.cross_video &&
+            pattern.steps[j].max_gap < 0) {
+          within = ExpandCrossVideo(path, pattern.steps[j], scorer, stats);
+        }
+        for (Path& p : within) expansions.push_back(std::move(p));
+      }
+      std::stable_sort(expansions.begin(), expansions.end(),
+                       [](const Path& a, const Path& b) {
+                         return a.last_weight > b.last_weight;
+                       });
+      if (expansions.size() > beam) expansions.resize(beam);
+      beam_paths = std::move(expansions);
+    }
+    if (beam_paths.empty()) continue;
+
+    // Step 6: SS(R, Q_k) = sum_j w_j (Eq. 15); keep the video's best path.
+    const Path* best = &beam_paths.front();
+    for (const Path& p : beam_paths) {
+      if (p.score_sum > best->score_sum) best = &p;
+    }
+    RetrievedPattern result;
+    result.shots.reserve(best->states.size());
+    for (int state : best->states) {
+      result.shots.push_back(model_.ShotOfGlobalState(state));
+    }
+    result.edge_weights = best->edge_weights;
+    result.score = best->score_sum;
+    result.video = video;
+    result.crosses_videos = best->crossed_video;
+    candidates.push_back(std::move(result));
+    if (stats != nullptr) ++stats->candidates_scored;
+  }
+
+  // Steps 8-9: rank by similarity score.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const RetrievedPattern& a, const RetrievedPattern& b) {
+                     return a.score > b.score;
+                   });
+  if (candidates.size() > static_cast<size_t>(options_.max_results)) {
+    candidates.resize(static_cast<size_t>(options_.max_results));
+  }
+  if (stats != nullptr) stats->sim_evaluations = scorer.evaluations();
+  return candidates;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,101 @@
+#ifndef HMMM_RETRIEVAL_TRAVERSAL_H_
+#define HMMM_RETRIEVAL_TRAVERSAL_H_
+
+#include <vector>
+
+#include "retrieval/result.h"
+#include "retrieval/scorer.h"
+
+namespace hmmm {
+
+/// Options for the HMMM lattice traversal.
+struct TraversalOptions {
+  /// Number of alternative paths kept per hop. 1 reproduces the paper's
+  /// greedy "always traverse the most optimal path"; larger beams trade
+  /// cost for recall (ablated in bench_fig3_lattice).
+  int beam_width = 1;
+  /// Maximum ranked results returned (Step 8/9).
+  int max_results = 20;
+  /// Allow one shot to serve two consecutive steps (the paper permits
+  /// T_m <= T_n; default requires strictly later shots).
+  bool allow_same_shot = false;
+  /// Continue a pattern into an affine next video when the current video
+  /// runs out of shots (Fig. 3's video hand-over), instead of failing the
+  /// candidate.
+  bool cross_video = false;
+  /// Consider at most this many videos (Step 7 loops all M; -1 = all).
+  int max_videos = -1;
+  /// Step 3 of the flowchart looks for "the specified video shot which is
+  /// annotated as event e_j or similar to event e_j": when true (default),
+  /// each hop restricts its candidates to shots literally annotated with
+  /// the step's events whenever any exist, falling back to pure Eq.-14
+  /// similarity over all shots otherwise. false = similarity only.
+  bool annotated_first = true;
+  ScorerOptions scorer;
+};
+
+/// The temporal pattern retrieval process of Section 5 (Steps 1-9),
+/// generalized from greedy to beam search:
+///   Step 2 walks videos ordered by B2 containment of e_1 and A2 affinity
+///   to the previously visited video; Steps 3-5 walk each video's lattice
+///   (Fig. 3) scoring hops with Eqs. 12-14; Step 6 computes SS (Eq. 15);
+///   Steps 7-9 rank the per-video candidates.
+class HmmmTraversal {
+ public:
+  /// Model and catalog must outlive the traversal.
+  HmmmTraversal(const HierarchicalModel& model, const VideoCatalog& catalog,
+                TraversalOptions options = {});
+
+  /// Runs the retrieval; results are sorted by descending SS.
+  StatusOr<std::vector<RetrievedPattern>> Retrieve(
+      const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
+
+  /// Same, but visits exactly the given videos in the given order (used
+  /// by the three-level engine to prune via the category layer).
+  StatusOr<std::vector<RetrievedPattern>> RetrieveWithVideoOrder(
+      const TemporalPattern& pattern, const std::vector<VideoId>& order,
+      RetrievalStats* stats = nullptr) const;
+
+  /// The Step-2 video visiting order for a pattern's first step: videos
+  /// containing a first-step event (per B2) first — seeded by Pi2 and
+  /// chained by A2 affinity — then the rest. Exposed for tests.
+  std::vector<VideoId> VideoOrder(const TemporalPattern& pattern) const;
+
+ private:
+  struct Path {
+    std::vector<int> states;          // global state indices
+    std::vector<double> edge_weights; // w_1 .. w_j
+    double last_weight = 0.0;
+    double score_sum = 0.0;
+    bool crossed_video = false;
+    VideoId current_video = -1;
+  };
+
+  /// True if video `v` contains at least one event usable by `step`.
+  bool VideoContainsStep(VideoId v, const PatternStep& step) const;
+
+  /// True if the shot's annotations satisfy some alternative of `step`.
+  bool ShotAnnotatedForStep(ShotId shot, const PatternStep& step) const;
+
+  /// Candidate local states in [first, last] of `local` for `step`:
+  /// annotation matches if any exist (and annotated_first is set), else
+  /// all states in the range.
+  std::vector<int> CandidateStates(const LocalShotModel& local, int first,
+                                   int last, const PatternStep& step) const;
+
+  std::vector<Path> ExpandWithinVideo(const Path& path,
+                                      const PatternStep& step,
+                                      const SimilarityScorer& scorer,
+                                      RetrievalStats* stats) const;
+  std::vector<Path> ExpandCrossVideo(const Path& path, const PatternStep& step,
+                                     const SimilarityScorer& scorer,
+                                     RetrievalStats* stats) const;
+
+  const HierarchicalModel& model_;
+  const VideoCatalog& catalog_;
+  TraversalOptions options_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_TRAVERSAL_H_

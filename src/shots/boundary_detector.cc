@@ -1,0 +1,127 @@
+#include "shots/boundary_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/stats.h"
+
+namespace hmmm {
+
+BoundaryDetector::BoundaryDetector(BoundaryDetectorOptions options)
+    : options_(options) {}
+
+std::vector<int> BoundaryDetector::Detect(
+    const std::vector<Frame>& frames) const {
+  std::vector<int> boundaries;
+  if (frames.size() < 2) return boundaries;
+
+  // Frame-to-frame histogram distances.
+  std::vector<double> distances(frames.size() - 1);
+  ColorHistogram previous = ColorHistogram::FromFrame(frames[0]);
+  for (size_t i = 1; i < frames.size(); ++i) {
+    const ColorHistogram current = ColorHistogram::FromFrame(frames[i]);
+    distances[i - 1] = previous.L1Distance(current);
+    previous = current;
+  }
+
+  // Adaptive threshold from the distance statistics.
+  const double mean = dsp::Mean(distances);
+  const double stddev = dsp::StdDev(distances);
+  const double threshold = std::max(options_.min_cut_distance,
+                                    options_.cut_factor * (mean + stddev));
+
+  // Twin comparison: a high threshold declares hard cuts directly; a low
+  // threshold opens an accumulation window that declares a gradual
+  // transition once enough change piled up.
+  const double low_threshold = options_.gradual_low_factor * threshold;
+  const double accumulate_target =
+      options_.gradual_accumulate_factor * threshold;
+
+  int last_boundary = -options_.min_shot_length;
+  int window_start = -1;
+  double accumulated = 0.0;
+  // After any boundary, stay quiet until the signal drops below the low
+  // threshold — a long dissolve must produce one boundary, not one per
+  // accumulation window.
+  bool wait_for_quiet = false;
+  auto emit = [&](int frame_index) {
+    if (frame_index - last_boundary < options_.min_shot_length) return;
+    boundaries.push_back(frame_index);
+    last_boundary = frame_index;
+  };
+  for (size_t i = 0; i < distances.size(); ++i) {
+    const int frame_index = static_cast<int>(i) + 1;
+    if (distances[i] <= low_threshold) wait_for_quiet = false;
+    if (wait_for_quiet) continue;
+    if (distances[i] > threshold) {
+      emit(frame_index);
+      window_start = -1;
+      accumulated = 0.0;
+      wait_for_quiet = true;
+      continue;
+    }
+    if (!options_.detect_gradual) continue;
+    if (distances[i] > low_threshold) {
+      if (window_start < 0) {
+        window_start = frame_index;
+        accumulated = 0.0;
+      }
+      accumulated += distances[i];
+      if (frame_index - window_start > options_.max_gradual_span) {
+        // Slow pan, not a transition: drop the window.
+        window_start = -1;
+        accumulated = 0.0;
+        wait_for_quiet = true;
+      } else if (accumulated > accumulate_target) {
+        emit((window_start + frame_index) / 2);
+        window_start = -1;
+        accumulated = 0.0;
+        wait_for_quiet = true;
+      }
+    } else {
+      window_start = -1;
+      accumulated = 0.0;
+    }
+  }
+  return boundaries;
+}
+
+BoundaryDetector::Evaluation BoundaryDetector::Evaluate(
+    const std::vector<int>& detected, const std::vector<int>& truth,
+    int tolerance) {
+  Evaluation eval;
+  std::vector<bool> truth_matched(truth.size(), false);
+  for (int d : detected) {
+    bool matched = false;
+    for (size_t t = 0; t < truth.size(); ++t) {
+      if (!truth_matched[t] && std::abs(truth[t] - d) <= tolerance) {
+        truth_matched[t] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      ++eval.true_positives;
+    } else {
+      ++eval.false_positives;
+    }
+  }
+  for (bool m : truth_matched) {
+    if (!m) ++eval.false_negatives;
+  }
+  const int detected_total = eval.true_positives + eval.false_positives;
+  const int truth_total = eval.true_positives + eval.false_negatives;
+  eval.precision = detected_total > 0
+                       ? static_cast<double>(eval.true_positives) / detected_total
+                       : 0.0;
+  eval.recall = truth_total > 0
+                    ? static_cast<double>(eval.true_positives) / truth_total
+                    : 0.0;
+  eval.f1 = (eval.precision + eval.recall) > 0.0
+                ? 2.0 * eval.precision * eval.recall /
+                      (eval.precision + eval.recall)
+                : 0.0;
+  return eval;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,64 @@
+#ifndef HMMM_SHOTS_BOUNDARY_DETECTOR_H_
+#define HMMM_SHOTS_BOUNDARY_DETECTOR_H_
+
+#include <vector>
+
+#include "media/frame.h"
+#include "shots/histogram.h"
+
+namespace hmmm {
+
+/// Options for histogram-based cut detection.
+struct BoundaryDetectorOptions {
+  /// A frame-to-frame histogram L1 distance above
+  /// `cut_factor * (mean + stddev)` of the sequence's distances declares a
+  /// hard cut (adaptive thresholding).
+  double cut_factor = 2.0;
+  /// Absolute floor on the distance for a cut, to avoid spurious cuts in
+  /// near-static material.
+  double min_cut_distance = 0.4;
+  /// Minimum frames between two boundaries; closer candidates are merged.
+  int min_shot_length = 5;
+
+  /// Twin-comparison gradual-transition detection: frame distances above
+  /// `gradual_low_factor * cut_threshold` (but below the cut threshold)
+  /// accumulate; when the accumulated distance exceeds
+  /// `gradual_accumulate_factor * cut_threshold` within
+  /// `max_gradual_span` frames, a gradual boundary (dissolve/fade) is
+  /// declared at the midpoint of the accumulation window.
+  bool detect_gradual = true;
+  double gradual_low_factor = 0.3;
+  double gradual_accumulate_factor = 1.2;
+  int max_gradual_span = 16;
+};
+
+/// Classic twin-comparison shot-boundary detector over colour histogram
+/// differences. Returns, for a frame sequence, the indices i such that a
+/// cut occurs between frame i-1 and frame i.
+class BoundaryDetector {
+ public:
+  explicit BoundaryDetector(BoundaryDetectorOptions options = {});
+
+  /// Detects boundaries in `frames`.
+  std::vector<int> Detect(const std::vector<Frame>& frames) const;
+
+  /// Detection quality versus ground truth (a boundary counts as found if
+  /// a detection lies within `tolerance` frames of it).
+  struct Evaluation {
+    int true_positives = 0;
+    int false_positives = 0;
+    int false_negatives = 0;
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+  };
+  static Evaluation Evaluate(const std::vector<int>& detected,
+                             const std::vector<int>& truth, int tolerance = 1);
+
+ private:
+  BoundaryDetectorOptions options_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_SHOTS_BOUNDARY_DETECTOR_H_

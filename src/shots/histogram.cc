@@ -1,0 +1,42 @@
+#include "shots/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmmm {
+
+ColorHistogram::ColorHistogram() { bins_.fill(0.0); }
+
+ColorHistogram ColorHistogram::FromFrame(const Frame& frame) {
+  ColorHistogram h;
+  if (frame.empty()) return h;
+  constexpr int kShift = 8 - 3;  // 256 values -> 8 bins
+  for (const Rgb& p : frame.pixels()) {
+    h.bins_[static_cast<size_t>(p.r >> kShift)] += 1.0;
+    h.bins_[static_cast<size_t>(kBinsPerChannel + (p.g >> kShift))] += 1.0;
+    h.bins_[static_cast<size_t>(2 * kBinsPerChannel + (p.b >> kShift))] += 1.0;
+  }
+  const double total = static_cast<double>(frame.pixel_count());
+  for (double& b : h.bins_) b /= total;
+  return h;
+}
+
+double ColorHistogram::L1Distance(const ColorHistogram& other) const {
+  double sum = 0.0;
+  for (int i = 0; i < kTotalBins; ++i) {
+    sum += std::abs(bins_[static_cast<size_t>(i)] -
+                    other.bins_[static_cast<size_t>(i)]);
+  }
+  return sum;
+}
+
+double ColorHistogram::Intersection(const ColorHistogram& other) const {
+  double sum = 0.0;
+  for (int i = 0; i < kTotalBins; ++i) {
+    sum += std::min(bins_[static_cast<size_t>(i)],
+                    other.bins_[static_cast<size_t>(i)]);
+  }
+  return sum;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,40 @@
+#ifndef HMMM_SHOTS_HISTOGRAM_H_
+#define HMMM_SHOTS_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+
+#include "media/frame.h"
+
+namespace hmmm {
+
+/// Normalized per-channel colour histogram (8 bins per RGB channel, 24
+/// values summing to 3). The twin-comparison boundary detector and the
+/// histo_change feature both work on distances between these.
+class ColorHistogram {
+ public:
+  static constexpr int kBinsPerChannel = 8;
+  static constexpr int kTotalBins = 3 * kBinsPerChannel;
+
+  ColorHistogram();
+
+  /// Builds the histogram of a frame; empty frames give an all-zero
+  /// histogram.
+  static ColorHistogram FromFrame(const Frame& frame);
+
+  double bin(int i) const { return bins_[static_cast<size_t>(i)]; }
+  const std::array<double, kTotalBins>& bins() const { return bins_; }
+
+  /// L1 distance between two histograms, in [0, 6].
+  double L1Distance(const ColorHistogram& other) const;
+
+  /// Histogram intersection similarity, in [0, 3] (3 = identical).
+  double Intersection(const ColorHistogram& other) const;
+
+ private:
+  std::array<double, kTotalBins> bins_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_SHOTS_HISTOGRAM_H_

@@ -1,0 +1,56 @@
+#include "shots/keyframe.h"
+
+#include <array>
+#include <cmath>
+
+#include "shots/histogram.h"
+
+namespace hmmm {
+
+StatusOr<int> SelectKeyFrame(const std::vector<Frame>& frames,
+                             int begin_frame, int end_frame) {
+  if (begin_frame < 0 || end_frame > static_cast<int>(frames.size()) ||
+      begin_frame >= end_frame) {
+    return Status::InvalidArgument("bad frame span for key frame selection");
+  }
+  // Mean histogram of the shot.
+  std::vector<ColorHistogram> histograms;
+  histograms.reserve(static_cast<size_t>(end_frame - begin_frame));
+  std::array<double, ColorHistogram::kTotalBins> mean{};
+  for (int f = begin_frame; f < end_frame; ++f) {
+    histograms.push_back(
+        ColorHistogram::FromFrame(frames[static_cast<size_t>(f)]));
+    for (int b = 0; b < ColorHistogram::kTotalBins; ++b) {
+      mean[static_cast<size_t>(b)] += histograms.back().bin(b);
+    }
+  }
+  const double count = static_cast<double>(histograms.size());
+  for (double& m : mean) m /= count;
+
+  int best_frame = begin_frame;
+  double best_distance = 1e300;
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    double distance = 0.0;
+    for (int b = 0; b < ColorHistogram::kTotalBins; ++b) {
+      distance += std::abs(histograms[i].bin(b) - mean[static_cast<size_t>(b)]);
+    }
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_frame = begin_frame + static_cast<int>(i);
+    }
+  }
+  return best_frame;
+}
+
+StatusOr<std::vector<int>> SelectKeyFrames(const SyntheticVideo& video) {
+  std::vector<int> key_frames;
+  key_frames.reserve(video.shots.size());
+  for (const ShotTruth& shot : video.shots) {
+    HMMM_ASSIGN_OR_RETURN(
+        int key, SelectKeyFrame(video.frames, shot.begin_frame, shot.end_frame));
+    key_frames.push_back(key);
+  }
+  return key_frames;
+}
+
+}  // namespace hmmm

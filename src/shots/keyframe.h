@@ -1,0 +1,24 @@
+#ifndef HMMM_SHOTS_KEYFRAME_H_
+#define HMMM_SHOTS_KEYFRAME_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "media/video.h"
+
+namespace hmmm {
+
+/// Selects the representative key frame of the shot spanning
+/// [begin_frame, end_frame): the frame whose colour histogram is closest
+/// (L1) to the shot's mean histogram — the thumbnail the paper's result
+/// panels display for each retrieved shot. Returns the absolute frame
+/// index.
+StatusOr<int> SelectKeyFrame(const std::vector<Frame>& frames,
+                             int begin_frame, int end_frame);
+
+/// Key frame of every ground-truth shot of a synthetic video.
+StatusOr<std::vector<int>> SelectKeyFrames(const SyntheticVideo& video);
+
+}  // namespace hmmm
+
+#endif  // HMMM_SHOTS_KEYFRAME_H_

@@ -1,0 +1,27 @@
+#include "shots/segmenter.h"
+
+namespace hmmm {
+
+ShotSegmenter::ShotSegmenter(BoundaryDetectorOptions options)
+    : detector_(options) {}
+
+std::vector<DetectedShot> ShotSegmenter::Segment(
+    const std::vector<Frame>& frames) const {
+  std::vector<DetectedShot> shots;
+  if (frames.empty()) return shots;
+  const std::vector<int> boundaries = detector_.Detect(frames);
+  int begin = 0;
+  for (int b : boundaries) {
+    shots.push_back(DetectedShot{begin, b});
+    begin = b;
+  }
+  shots.push_back(DetectedShot{begin, static_cast<int>(frames.size())});
+  return shots;
+}
+
+std::vector<DetectedShot> ShotSegmenter::Segment(
+    const SyntheticVideo& video) const {
+  return Segment(video.frames);
+}
+
+}  // namespace hmmm

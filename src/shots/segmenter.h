@@ -1,0 +1,37 @@
+#ifndef HMMM_SHOTS_SEGMENTER_H_
+#define HMMM_SHOTS_SEGMENTER_H_
+
+#include <vector>
+
+#include "media/video.h"
+#include "shots/boundary_detector.h"
+
+namespace hmmm {
+
+/// A detected shot: a contiguous frame span of one camera operation.
+struct DetectedShot {
+  int begin_frame = 0;  // inclusive
+  int end_frame = 0;    // exclusive
+
+  int length() const { return end_frame - begin_frame; }
+};
+
+/// Turns boundary detections into a partition of a frame sequence into
+/// shots (Fig. 1's "video shot detection and segmentation" stage).
+class ShotSegmenter {
+ public:
+  explicit ShotSegmenter(BoundaryDetectorOptions options = {});
+
+  /// Segments a raw frame sequence.
+  std::vector<DetectedShot> Segment(const std::vector<Frame>& frames) const;
+
+  /// Segments a synthetic video (convenience overload).
+  std::vector<DetectedShot> Segment(const SyntheticVideo& video) const;
+
+ private:
+  BoundaryDetector detector_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_SHOTS_SEGMENTER_H_

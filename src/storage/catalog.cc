@@ -1,0 +1,189 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+bool ShotRecord::HasEvent(EventId event) const {
+  return std::find(events.begin(), events.end(), event) != events.end();
+}
+
+VideoCatalog::VideoCatalog(EventVocabulary vocabulary, int num_features)
+    : vocabulary_(std::move(vocabulary)), num_features_(num_features) {}
+
+StatusOr<VideoCatalog> VideoCatalog::FromGeneratedCorpus(
+    const GeneratedCorpus& corpus) {
+  VideoCatalog catalog(corpus.vocabulary, corpus.num_features);
+  for (const GeneratedVideo& video : corpus.videos) {
+    const VideoId vid = catalog.AddVideo(video.name);
+    for (const GeneratedShot& shot : video.shots) {
+      HMMM_ASSIGN_OR_RETURN(
+          ShotId unused,
+          catalog.AddShot(vid, shot.begin_time, shot.end_time, shot.events,
+                          shot.features));
+      (void)unused;
+    }
+  }
+  HMMM_RETURN_IF_ERROR(catalog.Validate());
+  return catalog;
+}
+
+VideoId VideoCatalog::AddVideo(const std::string& name) {
+  const VideoId id = static_cast<VideoId>(videos_.size());
+  VideoRecord record;
+  record.id = id;
+  record.name = name;
+  videos_.push_back(std::move(record));
+  return id;
+}
+
+StatusOr<ShotId> VideoCatalog::AddShot(VideoId video_id, double begin_time,
+                                       double end_time,
+                                       std::vector<EventId> events,
+                                       std::vector<double> raw_features) {
+  if (video_id < 0 || static_cast<size_t>(video_id) >= videos_.size()) {
+    return Status::NotFound(StrFormat("no video %d", video_id));
+  }
+  if (raw_features.size() != static_cast<size_t>(num_features_)) {
+    return Status::InvalidArgument(
+        StrFormat("expected %d features, got %zu", num_features_,
+                  raw_features.size()));
+  }
+  for (EventId e : events) {
+    if (e < 0 || static_cast<size_t>(e) >= vocabulary_.size()) {
+      return Status::InvalidArgument(StrFormat("event id %d out of range", e));
+    }
+  }
+  VideoRecord& video = videos_[static_cast<size_t>(video_id)];
+  if (!video.shots.empty()) {
+    const ShotRecord& last = shots_[static_cast<size_t>(video.shots.back())];
+    if (begin_time < last.begin_time) {
+      return Status::InvalidArgument("shots must be added in temporal order");
+    }
+  }
+  ShotRecord shot;
+  shot.id = static_cast<ShotId>(shots_.size());
+  shot.video_id = video_id;
+  shot.index_in_video = static_cast<int>(video.shots.size());
+  shot.begin_time = begin_time;
+  shot.end_time = end_time;
+  shot.events = std::move(events);
+  video.shots.push_back(shot.id);
+  const ShotId id = shot.id;
+  shots_.push_back(std::move(shot));
+  raw_features_.push_back(std::move(raw_features));
+  return id;
+}
+
+size_t VideoCatalog::num_annotated_shots() const {
+  size_t n = 0;
+  for (const ShotRecord& s : shots_) {
+    if (!s.events.empty()) ++n;
+  }
+  return n;
+}
+
+size_t VideoCatalog::num_annotations() const {
+  size_t n = 0;
+  for (const ShotRecord& s : shots_) n += s.events.size();
+  return n;
+}
+
+std::vector<ShotId> VideoCatalog::AnnotatedShots(VideoId id) const {
+  std::vector<ShotId> out;
+  for (ShotId shot_id : videos_[static_cast<size_t>(id)].shots) {
+    if (!shots_[static_cast<size_t>(shot_id)].events.empty()) {
+      out.push_back(shot_id);
+    }
+  }
+  return out;
+}
+
+std::vector<ShotId> VideoCatalog::AllAnnotatedShots() const {
+  std::vector<ShotId> out;
+  for (const VideoRecord& video : videos_) {
+    for (ShotId shot_id : video.shots) {
+      if (!shots_[static_cast<size_t>(shot_id)].events.empty()) {
+        out.push_back(shot_id);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix VideoCatalog::RawFeatureMatrix() const {
+  Matrix m(shots_.size(), static_cast<size_t>(num_features_));
+  for (size_t r = 0; r < shots_.size(); ++r) {
+    for (size_t c = 0; c < static_cast<size_t>(num_features_); ++c) {
+      m.at(r, c) = raw_features_[r][c];
+    }
+  }
+  return m;
+}
+
+Matrix VideoCatalog::RawFeatureMatrixFor(
+    const std::vector<ShotId>& shots) const {
+  Matrix m(shots.size(), static_cast<size_t>(num_features_));
+  for (size_t r = 0; r < shots.size(); ++r) {
+    const auto& row = raw_features_[static_cast<size_t>(shots[r])];
+    for (size_t c = 0; c < static_cast<size_t>(num_features_); ++c) {
+      m.at(r, c) = row[c];
+    }
+  }
+  return m;
+}
+
+Matrix VideoCatalog::EventCountMatrix() const {
+  Matrix b2(videos_.size(), vocabulary_.size(), 0.0);
+  for (const ShotRecord& shot : shots_) {
+    for (EventId e : shot.events) {
+      b2.at(static_cast<size_t>(shot.video_id), static_cast<size_t>(e)) += 1.0;
+    }
+  }
+  return b2;
+}
+
+Status VideoCatalog::Validate() const {
+  if (raw_features_.size() != shots_.size()) {
+    return Status::Internal("feature table out of sync with shots");
+  }
+  for (size_t v = 0; v < videos_.size(); ++v) {
+    const VideoRecord& video = videos_[v];
+    if (video.id != static_cast<VideoId>(v)) {
+      return Status::Internal("video id not dense");
+    }
+    double previous_time = -1.0;
+    int expected_index = 0;
+    for (ShotId sid : video.shots) {
+      if (sid < 0 || static_cast<size_t>(sid) >= shots_.size()) {
+        return Status::Internal("dangling shot id");
+      }
+      const ShotRecord& shot = shots_[static_cast<size_t>(sid)];
+      if (shot.video_id != video.id) {
+        return Status::Internal("shot/video link mismatch");
+      }
+      if (shot.index_in_video != expected_index++) {
+        return Status::Internal("shot index_in_video not dense");
+      }
+      if (shot.begin_time < previous_time) {
+        return Status::Internal("shots out of temporal order");
+      }
+      previous_time = shot.begin_time;
+    }
+  }
+  for (size_t s = 0; s < shots_.size(); ++s) {
+    if (shots_[s].id != static_cast<ShotId>(s)) {
+      return Status::Internal("shot id not dense");
+    }
+    for (EventId e : shots_[s].events) {
+      if (e < 0 || static_cast<size_t>(e) >= vocabulary_.size()) {
+        return Status::Internal("event id out of vocabulary");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hmmm

@@ -1,0 +1,112 @@
+#ifndef HMMM_STORAGE_CATALOG_H_
+#define HMMM_STORAGE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "media/event_types.h"
+#include "media/feature_level_generator.h"
+
+namespace hmmm {
+
+using VideoId = int;
+/// Global (archive-wide) shot identifier, dense from 0.
+using ShotId = int;
+
+/// One video shot: the elementary unit of the video database.
+struct ShotRecord {
+  ShotId id = -1;
+  VideoId video_id = -1;
+  int index_in_video = -1;
+  double begin_time = 0.0;
+  double end_time = 0.0;
+  /// Semantic event annotations; empty for un-annotated shots.
+  std::vector<EventId> events;
+
+  /// NE(s_i) of Section 4.2.1.1 — the number of event annotations.
+  int NumEvents() const { return static_cast<int>(events.size()); }
+  bool HasEvent(EventId event) const;
+};
+
+/// One source video with its temporally ordered shots.
+struct VideoRecord {
+  VideoId id = -1;
+  std::string name;
+  std::vector<ShotId> shots;  // temporal order
+};
+
+/// The video database archive: videos, shots, event annotations and the
+/// raw shot-feature table BB1. This is the ground store the HMMM is built
+/// over (Fig. 1's "multimedia database" box).
+class VideoCatalog {
+ public:
+  VideoCatalog() = default;
+  VideoCatalog(EventVocabulary vocabulary, int num_features);
+
+  /// Ingests a feature-level generated corpus wholesale.
+  static StatusOr<VideoCatalog> FromGeneratedCorpus(
+      const GeneratedCorpus& corpus);
+
+  /// Adds a video; returns its id.
+  VideoId AddVideo(const std::string& name);
+
+  /// Appends a shot to `video_id` (shots must be added in temporal order;
+  /// begin_time must be >= the previous shot's begin_time). `raw_features`
+  /// must have num_features() entries.
+  StatusOr<ShotId> AddShot(VideoId video_id, double begin_time,
+                           double end_time, std::vector<EventId> events,
+                           std::vector<double> raw_features);
+
+  const EventVocabulary& vocabulary() const { return vocabulary_; }
+  int num_features() const { return num_features_; }
+  size_t num_videos() const { return videos_.size(); }
+  size_t num_shots() const { return shots_.size(); }
+  size_t num_annotated_shots() const;
+  /// Total number of event annotations across all shots (paper: 506).
+  size_t num_annotations() const;
+
+  const VideoRecord& video(VideoId id) const {
+    return videos_[static_cast<size_t>(id)];
+  }
+  const ShotRecord& shot(ShotId id) const {
+    return shots_[static_cast<size_t>(id)];
+  }
+  const std::vector<VideoRecord>& videos() const { return videos_; }
+  const std::vector<ShotRecord>& shots() const { return shots_; }
+  const std::vector<double>& raw_features_of(ShotId id) const {
+    return raw_features_[static_cast<size_t>(id)];
+  }
+
+  /// Annotated shots of one video in temporal order — the S1 states of
+  /// that video's local MMM.
+  std::vector<ShotId> AnnotatedShots(VideoId id) const;
+
+  /// All annotated shots in (video, temporal) order.
+  std::vector<ShotId> AllAnnotatedShots() const;
+
+  /// The raw feature matrix BB1 (rows = all shots by ShotId).
+  Matrix RawFeatureMatrix() const;
+
+  /// Raw features restricted to the given shots (rows in given order).
+  Matrix RawFeatureMatrixFor(const std::vector<ShotId>& shots) const;
+
+  /// The event-count matrix B2: rows = videos, cols = events, integer
+  /// counts kept as doubles (Section 4.2.2.2 — not normalized).
+  Matrix EventCountMatrix() const;
+
+  /// Structural invariants: id density, temporal order, label ranges.
+  Status Validate() const;
+
+ private:
+  EventVocabulary vocabulary_;
+  int num_features_ = 0;
+  std::vector<VideoRecord> videos_;
+  std::vector<ShotRecord> shots_;
+  std::vector<std::vector<double>> raw_features_;  // by ShotId
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_STORAGE_CATALOG_H_

@@ -1,0 +1,153 @@
+#include "storage/catalog_journal.h"
+
+#include "common/serialization.h"
+#include "common/strings.h"
+
+namespace hmmm {
+
+namespace {
+
+// Op tags.
+constexpr uint8_t kOpHeader = 0;
+constexpr uint8_t kOpAddVideo = 1;
+constexpr uint8_t kOpAddShot = 2;
+
+std::string EncodeHeader(const EventVocabulary& vocabulary,
+                         int num_features) {
+  BinaryWriter w;
+  w.WriteUint8(kOpHeader);
+  w.WriteVarint(vocabulary.size());
+  for (const std::string& name : vocabulary.names()) w.WriteString(name);
+  w.WriteInt32(num_features);
+  return w.buffer();
+}
+
+std::string EncodeAddVideo(const std::string& name) {
+  BinaryWriter w;
+  w.WriteUint8(kOpAddVideo);
+  w.WriteString(name);
+  return w.buffer();
+}
+
+std::string EncodeAddShot(VideoId video, double begin_time, double end_time,
+                          const std::vector<EventId>& events,
+                          const std::vector<double>& raw_features) {
+  BinaryWriter w;
+  w.WriteUint8(kOpAddShot);
+  w.WriteInt32(video);
+  w.WriteDouble(begin_time);
+  w.WriteDouble(end_time);
+  w.WriteInt32Vector(std::vector<int32_t>(events.begin(), events.end()));
+  w.WriteDoubleVector(raw_features);
+  return w.buffer();
+}
+
+Status ApplyOp(const std::string& op, VideoCatalog& catalog) {
+  BinaryReader r(op);
+  HMMM_ASSIGN_OR_RETURN(uint8_t tag, r.ReadUint8());
+  switch (tag) {
+    case kOpAddVideo: {
+      HMMM_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+      catalog.AddVideo(name);
+      return Status::OK();
+    }
+    case kOpAddShot: {
+      HMMM_ASSIGN_OR_RETURN(int32_t video, r.ReadInt32());
+      HMMM_ASSIGN_OR_RETURN(double begin_time, r.ReadDouble());
+      HMMM_ASSIGN_OR_RETURN(double end_time, r.ReadDouble());
+      HMMM_ASSIGN_OR_RETURN(auto event_ids, r.ReadInt32Vector());
+      HMMM_ASSIGN_OR_RETURN(auto features, r.ReadDoubleVector());
+      HMMM_ASSIGN_OR_RETURN(
+          ShotId unused,
+          catalog.AddShot(video, begin_time, end_time,
+                          std::vector<EventId>(event_ids.begin(),
+                                               event_ids.end()),
+                          std::move(features)));
+      (void)unused;
+      return Status::OK();
+    }
+    default:
+      return Status::DataLoss(StrFormat("unknown journal op %d", tag));
+  }
+}
+
+}  // namespace
+
+StatusOr<CatalogJournal> CatalogJournal::Open(
+    const std::string& path, const EventVocabulary& vocabulary,
+    int num_features) {
+  // Replay whatever exists. A missing file is an empty journal; any
+  // other failure (e.g. mid-file corruption) must not be masked.
+  RecordLogContents contents;
+  if (auto existing = ReadRecordLog(path); existing.ok()) {
+    contents = std::move(existing).value();
+  } else if (existing.status().code() != StatusCode::kIOError) {
+    return existing.status();
+  }
+
+  VideoCatalog catalog(vocabulary, num_features);
+  bool have_header = false;
+  for (const std::string& record : contents.records) {
+    BinaryReader r(record);
+    HMMM_ASSIGN_OR_RETURN(uint8_t tag, r.ReadUint8());
+    if (tag == kOpHeader) {
+      if (have_header) return Status::DataLoss("duplicate journal header");
+      // Verify the header matches what the caller expects.
+      HMMM_ASSIGN_OR_RETURN(uint64_t vocab_size, r.ReadVarint());
+      if (vocab_size != vocabulary.size()) {
+        return Status::FailedPrecondition("journal vocabulary mismatch");
+      }
+      for (uint64_t i = 0; i < vocab_size; ++i) {
+        HMMM_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        if (name != vocabulary.Name(static_cast<EventId>(i))) {
+          return Status::FailedPrecondition("journal vocabulary mismatch");
+        }
+      }
+      HMMM_ASSIGN_OR_RETURN(int32_t journal_features, r.ReadInt32());
+      if (journal_features != num_features) {
+        return Status::FailedPrecondition("journal feature count mismatch");
+      }
+      have_header = true;
+      continue;
+    }
+    if (!have_header) {
+      return Status::DataLoss("journal records before header");
+    }
+    HMMM_RETURN_IF_ERROR(ApplyOp(record, catalog));
+  }
+  HMMM_RETURN_IF_ERROR(catalog.Validate());
+
+  HMMM_ASSIGN_OR_RETURN(RecordLogWriter writer, RecordLogWriter::Open(path));
+  CatalogJournal journal(std::move(writer), std::move(catalog),
+                         contents.dropped_tail_bytes);
+  if (!have_header) {
+    HMMM_RETURN_IF_ERROR(
+        journal.writer_.Append(EncodeHeader(vocabulary, num_features)));
+    HMMM_RETURN_IF_ERROR(journal.writer_.Flush());
+  }
+  return journal;
+}
+
+StatusOr<VideoId> CatalogJournal::AppendVideo(const std::string& name) {
+  HMMM_RETURN_IF_ERROR(writer_.Append(EncodeAddVideo(name)));
+  return catalog_.AddVideo(name);
+}
+
+StatusOr<ShotId> CatalogJournal::AppendShot(
+    VideoId video, double begin_time, double end_time,
+    std::vector<EventId> events, std::vector<double> raw_features) {
+  // Validate through a dry-run against the in-memory catalog first so the
+  // log never records an op that would fail to replay. AddShot itself is
+  // the validator, so apply first and only then log; if the log write
+  // fails the process should treat the journal as compromised anyway.
+  HMMM_ASSIGN_OR_RETURN(
+      ShotId id, catalog_.AddShot(video, begin_time, end_time, events,
+                                  raw_features));
+  HMMM_RETURN_IF_ERROR(writer_.Append(
+      EncodeAddShot(video, begin_time, end_time, events, raw_features)));
+  return id;
+}
+
+Status CatalogJournal::Flush() { return writer_.Flush(); }
+
+}  // namespace hmmm

@@ -1,0 +1,62 @@
+#ifndef HMMM_STORAGE_CATALOG_JOURNAL_H_
+#define HMMM_STORAGE_CATALOG_JOURNAL_H_
+
+#include <string>
+
+#include "storage/catalog.h"
+#include "storage/record_log.h"
+
+namespace hmmm {
+
+/// Durable, incrementally growing catalog: every mutation (add video, add
+/// shot) is appended to a record log before being applied to the
+/// in-memory VideoCatalog, and Open() rebuilds the catalog by replaying
+/// the log — including recovery from a torn tail after a crash. This is
+/// the ingest-side persistence story (SaveCatalog/LoadCatalog snapshots
+/// remain the right tool for distributing finished archives).
+class CatalogJournal {
+ public:
+  /// Opens (or creates) the journal at `path`. For a new journal, the
+  /// vocabulary and feature count are written as the header record; for
+  /// an existing one they are read back and the catalog is replayed.
+  /// `vocabulary`/`num_features` must match an existing journal's header.
+  static StatusOr<CatalogJournal> Open(const std::string& path,
+                                       const EventVocabulary& vocabulary,
+                                       int num_features);
+
+  CatalogJournal(CatalogJournal&&) = default;
+  CatalogJournal& operator=(CatalogJournal&&) = default;
+
+  /// The replayed + live catalog view.
+  const VideoCatalog& catalog() const { return catalog_; }
+
+  /// Appends and applies an add-video op.
+  StatusOr<VideoId> AppendVideo(const std::string& name);
+
+  /// Appends and applies an add-shot op (validated against the catalog
+  /// before the log write, so the journal never contains invalid ops).
+  StatusOr<ShotId> AppendShot(VideoId video, double begin_time,
+                              double end_time, std::vector<EventId> events,
+                              std::vector<double> raw_features);
+
+  /// Flushes pending log writes.
+  Status Flush();
+
+  /// Torn-tail bytes dropped while opening (0 for a clean journal).
+  size_t recovered_tail_bytes() const { return recovered_tail_bytes_; }
+
+ private:
+  CatalogJournal(RecordLogWriter writer, VideoCatalog catalog,
+                 size_t recovered_tail_bytes)
+      : writer_(std::move(writer)),
+        catalog_(std::move(catalog)),
+        recovered_tail_bytes_(recovered_tail_bytes) {}
+
+  RecordLogWriter writer_;
+  VideoCatalog catalog_;
+  size_t recovered_tail_bytes_ = 0;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_STORAGE_CATALOG_JOURNAL_H_

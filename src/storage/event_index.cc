@@ -1,0 +1,40 @@
+#include "storage/event_index.h"
+
+namespace hmmm {
+
+EventIndex::EventIndex(const VideoCatalog& catalog) {
+  postings_.resize(catalog.vocabulary().size());
+  for (const VideoRecord& video : catalog.videos()) {
+    for (ShotId sid : video.shots) {
+      const ShotRecord& shot = catalog.shot(sid);
+      for (EventId e : shot.events) {
+        postings_[static_cast<size_t>(e)].push_back(sid);
+      }
+    }
+  }
+}
+
+const std::vector<ShotId>& EventIndex::Lookup(EventId event) const {
+  if (event < 0 || static_cast<size_t>(event) >= postings_.size()) {
+    return empty_;
+  }
+  return postings_[static_cast<size_t>(event)];
+}
+
+std::vector<ShotId> EventIndex::LookupInVideo(const VideoCatalog& catalog,
+                                              VideoId video,
+                                              EventId event) const {
+  std::vector<ShotId> out;
+  for (ShotId sid : Lookup(event)) {
+    if (catalog.shot(sid).video_id == video) out.push_back(sid);
+  }
+  return out;
+}
+
+size_t EventIndex::size() const {
+  size_t n = 0;
+  for (const auto& p : postings_) n += p.size();
+  return n;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,39 @@
+#ifndef HMMM_STORAGE_EVENT_INDEX_H_
+#define HMMM_STORAGE_EVENT_INDEX_H_
+
+#include <vector>
+
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// Inverted index from event id to the annotated shots carrying it, in
+/// (video, temporal) order. This is the hash-table style access structure
+/// of ClassView-like systems ([10] in the paper) and powers the index-join
+/// retrieval baseline the benchmarks compare HMMM against.
+class EventIndex {
+ public:
+  EventIndex() = default;
+
+  /// Builds the index over a catalog snapshot.
+  explicit EventIndex(const VideoCatalog& catalog);
+
+  /// All shots annotated with `event` in (video, temporal) order.
+  const std::vector<ShotId>& Lookup(EventId event) const;
+
+  /// Shots annotated with `event` within one video, temporal order.
+  std::vector<ShotId> LookupInVideo(const VideoCatalog& catalog,
+                                    VideoId video, EventId event) const;
+
+  size_t num_events() const { return postings_.size(); }
+  /// Total postings across all events.
+  size_t size() const;
+
+ private:
+  std::vector<std::vector<ShotId>> postings_;
+  std::vector<ShotId> empty_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_STORAGE_EVENT_INDEX_H_

@@ -1,0 +1,83 @@
+#include "storage/model_io.h"
+
+namespace hmmm {
+
+std::string SerializeCatalog(const VideoCatalog& catalog) {
+  BinaryWriter w;
+  // Vocabulary.
+  w.WriteVarint(catalog.vocabulary().size());
+  for (const std::string& name : catalog.vocabulary().names()) {
+    w.WriteString(name);
+  }
+  w.WriteInt32(catalog.num_features());
+  // Videos with their shots inline (global ids are re-derived on load).
+  w.WriteVarint(catalog.num_videos());
+  for (const VideoRecord& video : catalog.videos()) {
+    w.WriteString(video.name);
+    w.WriteVarint(video.shots.size());
+    for (ShotId sid : video.shots) {
+      const ShotRecord& shot = catalog.shot(sid);
+      w.WriteDouble(shot.begin_time);
+      w.WriteDouble(shot.end_time);
+      w.WriteVarint(shot.events.size());
+      for (EventId e : shot.events) w.WriteInt32(e);
+      w.WriteDoubleVector(catalog.raw_features_of(sid));
+    }
+  }
+  return WrapChecksummed(kCatalogMagic, kCatalogVersion, w.buffer());
+}
+
+StatusOr<VideoCatalog> DeserializeCatalog(std::string_view data) {
+  uint32_t version = 0;
+  HMMM_ASSIGN_OR_RETURN(std::string payload,
+                        UnwrapChecksummed(kCatalogMagic, data, &version));
+  if (version != kCatalogVersion) {
+    return Status::DataLoss("unsupported catalog version");
+  }
+  BinaryReader r(payload);
+  HMMM_ASSIGN_OR_RETURN(uint64_t vocab_size, r.ReadVarint());
+  EventVocabulary vocabulary;
+  for (uint64_t i = 0; i < vocab_size; ++i) {
+    HMMM_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    vocabulary.Register(name);
+  }
+  HMMM_ASSIGN_OR_RETURN(int32_t num_features, r.ReadInt32());
+  VideoCatalog catalog(std::move(vocabulary), num_features);
+
+  HMMM_ASSIGN_OR_RETURN(uint64_t num_videos, r.ReadVarint());
+  for (uint64_t v = 0; v < num_videos; ++v) {
+    HMMM_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    const VideoId vid = catalog.AddVideo(name);
+    HMMM_ASSIGN_OR_RETURN(uint64_t num_shots, r.ReadVarint());
+    for (uint64_t s = 0; s < num_shots; ++s) {
+      HMMM_ASSIGN_OR_RETURN(double begin_time, r.ReadDouble());
+      HMMM_ASSIGN_OR_RETURN(double end_time, r.ReadDouble());
+      HMMM_ASSIGN_OR_RETURN(uint64_t num_events, r.ReadVarint());
+      std::vector<EventId> events;
+      for (uint64_t e = 0; e < num_events; ++e) {
+        HMMM_ASSIGN_OR_RETURN(int32_t event, r.ReadInt32());
+        events.push_back(event);
+      }
+      HMMM_ASSIGN_OR_RETURN(auto features, r.ReadDoubleVector());
+      HMMM_ASSIGN_OR_RETURN(
+          ShotId unused,
+          catalog.AddShot(vid, begin_time, end_time, std::move(events),
+                          std::move(features)));
+      (void)unused;
+    }
+  }
+  if (!r.AtEnd()) return Status::DataLoss("trailing bytes in catalog blob");
+  HMMM_RETURN_IF_ERROR(catalog.Validate());
+  return catalog;
+}
+
+Status SaveCatalog(const VideoCatalog& catalog, const std::string& path) {
+  return WriteFile(path, SerializeCatalog(catalog));
+}
+
+StatusOr<VideoCatalog> LoadCatalog(const std::string& path) {
+  HMMM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return DeserializeCatalog(data);
+}
+
+}  // namespace hmmm

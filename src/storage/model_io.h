@@ -1,0 +1,30 @@
+#ifndef HMMM_STORAGE_MODEL_IO_H_
+#define HMMM_STORAGE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/serialization.h"
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// File-format magics for the on-disk artefacts.
+inline constexpr uint32_t kCatalogMagic = 0x484D4D43;  // "HMMC"
+inline constexpr uint32_t kModelMagic = 0x484D4D4D;    // "HMMM"
+inline constexpr uint32_t kCatalogVersion = 1;
+
+/// Serializes a catalog (vocabulary, videos, shots, annotations, raw
+/// features) into a checksummed binary blob.
+std::string SerializeCatalog(const VideoCatalog& catalog);
+
+/// Parses a catalog blob produced by SerializeCatalog; verifies the
+/// checksum and all structural invariants.
+StatusOr<VideoCatalog> DeserializeCatalog(std::string_view data);
+
+/// Convenience file round-trips.
+Status SaveCatalog(const VideoCatalog& catalog, const std::string& path);
+StatusOr<VideoCatalog> LoadCatalog(const std::string& path);
+
+}  // namespace hmmm
+
+#endif  // HMMM_STORAGE_MODEL_IO_H_

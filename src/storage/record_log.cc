@@ -1,0 +1,109 @@
+#include "storage/record_log.h"
+
+#include "common/crc32.h"
+#include "common/serialization.h"
+#include "common/strings.h"
+
+namespace hmmm {
+
+StatusOr<RecordLogWriter> RecordLogWriter::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s for append",
+                                     path.c_str()));
+  }
+  return RecordLogWriter(file);
+}
+
+RecordLogWriter::RecordLogWriter(RecordLogWriter&& other) noexcept
+    : file_(other.file_), records_appended_(other.records_appended_) {
+  other.file_ = nullptr;
+}
+
+RecordLogWriter& RecordLogWriter::operator=(RecordLogWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    records_appended_ = other.records_appended_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+RecordLogWriter::~RecordLogWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status RecordLogWriter::Append(std::string_view record) {
+  if (file_ == nullptr) return Status::FailedPrecondition("log closed");
+  BinaryWriter frame;
+  frame.WriteVarint(record.size());
+  frame.WriteUint32(Crc32c(record.data(), record.size()));
+  const std::string& header = frame.buffer();
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IOError("short write to record log");
+  }
+  ++records_appended_;
+  return Status::OK();
+}
+
+Status RecordLogWriter::Flush() {
+  if (file_ == nullptr) return Status::FailedPrecondition("log closed");
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+Status RecordLogWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const bool ok = std::fclose(file_) == 0;
+  file_ = nullptr;
+  return ok ? Status::OK() : Status::IOError("fclose failed");
+}
+
+StatusOr<RecordLogContents> ReadRecordLog(const std::string& path) {
+  HMMM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  RecordLogContents contents;
+  BinaryReader reader(data);
+  while (!reader.AtEnd()) {
+    const size_t frame_start = reader.position();
+    auto fail_frame = [&](bool is_tail) -> Status {
+      if (is_tail) {
+        contents.dropped_tail_bytes = data.size() - frame_start;
+        return Status::OK();
+      }
+      return Status::DataLoss(
+          StrFormat("corrupt record at offset %zu", frame_start));
+    };
+
+    auto size = reader.ReadVarint();
+    if (!size.ok()) {
+      // Truncated length varint: can only happen at the tail.
+      HMMM_RETURN_IF_ERROR(fail_frame(true));
+      break;
+    }
+    auto crc = reader.ReadUint32();
+    if (!crc.ok()) {
+      HMMM_RETURN_IF_ERROR(fail_frame(true));
+      break;
+    }
+    if (reader.remaining() < *size) {
+      HMMM_RETURN_IF_ERROR(fail_frame(true));
+      break;
+    }
+    const std::string_view payload(data.data() + reader.position(),
+                                   static_cast<size_t>(*size));
+    const bool frame_ends_at_eof = reader.position() + *size == data.size();
+    if (Crc32c(payload.data(), payload.size()) != *crc) {
+      // A checksum failure on the final frame is a torn tail (partially
+      // written payload); anywhere else it is corruption.
+      HMMM_RETURN_IF_ERROR(fail_frame(frame_ends_at_eof));
+      break;
+    }
+    contents.records.emplace_back(payload);
+    HMMM_RETURN_IF_ERROR(reader.Skip(static_cast<size_t>(*size)));
+  }
+  return contents;
+}
+
+}  // namespace hmmm

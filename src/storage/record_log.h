@@ -1,0 +1,61 @@
+#ifndef HMMM_STORAGE_RECORD_LOG_H_
+#define HMMM_STORAGE_RECORD_LOG_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hmmm {
+
+/// Append-only record log: the durability primitive under the catalog
+/// journal. Each record is framed as
+///   varint payload_size | uint32 crc32c(payload) | payload
+/// so a crashed writer leaves at worst a torn tail, which recovery
+/// detects and drops (the classic WAL contract).
+class RecordLogWriter {
+ public:
+  /// Opens `path` for appending (creates it if missing).
+  static StatusOr<RecordLogWriter> Open(const std::string& path);
+
+  RecordLogWriter(RecordLogWriter&& other) noexcept;
+  RecordLogWriter& operator=(RecordLogWriter&& other) noexcept;
+  RecordLogWriter(const RecordLogWriter&) = delete;
+  RecordLogWriter& operator=(const RecordLogWriter&) = delete;
+  ~RecordLogWriter();
+
+  /// Appends one record (buffered; call Flush for durability).
+  Status Append(std::string_view record);
+
+  /// Flushes buffered appends to the OS.
+  Status Flush();
+
+  /// Flushes and closes; further Appends fail.
+  Status Close();
+
+  size_t records_appended() const { return records_appended_; }
+
+ private:
+  explicit RecordLogWriter(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_ = nullptr;
+  size_t records_appended_ = 0;
+};
+
+/// Result of replaying a record log.
+struct RecordLogContents {
+  std::vector<std::string> records;
+  /// Bytes of torn tail dropped during recovery (0 for a clean log).
+  size_t dropped_tail_bytes = 0;
+};
+
+/// Replays all records of a log. A torn tail (truncated frame or checksum
+/// mismatch in the final frame) is dropped and reported; corruption
+/// *before* the tail is a kDataLoss error.
+StatusOr<RecordLogContents> ReadRecordLog(const std::string& path);
+
+}  // namespace hmmm
+
+#endif  // HMMM_STORAGE_RECORD_LOG_H_

@@ -1,0 +1,148 @@
+#include "features/audio_features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "features/extractor.h"
+#include "features/feature_schema.h"
+
+namespace hmmm {
+namespace {
+
+AudioClip Tone(double freq, double seconds, int rate = 8000,
+               double amplitude = 0.5) {
+  std::vector<double> samples(static_cast<size_t>(seconds * rate));
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = amplitude * std::sin(2.0 * M_PI * freq * static_cast<double>(i) / rate);
+  }
+  return AudioClip(rate, std::move(samples));
+}
+
+AudioClip Noise(double seconds, double amplitude, uint64_t seed = 3,
+                int rate = 8000) {
+  Rng rng(seed);
+  std::vector<double> samples(static_cast<size_t>(seconds * rate));
+  for (double& s : samples) s = amplitude * rng.NextDouble(-1.0, 1.0);
+  return AudioClip(rate, std::move(samples));
+}
+
+TEST(AudioFeaturesTest, EmptyClipGivesZeros) {
+  auto features = ExtractAudioFeatures(AudioClip());
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ(features->volume_mean, 0.0);
+  EXPECT_DOUBLE_EQ(features->sf_mean, 0.0);
+}
+
+TEST(AudioFeaturesTest, TooShortClipGivesZeros) {
+  AudioClip clip(8000, std::vector<double>(10, 0.5));
+  auto features = ExtractAudioFeatures(clip);
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ(features->energy_mean, 0.0);
+}
+
+TEST(AudioFeaturesTest, SteadyToneHasStableVolume) {
+  auto features = ExtractAudioFeatures(Tone(440.0, 1.0));
+  ASSERT_TRUE(features.ok());
+  // Constant-amplitude tone: volume ~ constant across windows.
+  EXPECT_NEAR(features->volume_mean, 1.0, 0.05);  // normalized by max
+  EXPECT_LT(features->volume_std, 0.05);
+  EXPECT_LT(features->volume_range, 0.1);
+  EXPECT_NEAR(features->energy_mean, 0.5 / std::sqrt(2.0), 0.02);
+}
+
+TEST(AudioFeaturesTest, LoudnessScalesEnergyNotNormalizedVolume) {
+  auto quiet = ExtractAudioFeatures(Tone(440.0, 0.5, 8000, 0.1));
+  auto loud = ExtractAudioFeatures(Tone(440.0, 0.5, 8000, 0.8));
+  ASSERT_TRUE(quiet.ok());
+  ASSERT_TRUE(loud.ok());
+  EXPECT_NEAR(loud->energy_mean / quiet->energy_mean, 8.0, 0.5);
+  EXPECT_NEAR(loud->volume_mean, quiet->volume_mean, 0.02);
+}
+
+TEST(AudioFeaturesTest, LowToneFillsSubBand1) {
+  auto low = ExtractAudioFeatures(Tone(200.0, 0.5));   // 200 Hz of 4 kHz Nyquist
+  auto high = ExtractAudioFeatures(Tone(2500.0, 0.5)); // band 3 is 2-3 kHz
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(low->sub1_mean, 5.0 * low->sub3_mean);
+  EXPECT_GT(high->sub3_mean, 5.0 * high->sub1_mean);
+}
+
+TEST(AudioFeaturesTest, VolumeBurstRaisesRangeAndLowrate) {
+  // Half silence-ish, half loud noise: large dynamic range, many windows
+  // below half the mean.
+  AudioClip clip = Noise(0.5, 0.02);
+  const AudioClip loud = Noise(0.5, 0.9, /*seed=*/5);
+  ASSERT_TRUE(clip.Append(loud).ok());
+  auto features = ExtractAudioFeatures(clip);
+  ASSERT_TRUE(features.ok());
+  EXPECT_GT(features->volume_range, 0.8);
+  EXPECT_GT(features->energy_lowrate, 0.3);
+  EXPECT_GT(features->volume_std, 0.2);
+}
+
+TEST(AudioFeaturesTest, SpectralFluxHigherForChangingSpectrum) {
+  // Alternating tone blocks change the spectrum between windows.
+  AudioClip changing = Tone(300.0, 0.25);
+  ASSERT_TRUE(changing.Append(Tone(2000.0, 0.25)).ok());
+  ASSERT_TRUE(changing.Append(Tone(600.0, 0.25)).ok());
+  ASSERT_TRUE(changing.Append(Tone(3000.0, 0.25)).ok());
+  auto steady = ExtractAudioFeatures(Tone(440.0, 1.0));
+  auto moving = ExtractAudioFeatures(changing);
+  ASSERT_TRUE(steady.ok());
+  ASSERT_TRUE(moving.ok());
+  EXPECT_GT(moving->sf_mean, 2.0 * steady->sf_mean);
+}
+
+TEST(AudioFeaturesTest, CustomAnalysisWindow) {
+  AudioAnalysisOptions options;
+  options.window_seconds = 0.064;
+  options.hop_seconds = 0.032;
+  auto features = ExtractAudioFeatures(Tone(440.0, 1.0), options);
+  ASSERT_TRUE(features.ok());
+  EXPECT_GT(features->energy_mean, 0.0);
+}
+
+TEST(FeatureSchemaTest, TwentyFeaturesNamed) {
+  EXPECT_EQ(kNumFeatures, 20);
+  EXPECT_EQ(AllFeatureNames().size(), 20u);
+  EXPECT_EQ(FeatureName(0), "grass_ratio");
+  EXPECT_EQ(FeatureName(19), "sf_range");
+  EXPECT_EQ(FeatureName(-1), "<unknown>");
+  EXPECT_EQ(FeatureName(20), "<unknown>");
+  EXPECT_TRUE(IsVisualFeature(4));
+  EXPECT_FALSE(IsVisualFeature(5));
+}
+
+TEST(FeatureSchemaTest, FindFeatureByName) {
+  auto idx = FindFeature("sub1_lowrate");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, static_cast<int>(FeatureIndex::kSub1LowRate));
+  EXPECT_FALSE(FindFeature("nonexistent").ok());
+}
+
+TEST(FeatureSchemaTest, DescriptionsNonEmpty) {
+  for (int i = 0; i < kNumFeatures; ++i) {
+    EXPECT_FALSE(FeatureDescription(i).empty());
+  }
+}
+
+TEST(ExtractorPackTest, PackPlacesValuesByIndex) {
+  VisualFeatures visual;
+  visual.grass_ratio = 0.7;
+  visual.background_mean = 0.3;
+  AudioFeatures audio;
+  audio.volume_std = 0.11;
+  audio.sf_range = 0.99;
+  const auto packed = ShotFeatureExtractor::Pack(visual, audio);
+  ASSERT_EQ(packed.size(), 20u);
+  EXPECT_DOUBLE_EQ(packed[static_cast<size_t>(FeatureIndex::kGrassRatio)], 0.7);
+  EXPECT_DOUBLE_EQ(packed[static_cast<size_t>(FeatureIndex::kBackgroundMean)], 0.3);
+  EXPECT_DOUBLE_EQ(packed[static_cast<size_t>(FeatureIndex::kVolumeStd)], 0.11);
+  EXPECT_DOUBLE_EQ(packed[static_cast<size_t>(FeatureIndex::kSfRange)], 0.99);
+}
+
+}  // namespace
+}  // namespace hmmm

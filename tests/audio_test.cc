@@ -1,0 +1,83 @@
+#include "media/audio.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "media/video.h"
+
+namespace hmmm {
+namespace {
+
+TEST(AudioClipTest, DurationAndAccess) {
+  AudioClip clip(8000, std::vector<double>(4000, 0.1));
+  EXPECT_EQ(clip.sample_rate(), 8000);
+  EXPECT_EQ(clip.size(), 4000u);
+  EXPECT_DOUBLE_EQ(clip.duration(), 0.5);
+}
+
+TEST(AudioClipTest, EmptyClip) {
+  AudioClip clip;
+  EXPECT_TRUE(clip.empty());
+  EXPECT_DOUBLE_EQ(clip.duration(), 0.0);
+}
+
+TEST(AudioClipTest, SliceClipsBounds) {
+  std::vector<double> samples(10);
+  for (size_t i = 0; i < 10; ++i) samples[i] = static_cast<double>(i);
+  AudioClip clip(100, samples);
+
+  const AudioClip mid = clip.Slice(2, 5);
+  EXPECT_EQ(mid.samples(), (std::vector<double>{2, 3, 4}));
+  EXPECT_EQ(mid.sample_rate(), 100);
+
+  const AudioClip past_end = clip.Slice(8, 50);
+  EXPECT_EQ(past_end.samples(), (std::vector<double>{8, 9}));
+
+  EXPECT_TRUE(clip.Slice(5, 5).empty());
+  EXPECT_TRUE(clip.Slice(7, 3).empty());
+}
+
+TEST(AudioClipTest, AppendConcatenates) {
+  AudioClip a(100, {1, 2});
+  AudioClip b(100, {3});
+  ASSERT_TRUE(a.Append(b).ok());
+  EXPECT_EQ(a.samples(), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(AudioClipTest, AppendRateMismatchRejected) {
+  AudioClip a(100, {1});
+  AudioClip b(200, {2});
+  EXPECT_EQ(a.Append(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AudioClipTest, AppendToEmptyAdoptsRate) {
+  AudioClip a;
+  AudioClip b(200, {2, 3});
+  ASSERT_TRUE(a.Append(b).ok());
+  EXPECT_EQ(a.sample_rate(), 200);
+  EXPECT_EQ(a.size(), 2u);
+  // Appending an empty clip is a no-op.
+  ASSERT_TRUE(a.Append(AudioClip()).ok());
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(SyntheticVideoTest, AudioForFramesAlignment) {
+  SyntheticVideo video;
+  video.fps = 25.0;
+  video.audio = AudioClip(1000, std::vector<double>(4000, 0.0));  // 4 s
+  // 40 samples per frame.
+  EXPECT_DOUBLE_EQ(video.samples_per_frame(), 40.0);
+  const AudioClip clip = video.AudioForFrames(10, 20);
+  EXPECT_EQ(clip.size(), 400u);
+}
+
+TEST(SyntheticVideoTest, TrueBoundaries) {
+  SyntheticVideo video;
+  video.shots = {ShotTruth{0, 10, {}, 0}, ShotTruth{10, 25, {}, 0},
+                 ShotTruth{25, 30, {}, 0}};
+  EXPECT_EQ(video.TrueBoundaries(), (std::vector<int>{10, 25}));
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,118 @@
+#include "shots/boundary_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "media/soccer_generator.h"
+#include "shots/segmenter.h"
+
+namespace hmmm {
+namespace {
+
+std::vector<Frame> TwoSceneSequence() {
+  std::vector<Frame> frames;
+  for (int i = 0; i < 10; ++i) frames.emplace_back(8, 8, Rgb{40, 160, 40});
+  for (int i = 0; i < 10; ++i) frames.emplace_back(8, 8, Rgb{150, 40, 40});
+  return frames;
+}
+
+TEST(BoundaryDetectorTest, DetectsHardCut) {
+  BoundaryDetector detector;
+  const auto boundaries = detector.Detect(TwoSceneSequence());
+  ASSERT_EQ(boundaries.size(), 1u);
+  EXPECT_EQ(boundaries[0], 10);
+}
+
+TEST(BoundaryDetectorTest, NoCutInStaticSequence) {
+  std::vector<Frame> frames(20, Frame(8, 8, Rgb{40, 160, 40}));
+  BoundaryDetector detector;
+  EXPECT_TRUE(detector.Detect(frames).empty());
+}
+
+TEST(BoundaryDetectorTest, ShortInputsHandled) {
+  BoundaryDetector detector;
+  EXPECT_TRUE(detector.Detect({}).empty());
+  EXPECT_TRUE(detector.Detect({Frame(4, 4)}).empty());
+}
+
+TEST(BoundaryDetectorTest, MinShotLengthMergesCloseCuts) {
+  // Three scenes with the middle one only 2 frames long.
+  std::vector<Frame> frames;
+  for (int i = 0; i < 8; ++i) frames.emplace_back(8, 8, Rgb{40, 160, 40});
+  for (int i = 0; i < 2; ++i) frames.emplace_back(8, 8, Rgb{150, 40, 40});
+  for (int i = 0; i < 8; ++i) frames.emplace_back(8, 8, Rgb{40, 40, 150});
+  BoundaryDetectorOptions options;
+  options.min_shot_length = 5;
+  BoundaryDetector detector(options);
+  const auto boundaries = detector.Detect(frames);
+  ASSERT_EQ(boundaries.size(), 1u);  // the second cut is suppressed
+  EXPECT_EQ(boundaries[0], 8);
+}
+
+TEST(BoundaryDetectorTest, EvaluationCountsMatches) {
+  const auto eval =
+      BoundaryDetector::Evaluate({10, 20, 31}, {10, 21, 40}, /*tolerance=*/1);
+  EXPECT_EQ(eval.true_positives, 2);   // 10 exact, 20~21
+  EXPECT_EQ(eval.false_positives, 1);  // 31
+  EXPECT_EQ(eval.false_negatives, 1);  // 40
+  EXPECT_NEAR(eval.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(eval.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(eval.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(BoundaryDetectorTest, EvaluationEmptyCases) {
+  const auto none = BoundaryDetector::Evaluate({}, {});
+  EXPECT_DOUBLE_EQ(none.precision, 0.0);
+  EXPECT_DOUBLE_EQ(none.recall, 0.0);
+  const auto missed = BoundaryDetector::Evaluate({}, {5});
+  EXPECT_EQ(missed.false_negatives, 1);
+}
+
+TEST(SegmenterTest, PartitionCoversAllFrames) {
+  ShotSegmenter segmenter;
+  const auto shots = segmenter.Segment(TwoSceneSequence());
+  ASSERT_EQ(shots.size(), 2u);
+  EXPECT_EQ(shots[0].begin_frame, 0);
+  EXPECT_EQ(shots[0].end_frame, 10);
+  EXPECT_EQ(shots[1].begin_frame, 10);
+  EXPECT_EQ(shots[1].end_frame, 20);
+}
+
+TEST(SegmenterTest, EmptyInputGivesNoShots) {
+  ShotSegmenter segmenter;
+  EXPECT_TRUE(segmenter.Segment(std::vector<Frame>{}).empty());
+}
+
+TEST(SegmenterTest, SingleSceneIsOneShot) {
+  ShotSegmenter segmenter;
+  std::vector<Frame> frames(15, Frame(8, 8, Rgb{40, 160, 40}));
+  const auto shots = segmenter.Segment(frames);
+  ASSERT_EQ(shots.size(), 1u);
+  EXPECT_EQ(shots[0].length(), 15);
+}
+
+TEST(SegmenterTest, RecoversGeneratedShotsReasonably) {
+  // On the synthetic soccer footage the histogram detector should find
+  // most of the true cuts with decent precision.
+  SoccerGeneratorConfig config;
+  config.seed = 21;
+  config.min_shots_per_video = 10;
+  config.max_shots_per_video = 12;
+  config.min_frames_per_shot = 12;
+  config.max_frames_per_shot = 24;
+  SoccerVideoGenerator generator(config);
+
+  double f1_sum = 0.0;
+  const int videos = 4;
+  for (int v = 0; v < videos; ++v) {
+    const SyntheticVideo video = generator.Generate(v);
+    BoundaryDetector detector;
+    const auto detected = detector.Detect(video.frames);
+    const auto eval = BoundaryDetector::Evaluate(
+        detected, video.TrueBoundaries(), /*tolerance=*/2);
+    f1_sum += eval.f1;
+  }
+  EXPECT_GT(f1_sum / videos, 0.6);
+}
+
+}  // namespace
+}  // namespace hmmm

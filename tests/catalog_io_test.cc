@@ -1,0 +1,75 @@
+#include "storage/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+TEST(CatalogIoTest, RoundTripPreservesEverything) {
+  const VideoCatalog original = testing::SmallSoccerCatalog();
+  const std::string blob = SerializeCatalog(original);
+  auto restored = DeserializeCatalog(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  EXPECT_EQ(restored->num_videos(), original.num_videos());
+  EXPECT_EQ(restored->num_shots(), original.num_shots());
+  EXPECT_EQ(restored->num_features(), original.num_features());
+  EXPECT_EQ(restored->vocabulary().names(), original.vocabulary().names());
+  for (size_t s = 0; s < original.num_shots(); ++s) {
+    const ShotRecord& a = original.shot(static_cast<ShotId>(s));
+    const ShotRecord& b = restored->shot(static_cast<ShotId>(s));
+    EXPECT_EQ(a.video_id, b.video_id);
+    EXPECT_EQ(a.index_in_video, b.index_in_video);
+    EXPECT_DOUBLE_EQ(a.begin_time, b.begin_time);
+    EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(original.raw_features_of(static_cast<ShotId>(s)),
+              restored->raw_features_of(static_cast<ShotId>(s)));
+  }
+}
+
+TEST(CatalogIoTest, RoundTripLargeGeneratedCorpus) {
+  const VideoCatalog original = testing::GeneratedSoccerCatalog(4, 6);
+  auto restored = DeserializeCatalog(SerializeCatalog(original));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_shots(), original.num_shots());
+  EXPECT_EQ(restored->num_annotations(), original.num_annotations());
+}
+
+TEST(CatalogIoTest, CorruptionRejected) {
+  std::string blob = SerializeCatalog(testing::SmallSoccerCatalog());
+  blob[blob.size() / 2] ^= 0x01;
+  EXPECT_EQ(DeserializeCatalog(blob).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CatalogIoTest, TruncationRejected) {
+  const std::string blob = SerializeCatalog(testing::SmallSoccerCatalog());
+  EXPECT_FALSE(
+      DeserializeCatalog(std::string_view(blob).substr(0, blob.size() - 5)).ok());
+}
+
+TEST(CatalogIoTest, WrongMagicRejected) {
+  const std::string blob =
+      WrapChecksummed(0x12345678, kCatalogVersion, "junk");
+  EXPECT_FALSE(DeserializeCatalog(blob).ok());
+}
+
+TEST(CatalogIoTest, FileRoundTrip) {
+  const VideoCatalog original = testing::SmallSoccerCatalog();
+  const std::string path = testing::TempPath("hmmm_catalog_io_test.cat");
+  ASSERT_TRUE(SaveCatalog(original, path).ok());
+  auto restored = LoadCatalog(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_shots(), original.num_shots());
+  std::remove(path.c_str());
+}
+
+TEST(CatalogIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(LoadCatalog("/nonexistent/catalog.bin").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace hmmm

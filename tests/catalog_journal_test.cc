@@ -1,0 +1,169 @@
+#include "storage/catalog_journal.h"
+
+#include <gtest/gtest.h>
+
+#include "common/serialization.h"
+#include "retrieval/engine.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+std::string JournalPath(const std::string& name) {
+  const std::string path = testing::TempPath(name);
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(CatalogJournalTest, IngestAndReplay) {
+  const std::string path = JournalPath("journal_basic.wal");
+  {
+    auto journal = CatalogJournal::Open(path, SoccerEvents(), 2);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    auto v0 = journal->AppendVideo("match_a");
+    ASSERT_TRUE(v0.ok());
+    ASSERT_TRUE(journal->AppendShot(*v0, 0.0, 4.0, {2}, {0.9, 0.1}).ok());
+    ASSERT_TRUE(journal->AppendShot(*v0, 4.0, 9.0, {}, {0.2, 0.2}).ok());
+    auto v1 = journal->AppendVideo("match_b");
+    ASSERT_TRUE(v1.ok());
+    ASSERT_TRUE(journal->AppendShot(*v1, 0.0, 5.0, {0}, {0.1, 0.9}).ok());
+    ASSERT_TRUE(journal->Flush().ok());
+    EXPECT_EQ(journal->catalog().num_videos(), 2u);
+    EXPECT_EQ(journal->catalog().num_shots(), 3u);
+  }
+  // Reopen: the catalog is rebuilt by replay.
+  auto reopened = CatalogJournal::Open(path, SoccerEvents(), 2);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->recovered_tail_bytes(), 0u);
+  EXPECT_EQ(reopened->catalog().num_videos(), 2u);
+  EXPECT_EQ(reopened->catalog().num_shots(), 3u);
+  EXPECT_EQ(reopened->catalog().num_annotated_shots(), 2u);
+  EXPECT_EQ(reopened->catalog().video(0).name, "match_a");
+  EXPECT_EQ(reopened->catalog().shot(0).events, (std::vector<EventId>{2}));
+  EXPECT_EQ(reopened->catalog().raw_features_of(2),
+            (std::vector<double>{0.1, 0.9}));
+  EXPECT_TRUE(reopened->catalog().Validate().ok());
+
+  // And it stays appendable.
+  ASSERT_TRUE(reopened->AppendShot(1, 5.0, 8.0, {1}, {0.5, 0.5}).ok());
+  ASSERT_TRUE(reopened->Flush().ok());
+  auto third = CatalogJournal::Open(path, SoccerEvents(), 2);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->catalog().num_shots(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogJournalTest, TornTailRecovery) {
+  const std::string path = JournalPath("journal_torn.wal");
+  {
+    auto journal = CatalogJournal::Open(path, SoccerEvents(), 2);
+    ASSERT_TRUE(journal.ok());
+    auto v0 = journal->AppendVideo("match");
+    ASSERT_TRUE(v0.ok());
+    ASSERT_TRUE(journal->AppendShot(*v0, 0.0, 4.0, {2}, {0.9, 0.1}).ok());
+    ASSERT_TRUE(journal->AppendShot(*v0, 4.0, 9.0, {0}, {0.1, 0.9}).ok());
+    ASSERT_TRUE(journal->Flush().ok());
+  }
+  // Tear the tail: drop the last few bytes (mid-record crash).
+  auto full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(WriteFile(path, full->substr(0, full->size() - 4)).ok());
+
+  auto recovered = CatalogJournal::Open(path, SoccerEvents(), 2);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_GT(recovered->recovered_tail_bytes(), 0u);
+  EXPECT_EQ(recovered->catalog().num_shots(), 1u);  // last shot lost
+  EXPECT_TRUE(recovered->catalog().Validate().ok());
+  std::remove(path.c_str());
+}
+
+TEST(CatalogJournalTest, MidFileCorruptionNotMaskedAsEmpty) {
+  const std::string path = JournalPath("journal_corrupt.wal");
+  {
+    auto journal = CatalogJournal::Open(path, SoccerEvents(), 2);
+    ASSERT_TRUE(journal.ok());
+    auto v0 = journal->AppendVideo("match");
+    ASSERT_TRUE(v0.ok());
+    ASSERT_TRUE(journal->AppendShot(*v0, 0.0, 4.0, {2},
+                                    std::vector<double>(2, 0.5)).ok());
+    ASSERT_TRUE(journal->AppendShot(*v0, 4.0, 9.0, {0},
+                                    std::vector<double>(2, 0.5)).ok());
+    ASSERT_TRUE(journal->Flush().ok());
+  }
+  auto full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+  std::string corrupted = *full;
+  corrupted[10] ^= 0x55;  // inside the header record, not the tail
+  ASSERT_TRUE(WriteFile(path, corrupted).ok());
+  auto reopened = CatalogJournal::Open(path, SoccerEvents(), 2);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogJournalTest, VocabularyMismatchRejected) {
+  const std::string path = JournalPath("journal_vocab.wal");
+  {
+    auto journal = CatalogJournal::Open(path, SoccerEvents(), 2);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Flush().ok());
+  }
+  auto wrong_vocab = CatalogJournal::Open(path, NewsEvents(), 2);
+  EXPECT_EQ(wrong_vocab.status().code(), StatusCode::kFailedPrecondition);
+  auto wrong_features = CatalogJournal::Open(path, SoccerEvents(), 7);
+  EXPECT_EQ(wrong_features.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogJournalTest, InvalidOpsNeverReachTheLog) {
+  const std::string path = JournalPath("journal_invalid.wal");
+  auto journal = CatalogJournal::Open(path, SoccerEvents(), 2);
+  ASSERT_TRUE(journal.ok());
+  auto v0 = journal->AppendVideo("match");
+  ASSERT_TRUE(v0.ok());
+  // Wrong width, bad event id, unknown video: all rejected up front.
+  EXPECT_FALSE(journal->AppendShot(*v0, 0, 1, {}, {0.5}).ok());
+  EXPECT_FALSE(journal->AppendShot(*v0, 0, 1, {99}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(journal->AppendShot(7, 0, 1, {}, {0.5, 0.5}).ok());
+  ASSERT_TRUE(journal->Flush().ok());
+  // Replay still clean.
+  auto reopened = CatalogJournal::Open(path, SoccerEvents(), 2);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->catalog().num_shots(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogJournalTest, JournaledCatalogDrivesRetrieval) {
+  // End-to-end: ingest via journal, reopen, build a model, query.
+  const std::string path = JournalPath("journal_e2e.wal");
+  const VideoCatalog source = testing::SmallSoccerCatalog();
+  {
+    auto journal = CatalogJournal::Open(path, source.vocabulary(),
+                                        source.num_features());
+    ASSERT_TRUE(journal.ok());
+    for (const VideoRecord& video : source.videos()) {
+      auto vid = journal->AppendVideo(video.name);
+      ASSERT_TRUE(vid.ok());
+      for (ShotId sid : video.shots) {
+        const ShotRecord& shot = source.shot(sid);
+        ASSERT_TRUE(journal
+                        ->AppendShot(*vid, shot.begin_time, shot.end_time,
+                                     shot.events, source.raw_features_of(sid))
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(journal->Flush().ok());
+  }
+  auto journal = CatalogJournal::Open(path, source.vocabulary(),
+                                      source.num_features());
+  ASSERT_TRUE(journal.ok());
+  auto engine = RetrievalEngine::Create(journal->catalog());
+  ASSERT_TRUE(engine.ok());
+  auto results = engine->Query("free_kick ; goal");
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hmmm

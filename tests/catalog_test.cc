@@ -1,0 +1,106 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+TEST(CatalogTest, AddVideosAndShots) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  EXPECT_EQ(catalog.num_videos(), 2u);
+  EXPECT_EQ(catalog.num_shots(), 8u);
+  EXPECT_EQ(catalog.num_annotated_shots(), 6u);
+  EXPECT_EQ(catalog.num_annotations(), 7u);  // one shot carries two events
+  EXPECT_EQ(catalog.video(0).name, "video_a");
+  EXPECT_EQ(catalog.shot(2).events.size(), 2u);
+  EXPECT_EQ(catalog.shot(2).NumEvents(), 2);
+}
+
+TEST(CatalogTest, ShotRecordHasEvent) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const ShotRecord& shot = catalog.shot(2);  // free_kick + goal
+  EXPECT_TRUE(shot.HasEvent(0));
+  EXPECT_TRUE(shot.HasEvent(2));
+  EXPECT_FALSE(shot.HasEvent(1));
+}
+
+TEST(CatalogTest, AddShotValidation) {
+  VideoCatalog catalog(SoccerEvents(), 3);
+  EXPECT_FALSE(catalog.AddShot(0, 0, 1, {}, {0, 0, 0}).ok());  // no video
+  const VideoId v = catalog.AddVideo("v");
+  EXPECT_FALSE(catalog.AddShot(v, 0, 1, {}, {0, 0}).ok());  // width
+  EXPECT_FALSE(catalog.AddShot(v, 0, 1, {99}, {0, 0, 0}).ok());  // event id
+  ASSERT_TRUE(catalog.AddShot(v, 5, 6, {}, {0, 0, 0}).ok());
+  // Temporal order enforced.
+  EXPECT_FALSE(catalog.AddShot(v, 1, 2, {}, {0, 0, 0}).ok());
+}
+
+TEST(CatalogTest, AnnotatedShotsPerVideoInOrder) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const auto annotated = catalog.AnnotatedShots(0);
+  EXPECT_EQ(annotated, (std::vector<ShotId>{0, 2, 3}));
+  const auto all = catalog.AllAnnotatedShots();
+  EXPECT_EQ(all, (std::vector<ShotId>{0, 2, 3, 4, 6, 7}));
+}
+
+TEST(CatalogTest, RawFeatureMatrix) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const Matrix bb1 = catalog.RawFeatureMatrix();
+  EXPECT_EQ(bb1.rows(), 8u);
+  EXPECT_EQ(bb1.cols(), 8u);
+  // Shot 0 is a free_kick (event id 2): feature 2 is hot.
+  EXPECT_DOUBLE_EQ(bb1.at(0, 2), 0.9);
+  EXPECT_DOUBLE_EQ(bb1.at(0, 0), 0.1);
+
+  const Matrix subset = catalog.RawFeatureMatrixFor({2, 0});
+  EXPECT_EQ(subset.rows(), 2u);
+  EXPECT_DOUBLE_EQ(subset.at(0, 0), 0.9);  // shot 2 carries goal (id 0)
+  EXPECT_DOUBLE_EQ(subset.at(1, 2), 0.9);
+}
+
+TEST(CatalogTest, EventCountMatrixB2) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const Matrix b2 = catalog.EventCountMatrix();
+  EXPECT_EQ(b2.rows(), 2u);
+  EXPECT_EQ(b2.cols(), 8u);
+  EXPECT_DOUBLE_EQ(b2.at(0, 2), 2.0);  // video_a: two free_kicks
+  EXPECT_DOUBLE_EQ(b2.at(0, 0), 1.0);  // one goal
+  EXPECT_DOUBLE_EQ(b2.at(0, 1), 1.0);  // one corner
+  EXPECT_DOUBLE_EQ(b2.at(1, 0), 2.0);  // video_b: two goals
+  EXPECT_DOUBLE_EQ(b2.at(1, 1), 0.0);
+}
+
+TEST(CatalogTest, ValidatePasses) {
+  EXPECT_TRUE(testing::SmallSoccerCatalog().Validate().ok());
+  EXPECT_TRUE(testing::GeneratedSoccerCatalog().Validate().ok());
+}
+
+TEST(CatalogTest, FromGeneratedCorpusPreservesCounts) {
+  FeatureLevelConfig config = SoccerFeatureLevelDefaults(2);
+  config.num_videos = 4;
+  config.min_shots_per_video = 20;
+  config.max_shots_per_video = 30;
+  FeatureLevelGenerator generator(config);
+  const GeneratedCorpus corpus = generator.Generate();
+  auto catalog = VideoCatalog::FromGeneratedCorpus(corpus);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->num_videos(), corpus.videos.size());
+  EXPECT_EQ(catalog->num_shots(), corpus.TotalShots());
+  EXPECT_EQ(catalog->num_annotated_shots(), corpus.TotalAnnotatedShots());
+  EXPECT_EQ(catalog->num_features(), corpus.num_features);
+}
+
+TEST(CatalogTest, IndexInVideoIsDense) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  for (const VideoRecord& video : catalog.videos()) {
+    int expected = 0;
+    for (ShotId sid : video.shots) {
+      EXPECT_EQ(catalog.shot(sid).index_in_video, expected++);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,201 @@
+#include "core/category_level.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/model_builder.h"
+#include "media/news_generator.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+/// Builds a mixed soccer+news archive whose domains should separate into
+/// distinct clusters by their B2 event signatures.
+VideoCatalog MixedArchive(int per_domain) {
+  EventVocabulary combined = SoccerEvents();
+  const EventVocabulary news_vocab = NewsEvents();
+  std::vector<EventId> news_ids;
+  for (const std::string& name : news_vocab.names()) {
+    news_ids.push_back(combined.Register(name));
+  }
+
+  FeatureLevelConfig soccer_config = SoccerFeatureLevelDefaults(31);
+  soccer_config.num_videos = per_domain;
+  soccer_config.min_shots_per_video = 30;
+  soccer_config.max_shots_per_video = 50;
+  soccer_config.event_shot_fraction = 0.3;
+  FeatureLevelGenerator soccer(soccer_config);
+
+  FeatureLevelConfig news_config = NewsFeatureLevelDefaults(32);
+  news_config.num_videos = per_domain;
+  news_config.min_shots_per_video = 30;
+  news_config.max_shots_per_video = 50;
+  FeatureLevelGenerator news(news_config);
+
+  VideoCatalog catalog(combined, 20);
+  for (const GeneratedVideo& video : soccer.Generate().videos) {
+    const VideoId vid = catalog.AddVideo("soccer_" + video.name);
+    for (const GeneratedShot& shot : video.shots) {
+      HMMM_CHECK(catalog.AddShot(vid, shot.begin_time, shot.end_time,
+                                 shot.events, shot.features).ok());
+    }
+  }
+  for (const GeneratedVideo& video : news.Generate().videos) {
+    const VideoId vid = catalog.AddVideo("news_" + video.name);
+    for (const GeneratedShot& shot : video.shots) {
+      std::vector<EventId> remapped;
+      for (EventId e : shot.events) {
+        remapped.push_back(news_ids[static_cast<size_t>(e)]);
+      }
+      HMMM_CHECK(catalog.AddShot(vid, shot.begin_time, shot.end_time,
+                                 remapped, shot.features).ok());
+    }
+  }
+  return catalog;
+}
+
+HierarchicalModel BuildModel(const VideoCatalog& catalog) {
+  auto model = ModelBuilder(catalog).Build();
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(CategoryLevelTest, SeparatesDomainsAtKTwo) {
+  const VideoCatalog catalog = MixedArchive(6);
+  const HierarchicalModel model = BuildModel(catalog);
+  CategoryLevelOptions options;
+  options.num_clusters = 2;
+  auto level = BuildCategoryLevel(model, options);
+  ASSERT_TRUE(level.ok()) << level.status();
+  ASSERT_EQ(level->num_clusters(), 2u);
+  EXPECT_TRUE(level->Validate().ok());
+
+  // All soccer videos (ids 0..5) share one cluster; all news videos
+  // (6..11) the other.
+  const int soccer_cluster = level->ClusterOf(0);
+  const int news_cluster = level->ClusterOf(6);
+  EXPECT_NE(soccer_cluster, news_cluster);
+  for (VideoId v = 0; v < 6; ++v) {
+    EXPECT_EQ(level->ClusterOf(v), soccer_cluster) << "video " << v;
+  }
+  for (VideoId v = 6; v < 12; ++v) {
+    EXPECT_EQ(level->ClusterOf(v), news_cluster) << "video " << v;
+  }
+}
+
+TEST(CategoryLevelTest, B3AggregatesMemberCounts) {
+  const VideoCatalog catalog = MixedArchive(4);
+  const HierarchicalModel model = BuildModel(catalog);
+  CategoryLevelOptions options;
+  options.num_clusters = 2;
+  auto level = BuildCategoryLevel(model, options);
+  ASSERT_TRUE(level.ok());
+
+  // Sum of B3 equals sum of B2.
+  double b3_total = 0.0, b2_total = 0.0;
+  for (size_t c = 0; c < level->b3().rows(); ++c) {
+    b3_total += level->b3().RowSum(c);
+  }
+  for (size_t v = 0; v < model.b2().rows(); ++v) {
+    b2_total += model.b2().RowSum(v);
+  }
+  EXPECT_DOUBLE_EQ(b3_total, b2_total);
+
+  // The soccer cluster contains goal (0); the news cluster does not.
+  const int soccer_cluster = level->ClusterOf(0);
+  const int news_cluster = level->ClusterOf(4);
+  EXPECT_TRUE(level->ClusterContainsEvent(soccer_cluster, 0));
+  EXPECT_FALSE(level->ClusterContainsEvent(news_cluster, 0));
+  EXPECT_FALSE(level->ClusterContainsEvent(-1, 0));
+  EXPECT_FALSE(level->ClusterContainsEvent(0, 99));
+}
+
+TEST(CategoryLevelTest, Pi3ProportionalToClusterSize) {
+  const VideoCatalog catalog = MixedArchive(4);  // 4 + 4 videos
+  const HierarchicalModel model = BuildModel(catalog);
+  CategoryLevelOptions options;
+  options.num_clusters = 2;
+  auto level = BuildCategoryLevel(model, options);
+  ASSERT_TRUE(level.ok());
+  EXPECT_DOUBLE_EQ(level->pi3()[0] + level->pi3()[1], 1.0);
+  EXPECT_DOUBLE_EQ(level->pi3()[0], 0.5);
+}
+
+TEST(CategoryLevelTest, VideosByClusterPartitions) {
+  const VideoCatalog catalog = MixedArchive(5);
+  const HierarchicalModel model = BuildModel(catalog);
+  auto level = BuildCategoryLevel(model);
+  ASSERT_TRUE(level.ok());
+  const auto members = level->VideosByCluster();
+  std::set<VideoId> seen;
+  for (const auto& cluster : members) {
+    for (VideoId v : cluster) {
+      EXPECT_TRUE(seen.insert(v).second) << "video in two clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), catalog.num_videos());
+}
+
+TEST(CategoryLevelTest, DeterministicForSeed) {
+  const VideoCatalog catalog = MixedArchive(4);
+  const HierarchicalModel model = BuildModel(catalog);
+  CategoryLevelOptions options;
+  options.seed = 5;
+  auto a = BuildCategoryLevel(model, options);
+  auto b = BuildCategoryLevel(model, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->cluster_of_video(), b->cluster_of_video());
+}
+
+TEST(CategoryLevelTest, AutoClusterCountHeuristic) {
+  const VideoCatalog catalog = MixedArchive(6);  // 12 videos
+  const HierarchicalModel model = BuildModel(catalog);
+  auto level = BuildCategoryLevel(model);
+  ASSERT_TRUE(level.ok());
+  EXPECT_GE(level->num_clusters(), 2u);
+  EXPECT_LE(level->num_clusters(), catalog.num_videos());
+}
+
+TEST(CategoryLevelTest, SingleVideoArchive) {
+  VideoCatalog catalog(SoccerEvents(), 2);
+  const VideoId v = catalog.AddVideo("only");
+  ASSERT_TRUE(catalog.AddShot(v, 0, 1, {0}, {0.9, 0.1}).ok());
+  const HierarchicalModel model = BuildModel(catalog);
+  auto level = BuildCategoryLevel(model);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(level->num_clusters(), 1u);
+  EXPECT_EQ(level->ClusterOf(0), 0);
+}
+
+TEST(CategoryLevelTest, EmptyModelRejected) {
+  HierarchicalModel model;
+  EXPECT_FALSE(BuildCategoryLevel(model).ok());
+}
+
+TEST(CategoryLevelTest, KLargerThanVideosClamped) {
+  const VideoCatalog catalog = MixedArchive(2);  // 4 videos
+  const HierarchicalModel model = BuildModel(catalog);
+  CategoryLevelOptions options;
+  options.num_clusters = 10;
+  auto level = BuildCategoryLevel(model, options);
+  ASSERT_TRUE(level.ok());
+  EXPECT_LE(level->num_clusters(), 4u);
+}
+
+TEST(CategoryLevelTest, ToStringMentionsTopEvents) {
+  const VideoCatalog catalog = MixedArchive(4);
+  const HierarchicalModel model = BuildModel(catalog);
+  CategoryLevelOptions options;
+  options.num_clusters = 2;
+  auto level = BuildCategoryLevel(model, options);
+  ASSERT_TRUE(level.ok());
+  const std::string text = level->ToString(catalog.vocabulary());
+  EXPECT_NE(text.find("cluster 0"), std::string::npos);
+  EXPECT_NE(text.find("anchor"), std::string::npos);  // news top event
+}
+
+}  // namespace
+}  // namespace hmmm

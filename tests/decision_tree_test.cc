@@ -1,0 +1,184 @@
+#include "events/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "events/training.h"
+
+namespace hmmm {
+namespace {
+
+/// Two well-separated Gaussian blobs in 2D.
+LabeledDataset TwoBlobDataset(int per_class, uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < per_class; ++i) {
+    rows.push_back({rng.NextGaussian(0.2, 0.05), rng.NextGaussian(0.2, 0.05)});
+    labels.push_back(0);
+    rows.push_back({rng.NextGaussian(0.8, 0.05), rng.NextGaussian(0.8, 0.05)});
+    labels.push_back(1);
+  }
+  LabeledDataset dataset;
+  dataset.features = *Matrix::FromRows(rows);
+  dataset.labels = std::move(labels);
+  return dataset;
+}
+
+TEST(DecisionTreeTest, RejectsEmptyAndMismatched) {
+  DecisionTree tree;
+  EXPECT_FALSE(tree.Train(LabeledDataset{}).ok());
+  LabeledDataset bad;
+  bad.features = Matrix(2, 2);
+  bad.labels = {0};
+  EXPECT_FALSE(tree.Train(bad).ok());
+  EXPECT_FALSE(tree.Predict({1.0, 2.0}).ok());  // untrained
+}
+
+TEST(DecisionTreeTest, LearnsLinearlySeparableBlobs) {
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(TwoBlobDataset(40)).ok());
+  EXPECT_TRUE(tree.trained());
+  EXPECT_EQ(*tree.Predict({0.15, 0.25}), 0);
+  EXPECT_EQ(*tree.Predict({0.85, 0.75}), 1);
+}
+
+TEST(DecisionTreeTest, SingleClassGivesSingleLeaf) {
+  LabeledDataset dataset;
+  dataset.features = Matrix(5, 2, 0.5);
+  dataset.labels = std::vector<int>(5, 3);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(dataset).ok());
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(*tree.Predict({9.0, 9.0}), 3);
+}
+
+TEST(DecisionTreeTest, BackgroundLabelIsLegalClass) {
+  LabeledDataset dataset = TwoBlobDataset(20);
+  for (int& label : dataset.labels) {
+    if (label == 0) label = kBackgroundLabel;
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(dataset).ok());
+  EXPECT_EQ(*tree.Predict({0.2, 0.2}), kBackgroundLabel);
+}
+
+TEST(DecisionTreeTest, PredictRejectsWrongWidth) {
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(TwoBlobDataset(10)).ok());
+  EXPECT_FALSE(tree.Predict({1.0}).ok());
+  EXPECT_FALSE(tree.Predict({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  DecisionTreeOptions options;
+  options.max_depth = 2;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Train(TwoBlobDataset(50)).ok());
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, PredictProbaSumsToOne) {
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(TwoBlobDataset(30)).ok());
+  auto proba = tree.PredictProba({0.2, 0.2});
+  ASSERT_TRUE(proba.ok());
+  double sum = 0.0;
+  for (double p : *proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(proba->size(), tree.classes().size());
+}
+
+TEST(DecisionTreeTest, FeatureImportancesFocusOnInformative) {
+  // Class depends only on feature 0; feature 1 is noise.
+  Rng rng(9);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) {
+    const int label = i % 2;
+    rows.push_back({label == 0 ? rng.NextDouble(0.0, 0.4)
+                               : rng.NextDouble(0.6, 1.0),
+                    rng.NextDouble()});
+    labels.push_back(label);
+  }
+  LabeledDataset dataset;
+  dataset.features = *Matrix::FromRows(rows);
+  dataset.labels = labels;
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(dataset).ok());
+  const auto importances = tree.FeatureImportances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_GT(importances[0], 0.8);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafLimitsFragmentation) {
+  DecisionTreeOptions options;
+  options.min_samples_leaf = 20;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Train(TwoBlobDataset(25)).ok());
+  // With 50 total examples and >=20 per leaf, at most 3 leaves exist.
+  EXPECT_LE(tree.node_count(), 5u);
+}
+
+TEST(DatasetTest, ValidateChecksLabels) {
+  LabeledDataset dataset;
+  dataset.features = Matrix(2, 1);
+  dataset.labels = {0, 5};
+  EXPECT_FALSE(dataset.Validate(3).ok());
+  dataset.labels = {0, kBackgroundLabel};
+  EXPECT_TRUE(dataset.Validate(3).ok());
+}
+
+TEST(DatasetTest, IndicesByClassPartitions) {
+  LabeledDataset dataset;
+  dataset.features = Matrix(4, 1);
+  dataset.labels = {1, kBackgroundLabel, 1, 0};
+  const auto by_class = dataset.IndicesByClass(2);
+  ASSERT_EQ(by_class.size(), 3u);
+  EXPECT_EQ(by_class[0], (std::vector<size_t>{3}));
+  EXPECT_EQ(by_class[1], (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(by_class[2], (std::vector<size_t>{1}));
+}
+
+TEST(DatasetTest, CleanDatasetDropsNonFinite) {
+  LabeledDataset dataset;
+  dataset.features = *Matrix::FromRows({{1.0, 2.0}, {std::nan(""), 2.0},
+                                        {3.0, 4.0}});
+  dataset.labels = {0, 1, 0};
+  EXPECT_EQ(CleanDataset(dataset), 1u);
+  EXPECT_EQ(dataset.size(), 2u);
+  EXPECT_EQ(dataset.labels, (std::vector<int>{0, 0}));
+  // Already-clean datasets are untouched.
+  EXPECT_EQ(CleanDataset(dataset), 0u);
+}
+
+TEST(TrainingTest, SplitDatasetPartitions) {
+  const LabeledDataset dataset = TwoBlobDataset(30);
+  Rng rng(3);
+  auto split = SplitDataset(dataset, 0.25, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size() + split->test.size(), dataset.size());
+  EXPECT_EQ(split->test.size(), 15u);  // 25% of 60
+  EXPECT_FALSE(SplitDataset(dataset, 0.0, rng).ok());
+  EXPECT_FALSE(SplitDataset(dataset, 1.0, rng).ok());
+}
+
+TEST(TrainingTest, EvaluateClassifierOnSeparableData) {
+  const LabeledDataset dataset = TwoBlobDataset(50);
+  Rng rng(4);
+  auto split = SplitDataset(dataset, 0.3, rng);
+  ASSERT_TRUE(split.ok());
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(split->train).ok());
+  auto metrics = EvaluateClassifier(tree, split->test);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->accuracy, 0.95);
+  EXPECT_GT(metrics->MacroF1(), 0.95);
+  EXPECT_EQ(metrics->examples, split->test.size());
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,175 @@
+// Gradual-transition (dissolve) rendering and twin-comparison detection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "media/soccer_generator.h"
+#include "shots/boundary_detector.h"
+
+namespace hmmm {
+namespace {
+
+/// Frame with per-pixel dither so colour shifts move pixels across
+/// histogram bins smoothly instead of all at once (uniform frames make
+/// even tiny shifts look like hard cuts to a bin-quantized histogram).
+Frame DitheredFrame(Rgb base, int w = 16, int h = 16) {
+  Frame frame(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int dither = (x * 7 + y * 13) % 32;
+      auto offset = [&](uint8_t v) {
+        return static_cast<uint8_t>(std::min(255, v + dither));
+      };
+      frame.at(x, y) = Rgb{offset(base.r), offset(base.g), offset(base.b)};
+    }
+  }
+  return frame;
+}
+
+/// Hand-built sequence: scene A, a linear D-frame dissolve, scene B.
+std::vector<Frame> DissolveSequence(int scene_frames, int dissolve_frames) {
+  const Rgb a{40, 160, 40};
+  const Rgb b{150, 40, 40};
+  std::vector<Frame> frames;
+  for (int i = 0; i < scene_frames; ++i) frames.push_back(DitheredFrame(a));
+  for (int i = 1; i <= dissolve_frames; ++i) {
+    const double alpha = static_cast<double>(i) / (dissolve_frames + 1);
+    frames.push_back(DitheredFrame(
+        Rgb{static_cast<uint8_t>((1 - alpha) * a.r + alpha * b.r),
+            static_cast<uint8_t>((1 - alpha) * a.g + alpha * b.g),
+            static_cast<uint8_t>((1 - alpha) * a.b + alpha * b.b)}));
+  }
+  for (int i = 0; i < scene_frames; ++i) frames.push_back(DitheredFrame(b));
+  return frames;
+}
+
+TEST(DissolveDetectionTest, TwinComparisonFindsGradualBoundary) {
+  const auto frames = DissolveSequence(12, 24);
+  BoundaryDetectorOptions options;
+  options.detect_gradual = true;
+  BoundaryDetector detector(options);
+  const auto boundaries = detector.Detect(frames);
+  ASSERT_EQ(boundaries.size(), 1u);
+  // Boundary somewhere within the dissolve window (frames 12..36).
+  EXPECT_GE(boundaries[0], 12);
+  EXPECT_LE(boundaries[0], 36);
+}
+
+TEST(DissolveDetectionTest, CutOnlyDetectorMissesDissolve) {
+  const auto frames = DissolveSequence(12, 24);
+  BoundaryDetectorOptions options;
+  options.detect_gradual = false;
+  // Per-frame dissolve steps stay below the adaptive cut threshold.
+  options.min_cut_distance = 0.6;
+  BoundaryDetector detector(options);
+  EXPECT_TRUE(detector.Detect(frames).empty());
+}
+
+TEST(DissolveDetectionTest, HardCutsStillDetectedWithGradualOn) {
+  std::vector<Frame> frames;
+  for (int i = 0; i < 10; ++i) frames.emplace_back(8, 8, Rgb{40, 160, 40});
+  for (int i = 0; i < 10; ++i) frames.emplace_back(8, 8, Rgb{150, 40, 40});
+  BoundaryDetector detector;
+  const auto boundaries = detector.Detect(frames);
+  ASSERT_EQ(boundaries.size(), 1u);
+  EXPECT_EQ(boundaries[0], 10);
+}
+
+TEST(DissolveDetectionTest, SlowPanNotReportedAsTransition) {
+  // A very slow colour drift over many frames: per-frame changes stay
+  // below the low threshold, so nothing accumulates.
+  std::vector<Frame> frames;
+  for (int i = 0; i < 60; ++i) {
+    const auto g = static_cast<uint8_t>(160 - i);
+    frames.push_back(DitheredFrame(Rgb{40, g, 40}));
+  }
+  BoundaryDetectorOptions options;
+  options.min_cut_distance = 0.6;
+  BoundaryDetector detector(options);
+  EXPECT_TRUE(detector.Detect(frames).empty());
+}
+
+TEST(DissolveGeneratorTest, DissolveFlagsHonoured) {
+  SoccerGeneratorConfig config;
+  config.seed = 77;
+  config.min_shots_per_video = 12;
+  config.max_shots_per_video = 16;
+  config.dissolve_probability = 1.0;  // every boundary dissolves
+  SoccerVideoGenerator generator(config);
+  const SyntheticVideo video = generator.Generate(0);
+  ASSERT_GT(video.shots.size(), 1u);
+  EXPECT_FALSE(video.shots.front().dissolve_in);
+  for (size_t s = 1; s < video.shots.size(); ++s) {
+    EXPECT_TRUE(video.shots[s].dissolve_in);
+  }
+}
+
+TEST(DissolveGeneratorTest, BlendedFramesAtBoundary) {
+  SoccerGeneratorConfig config;
+  config.seed = 78;
+  config.min_shots_per_video = 6;
+  config.max_shots_per_video = 6;
+  config.min_frames_per_shot = 16;
+  config.max_frames_per_shot = 20;
+  config.dissolve_probability = 1.0;
+  config.dissolve_frames = 8;
+  SoccerVideoGenerator generator(config);
+  const SyntheticVideo video = generator.Generate(0);
+
+  // At a dissolve boundary, the frame-to-frame change right at the cut is
+  // smaller than it would be for a hard cut: compare against the cut-only
+  // variant of the same video.
+  SoccerGeneratorConfig hard = config;
+  hard.dissolve_probability = 0.0;
+  const SyntheticVideo cut_video = SoccerVideoGenerator(hard).Generate(0);
+  ASSERT_EQ(video.shots.size(), cut_video.shots.size());
+
+  double dissolve_change = 0.0, cut_change = 0.0;
+  int counted = 0;
+  for (size_t s = 1; s < video.shots.size(); ++s) {
+    const int b = video.shots[s].begin_frame;
+    dissolve_change += PixelChangeFraction(
+        video.frames[static_cast<size_t>(b - 1)],
+        video.frames[static_cast<size_t>(b)]);
+    cut_change += PixelChangeFraction(
+        cut_video.frames[static_cast<size_t>(b - 1)],
+        cut_video.frames[static_cast<size_t>(b)]);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LT(dissolve_change, cut_change);
+}
+
+TEST(DissolveGeneratorTest, GradualDetectorRecoversDissolvedBoundaries) {
+  SoccerGeneratorConfig config;
+  config.seed = 79;
+  config.min_shots_per_video = 10;
+  config.max_shots_per_video = 12;
+  config.min_frames_per_shot = 16;
+  config.max_frames_per_shot = 24;
+  config.dissolve_probability = 0.5;
+  SoccerVideoGenerator generator(config);
+
+  double f1_gradual = 0.0, f1_cut_only = 0.0;
+  const int videos = 4;
+  for (int v = 0; v < videos; ++v) {
+    const SyntheticVideo video = generator.Generate(v);
+    BoundaryDetectorOptions with;
+    with.detect_gradual = true;
+    BoundaryDetectorOptions without;
+    without.detect_gradual = false;
+    const auto truth = video.TrueBoundaries();
+    f1_gradual += BoundaryDetector::Evaluate(
+                      BoundaryDetector(with).Detect(video.frames), truth, 4)
+                      .f1;
+    f1_cut_only += BoundaryDetector::Evaluate(
+                       BoundaryDetector(without).Detect(video.frames), truth, 4)
+                       .f1;
+  }
+  EXPECT_GE(f1_gradual + 1e-9, f1_cut_only);
+  EXPECT_GT(f1_gradual / videos, 0.5);
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "dsp/fft.h"
+#include "dsp/filterbank.h"
+#include "dsp/stats.h"
+#include "dsp/window.h"
+
+namespace hmmm::dsp {
+namespace {
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_FALSE(Fft(data).ok());
+  std::vector<std::complex<double>> empty;
+  EXPECT_FALSE(Fft(empty).ok());
+}
+
+TEST(FftTest, DcSignal) {
+  std::vector<std::complex<double>> data(8, {1.0, 0.0});
+  ASSERT_TRUE(Fft(data).ok());
+  EXPECT_NEAR(data[0].real(), 8.0, 1e-12);
+  for (size_t i = 1; i < 8; ++i) EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-12);
+}
+
+TEST(FftTest, PureToneLandsInCorrectBin) {
+  const size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  const int bin = 5;
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = std::cos(2.0 * M_PI * bin * static_cast<double>(i) / n);
+  }
+  ASSERT_TRUE(Fft(data).ok());
+  // A real cosine splits its energy between bins k and n-k.
+  EXPECT_NEAR(std::abs(data[bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[bin + 2]), 0.0, 1e-9);
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  const size_t n = 32;
+  std::vector<std::complex<double>> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = {std::sin(0.3 * static_cast<double>(i)),
+               std::cos(0.7 * static_cast<double>(i))};
+  }
+  const auto original = data;
+  ASSERT_TRUE(Fft(data).ok());
+  ASSERT_TRUE(Fft(data, /*inverse=*/true).ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real() / n, original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag() / n, original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  const size_t n = 128;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = std::sin(0.1 * static_cast<double>(i) * i);
+    data[i] = v;
+    time_energy += v * v;
+  }
+  ASSERT_TRUE(Fft(data).ok());
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-8);
+}
+
+TEST(FftTest, RealFftZeroPads) {
+  std::vector<double> signal(10, 1.0);
+  auto spectrum = RealFft(signal);
+  ASSERT_TRUE(spectrum.ok());
+  EXPECT_EQ(spectrum->size(), 16u);
+}
+
+TEST(FftTest, MagnitudeSpectrumOneSided) {
+  std::vector<double> signal(64, 0.0);
+  signal[0] = 1.0;  // impulse: flat spectrum
+  auto mags = MagnitudeSpectrum(signal);
+  ASSERT_TRUE(mags.ok());
+  EXPECT_EQ(mags->size(), 33u);
+  for (double m : *mags) EXPECT_NEAR(m, 1.0, 1e-12);
+}
+
+TEST(WindowTest, HannEndpointsAndPeak) {
+  const auto w = HannWindow(9);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[8], 0.0, 1e-12);
+  EXPECT_NEAR(w[4], 1.0, 1e-12);
+}
+
+TEST(WindowTest, HammingEndpoints) {
+  const auto w = HammingWindow(11);
+  EXPECT_NEAR(w[0], 0.08, 1e-12);
+  EXPECT_NEAR(w[10], 0.08, 1e-12);
+  EXPECT_NEAR(w[5], 1.0, 1e-12);
+}
+
+TEST(WindowTest, TrivialLengths) {
+  EXPECT_EQ(HannWindow(0).size(), 0u);
+  EXPECT_EQ(HannWindow(1), std::vector<double>{1.0});
+}
+
+TEST(WindowTest, ApplyWindowMultiplies) {
+  std::vector<double> frame = {2.0, 2.0, 2.0};
+  ApplyWindow(frame, {0.5, 1.0, 0.0});
+  EXPECT_EQ(frame, (std::vector<double>{1.0, 2.0, 0.0}));
+}
+
+TEST(WindowTest, FrameSignalCountsAndContents) {
+  std::vector<double> signal(10);
+  for (size_t i = 0; i < 10; ++i) signal[i] = static_cast<double>(i);
+  const auto frames = FrameSignal(signal, 4, 2);
+  ASSERT_EQ(frames.size(), 4u);  // starts at 0, 2, 4, 6
+  EXPECT_EQ(frames[0], (std::vector<double>{0, 1, 2, 3}));
+  EXPECT_EQ(frames[3], (std::vector<double>{6, 7, 8, 9}));
+}
+
+TEST(WindowTest, FrameSignalShortInput) {
+  EXPECT_TRUE(FrameSignal({1.0, 2.0}, 4, 2).empty());
+  EXPECT_TRUE(FrameSignal({}, 4, 2).empty());
+}
+
+TEST(FilterbankTest, DefaultBandsCoverSpectrum) {
+  const auto bands = DefaultSubBands();
+  ASSERT_EQ(bands.size(), 4u);
+  EXPECT_DOUBLE_EQ(bands.front().low_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(bands.back().high_fraction, 1.0);
+}
+
+TEST(FilterbankTest, LowToneEnergizesLowBand) {
+  // 2-cycle (very low frequency) tone in a 256-sample frame.
+  std::vector<double> frame(256);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = std::sin(2.0 * M_PI * 2.0 * static_cast<double>(i) / 256.0);
+  }
+  auto rms = SubBandRms(frame, DefaultSubBands());
+  ASSERT_TRUE(rms.ok());
+  EXPECT_GT((*rms)[0], 10.0 * (*rms)[2]);
+}
+
+TEST(FilterbankTest, HighToneEnergizesHighBand) {
+  std::vector<double> frame(256);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = std::sin(2.0 * M_PI * 100.0 * static_cast<double>(i) / 256.0);
+  }
+  auto rms = SubBandRms(frame, DefaultSubBands());
+  ASSERT_TRUE(rms.ok());
+  EXPECT_GT((*rms)[3], 10.0 * (*rms)[0]);
+}
+
+TEST(FilterbankTest, MalformedBandRejected) {
+  std::vector<double> frame(64, 1.0);
+  EXPECT_FALSE(SubBandRms(frame, {{0.5, 0.5}}).ok());
+  EXPECT_FALSE(SubBandRms(frame, {{-0.1, 0.5}}).ok());
+  EXPECT_FALSE(SubBandRms(frame, {}).ok());
+}
+
+TEST(FilterbankTest, FrameRms) {
+  EXPECT_DOUBLE_EQ(FrameRms({3.0, -3.0, 3.0, -3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(FrameRms({}), 0.0);
+}
+
+TEST(FilterbankTest, SpectralFluxZeroForIdentical) {
+  std::vector<double> spec = {1.0, 2.0, 3.0};
+  auto flux = SpectralFlux(spec, spec);
+  ASSERT_TRUE(flux.ok());
+  EXPECT_DOUBLE_EQ(*flux, 0.0);
+}
+
+TEST(FilterbankTest, SpectralFluxGrowsWithChange) {
+  std::vector<double> a = {1.0, 1.0, 1.0, 1.0};
+  std::vector<double> b = {1.1, 1.1, 1.1, 1.1};
+  std::vector<double> c = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_LT(*SpectralFlux(a, b), *SpectralFlux(a, c));
+  EXPECT_FALSE(SpectralFlux(a, {1.0}).ok());
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(static_cast<double>(i));
+    all.Add(v);
+    (i < 20 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StatsHelpersTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+}
+
+TEST(StatsHelpersTest, Differences) {
+  EXPECT_EQ(Differences({1, 4, 2}), (std::vector<double>{3, -2}));
+  EXPECT_TRUE(Differences({1}).empty());
+}
+
+TEST(StatsHelpersTest, DynamicRange) {
+  EXPECT_DOUBLE_EQ(DynamicRange({1, 2, 4}), 0.75);
+  EXPECT_DOUBLE_EQ(DynamicRange({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(DynamicRange({}), 0.0);
+}
+
+TEST(StatsHelpersTest, LowRate) {
+  // mean = 2.5; threshold 1.25; one of four values below.
+  EXPECT_DOUBLE_EQ(LowRate({1, 2, 3, 4}, 0.5), 0.25);
+  EXPECT_DOUBLE_EQ(LowRate({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace hmmm::dsp

@@ -1,0 +1,234 @@
+// Integration test of the full Fig.-1 pipeline: synthetic soccer footage
+// -> shot boundary detection -> Table-1 feature extraction -> decision-tree
+// event detection -> catalog -> HMMM construction -> temporal pattern
+// retrieval -> feedback learning.
+
+#include <gtest/gtest.h>
+
+#include "hmmm.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static SoccerGeneratorConfig MediaConfig() {
+    SoccerGeneratorConfig config;
+    config.seed = 1234;
+    config.min_shots_per_video = 10;
+    config.max_shots_per_video = 14;
+    config.min_frames_per_shot = 10;
+    config.max_frames_per_shot = 20;
+    config.event_shot_fraction = 0.5;
+    return config;
+  }
+};
+
+TEST_F(EndToEndTest, MediaPipelineProducesQueryableModel) {
+  SoccerVideoGenerator generator(MediaConfig());
+  const int num_videos = 3;
+
+  VideoCatalog catalog(generator.vocabulary(), kNumFeatures);
+  ShotFeatureExtractor extractor;
+
+  // Stage 1-2: generate, segment (using ground-truth shot spans here;
+  // detector quality is covered by boundary_detector_test), extract
+  // features, and ingest annotations.
+  for (int v = 0; v < num_videos; ++v) {
+    const SyntheticVideo video = generator.Generate(v);
+    const VideoId vid = catalog.AddVideo(video.name);
+    for (size_t s = 0; s < video.shots.size(); ++s) {
+      const ShotTruth& shot = video.shots[s];
+      auto features = extractor.ExtractForShot(video, s);
+      ASSERT_TRUE(features.ok()) << features.status();
+      auto added = catalog.AddShot(
+          vid, shot.begin_frame / video.fps, shot.end_frame / video.fps,
+          shot.events, std::move(features).value());
+      ASSERT_TRUE(added.ok()) << added.status();
+    }
+  }
+  ASSERT_TRUE(catalog.Validate().ok());
+  ASSERT_GT(catalog.num_annotated_shots(), 4u);
+
+  // Stage 3: HMMM construction and retrieval.
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto results = engine->Query("free_kick");
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+TEST_F(EndToEndTest, DetectedBoundariesRoughlyMatchTruth) {
+  SoccerVideoGenerator generator(MediaConfig());
+  const SyntheticVideo video = generator.Generate(0);
+  ShotSegmenter segmenter;
+  const auto shots = segmenter.Segment(video);
+  // Within a factor ~2 of the true shot count.
+  EXPECT_GT(shots.size(), video.shots.size() / 2);
+  EXPECT_LT(shots.size(), video.shots.size() * 2);
+}
+
+TEST_F(EndToEndTest, EventDetectorLearnsFromExtractedFeatures) {
+  SoccerVideoGenerator generator(MediaConfig());
+  ShotFeatureExtractor extractor;
+  LabeledDataset dataset;
+  std::vector<std::vector<double>> rows;
+  for (int v = 0; v < 6; ++v) {
+    const SyntheticVideo video = generator.Generate(v);
+    for (size_t s = 0; s < video.shots.size(); ++s) {
+      auto features = extractor.ExtractForShot(video, s);
+      ASSERT_TRUE(features.ok());
+      rows.push_back(std::move(features).value());
+      const auto& events = video.shots[s].events;
+      dataset.labels.push_back(events.empty() ? kBackgroundLabel : events[0]);
+    }
+  }
+  dataset.features = *Matrix::FromRows(rows);
+
+  Rng rng(5);
+  auto split = SplitDataset(dataset, 0.3, rng);
+  ASSERT_TRUE(split.ok());
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(split->train).ok());
+  auto metrics = EvaluateClassifier(tree, split->test);
+  ASSERT_TRUE(metrics.ok());
+  // Real features on synthetic footage: much better than the ~1/9 chance
+  // level (8 events + background).
+  EXPECT_GT(metrics->accuracy, 0.45);
+}
+
+TEST_F(EndToEndTest, FeatureLevelPipelineWithFeedbackImproves) {
+  // Paper-shaped experiment in miniature: retrieval quality before vs
+  // after feedback rounds on a generated corpus.
+  const VideoCatalog catalog = testing::GeneratedSoccerCatalog(99, 12);
+  TraversalOptions traversal;
+  traversal.beam_width = 2;
+  auto engine = RetrievalEngine::Create(catalog, {}, traversal);
+  ASSERT_TRUE(engine.ok());
+
+  const auto pattern = *CompileQuery("free_kick ; goal", catalog.vocabulary());
+  auto before = engine->Retrieve(pattern);
+  ASSERT_TRUE(before.ok());
+  const auto metrics_before = EvaluateRanking(catalog, pattern, *before, 10);
+
+  SimulatedUser user(catalog);
+  FeedbackTrainerOptions trainer_options;
+  trainer_options.retrain_threshold = 1;
+  FeedbackTrainer trainer(catalog, trainer_options);
+  for (int round = 0; round < 4; ++round) {
+    auto results = engine->Retrieve(pattern);
+    ASSERT_TRUE(results.ok());
+    for (size_t i : user.JudgePositive(pattern, *results)) {
+      ASSERT_TRUE(trainer.MarkPositive(engine->model(), (*results)[i]).ok());
+    }
+    ASSERT_TRUE(trainer.MaybeTrain(engine->mutable_model(), true).ok());
+  }
+  auto after = engine->Retrieve(pattern);
+  ASSERT_TRUE(after.ok());
+  const auto metrics_after = EvaluateRanking(catalog, pattern, *after, 10);
+  // Feedback must not hurt, and the model must stay consistent.
+  EXPECT_GE(metrics_after.precision_at_k + 1e-9, metrics_before.precision_at_k);
+  EXPECT_TRUE(engine->model().Validate().ok());
+}
+
+TEST_F(EndToEndTest, ModelSurvivesSaveLoadQueryCycle) {
+  const VideoCatalog catalog = testing::GeneratedSoccerCatalog(7, 6);
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  auto expected = engine->Query("goal");
+  ASSERT_TRUE(expected.ok());
+
+  const std::string model_path = testing::TempPath("hmmm_e2e_model.hmmm");
+  const std::string catalog_path = testing::TempPath("hmmm_e2e_catalog.cat");
+  ASSERT_TRUE(engine->model().SaveToFile(model_path).ok());
+  ASSERT_TRUE(SaveCatalog(catalog, catalog_path).ok());
+
+  auto loaded_catalog = LoadCatalog(catalog_path);
+  ASSERT_TRUE(loaded_catalog.ok());
+  auto loaded_model = HierarchicalModel::LoadFromFile(model_path);
+  ASSERT_TRUE(loaded_model.ok());
+  RetrievalEngine restored(*loaded_catalog, std::move(loaded_model).value());
+  auto results = restored.Query("goal");
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), expected->size());
+  for (size_t i = 0; i < results->size(); ++i) {
+    EXPECT_EQ((*results)[i].shots, (*expected)[i].shots);
+    EXPECT_NEAR((*results)[i].score, (*expected)[i].score, 1e-12);
+  }
+  std::remove(model_path.c_str());
+  std::remove(catalog_path.c_str());
+}
+
+TEST_F(EndToEndTest, MixedArchiveClustersDomainsViaB2) {
+  // Soccer + news corpora in one archive: B2 rows of news videos have
+  // zero mass on soccer events and vice versa, which is what drives the
+  // video-level clustering claim of Section 4.2.2.
+  FeatureLevelConfig soccer_config = SoccerFeatureLevelDefaults(3);
+  soccer_config.num_videos = 4;
+  soccer_config.min_shots_per_video = 30;
+  soccer_config.max_shots_per_video = 40;
+  FeatureLevelGenerator soccer(soccer_config);
+
+  FeatureLevelConfig news_config = NewsFeatureLevelDefaults(4);
+  news_config.num_videos = 4;
+  news_config.min_shots_per_video = 30;
+  news_config.max_shots_per_video = 40;
+  FeatureLevelGenerator news(news_config);
+
+  // A combined vocabulary: soccer ids stay, news ids are offset.
+  EventVocabulary combined = SoccerEvents();
+  const EventVocabulary news_vocab = NewsEvents();
+  std::vector<EventId> news_ids;
+  for (const std::string& name : news_vocab.names()) {
+    news_ids.push_back(combined.Register(name));
+  }
+  VideoCatalog catalog(combined, 20);
+  const GeneratedCorpus soccer_corpus = soccer.Generate();
+  const GeneratedCorpus news_corpus = news.Generate();
+  for (const GeneratedVideo& video : soccer_corpus.videos) {
+    const VideoId vid = catalog.AddVideo("soccer_" + video.name);
+    for (const GeneratedShot& shot : video.shots) {
+      ASSERT_TRUE(catalog.AddShot(vid, shot.begin_time, shot.end_time,
+                                  shot.events, shot.features).ok());
+    }
+  }
+  for (const GeneratedVideo& video : news_corpus.videos) {
+    const VideoId vid = catalog.AddVideo("news_" + video.name);
+    for (const GeneratedShot& shot : video.shots) {
+      std::vector<EventId> remapped;
+      for (EventId e : shot.events) {
+        remapped.push_back(news_ids[static_cast<size_t>(e)]);
+      }
+      ASSERT_TRUE(catalog.AddShot(vid, shot.begin_time, shot.end_time,
+                                  remapped, shot.features).ok());
+    }
+  }
+
+  const Matrix b2 = catalog.EventCountMatrix();
+  for (size_t v = 0; v < 4; ++v) {
+    double news_mass = 0.0;
+    for (EventId e : news_ids) {
+      news_mass += b2.at(v, static_cast<size_t>(e));
+    }
+    EXPECT_DOUBLE_EQ(news_mass, 0.0);  // soccer videos: no news events
+  }
+  for (size_t v = 4; v < 8; ++v) {
+    double soccer_mass = 0.0;
+    for (size_t e = 0; e < 8; ++e) soccer_mass += b2.at(v, e);
+    EXPECT_DOUBLE_EQ(soccer_mass, 0.0);  // news videos: no soccer events
+  }
+
+  // Retrieval against the mixed archive still answers both domains.
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  auto soccer_results = engine->Query("goal");
+  ASSERT_TRUE(soccer_results.ok());
+  ASSERT_FALSE(soccer_results->empty());
+  auto news_results = engine->Query("anchor ; weather");
+  ASSERT_TRUE(news_results.ok());
+  EXPECT_FALSE(news_results->empty());
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,96 @@
+#include "retrieval/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "retrieval/metrics.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+TEST(EngineTest, CreateBuildsModelFromCatalog) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->model().num_videos(), 2u);
+  EXPECT_EQ(&engine->catalog(), &catalog);
+}
+
+TEST(EngineTest, TextQueryEndToEnd) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  auto results = engine->Query("free_kick ; goal");
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  const auto pattern = *CompileQuery("free_kick ; goal", catalog.vocabulary());
+  EXPECT_TRUE(
+      PatternMatchesAnnotations(catalog, results->front().shots, pattern));
+}
+
+TEST(EngineTest, BadQueryPropagatesParserError) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->Query("").ok());
+  EXPECT_FALSE(engine->Query("unknown_event").ok());
+}
+
+TEST(EngineTest, QueryWithStatsReportsCosts) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  RetrievalStats stats;
+  auto results = engine->Query("goal", &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT(stats.sim_evaluations, 0u);
+}
+
+TEST(EngineTest, WrapsPrebuiltModel) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto built = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(built.ok());
+  const std::string blob = built->model().Serialize();
+  auto model = HierarchicalModel::Deserialize(blob);
+  ASSERT_TRUE(model.ok());
+
+  RetrievalEngine engine(catalog, std::move(model).value());
+  auto results = engine.Query("goal");
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+TEST(EngineTest, TraversalOptionsAdjustable) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  TraversalOptions options = engine->traversal_options();
+  options.max_results = 1;
+  engine->set_traversal_options(options);
+  auto results = engine->Query("goal");
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+TEST(EngineTest, MutableModelSupportsInPlaceLearning) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  engine->mutable_model().mutable_pi2() = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(engine->model().pi2()[0], 1.0);
+  auto results = engine->Query("goal");
+  ASSERT_TRUE(results.ok());
+}
+
+TEST(EngineTest, MoveSemantics) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  RetrievalEngine moved = std::move(engine).value();
+  auto results = moved.Query("goal");
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,108 @@
+#include "events/event_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "media/feature_level_generator.h"
+
+namespace hmmm {
+namespace {
+
+/// Builds a labeled dataset from a feature-level corpus: single-event
+/// shots labeled with their event, un-annotated shots with background.
+LabeledDataset DatasetFromCorpus(const GeneratedCorpus& corpus) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (const GeneratedVideo& video : corpus.videos) {
+    for (const GeneratedShot& shot : video.shots) {
+      if (shot.events.size() > 1) continue;
+      rows.push_back(shot.features);
+      labels.push_back(shot.events.empty() ? kBackgroundLabel
+                                           : shot.events[0]);
+    }
+  }
+  LabeledDataset dataset;
+  dataset.features = *Matrix::FromRows(rows);
+  dataset.labels = std::move(labels);
+  return dataset;
+}
+
+FeatureLevelConfig EasyConfig() {
+  FeatureLevelConfig config = SoccerFeatureLevelDefaults(33);
+  config.num_videos = 10;
+  config.min_shots_per_video = 50;
+  config.max_shots_per_video = 70;
+  config.event_shot_fraction = 0.4;
+  config.feature_noise = 0.04;  // well-separated classes
+  config.class_separation = 1.4;
+  return config;
+}
+
+TEST(EventDetectorTest, TrainRejectsBadLabels) {
+  EventDetector detector(SoccerEvents());
+  LabeledDataset bad;
+  bad.features = Matrix(2, 3);
+  bad.labels = {0, 99};
+  EXPECT_FALSE(detector.Train(bad).ok());
+  EXPECT_FALSE(detector.trained());
+}
+
+TEST(EventDetectorTest, DetectBeforeTrainFails) {
+  EventDetector detector(SoccerEvents());
+  EXPECT_FALSE(detector.Detect({0.5, 0.5}).ok());
+}
+
+TEST(EventDetectorTest, DetectsEventsOnSeparableCorpus) {
+  FeatureLevelGenerator generator(EasyConfig());
+  const GeneratedCorpus corpus = generator.Generate();
+  const LabeledDataset dataset = DatasetFromCorpus(corpus);
+
+  EventDetector detector(corpus.vocabulary);
+  ASSERT_TRUE(detector.Train(dataset).ok());
+  ASSERT_TRUE(detector.trained());
+
+  // Re-detect on the training distribution: accuracy should be high.
+  size_t correct = 0, total = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    auto events = detector.Detect(dataset.features.Row(i));
+    ASSERT_TRUE(events.ok());
+    const int truth = dataset.labels[i];
+    const int predicted = events->empty() ? kBackgroundLabel : (*events)[0];
+    ++total;
+    if (predicted == truth) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.8);
+}
+
+TEST(EventDetectorTest, ConfidenceGateSuppressesWeakDetections) {
+  FeatureLevelGenerator generator(EasyConfig());
+  const GeneratedCorpus corpus = generator.Generate();
+  const LabeledDataset dataset = DatasetFromCorpus(corpus);
+
+  EventDetectorOptions strict;
+  strict.min_confidence = 1.01;  // impossible to clear
+  EventDetector detector(corpus.vocabulary, strict);
+  ASSERT_TRUE(detector.Train(dataset).ok());
+  auto events = detector.Detect(dataset.features.Row(0));
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE(events->empty());
+}
+
+TEST(EventDetectorTest, CleansNonFiniteExamples) {
+  EventDetector detector(SoccerEvents());
+  LabeledDataset dataset;
+  dataset.features = *Matrix::FromRows(
+      {{0.1, 0.1}, {0.9, 0.9}, {std::nan(""), 0.5}});
+  dataset.labels = {kBackgroundLabel, 0, 1};
+  EXPECT_TRUE(detector.Train(dataset).ok());
+}
+
+TEST(EventDetectorTest, VocabularyExposed) {
+  EventDetector detector(SoccerEvents());
+  EXPECT_EQ(detector.vocabulary().size(), 8u);
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,63 @@
+#include "storage/event_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+TEST(EventIndexTest, PostingsInTemporalOrder) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const EventIndex index(catalog);
+  // goal (id 0): shot 2 (video a), shots 4 and 7 (video b).
+  EXPECT_EQ(index.Lookup(0), (std::vector<ShotId>{2, 4, 7}));
+  // free_kick (id 2): shots 0, 2, 6.
+  EXPECT_EQ(index.Lookup(2), (std::vector<ShotId>{0, 2, 6}));
+  // corner (id 1): shot 3 only.
+  EXPECT_EQ(index.Lookup(1), (std::vector<ShotId>{3}));
+}
+
+TEST(EventIndexTest, UnusedEventEmpty) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const EventIndex index(catalog);
+  EXPECT_TRUE(index.Lookup(6).empty());   // red_card never used
+  EXPECT_TRUE(index.Lookup(-1).empty());  // out of range
+  EXPECT_TRUE(index.Lookup(99).empty());
+}
+
+TEST(EventIndexTest, LookupInVideoFilters) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const EventIndex index(catalog);
+  EXPECT_EQ(index.LookupInVideo(catalog, 1, 0), (std::vector<ShotId>{4, 7}));
+  EXPECT_EQ(index.LookupInVideo(catalog, 0, 0), (std::vector<ShotId>{2}));
+  EXPECT_TRUE(index.LookupInVideo(catalog, 1, 1).empty());
+}
+
+TEST(EventIndexTest, SizeCountsAllPostings) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const EventIndex index(catalog);
+  EXPECT_EQ(index.size(), catalog.num_annotations());
+  EXPECT_EQ(index.num_events(), catalog.vocabulary().size());
+}
+
+TEST(EventIndexTest, DefaultConstructedIsEmpty) {
+  const EventIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.Lookup(0).empty());
+}
+
+TEST(EventIndexTest, MatchesCatalogOnGeneratedCorpus) {
+  const VideoCatalog catalog = testing::GeneratedSoccerCatalog(9, 5);
+  const EventIndex index(catalog);
+  EXPECT_EQ(index.size(), catalog.num_annotations());
+  for (EventId e = 0; e < static_cast<EventId>(catalog.vocabulary().size());
+       ++e) {
+    for (ShotId sid : index.Lookup(e)) {
+      EXPECT_TRUE(catalog.shot(sid).HasEvent(e));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,171 @@
+#include "media/feature_level_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "media/news_generator.h"
+
+namespace hmmm {
+namespace {
+
+FeatureLevelConfig TestConfig() {
+  FeatureLevelConfig config = SoccerFeatureLevelDefaults(17);
+  config.num_videos = 6;
+  config.min_shots_per_video = 30;
+  config.max_shots_per_video = 50;
+  config.event_shot_fraction = 0.3;
+  return config;
+}
+
+TEST(FeatureLevelGeneratorTest, Deterministic) {
+  FeatureLevelGenerator a(TestConfig());
+  FeatureLevelGenerator b(TestConfig());
+  const GeneratedCorpus ca = a.Generate();
+  const GeneratedCorpus cb = b.Generate();
+  ASSERT_EQ(ca.videos.size(), cb.videos.size());
+  ASSERT_EQ(ca.TotalShots(), cb.TotalShots());
+  EXPECT_EQ(ca.videos[2].shots[5].features, cb.videos[2].shots[5].features);
+  EXPECT_EQ(ca.videos[2].shots[5].events, cb.videos[2].shots[5].events);
+}
+
+TEST(FeatureLevelGeneratorTest, ShapeMatchesConfig) {
+  const FeatureLevelConfig config = TestConfig();
+  FeatureLevelGenerator generator(config);
+  const GeneratedCorpus corpus = generator.Generate();
+  EXPECT_EQ(corpus.videos.size(), 6u);
+  EXPECT_EQ(corpus.num_features, 20);
+  for (const GeneratedVideo& video : corpus.videos) {
+    EXPECT_GE(static_cast<int>(video.shots.size()),
+              config.min_shots_per_video);
+    EXPECT_LE(static_cast<int>(video.shots.size()),
+              config.max_shots_per_video);
+    for (const GeneratedShot& shot : video.shots) {
+      EXPECT_EQ(shot.features.size(), 20u);
+      EXPECT_LT(shot.begin_time, shot.end_time);
+      for (double f : shot.features) {
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+      }
+    }
+  }
+}
+
+TEST(FeatureLevelGeneratorTest, ShotsTemporallyOrdered) {
+  FeatureLevelGenerator generator(TestConfig());
+  const GeneratedCorpus corpus = generator.Generate();
+  for (const GeneratedVideo& video : corpus.videos) {
+    for (size_t i = 1; i < video.shots.size(); ++i) {
+      EXPECT_GE(video.shots[i].begin_time, video.shots[i - 1].begin_time);
+    }
+  }
+}
+
+TEST(FeatureLevelGeneratorTest, AnnotationFractionRoughlyHonored) {
+  FeatureLevelConfig config = TestConfig();
+  config.num_videos = 20;
+  config.event_shot_fraction = 0.2;
+  FeatureLevelGenerator generator(config);
+  const GeneratedCorpus corpus = generator.Generate();
+  const double fraction =
+      static_cast<double>(corpus.TotalAnnotatedShots()) /
+      static_cast<double>(corpus.TotalShots());
+  EXPECT_NEAR(fraction, 0.2, 0.05);
+}
+
+TEST(FeatureLevelGeneratorTest, PaperScaleDefaults) {
+  // The default config reproduces the paper's corpus scale: 54 videos,
+  // ~11.5k shots, ~500 annotated shots (506 in the paper).
+  FeatureLevelGenerator generator(SoccerFeatureLevelDefaults(1));
+  const GeneratedCorpus corpus = generator.Generate();
+  EXPECT_EQ(corpus.videos.size(), 54u);
+  EXPECT_NEAR(static_cast<double>(corpus.TotalShots()), 11567.0, 1400.0);
+  EXPECT_NEAR(static_cast<double>(corpus.TotalAnnotatedShots()), 506.0, 120.0);
+}
+
+TEST(FeatureLevelGeneratorTest, EventConditionalFeaturesSeparate) {
+  // Shots of one event should be closer to their own event mean than to
+  // another event's mean on informative features.
+  FeatureLevelConfig config = TestConfig();
+  config.feature_noise = 0.05;
+  FeatureLevelGenerator generator(config);
+  const GeneratedCorpus corpus = generator.Generate();
+  const Matrix& means = generator.event_means();
+
+  double own = 0.0, other = 0.0;
+  size_t count = 0;
+  for (const GeneratedVideo& video : corpus.videos) {
+    for (const GeneratedShot& shot : video.shots) {
+      if (shot.events.size() != 1) continue;
+      const auto e = static_cast<size_t>(shot.events[0]);
+      const size_t rival = (e + 1) % corpus.vocabulary.size();
+      for (int f = 0; f < config.informative_features; ++f) {
+        own += std::abs(shot.features[static_cast<size_t>(f)] -
+                        means.at(e, static_cast<size_t>(f)));
+        other += std::abs(shot.features[static_cast<size_t>(f)] -
+                          means.at(rival, static_cast<size_t>(f)));
+      }
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 10u);
+  EXPECT_LT(own, other);
+}
+
+TEST(FeatureLevelGeneratorTest, UninformativeFeaturesShareBackground) {
+  FeatureLevelGenerator generator(TestConfig());
+  const Matrix& means = generator.event_means();
+  const size_t background = SoccerEvents().size();
+  for (int f = 14; f < 20; ++f) {  // informative_features defaults to 14
+    for (size_t e = 0; e < background; ++e) {
+      EXPECT_DOUBLE_EQ(means.at(e, static_cast<size_t>(f)),
+                       means.at(background, static_cast<size_t>(f)));
+    }
+  }
+}
+
+TEST(FeatureLevelGeneratorTest, CorpusCounters) {
+  GeneratedCorpus corpus;
+  corpus.videos.resize(2);
+  corpus.videos[0].shots.resize(3);
+  corpus.videos[1].shots.resize(2);
+  corpus.videos[0].shots[1].events = {0};
+  corpus.videos[1].shots[0].events = {1, 2};
+  EXPECT_EQ(corpus.TotalShots(), 5u);
+  EXPECT_EQ(corpus.TotalAnnotatedShots(), 2u);
+}
+
+TEST(NewsGeneratorTest, NewsDefaultsProduceDenseAnnotations) {
+  FeatureLevelGenerator generator(NewsFeatureLevelDefaults(5));
+  const GeneratedCorpus corpus = generator.Generate();
+  EXPECT_EQ(corpus.vocabulary.size(), 6u);
+  const double fraction =
+      static_cast<double>(corpus.TotalAnnotatedShots()) /
+      static_cast<double>(corpus.TotalShots());
+  EXPECT_GT(fraction, 0.35);
+}
+
+TEST(NewsGeneratorTest, AnchorDominatesTransitions) {
+  // In the news chain, field content returns to the anchor desk most of
+  // the time — check the generated sequences reflect that.
+  FeatureLevelConfig config = NewsFeatureLevelDefaults(5);
+  config.num_videos = 10;
+  FeatureLevelGenerator generator(config);
+  const GeneratedCorpus corpus = generator.Generate();
+  const EventId anchor = *corpus.vocabulary.Find("anchor");
+  size_t anchor_count = 0, total = 0;
+  for (const GeneratedVideo& video : corpus.videos) {
+    for (const GeneratedShot& shot : video.shots) {
+      for (EventId e : shot.events) {
+        ++total;
+        if (e == anchor) ++anchor_count;
+      }
+    }
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GT(static_cast<double>(anchor_count) / static_cast<double>(total),
+            0.3);
+}
+
+}  // namespace
+}  // namespace hmmm

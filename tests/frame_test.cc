@@ -1,0 +1,102 @@
+#include "media/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "shots/histogram.h"
+
+namespace hmmm {
+namespace {
+
+Frame GreenFrame(int w, int h) { return Frame(w, h, Rgb{40, 160, 40}); }
+
+TEST(FrameTest, ConstructionAndAccess) {
+  Frame f(4, 3, Rgb{1, 2, 3});
+  EXPECT_EQ(f.width(), 4);
+  EXPECT_EQ(f.height(), 3);
+  EXPECT_EQ(f.pixel_count(), 12u);
+  EXPECT_EQ(f.at(3, 2), (Rgb{1, 2, 3}));
+  f.at(0, 0) = Rgb{9, 9, 9};
+  EXPECT_EQ(f.at(0, 0).r, 9);
+}
+
+TEST(FrameTest, FillRectClips) {
+  Frame f(4, 4, Rgb{0, 0, 0});
+  f.FillRect(-2, -2, 2, 10, Rgb{255, 0, 0});
+  EXPECT_EQ(f.at(0, 0).r, 255);
+  EXPECT_EQ(f.at(1, 3).r, 255);
+  EXPECT_EQ(f.at(2, 0).r, 0);
+}
+
+TEST(FrameTest, LuminanceWeights) {
+  EXPECT_NEAR(Frame::Luminance(Rgb{255, 255, 255}), 255.0, 1e-9);
+  EXPECT_NEAR(Frame::Luminance(Rgb{0, 0, 0}), 0.0, 1e-9);
+  EXPECT_GT(Frame::Luminance(Rgb{0, 200, 0}), Frame::Luminance(Rgb{200, 0, 0}));
+}
+
+TEST(GrassRatioTest, FullGrassIsOne) {
+  EXPECT_DOUBLE_EQ(GrassRatio(GreenFrame(8, 8)), 1.0);
+}
+
+TEST(GrassRatioTest, NoGrassIsZero) {
+  EXPECT_DOUBLE_EQ(GrassRatio(Frame(8, 8, Rgb{120, 120, 140})), 0.0);
+  EXPECT_DOUBLE_EQ(GrassRatio(Frame()), 0.0);
+}
+
+TEST(GrassRatioTest, HalfGrass) {
+  Frame f(4, 4, Rgb{120, 120, 140});
+  f.FillRect(0, 2, 4, 4, Rgb{40, 160, 40});
+  EXPECT_DOUBLE_EQ(GrassRatio(f), 0.5);
+}
+
+TEST(PixelChangeTest, IdenticalFramesZero) {
+  const Frame f = GreenFrame(6, 6);
+  EXPECT_DOUBLE_EQ(PixelChangeFraction(f, f), 0.0);
+}
+
+TEST(PixelChangeTest, FullChangeIsOne) {
+  EXPECT_DOUBLE_EQ(
+      PixelChangeFraction(Frame(4, 4, Rgb{0, 0, 0}), Frame(4, 4, Rgb{255, 255, 255})),
+      1.0);
+}
+
+TEST(PixelChangeTest, ThresholdSuppressesSmallNoise) {
+  const Frame a(4, 4, Rgb{100, 100, 100});
+  const Frame b(4, 4, Rgb{105, 105, 105});
+  EXPECT_DOUBLE_EQ(PixelChangeFraction(a, b, /*threshold=*/16), 0.0);
+  EXPECT_DOUBLE_EQ(PixelChangeFraction(a, b, /*threshold=*/2), 1.0);
+}
+
+TEST(PixelChangeTest, SizeMismatchReturnsZero) {
+  EXPECT_DOUBLE_EQ(PixelChangeFraction(Frame(4, 4), Frame(5, 4)), 0.0);
+}
+
+TEST(ColorHistogramTest, NormalizedPerChannel) {
+  const auto h = ColorHistogram::FromFrame(GreenFrame(8, 8));
+  double sum = 0.0;
+  for (int i = 0; i < ColorHistogram::kTotalBins; ++i) sum += h.bin(i);
+  EXPECT_NEAR(sum, 3.0, 1e-12);  // one unit mass per channel
+}
+
+TEST(ColorHistogramTest, IdenticalFramesZeroDistance) {
+  const auto a = ColorHistogram::FromFrame(GreenFrame(8, 8));
+  const auto b = ColorHistogram::FromFrame(GreenFrame(8, 8));
+  EXPECT_DOUBLE_EQ(a.L1Distance(b), 0.0);
+  EXPECT_NEAR(a.Intersection(b), 3.0, 1e-12);
+}
+
+TEST(ColorHistogramTest, DisjointColorsMaxDistance) {
+  const auto a = ColorHistogram::FromFrame(Frame(8, 8, Rgb{0, 0, 0}));
+  const auto b = ColorHistogram::FromFrame(Frame(8, 8, Rgb{255, 255, 255}));
+  EXPECT_NEAR(a.L1Distance(b), 6.0, 1e-12);
+  EXPECT_NEAR(a.Intersection(b), 0.0, 1e-12);
+}
+
+TEST(ColorHistogramTest, EmptyFrameAllZero) {
+  const auto h = ColorHistogram::FromFrame(Frame());
+  for (int i = 0; i < ColorHistogram::kTotalBins; ++i) {
+    EXPECT_DOUBLE_EQ(h.bin(i), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hmmm

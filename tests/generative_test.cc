@@ -1,0 +1,119 @@
+#include "core/generative.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/learner.h"
+#include "core/model_builder.h"
+#include "query/translator.h"
+#include "retrieval/metrics.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+class GenerativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = testing::SmallSoccerCatalog();
+    auto model = ModelBuilder(catalog_).Build();
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+  }
+
+  VideoCatalog catalog_;
+  HierarchicalModel model_;
+};
+
+TEST_F(GenerativeTest, SequenceLogProbabilityHandComputed) {
+  // video 0: pi1 uniform (1/3); A1 from the paper example.
+  const LocalShotModel& local = model_.local(0);
+  // P(s0 -> s1) = (1/3) * (2/3).
+  EXPECT_NEAR(SequenceLogProbability(local, {0, 1}),
+              std::log(1.0 / 3.0) + std::log(2.0 / 3.0), 1e-12);
+  // P(s0 -> s2) = (1/3) * (1/3).
+  EXPECT_NEAR(SequenceLogProbability(local, {0, 2}),
+              std::log(1.0 / 9.0), 1e-12);
+  // Backwards hop is impossible.
+  EXPECT_TRUE(std::isinf(SequenceLogProbability(local, {2, 0})));
+  // Out-of-range / empty.
+  EXPECT_TRUE(std::isinf(SequenceLogProbability(local, {7})));
+  EXPECT_TRUE(std::isinf(SequenceLogProbability(local, {})));
+}
+
+TEST_F(GenerativeTest, SampledPatternsAreValidWalks) {
+  Rng rng(3);
+  for (int round = 0; round < 50; ++round) {
+    auto sample = SamplePattern(model_, rng, 2);
+    ASSERT_TRUE(sample.ok()) << sample.status();
+    ASSERT_EQ(sample->shots.size(), 2u);
+    // Temporally increasing within one video, and finite probability.
+    const ShotRecord& a = catalog_.shot(sample->shots[0]);
+    const ShotRecord& b = catalog_.shot(sample->shots[1]);
+    EXPECT_EQ(a.video_id, sample->video);
+    EXPECT_EQ(b.video_id, sample->video);
+    EXPECT_LT(a.index_in_video, b.index_in_video);
+    EXPECT_TRUE(std::isfinite(sample->log_probability));
+    EXPECT_LT(sample->log_probability, 1e-9);  // log p <= 0
+  }
+}
+
+TEST_F(GenerativeTest, RejectsInfeasibleLengths) {
+  Rng rng(5);
+  EXPECT_FALSE(SamplePattern(model_, rng, 0).ok());
+  // No video has 10 annotated shots.
+  EXPECT_FALSE(SamplePattern(model_, rng, 10).ok());
+}
+
+TEST_F(GenerativeTest, SamplingFollowsLearnedAffinity) {
+  // Sharpen video 0 toward the path s0 -> s2 and its Pi1 toward s0; the
+  // sampler must now almost always produce that walk for video-0 draws.
+  OfflineLearner learner;
+  ASSERT_TRUE(learner.ApplyShotPatterns(model_, {{{0, 2}, 10.0}}).ok());
+  ASSERT_TRUE(learner.ApplyVideoPatterns(model_, {{{0}, 10.0}}).ok());
+
+  Rng rng(7);
+  std::map<std::vector<int>, int> walks;
+  for (int round = 0; round < 100; ++round) {
+    auto sample = SamplePattern(model_, rng, 2);
+    ASSERT_TRUE(sample.ok());
+    if (sample->video == 0) ++walks[sample->local_states];
+  }
+  // Pi2 now prefers video 0 strongly, and within it the walk 0 -> 2.
+  int video0_total = 0;
+  for (const auto& [walk, count] : walks) video0_total += count;
+  EXPECT_GT(video0_total, 60);
+  const std::vector<int> dominant_walk = {0, 2};
+  EXPECT_GT(walks[dominant_walk], video0_total * 8 / 10);
+}
+
+TEST_F(GenerativeTest, EventPatternsAreQueryable) {
+  // Model-driven workload generation: sampled event patterns are valid
+  // retrieval queries with at least one true occurrence (the sampled
+  // shots themselves witness it).
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    auto events = SampleEventPattern(model_, catalog_, rng, 2);
+    ASSERT_TRUE(events.ok()) << events.status();
+    const auto pattern = TemporalPattern::FromEvents(*events);
+    EXPECT_FALSE(EnumerateTrueOccurrences(catalog_, pattern).empty())
+        << pattern.ToString(catalog_.vocabulary());
+  }
+}
+
+TEST_F(GenerativeTest, GeneratedCorpusSampling) {
+  const VideoCatalog catalog = testing::GeneratedSoccerCatalog(73, 10);
+  auto model = ModelBuilder(catalog).Build();
+  ASSERT_TRUE(model.ok());
+  Rng rng(13);
+  for (size_t length : {1u, 2u, 3u}) {
+    auto sample = SamplePattern(*model, rng, length);
+    ASSERT_TRUE(sample.ok());
+    EXPECT_EQ(sample->shots.size(), length);
+  }
+}
+
+}  // namespace
+}  // namespace hmmm

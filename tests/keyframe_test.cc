@@ -1,0 +1,69 @@
+#include "shots/keyframe.h"
+
+#include <gtest/gtest.h>
+
+#include "media/soccer_generator.h"
+
+namespace hmmm {
+namespace {
+
+TEST(KeyFrameTest, RejectsBadSpans) {
+  std::vector<Frame> frames(4, Frame(8, 8, Rgb{40, 160, 40}));
+  EXPECT_FALSE(SelectKeyFrame(frames, 0, 0).ok());
+  EXPECT_FALSE(SelectKeyFrame(frames, -1, 2).ok());
+  EXPECT_FALSE(SelectKeyFrame(frames, 2, 5).ok());
+}
+
+TEST(KeyFrameTest, StaticShotPicksFirstFrame) {
+  std::vector<Frame> frames(6, Frame(8, 8, Rgb{40, 160, 40}));
+  auto key = SelectKeyFrame(frames, 0, 6);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, 0);  // all frames equidistant; first wins
+}
+
+TEST(KeyFrameTest, SingleFrameShot) {
+  std::vector<Frame> frames(3, Frame(8, 8, Rgb{40, 160, 40}));
+  auto key = SelectKeyFrame(frames, 1, 2);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, 1);
+}
+
+TEST(KeyFrameTest, OutlierFrameNotChosen) {
+  // Mostly green shot with one red outlier: the key frame must be one of
+  // the representative green frames, never the outlier.
+  std::vector<Frame> frames(7, Frame(8, 8, Rgb{40, 160, 40}));
+  frames[3] = Frame(8, 8, Rgb{200, 30, 30});
+  auto key = SelectKeyFrame(frames, 0, 7);
+  ASSERT_TRUE(key.ok());
+  EXPECT_NE(*key, 3);
+}
+
+TEST(KeyFrameTest, RespectsSpanBounds) {
+  std::vector<Frame> frames;
+  for (int i = 0; i < 10; ++i) {
+    frames.emplace_back(8, 8, i < 5 ? Rgb{40, 160, 40} : Rgb{200, 30, 30});
+  }
+  auto key = SelectKeyFrame(frames, 5, 10);
+  ASSERT_TRUE(key.ok());
+  EXPECT_GE(*key, 5);
+  EXPECT_LT(*key, 10);
+}
+
+TEST(KeyFrameTest, PerShotKeyFramesForGeneratedVideo) {
+  SoccerGeneratorConfig config;
+  config.seed = 5;
+  config.min_shots_per_video = 6;
+  config.max_shots_per_video = 8;
+  SoccerVideoGenerator generator(config);
+  const SyntheticVideo video = generator.Generate(0);
+  auto keys = SelectKeyFrames(video);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), video.shots.size());
+  for (size_t s = 0; s < video.shots.size(); ++s) {
+    EXPECT_GE((*keys)[s], video.shots[s].begin_frame);
+    EXPECT_LT((*keys)[s], video.shots[s].end_frame);
+  }
+}
+
+}  // namespace
+}  // namespace hmmm

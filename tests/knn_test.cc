@@ -1,0 +1,137 @@
+#include "events/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "events/decision_tree.h"
+#include "events/training.h"
+
+namespace hmmm {
+namespace {
+
+LabeledDataset TwoBlobDataset(int per_class, uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < per_class; ++i) {
+    rows.push_back({rng.NextGaussian(0.2, 0.05), rng.NextGaussian(0.2, 0.05)});
+    labels.push_back(0);
+    rows.push_back({rng.NextGaussian(0.8, 0.05), rng.NextGaussian(0.8, 0.05)});
+    labels.push_back(1);
+  }
+  LabeledDataset dataset;
+  dataset.features = *Matrix::FromRows(rows);
+  dataset.labels = std::move(labels);
+  return dataset;
+}
+
+TEST(KnnTest, RejectsBadInputs) {
+  KnnClassifier knn;
+  EXPECT_FALSE(knn.Train(LabeledDataset{}).ok());
+  EXPECT_FALSE(knn.Predict({1.0}).ok());  // untrained
+  LabeledDataset bad;
+  bad.features = Matrix(2, 2);
+  bad.labels = {0};
+  EXPECT_FALSE(knn.Train(bad).ok());
+  KnnOptions zero_k;
+  zero_k.k = 0;
+  KnnClassifier bad_k(zero_k);
+  EXPECT_FALSE(bad_k.Train(TwoBlobDataset(5)).ok());
+}
+
+TEST(KnnTest, ClassifiesSeparableBlobs) {
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Train(TwoBlobDataset(30)).ok());
+  EXPECT_TRUE(knn.trained());
+  EXPECT_EQ(*knn.Predict({0.18, 0.22}), 0);
+  EXPECT_EQ(*knn.Predict({0.82, 0.78}), 1);
+}
+
+TEST(KnnTest, ExactNeighborDominatesWithDistanceWeights) {
+  LabeledDataset dataset;
+  dataset.features = *Matrix::FromRows({{0.0}, {0.5}, {0.6}, {0.7}});
+  dataset.labels = {0, 1, 1, 1};
+  KnnOptions options;
+  options.k = 4;
+  options.distance_weighted = true;
+  KnnClassifier knn(options);
+  ASSERT_TRUE(knn.Train(dataset).ok());
+  // Query exactly on the class-0 example: its 1/(d+eps) weight dwarfs the
+  // three class-1 votes.
+  EXPECT_EQ(*knn.Predict({0.0}), 0);
+}
+
+TEST(KnnTest, UniformVotesUseMajority) {
+  LabeledDataset dataset;
+  dataset.features = *Matrix::FromRows({{0.0}, {0.5}, {0.6}, {0.7}});
+  dataset.labels = {0, 1, 1, 1};
+  KnnOptions options;
+  options.k = 4;
+  options.distance_weighted = false;
+  KnnClassifier knn(options);
+  ASSERT_TRUE(knn.Train(dataset).ok());
+  EXPECT_EQ(*knn.Predict({0.0}), 1);  // 3 vs 1 majority
+}
+
+TEST(KnnTest, KLargerThanDatasetClamped) {
+  KnnOptions options;
+  options.k = 100;
+  KnnClassifier knn(options);
+  ASSERT_TRUE(knn.Train(TwoBlobDataset(3)).ok());
+  auto predicted = knn.Predict({0.2, 0.2});
+  ASSERT_TRUE(predicted.ok());
+}
+
+TEST(KnnTest, PredictProbaSumsToOne) {
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Train(TwoBlobDataset(20)).ok());
+  auto proba = knn.PredictProba({0.5, 0.5});
+  ASSERT_TRUE(proba.ok());
+  double sum = 0.0;
+  for (double p : *proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(proba->size(), knn.classes().size());
+}
+
+TEST(KnnTest, BackgroundLabelSupported) {
+  LabeledDataset dataset = TwoBlobDataset(10);
+  for (int& label : dataset.labels) {
+    if (label == 0) label = kBackgroundLabel;
+  }
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Train(dataset).ok());
+  EXPECT_EQ(*knn.Predict({0.2, 0.2}), kBackgroundLabel);
+  EXPECT_EQ(knn.classes().front(), kBackgroundLabel);
+}
+
+TEST(KnnTest, WidthMismatchRejected) {
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Train(TwoBlobDataset(5)).ok());
+  EXPECT_FALSE(knn.Predict({1.0}).ok());
+  EXPECT_FALSE(knn.Predict({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(KnnTest, ComparableAccuracyToDecisionTree) {
+  const LabeledDataset dataset = TwoBlobDataset(60, 11);
+  Rng rng(4);
+  auto split = SplitDataset(dataset, 0.3, rng);
+  ASSERT_TRUE(split.ok());
+
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Train(split->train).ok());
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(split->train).ok());
+
+  size_t knn_correct = 0, tree_correct = 0;
+  for (size_t i = 0; i < split->test.size(); ++i) {
+    const auto row = split->test.features.Row(i);
+    if (*knn.Predict(row) == split->test.labels[i]) ++knn_correct;
+    if (*tree.Predict(row) == split->test.labels[i]) ++tree_correct;
+  }
+  const double n = static_cast<double>(split->test.size());
+  EXPECT_GT(knn_correct / n, 0.9);
+  EXPECT_GT(tree_correct / n, 0.9);
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,166 @@
+#include "core/learner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model_builder.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+HierarchicalModel BuildSmallModel(const VideoCatalog& catalog) {
+  auto model = ModelBuilder(catalog).Build();
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(UniformFeatureWeightsTest, Equation7) {
+  const Matrix p12 = UniformFeatureWeights(3, 4);
+  EXPECT_EQ(p12.rows(), 3u);
+  EXPECT_EQ(p12.cols(), 4u);
+  for (size_t e = 0; e < 3; ++e) {
+    for (size_t f = 0; f < 4; ++f) EXPECT_DOUBLE_EQ(p12.at(e, f), 0.25);
+  }
+  EXPECT_EQ(UniformFeatureWeights(2, 0).cols(), 0u);
+}
+
+TEST(ComputeFeatureWeightsTest, DownWeightsHighVarianceFeatures) {
+  // Build a catalog where event 0's shots agree on feature 0 but vary on
+  // feature 1: Eq. 10 must weight feature 0 higher.
+  VideoCatalog catalog(SoccerEvents(), 2);
+  const VideoId v = catalog.AddVideo("v");
+  ASSERT_TRUE(catalog.AddShot(v, 0, 1, {0}, {0.80, 0.10}).ok());
+  ASSERT_TRUE(catalog.AddShot(v, 1, 2, {0}, {0.80, 0.90}).ok());
+  ASSERT_TRUE(catalog.AddShot(v, 2, 3, {0}, {0.81, 0.20}).ok());
+  ASSERT_TRUE(catalog.AddShot(v, 3, 4, {0}, {0.79, 0.95}).ok());
+  const HierarchicalModel model = BuildSmallModel(catalog);
+
+  auto p12 = ComputeFeatureWeights(model, catalog);
+  ASSERT_TRUE(p12.ok());
+  EXPECT_GT(p12->at(0, 0), p12->at(0, 1));
+  EXPECT_NEAR(p12->RowSum(0), 1.0, 1e-9);
+}
+
+TEST(ComputeFeatureWeightsTest, EventsWithFewShotsStayUniform) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const HierarchicalModel model = BuildSmallModel(catalog);
+  auto p12 = ComputeFeatureWeights(model, catalog);
+  ASSERT_TRUE(p12.ok());
+  // corner_kick (id 1) occurs once: uniform row (Eq. 7 fallback).
+  for (size_t f = 0; f < p12->cols(); ++f) {
+    EXPECT_DOUBLE_EQ(p12->at(1, f), 1.0 / 8.0);
+  }
+}
+
+TEST(ComputeFeatureWeightsTest, MinStddevGuard) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const HierarchicalModel model = BuildSmallModel(catalog);
+  EXPECT_FALSE(ComputeFeatureWeights(model, catalog, 0.0).ok());
+  EXPECT_FALSE(ComputeFeatureWeights(model, catalog, -1.0).ok());
+}
+
+TEST(ComputeEventCentroidsTest, Equation11Means) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const HierarchicalModel model = BuildSmallModel(catalog);
+  auto centroids = ComputeEventCentroids(model, catalog);
+  ASSERT_TRUE(centroids.ok());
+  // goal (id 0) is carried by states for shots 2, 4, 7 whose B1 feature-0
+  // values are all 1.0 after normalization.
+  EXPECT_DOUBLE_EQ(centroids->at(0, 0), 1.0);
+  // Events without shots give zero rows.
+  for (size_t f = 0; f < centroids->cols(); ++f) {
+    EXPECT_DOUBLE_EQ(centroids->at(7, f), 0.0);
+  }
+}
+
+TEST(OfflineLearnerTest, ShotPatternSharpensA1) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  HierarchicalModel model = BuildSmallModel(catalog);
+  // Global states 0..2 belong to video 0. Reinforce the path 0 -> 2
+  // (free_kick shot -> corner shot, skipping the goal shot).
+  OfflineLearner learner;
+  std::vector<AccessPattern> patterns = {{{0, 2}, 5.0}};
+  ASSERT_TRUE(learner.ApplyShotPatterns(model, patterns).ok());
+
+  const LocalShotModel& local = model.local(0);
+  // Row 0 must now put all mass on state 2 (only co-accessed transition).
+  EXPECT_DOUBLE_EQ(local.a1.at(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(local.a1.at(0, 1), 0.0);
+  // Row 1 was never accessed: keeps the prior distribution.
+  EXPECT_DOUBLE_EQ(local.a1.at(1, 2), 0.5);
+  EXPECT_TRUE(model.Validate().ok());
+  // Pi1 follows initial-state counts: state 0 begins the only pattern.
+  EXPECT_DOUBLE_EQ(local.pi1[0], 1.0);
+  EXPECT_DOUBLE_EQ(local.pi1[1], 0.0);
+}
+
+TEST(OfflineLearnerTest, PatternSpanningVideosIsSplit) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  HierarchicalModel model = BuildSmallModel(catalog);
+  OfflineLearner learner;
+  // States 0 and 2 in video 0, state 3 (= shot 4) in video 1.
+  std::vector<AccessPattern> patterns = {{{0, 2, 3}, 1.0}};
+  ASSERT_TRUE(learner.ApplyShotPatterns(model, patterns).ok());
+  EXPECT_DOUBLE_EQ(model.local(0).a1.at(0, 2), 1.0);
+  // Video 1's fragment has a single state: its pi1 becomes concentrated.
+  EXPECT_DOUBLE_EQ(model.local(1).pi1[0], 1.0);
+  EXPECT_TRUE(model.Validate().ok());
+}
+
+TEST(OfflineLearnerTest, RejectsOutOfRangeStates) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  HierarchicalModel model = BuildSmallModel(catalog);
+  OfflineLearner learner;
+  EXPECT_FALSE(learner.ApplyShotPatterns(model, {{{99}, 1.0}}).ok());
+}
+
+TEST(OfflineLearnerTest, VideoPatternsUpdateA2AndPi2) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  HierarchicalModel model = BuildSmallModel(catalog);
+  OfflineLearner learner;
+  std::vector<AccessPattern> patterns = {{{0, 1}, 4.0}};
+  ASSERT_TRUE(learner.ApplyVideoPatterns(model, patterns).ok());
+  // Videos 0 and 1 co-accessed: equal split each way after normalizing.
+  EXPECT_DOUBLE_EQ(model.a2().at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(model.a2().at(0, 0), 0.5);
+  EXPECT_TRUE(model.a2().IsRowStochastic(1e-12));
+  EXPECT_DOUBLE_EQ(model.pi2()[0], 1.0);  // first state of the pattern
+  EXPECT_TRUE(model.Validate().ok());
+}
+
+TEST(OfflineLearnerTest, LiteralEquation4Semantics) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  HierarchicalModel model = BuildSmallModel(catalog);
+  OfflineLearner learner(
+      OfflineLearnerOptions{PiSemantics::kLiteralEquation4});
+  ASSERT_TRUE(learner.ApplyShotPatterns(model, {{{0, 2}, 1.0}}).ok());
+  const LocalShotModel& local = model.local(0);
+  EXPECT_DOUBLE_EQ(local.pi1[0], 0.5);
+  EXPECT_DOUBLE_EQ(local.pi1[2], 0.5);
+}
+
+TEST(OfflineLearnerTest, RelearnFeatureWeightsUpdatesBoth) {
+  const VideoCatalog catalog = testing::GeneratedSoccerCatalog(13, 10);
+  HierarchicalModel model = BuildSmallModel(catalog);
+  const Matrix p12_before = model.p12();
+  OfflineLearner learner;
+  ASSERT_TRUE(learner.RelearnFeatureWeights(model, catalog).ok());
+  EXPECT_GT(model.p12().MaxAbsDiff(p12_before), 1e-6);
+  EXPECT_TRUE(model.Validate().ok());
+}
+
+TEST(OfflineLearnerTest, RepeatedTrainingConverges) {
+  // Applying the same pattern repeatedly keeps matrices stochastic and
+  // idempotent after the first sharpening.
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  HierarchicalModel model = BuildSmallModel(catalog);
+  OfflineLearner learner;
+  std::vector<AccessPattern> patterns = {{{0, 1}, 1.0}};
+  ASSERT_TRUE(learner.ApplyShotPatterns(model, patterns).ok());
+  const Matrix after_one = model.local(0).a1;
+  ASSERT_TRUE(learner.ApplyShotPatterns(model, patterns).ok());
+  EXPECT_LT(model.local(0).a1.MaxAbsDiff(after_one), 1e-12);
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace hmmm {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamingCompiles) {
+  // Below-threshold messages are swallowed; the statement must still
+  // evaluate its operands exactly once.
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  HMMM_LOG(Debug) << "value " << ++evaluations;
+  HMMM_LOG(Info) << "value " << ++evaluations;
+  EXPECT_EQ(evaluations, 2);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  HMMM_CHECK(1 + 1 == 2) << "never printed";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ HMMM_CHECK(false) << "boom"; }, "check failed");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH({ HMMM_LOG(Fatal) << "fatal path"; }, "fatal path");
+}
+
+}  // namespace
+}  // namespace hmmm

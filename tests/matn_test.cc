@@ -1,0 +1,86 @@
+#include "query/matn.h"
+
+#include <gtest/gtest.h>
+
+#include "media/event_types.h"
+
+namespace hmmm {
+namespace {
+
+TEST(MatnGraphTest, AddStatesAndArcs) {
+  MatnGraph graph;
+  const int s0 = graph.AddState();
+  const int s1 = graph.AddState();
+  EXPECT_EQ(s0, 0);
+  EXPECT_EQ(s1, 1);
+  ASSERT_TRUE(graph.AddArc(s0, s1, {2}).ok());
+  EXPECT_EQ(graph.num_states(), 2);
+  ASSERT_EQ(graph.arcs().size(), 1u);
+  EXPECT_EQ(graph.arcs()[0].all_of, (std::vector<EventId>{2}));
+}
+
+TEST(MatnGraphTest, ArcValidation) {
+  MatnGraph graph;
+  graph.AddState();
+  graph.AddState();
+  EXPECT_FALSE(graph.AddArc(0, 5, {1}).ok());   // missing state
+  EXPECT_FALSE(graph.AddArc(1, 0, {1}).ok());   // backwards
+  EXPECT_FALSE(graph.AddArc(0, 0, {1}).ok());   // self loop
+  EXPECT_FALSE(graph.AddArc(0, 1, {}).ok());    // empty label
+}
+
+TEST(MatnGraphTest, ArcsFromFiltersBySource) {
+  MatnGraph graph;
+  graph.AddState();
+  graph.AddState();
+  graph.AddState();
+  ASSERT_TRUE(graph.AddArc(0, 1, {1}).ok());
+  ASSERT_TRUE(graph.AddArc(0, 1, {2}).ok());
+  ASSERT_TRUE(graph.AddArc(1, 2, {3}).ok());
+  EXPECT_EQ(graph.ArcsFrom(0).size(), 2u);
+  EXPECT_EQ(graph.ArcsFrom(1).size(), 1u);
+  EXPECT_TRUE(graph.ArcsFrom(2).empty());
+}
+
+TEST(MatnGraphTest, LinearChainDetection) {
+  MatnGraph chain;
+  chain.AddState();
+  chain.AddState();
+  chain.AddState();
+  ASSERT_TRUE(chain.AddArc(0, 1, {1}).ok());
+  ASSERT_TRUE(chain.AddArc(1, 2, {2}).ok());
+  EXPECT_TRUE(chain.IsLinearChain());
+
+  MatnGraph skipping;
+  skipping.AddState();
+  skipping.AddState();
+  skipping.AddState();
+  ASSERT_TRUE(skipping.AddArc(0, 2, {1}).ok());  // skips a state
+  EXPECT_FALSE(skipping.IsLinearChain());
+
+  MatnGraph gap;
+  gap.AddState();
+  gap.AddState();
+  gap.AddState();
+  ASSERT_TRUE(gap.AddArc(0, 1, {1}).ok());  // pair (1,2) uncovered
+  EXPECT_FALSE(gap.IsLinearChain());
+
+  MatnGraph trivial;
+  trivial.AddState();
+  EXPECT_FALSE(trivial.IsLinearChain());
+}
+
+TEST(MatnGraphTest, ToStringNamesEvents) {
+  const EventVocabulary vocab = SoccerEvents();
+  MatnGraph graph;
+  graph.AddState();
+  graph.AddState();
+  ASSERT_TRUE(graph.AddArc(0, 1, {2, 0}).ok());  // free_kick & goal
+  const std::string text = graph.ToString(vocab);
+  EXPECT_NE(text.find("free_kick&goal"), std::string::npos);
+  EXPECT_NE(text.find("S0"), std::string::npos);
+  EXPECT_NE(text.find("S1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,133 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hmmm {
+namespace {
+
+TEST(MatrixTest, ConstructAndFill) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m.at(r, c), 0.5);
+  }
+  m.Fill(1.25);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.25);
+}
+
+TEST(MatrixTest, FromRowsAndEquality) {
+  auto m = Matrix::FromRows({{1, 2}, {3, 4}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->at(1, 0), 3.0);
+  auto same = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_TRUE(*m == *same);
+}
+
+TEST(MatrixTest, FromRowsRejectsRagged) {
+  auto m = Matrix::FromRows({{1, 2}, {3}});
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixTest, IdentityIsRowStochastic) {
+  const Matrix id = Matrix::Identity(4);
+  EXPECT_TRUE(id.IsRowStochastic());
+  EXPECT_DOUBLE_EQ(id.at(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(id.at(2, 1), 0.0);
+}
+
+TEST(MatrixTest, RowAccessors) {
+  auto m = *Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_DOUBLE_EQ(m.RowSum(0), 6.0);
+  ASSERT_TRUE(m.SetRow(0, {7, 8, 9}).ok());
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 9.0);
+  EXPECT_FALSE(m.SetRow(0, {1}).ok());
+  EXPECT_FALSE(m.SetRow(5, {1, 2, 3}).ok());
+}
+
+TEST(MatrixTest, NormalizeRowsMakesStochastic) {
+  auto m = *Matrix::FromRows({{2, 2}, {1, 3}});
+  m.NormalizeRows();
+  EXPECT_TRUE(m.IsRowStochastic());
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.75);
+}
+
+TEST(MatrixTest, NormalizeRowsLeavesZeroRows) {
+  auto m = *Matrix::FromRows({{0, 0}, {1, 1}});
+  m.NormalizeRows();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.5);
+  EXPECT_TRUE(m.IsRowStochastic(1e-9, /*accept_zero_rows=*/true));
+  EXPECT_FALSE(m.IsRowStochastic(1e-9, /*accept_zero_rows=*/false));
+}
+
+TEST(MatrixTest, RowArgMax) {
+  auto m = *Matrix::FromRows({{1, 5, 3}, {9, 2, 9}});
+  EXPECT_EQ(m.RowArgMax(0), 1);
+  EXPECT_EQ(m.RowArgMax(1), 0);  // first of the tie
+  EXPECT_EQ(Matrix().RowArgMax(0), -1);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  auto a = *Matrix::FromRows({{1, 2}, {3, 4}});
+  auto b = *Matrix::FromRows({{5, 6}, {7, 8}});
+  auto c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c->at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c->at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c->at(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyShapeMismatch) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_FALSE(a.Multiply(b).ok());
+}
+
+TEST(MatrixTest, StochasticProductStaysStochastic) {
+  auto a = *Matrix::FromRows({{0.3, 0.7}, {0.5, 0.5}});
+  auto b = *Matrix::FromRows({{0.9, 0.1}, {0.2, 0.8}});
+  auto c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->IsRowStochastic(1e-12));
+}
+
+TEST(MatrixTest, Transposed) {
+  auto m = *Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  auto a = *Matrix::FromRows({{1, 2}, {3, 4}});
+  auto b = *Matrix::FromRows({{1, 2.5}, {3, 4}});
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 0.5);
+  EXPECT_TRUE(std::isinf(a.MaxAbsDiff(Matrix(1, 2))));
+}
+
+TEST(MatrixTest, ScaleMultipliesEverything) {
+  auto m = *Matrix::FromRows({{1, 2}});
+  m.Scale(3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 6.0);
+}
+
+TEST(MatrixTest, NegativeEntriesNotStochastic) {
+  auto m = *Matrix::FromRows({{-0.5, 1.5}});
+  EXPECT_FALSE(m.IsRowStochastic());
+}
+
+TEST(MatrixTest, ToStringRendersRows) {
+  auto m = *Matrix::FromRows({{1, 2}});
+  const std::string s = m.ToString(1);
+  EXPECT_NE(s.find("1.0"), std::string::npos);
+  EXPECT_NE(s.find("2.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmmm

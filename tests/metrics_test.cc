@@ -1,0 +1,129 @@
+#include "retrieval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+RetrievedPattern MakeResult(std::vector<ShotId> shots, double score) {
+  RetrievedPattern r;
+  r.shots = std::move(shots);
+  r.score = score;
+  return r;
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  VideoCatalog catalog_ = testing::SmallSoccerCatalog();
+  // free_kick (2) then goal (0).
+  TemporalPattern pattern_ = TemporalPattern::FromEvents({2, 0});
+};
+
+TEST_F(MetricsTest, PatternMatchesAnnotationsExact) {
+  EXPECT_TRUE(PatternMatchesAnnotations(catalog_, {0, 2}, pattern_));
+  EXPECT_TRUE(PatternMatchesAnnotations(catalog_, {6, 7}, pattern_));
+  EXPECT_FALSE(PatternMatchesAnnotations(catalog_, {3, 2}, pattern_));
+  EXPECT_FALSE(PatternMatchesAnnotations(catalog_, {0}, pattern_));  // len
+  EXPECT_FALSE(PatternMatchesAnnotations(catalog_, {0, 999}, pattern_));
+}
+
+TEST_F(MetricsTest, MatchesConjunctiveStep) {
+  PatternStep step;
+  step.alternatives = {{2, 0}};
+  TemporalPattern compound;
+  compound.steps.push_back(step);
+  EXPECT_TRUE(PatternMatchesAnnotations(catalog_, {2}, compound));
+  EXPECT_FALSE(PatternMatchesAnnotations(catalog_, {0}, compound));
+}
+
+TEST_F(MetricsTest, MatchesAlternatives) {
+  PatternStep step;
+  step.alternatives = {{1}, {0}};  // corner OR goal
+  TemporalPattern either;
+  either.steps.push_back(step);
+  EXPECT_TRUE(PatternMatchesAnnotations(catalog_, {3}, either));
+  EXPECT_TRUE(PatternMatchesAnnotations(catalog_, {4}, either));
+  EXPECT_FALSE(PatternMatchesAnnotations(catalog_, {0}, either));
+}
+
+TEST_F(MetricsTest, EnumerateTrueOccurrences) {
+  const auto occurrences = EnumerateTrueOccurrences(catalog_, pattern_);
+  // Within video 0: fk shots {0, 2}, goal shots {2}: (0,2).
+  // Within video 1: fk {6}, goal {4, 7}: (6,7).
+  ASSERT_EQ(occurrences.size(), 2u);
+  EXPECT_EQ(occurrences[0], (std::vector<ShotId>{0, 2}));
+  EXPECT_EQ(occurrences[1], (std::vector<ShotId>{6, 7}));
+}
+
+TEST_F(MetricsTest, EnumerateRespectsCap) {
+  const auto occurrences =
+      EnumerateTrueOccurrences(catalog_, pattern_, /*max_count=*/1);
+  EXPECT_EQ(occurrences.size(), 1u);
+}
+
+TEST_F(MetricsTest, EnumerateEmptyPattern) {
+  EXPECT_TRUE(EnumerateTrueOccurrences(catalog_, TemporalPattern{}).empty());
+}
+
+TEST_F(MetricsTest, PerfectRankingScoresOne) {
+  std::vector<RetrievedPattern> results = {MakeResult({0, 2}, 1.0),
+                                           MakeResult({6, 7}, 0.9)};
+  const auto metrics = EvaluateRanking(catalog_, pattern_, results, 2);
+  EXPECT_DOUBLE_EQ(metrics.precision_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.average_precision, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.ndcg, 1.0);
+  EXPECT_EQ(metrics.relevant_retrieved, 2u);
+  EXPECT_EQ(metrics.total_relevant, 2u);
+}
+
+TEST_F(MetricsTest, IrrelevantResultsScoreZero) {
+  std::vector<RetrievedPattern> results = {MakeResult({3, 2}, 1.0)};
+  const auto metrics = EvaluateRanking(catalog_, pattern_, results, 5);
+  EXPECT_DOUBLE_EQ(metrics.precision_at_k, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.ndcg, 0.0);
+}
+
+TEST_F(MetricsTest, MixedRankingIntermediate) {
+  // Relevant at ranks 1 and 3; irrelevant at rank 2.
+  std::vector<RetrievedPattern> results = {MakeResult({0, 2}, 1.0),
+                                           MakeResult({3, 2}, 0.8),
+                                           MakeResult({6, 7}, 0.7)};
+  const auto metrics = EvaluateRanking(catalog_, pattern_, results, 3);
+  EXPECT_NEAR(metrics.precision_at_k, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(metrics.recall, 1.0);
+  // AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(metrics.average_precision, (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+  EXPECT_LT(metrics.ndcg, 1.0);
+  EXPECT_GT(metrics.ndcg, 0.5);
+}
+
+TEST_F(MetricsTest, EmptyResultsHandled) {
+  const auto metrics = EvaluateRanking(catalog_, pattern_, {}, 5);
+  EXPECT_EQ(metrics.retrieved, 0u);
+  EXPECT_DOUBLE_EQ(metrics.precision_at_k, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 0.0);
+}
+
+TEST_F(MetricsTest, DuplicateRelevantCountedOnceForRecall) {
+  std::vector<RetrievedPattern> results = {MakeResult({0, 2}, 1.0),
+                                           MakeResult({0, 2}, 0.9)};
+  const auto metrics = EvaluateRanking(catalog_, pattern_, results, 2);
+  EXPECT_DOUBLE_EQ(metrics.recall, 0.5);  // only one distinct occurrence
+  EXPECT_EQ(metrics.relevant_retrieved, 2u);
+}
+
+TEST_F(MetricsTest, RetrievedPatternToString) {
+  RetrievedPattern result = MakeResult({0, 2}, 0.125);
+  result.video = 0;
+  const std::string text = result.ToString(catalog_);
+  EXPECT_NE(text.find("video_a"), std::string::npos);
+  EXPECT_NE(text.find("free_kick"), std::string::npos);
+  EXPECT_NE(text.find("0.125"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,94 @@
+#include "features/normalization.h"
+
+#include <gtest/gtest.h>
+
+namespace hmmm {
+namespace {
+
+TEST(FeatureNormalizerTest, Equation3MapsToUnitInterval) {
+  auto raw = *Matrix::FromRows({{0.0, 10.0}, {5.0, 20.0}, {10.0, 30.0}});
+  FeatureNormalizer normalizer;
+  auto b1 = normalizer.FitTransform(raw);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_DOUBLE_EQ(b1->at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(b1->at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(b1->at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b1->at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(b1->at(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(b1->at(2, 1), 1.0);
+}
+
+TEST(FeatureNormalizerTest, ConstantColumnNormalizesToZero) {
+  auto raw = *Matrix::FromRows({{7.0, 1.0}, {7.0, 2.0}});
+  FeatureNormalizer normalizer;
+  auto b1 = normalizer.FitTransform(raw);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_DOUBLE_EQ(b1->at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(b1->at(1, 0), 0.0);
+}
+
+TEST(FeatureNormalizerTest, NegativeValuesHandled) {
+  auto raw = *Matrix::FromRows({{-10.0}, {-5.0}, {0.0}});
+  FeatureNormalizer normalizer;
+  auto b1 = normalizer.FitTransform(raw);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_DOUBLE_EQ(b1->at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(b1->at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(b1->at(2, 0), 1.0);
+}
+
+TEST(FeatureNormalizerTest, FitRejectsEmpty) {
+  FeatureNormalizer normalizer;
+  EXPECT_FALSE(normalizer.Fit(Matrix()).ok());
+  EXPECT_FALSE(normalizer.fitted());
+}
+
+TEST(FeatureNormalizerTest, TransformBeforeFitFails) {
+  FeatureNormalizer normalizer;
+  EXPECT_EQ(normalizer.Transform(Matrix(1, 1)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(normalizer.TransformRow({1.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FeatureNormalizerTest, WidthMismatchRejected) {
+  FeatureNormalizer normalizer;
+  ASSERT_TRUE(normalizer.Fit(Matrix(2, 3, 1.0)).ok());
+  EXPECT_FALSE(normalizer.Transform(Matrix(2, 2, 1.0)).ok());
+  EXPECT_FALSE(normalizer.TransformRow({1.0, 2.0}).ok());
+}
+
+TEST(FeatureNormalizerTest, TransformRowClampsOutOfRange) {
+  auto raw = *Matrix::FromRows({{0.0}, {10.0}});
+  FeatureNormalizer normalizer;
+  ASSERT_TRUE(normalizer.Fit(raw).ok());
+  auto above = normalizer.TransformRow({20.0});
+  ASSERT_TRUE(above.ok());
+  EXPECT_DOUBLE_EQ((*above)[0], 1.0);
+  auto below = normalizer.TransformRow({-5.0});
+  ASSERT_TRUE(below.ok());
+  EXPECT_DOUBLE_EQ((*below)[0], 0.0);
+  auto mid = normalizer.TransformRow({2.5});
+  ASSERT_TRUE(mid.ok());
+  EXPECT_DOUBLE_EQ((*mid)[0], 0.25);
+}
+
+TEST(FeatureNormalizerTest, MinimaMaximaExposed) {
+  auto raw = *Matrix::FromRows({{1.0, -2.0}, {3.0, 4.0}});
+  FeatureNormalizer normalizer;
+  ASSERT_TRUE(normalizer.Fit(raw).ok());
+  EXPECT_EQ(normalizer.minima(), (std::vector<double>{1.0, -2.0}));
+  EXPECT_EQ(normalizer.maxima(), (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(FeatureNormalizerTest, RefitReplacesParameters) {
+  FeatureNormalizer normalizer;
+  ASSERT_TRUE(normalizer.Fit(*Matrix::FromRows({{0.0}, {1.0}})).ok());
+  ASSERT_TRUE(normalizer.Fit(*Matrix::FromRows({{0.0}, {100.0}})).ok());
+  auto row = normalizer.TransformRow({50.0});
+  ASSERT_TRUE(row.ok());
+  EXPECT_DOUBLE_EQ((*row)[0], 0.5);
+}
+
+}  // namespace
+}  // namespace hmmm

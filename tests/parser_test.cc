@@ -1,0 +1,118 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/translator.h"
+
+namespace hmmm {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  EventVocabulary vocab_ = SoccerEvents();
+};
+
+TEST_F(ParserTest, SingleEvent) {
+  auto graph = ParseQuery("goal", vocab_);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_states(), 2);
+  ASSERT_EQ(graph->arcs().size(), 1u);
+  EXPECT_EQ(graph->arcs()[0].all_of, (std::vector<EventId>{0}));
+}
+
+TEST_F(ParserTest, SequenceWithBothSeparators) {
+  auto a = ParseQuery("goal ; free_kick ; corner_kick", vocab_);
+  auto b = ParseQuery("goal -> free_kick -> corner_kick", vocab_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_states(), 4);
+  EXPECT_EQ(b->num_states(), 4);
+  EXPECT_EQ(a->arcs().size(), b->arcs().size());
+}
+
+TEST_F(ParserTest, ConjunctionOnOneShot) {
+  auto graph = ParseQuery("free_kick & goal", vocab_);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_states(), 2);
+  ASSERT_EQ(graph->arcs().size(), 1u);
+  EXPECT_EQ(graph->arcs()[0].all_of, (std::vector<EventId>{2, 0}));
+}
+
+TEST_F(ParserTest, AlternativesExpandToParallelArcs) {
+  auto graph = ParseQuery("(goal | corner_kick)", vocab_);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->arcs().size(), 2u);
+  EXPECT_TRUE(graph->IsLinearChain());
+}
+
+TEST_F(ParserTest, ConjunctionOfAlternativesCrossProduct) {
+  auto graph = ParseQuery("(goal | corner_kick) & free_kick", vocab_);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_EQ(graph->arcs().size(), 2u);
+  EXPECT_EQ(graph->arcs()[0].all_of, (std::vector<EventId>{0, 2}));
+  EXPECT_EQ(graph->arcs()[1].all_of, (std::vector<EventId>{1, 2}));
+}
+
+TEST_F(ParserTest, PaperSection3Example) {
+  // "a goal resulted from a free kick; then a corner kick; then a player
+  // change; finally another goal".
+  auto graph = ParseQuery(
+      "free_kick & goal ; corner_kick ; player_change ; goal", vocab_);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_states(), 5);
+  auto pattern = TranslateMatn(*graph);
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_EQ(pattern->size(), 4u);
+  EXPECT_EQ(pattern->ToString(vocab_),
+            "free_kick&goal ; corner_kick ; player_change ; goal");
+}
+
+TEST_F(ParserTest, WhitespaceInsensitive) {
+  auto a = ParseQuery("goal;free_kick", vocab_);
+  auto b = ParseQuery("  goal \n ;\t free_kick  ", vocab_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->arcs().size(), b->arcs().size());
+}
+
+TEST_F(ParserTest, Rejections) {
+  EXPECT_FALSE(ParseQuery("", vocab_).ok());
+  EXPECT_FALSE(ParseQuery("   ", vocab_).ok());
+  EXPECT_FALSE(ParseQuery("slam_dunk", vocab_).ok());        // unknown event
+  EXPECT_FALSE(ParseQuery("goal ;", vocab_).ok());           // dangling sep
+  EXPECT_FALSE(ParseQuery("goal &", vocab_).ok());           // dangling and
+  EXPECT_FALSE(ParseQuery("(goal)", vocab_).ok());           // 1-event group
+  EXPECT_FALSE(ParseQuery("(goal | corner_kick", vocab_).ok());  // no ')'
+  EXPECT_FALSE(ParseQuery("goal corner_kick", vocab_).ok());  // missing sep
+  EXPECT_FALSE(ParseQuery("goal @ corner_kick", vocab_).ok());  // bad char
+}
+
+TEST_F(ParserTest, TranslateRejectsNonChain) {
+  MatnGraph graph;
+  graph.AddState();
+  graph.AddState();
+  graph.AddState();
+  ASSERT_TRUE(graph.AddArc(0, 2, {0}).ok());
+  EXPECT_FALSE(TranslateMatn(graph).ok());
+}
+
+TEST_F(ParserTest, CompileQueryEndToEnd) {
+  auto pattern = CompileQuery("goal ; (free_kick | corner_kick)", vocab_);
+  ASSERT_TRUE(pattern.ok());
+  ASSERT_EQ(pattern->size(), 2u);
+  EXPECT_EQ(pattern->steps[0].alternatives.size(), 1u);
+  EXPECT_EQ(pattern->steps[1].alternatives.size(), 2u);
+  const auto all = pattern->steps[1].AllEvents();
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST_F(ParserTest, TemporalPatternFromEvents) {
+  const auto pattern = TemporalPattern::FromEvents({0, 2});
+  EXPECT_EQ(pattern.size(), 2u);
+  EXPECT_EQ(pattern.ToString(vocab_), "goal ; free_kick");
+  EXPECT_FALSE(pattern.empty());
+  EXPECT_TRUE(TemporalPattern{}.empty());
+}
+
+}  // namespace
+}  // namespace hmmm

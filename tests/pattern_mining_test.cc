@@ -1,0 +1,165 @@
+#include "core/pattern_mining.h"
+
+#include <gtest/gtest.h>
+
+#include "media/soccer_generator.h"
+#include "query/translator.h"
+#include "retrieval/metrics.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+TEST(PatternMiningTest, HandCheckableCounts) {
+  // video 0 annotated events by position: [fk], [fk, goal], [corner]
+  // video 1: [goal], [fk], [goal]
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  PatternMiningOptions options;
+  options.min_length = 2;
+  options.max_length = 2;
+  options.max_gap = 2;
+  options.min_support = 1;
+  options.max_results = 100;
+  const auto mined = MineFrequentEventPatterns(catalog, options);
+  ASSERT_FALSE(mined.empty());
+
+  auto support_of = [&](std::vector<EventId> events) -> size_t {
+    for (const MinedPattern& p : mined) {
+      if (p.events == events) return p.support;
+    }
+    return 0;
+  };
+  const EventId goal = 0, corner = 1, fk = 2;
+  // fk -> goal: video 0 (pos0 -> pos1) and video 1 (pos1 -> pos2) = 2.
+  EXPECT_EQ(support_of({fk, goal}), 2u);
+  // fk -> fk: video 0 pos0 -> pos1 = 1.
+  EXPECT_EQ(support_of({fk, fk}), 1u);
+  // goal -> corner: video 0 pos1 -> pos2 = 1.
+  EXPECT_EQ(support_of({goal, corner}), 1u);
+  // goal -> fk: video 1 pos0 -> pos1 = 1.
+  EXPECT_EQ(support_of({goal, fk}), 1u);
+  // corner -> anything: corner is last in its video = 0 (absent).
+  EXPECT_EQ(support_of({corner, goal}), 0u);
+
+  // Video support: fk->goal occurs in both videos.
+  for (const MinedPattern& p : mined) {
+    if (p.events == std::vector<EventId>{fk, goal}) {
+      EXPECT_EQ(p.video_support, 2u);
+    }
+  }
+}
+
+TEST(PatternMiningTest, GapBoundLimitsPairs) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  PatternMiningOptions tight;
+  tight.min_length = 2;
+  tight.max_length = 2;
+  tight.max_gap = 1;  // adjacent annotated shots only
+  tight.min_support = 1;
+  tight.max_results = 100;
+  const auto mined = MineFrequentEventPatterns(catalog, tight);
+  // goal(pos0) -> goal(pos2) in video 1 needs gap 2: absent at gap 1.
+  for (const MinedPattern& p : mined) {
+    EXPECT_NE(p.events, (std::vector<EventId>{0, 0}));
+  }
+  // fk(pos1) -> corner(pos2) in video 0 is adjacent: present at gap 1.
+  bool found = false;
+  for (const MinedPattern& p : mined) {
+    found |= p.events == std::vector<EventId>{2, 1};
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PatternMiningTest, MinSupportFilters) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  PatternMiningOptions options;
+  options.min_length = 2;
+  options.max_length = 2;
+  options.max_gap = 2;
+  options.min_support = 2;
+  const auto mined = MineFrequentEventPatterns(catalog, options);
+  for (const MinedPattern& p : mined) {
+    EXPECT_GE(p.support, 2u);
+  }
+  // Two pairs reach support 2: fk -> goal (both videos) and fk -> corner
+  // (twice within video 0, via positions 0 and 1). Equal support, so the
+  // two-video pattern ranks first by video support.
+  ASSERT_EQ(mined.size(), 2u);
+  EXPECT_EQ(mined[0].events, (std::vector<EventId>{2, 0}));
+  EXPECT_EQ(mined[0].video_support, 2u);
+  EXPECT_EQ(mined[1].events, (std::vector<EventId>{2, 1}));
+  EXPECT_EQ(mined[1].video_support, 1u);
+}
+
+TEST(PatternMiningTest, SortedBySupportAndTruncated) {
+  const VideoCatalog catalog = testing::GeneratedSoccerCatalog(17, 12);
+  PatternMiningOptions options;
+  options.max_results = 5;
+  options.min_support = 1;
+  const auto mined = MineFrequentEventPatterns(catalog, options);
+  ASSERT_LE(mined.size(), 5u);
+  for (size_t i = 1; i < mined.size(); ++i) {
+    EXPECT_GE(mined[i - 1].support, mined[i].support);
+  }
+}
+
+TEST(PatternMiningTest, MinedPatternsAreQueryable) {
+  const VideoCatalog catalog = testing::GeneratedSoccerCatalog(19, 10);
+  PatternMiningOptions options;
+  options.min_support = 1;
+  options.max_results = 10;
+  const auto mined = MineFrequentEventPatterns(catalog, options);
+  ASSERT_FALSE(mined.empty());
+  for (const MinedPattern& p : mined) {
+    // The query string round-trips through the parser...
+    auto pattern = CompileQuery(p.ToQuery(catalog.vocabulary()),
+                                catalog.vocabulary());
+    ASSERT_TRUE(pattern.ok());
+    // ...and unbounded enumeration finds at least `support` witnesses
+    // (mining is gap-bounded, so unbounded matching can only find more).
+    const auto occurrences = EnumerateTrueOccurrences(catalog, *pattern);
+    EXPECT_GE(occurrences.size(), p.support);
+  }
+}
+
+TEST(PatternMiningTest, MarkovStructureSurfacesInMining) {
+  // The soccer transition chain makes free_kick -> goal likelier than
+  // goal -> free_kick at short gaps; mining should reflect that on a
+  // large enough corpus.
+  FeatureLevelConfig config = SoccerFeatureLevelDefaults(23);
+  config.num_videos = 40;
+  config.event_shot_fraction = 0.3;
+  FeatureLevelGenerator generator(config);
+  auto catalog = VideoCatalog::FromGeneratedCorpus(generator.Generate());
+  ASSERT_TRUE(catalog.ok());
+  PatternMiningOptions options;
+  options.min_length = 2;
+  options.max_length = 2;
+  options.max_gap = 1;
+  options.min_support = 1;
+  options.max_results = 1000;
+  const auto mined = MineFrequentEventPatterns(*catalog, options);
+  size_t fk_goal = 0, goal_fk = 0;
+  for (const MinedPattern& p : mined) {
+    if (p.events == std::vector<EventId>{2, 0}) fk_goal = p.support;
+    if (p.events == std::vector<EventId>{0, 2}) goal_fk = p.support;
+  }
+  EXPECT_GT(fk_goal, goal_fk);
+}
+
+TEST(PatternMiningTest, EmptyCatalogAndBudget) {
+  VideoCatalog empty(SoccerEvents(), 2);
+  EXPECT_TRUE(MineFrequentEventPatterns(empty).empty());
+
+  const VideoCatalog catalog = testing::GeneratedSoccerCatalog(29, 10);
+  PatternMiningOptions capped;
+  capped.min_support = 1;
+  capped.max_occurrences = 5;  // absurdly small budget must not crash
+  const auto mined = MineFrequentEventPatterns(catalog, capped);
+  size_t total = 0;
+  for (const MinedPattern& p : mined) total += p.support;
+  EXPECT_LE(total, 5u);
+}
+
+}  // namespace
+}  // namespace hmmm

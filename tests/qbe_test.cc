@@ -1,0 +1,131 @@
+#include "retrieval/qbe.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model_builder.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+class QbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = testing::SmallSoccerCatalog();
+    ModelBuilderOptions options;
+    options.learn_feature_weights = true;
+    auto model = ModelBuilder(catalog_, options).Build();
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+  }
+
+  VideoCatalog catalog_;
+  HierarchicalModel model_;
+};
+
+TEST_F(QbeTest, ModelStoresNormalizerParameters) {
+  EXPECT_EQ(model_.feature_minima().size(), 8u);
+  EXPECT_EQ(model_.feature_maxima().size(), 8u);
+  // Raw features in the small catalog are 0.1 / 0.9 per column.
+  EXPECT_DOUBLE_EQ(model_.feature_minima()[0], 0.1);
+  EXPECT_DOUBLE_EQ(model_.feature_maxima()[0], 0.9);
+}
+
+TEST_F(QbeTest, NormalizeFeaturesAppliesEquation3) {
+  auto normalized = model_.NormalizeFeatures(
+      {0.5, 0.1, 0.9, 0.5, 0.5, 0.5, 0.5, 0.5});
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_DOUBLE_EQ((*normalized)[0], 0.5);
+  EXPECT_DOUBLE_EQ((*normalized)[1], 0.0);
+  EXPECT_DOUBLE_EQ((*normalized)[2], 1.0);
+  // Out-of-range raw values clamp.
+  auto clamped = model_.NormalizeFeatures(
+      {2.0, -1.0, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5});
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_DOUBLE_EQ((*clamped)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*clamped)[1], 0.0);
+}
+
+TEST_F(QbeTest, NormalizeFeaturesValidatesWidth) {
+  EXPECT_FALSE(model_.NormalizeFeatures({0.5}).ok());
+}
+
+TEST_F(QbeTest, NormalizerParametersSurviveSerialization) {
+  auto restored = HierarchicalModel::Deserialize(model_.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->feature_minima(), model_.feature_minima());
+  EXPECT_EQ(restored->feature_maxima(), model_.feature_maxima());
+}
+
+TEST_F(QbeTest, ExampleRetrievesMatchingShots) {
+  QbeMatcher matcher(model_);
+  // A raw example that looks like a goal shot (feature 0 hot).
+  std::vector<double> example(8, 0.1);
+  example[0] = 0.9;
+  auto results = matcher.Retrieve(example);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  // Top results must be the goal-annotated shots (2, 4, 7).
+  const ShotId top = results->front().shot;
+  EXPECT_TRUE(catalog_.shot(top).HasEvent(0)) << "top shot " << top;
+}
+
+TEST_F(QbeTest, ResultsSortedAndTruncated) {
+  QbeOptions options;
+  options.max_results = 3;
+  QbeMatcher matcher(model_, options);
+  auto results = matcher.Retrieve(std::vector<double>(8, 0.5));
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 3u);
+  for (size_t i = 1; i < results->size(); ++i) {
+    EXPECT_GE((*results)[i - 1].similarity, (*results)[i].similarity);
+  }
+}
+
+TEST_F(QbeTest, SimilarToExcludesProbe) {
+  QbeMatcher matcher(model_);
+  auto results = matcher.RetrieveSimilarTo(4);  // a goal shot
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  for (const QbeResult& r : *results) {
+    EXPECT_NE(r.shot, 4);
+  }
+  // The most similar shot to a goal shot is another goal shot.
+  EXPECT_TRUE(catalog_.shot(results->front().shot).HasEvent(0));
+}
+
+TEST_F(QbeTest, SimilarToRejectsNonStates) {
+  QbeMatcher matcher(model_);
+  EXPECT_FALSE(matcher.RetrieveSimilarTo(1).ok());    // un-annotated shot
+  EXPECT_FALSE(matcher.RetrieveSimilarTo(999).ok());  // unknown shot
+}
+
+TEST_F(QbeTest, FeatureSubsetRestricts) {
+  QbeOptions options;
+  options.feature_subset = {2};  // only the free_kick indicator feature
+  QbeMatcher matcher(model_, options);
+  std::vector<double> example(8, 0.1);
+  example[2] = 0.9;
+  auto results = matcher.Retrieve(example);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(catalog_.shot(results->front().shot).HasEvent(2));
+}
+
+TEST_F(QbeTest, EventWeightedSimilarity) {
+  QbeOptions options;
+  options.weight_event = 0;  // use goal's learned P12 row
+  QbeMatcher matcher(model_, options);
+  std::vector<double> example(8, 0.1);
+  example[0] = 0.9;
+  auto results = matcher.Retrieve(example);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+TEST_F(QbeTest, WidthMismatchRejected) {
+  QbeMatcher matcher(model_);
+  EXPECT_FALSE(matcher.Retrieve({0.5, 0.5}).ok());
+}
+
+}  // namespace
+}  // namespace hmmm

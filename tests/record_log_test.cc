@@ -1,0 +1,159 @@
+#include "storage/record_log.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serialization.h"
+#include "common/strings.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+std::string LogPath(const std::string& name) {
+  const std::string path = testing::TempPath(name);
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(RecordLogTest, AppendAndReplay) {
+  const std::string path = LogPath("record_log_basic.log");
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("first").ok());
+    ASSERT_TRUE(writer->Append("").ok());  // empty records are legal
+    ASSERT_TRUE(writer->Append(std::string("bin\0ary", 7)).ok());
+    EXPECT_EQ(writer->records_appended(), 3u);
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto contents = ReadRecordLog(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 3u);
+  EXPECT_EQ(contents->records[0], "first");
+  EXPECT_EQ(contents->records[1], "");
+  EXPECT_EQ(contents->records[2], std::string("bin\0ary", 7));
+  EXPECT_EQ(contents->dropped_tail_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, ReopenAppends) {
+  const std::string path = LogPath("record_log_reopen.log");
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("a").ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("b").ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto contents = ReadRecordLog(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[1], "b");
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, TornTailDroppedOnRecovery) {
+  const std::string path = LogPath("record_log_torn.log");
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("intact record one").ok());
+    ASSERT_TRUE(writer->Append("intact record two").ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  // Simulate a crash mid-append: append a record, then truncate bytes.
+  auto data = ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("record that gets torn").ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+  const std::string truncated = full->substr(0, full->size() - 6);
+  ASSERT_TRUE(WriteFile(path, truncated).ok());
+
+  auto contents = ReadRecordLog(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_EQ(contents->records.size(), 2u);
+  EXPECT_GT(contents->dropped_tail_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, EveryTruncationPointRecoversPrefix) {
+  // Property: truncating a clean log at ANY byte offset yields recovery
+  // of some prefix of the records, never an error or garbage record.
+  const std::string path = LogPath("record_log_sweep.log");
+  std::vector<std::string> records;
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 5; ++i) {
+      records.push_back(StrFormat("record-%d-%s", i,
+                                  std::string(static_cast<size_t>(i * 3), 'x')
+                                      .c_str()));
+      ASSERT_TRUE(writer->Append(records.back()).ok());
+    }
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+  for (size_t cut = 0; cut < full->size(); ++cut) {
+    ASSERT_TRUE(WriteFile(path, full->substr(0, cut)).ok());
+    auto contents = ReadRecordLog(path);
+    ASSERT_TRUE(contents.ok()) << "cut at " << cut;
+    ASSERT_LE(contents->records.size(), records.size());
+    for (size_t i = 0; i < contents->records.size(); ++i) {
+      EXPECT_EQ(contents->records[i], records[i]) << "cut at " << cut;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, MidFileCorruptionIsDataLoss) {
+  const std::string path = LogPath("record_log_corrupt.log");
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(std::string(100, 'a')).ok());
+    ASSERT_TRUE(writer->Append(std::string(100, 'b')).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+  std::string corrupted = *full;
+  corrupted[20] ^= 0x7F;  // inside the first record's payload
+  ASSERT_TRUE(WriteFile(path, corrupted).ok());
+  auto contents = ReadRecordLog(path);
+  EXPECT_EQ(contents.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadRecordLog("/nonexistent/dir/wal.log").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(RecordLogTest, MoveSemantics) {
+  const std::string path = LogPath("record_log_move.log");
+  auto writer = RecordLogWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  RecordLogWriter moved = std::move(writer).value();
+  ASSERT_TRUE(moved.Append("after move").ok());
+  ASSERT_TRUE(moved.Close().ok());
+  auto contents = ReadRecordLog(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,122 @@
+// Failure-injection robustness: random corruption, truncation, and
+// garbage inputs must never crash a loader or the query parser — they
+// return error Status (or, for benign mutations, a valid object).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/model_builder.h"
+#include "query/parser.h"
+#include "storage/model_io.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+TEST(RobustnessTest, CatalogLoaderSurvivesRandomByteFlips) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  const std::string blob = SerializeCatalog(catalog);
+  Rng rng(123);
+  for (int round = 0; round < 200; ++round) {
+    std::string corrupted = blob;
+    const int flips = rng.NextInt(1, 4);
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(rng.NextUint64(corrupted.size()));
+      corrupted[pos] = static_cast<char>(rng.NextUint64(256));
+    }
+    auto result = DeserializeCatalog(corrupted);
+    if (result.ok()) {
+      // A no-op mutation: the result must still be fully valid.
+      EXPECT_TRUE(result->Validate().ok());
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(RobustnessTest, CatalogLoaderSurvivesRandomTruncation) {
+  const std::string blob = SerializeCatalog(testing::SmallSoccerCatalog());
+  Rng rng(5);
+  for (int round = 0; round < 100; ++round) {
+    const size_t keep = static_cast<size_t>(rng.NextUint64(blob.size()));
+    auto result = DeserializeCatalog(std::string_view(blob).substr(0, keep));
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(RobustnessTest, ModelLoaderSurvivesRandomByteFlips) {
+  auto model = ModelBuilder(testing::SmallSoccerCatalog()).Build();
+  ASSERT_TRUE(model.ok());
+  const std::string blob = model->Serialize();
+  Rng rng(321);
+  for (int round = 0; round < 200; ++round) {
+    std::string corrupted = blob;
+    const size_t pos = static_cast<size_t>(rng.NextUint64(corrupted.size()));
+    corrupted[pos] = static_cast<char>(rng.NextUint64(256));
+    auto result = HierarchicalModel::Deserialize(corrupted);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+TEST(RobustnessTest, ModelLoaderSurvivesGarbage) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::string garbage(rng.NextInt(0, 512), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.NextUint64(256));
+    EXPECT_FALSE(HierarchicalModel::Deserialize(garbage).ok());
+    EXPECT_FALSE(DeserializeCatalog(garbage).ok());
+  }
+}
+
+TEST(RobustnessTest, ParserSurvivesRandomInput) {
+  const EventVocabulary vocab = SoccerEvents();
+  Rng rng(99);
+  const std::string alphabet = "abcdefgh_;&|()<>-> 0123456789";
+  size_t parsed_ok = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::string query(static_cast<size_t>(rng.NextInt(0, 40)), ' ');
+    for (char& c : query) {
+      c = alphabet[static_cast<size_t>(rng.NextUint64(alphabet.size()))];
+    }
+    auto result = ParseQuery(query, vocab);
+    if (result.ok()) ++parsed_ok;  // a random string may be a valid query
+  }
+  // The point is no crash; most random strings fail to parse.
+  EXPECT_LT(parsed_ok, 100u);
+}
+
+TEST(RobustnessTest, ParserSurvivesAdversarialShapes) {
+  const EventVocabulary vocab = SoccerEvents();
+  const std::vector<std::string> inputs = {
+      std::string(10000, '('),
+      std::string(10000, ';'),
+      std::string(10000, 'a'),
+      "goal" + std::string(500, ' ') + "; goal",
+      "(goal|" + std::string(200, 'x') + ")",
+      "goal ;<999999999 goal",
+      "goal ;<-3 goal",
+      std::string("\x01\x02\x03\xff", 4),
+  };
+  for (const std::string& input : inputs) {
+    auto result = ParseQuery(input, vocab);  // must not crash
+    (void)result;
+  }
+  // A long but well-formed chain parses fine.
+  std::string chain = "goal";
+  for (int i = 0; i < 200; ++i) chain += " ; goal";
+  EXPECT_TRUE(ParseQuery(chain, vocab).ok());
+}
+
+TEST(RobustnessTest, EmptyCatalogEndToEnd) {
+  VideoCatalog catalog(SoccerEvents(), 20);
+  auto model = ModelBuilder(catalog).Build();
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_global_states(), 0u);
+  auto restored = HierarchicalModel::Deserialize(model->Serialize());
+  EXPECT_TRUE(restored.ok());
+}
+
+}  // namespace
+}  // namespace hmmm

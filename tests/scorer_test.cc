@@ -1,0 +1,106 @@
+#include "retrieval/scorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model_builder.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+class ScorerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = testing::SmallSoccerCatalog();
+    auto model = ModelBuilder(catalog_).Build();
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+  }
+
+  VideoCatalog catalog_;
+  HierarchicalModel model_;
+};
+
+TEST_F(ScorerTest, MatchingShotScoresHigherThanMismatched) {
+  SimilarityScorer scorer(model_);
+  // Global state 0 = shot 0 (free_kick). free_kick id = 2, goal id = 0.
+  const double to_free_kick = scorer.EventSimilarity(0, 2);
+  const double to_goal = scorer.EventSimilarity(0, 0);
+  EXPECT_GT(to_free_kick, to_goal);
+}
+
+TEST_F(ScorerTest, Equation14HandComputation) {
+  // Build a tiny dedicated model for exact arithmetic: two states, two
+  // features, one event.
+  VideoCatalog catalog(SoccerEvents(), 2);
+  const VideoId v = catalog.AddVideo("v");
+  ASSERT_TRUE(catalog.AddShot(v, 0, 1, {0}, {1.0, 0.0}).ok());
+  ASSERT_TRUE(catalog.AddShot(v, 1, 2, {0}, {0.0, 1.0}).ok());
+  auto model = ModelBuilder(catalog).Build();
+  ASSERT_TRUE(model.ok());
+  // B1 rows: state0 = (1,0), state1 = (0,1). Centroid for event 0 =
+  // (0.5, 0.5). P12 uniform = 1/2 per feature.
+  // sim(s0, e0) = 0.5*(1-0.5)/0.5 + 0.5*(1-0.5)/0.5 = 1.0.
+  SimilarityScorer scorer(*model);
+  EXPECT_NEAR(scorer.EventSimilarity(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(scorer.EventSimilarity(1, 0), 1.0, 1e-12);
+}
+
+TEST_F(ScorerTest, ZeroCentroidGuarded) {
+  SimilarityScorer scorer(model_);
+  // red_card (id 6) has no shots: its centroid row is all zeros; the
+  // epsilon guard must keep the similarity finite.
+  const double sim = scorer.EventSimilarity(0, 6);
+  EXPECT_TRUE(std::isfinite(sim));
+}
+
+TEST_F(ScorerTest, FeatureSubsetRestrictsEvaluation) {
+  ScorerOptions options;
+  options.feature_subset = {0};  // only the goal-indicator feature
+  SimilarityScorer scorer(model_, options);
+  // State for shot 4 (goal) vs state for shot 0 (free_kick), to goal.
+  const int goal_state = model_.GlobalStateOf(4);
+  const int fk_state = model_.GlobalStateOf(0);
+  EXPECT_GT(scorer.EventSimilarity(goal_state, 0),
+            scorer.EventSimilarity(fk_state, 0));
+}
+
+TEST_F(ScorerTest, StepSimilarityBestAlternative) {
+  SimilarityScorer scorer(model_);
+  const int fk_state = model_.GlobalStateOf(0);
+  PatternStep step;
+  step.alternatives = {{0}, {2}};  // goal OR free_kick
+  const double step_sim = scorer.StepSimilarity(fk_state, step);
+  EXPECT_NEAR(step_sim, scorer.EventSimilarity(fk_state, 2), 1e-12);
+}
+
+TEST_F(ScorerTest, StepSimilarityConjunctiveMean) {
+  SimilarityScorer scorer(model_);
+  const int state = model_.GlobalStateOf(2);  // free_kick + goal shot
+  PatternStep step;
+  step.alternatives = {{2, 0}};
+  const double expected = 0.5 * (scorer.EventSimilarity(state, 2) +
+                                 scorer.EventSimilarity(state, 0));
+  EXPECT_NEAR(scorer.StepSimilarity(state, step), expected, 1e-12);
+}
+
+TEST_F(ScorerTest, EmptyStepGivesZero) {
+  SimilarityScorer scorer(model_);
+  PatternStep step;  // no alternatives
+  EXPECT_DOUBLE_EQ(scorer.StepSimilarity(0, step), 0.0);
+}
+
+TEST_F(ScorerTest, EvaluationCounterTracksCalls) {
+  SimilarityScorer scorer(model_);
+  EXPECT_EQ(scorer.evaluations(), 0u);
+  scorer.EventSimilarity(0, 0);
+  scorer.EventSimilarity(0, 1);
+  EXPECT_EQ(scorer.evaluations(), 2u);
+  scorer.ResetEvaluationCount();
+  EXPECT_EQ(scorer.evaluations(), 0u);
+}
+
+}  // namespace
+}  // namespace hmmm

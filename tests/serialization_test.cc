@@ -1,0 +1,172 @@
+#include "common/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+TEST(BinaryRoundTripTest, Scalars) {
+  BinaryWriter w;
+  w.WriteUint8(200);
+  w.WriteUint32(0xDEADBEEF);
+  w.WriteUint64(0x0123456789ABCDEFull);
+  w.WriteInt32(-42);
+  w.WriteInt64(-1234567890123ll);
+  w.WriteDouble(3.14159);
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.ReadUint8(), 200);
+  EXPECT_EQ(*r.ReadUint32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.ReadUint64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*r.ReadInt32(), -42);
+  EXPECT_EQ(*r.ReadInt64(), -1234567890123ll);
+  EXPECT_DOUBLE_EQ(*r.ReadDouble(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryRoundTripTest, Varints) {
+  BinaryWriter w;
+  const std::vector<uint64_t> values = {0, 1, 127, 128, 300, 1ull << 20,
+                                        1ull << 40, ~0ull};
+  for (uint64_t v : values) w.WriteVarint(v);
+  BinaryReader r(w.buffer());
+  for (uint64_t v : values) {
+    auto got = r.ReadVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryRoundTripTest, StringsAndVectors) {
+  BinaryWriter w;
+  w.WriteString("corner_kick");
+  w.WriteString("");
+  w.WriteDoubleVector({1.5, -2.5, 0.0});
+  w.WriteInt32Vector({1, -2, 3});
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.ReadString(), "corner_kick");
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_EQ(*r.ReadDoubleVector(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(*r.ReadInt32Vector(), (std::vector<int32_t>{1, -2, 3}));
+}
+
+TEST(BinaryRoundTripTest, Matrix) {
+  BinaryWriter w;
+  auto m = *Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  w.WriteMatrix(m);
+  BinaryReader r(w.buffer());
+  auto got = r.ReadMatrix();
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got == m);
+}
+
+TEST(BinaryReaderTest, TruncationIsDataLoss) {
+  BinaryWriter w;
+  w.WriteDouble(1.0);
+  const std::string truncated = w.buffer().substr(0, 3);
+  BinaryReader r(truncated);
+  EXPECT_EQ(r.ReadDouble().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BinaryReaderTest, TruncatedStringIsDataLoss) {
+  BinaryWriter w;
+  w.WriteString("hello world");
+  BinaryReader r(std::string_view(w.buffer()).substr(0, 4));
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BinaryReaderTest, HugeVectorLengthRejectedWithoutAllocation) {
+  // A crafted length that would overflow size*8 or exhaust memory must be
+  // rejected up front.
+  BinaryWriter w;
+  w.WriteVarint(1ull << 61);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadDoubleVector().status().code(), StatusCode::kDataLoss);
+  BinaryReader r2(w.buffer());
+  EXPECT_EQ(r2.ReadInt32Vector().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BinaryReaderTest, HugeMatrixDimensionsRejected) {
+  // rows * cols wraps around 2^64 with these values; the reader must not
+  // be fooled into a small allocation followed by out-of-bounds writes.
+  BinaryWriter w;
+  w.WriteVarint(1ull << 40);
+  w.WriteVarint(1ull << 40);
+  w.WriteDoubleVector(std::vector<double>(1024, 1.0));  // some payload
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadMatrix().status().code(), StatusCode::kDataLoss);
+
+  BinaryWriter w2;
+  w2.WriteVarint(100);
+  w2.WriteVarint(100);  // claims 10000 doubles, provides none
+  BinaryReader r2(w2.buffer());
+  EXPECT_EQ(r2.ReadMatrix().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BinaryReaderTest, SkipAdvancesAndBoundsChecks) {
+  BinaryWriter w;
+  w.WriteUint32(7);
+  w.WriteUint32(9);
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(r.Skip(4).ok());
+  EXPECT_EQ(*r.ReadUint32(), 9u);
+  EXPECT_FALSE(r.Skip(1).ok());
+}
+
+TEST(BinaryReaderTest, VarintOverflowDetected) {
+  std::string bad(11, '\xFF');
+  BinaryReader r(bad);
+  EXPECT_EQ(r.ReadVarint().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ChecksumEnvelopeTest, RoundTrip) {
+  const std::string payload = "some model bytes";
+  const std::string wrapped = WrapChecksummed(0xABCD1234, 3, payload);
+  uint32_t version = 0;
+  auto unwrapped = UnwrapChecksummed(0xABCD1234, wrapped, &version);
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(*unwrapped, payload);
+  EXPECT_EQ(version, 3u);
+}
+
+TEST(ChecksumEnvelopeTest, WrongMagicRejected) {
+  const std::string wrapped = WrapChecksummed(0x1111, 1, "x");
+  EXPECT_EQ(UnwrapChecksummed(0x2222, wrapped).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(ChecksumEnvelopeTest, CorruptionDetected) {
+  std::string wrapped = WrapChecksummed(0x1111, 1, "important payload");
+  wrapped[wrapped.size() - 3] ^= 0x40;  // flip a payload bit
+  EXPECT_EQ(UnwrapChecksummed(0x1111, wrapped).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(ChecksumEnvelopeTest, TruncationDetected) {
+  const std::string wrapped = WrapChecksummed(0x1111, 1, "important payload");
+  EXPECT_FALSE(
+      UnwrapChecksummed(0x1111, std::string_view(wrapped).substr(0, wrapped.size() - 2))
+          .ok());
+}
+
+TEST(FileIoTest, WriteAndReadBack) {
+  const std::string path = testing::TempPath("hmmm_serialization_test.bin");
+  const std::string contents = std::string("abc\0def", 7);
+  ASSERT_TRUE(WriteFile(path, contents).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, contents);
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadFileToString("/nonexistent/dir/file.bin").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace hmmm

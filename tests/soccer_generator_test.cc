@@ -1,0 +1,201 @@
+#include "media/soccer_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hmmm {
+namespace {
+
+SoccerGeneratorConfig SmallConfig() {
+  SoccerGeneratorConfig config;
+  config.seed = 11;
+  config.min_shots_per_video = 5;
+  config.max_shots_per_video = 8;
+  config.min_frames_per_shot = 8;
+  config.max_frames_per_shot = 16;
+  return config;
+}
+
+TEST(EventVocabularyTest, SoccerEventsRegistered) {
+  const EventVocabulary vocab = SoccerEvents();
+  EXPECT_EQ(vocab.size(), 8u);
+  auto goal = vocab.Find(soccer::kGoal);
+  ASSERT_TRUE(goal.ok());
+  EXPECT_EQ(*goal, 0);
+  EXPECT_EQ(vocab.Name(*goal), "goal");
+  EXPECT_TRUE(vocab.Contains(soccer::kRedCard));
+  EXPECT_FALSE(vocab.Find("slam_dunk").ok());
+  EXPECT_EQ(vocab.Name(99), "<invalid>");
+}
+
+TEST(EventVocabularyTest, RegisterIsIdempotent) {
+  EventVocabulary vocab;
+  const EventId a = vocab.Register("x");
+  const EventId b = vocab.Register("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(EventVocabularyTest, NewsEventsDistinct) {
+  const EventVocabulary vocab = NewsEvents();
+  EXPECT_EQ(vocab.size(), 6u);
+  EXPECT_TRUE(vocab.Contains("anchor"));
+}
+
+TEST(SoccerGeneratorTest, DeterministicPerSeedAndIndex) {
+  SoccerVideoGenerator generator(SmallConfig());
+  const SyntheticVideo a = generator.Generate(3);
+  const SyntheticVideo b = generator.Generate(3);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  EXPECT_EQ(a.shots.size(), b.shots.size());
+  EXPECT_EQ(a.frames[5].pixels(), b.frames[5].pixels());
+  EXPECT_EQ(a.audio.samples(), b.audio.samples());
+}
+
+TEST(SoccerGeneratorTest, DifferentIndicesDiffer) {
+  SoccerVideoGenerator generator(SmallConfig());
+  const SyntheticVideo a = generator.Generate(0);
+  const SyntheticVideo b = generator.Generate(1);
+  EXPECT_NE(a.frames.size(), 0u);
+  // Either the shot structure or the pixels must differ.
+  const bool differs = a.frames.size() != b.frames.size() ||
+                       a.frames[0].pixels() != b.frames[0].pixels();
+  EXPECT_TRUE(differs);
+}
+
+TEST(SoccerGeneratorTest, ShotsPartitionFrames) {
+  SoccerVideoGenerator generator(SmallConfig());
+  const SyntheticVideo video = generator.Generate(0);
+  ASSERT_FALSE(video.shots.empty());
+  EXPECT_EQ(video.shots.front().begin_frame, 0);
+  for (size_t i = 1; i < video.shots.size(); ++i) {
+    EXPECT_EQ(video.shots[i].begin_frame, video.shots[i - 1].end_frame);
+  }
+  EXPECT_EQ(video.shots.back().end_frame,
+            static_cast<int>(video.frames.size()));
+}
+
+TEST(SoccerGeneratorTest, AudioCoversAllFrames) {
+  SoccerVideoGenerator generator(SmallConfig());
+  const SyntheticVideo video = generator.Generate(2);
+  const double expected_samples =
+      static_cast<double>(video.frames.size()) / video.fps *
+      video.audio.sample_rate();
+  EXPECT_NEAR(static_cast<double>(video.audio.size()), expected_samples,
+              video.shots.size() * 2.0 + 2.0);
+}
+
+TEST(SoccerGeneratorTest, EventFractionRoughlyHonored) {
+  SoccerGeneratorConfig config = SmallConfig();
+  config.min_shots_per_video = 30;
+  config.max_shots_per_video = 30;
+  config.event_shot_fraction = 0.5;
+  SoccerVideoGenerator generator(config);
+  size_t event_shots = 0, total = 0;
+  for (int v = 0; v < 10; ++v) {
+    const SyntheticVideo video = generator.Generate(v);
+    for (const ShotTruth& shot : video.shots) {
+      ++total;
+      if (!shot.events.empty()) ++event_shots;
+    }
+  }
+  const double fraction = static_cast<double>(event_shots) /
+                          static_cast<double>(total);
+  EXPECT_NEAR(fraction, 0.5, 0.12);
+}
+
+TEST(SoccerGeneratorTest, LongShotsAreGrassy) {
+  SoccerGeneratorConfig config = SmallConfig();
+  config.min_shots_per_video = 20;
+  config.max_shots_per_video = 20;
+  SoccerVideoGenerator generator(config);
+  double long_grass = 0.0, close_grass = 0.0;
+  int long_count = 0, close_count = 0;
+  for (int v = 0; v < 8; ++v) {
+    const SyntheticVideo video = generator.Generate(v);
+    for (const ShotTruth& shot : video.shots) {
+      const double grass = GrassRatio(video.frames[static_cast<size_t>(shot.begin_frame)]);
+      if (shot.scene_class == static_cast<int>(SceneClass::kLongShot)) {
+        long_grass += grass;
+        ++long_count;
+      } else if (shot.scene_class == static_cast<int>(SceneClass::kCloseUp)) {
+        close_grass += grass;
+        ++close_count;
+      }
+    }
+  }
+  ASSERT_GT(long_count, 0);
+  ASSERT_GT(close_count, 0);
+  EXPECT_GT(long_grass / long_count, 2.0 * (close_grass / close_count));
+}
+
+TEST(SoccerGeneratorTest, EventProfilesMatchPaperIntuition) {
+  // Goals are exciting; goal kicks are calm; cards are close-ups.
+  const auto goal = SoccerVideoGenerator::ProfileFor(0);
+  const auto goal_kick = SoccerVideoGenerator::ProfileFor(4);
+  const auto yellow = SoccerVideoGenerator::ProfileFor(5);
+  EXPECT_GT(goal.excitement, goal_kick.excitement);
+  EXPECT_EQ(yellow.scene, SceneClass::kCloseUp);
+  EXPECT_TRUE(yellow.whistle);
+  EXPECT_FALSE(goal.whistle);
+}
+
+TEST(SoccerGeneratorTest, TransitionMatrixRowStochastic) {
+  const auto t = SoccerVideoGenerator::EventTransitions();
+  ASSERT_EQ(t.size(), 9u);  // 8 events + initial row
+  for (const auto& row : t) {
+    ASSERT_EQ(row.size(), 8u);
+    double sum = 0.0;
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Free kicks set up goals more often than goals repeat.
+  EXPECT_GT(t[2][0], t[0][0]);
+}
+
+TEST(SoccerGeneratorTest, WhistleEventsHaveHighFrequencyOnset) {
+  // Render one video and check that a whistle shot's early audio has more
+  // high-frequency content than a non-whistle shot's.
+  SoccerGeneratorConfig config = SmallConfig();
+  config.min_shots_per_video = 40;
+  config.max_shots_per_video = 40;
+  config.event_shot_fraction = 0.6;
+  SoccerVideoGenerator generator(config);
+  const SyntheticVideo video = generator.Generate(1);
+
+  auto onset_energy = [&](const ShotTruth& shot) {
+    const AudioClip clip =
+        video.AudioForFrames(shot.begin_frame, shot.end_frame);
+    double sum = 0.0;
+    const size_t n = std::min<size_t>(clip.size(), 800);
+    for (size_t i = 1; i < n; ++i) {
+      const double d = clip.samples()[i] - clip.samples()[i - 1];
+      sum += d * d;  // first-difference energy ~ high-frequency content
+    }
+    return sum;
+  };
+
+  double whistle_best = 0.0, plain_best = 0.0;
+  for (const ShotTruth& shot : video.shots) {
+    bool whistle = false;
+    for (EventId e : shot.events) {
+      whistle |= SoccerVideoGenerator::ProfileFor(e).whistle;
+    }
+    const double energy = onset_energy(shot);
+    if (whistle) {
+      whistle_best = std::max(whistle_best, energy);
+    } else if (shot.events.empty()) {
+      plain_best = std::max(plain_best, energy);
+    }
+  }
+  if (whistle_best > 0.0 && plain_best > 0.0) {
+    EXPECT_GT(whistle_best, plain_best);
+  }
+}
+
+}  // namespace
+}  // namespace hmmm

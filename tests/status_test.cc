@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hmmm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  const Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "not_found: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    const std::string name = StatusCodeToString(static_cast<StatusCode>(c));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown") << "code " << c;
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::DataLoss("x"));
+}
+
+TEST(StatusTest, StreamingUsesToString) {
+  std::ostringstream os;
+  os << Status::IOError("disk gone");
+  EXPECT_EQ(os.str(), "io_error: disk gone");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::OutOfRange("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  ASSERT_TRUE(v.ok());
+  const std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+namespace macro_helpers {
+
+Status FailIf(bool fail) {
+  if (fail) return Status::Internal("failed");
+  return Status::OK();
+}
+
+Status Caller(bool fail) {
+  HMMM_RETURN_IF_ERROR(FailIf(fail));
+  return Status::OK();
+}
+
+StatusOr<int> Produce(bool fail) {
+  if (fail) return Status::NotFound("no value");
+  return 7;
+}
+
+StatusOr<int> Chain(bool fail) {
+  HMMM_ASSIGN_OR_RETURN(int x, Produce(fail));
+  return x + 1;
+}
+
+}  // namespace macro_helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macro_helpers::Caller(false).ok());
+  const Status s = macro_helpers::Caller(true);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  const StatusOr<int> ok = macro_helpers::Chain(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+  const StatusOr<int> bad = macro_helpers::Chain(true);
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hmmm

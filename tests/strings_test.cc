@@ -1,0 +1,76 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+
+namespace hmmm {
+namespace {
+
+TEST(StringsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 3, "ok"), "x=3 y=ok");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StringsTest, StrFormatLongOutput) {
+  const std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, SplitJoinRoundTrip) {
+  const std::string text = "x;y;z";
+  EXPECT_EQ(StrJoin(StrSplit(text, ';'), ";"), text);
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(StripWhitespace("\t \n"), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("GoAl_Kick9"), "goal_kick9");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("free_kick", "free"));
+  EXPECT_FALSE(StartsWith("free", "free_kick"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C of "123456789" is 0xE3069283 (RFC 3720 test vector).
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32c(data, 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32Test, DifferentDataDifferentCrc) {
+  EXPECT_NE(Crc32c("abc", 3), Crc32c("abd", 3));
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "hello, hierarchical markov model mediator";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  const uint32_t first = Crc32c(data.data(), 10);
+  const uint32_t incremental = Crc32c(data.data() + 10, data.size() - 10, first);
+  EXPECT_EQ(incremental, whole);
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -1,0 +1,181 @@
+#include "api/video_database.h"
+
+#include <gtest/gtest.h>
+
+#include "media/news_generator.h"
+#include "retrieval/metrics.h"
+#include "storage/model_io.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+TEST(VideoDatabaseTest, CreateAndQuery) {
+  auto db = VideoDatabase::Create(testing::SmallSoccerCatalog());
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto results = db->Query("free_kick ; goal");
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  const auto pattern =
+      *CompileQuery("free_kick ; goal", db->catalog().vocabulary());
+  EXPECT_TRUE(PatternMatchesAnnotations(db->catalog(),
+                                        results->front().shots, pattern));
+}
+
+TEST(VideoDatabaseTest, CreateRejectsInvalidCatalog) {
+  // A catalog is always valid through its own API; validate the check via
+  // a mismatched Open instead (below). Create on an empty catalog works.
+  auto db = VideoDatabase::Create(VideoCatalog(SoccerEvents(), 4));
+  ASSERT_TRUE(db.ok());
+  auto results = db->Query("goal");
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(VideoDatabaseTest, SaveOpenRoundTrip) {
+  auto db = VideoDatabase::Create(testing::GeneratedSoccerCatalog(5, 6));
+  ASSERT_TRUE(db.ok());
+  auto expected = db->Query("goal");
+  ASSERT_TRUE(expected.ok());
+
+  const std::string catalog_path = testing::TempPath("vdb_test.cat");
+  const std::string model_path = testing::TempPath("vdb_test.hmmm");
+  ASSERT_TRUE(db->Save(catalog_path, model_path).ok());
+
+  auto reopened = VideoDatabase::Open(catalog_path, model_path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  auto results = reopened->Query("goal");
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), expected->size());
+  for (size_t i = 0; i < results->size(); ++i) {
+    EXPECT_EQ((*results)[i].shots, (*expected)[i].shots);
+  }
+  std::remove(catalog_path.c_str());
+  std::remove(model_path.c_str());
+}
+
+TEST(VideoDatabaseTest, OpenRejectsMismatchedPair) {
+  auto db_a = VideoDatabase::Create(testing::GeneratedSoccerCatalog(5, 6));
+  auto db_b = VideoDatabase::Create(testing::GeneratedSoccerCatalog(6, 9));
+  ASSERT_TRUE(db_a.ok());
+  ASSERT_TRUE(db_b.ok());
+  const std::string catalog_path = testing::TempPath("vdb_mismatch.cat");
+  const std::string model_path = testing::TempPath("vdb_mismatch.hmmm");
+  ASSERT_TRUE(SaveCatalog(db_a->catalog(), catalog_path).ok());
+  ASSERT_TRUE(db_b->model().SaveToFile(model_path).ok());
+  auto opened = VideoDatabase::Open(catalog_path, model_path);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(catalog_path.c_str());
+  std::remove(model_path.c_str());
+}
+
+TEST(VideoDatabaseTest, FeedbackThresholdAutoTrains) {
+  VideoDatabaseOptions options;
+  options.feedback.retrain_threshold = 2;
+  auto db = VideoDatabase::Create(testing::SmallSoccerCatalog(), options);
+  ASSERT_TRUE(db.ok());
+  auto results = db->Query("free_kick ; goal");
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+
+  EXPECT_EQ(db->training_rounds(), 0u);
+  ASSERT_TRUE(db->MarkPositive(results->front()).ok());
+  EXPECT_EQ(db->training_rounds(), 0u);  // below threshold
+  ASSERT_TRUE(db->MarkPositive(results->front()).ok());
+  EXPECT_EQ(db->training_rounds(), 1u);  // threshold reached
+  EXPECT_TRUE(db->model().Validate().ok());
+}
+
+TEST(VideoDatabaseTest, ForceTrain) {
+  auto db = VideoDatabase::Create(testing::SmallSoccerCatalog());
+  ASSERT_TRUE(db.ok());
+  auto results = db->Query("goal");
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  ASSERT_TRUE(db->MarkPositive(results->front()).ok());
+  auto trained = db->Train();
+  ASSERT_TRUE(trained.ok());
+  EXPECT_TRUE(*trained);
+}
+
+TEST(VideoDatabaseTest, QueryByExampleAndMoreLike) {
+  auto db = VideoDatabase::Create(testing::SmallSoccerCatalog());
+  ASSERT_TRUE(db.ok());
+  std::vector<double> example(8, 0.1);
+  example[0] = 0.9;  // goal-like
+  auto qbe = db->QueryByExample(example);
+  ASSERT_TRUE(qbe.ok());
+  ASSERT_FALSE(qbe->empty());
+  EXPECT_TRUE(db->catalog().shot(qbe->front().shot).HasEvent(0));
+
+  auto similar = db->MoreLikeShot(4);
+  ASSERT_TRUE(similar.ok());
+  EXPECT_FALSE(similar->empty());
+}
+
+TEST(VideoDatabaseTest, CategoryLevelOptional) {
+  auto plain = VideoDatabase::Create(testing::SmallSoccerCatalog());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->categories(), nullptr);
+
+  VideoDatabaseOptions options;
+  options.enable_category_level = true;
+  options.categories.num_clusters = 2;
+  auto layered = VideoDatabase::Create(testing::GeneratedSoccerCatalog(3, 8),
+                                       options);
+  ASSERT_TRUE(layered.ok());
+  ASSERT_NE(layered->categories(), nullptr);
+  EXPECT_EQ(layered->categories()->num_clusters(), 2u);
+  auto results = layered->Query("goal");
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+TEST(VideoDatabaseTest, RebuildCategories) {
+  VideoDatabaseOptions options;
+  options.enable_category_level = true;
+  auto db = VideoDatabase::Create(testing::GeneratedSoccerCatalog(3, 8),
+                                  options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->RebuildCategories().ok());
+  EXPECT_NE(db->categories(), nullptr);
+}
+
+TEST(VideoDatabaseTest, ReplaceCatalogPreservesLearning) {
+  auto db = VideoDatabase::Create(testing::SmallSoccerCatalog());
+  ASSERT_TRUE(db.ok());
+  auto results = db->Query("free_kick ; corner_kick");
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  ASSERT_TRUE(db->MarkPositive(results->front()).ok());
+  ASSERT_TRUE(db->Train().ok());
+  const Matrix learned_a1 = db->model().local(0).a1;
+
+  // Grow the archive by one video and swap it in.
+  VideoCatalog grown = testing::SmallSoccerCatalog();
+  const VideoId v2 = grown.AddVideo("video_c");
+  ASSERT_TRUE(grown.AddShot(v2, 0.0, 3.0, {4},
+                            testing::FeatureVector(8, 0.1, {4}, 0.9)).ok());
+  ASSERT_TRUE(db->ReplaceCatalog(std::move(grown)).ok());
+
+  EXPECT_EQ(db->catalog().num_videos(), 3u);
+  EXPECT_EQ(db->model().num_videos(), 3u);
+  EXPECT_LT(db->model().local(0).a1.MaxAbsDiff(learned_a1), 1e-12);
+  // Queries (including against the new video's event) still work.
+  auto goal_kick = db->Query("goal_kick");
+  ASSERT_TRUE(goal_kick.ok());
+  EXPECT_FALSE(goal_kick->empty());
+}
+
+TEST(VideoDatabaseTest, MoveSemantics) {
+  auto db = VideoDatabase::Create(testing::SmallSoccerCatalog());
+  ASSERT_TRUE(db.ok());
+  VideoDatabase moved = std::move(db).value();
+  auto results = moved.Query("goal");
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+}  // namespace
+}  // namespace hmmm

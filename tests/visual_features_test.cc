@@ -1,0 +1,83 @@
+#include "features/visual_features.h"
+
+#include <gtest/gtest.h>
+
+namespace hmmm {
+namespace {
+
+std::vector<Frame> StaticGreenShot(int frames, int w = 8, int h = 8) {
+  return std::vector<Frame>(static_cast<size_t>(frames),
+                            Frame(w, h, Rgb{40, 160, 40}));
+}
+
+TEST(VisualFeaturesTest, RejectsBadSpans) {
+  const auto frames = StaticGreenShot(4);
+  EXPECT_FALSE(ExtractVisualFeatures(frames, 0, 0).ok());
+  EXPECT_FALSE(ExtractVisualFeatures(frames, -1, 2).ok());
+  EXPECT_FALSE(ExtractVisualFeatures(frames, 0, 5).ok());
+  EXPECT_FALSE(ExtractVisualFeatures(frames, 3, 2).ok());
+}
+
+TEST(VisualFeaturesTest, StaticGrassShot) {
+  const auto frames = StaticGreenShot(6);
+  auto features = ExtractVisualFeatures(frames, 0, 6);
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ(features->grass_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(features->pixel_change_percent, 0.0);
+  EXPECT_DOUBLE_EQ(features->histo_change, 0.0);
+  // A perfectly static frame is 100% background with zero variance.
+  EXPECT_DOUBLE_EQ(features->background_var, 0.0);
+  EXPECT_GT(features->background_mean, 0.0);
+}
+
+TEST(VisualFeaturesTest, SingleFrameShotHasNoInterFrameFeatures) {
+  const auto frames = StaticGreenShot(3);
+  auto features = ExtractVisualFeatures(frames, 1, 2);
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ(features->grass_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(features->pixel_change_percent, 0.0);
+  EXPECT_DOUBLE_EQ(features->background_mean, 0.0);  // no frame pairs
+}
+
+TEST(VisualFeaturesTest, MotionRaisesPixelChange) {
+  // A moving white block over grass.
+  std::vector<Frame> frames;
+  for (int f = 0; f < 6; ++f) {
+    Frame frame(16, 8, Rgb{40, 160, 40});
+    frame.FillRect(f * 2, 2, f * 2 + 3, 6, Rgb{250, 250, 250});
+    frames.push_back(std::move(frame));
+  }
+  auto moving = ExtractVisualFeatures(frames, 0, 6);
+  ASSERT_TRUE(moving.ok());
+  auto still = ExtractVisualFeatures(StaticGreenShot(6, 16, 8), 0, 6);
+  ASSERT_TRUE(still.ok());
+  EXPECT_GT(moving->pixel_change_percent, still->pixel_change_percent);
+  EXPECT_LT(moving->grass_ratio, 1.0);
+}
+
+TEST(VisualFeaturesTest, SceneChangeRaisesHistoChange) {
+  std::vector<Frame> frames = StaticGreenShot(2);
+  frames.push_back(Frame(8, 8, Rgb{200, 50, 50}));  // abrupt red frame
+  auto features = ExtractVisualFeatures(frames, 0, 3);
+  ASSERT_TRUE(features.ok());
+  EXPECT_GT(features->histo_change, 1.0);
+}
+
+TEST(VisualFeaturesTest, BackgroundStatsTrackStablePixels) {
+  // Left half static bright, right half flickers (never background).
+  std::vector<Frame> frames;
+  for (int f = 0; f < 4; ++f) {
+    Frame frame(8, 8, Rgb{200, 200, 200});
+    const auto v = static_cast<uint8_t>(f % 2 == 0 ? 30 : 220);
+    frame.FillRect(4, 0, 8, 8, Rgb{v, v, v});
+    frames.push_back(std::move(frame));
+  }
+  auto features = ExtractVisualFeatures(frames, 0, 4);
+  ASSERT_TRUE(features.ok());
+  // Background = the stable bright half: mean near 200/255, variance ~ 0.
+  EXPECT_NEAR(features->background_mean, 200.0 / 255.0, 0.02);
+  EXPECT_NEAR(features->background_var, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hmmm
