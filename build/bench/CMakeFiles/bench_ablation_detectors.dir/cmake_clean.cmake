@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_detectors.dir/bench_ablation_detectors.cc.o"
+  "CMakeFiles/bench_ablation_detectors.dir/bench_ablation_detectors.cc.o.d"
+  "bench_ablation_detectors"
+  "bench_ablation_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

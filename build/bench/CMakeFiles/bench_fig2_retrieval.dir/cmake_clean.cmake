@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_retrieval.dir/bench_fig2_retrieval.cc.o"
+  "CMakeFiles/bench_fig2_retrieval.dir/bench_fig2_retrieval.cc.o.d"
+  "bench_fig2_retrieval"
+  "bench_fig2_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_tool.dir/archive_tool.cpp.o"
+  "CMakeFiles/archive_tool.dir/archive_tool.cpp.o.d"
+  "archive_tool"
+  "archive_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_learning.dir/feedback_learning.cpp.o"
+  "CMakeFiles/feedback_learning.dir/feedback_learning.cpp.o.d"
+  "feedback_learning"
+  "feedback_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growing_archive.dir/growing_archive.cpp.o"
+  "CMakeFiles/growing_archive.dir/growing_archive.cpp.o.d"
+  "growing_archive"
+  "growing_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growing_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

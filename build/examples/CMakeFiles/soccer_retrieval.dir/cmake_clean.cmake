@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soccer_retrieval.dir/soccer_retrieval.cpp.o"
+  "CMakeFiles/soccer_retrieval.dir/soccer_retrieval.cpp.o.d"
+  "soccer_retrieval"
+  "soccer_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soccer_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_api.dir/api/video_database.cc.o"
+  "CMakeFiles/hmmm_api.dir/api/video_database.cc.o.d"
+  "libhmmm_api.a"
+  "libhmmm_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

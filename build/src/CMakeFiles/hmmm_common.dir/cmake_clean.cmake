@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_common.dir/common/crc32.cc.o"
+  "CMakeFiles/hmmm_common.dir/common/crc32.cc.o.d"
+  "CMakeFiles/hmmm_common.dir/common/logging.cc.o"
+  "CMakeFiles/hmmm_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/hmmm_common.dir/common/matrix.cc.o"
+  "CMakeFiles/hmmm_common.dir/common/matrix.cc.o.d"
+  "CMakeFiles/hmmm_common.dir/common/rng.cc.o"
+  "CMakeFiles/hmmm_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/hmmm_common.dir/common/serialization.cc.o"
+  "CMakeFiles/hmmm_common.dir/common/serialization.cc.o.d"
+  "CMakeFiles/hmmm_common.dir/common/status.cc.o"
+  "CMakeFiles/hmmm_common.dir/common/status.cc.o.d"
+  "CMakeFiles/hmmm_common.dir/common/strings.cc.o"
+  "CMakeFiles/hmmm_common.dir/common/strings.cc.o.d"
+  "libhmmm_common.a"
+  "libhmmm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

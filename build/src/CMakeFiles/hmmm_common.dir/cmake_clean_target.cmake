@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmmm_common.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/affinity.cc" "src/CMakeFiles/hmmm_core.dir/core/affinity.cc.o" "gcc" "src/CMakeFiles/hmmm_core.dir/core/affinity.cc.o.d"
+  "/root/repo/src/core/category_level.cc" "src/CMakeFiles/hmmm_core.dir/core/category_level.cc.o" "gcc" "src/CMakeFiles/hmmm_core.dir/core/category_level.cc.o.d"
+  "/root/repo/src/core/generative.cc" "src/CMakeFiles/hmmm_core.dir/core/generative.cc.o" "gcc" "src/CMakeFiles/hmmm_core.dir/core/generative.cc.o.d"
+  "/root/repo/src/core/hierarchical_model.cc" "src/CMakeFiles/hmmm_core.dir/core/hierarchical_model.cc.o" "gcc" "src/CMakeFiles/hmmm_core.dir/core/hierarchical_model.cc.o.d"
+  "/root/repo/src/core/learner.cc" "src/CMakeFiles/hmmm_core.dir/core/learner.cc.o" "gcc" "src/CMakeFiles/hmmm_core.dir/core/learner.cc.o.d"
+  "/root/repo/src/core/mmm.cc" "src/CMakeFiles/hmmm_core.dir/core/mmm.cc.o" "gcc" "src/CMakeFiles/hmmm_core.dir/core/mmm.cc.o.d"
+  "/root/repo/src/core/model_builder.cc" "src/CMakeFiles/hmmm_core.dir/core/model_builder.cc.o" "gcc" "src/CMakeFiles/hmmm_core.dir/core/model_builder.cc.o.d"
+  "/root/repo/src/core/pattern_mining.cc" "src/CMakeFiles/hmmm_core.dir/core/pattern_mining.cc.o" "gcc" "src/CMakeFiles/hmmm_core.dir/core/pattern_mining.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmmm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_shots.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

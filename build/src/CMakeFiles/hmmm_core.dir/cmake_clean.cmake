@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_core.dir/core/affinity.cc.o"
+  "CMakeFiles/hmmm_core.dir/core/affinity.cc.o.d"
+  "CMakeFiles/hmmm_core.dir/core/category_level.cc.o"
+  "CMakeFiles/hmmm_core.dir/core/category_level.cc.o.d"
+  "CMakeFiles/hmmm_core.dir/core/generative.cc.o"
+  "CMakeFiles/hmmm_core.dir/core/generative.cc.o.d"
+  "CMakeFiles/hmmm_core.dir/core/hierarchical_model.cc.o"
+  "CMakeFiles/hmmm_core.dir/core/hierarchical_model.cc.o.d"
+  "CMakeFiles/hmmm_core.dir/core/learner.cc.o"
+  "CMakeFiles/hmmm_core.dir/core/learner.cc.o.d"
+  "CMakeFiles/hmmm_core.dir/core/mmm.cc.o"
+  "CMakeFiles/hmmm_core.dir/core/mmm.cc.o.d"
+  "CMakeFiles/hmmm_core.dir/core/model_builder.cc.o"
+  "CMakeFiles/hmmm_core.dir/core/model_builder.cc.o.d"
+  "CMakeFiles/hmmm_core.dir/core/pattern_mining.cc.o"
+  "CMakeFiles/hmmm_core.dir/core/pattern_mining.cc.o.d"
+  "libhmmm_core.a"
+  "libhmmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

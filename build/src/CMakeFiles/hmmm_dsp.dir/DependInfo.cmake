@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cc" "src/CMakeFiles/hmmm_dsp.dir/dsp/fft.cc.o" "gcc" "src/CMakeFiles/hmmm_dsp.dir/dsp/fft.cc.o.d"
+  "/root/repo/src/dsp/filterbank.cc" "src/CMakeFiles/hmmm_dsp.dir/dsp/filterbank.cc.o" "gcc" "src/CMakeFiles/hmmm_dsp.dir/dsp/filterbank.cc.o.d"
+  "/root/repo/src/dsp/stats.cc" "src/CMakeFiles/hmmm_dsp.dir/dsp/stats.cc.o" "gcc" "src/CMakeFiles/hmmm_dsp.dir/dsp/stats.cc.o.d"
+  "/root/repo/src/dsp/window.cc" "src/CMakeFiles/hmmm_dsp.dir/dsp/window.cc.o" "gcc" "src/CMakeFiles/hmmm_dsp.dir/dsp/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

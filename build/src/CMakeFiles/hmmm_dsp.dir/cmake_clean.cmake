@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_dsp.dir/dsp/fft.cc.o"
+  "CMakeFiles/hmmm_dsp.dir/dsp/fft.cc.o.d"
+  "CMakeFiles/hmmm_dsp.dir/dsp/filterbank.cc.o"
+  "CMakeFiles/hmmm_dsp.dir/dsp/filterbank.cc.o.d"
+  "CMakeFiles/hmmm_dsp.dir/dsp/stats.cc.o"
+  "CMakeFiles/hmmm_dsp.dir/dsp/stats.cc.o.d"
+  "CMakeFiles/hmmm_dsp.dir/dsp/window.cc.o"
+  "CMakeFiles/hmmm_dsp.dir/dsp/window.cc.o.d"
+  "libhmmm_dsp.a"
+  "libhmmm_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/events/annotation.cc" "src/CMakeFiles/hmmm_events.dir/events/annotation.cc.o" "gcc" "src/CMakeFiles/hmmm_events.dir/events/annotation.cc.o.d"
+  "/root/repo/src/events/decision_tree.cc" "src/CMakeFiles/hmmm_events.dir/events/decision_tree.cc.o" "gcc" "src/CMakeFiles/hmmm_events.dir/events/decision_tree.cc.o.d"
+  "/root/repo/src/events/event_detector.cc" "src/CMakeFiles/hmmm_events.dir/events/event_detector.cc.o" "gcc" "src/CMakeFiles/hmmm_events.dir/events/event_detector.cc.o.d"
+  "/root/repo/src/events/knn.cc" "src/CMakeFiles/hmmm_events.dir/events/knn.cc.o" "gcc" "src/CMakeFiles/hmmm_events.dir/events/knn.cc.o.d"
+  "/root/repo/src/events/training.cc" "src/CMakeFiles/hmmm_events.dir/events/training.cc.o" "gcc" "src/CMakeFiles/hmmm_events.dir/events/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmmm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_shots.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_events.dir/events/annotation.cc.o"
+  "CMakeFiles/hmmm_events.dir/events/annotation.cc.o.d"
+  "CMakeFiles/hmmm_events.dir/events/decision_tree.cc.o"
+  "CMakeFiles/hmmm_events.dir/events/decision_tree.cc.o.d"
+  "CMakeFiles/hmmm_events.dir/events/event_detector.cc.o"
+  "CMakeFiles/hmmm_events.dir/events/event_detector.cc.o.d"
+  "CMakeFiles/hmmm_events.dir/events/knn.cc.o"
+  "CMakeFiles/hmmm_events.dir/events/knn.cc.o.d"
+  "CMakeFiles/hmmm_events.dir/events/training.cc.o"
+  "CMakeFiles/hmmm_events.dir/events/training.cc.o.d"
+  "libhmmm_events.a"
+  "libhmmm_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/audio_features.cc" "src/CMakeFiles/hmmm_features.dir/features/audio_features.cc.o" "gcc" "src/CMakeFiles/hmmm_features.dir/features/audio_features.cc.o.d"
+  "/root/repo/src/features/extractor.cc" "src/CMakeFiles/hmmm_features.dir/features/extractor.cc.o" "gcc" "src/CMakeFiles/hmmm_features.dir/features/extractor.cc.o.d"
+  "/root/repo/src/features/feature_schema.cc" "src/CMakeFiles/hmmm_features.dir/features/feature_schema.cc.o" "gcc" "src/CMakeFiles/hmmm_features.dir/features/feature_schema.cc.o.d"
+  "/root/repo/src/features/normalization.cc" "src/CMakeFiles/hmmm_features.dir/features/normalization.cc.o" "gcc" "src/CMakeFiles/hmmm_features.dir/features/normalization.cc.o.d"
+  "/root/repo/src/features/visual_features.cc" "src/CMakeFiles/hmmm_features.dir/features/visual_features.cc.o" "gcc" "src/CMakeFiles/hmmm_features.dir/features/visual_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmmm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_shots.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_features.dir/features/audio_features.cc.o"
+  "CMakeFiles/hmmm_features.dir/features/audio_features.cc.o.d"
+  "CMakeFiles/hmmm_features.dir/features/extractor.cc.o"
+  "CMakeFiles/hmmm_features.dir/features/extractor.cc.o.d"
+  "CMakeFiles/hmmm_features.dir/features/feature_schema.cc.o"
+  "CMakeFiles/hmmm_features.dir/features/feature_schema.cc.o.d"
+  "CMakeFiles/hmmm_features.dir/features/normalization.cc.o"
+  "CMakeFiles/hmmm_features.dir/features/normalization.cc.o.d"
+  "CMakeFiles/hmmm_features.dir/features/visual_features.cc.o"
+  "CMakeFiles/hmmm_features.dir/features/visual_features.cc.o.d"
+  "libhmmm_features.a"
+  "libhmmm_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

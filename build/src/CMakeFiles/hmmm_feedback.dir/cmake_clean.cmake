@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_feedback.dir/feedback/access_log.cc.o"
+  "CMakeFiles/hmmm_feedback.dir/feedback/access_log.cc.o.d"
+  "CMakeFiles/hmmm_feedback.dir/feedback/simulated_user.cc.o"
+  "CMakeFiles/hmmm_feedback.dir/feedback/simulated_user.cc.o.d"
+  "CMakeFiles/hmmm_feedback.dir/feedback/trainer.cc.o"
+  "CMakeFiles/hmmm_feedback.dir/feedback/trainer.cc.o.d"
+  "libhmmm_feedback.a"
+  "libhmmm_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/audio.cc" "src/CMakeFiles/hmmm_media.dir/media/audio.cc.o" "gcc" "src/CMakeFiles/hmmm_media.dir/media/audio.cc.o.d"
+  "/root/repo/src/media/event_types.cc" "src/CMakeFiles/hmmm_media.dir/media/event_types.cc.o" "gcc" "src/CMakeFiles/hmmm_media.dir/media/event_types.cc.o.d"
+  "/root/repo/src/media/feature_level_generator.cc" "src/CMakeFiles/hmmm_media.dir/media/feature_level_generator.cc.o" "gcc" "src/CMakeFiles/hmmm_media.dir/media/feature_level_generator.cc.o.d"
+  "/root/repo/src/media/frame.cc" "src/CMakeFiles/hmmm_media.dir/media/frame.cc.o" "gcc" "src/CMakeFiles/hmmm_media.dir/media/frame.cc.o.d"
+  "/root/repo/src/media/news_generator.cc" "src/CMakeFiles/hmmm_media.dir/media/news_generator.cc.o" "gcc" "src/CMakeFiles/hmmm_media.dir/media/news_generator.cc.o.d"
+  "/root/repo/src/media/soccer_generator.cc" "src/CMakeFiles/hmmm_media.dir/media/soccer_generator.cc.o" "gcc" "src/CMakeFiles/hmmm_media.dir/media/soccer_generator.cc.o.d"
+  "/root/repo/src/media/video.cc" "src/CMakeFiles/hmmm_media.dir/media/video.cc.o" "gcc" "src/CMakeFiles/hmmm_media.dir/media/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

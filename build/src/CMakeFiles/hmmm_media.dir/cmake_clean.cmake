@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_media.dir/media/audio.cc.o"
+  "CMakeFiles/hmmm_media.dir/media/audio.cc.o.d"
+  "CMakeFiles/hmmm_media.dir/media/event_types.cc.o"
+  "CMakeFiles/hmmm_media.dir/media/event_types.cc.o.d"
+  "CMakeFiles/hmmm_media.dir/media/feature_level_generator.cc.o"
+  "CMakeFiles/hmmm_media.dir/media/feature_level_generator.cc.o.d"
+  "CMakeFiles/hmmm_media.dir/media/frame.cc.o"
+  "CMakeFiles/hmmm_media.dir/media/frame.cc.o.d"
+  "CMakeFiles/hmmm_media.dir/media/news_generator.cc.o"
+  "CMakeFiles/hmmm_media.dir/media/news_generator.cc.o.d"
+  "CMakeFiles/hmmm_media.dir/media/soccer_generator.cc.o"
+  "CMakeFiles/hmmm_media.dir/media/soccer_generator.cc.o.d"
+  "CMakeFiles/hmmm_media.dir/media/video.cc.o"
+  "CMakeFiles/hmmm_media.dir/media/video.cc.o.d"
+  "libhmmm_media.a"
+  "libhmmm_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_query.dir/query/matn.cc.o"
+  "CMakeFiles/hmmm_query.dir/query/matn.cc.o.d"
+  "CMakeFiles/hmmm_query.dir/query/parser.cc.o"
+  "CMakeFiles/hmmm_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/hmmm_query.dir/query/translator.cc.o"
+  "CMakeFiles/hmmm_query.dir/query/translator.cc.o.d"
+  "libhmmm_query.a"
+  "libhmmm_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

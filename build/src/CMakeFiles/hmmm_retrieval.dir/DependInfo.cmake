@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retrieval/baseline_exhaustive.cc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/baseline_exhaustive.cc.o" "gcc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/baseline_exhaustive.cc.o.d"
+  "/root/repo/src/retrieval/baseline_index.cc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/baseline_index.cc.o" "gcc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/baseline_index.cc.o.d"
+  "/root/repo/src/retrieval/engine.cc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/engine.cc.o" "gcc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/engine.cc.o.d"
+  "/root/repo/src/retrieval/metrics.cc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/metrics.cc.o" "gcc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/metrics.cc.o.d"
+  "/root/repo/src/retrieval/qbe.cc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/qbe.cc.o" "gcc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/qbe.cc.o.d"
+  "/root/repo/src/retrieval/result.cc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/result.cc.o" "gcc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/result.cc.o.d"
+  "/root/repo/src/retrieval/scorer.cc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/scorer.cc.o" "gcc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/scorer.cc.o.d"
+  "/root/repo/src/retrieval/three_level.cc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/three_level.cc.o" "gcc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/three_level.cc.o.d"
+  "/root/repo/src/retrieval/traversal.cc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/traversal.cc.o" "gcc" "src/CMakeFiles/hmmm_retrieval.dir/retrieval/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmmm_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_shots.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

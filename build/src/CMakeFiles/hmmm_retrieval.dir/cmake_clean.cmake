@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/baseline_exhaustive.cc.o"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/baseline_exhaustive.cc.o.d"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/baseline_index.cc.o"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/baseline_index.cc.o.d"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/engine.cc.o"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/engine.cc.o.d"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/metrics.cc.o"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/metrics.cc.o.d"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/qbe.cc.o"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/qbe.cc.o.d"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/result.cc.o"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/result.cc.o.d"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/scorer.cc.o"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/scorer.cc.o.d"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/three_level.cc.o"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/three_level.cc.o.d"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/traversal.cc.o"
+  "CMakeFiles/hmmm_retrieval.dir/retrieval/traversal.cc.o.d"
+  "libhmmm_retrieval.a"
+  "libhmmm_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

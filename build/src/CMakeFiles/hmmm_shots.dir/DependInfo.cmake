@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shots/boundary_detector.cc" "src/CMakeFiles/hmmm_shots.dir/shots/boundary_detector.cc.o" "gcc" "src/CMakeFiles/hmmm_shots.dir/shots/boundary_detector.cc.o.d"
+  "/root/repo/src/shots/histogram.cc" "src/CMakeFiles/hmmm_shots.dir/shots/histogram.cc.o" "gcc" "src/CMakeFiles/hmmm_shots.dir/shots/histogram.cc.o.d"
+  "/root/repo/src/shots/keyframe.cc" "src/CMakeFiles/hmmm_shots.dir/shots/keyframe.cc.o" "gcc" "src/CMakeFiles/hmmm_shots.dir/shots/keyframe.cc.o.d"
+  "/root/repo/src/shots/segmenter.cc" "src/CMakeFiles/hmmm_shots.dir/shots/segmenter.cc.o" "gcc" "src/CMakeFiles/hmmm_shots.dir/shots/segmenter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmmm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

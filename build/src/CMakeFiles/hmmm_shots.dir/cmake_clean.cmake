@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_shots.dir/shots/boundary_detector.cc.o"
+  "CMakeFiles/hmmm_shots.dir/shots/boundary_detector.cc.o.d"
+  "CMakeFiles/hmmm_shots.dir/shots/histogram.cc.o"
+  "CMakeFiles/hmmm_shots.dir/shots/histogram.cc.o.d"
+  "CMakeFiles/hmmm_shots.dir/shots/keyframe.cc.o"
+  "CMakeFiles/hmmm_shots.dir/shots/keyframe.cc.o.d"
+  "CMakeFiles/hmmm_shots.dir/shots/segmenter.cc.o"
+  "CMakeFiles/hmmm_shots.dir/shots/segmenter.cc.o.d"
+  "libhmmm_shots.a"
+  "libhmmm_shots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_shots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

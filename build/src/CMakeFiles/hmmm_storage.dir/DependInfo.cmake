@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/hmmm_storage.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/hmmm_storage.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/catalog_journal.cc" "src/CMakeFiles/hmmm_storage.dir/storage/catalog_journal.cc.o" "gcc" "src/CMakeFiles/hmmm_storage.dir/storage/catalog_journal.cc.o.d"
+  "/root/repo/src/storage/event_index.cc" "src/CMakeFiles/hmmm_storage.dir/storage/event_index.cc.o" "gcc" "src/CMakeFiles/hmmm_storage.dir/storage/event_index.cc.o.d"
+  "/root/repo/src/storage/model_io.cc" "src/CMakeFiles/hmmm_storage.dir/storage/model_io.cc.o" "gcc" "src/CMakeFiles/hmmm_storage.dir/storage/model_io.cc.o.d"
+  "/root/repo/src/storage/record_log.cc" "src/CMakeFiles/hmmm_storage.dir/storage/record_log.cc.o" "gcc" "src/CMakeFiles/hmmm_storage.dir/storage/record_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmmm_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_shots.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

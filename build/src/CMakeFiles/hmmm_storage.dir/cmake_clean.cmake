@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmm_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/hmmm_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/hmmm_storage.dir/storage/catalog_journal.cc.o"
+  "CMakeFiles/hmmm_storage.dir/storage/catalog_journal.cc.o.d"
+  "CMakeFiles/hmmm_storage.dir/storage/event_index.cc.o"
+  "CMakeFiles/hmmm_storage.dir/storage/event_index.cc.o.d"
+  "CMakeFiles/hmmm_storage.dir/storage/model_io.cc.o"
+  "CMakeFiles/hmmm_storage.dir/storage/model_io.cc.o.d"
+  "CMakeFiles/hmmm_storage.dir/storage/record_log.cc.o"
+  "CMakeFiles/hmmm_storage.dir/storage/record_log.cc.o.d"
+  "libhmmm_storage.a"
+  "libhmmm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

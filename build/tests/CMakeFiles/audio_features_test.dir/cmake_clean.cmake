@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_features_test.dir/audio_features_test.cc.o"
+  "CMakeFiles/audio_features_test.dir/audio_features_test.cc.o.d"
+  "audio_features_test"
+  "audio_features_test.pdb"
+  "audio_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

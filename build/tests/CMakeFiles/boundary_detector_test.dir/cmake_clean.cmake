@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundary_detector_test.dir/boundary_detector_test.cc.o"
+  "CMakeFiles/boundary_detector_test.dir/boundary_detector_test.cc.o.d"
+  "boundary_detector_test"
+  "boundary_detector_test.pdb"
+  "boundary_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundary_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_journal_test.dir/catalog_journal_test.cc.o"
+  "CMakeFiles/catalog_journal_test.dir/catalog_journal_test.cc.o.d"
+  "catalog_journal_test"
+  "catalog_journal_test.pdb"
+  "catalog_journal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_journal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

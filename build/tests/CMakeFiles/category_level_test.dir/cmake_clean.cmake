@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/category_level_test.dir/category_level_test.cc.o"
+  "CMakeFiles/category_level_test.dir/category_level_test.cc.o.d"
+  "category_level_test"
+  "category_level_test.pdb"
+  "category_level_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/category_level_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

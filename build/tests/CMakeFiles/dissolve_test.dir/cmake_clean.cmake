@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissolve_test.dir/dissolve_test.cc.o"
+  "CMakeFiles/dissolve_test.dir/dissolve_test.cc.o.d"
+  "dissolve_test"
+  "dissolve_test.pdb"
+  "dissolve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_index_test.dir/event_index_test.cc.o"
+  "CMakeFiles/event_index_test.dir/event_index_test.cc.o.d"
+  "event_index_test"
+  "event_index_test.pdb"
+  "event_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_level_generator_test.dir/feature_level_generator_test.cc.o"
+  "CMakeFiles/feature_level_generator_test.dir/feature_level_generator_test.cc.o.d"
+  "feature_level_generator_test"
+  "feature_level_generator_test.pdb"
+  "feature_level_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_level_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

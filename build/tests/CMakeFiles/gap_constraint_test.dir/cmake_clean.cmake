@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_constraint_test.dir/gap_constraint_test.cc.o"
+  "CMakeFiles/gap_constraint_test.dir/gap_constraint_test.cc.o.d"
+  "gap_constraint_test"
+  "gap_constraint_test.pdb"
+  "gap_constraint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generative_test.dir/generative_test.cc.o"
+  "CMakeFiles/generative_test.dir/generative_test.cc.o.d"
+  "generative_test"
+  "generative_test.pdb"
+  "generative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_scenarios_test.dir/integration_scenarios_test.cc.o"
+  "CMakeFiles/integration_scenarios_test.dir/integration_scenarios_test.cc.o.d"
+  "integration_scenarios_test"
+  "integration_scenarios_test.pdb"
+  "integration_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

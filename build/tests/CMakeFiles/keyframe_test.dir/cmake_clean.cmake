@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyframe_test.dir/keyframe_test.cc.o"
+  "CMakeFiles/keyframe_test.dir/keyframe_test.cc.o.d"
+  "keyframe_test"
+  "keyframe_test.pdb"
+  "keyframe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyframe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matn_test.dir/matn_test.cc.o"
+  "CMakeFiles/matn_test.dir/matn_test.cc.o.d"
+  "matn_test"
+  "matn_test.pdb"
+  "matn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model_builder_test.cc" "tests/CMakeFiles/model_builder_test.dir/model_builder_test.cc.o" "gcc" "tests/CMakeFiles/model_builder_test.dir/model_builder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmmm_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_shots.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hmmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

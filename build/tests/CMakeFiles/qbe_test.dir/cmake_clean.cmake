@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbe_test.dir/qbe_test.cc.o"
+  "CMakeFiles/qbe_test.dir/qbe_test.cc.o.d"
+  "qbe_test"
+  "qbe_test.pdb"
+  "qbe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

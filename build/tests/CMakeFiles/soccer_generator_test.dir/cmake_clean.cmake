@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soccer_generator_test.dir/soccer_generator_test.cc.o"
+  "CMakeFiles/soccer_generator_test.dir/soccer_generator_test.cc.o.d"
+  "soccer_generator_test"
+  "soccer_generator_test.pdb"
+  "soccer_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soccer_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_level_test.dir/three_level_test.cc.o"
+  "CMakeFiles/three_level_test.dir/three_level_test.cc.o.d"
+  "three_level_test"
+  "three_level_test.pdb"
+  "three_level_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_level_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_database_test.dir/video_database_test.cc.o"
+  "CMakeFiles/video_database_test.dir/video_database_test.cc.o.d"
+  "video_database_test"
+  "video_database_test.pdb"
+  "video_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visual_features_test.dir/visual_features_test.cc.o"
+  "CMakeFiles/visual_features_test.dir/visual_features_test.cc.o.d"
+  "visual_features_test"
+  "visual_features_test.pdb"
+  "visual_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visual_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
