@@ -34,6 +34,22 @@ void BM_RetrieveTwoStep(benchmark::State& state) {
 }
 BENCHMARK(BM_RetrieveTwoStep)->Arg(10)->Arg(25)->Arg(54)->Arg(100);
 
+void BM_RetrieveTwoStepParallel(benchmark::State& state) {
+  const Scale scale = MakeScale(static_cast<int>(state.range(0)));
+  TraversalOptions options;
+  options.num_threads = static_cast<int>(state.range(1));
+  HmmmTraversal traversal(scale.model, scale.catalog, options);
+  const auto pattern = TemporalPattern::FromEvents({2, 0});
+  for (auto _ : state) {
+    auto results = traversal.Retrieve(pattern);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetLabel(StrFormat("%zu shots", scale.catalog.num_shots()));
+}
+BENCHMARK(BM_RetrieveTwoStepParallel)
+    ->ArgsProduct({{54, 200}, {1, 2, 4, 8}})
+    ->ArgNames({"videos", "threads"});
+
 void BM_QueryCompile(benchmark::State& state) {
   const EventVocabulary vocab = SoccerEvents();
   for (auto _ : state) {
@@ -74,6 +90,52 @@ void PrintFlowchartTable() {
               "shot combinations.\n");
 }
 
+bool SameRanking(const std::vector<RetrievedPattern>& a,
+                 const std::vector<RetrievedPattern>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].shots != b[i].shots || a[i].score != b[i].score ||
+        a[i].video != b[i].video || a[i].edge_weights != b[i].edge_weights) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintThreadSweepTable() {
+  Banner("Parallel retrieval: per-video fan-out vs thread count (200 videos)");
+  Row({"threads", "latency ms", "speedup", "identical ranking"});
+  const Scale scale = MakeScale(200);
+  const auto pattern = TemporalPattern::FromEvents({2, 0});
+
+  HmmmTraversal serial(scale.model, scale.catalog);
+  auto reference = serial.Retrieve(pattern);
+  HMMM_CHECK(reference.ok());
+  double serial_ms = 0.0;
+
+  for (int threads : {1, 2, 4, 8}) {
+    TraversalOptions options;
+    options.num_threads = threads;
+    HmmmTraversal traversal(scale.model, scale.catalog, options);
+    std::vector<RetrievedPattern> results;
+    const double ms = MedianMillis([&] {
+      auto retrieved = traversal.Retrieve(pattern);
+      HMMM_CHECK(retrieved.ok());
+      results = std::move(retrieved).value();
+    });
+    if (threads == 1) serial_ms = ms;
+    Row({StrFormat("%2d", threads), Fmt("%8.3f", ms),
+         Fmt("%5.2fx", ms > 0.0 ? serial_ms / ms : 0.0),
+         SameRanking(*reference, results) ? "yes" : "NO"});
+  }
+  std::printf(
+      "\nEach candidate video's shot-level lattice walk (Steps 3-5) is\n"
+      "independent given the Step-2 video order, so videos shard across\n"
+      "a fixed-size pool; per-worker top-K heaps merge under a (score,\n"
+      "video-order) total order, keeping the ranking byte-identical to\n"
+      "the serial walk at every thread count.\n");
+}
+
 }  // namespace
 }  // namespace hmmm::bench
 
@@ -81,5 +143,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   hmmm::bench::PrintFlowchartTable();
+  hmmm::bench::PrintThreadSweepTable();
   return 0;
 }

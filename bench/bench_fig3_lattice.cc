@@ -36,6 +36,7 @@ TemporalPattern PatternOfLength(size_t c) {
 void BM_LatticeTraversal(benchmark::State& state) {
   TraversalOptions options;
   options.beam_width = static_cast<int>(state.range(1));
+  options.num_threads = static_cast<int>(state.range(2));
   HmmmTraversal traversal(Model(), Catalog(), options);
   const auto pattern = PatternOfLength(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
@@ -44,8 +45,8 @@ void BM_LatticeTraversal(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LatticeTraversal)
-    ->ArgsProduct({{1, 2, 3, 4}, {1, 4}})
-    ->ArgNames({"C", "beam"});
+    ->ArgsProduct({{1, 2, 3, 4}, {1, 4}, {1, 4}})
+    ->ArgNames({"C", "beam", "threads"});
 
 void PrintLatticeTable() {
   Banner("Figure 3 (reproduced): lattice traversal vs pattern length & beam");
@@ -90,6 +91,39 @@ void PrintLatticeTable() {
               "(see bench_ablation_baselines for that comparison).\n");
 }
 
+void PrintThreadSweepTable() {
+  Banner("Lattice traversal: thread sweep at C=4 (beam 4)");
+  Row({"threads", "latency ms", "speedup", "identical ranking"});
+  const auto pattern = PatternOfLength(4);
+  TraversalOptions serial_options;
+  serial_options.beam_width = 4;
+  HmmmTraversal serial(Model(), Catalog(), serial_options);
+  auto reference = serial.Retrieve(pattern);
+  HMMM_CHECK(reference.ok());
+  double serial_ms = 0.0;
+
+  for (int threads : {1, 2, 4, 8}) {
+    TraversalOptions options = serial_options;
+    options.num_threads = threads;
+    HmmmTraversal traversal(Model(), Catalog(), options);
+    std::vector<RetrievedPattern> results;
+    const double ms = MedianMillis([&] {
+      auto retrieved = traversal.Retrieve(pattern);
+      HMMM_CHECK(retrieved.ok());
+      results = std::move(retrieved).value();
+    });
+    if (threads == 1) serial_ms = ms;
+    bool identical = results.size() == reference->size();
+    for (size_t i = 0; identical && i < results.size(); ++i) {
+      identical = results[i].shots == (*reference)[i].shots &&
+                  results[i].score == (*reference)[i].score;
+    }
+    Row({StrFormat("%2d", threads), Fmt("%8.3f", ms),
+         Fmt("%5.2fx", ms > 0.0 ? serial_ms / ms : 0.0),
+         identical ? "yes" : "NO"});
+  }
+}
+
 }  // namespace
 }  // namespace hmmm::bench
 
@@ -97,5 +131,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   hmmm::bench::PrintLatticeTable();
+  hmmm::bench::PrintThreadSweepTable();
   return 0;
 }

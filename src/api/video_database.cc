@@ -10,7 +10,8 @@ VideoDatabase::VideoDatabase(VideoCatalog catalog, HierarchicalModel model,
       catalog_(std::make_unique<VideoCatalog>(std::move(catalog))),
       model_(std::make_unique<HierarchicalModel>(std::move(model))),
       trainer_(std::make_unique<FeedbackTrainer>(*catalog_,
-                                                 options_.feedback)) {}
+                                                 options_.feedback)),
+      pool_(MakeThreadPool(options_.traversal.num_threads)) {}
 
 StatusOr<VideoDatabase> VideoDatabase::Create(VideoCatalog catalog,
                                               VideoDatabaseOptions options) {
@@ -62,10 +63,10 @@ StatusOr<std::vector<RetrievedPattern>> VideoDatabase::Retrieve(
     const TemporalPattern& pattern, RetrievalStats* stats) const {
   if (categories_.has_value()) {
     ThreeLevelTraversal traversal(*model_, *catalog_, *categories_,
-                                  options_.traversal);
+                                  options_.traversal, pool_.get());
     return traversal.Retrieve(pattern, stats);
   }
-  HmmmTraversal traversal(*model_, *catalog_, options_.traversal);
+  HmmmTraversal traversal(*model_, *catalog_, options_.traversal, pool_.get());
   return traversal.Retrieve(pattern, stats);
 }
 

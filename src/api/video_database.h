@@ -18,6 +18,9 @@ namespace hmmm {
 /// Options bundle for a VideoDatabase instance.
 struct VideoDatabaseOptions {
   ModelBuilderOptions builder;
+  /// traversal.num_threads sizes a worker pool owned by the database and
+  /// shared by every query's per-video fan-out (1 = serial, 0 = one per
+  /// hardware thread). Ranked results are identical at any thread count.
   TraversalOptions traversal;
   FeedbackTrainerOptions feedback;
   /// Build and use the third (video-category) level for Step-2 pruning.
@@ -106,6 +109,7 @@ class VideoDatabase {
   std::unique_ptr<VideoCatalog> catalog_;
   std::unique_ptr<HierarchicalModel> model_;
   std::unique_ptr<FeedbackTrainer> trainer_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads resolves to 1
   std::optional<CategoryLevel> categories_;
 };
 

@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace hmmm {
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int resolved = ResolveThreadCount(num_threads);
+  workers_.reserve(static_cast<size_t>(resolved));
+  for (int i = 0; i < resolved; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  HMMM_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HMMM_CHECK(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t grain,
+    const std::function<void(int worker, size_t begin, size_t end)>& body) {
+  if (n == 0) return;
+  const size_t chunk = std::max<size_t>(1, grain);
+
+  // The caller blocks until `active` drains, so stack state outlives every
+  // task referencing it.
+  struct {
+    std::atomic<size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t active = 0;
+  } state;
+
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  const int fanout = static_cast<int>(
+      std::min(static_cast<size_t>(size()), num_chunks));
+  state.active = static_cast<size_t>(fanout);
+  for (int worker = 0; worker < fanout; ++worker) {
+    Submit([&state, &body, worker, n, chunk] {
+      for (;;) {
+        const size_t begin =
+            state.next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) break;
+        body(worker, begin, std::min(n, begin + chunk));
+      }
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (--state.active == 0) state.done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.active == 0; });
+}
+
+std::unique_ptr<ThreadPool> MakeThreadPool(int num_threads) {
+  const int resolved = ThreadPool::ResolveThreadCount(num_threads);
+  if (resolved <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(resolved);
+}
+
+}  // namespace hmmm

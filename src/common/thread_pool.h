@@ -1,0 +1,64 @@
+#ifndef HMMM_COMMON_THREAD_POOL_H_
+#define HMMM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmmm {
+
+/// A fixed-size pool of worker threads over a shared FIFO task queue.
+/// Workers start in the constructor and are joined in the destructor
+/// (after draining any queued tasks). Tasks must not throw: the library
+/// reports failures through Status, and a throwing task would terminate.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 resolves to the hardware concurrency (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(worker, begin, end)` over [0, n) split into chunks of at
+  /// most `grain` indices with dynamic load balancing: each pool worker
+  /// repeatedly claims the next unprocessed chunk. `worker` is a dense id
+  /// in [0, size()), stable for the duration of the call, so the body can
+  /// keep worker-local accumulators without locking. Blocks the calling
+  /// thread until every index has been processed. Must not be invoked
+  /// from inside a pool task (the nested wait could deadlock).
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(int worker, size_t begin,
+                                            size_t end)>& body);
+
+  /// <= 0 -> hardware concurrency (at least 1); otherwise `requested`.
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+/// Pool factory honoring the `num_threads` knob of the options structs:
+/// returns nullptr when the resolved count is 1 (callers run serially and
+/// skip the pool entirely), else a pool of the resolved size.
+std::unique_ptr<ThreadPool> MakeThreadPool(int num_threads);
+
+}  // namespace hmmm
+
+#endif  // HMMM_COMMON_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #ifndef HMMM_CORE_HIERARCHICAL_MODEL_H_
 #define HMMM_CORE_HIERARCHICAL_MODEL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,16 @@ class HierarchicalModel {
   int num_features() const { return static_cast<int>(b1_.cols()); }
   size_t num_videos() const { return locals_.size(); }
 
+  // -- Versioning --------------------------------------------------------
+  /// Monotone counter bumped by every learning pass that rewrites the
+  /// model's matrices (OfflineLearner, and therefore feedback training).
+  /// Consumers keying derived data on the model — e.g. the engine's
+  /// QueryCache — compare versions to detect staleness. Code mutating
+  /// matrices directly through the mutable_* accessors must call
+  /// BumpVersion() itself. Not serialized: a loaded model restarts at 0.
+  uint64_t version() const { return version_; }
+  void BumpVersion() { ++version_; }
+
   /// Full structural validation of the 8-tuple.
   Status Validate() const;
 
@@ -125,6 +136,7 @@ class HierarchicalModel {
   Matrix b1_prime_;
   std::vector<ShotId> state_shots_;       // global state -> ShotId
   std::vector<int> state_of_shot_;        // ShotId -> global state (-1)
+  uint64_t version_ = 0;
 };
 
 }  // namespace hmmm

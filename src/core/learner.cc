@@ -133,6 +133,7 @@ Status OfflineLearner::ApplyShotPatterns(
     local.pi1 = DistributionFromPatterns(local.num_states(), video_patterns,
                                          options_.pi_semantics, local.pi1);
   }
+  model.BumpVersion();
   return Status::OK();
 }
 
@@ -143,6 +144,7 @@ Status OfflineLearner::ApplyVideoPatterns(
   model.mutable_a2() = NormalizeAffinity(af2, model.a2());
   model.mutable_pi2() = DistributionFromPatterns(
       model.num_videos(), patterns, options_.pi_semantics, model.pi2());
+  model.BumpVersion();
   return Status::OK();
 }
 
@@ -153,6 +155,7 @@ Status OfflineLearner::RelearnFeatureWeights(HierarchicalModel& model,
                         ComputeEventCentroids(model, catalog));
   model.mutable_p12() = std::move(p12);
   model.mutable_b1_prime() = std::move(centroids);
+  model.BumpVersion();
   return Status::OK();
 }
 

@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/affinity.h"
 #include "core/category_level.h"
 #include "core/generative.h"
@@ -48,6 +49,7 @@
 #include "retrieval/engine.h"
 #include "retrieval/metrics.h"
 #include "retrieval/qbe.h"
+#include "retrieval/query_cache.h"
 #include "retrieval/three_level.h"
 #include "retrieval/traversal.h"
 #include "shots/boundary_detector.h"

@@ -4,18 +4,40 @@ namespace hmmm {
 
 StatusOr<RetrievalEngine> RetrievalEngine::Create(
     const VideoCatalog& catalog, ModelBuilderOptions builder_options,
-    TraversalOptions traversal_options) {
+    TraversalOptions traversal_options, size_t query_cache_entries) {
   ModelBuilder builder(catalog, builder_options);
   HMMM_ASSIGN_OR_RETURN(HierarchicalModel model, builder.Build());
-  return RetrievalEngine(catalog, std::move(model), traversal_options);
+  return RetrievalEngine(catalog, std::move(model), traversal_options,
+                         query_cache_entries);
 }
 
 RetrievalEngine::RetrievalEngine(const VideoCatalog& catalog,
                                  HierarchicalModel model,
-                                 TraversalOptions traversal_options)
+                                 TraversalOptions traversal_options,
+                                 size_t query_cache_entries)
     : catalog_(&catalog),
       model_(std::make_unique<HierarchicalModel>(std::move(model))),
-      traversal_options_(traversal_options) {}
+      traversal_options_(traversal_options),
+      pool_(MakeThreadPool(traversal_options_.num_threads)) {
+  if (query_cache_entries > 0) {
+    cache_ = std::make_unique<QueryCache>(query_cache_entries);
+  }
+}
+
+void RetrievalEngine::set_traversal_options(const TraversalOptions& options) {
+  const int previous_threads = traversal_options_.num_threads;
+  traversal_options_ = options;
+  if (options.num_threads != previous_threads) {
+    pool_ = MakeThreadPool(options.num_threads);
+  }
+  // Any option can change the ranking (beam, gap handling, max_results),
+  // so cached results are no longer answers to the same question.
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+QueryCacheStats RetrievalEngine::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : QueryCacheStats{};
+}
 
 StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Query(
     const std::string& text, RetrievalStats* stats) const {
@@ -26,8 +48,21 @@ StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Query(
 
 StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Retrieve(
     const TemporalPattern& pattern, RetrievalStats* stats) const {
-  HmmmTraversal traversal(*model_, *catalog_, traversal_options_);
-  return traversal.Retrieve(pattern, stats);
+  // Callers asking for cost accounting need the traversal to actually
+  // run, so the cache only serves stat-less retrievals.
+  const bool use_cache = cache_ != nullptr && stats == nullptr;
+  std::string key;
+  if (use_cache) {
+    key = PatternSignature(pattern);
+    std::vector<RetrievedPattern> cached;
+    if (cache_->Lookup(key, model_->version(), &cached)) return cached;
+  }
+  HmmmTraversal traversal(*model_, *catalog_, traversal_options_, pool_.get());
+  auto results = traversal.Retrieve(pattern, stats);
+  if (use_cache && results.ok()) {
+    cache_->Insert(key, model_->version(), results.value());
+  }
+  return results;
 }
 
 }  // namespace hmmm

@@ -1,11 +1,14 @@
 #ifndef HMMM_RETRIEVAL_ENGINE_H_
 #define HMMM_RETRIEVAL_ENGINE_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/model_builder.h"
+#include "retrieval/query_cache.h"
 #include "retrieval/traversal.h"
 
 namespace hmmm {
@@ -13,17 +16,29 @@ namespace hmmm {
 /// High-level facade over catalog + model + traversal: the public entry
 /// point a downstream application uses ("build the HMMM over my archive,
 /// then answer temporal pattern queries").
+///
+/// Serving infrastructure lives here rather than in the traversal:
+///  - a thread pool sized from TraversalOptions::num_threads, reused by
+///    every query's per-video fan-out, and
+///  - an LRU cache of ranked results keyed by the compiled pattern's
+///    signature and the model's version counter, so feedback training
+///    (which bumps the version) invalidates all cached rankings at once.
 class RetrievalEngine {
  public:
+  /// Default capacity of the query-result cache (entries, not bytes).
+  static constexpr size_t kDefaultQueryCacheEntries = 64;
+
   /// Builds the engine's HMMM from the catalog. The catalog must outlive
-  /// the engine.
-  static StatusOr<RetrievalEngine> Create(const VideoCatalog& catalog,
-                                          ModelBuilderOptions builder_options = {},
-                                          TraversalOptions traversal_options = {});
+  /// the engine. `query_cache_entries` = 0 disables result caching.
+  static StatusOr<RetrievalEngine> Create(
+      const VideoCatalog& catalog, ModelBuilderOptions builder_options = {},
+      TraversalOptions traversal_options = {},
+      size_t query_cache_entries = kDefaultQueryCacheEntries);
 
   /// Wraps a pre-built (e.g. deserialized or trained) model.
   RetrievalEngine(const VideoCatalog& catalog, HierarchicalModel model,
-                  TraversalOptions traversal_options = {});
+                  TraversalOptions traversal_options = {},
+                  size_t query_cache_entries = kDefaultQueryCacheEntries);
 
   RetrievalEngine(RetrievalEngine&&) = default;
   RetrievalEngine& operator=(RetrievalEngine&&) = default;
@@ -32,21 +47,30 @@ class RetrievalEngine {
   StatusOr<std::vector<RetrievedPattern>> Query(
       const std::string& text, RetrievalStats* stats = nullptr) const;
 
-  /// Runs an already-translated pattern.
+  /// Runs an already-translated pattern. Results are served from the LRU
+  /// cache when an identical pattern was answered under the current model
+  /// version; passing a `stats` pointer bypasses the cache, since cached
+  /// answers carry no cost accounting.
   StatusOr<std::vector<RetrievedPattern>> Retrieve(
       const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
 
   const VideoCatalog& catalog() const { return *catalog_; }
   const HierarchicalModel& model() const { return *model_; }
-  /// Mutable model access for the feedback trainer.
+  /// Mutable model access for the feedback trainer. Training through
+  /// OfflineLearner bumps the model version, which invalidates cached
+  /// query results; direct matrix edits must call BumpVersion().
   HierarchicalModel& mutable_model() { return *model_; }
 
   const TraversalOptions& traversal_options() const {
     return traversal_options_;
   }
-  void set_traversal_options(const TraversalOptions& options) {
-    traversal_options_ = options;
-  }
+  /// Replaces the options; resizes the worker pool if num_threads changed
+  /// and drops every cached result (options change the ranking).
+  void set_traversal_options(const TraversalOptions& options);
+
+  /// Hit/miss/occupancy counters of the query-result cache; all-zero
+  /// capacity when caching is disabled.
+  QueryCacheStats cache_stats() const;
 
  private:
   const VideoCatalog* catalog_;
@@ -54,6 +78,8 @@ class RetrievalEngine {
   /// references.
   std::unique_ptr<HierarchicalModel> model_;
   TraversalOptions traversal_options_;
+  std::unique_ptr<ThreadPool> pool_;   // null when num_threads resolves to 1
+  std::unique_ptr<QueryCache> cache_;  // null when caching is disabled
 };
 
 }  // namespace hmmm

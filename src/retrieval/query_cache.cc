@@ -1,0 +1,86 @@
+#include "retrieval/query_cache.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hmmm {
+
+std::string PatternSignature(const TemporalPattern& pattern) {
+  std::string signature;
+  for (size_t j = 0; j < pattern.steps.size(); ++j) {
+    const PatternStep& step = pattern.steps[j];
+    if (j > 0) signature += ';';
+    signature += StrFormat("g%d:", step.max_gap);
+    for (size_t a = 0; a < step.alternatives.size(); ++a) {
+      if (a > 0) signature += '|';
+      const auto& alternative = step.alternatives[a];
+      for (size_t e = 0; e < alternative.size(); ++e) {
+        if (e > 0) signature += '&';
+        signature += StrFormat("%d", alternative[e]);
+      }
+    }
+  }
+  return signature;
+}
+
+QueryCache::QueryCache(size_t capacity) : capacity_(capacity) {
+  HMMM_CHECK(capacity_ > 0);
+}
+
+void QueryCache::FlushIfStaleLocked(uint64_t version) {
+  if (version == version_) return;
+  lru_.clear();
+  index_.clear();
+  version_ = version;
+}
+
+bool QueryCache::Lookup(const std::string& key, uint64_t version,
+                        std::vector<RetrievedPattern>* results) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlushIfStaleLocked(version);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  *results = it->second->second;
+  return true;
+}
+
+void QueryCache::Insert(const std::string& key, uint64_t version,
+                        std::vector<RetrievedPattern> results) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlushIfStaleLocked(version);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(results);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(results));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+QueryCacheStats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueryCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace hmmm

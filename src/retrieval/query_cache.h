@@ -1,0 +1,70 @@
+#ifndef HMMM_RETRIEVAL_QUERY_CACHE_H_
+#define HMMM_RETRIEVAL_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "query/translator.h"
+#include "retrieval/result.h"
+
+namespace hmmm {
+
+/// Canonical cache key of a compiled pattern. Alternatives, conjunctive
+/// event sets and gap bounds all participate, so two patterns share a
+/// signature iff the traversal treats them identically.
+std::string PatternSignature(const TemporalPattern& pattern);
+
+/// Counters snapshot for introspection / tests.
+struct QueryCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+};
+
+/// A thread-safe LRU cache of ranked retrieval results, keyed by pattern
+/// signature and guarded by the model's version counter: the first
+/// operation observing a new version flushes every entry, since feedback
+/// training rewrites A1/Pi1/A2/Pi2 and invalidates all previous rankings.
+class QueryCache {
+ public:
+  explicit QueryCache(size_t capacity);
+
+  /// On hit, copies the cached ranking into `results`, refreshes the
+  /// entry's recency and returns true.
+  bool Lookup(const std::string& key, uint64_t version,
+              std::vector<RetrievedPattern>* results);
+
+  /// Inserts (or refreshes) one ranking, evicting the least recently
+  /// used entry beyond capacity.
+  void Insert(const std::string& key, uint64_t version,
+              std::vector<RetrievedPattern> results);
+
+  void Clear();
+
+  QueryCacheStats stats() const;
+
+ private:
+  /// Drops every entry when `version` differs from the one the current
+  /// contents were computed under. Caller holds mutex_.
+  void FlushIfStaleLocked(uint64_t version);
+
+  using Entry = std::pair<std::string, std::vector<RetrievedPattern>>;
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  uint64_t version_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_QUERY_CACHE_H_

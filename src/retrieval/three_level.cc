@@ -7,10 +7,11 @@ namespace hmmm {
 ThreeLevelTraversal::ThreeLevelTraversal(const HierarchicalModel& model,
                                          const VideoCatalog& catalog,
                                          const CategoryLevel& categories,
-                                         TraversalOptions options)
+                                         TraversalOptions options,
+                                         ThreadPool* pool)
     : model_(model),
       categories_(categories),
-      traversal_(model, catalog, options) {}
+      traversal_(model, catalog, options, pool) {}
 
 std::vector<VideoId> ThreeLevelTraversal::PrunedVideoOrder(
     const TemporalPattern& pattern) const {

@@ -15,11 +15,13 @@ namespace hmmm {
 /// hierarchical pruning on top of the 2-level engine.
 class ThreeLevelTraversal {
  public:
-  /// All references must outlive the traversal.
+  /// All references must outlive the traversal. `pool` (optional) is
+  /// forwarded to the underlying 2-level traversal's per-video fan-out.
   ThreeLevelTraversal(const HierarchicalModel& model,
                       const VideoCatalog& catalog,
                       const CategoryLevel& categories,
-                      TraversalOptions options = {});
+                      TraversalOptions options = {},
+                      ThreadPool* pool = nullptr);
 
   /// Runs the pruned retrieval; results sorted by descending SS.
   StatusOr<std::vector<RetrievedPattern>> Retrieve(

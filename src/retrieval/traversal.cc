@@ -1,17 +1,79 @@
 #include "retrieval/traversal.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace hmmm {
+namespace {
+
+/// One candidate tagged with its video's position in the Step-2 visiting
+/// order, the tie-break that makes the parallel merge reproduce the
+/// serial stable sort exactly.
+struct VideoCandidate {
+  RetrievedPattern pattern;
+  size_t order_index = 0;
+};
+
+/// Strict total order: higher SS first, then earlier visiting position.
+/// Total because order_index is unique per candidate.
+bool BetterCandidate(const VideoCandidate& a, const VideoCandidate& b) {
+  if (a.pattern.score != b.pattern.score) {
+    return a.pattern.score > b.pattern.score;
+  }
+  return a.order_index < b.order_index;
+}
+
+/// Bounded best-K accumulator: a heap with the *worst* retained
+/// candidate at the front so an insertion beyond capacity evicts it.
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t capacity) : capacity_(capacity) {}
+
+  void Push(VideoCandidate candidate) {
+    entries_.push_back(std::move(candidate));
+    std::push_heap(entries_.begin(), entries_.end(), BetterCandidate);
+    if (entries_.size() > capacity_) {
+      std::pop_heap(entries_.begin(), entries_.end(), BetterCandidate);
+      entries_.pop_back();
+    }
+  }
+
+  std::vector<VideoCandidate>& entries() { return entries_; }
+
+ private:
+  size_t capacity_;
+  std::vector<VideoCandidate> entries_;
+};
+
+/// Dynamic-scheduling chunk size for the per-video fan-out: one video per
+/// claim balances well (per-video lattice cost varies with annotation
+/// density) and the claim is a single relaxed fetch_add.
+constexpr size_t kParallelGrain = 1;
+
+void AccumulateStats(const RetrievalStats& shard, RetrievalStats* stats) {
+  stats->videos_considered += shard.videos_considered;
+  stats->states_visited += shard.states_visited;
+  stats->candidates_scored += shard.candidates_scored;
+  stats->truncated = stats->truncated || shard.truncated;
+}
+
+}  // namespace
 
 HmmmTraversal::HmmmTraversal(const HierarchicalModel& model,
                              const VideoCatalog& catalog,
-                             TraversalOptions options)
-    : model_(model), catalog_(catalog), options_(std::move(options)) {
+                             TraversalOptions options, ThreadPool* pool)
+    : model_(model),
+      catalog_(catalog),
+      options_(std::move(options)),
+      pool_(pool) {
   HMMM_CHECK(options_.beam_width >= 1);
   HMMM_CHECK(options_.max_results >= 1);
+  if (pool_ == nullptr && options_.num_threads != 1) {
+    owned_pool_ = MakeThreadPool(options_.num_threads);
+    pool_ = owned_pool_.get();
+  }
 }
 
 bool HmmmTraversal::VideoContainsStep(VideoId v, const PatternStep& step) const {
@@ -223,6 +285,81 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::Retrieve(
   return RetrieveWithVideoOrder(pattern, VideoOrder(pattern), stats);
 }
 
+bool HmmmTraversal::TraverseVideo(VideoId video, const TemporalPattern& pattern,
+                                  const SimilarityScorer& scorer,
+                                  RetrievalStats* stats,
+                                  RetrievedPattern* out) const {
+  const LocalShotModel& local = model_.local(video);
+  if (local.num_states() == 0) return false;
+  if (stats != nullptr) ++stats->videos_considered;
+
+  const auto beam = static_cast<size_t>(options_.beam_width);
+  // Step 4 (j = 1): w1 = Pi1(s1) * sim(s1, e1)  (Eq. 12).
+  std::vector<Path> beam_paths;
+  for (int ii : CandidateStates(local, 0,
+                                static_cast<int>(local.num_states()) - 1,
+                                pattern.steps.front())) {
+    const auto i = static_cast<size_t>(ii);
+    const int global = model_.GlobalStateOf(local.states[i]);
+    const double weight =
+        local.pi1[i] * scorer.StepSimilarity(global, pattern.steps.front());
+    if (stats != nullptr) ++stats->states_visited;
+    Path path;
+    path.states = {global};
+    path.edge_weights = {weight};
+    path.last_weight = weight;
+    path.score_sum = weight;
+    path.current_video = video;
+    beam_paths.push_back(std::move(path));
+  }
+  std::stable_sort(beam_paths.begin(), beam_paths.end(),
+                   [](const Path& a, const Path& b) {
+                     return a.last_weight > b.last_weight;
+                   });
+  if (beam_paths.size() > beam) beam_paths.resize(beam);
+
+  // Steps 3-5: extend through the remaining events of the pattern.
+  for (size_t j = 1; j < pattern.size() && !beam_paths.empty(); ++j) {
+    std::vector<Path> expansions;
+    for (const Path& path : beam_paths) {
+      std::vector<Path> within =
+          ExpandWithinVideo(path, pattern.steps[j], scorer, stats);
+      // A finite gap bound implies same-video continuation: the gap is
+      // measured in annotated-shot positions, which another video's
+      // timeline cannot satisfy.
+      if (within.empty() && options_.cross_video &&
+          pattern.steps[j].max_gap < 0) {
+        within = ExpandCrossVideo(path, pattern.steps[j], scorer, stats);
+      }
+      for (Path& p : within) expansions.push_back(std::move(p));
+    }
+    std::stable_sort(expansions.begin(), expansions.end(),
+                     [](const Path& a, const Path& b) {
+                       return a.last_weight > b.last_weight;
+                     });
+    if (expansions.size() > beam) expansions.resize(beam);
+    beam_paths = std::move(expansions);
+  }
+  if (beam_paths.empty()) return false;
+
+  // Step 6: SS(R, Q_k) = sum_j w_j (Eq. 15); keep the video's best path.
+  const Path* best = &beam_paths.front();
+  for (const Path& p : beam_paths) {
+    if (p.score_sum > best->score_sum) best = &p;
+  }
+  out->shots.clear();
+  out->shots.reserve(best->states.size());
+  for (int state : best->states) {
+    out->shots.push_back(model_.ShotOfGlobalState(state));
+  }
+  out->edge_weights = best->edge_weights;
+  out->score = best->score_sum;
+  out->video = video;
+  out->crosses_videos = best->crossed_video;
+  if (stats != nullptr) ++stats->candidates_scored;
+  return true;
+}
+
 StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
     const TemporalPattern& pattern, const std::vector<VideoId>& video_order,
     RetrievalStats* stats) const {
@@ -247,96 +384,83 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
     }
   }
 
-  SimilarityScorer scorer(model_, options_.scorer);
-  std::vector<RetrievedPattern> candidates;
   std::vector<VideoId> order = video_order;
   if (options_.max_videos >= 0 &&
       order.size() > static_cast<size_t>(options_.max_videos)) {
     order.resize(static_cast<size_t>(options_.max_videos));
   }
 
-  const auto beam = static_cast<size_t>(options_.beam_width);
-  for (VideoId video : order) {
-    const LocalShotModel& local = model_.local(video);
-    if (local.num_states() == 0) continue;
-    if (stats != nullptr) ++stats->videos_considered;
+  // Step 7 fan-out: each video's lattice walk (Steps 3-6) is independent
+  // given the visiting order, so videos are sharded across the pool.
+  // Every worker owns a scorer (its evaluation counter would race), a
+  // stats block, and a top-K heap; heaps are merged below under a total
+  // order, which makes the ranking identical at any thread count.
+  const auto top_k = static_cast<size_t>(options_.max_results);
+  std::vector<VideoCandidate> survivors;
+  RetrievalStats accumulated;
+  size_t total_evaluations = 0;
 
-    // Step 4 (j = 1): w1 = Pi1(s1) * sim(s1, e1)  (Eq. 12).
-    std::vector<Path> beam_paths;
-    for (int ii : CandidateStates(local, 0,
-                                  static_cast<int>(local.num_states()) - 1,
-                                  pattern.steps.front())) {
-      const auto i = static_cast<size_t>(ii);
-      const int global = model_.GlobalStateOf(local.states[i]);
-      const double weight =
-          local.pi1[i] * scorer.StepSimilarity(global, pattern.steps.front());
-      if (stats != nullptr) ++stats->states_visited;
-      Path path;
-      path.states = {global};
-      path.edge_weights = {weight};
-      path.last_weight = weight;
-      path.score_sum = weight;
-      path.current_video = video;
-      beam_paths.push_back(std::move(path));
+  if (pool_ != nullptr && pool_->size() > 1 && order.size() > 1) {
+    struct Shard {
+      Shard(const HierarchicalModel& model, const ScorerOptions& options,
+            size_t capacity)
+          : scorer(model, options), top(capacity) {}
+      SimilarityScorer scorer;
+      TopKHeap top;
+      RetrievalStats stats;
+    };
+    std::vector<Shard> shards;
+    shards.reserve(static_cast<size_t>(pool_->size()));
+    for (int w = 0; w < pool_->size(); ++w) {
+      shards.emplace_back(model_, options_.scorer, top_k);
     }
-    std::stable_sort(beam_paths.begin(), beam_paths.end(),
-                     [](const Path& a, const Path& b) {
-                       return a.last_weight > b.last_weight;
-                     });
-    if (beam_paths.size() > beam) beam_paths.resize(beam);
-
-    // Steps 3-5: extend through the remaining events of the pattern.
-    for (size_t j = 1; j < pattern.size() && !beam_paths.empty(); ++j) {
-      std::vector<Path> expansions;
-      for (const Path& path : beam_paths) {
-        std::vector<Path> within =
-            ExpandWithinVideo(path, pattern.steps[j], scorer, stats);
-        // A finite gap bound implies same-video continuation: the gap is
-        // measured in annotated-shot positions, which another video's
-        // timeline cannot satisfy.
-        if (within.empty() && options_.cross_video &&
-            pattern.steps[j].max_gap < 0) {
-          within = ExpandCrossVideo(path, pattern.steps[j], scorer, stats);
-        }
-        for (Path& p : within) expansions.push_back(std::move(p));
+    pool_->ParallelFor(
+        order.size(), kParallelGrain,
+        [&](int worker, size_t begin, size_t end) {
+          Shard& shard = shards[static_cast<size_t>(worker)];
+          for (size_t i = begin; i < end; ++i) {
+            RetrievedPattern candidate;
+            if (TraverseVideo(order[i], pattern, shard.scorer, &shard.stats,
+                              &candidate)) {
+              shard.top.Push({std::move(candidate), i});
+            }
+          }
+        });
+    for (Shard& shard : shards) {
+      for (VideoCandidate& candidate : shard.top.entries()) {
+        survivors.push_back(std::move(candidate));
       }
-      std::stable_sort(expansions.begin(), expansions.end(),
-                       [](const Path& a, const Path& b) {
-                         return a.last_weight > b.last_weight;
-                       });
-      if (expansions.size() > beam) expansions.resize(beam);
-      beam_paths = std::move(expansions);
+      AccumulateStats(shard.stats, &accumulated);
+      total_evaluations += shard.scorer.evaluations();
     }
-    if (beam_paths.empty()) continue;
-
-    // Step 6: SS(R, Q_k) = sum_j w_j (Eq. 15); keep the video's best path.
-    const Path* best = &beam_paths.front();
-    for (const Path& p : beam_paths) {
-      if (p.score_sum > best->score_sum) best = &p;
+  } else {
+    SimilarityScorer scorer(model_, options_.scorer);
+    TopKHeap top(top_k);
+    for (size_t i = 0; i < order.size(); ++i) {
+      RetrievedPattern candidate;
+      if (TraverseVideo(order[i], pattern, scorer, &accumulated, &candidate)) {
+        top.Push({std::move(candidate), i});
+      }
     }
-    RetrievedPattern result;
-    result.shots.reserve(best->states.size());
-    for (int state : best->states) {
-      result.shots.push_back(model_.ShotOfGlobalState(state));
-    }
-    result.edge_weights = best->edge_weights;
-    result.score = best->score_sum;
-    result.video = video;
-    result.crosses_videos = best->crossed_video;
-    candidates.push_back(std::move(result));
-    if (stats != nullptr) ++stats->candidates_scored;
+    survivors = std::move(top.entries());
+    total_evaluations = scorer.evaluations();
   }
 
-  // Steps 8-9: rank by similarity score.
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const RetrievedPattern& a, const RetrievedPattern& b) {
-                     return a.score > b.score;
-                   });
-  if (candidates.size() > static_cast<size_t>(options_.max_results)) {
-    candidates.resize(static_cast<size_t>(options_.max_results));
+  // Steps 8-9: rank by similarity score. Each shard retained its own best
+  // max_results candidates, so the union is a superset of the global top
+  // K; the (score, order) total order reproduces the serial ranking.
+  std::sort(survivors.begin(), survivors.end(), BetterCandidate);
+  if (survivors.size() > top_k) survivors.resize(top_k);
+  std::vector<RetrievedPattern> results;
+  results.reserve(survivors.size());
+  for (VideoCandidate& candidate : survivors) {
+    results.push_back(std::move(candidate.pattern));
   }
-  if (stats != nullptr) stats->sim_evaluations = scorer.evaluations();
-  return candidates;
+  if (stats != nullptr) {
+    AccumulateStats(accumulated, stats);
+    stats->sim_evaluations += total_evaluations;
+  }
+  return results;
 }
 
 }  // namespace hmmm

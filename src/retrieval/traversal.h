@@ -1,8 +1,10 @@
 #ifndef HMMM_RETRIEVAL_TRAVERSAL_H_
 #define HMMM_RETRIEVAL_TRAVERSAL_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "retrieval/result.h"
 #include "retrieval/scorer.h"
 
@@ -31,6 +33,14 @@ struct TraversalOptions {
   /// the step's events whenever any exist, falling back to pure Eq.-14
   /// similarity over all shots otherwise. false = similarity only.
   bool annotated_first = true;
+  /// Candidate videos are fanned out across this many worker threads;
+  /// each video's shot-level lattice walk is independent given the
+  /// Step-2 video order, and per-worker top-K heaps are merged with a
+  /// deterministic (score, video-order) tie-break, so the ranked output
+  /// is byte-identical to the serial walk at any thread count. 1 = run
+  /// serially on the calling thread (the default); 0 = one worker per
+  /// hardware thread.
+  int num_threads = 1;
   ScorerOptions scorer;
 };
 
@@ -42,9 +52,12 @@ struct TraversalOptions {
 ///   Steps 7-9 rank the per-video candidates.
 class HmmmTraversal {
  public:
-  /// Model and catalog must outlive the traversal.
+  /// Model and catalog must outlive the traversal. When `pool` is given
+  /// it is used for the per-video fan-out (and must outlive the
+  /// traversal); otherwise a pool is created iff options.num_threads
+  /// resolves to more than one worker.
   HmmmTraversal(const HierarchicalModel& model, const VideoCatalog& catalog,
-                TraversalOptions options = {});
+                TraversalOptions options = {}, ThreadPool* pool = nullptr);
 
   /// Runs the retrieval; results are sorted by descending SS.
   StatusOr<std::vector<RetrievedPattern>> Retrieve(
@@ -91,9 +104,19 @@ class HmmmTraversal {
                                      const SimilarityScorer& scorer,
                                      RetrievalStats* stats) const;
 
+  /// Steps 3-6 for one candidate video: the shot-level lattice walk.
+  /// Fills `out` with the video's best path and returns true when the
+  /// video yields a candidate. Thread-safe across distinct (scorer,
+  /// stats) pairs — the model and catalog are only read.
+  bool TraverseVideo(VideoId video, const TemporalPattern& pattern,
+                     const SimilarityScorer& scorer, RetrievalStats* stats,
+                     RetrievedPattern* out) const;
+
   const HierarchicalModel& model_;
   const VideoCatalog& catalog_;
   TraversalOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  // external or owned_pool_.get(); may be null
 };
 
 }  // namespace hmmm

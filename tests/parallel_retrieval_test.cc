@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/category_level.h"
+#include "core/model_builder.h"
+#include "query/translator.h"
+#include "retrieval/engine.h"
+#include "retrieval/three_level.h"
+#include "retrieval/traversal.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+/// Ranked results must be byte-identical across thread counts: exact
+/// score equality (no tolerance), same shots, videos and edge weights.
+void ExpectIdenticalResults(const std::vector<RetrievedPattern>& expected,
+                            const std::vector<RetrievedPattern>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].shots, actual[i].shots) << "rank " << i;
+    EXPECT_EQ(expected[i].score, actual[i].score) << "rank " << i;
+    EXPECT_EQ(expected[i].video, actual[i].video) << "rank " << i;
+    EXPECT_EQ(expected[i].edge_weights, actual[i].edge_weights)
+        << "rank " << i;
+    EXPECT_EQ(expected[i].crosses_videos, actual[i].crosses_videos)
+        << "rank " << i;
+  }
+}
+
+void ExpectIdenticalStats(const RetrievalStats& expected,
+                          const RetrievalStats& actual) {
+  EXPECT_EQ(expected.videos_considered, actual.videos_considered);
+  EXPECT_EQ(expected.states_visited, actual.states_visited);
+  EXPECT_EQ(expected.sim_evaluations, actual.sim_evaluations);
+  EXPECT_EQ(expected.candidates_scored, actual.candidates_scored);
+  EXPECT_EQ(expected.truncated, actual.truncated);
+}
+
+class ParallelRetrievalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = testing::GeneratedSoccerCatalog(/*seed=*/11, /*num_videos=*/20);
+    auto model = ModelBuilder(catalog_).Build();
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+  }
+
+  std::vector<TemporalPattern> QuerySet() const {
+    std::vector<TemporalPattern> patterns;
+    patterns.push_back(TemporalPattern::FromEvents({0}));
+    patterns.push_back(TemporalPattern::FromEvents({2, 0}));
+    patterns.push_back(TemporalPattern::FromEvents({2, 0, 1}));
+    auto compiled =
+        CompileQuery("free_kick & goal ; corner_kick", catalog_.vocabulary());
+    if (compiled.ok()) patterns.push_back(std::move(compiled).value());
+    TemporalPattern gapped = TemporalPattern::FromEvents({2, 0});
+    gapped.steps[1].max_gap = 3;
+    patterns.push_back(std::move(gapped));
+    return patterns;
+  }
+
+  VideoCatalog catalog_;
+  HierarchicalModel model_;
+};
+
+TEST_F(ParallelRetrievalTest, IdenticalRankingAtEveryThreadCount) {
+  for (const TemporalPattern& pattern : QuerySet()) {
+    TraversalOptions serial_options;
+    HmmmTraversal serial(model_, catalog_, serial_options);
+    RetrievalStats serial_stats;
+    auto reference = serial.Retrieve(pattern, &serial_stats);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_FALSE(reference->empty());
+
+    for (int threads : {2, 4, 8}) {
+      TraversalOptions options;
+      options.num_threads = threads;
+      HmmmTraversal parallel(model_, catalog_, options);
+      RetrievalStats stats;
+      auto results = parallel.Retrieve(pattern, &stats);
+      ASSERT_TRUE(results.ok()) << threads << " threads";
+      ExpectIdenticalResults(*reference, *results);
+      ExpectIdenticalStats(serial_stats, stats);
+    }
+  }
+}
+
+TEST_F(ParallelRetrievalTest, RepeatedParallelRunsAreStable) {
+  // Dynamic scheduling shuffles which worker handles which video; the
+  // merged ranking must not notice.
+  TraversalOptions options;
+  options.num_threads = 4;
+  HmmmTraversal traversal(model_, catalog_, options);
+  const auto pattern = TemporalPattern::FromEvents({2, 0});
+  auto first = traversal.Retrieve(pattern);
+  ASSERT_TRUE(first.ok());
+  for (int run = 0; run < 5; ++run) {
+    auto again = traversal.Retrieve(pattern);
+    ASSERT_TRUE(again.ok());
+    ExpectIdenticalResults(*first, *again);
+  }
+}
+
+TEST_F(ParallelRetrievalTest, BeamAndCrossVideoOptionsStayDeterministic) {
+  TraversalOptions serial_options;
+  serial_options.beam_width = 4;
+  serial_options.cross_video = true;
+  HmmmTraversal serial(model_, catalog_, serial_options);
+  const auto pattern = TemporalPattern::FromEvents({2, 0, 1, 3});
+  auto reference = serial.Retrieve(pattern);
+  ASSERT_TRUE(reference.ok());
+
+  for (int threads : {2, 8}) {
+    TraversalOptions options = serial_options;
+    options.num_threads = threads;
+    HmmmTraversal parallel(model_, catalog_, options);
+    auto results = parallel.Retrieve(pattern);
+    ASSERT_TRUE(results.ok());
+    ExpectIdenticalResults(*reference, *results);
+  }
+}
+
+TEST_F(ParallelRetrievalTest, SmallMaxResultsExercisesHeapEviction) {
+  TraversalOptions serial_options;
+  serial_options.max_results = 3;
+  HmmmTraversal serial(model_, catalog_, serial_options);
+  const auto pattern = TemporalPattern::FromEvents({0});
+  auto reference = serial.Retrieve(pattern);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->size(), 3u);
+
+  TraversalOptions options = serial_options;
+  options.num_threads = 8;
+  HmmmTraversal parallel(model_, catalog_, options);
+  auto results = parallel.Retrieve(pattern);
+  ASSERT_TRUE(results.ok());
+  ExpectIdenticalResults(*reference, *results);
+}
+
+TEST_F(ParallelRetrievalTest, ExternalPoolIsShared) {
+  ThreadPool pool(4);
+  TraversalOptions options;  // num_threads stays 1: the pool wins
+  HmmmTraversal serial(model_, catalog_);
+  HmmmTraversal shared(model_, catalog_, options, &pool);
+  const auto pattern = TemporalPattern::FromEvents({2, 0});
+  auto reference = serial.Retrieve(pattern);
+  auto results = shared.Retrieve(pattern);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(results.ok());
+  ExpectIdenticalResults(*reference, *results);
+}
+
+TEST_F(ParallelRetrievalTest, ThreeLevelTraversalMatchesSerial) {
+  auto categories = BuildCategoryLevel(model_, {});
+  ASSERT_TRUE(categories.ok());
+  ThreeLevelTraversal serial(model_, catalog_, *categories);
+  TraversalOptions options;
+  options.num_threads = 4;
+  ThreeLevelTraversal parallel(model_, catalog_, *categories, options);
+  const auto pattern = TemporalPattern::FromEvents({2, 0});
+  auto reference = serial.Retrieve(pattern);
+  auto results = parallel.Retrieve(pattern);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(results.ok());
+  ExpectIdenticalResults(*reference, *results);
+}
+
+TEST_F(ParallelRetrievalTest, EngineHonorsNumThreads) {
+  TraversalOptions options;
+  options.num_threads = 4;
+  auto serial_engine = RetrievalEngine::Create(catalog_);
+  auto parallel_engine = RetrievalEngine::Create(catalog_, {}, options);
+  ASSERT_TRUE(serial_engine.ok());
+  ASSERT_TRUE(parallel_engine.ok());
+  for (const char* query : {"goal", "free_kick ; goal"}) {
+    auto reference = serial_engine->Query(query);
+    auto results = parallel_engine->Query(query);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_TRUE(results.ok());
+    ExpectIdenticalResults(*reference, *results);
+  }
+}
+
+TEST_F(ParallelRetrievalTest, ErrorsPropagateUnchanged) {
+  TraversalOptions options;
+  options.num_threads = 4;
+  HmmmTraversal traversal(model_, catalog_, options);
+  EXPECT_FALSE(traversal.Retrieve(TemporalPattern{}).ok());
+  EXPECT_FALSE(traversal.Retrieve(TemporalPattern::FromEvents({999})).ok());
+}
+
+}  // namespace
+}  // namespace hmmm

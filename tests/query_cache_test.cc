@@ -1,0 +1,212 @@
+#include "retrieval/query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model_builder.h"
+#include "feedback/trainer.h"
+#include "retrieval/engine.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+RetrievedPattern MakeResult(double score, ShotId shot) {
+  RetrievedPattern result;
+  result.shots = {shot};
+  result.edge_weights = {score};
+  result.score = score;
+  result.video = 0;
+  return result;
+}
+
+TEST(PatternSignatureTest, EncodesStepsGapsAndAlternatives) {
+  const auto linear = TemporalPattern::FromEvents({2, 0});
+  const auto reversed = TemporalPattern::FromEvents({0, 2});
+  EXPECT_NE(PatternSignature(linear), PatternSignature(reversed));
+  EXPECT_EQ(PatternSignature(linear),
+            PatternSignature(TemporalPattern::FromEvents({2, 0})));
+
+  // A gap bound changes the signature.
+  TemporalPattern gapped = TemporalPattern::FromEvents({2, 0});
+  gapped.steps[1].max_gap = 2;
+  EXPECT_NE(PatternSignature(gapped), PatternSignature(linear));
+
+  // Conjunction vs alternatives vs separate steps are all distinct.
+  TemporalPattern conjunction;
+  conjunction.steps.push_back(PatternStep{{{0, 1}}, -1});
+  TemporalPattern alternatives;
+  alternatives.steps.push_back(PatternStep{{{0}, {1}}, -1});
+  TemporalPattern sequence = TemporalPattern::FromEvents({0, 1});
+  EXPECT_NE(PatternSignature(conjunction), PatternSignature(alternatives));
+  EXPECT_NE(PatternSignature(conjunction), PatternSignature(sequence));
+  EXPECT_NE(PatternSignature(alternatives), PatternSignature(sequence));
+}
+
+TEST(QueryCacheTest, HitReturnsInsertedRanking) {
+  QueryCache cache(4);
+  cache.Insert("a", 0, {MakeResult(0.5, 3)});
+  std::vector<RetrievedPattern> results;
+  ASSERT_TRUE(cache.Lookup("a", 0, &results));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].score, 0.5);
+  EXPECT_EQ(results[0].shots, (std::vector<ShotId>{3}));
+  EXPECT_FALSE(cache.Lookup("b", 0, &results));
+  const QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.capacity, 4u);
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsed) {
+  QueryCache cache(2);
+  cache.Insert("a", 0, {MakeResult(0.1, 1)});
+  cache.Insert("b", 0, {MakeResult(0.2, 2)});
+  std::vector<RetrievedPattern> results;
+  // Touch "a" so "b" becomes the eviction victim.
+  ASSERT_TRUE(cache.Lookup("a", 0, &results));
+  cache.Insert("c", 0, {MakeResult(0.3, 3)});
+  EXPECT_TRUE(cache.Lookup("a", 0, &results));
+  EXPECT_FALSE(cache.Lookup("b", 0, &results));
+  EXPECT_TRUE(cache.Lookup("c", 0, &results));
+}
+
+TEST(QueryCacheTest, ReinsertRefreshesEntry) {
+  QueryCache cache(2);
+  cache.Insert("a", 0, {MakeResult(0.1, 1)});
+  cache.Insert("a", 0, {MakeResult(0.9, 9)});
+  std::vector<RetrievedPattern> results;
+  ASSERT_TRUE(cache.Lookup("a", 0, &results));
+  EXPECT_DOUBLE_EQ(results[0].score, 0.9);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(QueryCacheTest, VersionChangeFlushesEverything) {
+  QueryCache cache(4);
+  cache.Insert("a", 0, {MakeResult(0.1, 1)});
+  cache.Insert("b", 0, {MakeResult(0.2, 2)});
+  std::vector<RetrievedPattern> results;
+  EXPECT_FALSE(cache.Lookup("a", 1, &results));  // stale: flushed
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // Entries inserted under the new version are served normally.
+  cache.Insert("a", 1, {MakeResult(0.3, 3)});
+  EXPECT_TRUE(cache.Lookup("a", 1, &results));
+  EXPECT_DOUBLE_EQ(results[0].score, 0.3);
+}
+
+TEST(QueryCacheTest, ClearDropsEntriesButKeepsCounters) {
+  QueryCache cache(4);
+  cache.Insert("a", 0, {MakeResult(0.1, 1)});
+  std::vector<RetrievedPattern> results;
+  ASSERT_TRUE(cache.Lookup("a", 0, &results));
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup("a", 0, &results));
+  const QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// -- Engine integration ---------------------------------------------------
+
+TEST(EngineCacheTest, SecondIdenticalQueryIsServedFromCache) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  auto first = engine->Query("free_kick ; goal");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine->cache_stats().hits, 0u);
+  auto second = engine->Query("free_kick ; goal");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i].shots, (*second)[i].shots);
+    EXPECT_EQ((*first)[i].score, (*second)[i].score);
+  }
+}
+
+TEST(EngineCacheTest, StatsRequestsBypassTheCache) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Query("goal").ok());
+  RetrievalStats stats;
+  ASSERT_TRUE(engine->Query("goal", &stats).ok());
+  EXPECT_GT(stats.sim_evaluations, 0u);  // the traversal actually ran
+  EXPECT_EQ(engine->cache_stats().hits, 0u);
+}
+
+TEST(EngineCacheTest, FeedbackTrainingInvalidatesCachedResults) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  auto before = engine->Query("free_kick ; goal");
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->empty());
+  ASSERT_TRUE(engine->Query("free_kick ; goal").ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+
+  // One feedback round rewrites A1/Pi1/A2/Pi2 and bumps the version.
+  const uint64_t version_before = engine->model().version();
+  FeedbackTrainer trainer(catalog);
+  ASSERT_TRUE(trainer.MarkPositive(engine->model(), before->front()).ok());
+  auto trained = trainer.MaybeTrain(engine->mutable_model(), /*force=*/true);
+  ASSERT_TRUE(trained.ok());
+  ASSERT_TRUE(trained.value());
+  EXPECT_GT(engine->model().version(), version_before);
+
+  // The next identical query misses (flush) and recomputes under the
+  // trained model; a repeat then hits again.
+  const size_t misses_before = engine->cache_stats().misses;
+  auto after = engine->Query("free_kick ; goal");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+  EXPECT_GT(engine->cache_stats().misses, misses_before);
+  ASSERT_TRUE(engine->Query("free_kick ; goal").ok());
+  EXPECT_EQ(engine->cache_stats().hits, 2u);
+
+  // The recomputed ranking matches a from-scratch traversal of the
+  // trained model.
+  HmmmTraversal traversal(engine->model(), catalog);
+  const auto pattern =
+      *CompileQuery("free_kick ; goal", catalog.vocabulary());
+  auto fresh = traversal.Retrieve(pattern);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(after->size(), fresh->size());
+  for (size_t i = 0; i < after->size(); ++i) {
+    EXPECT_EQ((*after)[i].shots, (*fresh)[i].shots);
+    EXPECT_EQ((*after)[i].score, (*fresh)[i].score);
+  }
+}
+
+TEST(EngineCacheTest, SetTraversalOptionsClearsCache) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Query("goal").ok());
+  EXPECT_EQ(engine->cache_stats().entries, 1u);
+  TraversalOptions options = engine->traversal_options();
+  options.max_results = 1;
+  engine->set_traversal_options(options);
+  EXPECT_EQ(engine->cache_stats().entries, 0u);
+  auto results = engine->Query("goal");
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+TEST(EngineCacheTest, ZeroEntriesDisablesCaching) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog, {}, {},
+                                        /*query_cache_entries=*/0);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Query("goal").ok());
+  ASSERT_TRUE(engine->Query("goal").ok());
+  const QueryCacheStats stats = engine->cache_stats();
+  EXPECT_EQ(stats.capacity, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace hmmm
