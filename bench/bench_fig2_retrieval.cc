@@ -136,6 +136,59 @@ void PrintThreadSweepTable() {
       "the serial walk at every thread count.\n");
 }
 
+/// Machine-readable companion to the tables above: per-thread-count
+/// median traversal latency plus a full engine metrics snapshot (query
+/// latency histogram, cache hit/miss counters, pool gauges) taken after a
+/// warm query loop — 1 cache miss followed by 7 hits per thread count.
+void WriteFig2Json() {
+  const Scale scale = MakeScale(54);  // the paper's archive size
+  const auto pattern = TemporalPattern::FromEvents({2, 0});
+
+  HmmmTraversal serial(scale.model, scale.catalog);
+  auto reference = serial.Retrieve(pattern);
+  HMMM_CHECK(reference.ok());
+
+  double serial_ms = 0.0;
+  std::vector<std::string> sweep;
+  for (int threads : {1, 2, 4, 8}) {
+    TraversalOptions options;
+    options.num_threads = threads;
+    HmmmTraversal traversal(scale.model, scale.catalog, options);
+    std::vector<RetrievedPattern> results;
+    const double ms = MedianMillis([&] {
+      auto retrieved = traversal.Retrieve(pattern);
+      HMMM_CHECK(retrieved.ok());
+      results = std::move(retrieved).value();
+    });
+    if (threads == 1) serial_ms = ms;
+
+    RetrievalEngine engine(scale.catalog, scale.model, options);
+    for (int i = 0; i < 8; ++i) {
+      HMMM_CHECK(engine.Retrieve(pattern).ok());
+    }
+    sweep.push_back(JsonObject({
+        {"threads", JsonNumber(threads)},
+        {"median_traversal_ms", JsonNumber(ms)},
+        {"speedup", JsonNumber(ms > 0.0 ? serial_ms / ms : 0.0)},
+        {"identical_ranking", JsonBool(SameRanking(*reference, results))},
+        {"metrics", engine.DumpMetricsJson()},
+    }));
+  }
+
+  WriteBenchJson(
+      "BENCH_fig2.json",
+      JsonObject({
+          {"benchmark", JsonQuote("fig2_retrieval")},
+          {"query", JsonQuote("free_kick ; goal")},
+          {"videos", JsonNumber(static_cast<double>(scale.catalog.num_videos()))},
+          {"shots", JsonNumber(static_cast<double>(scale.catalog.num_shots()))},
+          {"annotated_shots",
+           JsonNumber(static_cast<double>(scale.catalog.num_annotated_shots()))},
+          {"warm_queries_per_thread_count", JsonNumber(8)},
+          {"thread_sweep", JsonArray(sweep)},
+      }));
+}
+
 }  // namespace
 }  // namespace hmmm::bench
 
@@ -144,5 +197,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   hmmm::bench::PrintFlowchartTable();
   hmmm::bench::PrintThreadSweepTable();
+  hmmm::bench::WriteFig2Json();
   return 0;
 }

@@ -124,6 +124,84 @@ void PrintThreadSweepTable() {
   }
 }
 
+/// Machine-readable companion: the C x beam lattice sweep, a per-thread-
+/// count latency sweep with engine metrics snapshots, and one serial
+/// trace sample showing the phase structure of a C=4 walk.
+void WriteFig3Json() {
+  std::vector<std::string> lattice;
+  for (size_t c : {1u, 2u, 3u, 4u}) {
+    const auto pattern = PatternOfLength(c);
+    for (int beam : {1, 2, 4, 8}) {
+      TraversalOptions options;
+      options.beam_width = beam;
+      HmmmTraversal traversal(Model(), Catalog(), options);
+      RetrievalStats stats;
+      double top = 0.0;
+      const double ms = MedianMillis([&] {
+        stats = RetrievalStats();
+        auto results = traversal.Retrieve(pattern, &stats);
+        HMMM_CHECK(results.ok());
+        top = results->empty() ? 0.0 : results->front().score;
+      });
+      lattice.push_back(JsonObject({
+          {"pattern_length", JsonNumber(static_cast<double>(c))},
+          {"beam", JsonNumber(beam)},
+          {"median_ms", JsonNumber(ms)},
+          {"states_visited",
+           JsonNumber(static_cast<double>(stats.states_visited))},
+          {"beam_pruned", JsonNumber(static_cast<double>(stats.beam_pruned))},
+          {"sim_evaluations",
+           JsonNumber(static_cast<double>(stats.sim_evaluations))},
+          {"top_score", JsonNumber(top)},
+      }));
+    }
+  }
+
+  const auto pattern = PatternOfLength(4);
+  double serial_ms = 0.0;
+  std::vector<std::string> sweep;
+  for (int threads : {1, 2, 4, 8}) {
+    TraversalOptions options;
+    options.beam_width = 4;
+    options.num_threads = threads;
+    HmmmTraversal traversal(Model(), Catalog(), options);
+    const double ms = MedianMillis([&] {
+      auto results = traversal.Retrieve(pattern);
+      HMMM_CHECK(results.ok());
+    });
+    if (threads == 1) serial_ms = ms;
+
+    RetrievalEngine engine(Catalog(), Model(), options);
+    for (int i = 0; i < 8; ++i) {
+      HMMM_CHECK(engine.Retrieve(pattern).ok());
+    }
+    sweep.push_back(JsonObject({
+        {"threads", JsonNumber(threads)},
+        {"median_traversal_ms", JsonNumber(ms)},
+        {"speedup", JsonNumber(ms > 0.0 ? serial_ms / ms : 0.0)},
+        {"metrics", engine.DumpMetricsJson()},
+    }));
+  }
+
+  QueryTrace trace;
+  TraversalOptions traced_options;
+  traced_options.beam_width = 4;
+  traced_options.trace = &trace;
+  HmmmTraversal traced(Model(), Catalog(), traced_options);
+  HMMM_CHECK(traced.Retrieve(pattern).ok());
+
+  WriteBenchJson(
+      "BENCH_fig3.json",
+      JsonObject({
+          {"benchmark", JsonQuote("fig3_lattice")},
+          {"videos", JsonNumber(static_cast<double>(Catalog().num_videos()))},
+          {"shots", JsonNumber(static_cast<double>(Catalog().num_shots()))},
+          {"lattice_sweep", JsonArray(lattice)},
+          {"thread_sweep", JsonArray(sweep)},
+          {"trace_sample", JsonlToArray(trace.RenderJsonl())},
+      }));
+}
+
 }  // namespace
 }  // namespace hmmm::bench
 
@@ -132,5 +210,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   hmmm::bench::PrintLatticeTable();
   hmmm::bench::PrintThreadSweepTable();
+  hmmm::bench::WriteFig3Json();
   return 0;
 }

@@ -70,6 +70,108 @@ inline std::string Fmt(const char* format, double value) {
   return StrFormat(format, value);
 }
 
+// -- Machine-readable reports (BENCH_*.json) ------------------------------
+//
+// Each bench writes one BENCH_<name>.json next to its human tables so CI
+// can archive the numbers per run. The helpers below build JSON from
+// already-rendered fragments: pass JsonQuote/JsonNumber/JsonBool output
+// (or a nested JsonObject/JsonArray, or a registry's RenderJson()) as the
+// values.
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<int>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string JsonQuote(const std::string& s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+inline std::string JsonNumber(double value) {
+  const auto integral = static_cast<long long>(value);
+  if (static_cast<double>(integral) == value && value > -1e15 &&
+      value < 1e15) {
+    return StrFormat("%lld", integral);
+  }
+  return StrFormat("%.9g", value);
+}
+
+inline std::string JsonBool(bool value) { return value ? "true" : "false"; }
+
+inline std::string JsonObject(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out = "{";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += JsonQuote(fields[i].first) + ":" + fields[i].second;
+  }
+  return out + "}";
+}
+
+inline std::string JsonArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ',';
+    out += items[i];
+  }
+  return out + "]";
+}
+
+/// Wraps QueryTrace::RenderJsonl (one JSON object per line) into a JSON
+/// array, so a trace sample can be embedded in a report.
+inline std::string JsonlToArray(const std::string& jsonl) {
+  std::vector<std::string> items;
+  std::string line;
+  for (char c : jsonl) {
+    if (c == '\n') {
+      if (!line.empty()) items.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) items.push_back(line);
+  return JsonArray(items);
+}
+
+/// Writes one report into the working directory and announces the path so
+/// CI can collect the file as an artifact.
+inline void WriteBenchJson(const std::string& filename,
+                           const std::string& json) {
+  std::FILE* file = std::fopen(filename.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("FAILED to write %s\n", filename.c_str());
+    return;
+  }
+  std::fputs(json.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("\nwrote %s (%zu bytes)\n", filename.c_str(), json.size() + 1);
+}
+
 }  // namespace hmmm::bench
 
 #endif  // HMMM_BENCH_BENCH_UTIL_H_

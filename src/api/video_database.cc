@@ -1,17 +1,38 @@
 #include "api/video_database.h"
 
+#include <chrono>
+
 #include "storage/model_io.h"
 
 namespace hmmm {
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 VideoDatabase::VideoDatabase(VideoCatalog catalog, HierarchicalModel model,
                              VideoDatabaseOptions options)
     : options_(std::move(options)),
       catalog_(std::make_unique<VideoCatalog>(std::move(catalog))),
       model_(std::make_unique<HierarchicalModel>(std::move(model))),
+      metrics_(std::make_unique<MetricsRegistry>()),
       trainer_(std::make_unique<FeedbackTrainer>(*catalog_,
                                                  options_.feedback)),
-      pool_(MakeThreadPool(options_.traversal.num_threads)) {}
+      pool_(MakeThreadPool(options_.traversal.num_threads)) {
+  queries_total_ = metrics_->GetCounter("hmmm_queries_total",
+                                        "temporal-pattern retrievals answered");
+  query_errors_total_ = metrics_->GetCounter(
+      "hmmm_query_errors_total", "retrievals that returned a non-OK status");
+  query_latency_ms_ =
+      metrics_->GetHistogram("hmmm_query_latency_ms", DefaultLatencyBucketsMs(),
+                             "end-to-end Retrieve() wall time");
+  trainer_->AttachMetrics(metrics_.get());
+}
 
 StatusOr<VideoDatabase> VideoDatabase::Create(VideoCatalog catalog,
                                               VideoDatabaseOptions options) {
@@ -61,13 +82,21 @@ StatusOr<std::vector<RetrievedPattern>> VideoDatabase::Query(
 
 StatusOr<std::vector<RetrievedPattern>> VideoDatabase::Retrieve(
     const TemporalPattern& pattern, RetrievalStats* stats) const {
-  if (categories_.has_value()) {
-    ThreeLevelTraversal traversal(*model_, *catalog_, *categories_,
-                                  options_.traversal, pool_.get());
+  const auto start = std::chrono::steady_clock::now();
+  queries_total_->Increment();
+  StatusOr<std::vector<RetrievedPattern>> results = [&] {
+    if (categories_.has_value()) {
+      ThreeLevelTraversal traversal(*model_, *catalog_, *categories_,
+                                    options_.traversal, pool_.get());
+      return traversal.Retrieve(pattern, stats);
+    }
+    HmmmTraversal traversal(*model_, *catalog_, options_.traversal,
+                            pool_.get());
     return traversal.Retrieve(pattern, stats);
-  }
-  HmmmTraversal traversal(*model_, *catalog_, options_.traversal, pool_.get());
-  return traversal.Retrieve(pattern, stats);
+  }();
+  if (!results.ok()) query_errors_total_->Increment();
+  query_latency_ms_->Observe(ElapsedMs(start));
+  return results;
 }
 
 StatusOr<std::vector<QbeResult>> VideoDatabase::QueryByExample(
@@ -103,10 +132,42 @@ Status VideoDatabase::ReplaceCatalog(VideoCatalog catalog) {
   // The trainer references the catalog object (stable address), but any
   // pending global-state feedback refers to the old model: start fresh.
   trainer_ = std::make_unique<FeedbackTrainer>(*catalog_, options_.feedback);
+  trainer_->AttachMetrics(metrics_.get());
   if (options_.enable_category_level) {
     HMMM_RETURN_IF_ERROR(RebuildCategories());
   }
   return Status::OK();
+}
+
+void VideoDatabase::RefreshResourceGauges() const {
+  metrics_
+      ->GetGauge("hmmm_model_version",
+                 "model version counter; bumps on feedback training")
+      ->Set(static_cast<double>(model_->version()));
+  const ThreadPoolStats pool =
+      pool_ != nullptr ? pool_->stats() : ThreadPoolStats{};
+  metrics_->GetGauge("hmmm_pool_workers", "worker threads in the fan-out pool")
+      ->Set(static_cast<double>(pool.workers));
+  metrics_->GetGauge("hmmm_pool_queue_depth", "tasks currently queued")
+      ->Set(static_cast<double>(pool.queue_depth));
+  metrics_
+      ->GetGauge("hmmm_pool_tasks_executed",
+                 "tasks completed since pool construction")
+      ->Set(static_cast<double>(pool.tasks_executed));
+  metrics_
+      ->GetGauge("hmmm_pool_busy_ms",
+                 "summed wall time workers spent inside tasks")
+      ->Set(pool.busy_ms);
+}
+
+std::string VideoDatabase::DumpMetrics() const {
+  RefreshResourceGauges();
+  return metrics_->RenderJson();
+}
+
+std::string VideoDatabase::DumpMetricsPrometheus() const {
+  RefreshResourceGauges();
+  return metrics_->RenderPrometheus();
 }
 
 Status VideoDatabase::RebuildCategories() {

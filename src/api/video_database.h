@@ -9,6 +9,7 @@
 #include "core/category_level.h"
 #include "core/model_builder.h"
 #include "feedback/trainer.h"
+#include "observability/metrics_registry.h"
 #include "retrieval/qbe.h"
 #include "retrieval/three_level.h"
 #include "retrieval/traversal.h"
@@ -92,6 +93,18 @@ class VideoDatabase {
     return categories_.has_value() ? &*categories_ : nullptr;
   }
 
+  /// The database-owned metrics registry: query counters and latency
+  /// histogram, feedback-training metrics, pool/model resource gauges.
+  /// Stable for the database's lifetime (also across moves).
+  MetricsRegistry& metrics_registry() const { return *metrics_; }
+
+  /// One-stop JSON snapshot of every registered metric, refreshing the
+  /// pool/model gauges first. The shape matches
+  /// MetricsRegistry::RenderJson().
+  std::string DumpMetrics() const;
+  /// The same dump in Prometheus text exposition format.
+  std::string DumpMetricsPrometheus() const;
+
   /// Re-clusters the category level (e.g. after heavy retraining).
   Status RebuildCategories();
 
@@ -105,12 +118,21 @@ class VideoDatabase {
   VideoDatabase(VideoCatalog catalog, HierarchicalModel model,
                 VideoDatabaseOptions options);
 
+  /// Copies pool usage and the model version into registry gauges.
+  void RefreshResourceGauges() const;
+
   VideoDatabaseOptions options_;
   std::unique_ptr<VideoCatalog> catalog_;
   std::unique_ptr<HierarchicalModel> model_;
+  std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<FeedbackTrainer> trainer_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads resolves to 1
   std::optional<CategoryLevel> categories_;
+  // Hot-path handles into metrics_ (stable: the registry never relocates
+  // entries).
+  Counter* queries_total_ = nullptr;
+  Counter* query_errors_total_ = nullptr;
+  Histogram* query_latency_ms_ = nullptr;
 };
 
 }  // namespace hmmm

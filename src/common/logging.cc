@@ -1,12 +1,28 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace hmmm {
 
 namespace {
-LogLevel g_min_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+// The sink is guarded by a mutex rather than stored in an atomic: swaps
+// are rare (test setup) and emission is already a slow path. Emission
+// runs under the lock so a concurrent SetLogSink cannot destroy the
+// std::function mid-call.
+std::mutex& SinkMutex() {
+  static std::mutex& mutex = *new std::mutex;
+  return mutex;
+}
+
+LogSink& SinkSlot() {
+  static LogSink& sink = *new LogSink;
+  return sink;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -25,8 +41,17 @@ const char* LevelTag(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_min_level; }
-void SetLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetLogLevel() {
+  return g_min_level.load(std::memory_order_relaxed);
+}
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
 
 namespace internal_logging {
 
@@ -41,9 +66,20 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_min_level || level_ == LogLevel::kFatal) {
-    std::string text = stream_.str();
-    std::fprintf(stderr, "%s\n", text.c_str());
+  if (level_ >= g_min_level.load(std::memory_order_relaxed) ||
+      level_ == LogLevel::kFatal) {
+    const std::string text = stream_.str();
+    bool sank = false;
+    {
+      std::lock_guard<std::mutex> lock(SinkMutex());
+      if (SinkSlot()) {
+        SinkSlot()(level_, text);
+        sank = true;
+      }
+    }
+    if (!sank || level_ == LogLevel::kFatal) {
+      std::fprintf(stderr, "%s\n", text.c_str());
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

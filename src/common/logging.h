@@ -1,6 +1,7 @@
 #ifndef HMMM_COMMON_LOGGING_H_
 #define HMMM_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,9 +14,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 /// Returns the process-wide minimum level that is actually emitted.
 LogLevel GetLogLevel();
 
-/// Sets the process-wide minimum emitted level. Not thread-safe with
-/// concurrent logging; intended for test/benchmark setup.
+/// Sets the process-wide minimum emitted level. Safe to call while other
+/// threads log (the level is a relaxed atomic); messages racing with the
+/// change may be filtered under either level.
 void SetLogLevel(LogLevel level);
+
+/// Receives one formatted log line (no trailing newline). Sinks may be
+/// invoked concurrently from multiple threads, but never while the global
+/// sink lock is held by another emission — calls are serialized.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the process-wide sink; a null sink restores the default
+/// (stderr). Lets tests capture emitted lines instead of scraping stderr.
+/// kFatal messages are additionally always written to stderr so the
+/// abort's cause is visible even with a capturing sink installed.
+void SetLogSink(LogSink sink);
 
 namespace internal_logging {
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -50,8 +51,29 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    busy_ns_.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats stats;
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.busy_ms =
+      static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) / 1e6;
+  stats.workers = size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.queue_depth = queue_.size();
+  }
+  return stats;
 }
 
 void ThreadPool::ParallelFor(

@@ -1,8 +1,10 @@
 #ifndef HMMM_COMMON_THREAD_POOL_H_
 #define HMMM_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -11,6 +13,17 @@
 #include <vector>
 
 namespace hmmm {
+
+/// Point-in-time usage snapshot of a ThreadPool, exported into a
+/// MetricsRegistry by the serving layers (the pool itself stays below the
+/// observability library in the dependency order, so it only keeps cheap
+/// internal atomics).
+struct ThreadPoolStats {
+  uint64_t tasks_executed = 0;  // tasks completed since construction
+  double busy_ms = 0.0;         // summed wall time workers spent in tasks
+  size_t queue_depth = 0;       // tasks currently waiting
+  int workers = 0;
+};
 
 /// A fixed-size pool of worker threads over a shared FIFO task queue.
 /// Workers start in the constructor and are joined in the destructor
@@ -44,14 +57,20 @@ class ThreadPool {
   /// <= 0 -> hardware concurrency (at least 1); otherwise `requested`.
   static int ResolveThreadCount(int requested);
 
+  /// Usage counters for metrics export. Safe to call concurrently with
+  /// task execution; the snapshot is approximate while tasks run.
+  ThreadPoolStats stats() const;
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> busy_ns_{0};
 };
 
 /// Pool factory honoring the `num_threads` knob of the options structs:

@@ -1,14 +1,54 @@
 #include "feedback/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace hmmm {
+namespace {
+
+/// Flattened snapshot of every affinity matrix the learner rewrites
+/// (A2 followed by each local A1), used to measure update magnitude.
+std::vector<double> FlattenAffinities(const HierarchicalModel& model) {
+  std::vector<double> flat = model.a2().data();
+  for (const LocalShotModel& local : model.locals()) {
+    const std::vector<double>& a1 = local.a1.data();
+    flat.insert(flat.end(), a1.begin(), a1.end());
+  }
+  return flat;
+}
+
+double L1Diff(const std::vector<double>& before,
+              const std::vector<double>& after) {
+  double sum = 0.0;
+  const size_t n = std::min(before.size(), after.size());
+  for (size_t i = 0; i < n; ++i) sum += std::fabs(after[i] - before[i]);
+  return sum;
+}
+
+}  // namespace
 
 FeedbackTrainer::FeedbackTrainer(const VideoCatalog& catalog,
                                  FeedbackTrainerOptions options)
     : catalog_(catalog), options_(options) {}
+
+void FeedbackTrainer::AttachMetrics(MetricsRegistry* registry) {
+  HMMM_CHECK(registry != nullptr);
+  marks_metric_ = registry->GetCounter("hmmm_feedback_marks_total",
+                                       "patterns marked Positive");
+  rounds_metric_ = registry->GetCounter("hmmm_feedback_training_rounds_total",
+                                        "offline retraining rounds run");
+  // Affinity deltas span decades: a single mark nudges a few entries by
+  // ~1e-3 while a forced full round can move whole rows.
+  update_magnitude_metric_ = registry->GetHistogram(
+      "hmmm_feedback_update_magnitude",
+      {0.001, 0.01, 0.1, 1.0, 10.0, 100.0},
+      "L1 norm of the A1/A2 change per training round");
+  model_version_metric_ = registry->GetGauge(
+      "hmmm_model_version", "model version counter; bumps on feedback training");
+}
 
 Status FeedbackTrainer::MarkPositive(const HierarchicalModel& model,
                                      const RetrievedPattern& pattern) {
@@ -32,6 +72,7 @@ Status FeedbackTrainer::MarkPositive(const HierarchicalModel& model,
   }
   log_.RecordShotPattern(states);
   log_.RecordVideoAccess(videos);
+  if (marks_metric_ != nullptr) marks_metric_->Increment();
   return Status::OK();
 }
 
@@ -42,6 +83,11 @@ StatusOr<bool> FeedbackTrainer::MaybeTrain(HierarchicalModel& model,
   }
   if (log_.num_feedback_events() == 0) return false;
 
+  // Snapshot the affinity matrices only when someone is listening: the
+  // copy is O(model size) and pure observability overhead otherwise.
+  std::vector<double> before;
+  if (update_magnitude_metric_ != nullptr) before = FlattenAffinities(model);
+
   OfflineLearner learner(OfflineLearnerOptions{options_.pi_semantics});
   HMMM_RETURN_IF_ERROR(learner.ApplyShotPatterns(model, log_.shot_patterns()));
   HMMM_RETURN_IF_ERROR(
@@ -51,6 +97,13 @@ StatusOr<bool> FeedbackTrainer::MaybeTrain(HierarchicalModel& model,
   }
   log_.Clear();
   ++rounds_trained_;
+  if (rounds_metric_ != nullptr) rounds_metric_->Increment();
+  if (update_magnitude_metric_ != nullptr) {
+    update_magnitude_metric_->Observe(L1Diff(before, FlattenAffinities(model)));
+  }
+  if (model_version_metric_ != nullptr) {
+    model_version_metric_->Set(static_cast<double>(model.version()));
+  }
   return true;
 }
 

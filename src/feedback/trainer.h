@@ -3,6 +3,7 @@
 
 #include "core/learner.h"
 #include "feedback/access_log.h"
+#include "observability/metrics_registry.h"
 #include "retrieval/result.h"
 
 namespace hmmm {
@@ -27,6 +28,13 @@ class FeedbackTrainer {
   explicit FeedbackTrainer(const VideoCatalog& catalog,
                            FeedbackTrainerOptions options = {});
 
+  /// Registers feedback metrics (marks, training rounds, A1/A2 update
+  /// magnitude histogram, model-version gauge) in `registry`, which must
+  /// outlive the trainer. When attached, each training round additionally
+  /// snapshots A2 and the local A1 matrices to record the L1 magnitude of
+  /// the affinity update; unattached trainers skip that cost entirely.
+  void AttachMetrics(MetricsRegistry* registry);
+
   /// Marks one retrieved pattern as "Positive". Records the shot-level
   /// pattern (as global states of `model`) and the video-level co-access
   /// of the videos it touches.
@@ -45,6 +53,11 @@ class FeedbackTrainer {
   FeedbackTrainerOptions options_;
   AccessLog log_;
   size_t rounds_trained_ = 0;
+  // Null until AttachMetrics; pointers into the attached registry.
+  Counter* marks_metric_ = nullptr;
+  Counter* rounds_metric_ = nullptr;
+  Histogram* update_magnitude_metric_ = nullptr;
+  Gauge* model_version_metric_ = nullptr;
 };
 
 }  // namespace hmmm

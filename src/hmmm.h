@@ -41,6 +41,8 @@
 #include "media/feature_level_generator.h"
 #include "media/news_generator.h"
 #include "media/soccer_generator.h"
+#include "observability/metrics_registry.h"
+#include "observability/query_trace.h"
 #include "query/matn.h"
 #include "query/parser.h"
 #include "query/translator.h"

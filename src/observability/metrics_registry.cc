@@ -1,0 +1,224 @@
+#include "observability/metrics_registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hmmm {
+namespace {
+
+/// Relaxed CAS add: std::atomic<double>::fetch_add is C++20 but not
+/// uniformly available, and exact sums are not required for gauges /
+/// histogram sums — lost precision, not lost updates, is the only risk.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    if (alpha) continue;
+    if (i > 0 && c >= '0' && c <= '9') continue;
+    return false;
+  }
+  return true;
+}
+
+/// Deterministic number rendering shared by both expositions: integers
+/// print without a decimal point, everything else with 9 significant
+/// digits (enough for millisecond sums, stable across platforms).
+std::string FormatNumber(double value) {
+  const auto integral = static_cast<int64_t>(value);
+  if (static_cast<double>(integral) == value && value > -1e15 &&
+      value < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(integral));
+  }
+  return StrFormat("%.9g", value);
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) { AtomicAdd(value_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    HMMM_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly ascending";
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  // upper_bound gives the first bound > value, i.e. values equal to a
+  // bound land in that bound's bucket (Prometheus "le" semantics).
+  const size_t index =
+      bucket > 0 && bounds_[bucket - 1] == value ? bucket - 1 : bucket;
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+}
+
+std::vector<uint64_t> Histogram::CumulativeCounts() const {
+  std::vector<uint64_t> cumulative(buckets_.size(), 0);
+  uint64_t running = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    cumulative[i] = running;
+  }
+  return cumulative;
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double>& buckets = *new std::vector<double>{
+      0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000};
+  return buckets;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  HMMM_CHECK(IsValidMetricName(name)) << "bad metric name: " << name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry{Kind::kCounter, help, std::make_unique<Counter>(), nullptr,
+                nullptr};
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  HMMM_CHECK(it->second.kind == Kind::kCounter)
+      << name << " already registered under a different kind";
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  HMMM_CHECK(IsValidMetricName(name)) << "bad metric name: " << name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry{Kind::kGauge, help, nullptr, std::make_unique<Gauge>(),
+                nullptr};
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  HMMM_CHECK(it->second.kind == Kind::kGauge)
+      << name << " already registered under a different kind";
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
+  HMMM_CHECK(IsValidMetricName(name)) << "bad metric name: " << name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry{Kind::kHistogram, help, nullptr, nullptr,
+                std::make_unique<Histogram>(std::move(bounds))};
+    it = metrics_.emplace(name, std::move(entry)).first;
+    return it->second.histogram.get();
+  }
+  HMMM_CHECK(it->second.kind == Kind::kHistogram)
+      << name << " already registered under a different kind";
+  HMMM_CHECK(it->second.histogram->bounds() == bounds)
+      << name << " re-registered with different bucket bounds";
+  return it->second.histogram.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, entry] : metrics_) {
+    if (!entry.help.empty()) {
+      out += StrFormat("# HELP %s %s\n", name.c_str(), entry.help.c_str());
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += StrFormat("# TYPE %s counter\n", name.c_str());
+        out += StrFormat("%s %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(
+                             entry.counter->value()));
+        break;
+      case Kind::kGauge:
+        out += StrFormat("# TYPE %s gauge\n", name.c_str());
+        out += StrFormat("%s %s\n", name.c_str(),
+                         FormatNumber(entry.gauge->value()).c_str());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += StrFormat("# TYPE %s histogram\n", name.c_str());
+        const std::vector<uint64_t> cumulative = h.CumulativeCounts();
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          out += StrFormat(
+              "%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+              FormatNumber(h.bounds()[i]).c_str(),
+              static_cast<unsigned long long>(cumulative[i]));
+        }
+        out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(cumulative.back()));
+        out += StrFormat("%s_sum %s\n", name.c_str(),
+                         FormatNumber(h.sum()).c_str());
+        out += StrFormat("%s_count %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(h.count()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ',';
+        counters += StrFormat("\"%s\":%llu", name.c_str(),
+                              static_cast<unsigned long long>(
+                                  entry.counter->value()));
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ',';
+        gauges += StrFormat("\"%s\":%s", name.c_str(),
+                            FormatNumber(entry.gauge->value()).c_str());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        if (!histograms.empty()) histograms += ',';
+        std::string buckets;
+        const std::vector<uint64_t> cumulative = h.CumulativeCounts();
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          if (!buckets.empty()) buckets += ',';
+          buckets += StrFormat(
+              "{\"le\":%s,\"count\":%llu}",
+              FormatNumber(h.bounds()[i]).c_str(),
+              static_cast<unsigned long long>(cumulative[i]));
+        }
+        if (!buckets.empty()) buckets += ',';
+        buckets += StrFormat("{\"le\":\"+Inf\",\"count\":%llu}",
+                             static_cast<unsigned long long>(
+                                 cumulative.back()));
+        histograms += StrFormat(
+            "\"%s\":{\"count\":%llu,\"sum\":%s,\"buckets\":[%s]}",
+            name.c_str(), static_cast<unsigned long long>(h.count()),
+            FormatNumber(h.sum()).c_str(), buckets.c_str());
+        break;
+      }
+    }
+  }
+  return StrFormat(
+      "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}",
+      counters.c_str(), gauges.c_str(), histograms.c_str());
+}
+
+}  // namespace hmmm

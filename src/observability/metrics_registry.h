@@ -1,0 +1,110 @@
+#ifndef HMMM_OBSERVABILITY_METRICS_REGISTRY_H_
+#define HMMM_OBSERVABILITY_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hmmm {
+
+/// A monotonically increasing event count. Increments are a single
+/// relaxed atomic add, so hot paths (per-query, per-task) never contend
+/// on a lock; cross-thread increments still sum exactly.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time value that can move both ways (queue depth, model
+/// version, cache occupancy). Doubles, like Prometheus gauges.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket latency/magnitude histogram. `bounds` are the inclusive
+/// upper bounds of the finite buckets, strictly ascending; an implicit
+/// +Inf bucket catches the rest. Observations touch only per-bucket
+/// atomics — no lock on the observe path.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative counts per bucket, Prometheus style: entry i counts
+  /// observations <= bounds[i]; the final entry (the +Inf bucket) equals
+  /// count().
+  std::vector<uint64_t> CumulativeCounts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket bounds for query-latency histograms, in milliseconds.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+/// A named collection of counters, gauges and histograms with text
+/// exposition. Registration (Get*) takes a mutex; the returned pointers
+/// are stable for the registry's lifetime, so callers resolve a metric
+/// once and then update it lock-free. Metric names must match
+/// [a-zA-Z_:][a-zA-Z0-9_:]* (the Prometheus grammar). Re-registering a
+/// name returns the existing metric; re-registering under a different
+/// kind (or histogram bounds) is a programmer error and aborts.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const std::string& help = "");
+
+  /// Prometheus text exposition format (metrics sorted by name). The
+  /// snapshot is per-metric consistent, not cross-metric atomic.
+  std::string RenderPrometheus() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
+  /// {name:{"count":..,"sum":..,"buckets":[{"le":..,"count":..}]}}}.
+  std::string RenderJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> metrics_;  // sorted => deterministic render
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_OBSERVABILITY_METRICS_REGISTRY_H_

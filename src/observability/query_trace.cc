@@ -1,0 +1,127 @@
+#include "observability/query_trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hmmm {
+
+int QueryTrace::BeginSpan(std::string name, int parent, int64_t sort_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = static_cast<int>(records_.size());
+  HMMM_CHECK(parent >= -1 && parent < id) << "bad parent span";
+  Record record;
+  record.span.name = std::move(name);
+  record.span.id = id;
+  record.span.parent = parent;
+  record.span.sort_key = sort_key >= 0 ? sort_key : id;
+  record.start = std::chrono::steady_clock::now();
+  records_.push_back(std::move(record));
+  return id;
+}
+
+void QueryTrace::EndSpan(int id) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  HMMM_CHECK(id >= 0 && static_cast<size_t>(id) < records_.size());
+  Record& record = records_[static_cast<size_t>(id)];
+  record.span.elapsed_ms =
+      std::chrono::duration<double, std::milli>(now - record.start).count();
+  record.span.finished = true;
+}
+
+void QueryTrace::AddCounter(int id, std::string name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HMMM_CHECK(id >= 0 && static_cast<size_t>(id) < records_.size());
+  records_[static_cast<size_t>(id)].span.counters.emplace_back(
+      std::move(name), value);
+}
+
+void QueryTrace::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::vector<std::pair<const TraceSpan*, int>> QueryTrace::PreOrderLocked()
+    const {
+  // children[i] = ids of i's children; index records_.size() holds roots.
+  std::vector<std::vector<int>> children(records_.size() + 1);
+  for (const Record& record : records_) {
+    const size_t parent = record.span.parent < 0
+                              ? records_.size()
+                              : static_cast<size_t>(record.span.parent);
+    children[parent].push_back(record.span.id);
+  }
+  for (std::vector<int>& siblings : children) {
+    std::sort(siblings.begin(), siblings.end(), [this](int a, int b) {
+      const TraceSpan& sa = records_[static_cast<size_t>(a)].span;
+      const TraceSpan& sb = records_[static_cast<size_t>(b)].span;
+      if (sa.sort_key != sb.sort_key) return sa.sort_key < sb.sort_key;
+      return sa.id < sb.id;
+    });
+  }
+  std::vector<std::pair<const TraceSpan*, int>> ordered;
+  ordered.reserve(records_.size());
+  // Iterative pre-order: push children in reverse so they pop in order.
+  std::vector<std::pair<int, int>> stack;  // (id, depth)
+  for (auto it = children.back().rbegin(); it != children.back().rend();
+       ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    ordered.emplace_back(&records_[static_cast<size_t>(id)].span, depth);
+    const std::vector<int>& kids = children[static_cast<size_t>(id)];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return ordered;
+}
+
+std::vector<TraceSpan> QueryTrace::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> spans;
+  spans.reserve(records_.size());
+  for (const auto& [span, depth] : PreOrderLocked()) spans.push_back(*span);
+  return spans;
+}
+
+std::string QueryTrace::RenderTree() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [span, depth] : PreOrderLocked()) {
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += span->name;
+    out += StrFormat(" %.3fms", span->elapsed_ms);
+    for (const auto& [name, value] : span->counters) {
+      out += StrFormat(" %s=%llu", name.c_str(),
+                       static_cast<unsigned long long>(value));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string QueryTrace::RenderJsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [span, depth] : PreOrderLocked()) {
+    std::string counters;
+    for (const auto& [name, value] : span->counters) {
+      if (!counters.empty()) counters += ',';
+      counters += StrFormat("\"%s\":%llu", name.c_str(),
+                            static_cast<unsigned long long>(value));
+    }
+    out += StrFormat(
+        "{\"name\":\"%s\",\"id\":%d,\"parent\":%d,\"depth\":%d,"
+        "\"elapsed_ms\":%.6f,\"counters\":{%s}}\n",
+        span->name.c_str(), span->id, span->parent, depth, span->elapsed_ms,
+        counters.c_str());
+  }
+  return out;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,116 @@
+#ifndef HMMM_OBSERVABILITY_QUERY_TRACE_H_
+#define HMMM_OBSERVABILITY_QUERY_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hmmm {
+
+/// One recorded phase of a query: a named span with wall time and
+/// RetrievalStats-style counters, forming a tree through `parent`.
+struct TraceSpan {
+  std::string name;
+  int id = -1;
+  int parent = -1;  // -1 = root span
+  /// Deterministic ordering key among siblings. Spans opened from the
+  /// parallel per-video fan-out pass their Step-7 visiting-order index so
+  /// the rendered tree is identical at every thread count; spans opened
+  /// serially keep their insertion sequence.
+  int64_t sort_key = 0;
+  double elapsed_ms = 0.0;
+  bool finished = false;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+/// Records the spans of one traversal. Attach an instance through
+/// TraversalOptions::trace to instrument a query end-to-end. Thread-safe:
+/// the parallel fan-out opens per-video spans concurrently (one short
+/// mutex hold per begin/end — recording never changes what the traversal
+/// computes, so the byte-identical ranking guarantee is unaffected).
+///
+/// The trace accumulates across retrievals; call Clear() between queries
+/// when reusing one instance.
+class QueryTrace {
+ public:
+  QueryTrace() = default;
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// Opens a span and returns its id. `sort_key` < 0 means "use the
+  /// insertion sequence" (fine for serially opened spans).
+  int BeginSpan(std::string name, int parent = -1, int64_t sort_key = -1);
+
+  /// Closes the span, fixing its wall time.
+  void EndSpan(int id);
+
+  /// Attaches one named counter to an open or closed span.
+  void AddCounter(int id, std::string name, uint64_t value);
+
+  void Clear();
+
+  /// Snapshot of all spans, siblings ordered by (sort_key, id).
+  std::vector<TraceSpan> Spans() const;
+
+  /// Indented tree rendering:
+  ///   retrieve 1.234ms
+  ///     step2_video_order 0.1ms ...
+  std::string RenderTree() const;
+
+  /// One JSON object per line per span (JSONL), pre-order, with name,
+  /// depth, parent, elapsed_ms and counters.
+  std::string RenderJsonl() const;
+
+ private:
+  struct Record {
+    TraceSpan span;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  /// Pre-order listing of the span tree with depths, siblings sorted by
+  /// (sort_key, id). Caller holds mutex_.
+  std::vector<std::pair<const TraceSpan*, int>> PreOrderLocked() const;
+
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
+};
+
+/// RAII span that tolerates a null trace (all operations no-op), so call
+/// sites read the same with tracing on and off.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, std::string name, int parent = -1,
+             int64_t sort_key = -1)
+      : trace_(trace),
+        id_(trace != nullptr
+                ? trace->BeginSpan(std::move(name), parent, sort_key)
+                : -1) {}
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  int id() const { return id_; }
+
+  void Counter(std::string name, uint64_t value) {
+    if (trace_ != nullptr) trace_->AddCounter(id_, std::move(name), value);
+  }
+
+  /// Closes the span early (idempotent).
+  void End() {
+    if (trace_ != nullptr && !ended_) trace_->EndSpan(id_);
+    ended_ = true;
+  }
+
+ private:
+  QueryTrace* trace_;
+  int id_;
+  bool ended_ = false;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_OBSERVABILITY_QUERY_TRACE_H_

@@ -1,6 +1,17 @@
 #include "retrieval/engine.h"
 
+#include <chrono>
+
 namespace hmmm {
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 StatusOr<RetrievalEngine> RetrievalEngine::Create(
     const VideoCatalog& catalog, ModelBuilderOptions builder_options,
@@ -18,9 +29,18 @@ RetrievalEngine::RetrievalEngine(const VideoCatalog& catalog,
     : catalog_(&catalog),
       model_(std::make_unique<HierarchicalModel>(std::move(model))),
       traversal_options_(traversal_options),
-      pool_(MakeThreadPool(traversal_options_.num_threads)) {
+      pool_(MakeThreadPool(traversal_options_.num_threads)),
+      metrics_(std::make_unique<MetricsRegistry>()) {
+  queries_total_ = metrics_->GetCounter(
+      "hmmm_queries_total", "retrievals answered, cache hits included");
+  query_errors_total_ = metrics_->GetCounter(
+      "hmmm_query_errors_total", "retrievals that returned a non-OK status");
+  query_latency_ms_ =
+      metrics_->GetHistogram("hmmm_query_latency_ms", DefaultLatencyBucketsMs(),
+                             "end-to-end Retrieve() wall time");
   if (query_cache_entries > 0) {
     cache_ = std::make_unique<QueryCache>(query_cache_entries);
+    cache_->AttachMetrics(metrics_.get(), "hmmm_query_cache_");
   }
 }
 
@@ -48,21 +68,64 @@ StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Query(
 
 StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Retrieve(
     const TemporalPattern& pattern, RetrievalStats* stats) const {
-  // Callers asking for cost accounting need the traversal to actually
-  // run, so the cache only serves stat-less retrievals.
-  const bool use_cache = cache_ != nullptr && stats == nullptr;
-  std::string key;
-  if (use_cache) {
-    key = PatternSignature(pattern);
+  const auto start = std::chrono::steady_clock::now();
+  queries_total_->Increment();
+  if (cache_ != nullptr) {
+    const std::string key = PatternSignature(pattern);
     std::vector<RetrievedPattern> cached;
-    if (cache_->Lookup(key, model_->version(), &cached)) return cached;
+    // A hit replays the recorded traversal stats into `stats`, so stats
+    // consumers no longer force a bypass.
+    if (cache_->Lookup(key, model_->version(), &cached, stats)) {
+      query_latency_ms_->Observe(ElapsedMs(start));
+      return cached;
+    }
+    HmmmTraversal traversal(*model_, *catalog_, traversal_options_,
+                            pool_.get());
+    RetrievalStats computed;
+    auto results = traversal.Retrieve(pattern, &computed);
+    if (results.ok()) {
+      cache_->Insert(key, model_->version(), results.value(), computed);
+    } else {
+      query_errors_total_->Increment();
+    }
+    if (stats != nullptr) AccumulateRetrievalStats(computed, stats);
+    query_latency_ms_->Observe(ElapsedMs(start));
+    return results;
   }
   HmmmTraversal traversal(*model_, *catalog_, traversal_options_, pool_.get());
   auto results = traversal.Retrieve(pattern, stats);
-  if (use_cache && results.ok()) {
-    cache_->Insert(key, model_->version(), results.value());
-  }
+  if (!results.ok()) query_errors_total_->Increment();
+  query_latency_ms_->Observe(ElapsedMs(start));
   return results;
+}
+
+void RetrievalEngine::RefreshResourceGauges() const {
+  metrics_->GetGauge("hmmm_model_version", "model version counter; bumps on feedback training")
+      ->Set(static_cast<double>(model_->version()));
+  const ThreadPoolStats pool =
+      pool_ != nullptr ? pool_->stats() : ThreadPoolStats{};
+  metrics_->GetGauge("hmmm_pool_workers", "worker threads in the fan-out pool")
+      ->Set(static_cast<double>(pool.workers));
+  metrics_->GetGauge("hmmm_pool_queue_depth", "tasks currently queued")
+      ->Set(static_cast<double>(pool.queue_depth));
+  metrics_
+      ->GetGauge("hmmm_pool_tasks_executed",
+                 "tasks completed since pool construction")
+      ->Set(static_cast<double>(pool.tasks_executed));
+  metrics_
+      ->GetGauge("hmmm_pool_busy_ms",
+                 "summed wall time workers spent inside tasks")
+      ->Set(pool.busy_ms);
+}
+
+std::string RetrievalEngine::DumpMetricsPrometheus() const {
+  RefreshResourceGauges();
+  return metrics_->RenderPrometheus();
+}
+
+std::string RetrievalEngine::DumpMetricsJson() const {
+  RefreshResourceGauges();
+  return metrics_->RenderJson();
 }
 
 }  // namespace hmmm

@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "core/model_builder.h"
+#include "observability/metrics_registry.h"
 #include "retrieval/query_cache.h"
 #include "retrieval/traversal.h"
 
@@ -19,10 +20,13 @@ namespace hmmm {
 ///
 /// Serving infrastructure lives here rather than in the traversal:
 ///  - a thread pool sized from TraversalOptions::num_threads, reused by
-///    every query's per-video fan-out, and
+///    every query's per-video fan-out,
 ///  - an LRU cache of ranked results keyed by the compiled pattern's
 ///    signature and the model's version counter, so feedback training
-///    (which bumps the version) invalidates all cached rankings at once.
+///    (which bumps the version) invalidates all cached rankings at once,
+///  - a MetricsRegistry holding query counters, an end-to-end latency
+///    histogram, the cache's hit/miss/eviction mirrors and pool/model
+///    resource gauges.
 class RetrievalEngine {
  public:
   /// Default capacity of the query-result cache (entries, not bytes).
@@ -49,8 +53,9 @@ class RetrievalEngine {
 
   /// Runs an already-translated pattern. Results are served from the LRU
   /// cache when an identical pattern was answered under the current model
-  /// version; passing a `stats` pointer bypasses the cache, since cached
-  /// answers carry no cost accounting.
+  /// version; hits replay the recorded RetrievalStats of the traversal
+  /// that produced the entry into `stats`, so cost accounting works on
+  /// both paths.
   StatusOr<std::vector<RetrievedPattern>> Retrieve(
       const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
 
@@ -72,7 +77,23 @@ class RetrievalEngine {
   /// capacity when caching is disabled.
   QueryCacheStats cache_stats() const;
 
+  /// The engine-owned registry. Stable for the engine's lifetime (also
+  /// across moves); external subsystems (e.g. the feedback trainer) may
+  /// register their own metrics here to get one unified dump.
+  MetricsRegistry& metrics_registry() const { return *metrics_; }
+
+  /// Prometheus text exposition of every registered metric, after
+  /// refreshing the pool/model resource gauges.
+  std::string DumpMetricsPrometheus() const;
+  /// JSON snapshot of the same.
+  std::string DumpMetricsJson() const;
+
  private:
+  /// Copies the thread pool's usage atomics and the model version into
+  /// registry gauges. Called by the Dump methods; gauges are snapshots,
+  /// not live views.
+  void RefreshResourceGauges() const;
+
   const VideoCatalog* catalog_;
   /// unique_ptr so the engine stays movable while traversals hold stable
   /// references.
@@ -80,6 +101,12 @@ class RetrievalEngine {
   TraversalOptions traversal_options_;
   std::unique_ptr<ThreadPool> pool_;   // null when num_threads resolves to 1
   std::unique_ptr<QueryCache> cache_;  // null when caching is disabled
+  std::unique_ptr<MetricsRegistry> metrics_;
+  // Hot-path handles into metrics_; stable because the registry never
+  // relocates entries.
+  Counter* queries_total_ = nullptr;
+  Counter* query_errors_total_ = nullptr;
+  Histogram* query_latency_ms_ = nullptr;
 };
 
 }  // namespace hmmm

@@ -27,43 +27,76 @@ QueryCache::QueryCache(size_t capacity) : capacity_(capacity) {
   HMMM_CHECK(capacity_ > 0);
 }
 
+void QueryCache::AttachMetrics(MetricsRegistry* registry,
+                               const std::string& prefix) {
+  HMMM_CHECK(registry != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  hits_metric_ = registry->GetCounter(prefix + "hits_total",
+                                      "query-cache lookups served");
+  misses_metric_ = registry->GetCounter(prefix + "misses_total",
+                                        "query-cache lookups missed");
+  evictions_metric_ = registry->GetCounter(
+      prefix + "evictions_total", "entries dropped by the LRU bound");
+  invalidations_metric_ = registry->GetCounter(
+      prefix + "invalidations_total",
+      "full flushes from model-version bumps or Clear()");
+  entries_metric_ =
+      registry->GetGauge(prefix + "entries", "cached rankings currently held");
+}
+
 void QueryCache::FlushIfStaleLocked(uint64_t version) {
   if (version == version_) return;
   lru_.clear();
   index_.clear();
   version_ = version;
+  ++invalidations_;
+  if (invalidations_metric_ != nullptr) invalidations_metric_->Increment();
+  if (entries_metric_ != nullptr) entries_metric_->Set(0.0);
 }
 
 bool QueryCache::Lookup(const std::string& key, uint64_t version,
-                        std::vector<RetrievedPattern>* results) {
+                        std::vector<RetrievedPattern>* results,
+                        RetrievalStats* stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   FlushIfStaleLocked(version);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    if (misses_metric_ != nullptr) misses_metric_->Increment();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
-  *results = it->second->second;
+  if (hits_metric_ != nullptr) hits_metric_->Increment();
+  *results = it->second->results;
+  // Replay the cost accounting of the traversal that computed the entry:
+  // a hit must not leave the caller's stats block blind.
+  if (stats != nullptr) AccumulateRetrievalStats(it->second->stats, stats);
   return true;
 }
 
 void QueryCache::Insert(const std::string& key, uint64_t version,
-                        std::vector<RetrievedPattern> results) {
+                        std::vector<RetrievedPattern> results,
+                        RetrievalStats stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   FlushIfStaleLocked(version);
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(results);
+    it->second->results = std::move(results);
+    it->second->stats = stats;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(results));
+  lru_.emplace_front(Entry{key, std::move(results), stats});
   index_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
+    ++evictions_;
+    if (evictions_metric_ != nullptr) evictions_metric_->Increment();
+  }
+  if (entries_metric_ != nullptr) {
+    entries_metric_->Set(static_cast<double>(lru_.size()));
   }
 }
 
@@ -71,6 +104,9 @@ void QueryCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  ++invalidations_;
+  if (invalidations_metric_ != nullptr) invalidations_metric_->Increment();
+  if (entries_metric_ != nullptr) entries_metric_->Set(0.0);
 }
 
 QueryCacheStats QueryCache::stats() const {
@@ -78,6 +114,8 @@ QueryCacheStats QueryCache::stats() const {
   QueryCacheStats stats;
   stats.hits = hits_;
   stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.invalidations = invalidations_;
   stats.entries = lru_.size();
   stats.capacity = capacity_;
   return stats;

@@ -6,9 +6,9 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <utility>
 #include <vector>
 
+#include "observability/metrics_registry.h"
 #include "query/translator.h"
 #include "retrieval/result.h"
 
@@ -23,6 +23,8 @@ std::string PatternSignature(const TemporalPattern& pattern);
 struct QueryCacheStats {
   size_t hits = 0;
   size_t misses = 0;
+  size_t evictions = 0;      // entries dropped by the LRU capacity bound
+  size_t invalidations = 0;  // full flushes (model-version bump or Clear)
   size_t entries = 0;
   size_t capacity = 0;
 };
@@ -31,19 +33,34 @@ struct QueryCacheStats {
 /// signature and guarded by the model's version counter: the first
 /// operation observing a new version flushes every entry, since feedback
 /// training rewrites A1/Pi1/A2/Pi2 and invalidates all previous rankings.
+///
+/// Each entry also stores the RetrievalStats of the traversal that
+/// produced it, so a hit can replay the original cost accounting into the
+/// caller's stats block — stats-requesting queries need not bypass the
+/// cache.
 class QueryCache {
  public:
   explicit QueryCache(size_t capacity);
 
-  /// On hit, copies the cached ranking into `results`, refreshes the
-  /// entry's recency and returns true.
-  bool Lookup(const std::string& key, uint64_t version,
-              std::vector<RetrievedPattern>* results);
+  /// Registers hit/miss/eviction/invalidation counters and an occupancy
+  /// gauge named `<prefix>hits_total` etc. in `registry` and bumps them
+  /// alongside the internal counters. Call once during setup, before
+  /// concurrent use; the registry must outlive the cache.
+  void AttachMetrics(MetricsRegistry* registry, const std::string& prefix);
 
-  /// Inserts (or refreshes) one ranking, evicting the least recently
-  /// used entry beyond capacity.
+  /// On hit, copies the cached ranking into `results`, accumulates the
+  /// entry's recorded traversal stats into `stats` (when non-null),
+  /// refreshes the entry's recency and returns true.
+  bool Lookup(const std::string& key, uint64_t version,
+              std::vector<RetrievedPattern>* results,
+              RetrievalStats* stats = nullptr);
+
+  /// Inserts (or refreshes) one ranking with the stats of the traversal
+  /// that computed it, evicting the least recently used entry beyond
+  /// capacity.
   void Insert(const std::string& key, uint64_t version,
-              std::vector<RetrievedPattern> results);
+              std::vector<RetrievedPattern> results,
+              RetrievalStats stats = {});
 
   void Clear();
 
@@ -54,7 +71,11 @@ class QueryCache {
   /// contents were computed under. Caller holds mutex_.
   void FlushIfStaleLocked(uint64_t version);
 
-  using Entry = std::pair<std::string, std::vector<RetrievedPattern>>;
+  struct Entry {
+    std::string key;
+    std::vector<RetrievedPattern> results;
+    RetrievalStats stats;
+  };
 
   const size_t capacity_;
   mutable std::mutex mutex_;
@@ -63,6 +84,14 @@ class QueryCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t evictions_ = 0;
+  size_t invalidations_ = 0;
+  // Optional registry mirrors; null until AttachMetrics.
+  Counter* hits_metric_ = nullptr;
+  Counter* misses_metric_ = nullptr;
+  Counter* evictions_metric_ = nullptr;
+  Counter* invalidations_metric_ = nullptr;
+  Gauge* entries_metric_ = nullptr;
 };
 
 }  // namespace hmmm

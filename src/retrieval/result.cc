@@ -4,6 +4,16 @@
 
 namespace hmmm {
 
+void AccumulateRetrievalStats(const RetrievalStats& from, RetrievalStats* to) {
+  to->videos_considered += from.videos_considered;
+  to->states_visited += from.states_visited;
+  to->sim_evaluations += from.sim_evaluations;
+  to->candidates_scored += from.candidates_scored;
+  to->beam_pruned += from.beam_pruned;
+  to->annotated_fallbacks += from.annotated_fallbacks;
+  to->truncated = to->truncated || from.truncated;
+}
+
 std::string RetrievedPattern::ToString(const VideoCatalog& catalog) const {
   std::string shot_list;
   for (size_t i = 0; i < shots.size(); ++i) {

@@ -29,8 +29,15 @@ struct RetrievalStats {
   size_t states_visited = 0;       // lattice node expansions / tuples seen
   size_t sim_evaluations = 0;      // Eq.-14 evaluations
   size_t candidates_scored = 0;    // complete candidate sequences
+  size_t beam_pruned = 0;          // expansions dropped by the beam cap
+  size_t annotated_fallbacks = 0;  // Step-3 hops with no annotated shot,
+                                   // served by pure Eq.-14 similarity
   bool truncated = false;          // an enumeration cap was hit
 };
+
+/// Adds every counter of `from` into `*to` (truncated is OR-ed). Used by
+/// the parallel shard merge and by cache hits replaying recorded stats.
+void AccumulateRetrievalStats(const RetrievalStats& from, RetrievalStats* to);
 
 }  // namespace hmmm
 

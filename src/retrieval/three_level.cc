@@ -11,6 +11,7 @@ ThreeLevelTraversal::ThreeLevelTraversal(const HierarchicalModel& model,
                                          ThreadPool* pool)
     : model_(model),
       categories_(categories),
+      trace_(options.trace),
       traversal_(model, catalog, options, pool) {}
 
 std::vector<VideoId> ThreeLevelTraversal::PrunedVideoOrder(
@@ -89,8 +90,14 @@ StatusOr<std::vector<RetrievedPattern>> ThreeLevelTraversal::Retrieve(
   if (pattern.empty()) {
     return Status::InvalidArgument("empty temporal pattern");
   }
-  return traversal_.RetrieveWithVideoOrder(pattern, PrunedVideoOrder(pattern),
-                                           stats);
+  std::vector<VideoId> order;
+  {
+    // The category layer's pruned scan is this engine's Step 2.
+    ScopedSpan span(trace_, "step2_video_order");
+    order = PrunedVideoOrder(pattern);
+    span.Counter("videos_ordered", order.size());
+  }
+  return traversal_.RetrieveWithVideoOrder(pattern, order, stats);
 }
 
 }  // namespace hmmm

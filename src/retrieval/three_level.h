@@ -36,6 +36,7 @@ class ThreeLevelTraversal {
  private:
   const HierarchicalModel& model_;
   const CategoryLevel& categories_;
+  QueryTrace* trace_;  // = options.trace; may be null
   HmmmTraversal traversal_;
 };
 

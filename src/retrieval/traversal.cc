@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace hmmm {
 namespace {
@@ -56,6 +57,8 @@ void AccumulateStats(const RetrievalStats& shard, RetrievalStats* stats) {
   stats->videos_considered += shard.videos_considered;
   stats->states_visited += shard.states_visited;
   stats->candidates_scored += shard.candidates_scored;
+  stats->beam_pruned += shard.beam_pruned;
+  stats->annotated_fallbacks += shard.annotated_fallbacks;
   stats->truncated = stats->truncated || shard.truncated;
 }
 
@@ -112,7 +115,8 @@ bool HmmmTraversal::ShotAnnotatedForStep(ShotId shot,
 
 std::vector<int> HmmmTraversal::CandidateStates(const LocalShotModel& local,
                                                 int first, int last,
-                                                const PatternStep& step) const {
+                                                const PatternStep& step,
+                                                RetrievalStats* stats) const {
   const int n = std::min(static_cast<int>(local.num_states()), last + 1);
   std::vector<int> all;
   std::vector<int> annotated;
@@ -125,6 +129,9 @@ std::vector<int> HmmmTraversal::CandidateStates(const LocalShotModel& local,
   }
   // Step 3: prefer shots annotated as e_j; fall back to "similar" shots.
   if (!annotated.empty()) return annotated;
+  if (stats != nullptr && options_.annotated_first && !all.empty()) {
+    ++stats->annotated_fallbacks;
+  }
   return all;
 }
 
@@ -205,7 +212,7 @@ std::vector<HmmmTraversal::Path> HmmmTraversal::ExpandWithinVideo(
   // shots of the current one.
   const int last_next =
       step.max_gap >= 0 ? current_local + step.max_gap : n - 1;
-  for (int t : CandidateStates(local, first_next, last_next, step)) {
+  for (int t : CandidateStates(local, first_next, last_next, step, stats)) {
     const double transition =
         local.a1.at(static_cast<size_t>(current_local), static_cast<size_t>(t));
     if (transition <= 0.0) continue;
@@ -257,7 +264,7 @@ std::vector<HmmmTraversal::Path> HmmmTraversal::ExpandCrossVideo(
                                       static_cast<size_t>(video));
     for (int ti : CandidateStates(local, 0,
                                   static_cast<int>(local.num_states()) - 1,
-                                  step)) {
+                                  step, stats)) {
       const auto t = static_cast<size_t>(ti);
       const int next_global = model_.GlobalStateOf(local.states[t]);
       const double sim = scorer.StepSimilarity(next_global, step);
@@ -282,82 +289,119 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::Retrieve(
   if (pattern.empty()) {
     return Status::InvalidArgument("empty temporal pattern");
   }
-  return RetrieveWithVideoOrder(pattern, VideoOrder(pattern), stats);
+  std::vector<VideoId> order;
+  {
+    ScopedSpan span(options_.trace, "step2_video_order");
+    order = VideoOrder(pattern);
+    span.Counter("videos_ordered", order.size());
+  }
+  return RetrieveWithVideoOrder(pattern, order, stats);
 }
 
 bool HmmmTraversal::TraverseVideo(VideoId video, const TemporalPattern& pattern,
                                   const SimilarityScorer& scorer,
-                                  RetrievalStats* stats,
-                                  RetrievedPattern* out) const {
+                                  RetrievalStats* stats, RetrievedPattern* out,
+                                  int parent_span, int64_t order_index) const {
   const LocalShotModel& local = model_.local(video);
   if (local.num_states() == 0) return false;
-  if (stats != nullptr) ++stats->videos_considered;
+
+  // Per-video counters feed this video's trace span; they are merged into
+  // the caller's stats at the end so parallel shards stay additive.
+  RetrievalStats video_stats;
+  ++video_stats.videos_considered;
+  QueryTrace* trace = options_.trace;
+  ScopedSpan video_span(trace,
+                        StrFormat("video:%d", static_cast<int>(video)),
+                        parent_span, order_index);
+  const size_t evaluations_before = scorer.evaluations();
 
   const auto beam = static_cast<size_t>(options_.beam_width);
-  // Step 4 (j = 1): w1 = Pi1(s1) * sim(s1, e1)  (Eq. 12).
   std::vector<Path> beam_paths;
-  for (int ii : CandidateStates(local, 0,
-                                static_cast<int>(local.num_states()) - 1,
-                                pattern.steps.front())) {
-    const auto i = static_cast<size_t>(ii);
-    const int global = model_.GlobalStateOf(local.states[i]);
-    const double weight =
-        local.pi1[i] * scorer.StepSimilarity(global, pattern.steps.front());
-    if (stats != nullptr) ++stats->states_visited;
-    Path path;
-    path.states = {global};
-    path.edge_weights = {weight};
-    path.last_weight = weight;
-    path.score_sum = weight;
-    path.current_video = video;
-    beam_paths.push_back(std::move(path));
-  }
-  std::stable_sort(beam_paths.begin(), beam_paths.end(),
-                   [](const Path& a, const Path& b) {
-                     return a.last_weight > b.last_weight;
-                   });
-  if (beam_paths.size() > beam) beam_paths.resize(beam);
-
-  // Steps 3-5: extend through the remaining events of the pattern.
-  for (size_t j = 1; j < pattern.size() && !beam_paths.empty(); ++j) {
-    std::vector<Path> expansions;
-    for (const Path& path : beam_paths) {
-      std::vector<Path> within =
-          ExpandWithinVideo(path, pattern.steps[j], scorer, stats);
-      // A finite gap bound implies same-video continuation: the gap is
-      // measured in annotated-shot positions, which another video's
-      // timeline cannot satisfy.
-      if (within.empty() && options_.cross_video &&
-          pattern.steps[j].max_gap < 0) {
-        within = ExpandCrossVideo(path, pattern.steps[j], scorer, stats);
-      }
-      for (Path& p : within) expansions.push_back(std::move(p));
+  {
+    ScopedSpan walk_span(trace, "steps3_5_walk", video_span.id());
+    // Step 4 (j = 1): w1 = Pi1(s1) * sim(s1, e1)  (Eq. 12).
+    for (int ii : CandidateStates(local, 0,
+                                  static_cast<int>(local.num_states()) - 1,
+                                  pattern.steps.front(), &video_stats)) {
+      const auto i = static_cast<size_t>(ii);
+      const int global = model_.GlobalStateOf(local.states[i]);
+      const double weight =
+          local.pi1[i] * scorer.StepSimilarity(global, pattern.steps.front());
+      ++video_stats.states_visited;
+      Path path;
+      path.states = {global};
+      path.edge_weights = {weight};
+      path.last_weight = weight;
+      path.score_sum = weight;
+      path.current_video = video;
+      beam_paths.push_back(std::move(path));
     }
-    std::stable_sort(expansions.begin(), expansions.end(),
+    std::stable_sort(beam_paths.begin(), beam_paths.end(),
                      [](const Path& a, const Path& b) {
                        return a.last_weight > b.last_weight;
                      });
-    if (expansions.size() > beam) expansions.resize(beam);
-    beam_paths = std::move(expansions);
-  }
-  if (beam_paths.empty()) return false;
+    if (beam_paths.size() > beam) {
+      video_stats.beam_pruned += beam_paths.size() - beam;
+      beam_paths.resize(beam);
+    }
 
-  // Step 6: SS(R, Q_k) = sum_j w_j (Eq. 15); keep the video's best path.
-  const Path* best = &beam_paths.front();
-  for (const Path& p : beam_paths) {
-    if (p.score_sum > best->score_sum) best = &p;
+    // Steps 3-5: extend through the remaining events of the pattern.
+    for (size_t j = 1; j < pattern.size() && !beam_paths.empty(); ++j) {
+      std::vector<Path> expansions;
+      for (const Path& path : beam_paths) {
+        std::vector<Path> within =
+            ExpandWithinVideo(path, pattern.steps[j], scorer, &video_stats);
+        // A finite gap bound implies same-video continuation: the gap is
+        // measured in annotated-shot positions, which another video's
+        // timeline cannot satisfy.
+        if (within.empty() && options_.cross_video &&
+            pattern.steps[j].max_gap < 0) {
+          within =
+              ExpandCrossVideo(path, pattern.steps[j], scorer, &video_stats);
+        }
+        for (Path& p : within) expansions.push_back(std::move(p));
+      }
+      std::stable_sort(expansions.begin(), expansions.end(),
+                       [](const Path& a, const Path& b) {
+                         return a.last_weight > b.last_weight;
+                       });
+      if (expansions.size() > beam) {
+        video_stats.beam_pruned += expansions.size() - beam;
+        expansions.resize(beam);
+      }
+      beam_paths = std::move(expansions);
+    }
   }
-  out->shots.clear();
-  out->shots.reserve(best->states.size());
-  for (int state : best->states) {
-    out->shots.push_back(model_.ShotOfGlobalState(state));
+
+  bool found = false;
+  if (!beam_paths.empty()) {
+    // Step 6: SS(R, Q_k) = sum_j w_j (Eq. 15); keep the video's best path.
+    ScopedSpan score_span(trace, "step6_eq15_score", video_span.id());
+    const Path* best = &beam_paths.front();
+    for (const Path& p : beam_paths) {
+      if (p.score_sum > best->score_sum) best = &p;
+    }
+    out->shots.clear();
+    out->shots.reserve(best->states.size());
+    for (int state : best->states) {
+      out->shots.push_back(model_.ShotOfGlobalState(state));
+    }
+    out->edge_weights = best->edge_weights;
+    out->score = best->score_sum;
+    out->video = video;
+    out->crosses_videos = best->crossed_video;
+    ++video_stats.candidates_scored;
+    found = true;
   }
-  out->edge_weights = best->edge_weights;
-  out->score = best->score_sum;
-  out->video = video;
-  out->crosses_videos = best->crossed_video;
-  if (stats != nullptr) ++stats->candidates_scored;
-  return true;
+
+  video_span.Counter("states_visited", video_stats.states_visited);
+  video_span.Counter("sim_evaluations",
+                     scorer.evaluations() - evaluations_before);
+  video_span.Counter("beam_pruned", video_stats.beam_pruned);
+  video_span.Counter("annotated_fallbacks", video_stats.annotated_fallbacks);
+  video_span.Counter("candidates_scored", video_stats.candidates_scored);
+  if (stats != nullptr) AccumulateStats(video_stats, stats);
+  return found;
 }
 
 StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
@@ -400,6 +444,9 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
   RetrievalStats accumulated;
   size_t total_evaluations = 0;
 
+  ScopedSpan fanout_span(options_.trace, "step7_video_fanout");
+  fanout_span.Counter("videos", order.size());
+
   if (pool_ != nullptr && pool_->size() > 1 && order.size() > 1) {
     struct Shard {
       Shard(const HierarchicalModel& model, const ScorerOptions& options,
@@ -421,7 +468,8 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
           for (size_t i = begin; i < end; ++i) {
             RetrievedPattern candidate;
             if (TraverseVideo(order[i], pattern, shard.scorer, &shard.stats,
-                              &candidate)) {
+                              &candidate, fanout_span.id(),
+                              static_cast<int64_t>(i))) {
               shard.top.Push({std::move(candidate), i});
             }
           }
@@ -438,17 +486,21 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
     TopKHeap top(top_k);
     for (size_t i = 0; i < order.size(); ++i) {
       RetrievedPattern candidate;
-      if (TraverseVideo(order[i], pattern, scorer, &accumulated, &candidate)) {
+      if (TraverseVideo(order[i], pattern, scorer, &accumulated, &candidate,
+                        fanout_span.id(), static_cast<int64_t>(i))) {
         top.Push({std::move(candidate), i});
       }
     }
     survivors = std::move(top.entries());
     total_evaluations = scorer.evaluations();
   }
+  fanout_span.Counter("candidates", survivors.size());
+  fanout_span.End();
 
   // Steps 8-9: rank by similarity score. Each shard retained its own best
   // max_results candidates, so the union is a superset of the global top
   // K; the (score, order) total order reproduces the serial ranking.
+  ScopedSpan merge_span(options_.trace, "step8_9_merge_rank");
   std::sort(survivors.begin(), survivors.end(), BetterCandidate);
   if (survivors.size() > top_k) survivors.resize(top_k);
   std::vector<RetrievedPattern> results;
@@ -456,6 +508,7 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
   for (VideoCandidate& candidate : survivors) {
     results.push_back(std::move(candidate.pattern));
   }
+  merge_span.Counter("results", results.size());
   if (stats != nullptr) {
     AccumulateStats(accumulated, stats);
     stats->sim_evaluations += total_evaluations;

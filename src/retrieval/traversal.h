@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "observability/query_trace.h"
 #include "retrieval/result.h"
 #include "retrieval/scorer.h"
 
@@ -41,6 +42,13 @@ struct TraversalOptions {
   /// serially on the calling thread (the default); 0 = one worker per
   /// hardware thread.
   int num_threads = 1;
+  /// When set, the traversal records one span per phase (Step-2 video
+  /// ordering, per-video Steps 3-5 lattice walk, Eq.-15 scoring, Step 7-9
+  /// merge/rank) into this trace, with wall times and RetrievalStats-style
+  /// counters. Not owned; must outlive the traversal. Recording never
+  /// changes what is computed, so the ranked output stays byte-identical
+  /// with tracing on or off, at any thread count.
+  QueryTrace* trace = nullptr;
   ScorerOptions scorer;
 };
 
@@ -92,9 +100,11 @@ class HmmmTraversal {
 
   /// Candidate local states in [first, last] of `local` for `step`:
   /// annotation matches if any exist (and annotated_first is set), else
-  /// all states in the range.
+  /// all states in the range (counted as an annotated fallback in
+  /// `stats`).
   std::vector<int> CandidateStates(const LocalShotModel& local, int first,
-                                   int last, const PatternStep& step) const;
+                                   int last, const PatternStep& step,
+                                   RetrievalStats* stats) const;
 
   std::vector<Path> ExpandWithinVideo(const Path& path,
                                       const PatternStep& step,
@@ -107,10 +117,13 @@ class HmmmTraversal {
   /// Steps 3-6 for one candidate video: the shot-level lattice walk.
   /// Fills `out` with the video's best path and returns true when the
   /// video yields a candidate. Thread-safe across distinct (scorer,
-  /// stats) pairs — the model and catalog are only read.
+  /// stats) pairs — the model and catalog are only read. When tracing is
+  /// enabled `parent_span`/`order_index` place the video's span (and its
+  /// walk/scoring children) deterministically in the trace tree.
   bool TraverseVideo(VideoId video, const TemporalPattern& pattern,
                      const SimilarityScorer& scorer, RetrievalStats* stats,
-                     RetrievedPattern* out) const;
+                     RetrievedPattern* out, int parent_span = -1,
+                     int64_t order_index = -1) const;
 
   const HierarchicalModel& model_;
   const VideoCatalog& catalog_;

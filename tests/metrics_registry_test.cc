@@ -1,0 +1,169 @@
+#include "observability/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hmmm {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("events_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, IncrementByDelta) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("batch_total");
+  counter->Increment(5);
+  counter->Increment();
+  EXPECT_EQ(counter->value(), 6u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("depth");
+  gauge->Set(4.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 4.0);
+  gauge->Add(-1.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2.5);
+  gauge->Set(0.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("lat", {1.0, 2.0, 5.0});
+  for (double v : {0.5, 1.0, 1.5, 2.0, 3.0, 7.0}) histogram->Observe(v);
+  EXPECT_EQ(histogram->count(), 6u);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 15.0);
+  // Values equal to a bound land in that bound's bucket ("le" semantics):
+  // <=1: {0.5, 1}, <=2: +{1.5, 2}, <=5: +{3}, +Inf: +{7}.
+  const std::vector<uint64_t> cumulative = histogram->CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 4u);
+  EXPECT_EQ(cumulative[0], 2u);
+  EXPECT_EQ(cumulative[1], 4u);
+  EXPECT_EQ(cumulative[2], 5u);
+  EXPECT_EQ(cumulative[3], 6u);
+}
+
+TEST(HistogramTest, ConcurrentObservationsSumExactly) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("par", {10.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, t] {
+      // Half the observations land below the bound, half above.
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Observe(t % 2 == 0 ? 1.0 : 100.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(histogram->count(), total);
+  const std::vector<uint64_t> cumulative = histogram->CumulativeCounts();
+  EXPECT_EQ(cumulative[0], total / 2);
+  EXPECT_EQ(cumulative[1], total);
+}
+
+TEST(MetricsRegistryTest, ReturnsTheSameMetricForTheSameName) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("x_total", "help text");
+  Counter* second = registry.GetCounter("x_total");
+  EXPECT_EQ(first, second);
+  Histogram* h1 = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("h", {1.0, 2.0});
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionGolden) {
+  MetricsRegistry registry;
+  registry.GetGauge("depth", "queue depth")->Set(2.5);
+  Histogram* lat = registry.GetHistogram("lat", {1.0, 10.0}, "latency");
+  lat->Observe(0.5);
+  lat->Observe(5.0);
+  registry.GetCounter("requests_total", "requests")->Increment(3);
+
+  // Metrics render sorted by name; histograms expand into cumulative
+  // le-buckets plus _sum and _count.
+  EXPECT_EQ(registry.RenderPrometheus(),
+            "# HELP depth queue depth\n"
+            "# TYPE depth gauge\n"
+            "depth 2.5\n"
+            "# HELP lat latency\n"
+            "# TYPE lat histogram\n"
+            "lat_bucket{le=\"1\"} 1\n"
+            "lat_bucket{le=\"10\"} 2\n"
+            "lat_bucket{le=\"+Inf\"} 2\n"
+            "lat_sum 5.5\n"
+            "lat_count 2\n"
+            "# HELP requests_total requests\n"
+            "# TYPE requests_total counter\n"
+            "requests_total 3\n");
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotGolden) {
+  MetricsRegistry registry;
+  registry.GetGauge("depth")->Set(2.5);
+  Histogram* lat = registry.GetHistogram("lat", {1.0, 10.0});
+  lat->Observe(0.5);
+  lat->Observe(5.0);
+  registry.GetCounter("requests_total")->Increment(3);
+
+  EXPECT_EQ(registry.RenderJson(),
+            "{\"counters\":{\"requests_total\":3},"
+            "\"gauges\":{\"depth\":2.5},"
+            "\"histograms\":{\"lat\":{\"count\":2,\"sum\":5.5,"
+            "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":10,\"count\":2},"
+            "{\"le\":\"+Inf\",\"count\":2}]}}}");
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryRendersEmptyContainers) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+  EXPECT_EQ(registry.RenderJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsRegistryTest, DefaultLatencyBucketsAreAscending) {
+  const std::vector<double>& buckets = DefaultLatencyBucketsMs();
+  ASSERT_FALSE(buckets.empty());
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i - 1], buckets[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 100; ++i) {
+        registry.GetCounter("shared_total")->Increment();
+        registry.GetGauge("shared_gauge")->Set(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("shared_total")->value(),
+            static_cast<uint64_t>(kThreads) * 100);
+}
+
+}  // namespace
+}  // namespace hmmm

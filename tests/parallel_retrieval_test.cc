@@ -33,6 +33,8 @@ void ExpectIdenticalStats(const RetrievalStats& expected,
   EXPECT_EQ(expected.states_visited, actual.states_visited);
   EXPECT_EQ(expected.sim_evaluations, actual.sim_evaluations);
   EXPECT_EQ(expected.candidates_scored, actual.candidates_scored);
+  EXPECT_EQ(expected.beam_pruned, actual.beam_pruned);
+  EXPECT_EQ(expected.annotated_fallbacks, actual.annotated_fallbacks);
   EXPECT_EQ(expected.truncated, actual.truncated);
 }
 
@@ -178,6 +180,31 @@ TEST_F(ParallelRetrievalTest, EngineHonorsNumThreads) {
     ASSERT_TRUE(reference.ok());
     ASSERT_TRUE(results.ok());
     ExpectIdenticalResults(*reference, *results);
+  }
+}
+
+TEST_F(ParallelRetrievalTest, TracingDoesNotPerturbTheRanking) {
+  // The byte-identical guarantee must survive an attached QueryTrace:
+  // span recording happens outside the score math.
+  const auto pattern = TemporalPattern::FromEvents({2, 0, 1});
+  HmmmTraversal plain(model_, catalog_);
+  RetrievalStats plain_stats;
+  auto reference = plain.Retrieve(pattern, &plain_stats);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference->empty());
+
+  for (int threads : {1, 2, 4, 8}) {
+    QueryTrace trace;
+    TraversalOptions options;
+    options.num_threads = threads;
+    options.trace = &trace;
+    HmmmTraversal traced(model_, catalog_, options);
+    RetrievalStats stats;
+    auto results = traced.Retrieve(pattern, &stats);
+    ASSERT_TRUE(results.ok()) << threads << " threads";
+    ExpectIdenticalResults(*reference, *results);
+    ExpectIdenticalStats(plain_stats, stats);
+    EXPECT_FALSE(trace.Spans().empty()) << threads << " threads";
   }
 }
 

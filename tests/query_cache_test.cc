@@ -107,6 +107,67 @@ TEST(QueryCacheTest, ClearDropsEntriesButKeepsCounters) {
   EXPECT_EQ(stats.misses, 1u);
 }
 
+TEST(QueryCacheTest, HitReplaysStoredRetrievalStats) {
+  QueryCache cache(4);
+  RetrievalStats recorded;
+  recorded.videos_considered = 3;
+  recorded.states_visited = 40;
+  recorded.sim_evaluations = 25;
+  recorded.candidates_scored = 7;
+  recorded.beam_pruned = 5;
+  recorded.annotated_fallbacks = 1;
+  cache.Insert("a", 0, {MakeResult(0.5, 3)}, recorded);
+
+  // Stats accumulate on top of whatever the caller already tallied.
+  RetrievalStats replayed;
+  replayed.sim_evaluations = 10;
+  std::vector<RetrievedPattern> results;
+  ASSERT_TRUE(cache.Lookup("a", 0, &results, &replayed));
+  EXPECT_EQ(replayed.videos_considered, 3u);
+  EXPECT_EQ(replayed.states_visited, 40u);
+  EXPECT_EQ(replayed.sim_evaluations, 35u);
+  EXPECT_EQ(replayed.candidates_scored, 7u);
+  EXPECT_EQ(replayed.beam_pruned, 5u);
+  EXPECT_EQ(replayed.annotated_fallbacks, 1u);
+
+  // A null stats pointer stays supported.
+  ASSERT_TRUE(cache.Lookup("a", 0, &results));
+}
+
+TEST(QueryCacheTest, CountsEvictionsAndInvalidations) {
+  QueryCache cache(2);
+  cache.Insert("a", 0, {MakeResult(0.1, 1)});
+  cache.Insert("b", 0, {MakeResult(0.2, 2)});
+  cache.Insert("c", 0, {MakeResult(0.3, 3)});  // evicts "a"
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+
+  std::vector<RetrievedPattern> results;
+  EXPECT_FALSE(cache.Lookup("b", 1, &results));  // version bump: flush
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(QueryCacheTest, AttachedMetricsMirrorTheCounters) {
+  MetricsRegistry registry;
+  QueryCache cache(2);
+  cache.AttachMetrics(&registry, "cache_");
+  std::vector<RetrievedPattern> results;
+  EXPECT_FALSE(cache.Lookup("a", 0, &results));
+  cache.Insert("a", 0, {MakeResult(0.1, 1)});
+  ASSERT_TRUE(cache.Lookup("a", 0, &results));
+  cache.Insert("b", 0, {MakeResult(0.2, 2)});
+  cache.Insert("c", 0, {MakeResult(0.3, 3)});  // evicts
+  cache.Clear();                               // invalidates
+
+  EXPECT_EQ(registry.GetCounter("cache_hits_total", "")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("cache_misses_total", "")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("cache_evictions_total", "")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("cache_invalidations_total", "")->value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("cache_entries", "")->value(), 0.0);
+}
+
 // -- Engine integration ---------------------------------------------------
 
 TEST(EngineCacheTest, SecondIdenticalQueryIsServedFromCache) {
@@ -126,15 +187,56 @@ TEST(EngineCacheTest, SecondIdenticalQueryIsServedFromCache) {
   }
 }
 
-TEST(EngineCacheTest, StatsRequestsBypassTheCache) {
+TEST(EngineCacheTest, StatsRequestsAreServedFromCacheWithReplayedStats) {
+  const VideoCatalog catalog = testing::SmallSoccerCatalog();
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  RetrievalStats computed;
+  ASSERT_TRUE(engine->Query("goal", &computed).ok());
+  EXPECT_GT(computed.sim_evaluations, 0u);  // the traversal actually ran
+  EXPECT_EQ(engine->cache_stats().hits, 0u);
+
+  // The second identical query hits the cache AND still reports the full
+  // cost accounting of the traversal that produced the entry.
+  RetrievalStats replayed;
+  ASSERT_TRUE(engine->Query("goal", &replayed).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+  EXPECT_EQ(replayed.videos_considered, computed.videos_considered);
+  EXPECT_EQ(replayed.states_visited, computed.states_visited);
+  EXPECT_EQ(replayed.sim_evaluations, computed.sim_evaluations);
+  EXPECT_EQ(replayed.candidates_scored, computed.candidates_scored);
+  EXPECT_EQ(replayed.beam_pruned, computed.beam_pruned);
+  EXPECT_EQ(replayed.annotated_fallbacks, computed.annotated_fallbacks);
+}
+
+TEST(EngineCacheTest, QueryMetricsCountHitsAndLatency) {
   const VideoCatalog catalog = testing::SmallSoccerCatalog();
   auto engine = RetrievalEngine::Create(catalog);
   ASSERT_TRUE(engine.ok());
   ASSERT_TRUE(engine->Query("goal").ok());
-  RetrievalStats stats;
-  ASSERT_TRUE(engine->Query("goal", &stats).ok());
-  EXPECT_GT(stats.sim_evaluations, 0u);  // the traversal actually ran
-  EXPECT_EQ(engine->cache_stats().hits, 0u);
+  ASSERT_TRUE(engine->Query("goal").ok());
+
+  MetricsRegistry& registry = engine->metrics_registry();
+  EXPECT_EQ(registry.GetCounter("hmmm_queries_total", "")->value(), 2u);
+  EXPECT_EQ(registry.GetCounter("hmmm_query_cache_hits_total", "")->value(),
+            1u);
+  EXPECT_EQ(registry.GetCounter("hmmm_query_cache_misses_total", "")->value(),
+            1u);
+  EXPECT_EQ(
+      registry
+          .GetHistogram("hmmm_query_latency_ms", DefaultLatencyBucketsMs(), "")
+          ->count(),
+      2u);
+
+  // Both dump formats include the query counter and the latency series.
+  const std::string prometheus = engine->DumpMetricsPrometheus();
+  EXPECT_NE(prometheus.find("hmmm_queries_total 2"), std::string::npos);
+  EXPECT_NE(prometheus.find("hmmm_query_latency_ms_count 2"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("hmmm_pool_workers"), std::string::npos);
+  const std::string json = engine->DumpMetricsJson();
+  EXPECT_NE(json.find("\"hmmm_queries_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"hmmm_query_latency_ms\""), std::string::npos);
 }
 
 TEST(EngineCacheTest, FeedbackTrainingInvalidatesCachedResults) {

@@ -1,0 +1,200 @@
+#include "observability/query_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/model_builder.h"
+#include "retrieval/traversal.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+TEST(QueryTraceTest, RecordsSpanTreeWithCounters) {
+  QueryTrace trace;
+  {
+    ScopedSpan root(&trace, "root");
+    // Explicit sort keys override insertion order among siblings.
+    ScopedSpan late(&trace, "late", root.id(), /*sort_key=*/5);
+    ScopedSpan early(&trace, "early", root.id(), /*sort_key=*/2);
+    early.Counter("n", 7);
+  }
+  const std::vector<TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[1].name, "early");
+  EXPECT_EQ(spans[2].name, "late");
+  for (const TraceSpan& span : spans) EXPECT_TRUE(span.finished);
+  ASSERT_EQ(spans[1].counters.size(), 1u);
+  EXPECT_EQ(spans[1].counters[0].first, "n");
+  EXPECT_EQ(spans[1].counters[0].second, 7u);
+
+  const std::string tree = trace.RenderTree();
+  EXPECT_NE(tree.find("root"), std::string::npos);
+  ASSERT_NE(tree.find("  early"), std::string::npos);
+  ASSERT_NE(tree.find("  late"), std::string::npos);
+  EXPECT_LT(tree.find("  early"), tree.find("  late"));
+
+  const std::string jsonl = trace.RenderJsonl();
+  EXPECT_NE(jsonl.find("\"name\":\"early\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"counters\":{\"n\":7}"), std::string::npos);
+  // One line per span.
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(QueryTraceTest, NullTraceScopedSpanIsANoOp) {
+  ScopedSpan span(nullptr, "nothing");
+  span.Counter("x", 1);
+  span.End();
+  EXPECT_EQ(span.id(), -1);
+}
+
+TEST(QueryTraceTest, ClearResetsTheTrace) {
+  QueryTrace trace;
+  { ScopedSpan span(&trace, "a"); }
+  EXPECT_EQ(trace.Spans().size(), 1u);
+  trace.Clear();
+  EXPECT_TRUE(trace.Spans().empty());
+  EXPECT_EQ(trace.RenderTree(), "");
+}
+
+// -- Traversal integration ------------------------------------------------
+
+/// The comparable skeleton of a trace: per-span name + counters in
+/// pre-order. Span ids, parents and wall times legitimately differ across
+/// thread counts; names, structure and the deterministic counters must
+/// not. The fan-out's "candidates" tally is excluded: each shard retains
+/// its own top-K, so the pre-merge union varies with the shard count.
+using SpanSkeleton =
+    std::pair<std::string, std::vector<std::pair<std::string, uint64_t>>>;
+
+std::vector<SpanSkeleton> Skeleton(const QueryTrace& trace) {
+  std::vector<SpanSkeleton> out;
+  for (const TraceSpan& span : trace.Spans()) {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    for (const auto& counter : span.counters) {
+      if (span.name == "step7_video_fanout" &&
+          counter.first == "candidates") {
+        continue;
+      }
+      counters.push_back(counter);
+    }
+    out.emplace_back(span.name, std::move(counters));
+  }
+  return out;
+}
+
+class TracedRetrievalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = testing::GeneratedSoccerCatalog(/*seed=*/11, /*num_videos=*/12);
+    auto model = ModelBuilder(catalog_).Build();
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+  }
+
+  VideoCatalog catalog_;
+  HierarchicalModel model_;
+};
+
+TEST_F(TracedRetrievalTest, SerialWalkProducesThePaperPhaseStructure) {
+  QueryTrace trace;
+  TraversalOptions options;
+  options.trace = &trace;
+  HmmmTraversal traversal(model_, catalog_, options);
+  auto results = traversal.Retrieve(TemporalPattern::FromEvents({2, 0}));
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+
+  const std::vector<TraceSpan> spans = trace.Spans();
+  ASSERT_GE(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "step2_video_order");
+  EXPECT_EQ(spans[1].name, "step7_video_fanout");
+  EXPECT_EQ(spans.back().name, "step8_9_merge_rank");
+
+  // Every per-video span sits under the fan-out and owns a lattice-walk
+  // child; videos that produced a candidate also score it (Eq. 15).
+  size_t videos = 0, walks = 0, scores = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.name.rfind("video:", 0) == 0) {
+      ++videos;
+      EXPECT_EQ(span.parent, spans[1].id);
+    }
+    walks += span.name == "steps3_5_walk" ? 1 : 0;
+    scores += span.name == "step6_eq15_score" ? 1 : 0;
+  }
+  EXPECT_GT(videos, 0u);
+  EXPECT_EQ(walks, videos);
+  EXPECT_LE(scores, videos);
+  EXPECT_GE(scores, results->size());
+}
+
+TEST_F(TracedRetrievalTest, SpanSkeletonIsIdenticalAcrossThreadCounts) {
+  const auto pattern = TemporalPattern::FromEvents({2, 0, 1});
+  QueryTrace serial_trace;
+  TraversalOptions serial_options;
+  serial_options.trace = &serial_trace;
+  HmmmTraversal serial(model_, catalog_, serial_options);
+  ASSERT_TRUE(serial.Retrieve(pattern).ok());
+  const std::vector<SpanSkeleton> reference = Skeleton(serial_trace);
+  ASSERT_FALSE(reference.empty());
+
+  for (int threads : {2, 4}) {
+    QueryTrace trace;
+    TraversalOptions options;
+    options.num_threads = threads;
+    options.trace = &trace;
+    HmmmTraversal parallel(model_, catalog_, options);
+    ASSERT_TRUE(parallel.Retrieve(pattern).ok());
+    EXPECT_EQ(Skeleton(trace), reference) << threads << " threads";
+  }
+}
+
+TEST_F(TracedRetrievalTest, TracingOnAndOffRankIdentically) {
+  const auto pattern = TemporalPattern::FromEvents({2, 0});
+  for (int threads : {1, 4}) {
+    TraversalOptions plain_options;
+    plain_options.num_threads = threads;
+    HmmmTraversal plain(model_, catalog_, plain_options);
+    auto reference = plain.Retrieve(pattern);
+    ASSERT_TRUE(reference.ok());
+
+    QueryTrace trace;
+    TraversalOptions traced_options = plain_options;
+    traced_options.trace = &trace;
+    HmmmTraversal traced(model_, catalog_, traced_options);
+    auto results = traced.Retrieve(pattern);
+    ASSERT_TRUE(results.ok());
+
+    ASSERT_EQ(reference->size(), results->size()) << threads << " threads";
+    for (size_t i = 0; i < reference->size(); ++i) {
+      EXPECT_EQ((*reference)[i].shots, (*results)[i].shots);
+      EXPECT_EQ((*reference)[i].score, (*results)[i].score);
+      EXPECT_EQ((*reference)[i].edge_weights, (*results)[i].edge_weights);
+    }
+  }
+}
+
+TEST_F(TracedRetrievalTest, TraceAccumulatesUntilCleared) {
+  QueryTrace trace;
+  TraversalOptions options;
+  options.trace = &trace;
+  HmmmTraversal traversal(model_, catalog_, options);
+  const auto pattern = TemporalPattern::FromEvents({0});
+  ASSERT_TRUE(traversal.Retrieve(pattern).ok());
+  const size_t first = trace.Spans().size();
+  ASSERT_TRUE(traversal.Retrieve(pattern).ok());
+  EXPECT_EQ(trace.Spans().size(), 2 * first);
+  trace.Clear();
+  ASSERT_TRUE(traversal.Retrieve(pattern).ok());
+  EXPECT_EQ(trace.Spans().size(), first);
+}
+
+}  // namespace
+}  // namespace hmmm
