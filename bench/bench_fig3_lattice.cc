@@ -152,6 +152,13 @@ void WriteFig3Json() {
           {"beam_pruned", JsonNumber(static_cast<double>(stats.beam_pruned))},
           {"sim_evaluations",
            JsonNumber(static_cast<double>(stats.sim_evaluations))},
+          {"sim_memo_hits",
+           JsonNumber(static_cast<double>(stats.sim_memo_hits))},
+          {"candidate_list_reuse",
+           JsonNumber(static_cast<double>(stats.candidate_list_reuse))},
+          {"sim_evaluations_unmemoized",
+           JsonNumber(static_cast<double>(stats.sim_evaluations +
+                                          stats.sim_memo_hits))},
           {"top_score", JsonNumber(top)},
       }));
     }
@@ -189,6 +196,7 @@ void WriteFig3Json() {
   traced_options.trace = &trace;
   HmmmTraversal traced(Model(), Catalog(), traced_options);
   HMMM_CHECK(traced.Retrieve(pattern).ok());
+  const double plan_build_ms = SpanElapsedMs(trace, "query_plan_build");
 
   WriteBenchJson(
       "BENCH_fig3.json",
@@ -196,6 +204,7 @@ void WriteFig3Json() {
           {"benchmark", JsonQuote("fig3_lattice")},
           {"videos", JsonNumber(static_cast<double>(Catalog().num_videos()))},
           {"shots", JsonNumber(static_cast<double>(Catalog().num_shots()))},
+          {"plan_build_ms", JsonNumber(plan_build_ms)},
           {"lattice_sweep", JsonArray(lattice)},
           {"thread_sweep", JsonArray(sweep)},
           {"trace_sample", JsonlToArray(trace.RenderJsonl())},

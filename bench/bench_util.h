@@ -70,6 +70,16 @@ inline std::string Fmt(const char* format, double value) {
   return StrFormat(format, value);
 }
 
+/// Elapsed milliseconds of the first span named `name` in the trace, or
+/// -1 when absent. Used to report per-phase costs (e.g. the query-plan
+/// build) in the JSON reports.
+inline double SpanElapsedMs(const QueryTrace& trace, const std::string& name) {
+  for (const TraceSpan& span : trace.Spans()) {
+    if (span.name == name) return span.elapsed_ms;
+  }
+  return -1.0;
+}
+
 // -- Machine-readable reports (BENCH_*.json) ------------------------------
 //
 // Each bench writes one BENCH_<name>.json next to its human tables so CI

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json report against a committed baseline.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--latency-tolerance 0.10]
+
+Two families of checks:
+
+  * Latency fields (any key ending in `_ms`, plus `median_traversal_ms` /
+    `median_ms` entries inside sweep arrays) may regress by at most
+    --latency-tolerance (default 10%). Values under --min-latency-ms are
+    skipped: sub-tenth-millisecond medians are timer noise, not signal.
+  * Work counters (`sim_evaluations`, `states_visited`, `sim_memo_hits`,
+    ...) are deterministic for a fixed generator seed, so the current run
+    must not *increase* any `sim_evaluations` or `states_visited` entry —
+    an increase means the query-plan layer stopped reusing work.
+
+Exit status: 0 when every check passes, 1 on any regression, 2 on usage
+or file errors. The full delta table prints either way so CI logs show
+the numbers, not just the verdict.
+"""
+
+import argparse
+import json
+import sys
+
+# Counters that must never grow relative to the baseline (same seed, same
+# query => byte-identical traversal => identical counts or better reuse).
+MONOTONE_COUNTERS = ("sim_evaluations", "states_visited")
+
+
+def iter_latency_fields(node, path=""):
+    """Yields (path, value) for every *_ms number in a nested report.
+
+    Engine metrics snapshots (`metrics` subtrees) are skipped: their
+    gauges record one arbitrary run's wall times, not a benchmark median,
+    so they carry no latency contract."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key == "metrics":
+                continue
+            child = f"{path}.{key}" if path else key
+            if isinstance(value, (int, float)) and key.endswith("_ms"):
+                yield child, float(value)
+            else:
+                yield from iter_latency_fields(value, child)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from iter_latency_fields(value, f"{path}[{label(node, i)}]")
+
+
+def iter_counter_fields(node, path=""):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else key
+            if isinstance(value, (int, float)) and key in MONOTONE_COUNTERS:
+                yield child, float(value)
+            else:
+                yield from iter_counter_fields(value, child)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from iter_counter_fields(value, f"{path}[{label(node, i)}]")
+
+
+def label(parent, index):
+    """Stable element label: sweep entries are keyed by their parameters
+    (threads/beam/pattern_length) so reordering or appending entries does
+    not misalign the comparison."""
+    entry = parent[index]
+    if isinstance(entry, dict):
+        parts = [
+            f"{k}={entry[k]}"
+            for k in ("threads", "beam", "pattern_length")
+            if k in entry
+        ]
+        if parts:
+            return ",".join(parts)
+    return str(index)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=0.10,
+        help="max allowed fractional latency regression (default 0.10)",
+    )
+    parser.add_argument(
+        "--min-latency-ms",
+        type=float,
+        default=0.1,
+        help="skip latency checks below this baseline value (timer noise)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"bench_compare: {error}", file=sys.stderr)
+        return 2
+
+    # The trace sample embeds per-span wall times from one arbitrary run;
+    # they are diagnostic, not a latency contract.
+    baseline.pop("trace_sample", None)
+    current.pop("trace_sample", None)
+
+    base_latency = dict(iter_latency_fields(baseline))
+    cur_latency = dict(iter_latency_fields(current))
+    base_counters = dict(iter_counter_fields(baseline))
+    cur_counters = dict(iter_counter_fields(current))
+
+    failures = []
+    print(f"{'field':60s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
+    for path in sorted(base_latency):
+        if path not in cur_latency:
+            failures.append(f"latency field disappeared: {path}")
+            continue
+        base, cur = base_latency[path], cur_latency[path]
+        delta = (cur - base) / base if base > 0 else 0.0
+        verdict = ""
+        if base < args.min_latency_ms:
+            verdict = "  (skipped: below noise floor)"
+        elif delta > args.latency_tolerance:
+            verdict = "  REGRESSION"
+            failures.append(
+                f"{path}: {base:.3f}ms -> {cur:.3f}ms (+{delta:.1%}, "
+                f"tolerance {args.latency_tolerance:.0%})"
+            )
+        print(f"{path:60s} {base:12.3f} {cur:12.3f} {delta:+8.1%}{verdict}")
+
+    for path in sorted(base_counters):
+        if path not in cur_counters:
+            failures.append(f"counter disappeared: {path}")
+            continue
+        base, cur = base_counters[path], cur_counters[path]
+        mark = ""
+        if cur > base:
+            mark = "  REGRESSION"
+            failures.append(
+                f"{path}: {base:.0f} -> {cur:.0f} (work counter increased)"
+            )
+        print(f"{path:60s} {base:12.0f} {cur:12.0f} {cur - base:+8.0f}{mark}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {args.baseline}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nno regressions vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,12 @@ class Matrix {
   double& operator()(size_t r, size_t c) { return at(r, c); }
   double operator()(size_t r, size_t c) const { return at(r, c); }
 
+  /// Borrowed pointer to the cols() contiguous entries of row r — the
+  /// zero-copy alternative to Row() for hot row scans. Invalidated by any
+  /// reshaping operation.
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  double* MutableRowPtr(size_t r) { return data_.data() + r * cols_; }
+
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& mutable_data() { return data_; }
 

@@ -50,11 +50,15 @@ int HierarchicalModel::GlobalStateOf(ShotId shot) const {
 
 void HierarchicalModel::RebuildStateIndex() {
   state_shots_.clear();
+  state_videos_.clear();
+  state_local_index_.clear();
   ShotId max_shot = -1;
   for (const LocalShotModel& local : locals_) {
-    for (ShotId shot : local.states) {
-      state_shots_.push_back(shot);
-      max_shot = std::max(max_shot, shot);
+    for (size_t i = 0; i < local.states.size(); ++i) {
+      state_shots_.push_back(local.states[i]);
+      state_videos_.push_back(local.video_id);
+      state_local_index_.push_back(static_cast<int>(i));
+      max_shot = std::max(max_shot, local.states[i]);
     }
   }
   state_of_shot_.assign(static_cast<size_t>(max_shot) + 1, -1);

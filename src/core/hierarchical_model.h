@@ -93,6 +93,16 @@ class HierarchicalModel {
   ShotId ShotOfGlobalState(int state) const {
     return state_shots_[static_cast<size_t>(state)];
   }
+  /// The video owning global state `state` (the local MMM it belongs to).
+  VideoId VideoOfGlobalState(int state) const {
+    return state_videos_[static_cast<size_t>(state)];
+  }
+  /// Position of global state `state` inside its video's local MMM, i.e.
+  /// the `t` with local(video).states[t] == ShotOfGlobalState(state).
+  /// O(1); replaces linear scans over LocalShotModel::states.
+  int LocalStateIndexOf(int state) const {
+    return state_local_index_[static_cast<size_t>(state)];
+  }
   size_t num_global_states() const { return state_shots_.size(); }
 
   const EventVocabulary& vocabulary() const { return vocabulary_; }
@@ -135,6 +145,8 @@ class HierarchicalModel {
   Matrix p12_;
   Matrix b1_prime_;
   std::vector<ShotId> state_shots_;       // global state -> ShotId
+  std::vector<VideoId> state_videos_;     // global state -> owning video
+  std::vector<int> state_local_index_;    // global state -> local index
   std::vector<int> state_of_shot_;        // ShotId -> global state (-1)
   uint64_t version_ = 0;
 };

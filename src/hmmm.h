@@ -53,6 +53,7 @@
 #include "retrieval/qbe.h"
 #include "retrieval/query_cache.h"
 #include "retrieval/three_level.h"
+#include "retrieval/query_plan.h"
 #include "retrieval/traversal.h"
 #include "shots/boundary_detector.h"
 #include "shots/keyframe.h"

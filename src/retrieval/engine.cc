@@ -1,8 +1,15 @@
 #include "retrieval/engine.h"
 
 #include <chrono>
+#include <mutex>
 
 namespace hmmm {
+
+struct RetrievalEngine::IndexCache {
+  std::mutex mutex;
+  std::shared_ptr<const EventBitmapIndex> index;
+};
+
 namespace {
 
 double ElapsedMs(std::chrono::steady_clock::time_point start) {
@@ -30,6 +37,7 @@ RetrievalEngine::RetrievalEngine(const VideoCatalog& catalog,
       model_(std::make_unique<HierarchicalModel>(std::move(model))),
       traversal_options_(traversal_options),
       pool_(MakeThreadPool(traversal_options_.num_threads)),
+      index_cache_(std::make_unique<IndexCache>()),
       metrics_(std::make_unique<MetricsRegistry>()) {
   queries_total_ = metrics_->GetCounter(
       "hmmm_queries_total", "retrievals answered, cache hits included");
@@ -44,6 +52,11 @@ RetrievalEngine::RetrievalEngine(const VideoCatalog& catalog,
   }
 }
 
+RetrievalEngine::RetrievalEngine(RetrievalEngine&&) noexcept = default;
+RetrievalEngine& RetrievalEngine::operator=(RetrievalEngine&&) noexcept =
+    default;
+RetrievalEngine::~RetrievalEngine() = default;
+
 void RetrievalEngine::set_traversal_options(const TraversalOptions& options) {
   const int previous_threads = traversal_options_.num_threads;
   traversal_options_ = options;
@@ -57,6 +70,17 @@ void RetrievalEngine::set_traversal_options(const TraversalOptions& options) {
 
 QueryCacheStats RetrievalEngine::cache_stats() const {
   return cache_ != nullptr ? cache_->stats() : QueryCacheStats{};
+}
+
+std::shared_ptr<const EventBitmapIndex> RetrievalEngine::SharedEventIndex()
+    const {
+  std::lock_guard<std::mutex> lock(index_cache_->mutex);
+  if (index_cache_->index == nullptr ||
+      !index_cache_->index->FreshFor(*model_)) {
+    index_cache_->index =
+        std::make_shared<EventBitmapIndex>(*model_, *catalog_);
+  }
+  return index_cache_->index;
 }
 
 StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Query(
@@ -79,8 +103,9 @@ StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Retrieve(
       query_latency_ms_->Observe(ElapsedMs(start));
       return cached;
     }
+    const std::shared_ptr<const EventBitmapIndex> index = SharedEventIndex();
     HmmmTraversal traversal(*model_, *catalog_, traversal_options_,
-                            pool_.get());
+                            pool_.get(), index.get());
     RetrievalStats computed;
     auto results = traversal.Retrieve(pattern, &computed);
     if (results.ok()) {
@@ -92,7 +117,9 @@ StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Retrieve(
     query_latency_ms_->Observe(ElapsedMs(start));
     return results;
   }
-  HmmmTraversal traversal(*model_, *catalog_, traversal_options_, pool_.get());
+  const std::shared_ptr<const EventBitmapIndex> index = SharedEventIndex();
+  HmmmTraversal traversal(*model_, *catalog_, traversal_options_, pool_.get(),
+                          index.get());
   auto results = traversal.Retrieve(pattern, stats);
   if (!results.ok()) query_errors_total_->Increment();
   query_latency_ms_->Observe(ElapsedMs(start));

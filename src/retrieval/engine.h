@@ -44,8 +44,10 @@ class RetrievalEngine {
                   TraversalOptions traversal_options = {},
                   size_t query_cache_entries = kDefaultQueryCacheEntries);
 
-  RetrievalEngine(RetrievalEngine&&) = default;
-  RetrievalEngine& operator=(RetrievalEngine&&) = default;
+  // Defined in engine.cc where IndexCache is complete.
+  RetrievalEngine(RetrievalEngine&&) noexcept;
+  RetrievalEngine& operator=(RetrievalEngine&&) noexcept;
+  ~RetrievalEngine();
 
   /// Compiles and runs a textual temporal-pattern query.
   StatusOr<std::vector<RetrievedPattern>> Query(
@@ -77,6 +79,14 @@ class RetrievalEngine {
   /// capacity when caching is disabled.
   QueryCacheStats cache_stats() const;
 
+  /// The shared model-tier EventBitmapIndex for the current model
+  /// version. Built lazily on first use and rebuilt when the version
+  /// counter moves (the same staleness rule as the query-result cache);
+  /// every traversal of the engine runs on this one instance. Returned as
+  /// a shared_ptr so an in-flight query keeps its index alive across a
+  /// concurrent rebuild.
+  std::shared_ptr<const EventBitmapIndex> SharedEventIndex() const;
+
   /// The engine-owned registry. Stable for the engine's lifetime (also
   /// across moves); external subsystems (e.g. the feedback trainer) may
   /// register their own metrics here to get one unified dump.
@@ -101,6 +111,9 @@ class RetrievalEngine {
   TraversalOptions traversal_options_;
   std::unique_ptr<ThreadPool> pool_;   // null when num_threads resolves to 1
   std::unique_ptr<QueryCache> cache_;  // null when caching is disabled
+  /// Mutex + current index behind a pointer so the engine stays movable.
+  struct IndexCache;
+  std::unique_ptr<IndexCache> index_cache_;
   std::unique_ptr<MetricsRegistry> metrics_;
   // Hot-path handles into metrics_; stable because the registry never
   // relocates entries.

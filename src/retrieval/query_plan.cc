@@ -1,0 +1,202 @@
+#include "retrieval/query_plan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/event_index.h"
+
+namespace hmmm {
+
+size_t DenseBitset::Count() const {
+  size_t n = 0;
+  for (uint64_t word : words_) {
+    n += static_cast<size_t>(__builtin_popcountll(word));
+  }
+  return n;
+}
+
+bool DenseBitset::Any() const {
+  for (uint64_t word : words_) {
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+void DenseBitset::AndWith(const DenseBitset& other) {
+  HMMM_CHECK(size_ == other.size_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+}
+
+void DenseBitset::OrWith(const DenseBitset& other) {
+  HMMM_CHECK(size_ == other.size_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+void DenseBitset::SetAll() {
+  if (words_.empty()) return;
+  std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+  // Clear the tail bits beyond size_ so Count/Any stay exact.
+  const size_t tail = size_ & 63;
+  if (tail != 0) words_.back() &= (uint64_t{1} << tail) - 1;
+}
+
+void DenseBitset::Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+EventBitmapIndex::EventBitmapIndex(const HierarchicalModel& model,
+                                   const VideoCatalog& catalog)
+    : model_version_(model.version()),
+      num_videos_(model.num_videos()),
+      num_events_(model.vocabulary().size()) {
+  video_events_.assign(num_events_, DenseBitset(num_videos_));
+  for (size_t e = 0; e < num_events_; ++e) {
+    for (size_t v = 0; v < num_videos_; ++v) {
+      if (model.b2().at(v, e) > 0.0) video_events_[e].Set(v);
+    }
+  }
+
+  nonempty_videos_ = DenseBitset(num_videos_);
+  shot_events_.reserve(num_videos_ * num_events_);
+  for (size_t v = 0; v < num_videos_; ++v) {
+    const size_t n = model.local(static_cast<VideoId>(v)).num_states();
+    if (n > 0) nonempty_videos_.Set(v);
+    for (size_t e = 0; e < num_events_; ++e) {
+      shot_events_.emplace_back(n);
+    }
+  }
+
+  // The per-(video, event) state bitsets come from the inverted event
+  // index: each posting (event -> shot) sets one bit at the shot's local
+  // position. Shots outside the model's state set (possible when the
+  // catalog grew after the model was built) are skipped.
+  const EventIndex inverted(catalog);
+  const size_t indexed_events =
+      std::min(num_events_, inverted.num_events());
+  for (size_t e = 0; e < indexed_events; ++e) {
+    for (ShotId shot : inverted.Lookup(static_cast<EventId>(e))) {
+      const int state = model.GlobalStateOf(shot);
+      if (state < 0) continue;
+      const auto video =
+          static_cast<size_t>(model.VideoOfGlobalState(state));
+      shot_events_[video * num_events_ + e].Set(
+          static_cast<size_t>(model.LocalStateIndexOf(state)));
+    }
+  }
+}
+
+bool EventBitmapIndex::VideoContainsStep(VideoId video,
+                                         const PatternStep& step) const {
+  const auto v = static_cast<size_t>(video);
+  for (const auto& alternative : step.alternatives) {
+    bool all_present = true;
+    for (EventId e : alternative) {
+      if (!video_events_[static_cast<size_t>(e)].Test(v)) {
+        all_present = false;
+        break;
+      }
+    }
+    if (all_present) return true;
+  }
+  return false;
+}
+
+DenseBitset EventBitmapIndex::VideosContainingStep(
+    const PatternStep& step) const {
+  DenseBitset result(num_videos_);
+  DenseBitset scratch(num_videos_);
+  for (const auto& alternative : step.alternatives) {
+    // AND over zero events is all-ones, matching the scalar containment
+    // check which treats an empty conjunction as trivially satisfied.
+    scratch.SetAll();
+    for (EventId e : alternative) {
+      scratch.AndWith(video_events_[static_cast<size_t>(e)]);
+    }
+    result.OrWith(scratch);
+  }
+  return result;
+}
+
+void EventBitmapIndex::StatesAnnotatedForStep(VideoId video,
+                                              const PatternStep& step,
+                                              DenseBitset* out) const {
+  const auto base = static_cast<size_t>(video) * num_events_;
+  DenseBitset scratch(out->size());
+  out->Reset();
+  for (const auto& alternative : step.alternatives) {
+    scratch.SetAll();
+    for (EventId e : alternative) {
+      scratch.AndWith(shot_events_[base + static_cast<size_t>(e)]);
+    }
+    out->OrWith(scratch);
+  }
+}
+
+QueryPlan::QueryPlan(const HierarchicalModel& model,
+                     const EventBitmapIndex& index,
+                     const TemporalPattern& pattern,
+                     const ScorerOptions& scorer_options)
+    : model_(model),
+      index_(index),
+      pattern_(pattern),
+      scorer_(model, scorer_options),
+      num_steps_(pattern.size()) {
+  HMMM_CHECK(index_.FreshFor(model));
+  memo_epoch_.assign(model.num_global_states() * num_steps_, 0);
+  memo_value_.assign(memo_epoch_.size(), 0.0);
+  candidates_.resize(model.num_videos() * num_steps_);
+}
+
+void QueryPlan::BeginVideoWalk() {
+  ++epoch_;
+  arena_.clear();
+}
+
+double QueryPlan::StepSimilarity(int state, size_t step_index) {
+  const size_t slot = static_cast<size_t>(state) * num_steps_ + step_index;
+  if (memo_epoch_[slot] == epoch_) {
+    ++memo_hits_;
+    return memo_value_[slot];
+  }
+  const double value =
+      scorer_.StepSimilarity(state, pattern_.steps[step_index]);
+  memo_epoch_[slot] = epoch_;
+  memo_value_[slot] = value;
+  return value;
+}
+
+const std::vector<int>& QueryPlan::AnnotatedStates(VideoId video,
+                                                   size_t step_index) {
+  CandidateEntry& entry =
+      candidates_[static_cast<size_t>(video) * num_steps_ + step_index];
+  if (entry.epoch == epoch_) {
+    ++candidate_reuse_;
+    return entry.states;
+  }
+  entry.epoch = epoch_;
+  entry.states.clear();
+  const size_t n = model_.local(video).num_states();
+  if (step_scratch_.size() != n) step_scratch_ = DenseBitset(n);
+  index_.StatesAnnotatedForStep(video, pattern_.steps[step_index],
+                                &step_scratch_);
+  step_scratch_.ForEachSetBit(
+      [&](size_t t) { entry.states.push_back(static_cast<int>(t)); });
+  return entry.states;
+}
+
+void QueryPlan::MaterializePath(int id, std::vector<ShotId>* shots,
+                                std::vector<double>* weights) const {
+  size_t length = 0;
+  for (int at = id; at >= 0; at = arena_[static_cast<size_t>(at)].parent) {
+    ++length;
+  }
+  shots->assign(length, -1);
+  weights->assign(length, 0.0);
+  size_t slot = length;
+  for (int at = id; at >= 0; at = arena_[static_cast<size_t>(at)].parent) {
+    const PathNode& n = arena_[static_cast<size_t>(at)];
+    --slot;
+    (*shots)[slot] = model_.ShotOfGlobalState(n.state);
+    (*weights)[slot] = n.weight;
+  }
+}
+
+}  // namespace hmmm

@@ -11,6 +11,8 @@ void AccumulateRetrievalStats(const RetrievalStats& from, RetrievalStats* to) {
   to->candidates_scored += from.candidates_scored;
   to->beam_pruned += from.beam_pruned;
   to->annotated_fallbacks += from.annotated_fallbacks;
+  to->sim_memo_hits += from.sim_memo_hits;
+  to->candidate_list_reuse += from.candidate_list_reuse;
   to->truncated = to->truncated || from.truncated;
 }
 

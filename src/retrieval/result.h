@@ -32,6 +32,10 @@ struct RetrievalStats {
   size_t beam_pruned = 0;          // expansions dropped by the beam cap
   size_t annotated_fallbacks = 0;  // Step-3 hops with no annotated shot,
                                    // served by pure Eq.-14 similarity
+  size_t sim_memo_hits = 0;        // StepSimilarity calls served from the
+                                   // query plan's per-walk memo
+  size_t candidate_list_reuse = 0; // candidate-state lists served from the
+                                   // query plan's per-walk cache
   bool truncated = false;          // an enumeration cap was hit
 };
 

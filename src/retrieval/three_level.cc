@@ -8,11 +8,12 @@ ThreeLevelTraversal::ThreeLevelTraversal(const HierarchicalModel& model,
                                          const VideoCatalog& catalog,
                                          const CategoryLevel& categories,
                                          TraversalOptions options,
-                                         ThreadPool* pool)
+                                         ThreadPool* pool,
+                                         const EventBitmapIndex* index)
     : model_(model),
       categories_(categories),
       trace_(options.trace),
-      traversal_(model, catalog, options, pool) {}
+      traversal_(model, catalog, options, pool, index) {}
 
 std::vector<VideoId> ThreeLevelTraversal::PrunedVideoOrder(
     const TemporalPattern& pattern) const {
@@ -61,22 +62,21 @@ std::vector<VideoId> ThreeLevelTraversal::PrunedVideoOrder(
   }
 
   // Within each cluster, order member videos by the 2-level heuristic:
-  // videos containing a first-step event first, then by Pi2.
+  // videos containing a first-step event first, then by Pi2. Containment
+  // is one OR over the index's per-event video bitsets instead of a B2
+  // row scan per sort comparison.
+  const EventBitmapIndex& index = traversal_.event_index();
+  DenseBitset containing_videos(model_.num_videos());
+  for (EventId e : first_events) {
+    containing_videos.OrWith(index.VideosWithEvent(e));
+  }
   const auto members = categories_.VideosByCluster();
   for (int cluster : cluster_order) {
     std::vector<VideoId> videos = members[static_cast<size_t>(cluster)];
     std::stable_sort(videos.begin(), videos.end(), [&](VideoId a, VideoId b) {
-      auto contains = [&](VideoId v) {
-        for (EventId e : first_events) {
-          if (model_.b2().at(static_cast<size_t>(v), static_cast<size_t>(e)) >
-              0.0) {
-            return 1;
-          }
-        }
-        return 0;
-      };
-      const int ca = contains(a), cb = contains(b);
-      if (ca != cb) return ca > cb;
+      const bool ca = containing_videos.Test(static_cast<size_t>(a));
+      const bool cb = containing_videos.Test(static_cast<size_t>(b));
+      if (ca != cb) return ca;
       return model_.pi2()[static_cast<size_t>(a)] >
              model_.pi2()[static_cast<size_t>(b)];
     });

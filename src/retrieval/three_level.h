@@ -15,13 +15,16 @@ namespace hmmm {
 /// hierarchical pruning on top of the 2-level engine.
 class ThreeLevelTraversal {
  public:
-  /// All references must outlive the traversal. `pool` (optional) is
-  /// forwarded to the underlying 2-level traversal's per-video fan-out.
+  /// All references must outlive the traversal. `pool` and `index`
+  /// (both optional) are forwarded to the underlying 2-level traversal:
+  /// the pool for its per-video fan-out, the index as the shared
+  /// model-tier EventBitmapIndex (self-built when omitted).
   ThreeLevelTraversal(const HierarchicalModel& model,
                       const VideoCatalog& catalog,
                       const CategoryLevel& categories,
                       TraversalOptions options = {},
-                      ThreadPool* pool = nullptr);
+                      ThreadPool* pool = nullptr,
+                      const EventBitmapIndex* index = nullptr);
 
   /// Runs the pruned retrieval; results sorted by descending SS.
   StatusOr<std::vector<RetrievedPattern>> Retrieve(

@@ -1,6 +1,7 @@
 #include "retrieval/traversal.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "common/logging.h"
@@ -33,12 +34,18 @@ class TopKHeap {
   explicit TopKHeap(size_t capacity) : capacity_(capacity) {}
 
   void Push(VideoCandidate candidate) {
+    if (entries_.size() == capacity_) {
+      // Full: the front holds the worst retained candidate, so anything
+      // not beating it would be pushed and immediately popped — skip the
+      // heap churn entirely.
+      if (!BetterCandidate(candidate, entries_.front())) return;
+      std::pop_heap(entries_.begin(), entries_.end(), BetterCandidate);
+      entries_.back() = std::move(candidate);
+      std::push_heap(entries_.begin(), entries_.end(), BetterCandidate);
+      return;
+    }
     entries_.push_back(std::move(candidate));
     std::push_heap(entries_.begin(), entries_.end(), BetterCandidate);
-    if (entries_.size() > capacity_) {
-      std::pop_heap(entries_.begin(), entries_.end(), BetterCandidate);
-      entries_.pop_back();
-    }
   }
 
   std::vector<VideoCandidate>& entries() { return entries_; }
@@ -59,6 +66,8 @@ void AccumulateStats(const RetrievalStats& shard, RetrievalStats* stats) {
   stats->candidates_scored += shard.candidates_scored;
   stats->beam_pruned += shard.beam_pruned;
   stats->annotated_fallbacks += shard.annotated_fallbacks;
+  stats->sim_memo_hits += shard.sim_memo_hits;
+  stats->candidate_list_reuse += shard.candidate_list_reuse;
   stats->truncated = stats->truncated || shard.truncated;
 }
 
@@ -66,73 +75,56 @@ void AccumulateStats(const RetrievalStats& shard, RetrievalStats* stats) {
 
 HmmmTraversal::HmmmTraversal(const HierarchicalModel& model,
                              const VideoCatalog& catalog,
-                             TraversalOptions options, ThreadPool* pool)
+                             TraversalOptions options, ThreadPool* pool,
+                             const EventBitmapIndex* index)
     : model_(model),
       catalog_(catalog),
       options_(std::move(options)),
-      pool_(pool) {
+      pool_(pool),
+      external_index_(index) {
   HMMM_CHECK(options_.beam_width >= 1);
   HMMM_CHECK(options_.max_results >= 1);
   if (pool_ == nullptr && options_.num_threads != 1) {
     owned_pool_ = MakeThreadPool(options_.num_threads);
     pool_ = owned_pool_.get();
   }
-}
-
-bool HmmmTraversal::VideoContainsStep(VideoId v, const PatternStep& step) const {
-  // Step 2: check matrix B2 for a video containing the anticipated event.
-  // A step with alternatives is containable if any conjunctive alternative
-  // is fully present.
-  for (const auto& alternative : step.alternatives) {
-    bool all_present = true;
-    for (EventId e : alternative) {
-      if (model_.b2().at(static_cast<size_t>(v), static_cast<size_t>(e)) <=
-          0.0) {
-        all_present = false;
-        break;
-      }
-    }
-    if (all_present) return true;
+  if (external_index_ != nullptr) {
+    HMMM_CHECK(external_index_->FreshFor(model_));
   }
-  return false;
 }
 
-bool HmmmTraversal::ShotAnnotatedForStep(ShotId shot,
-                                         const PatternStep& step) const {
-  const ShotRecord& record = catalog_.shot(shot);
-  for (const auto& alternative : step.alternatives) {
-    bool all = true;
-    for (EventId e : alternative) {
-      if (!record.HasEvent(e)) {
-        all = false;
-        break;
-      }
-    }
-    if (all) return true;
+const EventBitmapIndex& HmmmTraversal::CurrentIndex() const {
+  if (external_index_ != nullptr) return *external_index_;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (owned_index_ == nullptr || !owned_index_->FreshFor(model_)) {
+    owned_index_ = std::make_unique<EventBitmapIndex>(model_, catalog_);
   }
-  return false;
+  return *owned_index_;
 }
 
-std::vector<int> HmmmTraversal::CandidateStates(const LocalShotModel& local,
-                                                int first, int last,
-                                                const PatternStep& step,
-                                                RetrievalStats* stats) const {
+void HmmmTraversal::CandidateStates(QueryPlan& plan, VideoId video, int first,
+                                    int last, size_t step_index,
+                                    RetrievalStats* stats,
+                                    std::vector<int>* out) const {
+  const LocalShotModel& local = model_.local(video);
   const int n = std::min(static_cast<int>(local.num_states()), last + 1);
-  std::vector<int> all;
-  std::vector<int> annotated;
-  for (int t = first; t < n; ++t) {
-    all.push_back(t);
-    if (options_.annotated_first &&
-        ShotAnnotatedForStep(local.states[static_cast<size_t>(t)], step)) {
-      annotated.push_back(t);
+  if (first >= n) return;
+  if (options_.annotated_first) {
+    // Step 3: prefer shots annotated as e_j; the plan's per-(video, step)
+    // list is computed once per walk from the event bitsets and sliced
+    // per beam path.
+    const std::vector<int>& annotated = plan.AnnotatedStates(video, step_index);
+    const auto begin =
+        std::lower_bound(annotated.begin(), annotated.end(), first);
+    const auto end = std::lower_bound(begin, annotated.end(), n);
+    if (begin != end) {
+      out->insert(out->end(), begin, end);
+      return;
     }
+    // Fall back to "similar" shots: every state in range.
+    if (stats != nullptr) ++stats->annotated_fallbacks;
   }
-  // Step 3: prefer shots annotated as e_j; fall back to "similar" shots.
-  if (!annotated.empty()) return annotated;
-  if (stats != nullptr && options_.annotated_first && !all.empty()) {
-    ++stats->annotated_fallbacks;
-  }
-  return all;
+  for (int t = first; t < n; ++t) out->push_back(t);
 }
 
 std::vector<VideoId> HmmmTraversal::VideoOrder(
@@ -143,25 +135,26 @@ std::vector<VideoId> HmmmTraversal::VideoOrder(
 
   std::vector<bool> visited(m, false);
   std::vector<VideoId> containing;
-  for (size_t v = 0; v < m; ++v) {
-    if (VideoContainsStep(static_cast<VideoId>(v), pattern.steps.front())) {
-      containing.push_back(static_cast<VideoId>(v));
-    }
-  }
+  // Step 2: matrix B2 containment of an anticipated first-step event,
+  // answered by the model-tier bitsets.
+  const DenseBitset step_videos =
+      CurrentIndex().VideosContainingStep(pattern.steps.front());
+  step_videos.ForEachSetBit(
+      [&](size_t v) { containing.push_back(static_cast<VideoId>(v)); });
   // Seed with the highest-Pi2 containing video, then chain by A2 affinity
   // with the previously chosen video (Step 2: "close affinity relationship
   // with the previous video").
   VideoId previous = -1;
   for (size_t picked = 0; picked < containing.size(); ++picked) {
+    const double* a2_row =
+        previous < 0 ? nullptr : model_.a2().RowPtr(static_cast<size_t>(previous));
     VideoId best = -1;
     double best_score = -1.0;
     for (VideoId v : containing) {
       if (visited[static_cast<size_t>(v)]) continue;
-      const double score =
-          previous < 0
-              ? model_.pi2()[static_cast<size_t>(v)]
-              : model_.a2().at(static_cast<size_t>(previous),
-                               static_cast<size_t>(v));
+      const double score = a2_row == nullptr
+                               ? model_.pi2()[static_cast<size_t>(v)]
+                               : a2_row[static_cast<size_t>(v)];
       if (score > best_score) {
         best_score = score;
         best = v;
@@ -186,73 +179,73 @@ std::vector<VideoId> HmmmTraversal::VideoOrder(
   return order;
 }
 
-std::vector<HmmmTraversal::Path> HmmmTraversal::ExpandWithinVideo(
-    const Path& path, const PatternStep& step, const SimilarityScorer& scorer,
-    RetrievalStats* stats) const {
-  std::vector<Path> expansions;
+HmmmTraversal::PathRef HmmmTraversal::Extend(QueryPlan& plan,
+                                             const PathRef& path, int state,
+                                             double weight) {
+  PathRef extended = path;
+  extended.node = plan.AddPathNode(path.node, state, weight);
+  extended.last_weight = weight;
+  extended.score_sum = path.score_sum + weight;
+  return extended;
+}
+
+void HmmmTraversal::ExpandWithinVideo(QueryPlan& plan, const PathRef& path,
+                                      size_t step_index, RetrievalStats* stats,
+                                      std::vector<PathRef>* out) const {
   const LocalShotModel& local = model_.local(path.current_video);
   const int n = static_cast<int>(local.num_states());
-  if (n == 0) return expansions;
+  if (n == 0) return;
 
-  const int current_global = path.states.back();
-  const ShotId current_shot = model_.ShotOfGlobalState(current_global);
-  // Local index of the current state within its video.
-  int current_local = -1;
-  for (int i = 0; i < n; ++i) {
-    if (local.states[static_cast<size_t>(i)] == current_shot) {
-      current_local = i;
-      break;
-    }
-  }
-  HMMM_CHECK(current_local >= 0);
+  const int current_global = plan.node(path.node).state;
+  // Local index of the current state within its video: the model's
+  // precomputed table, replacing the former O(n) scan over local.states.
+  const int current_local = model_.LocalStateIndexOf(current_global);
 
-  const int first_next = options_.allow_same_shot ? current_local
-                                                  : current_local + 1;
+  const int first_next =
+      options_.allow_same_shot ? current_local : current_local + 1;
+  const PatternStep& pattern_step = plan.pattern().steps[step_index];
   // Temporal gap bound: the next shot must lie within max_gap annotated
   // shots of the current one.
   const int last_next =
-      step.max_gap >= 0 ? current_local + step.max_gap : n - 1;
-  for (int t : CandidateStates(local, first_next, last_next, step, stats)) {
-    const double transition =
-        local.a1.at(static_cast<size_t>(current_local), static_cast<size_t>(t));
+      pattern_step.max_gap >= 0 ? current_local + pattern_step.max_gap : n - 1;
+  std::vector<int> candidates;
+  CandidateStates(plan, path.current_video, first_next, last_next, step_index,
+                  stats, &candidates);
+  const double* a1_row = local.a1.RowPtr(static_cast<size_t>(current_local));
+  for (int t : candidates) {
+    const double transition = a1_row[static_cast<size_t>(t)];
     if (transition <= 0.0) continue;
     const int next_global =
         model_.GlobalStateOf(local.states[static_cast<size_t>(t)]);
-    const double sim = scorer.StepSimilarity(next_global, step);
+    const double sim = plan.StepSimilarity(next_global, step_index);
     const double weight = path.last_weight * transition * sim;  // Eq. 13
     if (stats != nullptr) ++stats->states_visited;
-
-    Path extended = path;
-    extended.states.push_back(next_global);
-    extended.edge_weights.push_back(weight);
-    extended.last_weight = weight;
-    extended.score_sum += weight;
-    expansions.push_back(std::move(extended));
+    out->push_back(Extend(plan, path, next_global, weight));
   }
-  return expansions;
 }
 
-std::vector<HmmmTraversal::Path> HmmmTraversal::ExpandCrossVideo(
-    const Path& path, const PatternStep& step, const SimilarityScorer& scorer,
-    RetrievalStats* stats) const {
-  std::vector<Path> expansions;
-  const size_t m = model_.num_videos();
+void HmmmTraversal::ExpandCrossVideo(QueryPlan& plan, const PathRef& path,
+                                     size_t step_index, RetrievalStats* stats,
+                                     std::vector<PathRef>* out) const {
   // Rank candidate next videos by A2 affinity from the current one,
   // preferring videos that contain the anticipated event (Fig. 3's
-  // higher-level hand-over).
+  // higher-level hand-over). Containment comes from the step's video
+  // bitset (B2 positivity) instead of per-video B2 row scans.
+  const PatternStep& pattern_step = plan.pattern().steps[step_index];
   std::vector<VideoId> candidates;
-  for (size_t v = 0; v < m; ++v) {
+  const DenseBitset step_videos = plan.index().VideosContainingStep(pattern_step);
+  step_videos.ForEachSetBit([&](size_t v) {
     const auto video = static_cast<VideoId>(v);
-    if (video == path.current_video) continue;
-    if (model_.local(video).num_states() == 0) continue;
-    if (!VideoContainsStep(video, step)) continue;
+    if (video == path.current_video) return;
+    if (model_.local(video).num_states() == 0) return;
     candidates.push_back(video);
-  }
+  });
+  const double* a2_row =
+      model_.a2().RowPtr(static_cast<size_t>(path.current_video));
   std::stable_sort(candidates.begin(), candidates.end(),
                    [&](VideoId a, VideoId b) {
-                     const auto from = static_cast<size_t>(path.current_video);
-                     return model_.a2().at(from, static_cast<size_t>(a)) >
-                            model_.a2().at(from, static_cast<size_t>(b));
+                     return a2_row[static_cast<size_t>(a)] >
+                            a2_row[static_cast<size_t>(b)];
                    });
   if (candidates.size() > static_cast<size_t>(options_.beam_width)) {
     candidates.resize(static_cast<size_t>(options_.beam_width));
@@ -260,35 +253,54 @@ std::vector<HmmmTraversal::Path> HmmmTraversal::ExpandCrossVideo(
 
   for (VideoId video : candidates) {
     const LocalShotModel& local = model_.local(video);
-    const double hop = model_.a2().at(static_cast<size_t>(path.current_video),
-                                      static_cast<size_t>(video));
-    for (int ti : CandidateStates(local, 0,
-                                  static_cast<int>(local.num_states()) - 1,
-                                  step, stats)) {
+    const double hop = a2_row[static_cast<size_t>(video)];
+    std::vector<int> states;
+    CandidateStates(plan, video, 0, static_cast<int>(local.num_states()) - 1,
+                    step_index, stats, &states);
+    for (int ti : states) {
       const auto t = static_cast<size_t>(ti);
       const int next_global = model_.GlobalStateOf(local.states[t]);
-      const double sim = scorer.StepSimilarity(next_global, step);
+      const double sim = plan.StepSimilarity(next_global, step_index);
       const double weight = path.last_weight * hop * local.pi1[t] * sim;
       if (stats != nullptr) ++stats->states_visited;
-
-      Path extended = path;
-      extended.states.push_back(next_global);
-      extended.edge_weights.push_back(weight);
-      extended.last_weight = weight;
-      extended.score_sum += weight;
+      PathRef extended = Extend(plan, path, next_global, weight);
       extended.crossed_video = true;
       extended.current_video = video;
-      expansions.push_back(std::move(extended));
+      out->push_back(extended);
     }
   }
-  return expansions;
 }
 
-StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::Retrieve(
-    const TemporalPattern& pattern, RetrievalStats* stats) const {
+namespace {
+
+/// Structural pattern checks shared by both entry points. Run before any
+/// index lookup: the bitsets are sized to the vocabulary, so an unknown
+/// event must be rejected up front rather than read out of range.
+Status ValidatePattern(const TemporalPattern& pattern,
+                       const HierarchicalModel& model) {
   if (pattern.empty()) {
     return Status::InvalidArgument("empty temporal pattern");
   }
+  for (const PatternStep& step : pattern.steps) {
+    if (step.alternatives.empty()) {
+      return Status::InvalidArgument("pattern step without alternatives");
+    }
+    for (const auto& alternative : step.alternatives) {
+      for (EventId e : alternative) {
+        if (e < 0 || static_cast<size_t>(e) >= model.vocabulary().size()) {
+          return Status::InvalidArgument("pattern references unknown event");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::Retrieve(
+    const TemporalPattern& pattern, RetrievalStats* stats) const {
+  HMMM_RETURN_IF_ERROR(ValidatePattern(pattern, model_));
   std::vector<VideoId> order;
   {
     ScopedSpan span(options_.trace, "step2_video_order");
@@ -299,45 +311,50 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::Retrieve(
 }
 
 bool HmmmTraversal::TraverseVideo(VideoId video, const TemporalPattern& pattern,
-                                  const SimilarityScorer& scorer,
-                                  RetrievalStats* stats, RetrievedPattern* out,
-                                  int parent_span, int64_t order_index) const {
+                                  QueryPlan& plan, RetrievalStats* stats,
+                                  RetrievedPattern* out, int parent_span,
+                                  int64_t order_index) const {
   const LocalShotModel& local = model_.local(video);
   if (local.num_states() == 0) return false;
+
+  // All plan caches (Eq.-15 memo, candidate lists, path arena) are scoped
+  // to this walk; see QueryPlan for why that keeps the stats counters
+  // identical at every thread count.
+  plan.BeginVideoWalk();
 
   // Per-video counters feed this video's trace span; they are merged into
   // the caller's stats at the end so parallel shards stay additive.
   RetrievalStats video_stats;
   ++video_stats.videos_considered;
   QueryTrace* trace = options_.trace;
-  ScopedSpan video_span(trace,
-                        StrFormat("video:%d", static_cast<int>(video)),
+  ScopedSpan video_span(trace, StrFormat("video:%d", static_cast<int>(video)),
                         parent_span, order_index);
-  const size_t evaluations_before = scorer.evaluations();
+  const size_t evaluations_before = plan.scorer().evaluations();
+  const size_t memo_hits_before = plan.memo_hits();
+  const size_t reuse_before = plan.candidate_reuse();
 
   const auto beam = static_cast<size_t>(options_.beam_width);
-  std::vector<Path> beam_paths;
+  std::vector<PathRef> beam_paths;
   {
     ScopedSpan walk_span(trace, "steps3_5_walk", video_span.id());
     // Step 4 (j = 1): w1 = Pi1(s1) * sim(s1, e1)  (Eq. 12).
-    for (int ii : CandidateStates(local, 0,
-                                  static_cast<int>(local.num_states()) - 1,
-                                  pattern.steps.front(), &video_stats)) {
+    std::vector<int> seeds;
+    CandidateStates(plan, video, 0, static_cast<int>(local.num_states()) - 1,
+                    0, &video_stats, &seeds);
+    for (int ii : seeds) {
       const auto i = static_cast<size_t>(ii);
       const int global = model_.GlobalStateOf(local.states[i]);
-      const double weight =
-          local.pi1[i] * scorer.StepSimilarity(global, pattern.steps.front());
+      const double weight = local.pi1[i] * plan.StepSimilarity(global, 0);
       ++video_stats.states_visited;
-      Path path;
-      path.states = {global};
-      path.edge_weights = {weight};
+      PathRef path;
+      path.node = plan.AddPathNode(-1, global, weight);
       path.last_weight = weight;
       path.score_sum = weight;
       path.current_video = video;
-      beam_paths.push_back(std::move(path));
+      beam_paths.push_back(path);
     }
     std::stable_sort(beam_paths.begin(), beam_paths.end(),
-                     [](const Path& a, const Path& b) {
+                     [](const PathRef& a, const PathRef& b) {
                        return a.last_weight > b.last_weight;
                      });
     if (beam_paths.size() > beam) {
@@ -347,22 +364,20 @@ bool HmmmTraversal::TraverseVideo(VideoId video, const TemporalPattern& pattern,
 
     // Steps 3-5: extend through the remaining events of the pattern.
     for (size_t j = 1; j < pattern.size() && !beam_paths.empty(); ++j) {
-      std::vector<Path> expansions;
-      for (const Path& path : beam_paths) {
-        std::vector<Path> within =
-            ExpandWithinVideo(path, pattern.steps[j], scorer, &video_stats);
+      std::vector<PathRef> expansions;
+      for (const PathRef& path : beam_paths) {
+        const size_t before = expansions.size();
+        ExpandWithinVideo(plan, path, j, &video_stats, &expansions);
         // A finite gap bound implies same-video continuation: the gap is
         // measured in annotated-shot positions, which another video's
         // timeline cannot satisfy.
-        if (within.empty() && options_.cross_video &&
+        if (expansions.size() == before && options_.cross_video &&
             pattern.steps[j].max_gap < 0) {
-          within =
-              ExpandCrossVideo(path, pattern.steps[j], scorer, &video_stats);
+          ExpandCrossVideo(plan, path, j, &video_stats, &expansions);
         }
-        for (Path& p : within) expansions.push_back(std::move(p));
       }
       std::stable_sort(expansions.begin(), expansions.end(),
-                       [](const Path& a, const Path& b) {
+                       [](const PathRef& a, const PathRef& b) {
                          return a.last_weight > b.last_weight;
                        });
       if (expansions.size() > beam) {
@@ -375,18 +390,14 @@ bool HmmmTraversal::TraverseVideo(VideoId video, const TemporalPattern& pattern,
 
   bool found = false;
   if (!beam_paths.empty()) {
-    // Step 6: SS(R, Q_k) = sum_j w_j (Eq. 15); keep the video's best path.
+    // Step 6: SS(R, Q_k) = sum_j w_j (Eq. 15); keep the video's best
+    // path. Only the survivor is materialized out of the arena.
     ScopedSpan score_span(trace, "step6_eq15_score", video_span.id());
-    const Path* best = &beam_paths.front();
-    for (const Path& p : beam_paths) {
+    const PathRef* best = &beam_paths.front();
+    for (const PathRef& p : beam_paths) {
       if (p.score_sum > best->score_sum) best = &p;
     }
-    out->shots.clear();
-    out->shots.reserve(best->states.size());
-    for (int state : best->states) {
-      out->shots.push_back(model_.ShotOfGlobalState(state));
-    }
-    out->edge_weights = best->edge_weights;
+    plan.MaterializePath(best->node, &out->shots, &out->edge_weights);
     out->score = best->score_sum;
     out->video = video;
     out->crosses_videos = best->crossed_video;
@@ -394,9 +405,13 @@ bool HmmmTraversal::TraverseVideo(VideoId video, const TemporalPattern& pattern,
     found = true;
   }
 
+  video_stats.sim_memo_hits += plan.memo_hits() - memo_hits_before;
+  video_stats.candidate_list_reuse += plan.candidate_reuse() - reuse_before;
   video_span.Counter("states_visited", video_stats.states_visited);
   video_span.Counter("sim_evaluations",
-                     scorer.evaluations() - evaluations_before);
+                     plan.scorer().evaluations() - evaluations_before);
+  video_span.Counter("sim_memo_hits", video_stats.sim_memo_hits);
+  video_span.Counter("candidate_list_reuse", video_stats.candidate_list_reuse);
   video_span.Counter("beam_pruned", video_stats.beam_pruned);
   video_span.Counter("annotated_fallbacks", video_stats.annotated_fallbacks);
   video_span.Counter("candidates_scored", video_stats.candidates_scored);
@@ -407,21 +422,7 @@ bool HmmmTraversal::TraverseVideo(VideoId video, const TemporalPattern& pattern,
 StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
     const TemporalPattern& pattern, const std::vector<VideoId>& video_order,
     RetrievalStats* stats) const {
-  if (pattern.empty()) {
-    return Status::InvalidArgument("empty temporal pattern");
-  }
-  for (const PatternStep& step : pattern.steps) {
-    if (step.alternatives.empty()) {
-      return Status::InvalidArgument("pattern step without alternatives");
-    }
-    for (const auto& alternative : step.alternatives) {
-      for (EventId e : alternative) {
-        if (e < 0 || static_cast<size_t>(e) >= model_.vocabulary().size()) {
-          return Status::InvalidArgument("pattern references unknown event");
-        }
-      }
-    }
-  }
+  HMMM_RETURN_IF_ERROR(ValidatePattern(pattern, model_));
   for (VideoId video : video_order) {
     if (video < 0 || static_cast<size_t>(video) >= model_.num_videos()) {
       return Status::OutOfRange("video order references unknown video");
@@ -436,63 +437,73 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
 
   // Step 7 fan-out: each video's lattice walk (Steps 3-6) is independent
   // given the visiting order, so videos are sharded across the pool.
-  // Every worker owns a scorer (its evaluation counter would race), a
-  // stats block, and a top-K heap; heaps are merged below under a total
-  // order, which makes the ranking identical at any thread count.
+  // Every worker owns a QueryPlan (scorer + memo + candidate cache +
+  // path arena — the counters would race), a stats block and a top-K
+  // heap; heaps are merged below under a total order, which makes the
+  // ranking identical at any thread count.
   const auto top_k = static_cast<size_t>(options_.max_results);
   std::vector<VideoCandidate> survivors;
   RetrievalStats accumulated;
   size_t total_evaluations = 0;
 
+  struct Shard {
+    Shard(const HierarchicalModel& model, const EventBitmapIndex& index,
+          const TemporalPattern& pattern, const ScorerOptions& options,
+          size_t capacity)
+        : plan(model, index, pattern, options), top(capacity) {}
+    QueryPlan plan;
+    TopKHeap top;
+    RetrievalStats stats;
+  };
+  const bool parallel =
+      pool_ != nullptr && pool_->size() > 1 && order.size() > 1;
+  std::vector<std::unique_ptr<Shard>> shards;
+  {
+    ScopedSpan plan_span(options_.trace, "query_plan_build");
+    const EventBitmapIndex& index = CurrentIndex();
+    const size_t num_shards =
+        parallel ? static_cast<size_t>(pool_->size()) : 1;
+    shards.reserve(num_shards);
+    for (size_t w = 0; w < num_shards; ++w) {
+      shards.push_back(std::make_unique<Shard>(model_, index, pattern,
+                                               options_.scorer, top_k));
+    }
+  }
+
   ScopedSpan fanout_span(options_.trace, "step7_video_fanout");
   fanout_span.Counter("videos", order.size());
 
-  if (pool_ != nullptr && pool_->size() > 1 && order.size() > 1) {
-    struct Shard {
-      Shard(const HierarchicalModel& model, const ScorerOptions& options,
-            size_t capacity)
-          : scorer(model, options), top(capacity) {}
-      SimilarityScorer scorer;
-      TopKHeap top;
-      RetrievalStats stats;
-    };
-    std::vector<Shard> shards;
-    shards.reserve(static_cast<size_t>(pool_->size()));
-    for (int w = 0; w < pool_->size(); ++w) {
-      shards.emplace_back(model_, options_.scorer, top_k);
-    }
-    pool_->ParallelFor(
-        order.size(), kParallelGrain,
-        [&](int worker, size_t begin, size_t end) {
-          Shard& shard = shards[static_cast<size_t>(worker)];
-          for (size_t i = begin; i < end; ++i) {
-            RetrievedPattern candidate;
-            if (TraverseVideo(order[i], pattern, shard.scorer, &shard.stats,
-                              &candidate, fanout_span.id(),
-                              static_cast<int64_t>(i))) {
-              shard.top.Push({std::move(candidate), i});
-            }
-          }
-        });
-    for (Shard& shard : shards) {
-      for (VideoCandidate& candidate : shard.top.entries()) {
-        survivors.push_back(std::move(candidate));
-      }
-      AccumulateStats(shard.stats, &accumulated);
-      total_evaluations += shard.scorer.evaluations();
-    }
+  if (parallel) {
+    pool_->ParallelFor(order.size(), kParallelGrain,
+                       [&](int worker, size_t begin, size_t end) {
+                         Shard& shard = *shards[static_cast<size_t>(worker)];
+                         for (size_t i = begin; i < end; ++i) {
+                           RetrievedPattern candidate;
+                           if (TraverseVideo(order[i], pattern, shard.plan,
+                                             &shard.stats, &candidate,
+                                             fanout_span.id(),
+                                             static_cast<int64_t>(i))) {
+                             shard.top.Push({std::move(candidate), i});
+                           }
+                         }
+                       });
   } else {
-    SimilarityScorer scorer(model_, options_.scorer);
-    TopKHeap top(top_k);
+    Shard& shard = *shards.front();
     for (size_t i = 0; i < order.size(); ++i) {
       RetrievedPattern candidate;
-      if (TraverseVideo(order[i], pattern, scorer, &accumulated, &candidate,
-                        fanout_span.id(), static_cast<int64_t>(i))) {
-        top.Push({std::move(candidate), i});
+      if (TraverseVideo(order[i], pattern, shard.plan, &shard.stats,
+                        &candidate, fanout_span.id(),
+                        static_cast<int64_t>(i))) {
+        shard.top.Push({std::move(candidate), i});
       }
     }
-    survivors = std::move(top.entries());
-    total_evaluations = scorer.evaluations();
+  }
+  for (const std::unique_ptr<Shard>& shard : shards) {
+    for (VideoCandidate& candidate : shard->top.entries()) {
+      survivors.push_back(std::move(candidate));
+    }
+    AccumulateStats(shard->stats, &accumulated);
+    total_evaluations += shard->plan.scorer().evaluations();
   }
   fanout_span.Counter("candidates", survivors.size());
   fanout_span.End();

@@ -2,10 +2,12 @@
 #define HMMM_RETRIEVAL_TRAVERSAL_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "observability/query_trace.h"
+#include "retrieval/query_plan.h"
 #include "retrieval/result.h"
 #include "retrieval/scorer.h"
 
@@ -43,11 +45,12 @@ struct TraversalOptions {
   /// hardware thread.
   int num_threads = 1;
   /// When set, the traversal records one span per phase (Step-2 video
-  /// ordering, per-video Steps 3-5 lattice walk, Eq.-15 scoring, Step 7-9
-  /// merge/rank) into this trace, with wall times and RetrievalStats-style
-  /// counters. Not owned; must outlive the traversal. Recording never
-  /// changes what is computed, so the ranked output stays byte-identical
-  /// with tracing on or off, at any thread count.
+  /// ordering, query-plan build, per-video Steps 3-5 lattice walk, Eq.-15
+  /// scoring, Step 7-9 merge/rank) into this trace, with wall times and
+  /// RetrievalStats-style counters. Not owned; must outlive the
+  /// traversal. Recording never changes what is computed, so the ranked
+  /// output stays byte-identical with tracing on or off, at any thread
+  /// count.
   QueryTrace* trace = nullptr;
   ScorerOptions scorer;
 };
@@ -58,14 +61,25 @@ struct TraversalOptions {
 ///   to the previously visited video; Steps 3-5 walk each video's lattice
 ///   (Fig. 3) scoring hops with Eqs. 12-14; Step 6 computes SS (Eq. 15);
 ///   Steps 7-9 rank the per-video candidates.
+///
+/// The walk runs on the two-tier query-plan layer (query_plan.h): a
+/// model-tier EventBitmapIndex answers "which videos / local shots carry
+/// this event" with bitsets, and a per-worker QueryPlan memoizes Eq.-15
+/// scores, caches per-(video, step) candidate lists and arena-allocates
+/// beam paths. Neither tier changes any computed value — rankings, edge
+/// weights and every RetrievalStats counter are byte-identical to the
+/// naive per-path walk (asserted by reference_traversal_test).
 class HmmmTraversal {
  public:
   /// Model and catalog must outlive the traversal. When `pool` is given
   /// it is used for the per-video fan-out (and must outlive the
   /// traversal); otherwise a pool is created iff options.num_threads
-  /// resolves to more than one worker.
+  /// resolves to more than one worker. When `index` is given it must be
+  /// fresh for `model` and outlive the traversal (the engine shares one
+  /// per model version); otherwise the traversal builds its own.
   HmmmTraversal(const HierarchicalModel& model, const VideoCatalog& catalog,
-                TraversalOptions options = {}, ThreadPool* pool = nullptr);
+                TraversalOptions options = {}, ThreadPool* pool = nullptr,
+                const EventBitmapIndex* index = nullptr);
 
   /// Runs the retrieval; results are sorted by descending SS.
   StatusOr<std::vector<RetrievedPattern>> Retrieve(
@@ -82,54 +96,67 @@ class HmmmTraversal {
   /// chained by A2 affinity — then the rest. Exposed for tests.
   std::vector<VideoId> VideoOrder(const TemporalPattern& pattern) const;
 
+  /// The model-tier index this traversal runs on. A self-built index is
+  /// (re)built lazily whenever the model's version counter has moved, so
+  /// mutating the model through a learner between queries stays valid; an
+  /// externally supplied index is trusted (the engine rebuilds it).
+  const EventBitmapIndex& event_index() const { return CurrentIndex(); }
+
  private:
-  struct Path {
-    std::vector<int> states;          // global state indices
-    std::vector<double> edge_weights; // w_1 .. w_j
-    double last_weight = 0.0;
-    double score_sum = 0.0;
-    bool crossed_video = false;
+  /// One beam entry: an arena-backed path (see QueryPlan::PathNode) plus
+  /// the running Eq.-13/-15 accumulators the walk sorts and prunes on.
+  /// Copying a PathRef is O(1) regardless of path length.
+  struct PathRef {
+    int32_t node = -1;                // arena id of the last hop
+    double last_weight = 0.0;         // w_j of that hop
+    double score_sum = 0.0;           // Eq. 15 partial sum
     VideoId current_video = -1;
+    bool crossed_video = false;
   };
 
-  /// True if video `v` contains at least one event usable by `step`.
-  bool VideoContainsStep(VideoId v, const PatternStep& step) const;
+  /// Appends `state` to `path` with edge weight `weight`.
+  static PathRef Extend(QueryPlan& plan, const PathRef& path, int state,
+                        double weight);
 
-  /// True if the shot's annotations satisfy some alternative of `step`.
-  bool ShotAnnotatedForStep(ShotId shot, const PatternStep& step) const;
+  /// Candidate local states in [first, last] for step `step_index` of the
+  /// plan's pattern: the plan's annotated list sliced to the range if any
+  /// fall inside (and annotated_first is set), else all states in the
+  /// range (counted as an annotated fallback in `stats`). Appends the
+  /// chosen states to `out`.
+  void CandidateStates(QueryPlan& plan, VideoId video, int first, int last,
+                       size_t step_index, RetrievalStats* stats,
+                       std::vector<int>* out) const;
 
-  /// Candidate local states in [first, last] of `local` for `step`:
-  /// annotation matches if any exist (and annotated_first is set), else
-  /// all states in the range (counted as an annotated fallback in
-  /// `stats`).
-  std::vector<int> CandidateStates(const LocalShotModel& local, int first,
-                                   int last, const PatternStep& step,
-                                   RetrievalStats* stats) const;
-
-  std::vector<Path> ExpandWithinVideo(const Path& path,
-                                      const PatternStep& step,
-                                      const SimilarityScorer& scorer,
-                                      RetrievalStats* stats) const;
-  std::vector<Path> ExpandCrossVideo(const Path& path, const PatternStep& step,
-                                     const SimilarityScorer& scorer,
-                                     RetrievalStats* stats) const;
+  void ExpandWithinVideo(QueryPlan& plan, const PathRef& path,
+                         size_t step_index, RetrievalStats* stats,
+                         std::vector<PathRef>* out) const;
+  void ExpandCrossVideo(QueryPlan& plan, const PathRef& path,
+                        size_t step_index, RetrievalStats* stats,
+                        std::vector<PathRef>* out) const;
 
   /// Steps 3-6 for one candidate video: the shot-level lattice walk.
   /// Fills `out` with the video's best path and returns true when the
-  /// video yields a candidate. Thread-safe across distinct (scorer,
-  /// stats) pairs — the model and catalog are only read. When tracing is
+  /// video yields a candidate. Thread-safe across distinct (plan, stats)
+  /// pairs — the model, catalog and index are only read. When tracing is
   /// enabled `parent_span`/`order_index` place the video's span (and its
   /// walk/scoring children) deterministically in the trace tree.
   bool TraverseVideo(VideoId video, const TemporalPattern& pattern,
-                     const SimilarityScorer& scorer, RetrievalStats* stats,
+                     QueryPlan& plan, RetrievalStats* stats,
                      RetrievedPattern* out, int parent_span = -1,
                      int64_t order_index = -1) const;
+
+  /// Self-built index, rebuilt under the lock when stale; unused when an
+  /// external index was supplied.
+  const EventBitmapIndex& CurrentIndex() const;
 
   const HierarchicalModel& model_;
   const VideoCatalog& catalog_;
   TraversalOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;  // external or owned_pool_.get(); may be null
+  mutable std::mutex index_mutex_;
+  mutable std::unique_ptr<EventBitmapIndex> owned_index_;
+  const EventBitmapIndex* external_index_ = nullptr;
 };
 
 }  // namespace hmmm

@@ -113,9 +113,10 @@ TEST_F(TracedRetrievalTest, SerialWalkProducesThePaperPhaseStructure) {
   ASSERT_FALSE(results->empty());
 
   const std::vector<TraceSpan> spans = trace.Spans();
-  ASSERT_GE(spans.size(), 4u);
+  ASSERT_GE(spans.size(), 5u);
   EXPECT_EQ(spans[0].name, "step2_video_order");
-  EXPECT_EQ(spans[1].name, "step7_video_fanout");
+  EXPECT_EQ(spans[1].name, "query_plan_build");
+  EXPECT_EQ(spans[2].name, "step7_video_fanout");
   EXPECT_EQ(spans.back().name, "step8_9_merge_rank");
 
   // Every per-video span sits under the fan-out and owns a lattice-walk
@@ -124,7 +125,7 @@ TEST_F(TracedRetrievalTest, SerialWalkProducesThePaperPhaseStructure) {
   for (const TraceSpan& span : spans) {
     if (span.name.rfind("video:", 0) == 0) {
       ++videos;
-      EXPECT_EQ(span.parent, spans[1].id);
+      EXPECT_EQ(span.parent, spans[2].id);
     }
     walks += span.name == "steps3_5_walk" ? 1 : 0;
     scores += span.name == "step6_eq15_score" ? 1 : 0;
