@@ -28,6 +28,10 @@ VideoDatabase::VideoDatabase(VideoCatalog catalog, HierarchicalModel model,
                                         "temporal-pattern retrievals answered");
   query_errors_total_ = metrics_->GetCounter(
       "hmmm_query_errors_total", "retrievals that returned a non-OK status");
+  queries_degraded_total_ = metrics_->GetCounter(
+      "hmmm_queries_degraded_total",
+      "retrievals that returned an anytime prefix result after a "
+      "deadline or cancellation fired");
   query_latency_ms_ =
       metrics_->GetHistogram("hmmm_query_latency_ms", DefaultLatencyBucketsMs(),
                              "end-to-end Retrieve() wall time");
@@ -84,17 +88,22 @@ StatusOr<std::vector<RetrievedPattern>> VideoDatabase::Retrieve(
     const TemporalPattern& pattern, RetrievalStats* stats) const {
   const auto start = std::chrono::steady_clock::now();
   queries_total_->Increment();
+  // A local stats block (merged into the caller's at the end) lets the
+  // degraded-query counter fire even when the caller passed no stats.
+  RetrievalStats computed;
   StatusOr<std::vector<RetrievedPattern>> results = [&] {
     if (categories_.has_value()) {
       ThreeLevelTraversal traversal(*model_, *catalog_, *categories_,
                                     options_.traversal, pool_.get());
-      return traversal.Retrieve(pattern, stats);
+      return traversal.Retrieve(pattern, &computed);
     }
     HmmmTraversal traversal(*model_, *catalog_, options_.traversal,
                             pool_.get());
-    return traversal.Retrieve(pattern, stats);
+    return traversal.Retrieve(pattern, &computed);
   }();
   if (!results.ok()) query_errors_total_->Increment();
+  if (results.ok() && computed.degraded) queries_degraded_total_->Increment();
+  if (stats != nullptr) AccumulateRetrievalStats(computed, stats);
   query_latency_ms_->Observe(ElapsedMs(start));
   return results;
 }

@@ -132,6 +132,7 @@ class VideoDatabase {
   // entries).
   Counter* queries_total_ = nullptr;
   Counter* query_errors_total_ = nullptr;
+  Counter* queries_degraded_total_ = nullptr;
   Histogram* query_latency_ms_ = nullptr;
 };
 

@@ -1,0 +1,54 @@
+#ifndef HMMM_COMMON_CANCELLATION_H_
+#define HMMM_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace hmmm {
+
+/// Cooperative cancellation signal shared between a query's caller and
+/// the workers executing it. The caller keeps the token alive for the
+/// duration of the operation and calls Cancel() to request a stop; the
+/// workers poll cancelled() at bounded intervals and wind down to an
+/// anytime result (see TraversalOptions). Cancelling is sticky — there is
+/// no reset; use a fresh token per operation.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Safe to call from any thread, idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once Cancel() has been called. A single acquire load, cheap
+  /// enough to poll from inner loops.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Sentinel for "no deadline": the options structs default their deadline
+/// to this and the polling helpers skip the clock read entirely.
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
+/// Absolute deadline `budget` from now, for callers thinking in latency
+/// budgets rather than time points.
+inline std::chrono::steady_clock::time_point DeadlineAfter(
+    std::chrono::steady_clock::duration budget) {
+  return std::chrono::steady_clock::now() + budget;
+}
+
+/// True when `deadline` is set and has passed.
+inline bool DeadlineExpired(std::chrono::steady_clock::time_point deadline) {
+  return deadline != kNoDeadline &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
+}  // namespace hmmm
+
+#endif  // HMMM_COMMON_CANCELLATION_H_

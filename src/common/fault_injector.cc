@@ -1,0 +1,96 @@
+#include "common/fault_injector.h"
+
+namespace hmmm {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();  // never destroyed
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultPointConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointState& state = points_[point];
+  state.config = config;
+  state.armed = true;
+  state.hit_count = 0;
+  state.fire_count = 0;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  if (it != points_.end()) it->second.armed = false;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_.seed(seed);
+}
+
+bool FaultInjector::ShouldFire(const char* point, int64_t arg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointState& state = points_[point];
+  const uint64_t hit_index = state.hit_count++;
+  if (!state.armed) return false;
+  const FaultPointConfig& config = state.config;
+  if (config.max_fires >= 0 &&
+      state.fire_count >= static_cast<uint64_t>(config.max_fires)) {
+    return false;
+  }
+  bool fire = false;
+  if (config.after_hits >= 0 &&
+      hit_index >= static_cast<uint64_t>(config.after_hits)) {
+    fire = true;
+  }
+  if (!fire && config.arg_threshold >= 0 && arg >= 0 &&
+      arg >= config.arg_threshold) {
+    fire = true;
+  }
+  if (!fire && config.probability > 0.0) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    fire = uniform(rng_) < config.probability;
+  }
+  if (fire) ++state.fire_count;
+  return fire;
+}
+
+bool FaultInjector::ArmedWithPrefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // points_ is sorted: the first key >= prefix is the only candidate
+  // that could start with it.
+  for (auto it = points_.lower_bound(prefix); it != points_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (it->second.armed) return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hit_count;
+}
+
+uint64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fire_count;
+}
+
+std::vector<FaultPointStats> FaultInjector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FaultPointStats> snapshot;
+  snapshot.reserve(points_.size());
+  for (const auto& [point, state] : points_) {
+    snapshot.push_back(
+        {point, state.hit_count, state.fire_count, state.armed});
+  }
+  return snapshot;
+}
+
+}  // namespace hmmm

@@ -1,9 +1,14 @@
 #include "common/serialization.h"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
+#include <type_traits>
 
 #include "common/crc32.h"
+#include "common/fault_injector.h"
 #include "common/strings.h"
 
 namespace hmmm {
@@ -175,7 +180,40 @@ StatusOr<Matrix> BinaryReader::ReadMatrix() {
   return m;
 }
 
-Status WriteFile(const std::string& path, std::string_view contents) {
+namespace {
+
+/// Transient-IO retry budget shared by ReadFileToString and WriteFile:
+/// kIOError attempts are repeated with linear backoff; every other code
+/// (kNotFound in particular) returns immediately. Keeping the retry at
+/// this choke point hardens every storage load/save path — catalog
+/// snapshots, model files, record-log replay — at once.
+constexpr int kTransientIoAttempts = 3;
+constexpr std::chrono::milliseconds kIoRetryBackoffStep{1};
+
+template <typename Op>
+auto WithIoRetry(const Op& op) -> decltype(op()) {
+  for (int attempt = 0;; ++attempt) {
+    auto result = op();
+    const Status& status = [&]() -> const Status& {
+      if constexpr (std::is_same_v<decltype(op()), Status>) {
+        return result;
+      } else {
+        return result.status();
+      }
+    }();
+    if (status.code() != StatusCode::kIOError ||
+        attempt + 1 >= kTransientIoAttempts) {
+      return result;
+    }
+    std::this_thread::sleep_for(kIoRetryBackoffStep * (attempt + 1));
+  }
+}
+
+Status WriteFileOnce(const std::string& path, std::string_view contents) {
+  if (HMMM_FAULT_FIRED("storage.write")) {
+    return Status::IOError(
+        StrFormat("injected fault: storage.write on %s", path.c_str()));
+  }
   const std::string tmp_path = path + ".tmp";
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) {
@@ -196,9 +234,19 @@ Status WriteFile(const std::string& path, std::string_view contents) {
   return Status::OK();
 }
 
-StatusOr<std::string> ReadFileToString(const std::string& path) {
+StatusOr<std::string> ReadFileToStringOnce(const std::string& path) {
+  if (HMMM_FAULT_FIRED("storage.read")) {
+    return Status::IOError(
+        StrFormat("injected fault: storage.read on %s", path.c_str()));
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
+    // A missing file is an answer, not an IO failure: callers like the
+    // catalog journal treat it as "start empty", and the retry loop must
+    // not burn its budget on it.
+    if (errno == ENOENT) {
+      return Status::NotFound(StrFormat("no such file: %s", path.c_str()));
+    }
     return Status::IOError(StrFormat("cannot open %s", path.c_str()));
   }
   std::string out;
@@ -214,6 +262,16 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
     return Status::IOError(StrFormat("read error on %s", path.c_str()));
   }
   return out;
+}
+
+}  // namespace
+
+Status WriteFile(const std::string& path, std::string_view contents) {
+  return WithIoRetry([&] { return WriteFileOnce(path, contents); });
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  return WithIoRetry([&] { return ReadFileToStringOnce(path); });
 }
 
 std::string WrapChecksummed(uint32_t magic, uint32_t version,

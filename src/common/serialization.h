@@ -70,9 +70,13 @@ class BinaryReader {
 };
 
 /// Writes `contents` to `path` atomically-ish (tmp file + rename).
+/// Transient kIOError failures are retried a bounded number of times with
+/// backoff before the error surfaces.
 Status WriteFile(const std::string& path, std::string_view contents);
 
-/// Reads a whole file into a string.
+/// Reads a whole file into a string. Returns kNotFound for a missing
+/// file; transient kIOError failures are retried a bounded number of
+/// times with backoff before the error surfaces.
 StatusOr<std::string> ReadFileToString(const std::string& path);
 
 /// Wraps a payload in a checksummed envelope:

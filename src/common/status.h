@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal = 7,
   kUnimplemented = 8,
   kIOError = 9,
+  kResourceExhausted = 10,
 };
 
 /// Returns a stable lowercase name for `code` ("ok", "invalid_argument", ...).
@@ -68,6 +69,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

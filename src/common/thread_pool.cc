@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <exception>
+#include <stdexcept>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace hmmm {
@@ -41,6 +44,23 @@ void ThreadPool::Submit(std::function<void()> task) {
   wake_.notify_one();
 }
 
+std::future<void> ThreadPool::SubmitWithFuture(std::function<void()> task) {
+  HMMM_CHECK(task != nullptr);
+  // packaged_task routes anything the callable throws into the future;
+  // the worker-loop catch never sees it, so it is not counted as a
+  // dropped exception.
+  auto packaged = std::make_shared<std::packaged_task<void()>>(
+      [task = std::move(task)] {
+        if (HMMM_FAULT_FIRED("threadpool.task")) {
+          throw std::runtime_error("injected fault: threadpool.task");
+        }
+        task();
+      });
+  std::future<void> future = packaged->get_future();
+  Submit([packaged] { (*packaged)(); });
+  return future;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -52,7 +72,18 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     const auto start = std::chrono::steady_clock::now();
-    task();
+    // A fire-and-forget task has no one to deliver an exception to; the
+    // worker must survive it regardless (a dead worker would silently
+    // shrink the pool for the rest of the process).
+    try {
+      task();
+    } catch (const std::exception& e) {
+      task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      HMMM_LOG(Error) << "thread-pool task threw: " << e.what();
+    } catch (...) {
+      task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      HMMM_LOG(Error) << "thread-pool task threw a non-std exception";
+    }
     const auto elapsed = std::chrono::steady_clock::now() - start;
     busy_ns_.fetch_add(
         static_cast<uint64_t>(
@@ -66,6 +97,7 @@ void ThreadPool::WorkerLoop() {
 ThreadPoolStats ThreadPool::stats() const {
   ThreadPoolStats stats;
   stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.task_exceptions = task_exceptions_.load(std::memory_order_relaxed);
   stats.busy_ms =
       static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) / 1e6;
   stats.workers = size();
@@ -89,6 +121,7 @@ void ThreadPool::ParallelFor(
     std::mutex mutex;
     std::condition_variable done;
     size_t active = 0;
+    std::exception_ptr first_exception;
   } state;
 
   const size_t num_chunks = (n + chunk - 1) / chunk;
@@ -97,11 +130,26 @@ void ThreadPool::ParallelFor(
   state.active = static_cast<size_t>(fanout);
   for (int worker = 0; worker < fanout; ++worker) {
     Submit([&state, &body, worker, n, chunk] {
-      for (;;) {
-        const size_t begin =
-            state.next.fetch_add(chunk, std::memory_order_relaxed);
-        if (begin >= n) break;
-        body(worker, begin, std::min(n, begin + chunk));
+      // A throwing body stops this worker's claim loop; the exception is
+      // parked for the caller and `active` still drains, so the caller
+      // never deadlocks. Other workers keep claiming the remaining
+      // chunks — the caller treats the whole ParallelFor as failed once
+      // the rethrow happens, so the extra work is at worst wasted.
+      try {
+        for (;;) {
+          const size_t begin =
+              state.next.fetch_add(chunk, std::memory_order_relaxed);
+          if (begin >= n) break;
+          if (HMMM_FAULT_FIRED("threadpool.task")) {
+            throw std::runtime_error("injected fault: threadpool.task");
+          }
+          body(worker, begin, std::min(n, begin + chunk));
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.first_exception == nullptr) {
+          state.first_exception = std::current_exception();
+        }
       }
       std::lock_guard<std::mutex> lock(state.mutex);
       if (--state.active == 0) state.done.notify_one();
@@ -109,6 +157,9 @@ void ThreadPool::ParallelFor(
   }
   std::unique_lock<std::mutex> lock(state.mutex);
   state.done.wait(lock, [&state] { return state.active == 0; });
+  if (state.first_exception != nullptr) {
+    std::rethrow_exception(state.first_exception);
+  }
 }
 
 std::unique_ptr<ThreadPool> MakeThreadPool(int num_threads) {

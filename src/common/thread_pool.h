@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -19,16 +20,25 @@ namespace hmmm {
 /// observability library in the dependency order, so it only keeps cheap
 /// internal atomics).
 struct ThreadPoolStats {
-  uint64_t tasks_executed = 0;  // tasks completed since construction
-  double busy_ms = 0.0;         // summed wall time workers spent in tasks
-  size_t queue_depth = 0;       // tasks currently waiting
+  uint64_t tasks_executed = 0;   // tasks completed since construction
+  uint64_t task_exceptions = 0;  // fire-and-forget tasks that threw
+  double busy_ms = 0.0;          // summed wall time workers spent in tasks
+  size_t queue_depth = 0;        // tasks currently waiting
   int workers = 0;
 };
 
 /// A fixed-size pool of worker threads over a shared FIFO task queue.
 /// Workers start in the constructor and are joined in the destructor
-/// (after draining any queued tasks). Tasks must not throw: the library
-/// reports failures through Status, and a throwing task would terminate.
+/// (after draining any queued tasks).
+///
+/// Tasks may throw. An exception never kills a worker or the pool:
+///  - Submit (fire-and-forget) catches the exception, counts it in
+///    stats().task_exceptions and logs it — there is no submitter-side
+///    handle to deliver it to.
+///  - SubmitWithFuture delivers the exception to the submitter through
+///    the returned future (std::future::get rethrows it).
+///  - ParallelFor captures the first body exception and rethrows it on
+///    the calling thread after every worker has stopped.
 class ThreadPool {
  public:
   /// `num_threads` <= 0 resolves to the hardware concurrency (at least 1).
@@ -40,16 +50,23 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues one fire-and-forget task.
+  /// Enqueues one fire-and-forget task. A throwing task is swallowed
+  /// (counted + logged), keeping the worker alive.
   void Submit(std::function<void()> task);
+
+  /// Enqueues one task whose completion — and any exception it throws —
+  /// is observable through the returned future.
+  std::future<void> SubmitWithFuture(std::function<void()> task);
 
   /// Runs `body(worker, begin, end)` over [0, n) split into chunks of at
   /// most `grain` indices with dynamic load balancing: each pool worker
   /// repeatedly claims the next unprocessed chunk. `worker` is a dense id
   /// in [0, size()), stable for the duration of the call, so the body can
   /// keep worker-local accumulators without locking. Blocks the calling
-  /// thread until every index has been processed. Must not be invoked
-  /// from inside a pool task (the nested wait could deadlock).
+  /// thread until every worker is done; if any body invocation threw, the
+  /// first exception is rethrown here (remaining chunks may or may not
+  /// have run — callers treat the whole ParallelFor as failed). Must not
+  /// be invoked from inside a pool task (the nested wait could deadlock).
   void ParallelFor(size_t n, size_t grain,
                    const std::function<void(int worker, size_t begin,
                                             size_t end)>& body);
@@ -70,6 +87,7 @@ class ThreadPool {
   std::condition_variable wake_;
   bool stopping_ = false;
   std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> task_exceptions_{0};
   std::atomic<uint64_t> busy_ns_{0};
 };
 

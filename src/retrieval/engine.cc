@@ -1,13 +1,24 @@
 #include "retrieval/engine.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
+
+#include "common/fault_injector.h"
 
 namespace hmmm {
 
 struct RetrievalEngine::IndexCache {
   std::mutex mutex;
   std::shared_ptr<const EventBitmapIndex> index;
+};
+
+struct RetrievalEngine::Admission {
+  mutable std::mutex mutex;
+  std::condition_variable slot_freed;
+  AdmissionOptions options;
+  int in_flight = 0;
+  int queued = 0;
 };
 
 namespace {
@@ -38,11 +49,19 @@ RetrievalEngine::RetrievalEngine(const VideoCatalog& catalog,
       traversal_options_(traversal_options),
       pool_(MakeThreadPool(traversal_options_.num_threads)),
       index_cache_(std::make_unique<IndexCache>()),
+      admission_(std::make_unique<Admission>()),
       metrics_(std::make_unique<MetricsRegistry>()) {
   queries_total_ = metrics_->GetCounter(
       "hmmm_queries_total", "retrievals answered, cache hits included");
   query_errors_total_ = metrics_->GetCounter(
       "hmmm_query_errors_total", "retrievals that returned a non-OK status");
+  queries_degraded_total_ = metrics_->GetCounter(
+      "hmmm_queries_degraded_total",
+      "retrievals that returned an anytime prefix result after a "
+      "deadline or cancellation fired");
+  admission_rejected_total_ = metrics_->GetCounter(
+      "hmmm_admission_rejected_total",
+      "retrievals shed by admission control (kResourceExhausted)");
   query_latency_ms_ =
       metrics_->GetHistogram("hmmm_query_latency_ms", DefaultLatencyBucketsMs(),
                              "end-to-end Retrieve() wall time");
@@ -66,6 +85,53 @@ void RetrievalEngine::set_traversal_options(const TraversalOptions& options) {
   // Any option can change the ranking (beam, gap handling, max_results),
   // so cached results are no longer answers to the same question.
   if (cache_ != nullptr) cache_->Clear();
+}
+
+void RetrievalEngine::set_admission_options(const AdmissionOptions& options) {
+  std::lock_guard<std::mutex> lock(admission_->mutex);
+  admission_->options = options;
+  // Parked waiters re-check against the new bounds.
+  admission_->slot_freed.notify_all();
+}
+
+AdmissionOptions RetrievalEngine::admission_options() const {
+  std::lock_guard<std::mutex> lock(admission_->mutex);
+  return admission_->options;
+}
+
+Status RetrievalEngine::AcquireSlot() const {
+  Admission& admission = *admission_;
+  std::unique_lock<std::mutex> lock(admission.mutex);
+  const auto admitted = [&admission] {
+    return admission.options.max_concurrent <= 0 ||
+           admission.in_flight < admission.options.max_concurrent;
+  };
+  if (!admitted()) {
+    if (admission.queued >= admission.options.max_queued) {
+      // Saturated and the bounded wait queue is full: shed immediately
+      // rather than letting latency pile up behind a burst.
+      admission_rejected_total_->Increment();
+      return Status::ResourceExhausted(
+          "retrieval admission queue full (load shed)");
+    }
+    ++admission.queued;
+    const bool got_slot = admission.slot_freed.wait_for(
+        lock, admission.options.max_queue_wait, admitted);
+    --admission.queued;
+    if (!got_slot) {
+      admission_rejected_total_->Increment();
+      return Status::ResourceExhausted(
+          "timed out waiting for a retrieval slot");
+    }
+  }
+  ++admission.in_flight;
+  return Status::OK();
+}
+
+void RetrievalEngine::ReleaseSlot() const {
+  std::lock_guard<std::mutex> lock(admission_->mutex);
+  --admission_->in_flight;
+  admission_->slot_freed.notify_one();
 }
 
 QueryCacheStats RetrievalEngine::cache_stats() const {
@@ -93,35 +159,63 @@ StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Query(
 StatusOr<std::vector<RetrievedPattern>> RetrievalEngine::Retrieve(
     const TemporalPattern& pattern, RetrievalStats* stats) const {
   const auto start = std::chrono::steady_clock::now();
+  // Admission before anything else: a shed query must be near-free. Only
+  // admitted queries count toward hmmm_queries_total.
+  HMMM_RETURN_IF_ERROR(AcquireSlot());
+  // Local class so it inherits this function's access to ReleaseSlot;
+  // pairs the slot with every exit path below.
+  struct SlotGuard {
+    const RetrievalEngine* engine;
+    ~SlotGuard() { engine->ReleaseSlot(); }
+  } slot_guard{this};
   queries_total_->Increment();
+
+  const auto run_traversal = [&](RetrievalStats* computed) {
+    const std::shared_ptr<const EventBitmapIndex> index = SharedEventIndex();
+    HmmmTraversal traversal(*model_, *catalog_, traversal_options_,
+                            pool_.get(), index.get());
+    return traversal.Retrieve(pattern, computed);
+  };
+
   if (cache_ != nullptr) {
     const std::string key = PatternSignature(pattern);
     std::vector<RetrievedPattern> cached;
     // A hit replays the recorded traversal stats into `stats`, so stats
-    // consumers no longer force a bypass.
-    if (cache_->Lookup(key, model_->version(), &cached, stats)) {
+    // consumers no longer force a bypass. A miss makes this call the
+    // single-flight compute leader for `key`: identical concurrent
+    // queries park inside LookupOrCompute instead of re-traversing.
+    if (cache_->LookupOrCompute(key, model_->version(), &cached, stats) ==
+        QueryCache::LookupOutcome::kHit) {
       query_latency_ms_->Observe(ElapsedMs(start));
       return cached;
     }
-    const std::shared_ptr<const EventBitmapIndex> index = SharedEventIndex();
-    HmmmTraversal traversal(*model_, *catalog_, traversal_options_,
-                            pool_.get(), index.get());
+    // The leader obligation must end on every exit so waiters wake even
+    // when the traversal fails or the result is uncacheable.
+    struct ComputeGuard {
+      QueryCache* cache;
+      const std::string& key;
+      ~ComputeGuard() { cache->FinishCompute(key); }
+    } compute_guard{cache_.get(), key};
     RetrievalStats computed;
-    auto results = traversal.Retrieve(pattern, &computed);
-    if (results.ok()) {
-      cache_->Insert(key, model_->version(), results.value(), computed);
-    } else {
+    auto results = run_traversal(&computed);
+    if (!results.ok()) {
       query_errors_total_->Increment();
+    } else if (computed.degraded) {
+      // An anytime result answers *this* caller but is never cached:
+      // the next uncontended asker deserves the full ranking.
+      queries_degraded_total_->Increment();
+    } else {
+      cache_->Insert(key, model_->version(), results.value(), computed);
     }
     if (stats != nullptr) AccumulateRetrievalStats(computed, stats);
     query_latency_ms_->Observe(ElapsedMs(start));
     return results;
   }
-  const std::shared_ptr<const EventBitmapIndex> index = SharedEventIndex();
-  HmmmTraversal traversal(*model_, *catalog_, traversal_options_, pool_.get(),
-                          index.get());
-  auto results = traversal.Retrieve(pattern, stats);
+  RetrievalStats computed;
+  auto results = run_traversal(&computed);
   if (!results.ok()) query_errors_total_->Increment();
+  if (results.ok() && computed.degraded) queries_degraded_total_->Increment();
+  if (stats != nullptr) AccumulateRetrievalStats(computed, stats);
   query_latency_ms_->Observe(ElapsedMs(start));
   return results;
 }
@@ -143,6 +237,33 @@ void RetrievalEngine::RefreshResourceGauges() const {
       ->GetGauge("hmmm_pool_busy_ms",
                  "summed wall time workers spent inside tasks")
       ->Set(pool.busy_ms);
+  metrics_
+      ->GetGauge("hmmm_pool_task_exceptions",
+                 "pool tasks that terminated with an uncaught exception")
+      ->Set(static_cast<double>(pool.task_exceptions));
+  {
+    std::lock_guard<std::mutex> lock(admission_->mutex);
+    metrics_
+        ->GetGauge("hmmm_queries_in_flight",
+                   "retrievals currently admitted and running")
+        ->Set(static_cast<double>(admission_->in_flight));
+  }
+  // Armed fault points (empty outside fault-injection runs) surface as
+  // gauges so a chaos run's metrics dump records what was injected.
+  for (const FaultPointStats& point : FaultInjector::Instance().Snapshot()) {
+    std::string name = point.point;
+    for (char& c : name) {
+      if (c == '.') c = '_';
+    }
+    metrics_
+        ->GetGauge("hmmm_fault_" + name + "_hits",
+                   "times this fault point was evaluated")
+        ->Set(static_cast<double>(point.hits));
+    metrics_
+        ->GetGauge("hmmm_fault_" + name + "_fires",
+                   "times this fault point injected a failure")
+        ->Set(static_cast<double>(point.fires));
+  }
 }
 
 std::string RetrievalEngine::DumpMetricsPrometheus() const {

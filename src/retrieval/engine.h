@@ -1,6 +1,7 @@
 #ifndef HMMM_RETRIEVAL_ENGINE_H_
 #define HMMM_RETRIEVAL_ENGINE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -13,6 +14,22 @@
 #include "retrieval/traversal.h"
 
 namespace hmmm {
+
+/// Admission control for the engine's Retrieve/Query entry points:
+/// bounds the number of in-flight retrievals so an overloaded engine
+/// sheds load with a fast kResourceExhausted instead of queueing
+/// unboundedly and missing every deadline.
+struct AdmissionOptions {
+  /// Retrievals allowed to run concurrently. 0 = unlimited (default:
+  /// admission control off, zero overhead beyond one mutex hop).
+  int max_concurrent = 0;
+  /// Callers allowed to park waiting for a slot once max_concurrent is
+  /// reached; anyone beyond this fast-fails. 0 = no waiting at all.
+  int max_queued = 0;
+  /// How long a parked caller waits for a slot before giving up with
+  /// kResourceExhausted.
+  std::chrono::milliseconds max_queue_wait{50};
+};
 
 /// High-level facade over catalog + model + traversal: the public entry
 /// point a downstream application uses ("build the HMMM over my archive,
@@ -57,7 +74,12 @@ class RetrievalEngine {
   /// cache when an identical pattern was answered under the current model
   /// version; hits replay the recorded RetrievalStats of the traversal
   /// that produced the entry into `stats`, so cost accounting works on
-  /// both paths.
+  /// both paths. Concurrent identical misses are coalesced: one caller
+  /// computes while the rest wait for its entry (single-flight), so a
+  /// stampede of the same query costs one traversal. Degraded (anytime)
+  /// results are returned but never cached — a later uncontended query
+  /// deserves the full ranking. May fail with kResourceExhausted when
+  /// admission control is configured and the engine is saturated.
   StatusOr<std::vector<RetrievedPattern>> Retrieve(
       const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
 
@@ -74,6 +96,12 @@ class RetrievalEngine {
   /// Replaces the options; resizes the worker pool if num_threads changed
   /// and drops every cached result (options change the ranking).
   void set_traversal_options(const TraversalOptions& options);
+
+  /// Replaces the admission policy. Takes effect for subsequent
+  /// Retrieve/Query calls; already-parked waiters re-evaluate against
+  /// the new bounds.
+  void set_admission_options(const AdmissionOptions& options);
+  AdmissionOptions admission_options() const;
 
   /// Hit/miss/occupancy counters of the query-result cache; all-zero
   /// capacity when caching is disabled.
@@ -99,10 +127,20 @@ class RetrievalEngine {
   std::string DumpMetricsJson() const;
 
  private:
-  /// Copies the thread pool's usage atomics and the model version into
-  /// registry gauges. Called by the Dump methods; gauges are snapshots,
-  /// not live views.
+  /// Copies the thread pool's usage atomics, the model version and any
+  /// armed fault-point counters into registry gauges. Called by the Dump
+  /// methods; gauges are snapshots, not live views.
   void RefreshResourceGauges() const;
+
+  /// Blocks (bounded) for an admission slot per admission_options().
+  /// Increments hmmm_admission_rejected_total and returns
+  /// kResourceExhausted on shed load. Every OK must be paired with
+  /// ReleaseSlot(). Note one deliberate interaction with single-flight:
+  /// a cache waiter parks while *holding* its slot, which is safe (the
+  /// compute leader always holds a slot too, so progress is guaranteed)
+  /// and intended — a coalesced caller is still occupying the engine.
+  Status AcquireSlot() const;
+  void ReleaseSlot() const;
 
   const VideoCatalog* catalog_;
   /// unique_ptr so the engine stays movable while traversals hold stable
@@ -114,11 +152,17 @@ class RetrievalEngine {
   /// Mutex + current index behind a pointer so the engine stays movable.
   struct IndexCache;
   std::unique_ptr<IndexCache> index_cache_;
+  /// Mutex + cv + in-flight counters behind a pointer, same movability
+  /// trick as IndexCache.
+  struct Admission;
+  std::unique_ptr<Admission> admission_;
   std::unique_ptr<MetricsRegistry> metrics_;
   // Hot-path handles into metrics_; stable because the registry never
   // relocates entries.
   Counter* queries_total_ = nullptr;
   Counter* query_errors_total_ = nullptr;
+  Counter* queries_degraded_total_ = nullptr;
+  Counter* admission_rejected_total_ = nullptr;
   Histogram* query_latency_ms_ = nullptr;
 };
 

@@ -40,6 +40,9 @@ void QueryCache::AttachMetrics(MetricsRegistry* registry,
   invalidations_metric_ = registry->GetCounter(
       prefix + "invalidations_total",
       "full flushes from model-version bumps or Clear()");
+  coalesced_metric_ = registry->GetCounter(
+      prefix + "coalesced_total",
+      "lookups that waited behind an identical in-flight compute");
   entries_metric_ =
       registry->GetGauge(prefix + "entries", "cached rankings currently held");
 }
@@ -73,6 +76,47 @@ bool QueryCache::Lookup(const std::string& key, uint64_t version,
   // a hit must not leave the caller's stats block blind.
   if (stats != nullptr) AccumulateRetrievalStats(it->second->stats, stats);
   return true;
+}
+
+QueryCache::LookupOutcome QueryCache::LookupOrCompute(
+    const std::string& key, uint64_t version,
+    std::vector<RetrievedPattern>* results, RetrievalStats* stats) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool waited = false;
+  for (;;) {
+    FlushIfStaleLocked(version);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      if (hits_metric_ != nullptr) hits_metric_->Increment();
+      *results = it->second->results;
+      if (stats != nullptr) AccumulateRetrievalStats(it->second->stats, stats);
+      return LookupOutcome::kHit;
+    }
+    if (in_flight_.insert(key).second) {
+      // No leader for this key: the caller becomes it.
+      ++misses_;
+      if (misses_metric_ != nullptr) misses_metric_->Increment();
+      return LookupOutcome::kCompute;
+    }
+    // Somebody is already computing this exact query under this version:
+    // wait for them instead of duplicating the traversal (stampede
+    // protection), then loop to re-check. The leader may have failed or
+    // produced an uncacheable (degraded) result, in which case the
+    // re-check finds no entry and this waiter takes over as leader.
+    if (!waited) {
+      waited = true;
+      ++coalesced_;
+      if (coalesced_metric_ != nullptr) coalesced_metric_->Increment();
+    }
+    in_flight_cv_.wait(lock, [&] { return in_flight_.count(key) == 0; });
+  }
+}
+
+void QueryCache::FinishCompute(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_.erase(key) > 0) in_flight_cv_.notify_all();
 }
 
 void QueryCache::Insert(const std::string& key, uint64_t version,
@@ -116,6 +160,7 @@ QueryCacheStats QueryCache::stats() const {
   stats.misses = misses_;
   stats.evictions = evictions_;
   stats.invalidations = invalidations_;
+  stats.coalesced = coalesced_;
   stats.entries = lru_.size();
   stats.capacity = capacity_;
   return stats;

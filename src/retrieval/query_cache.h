@@ -1,11 +1,13 @@
 #ifndef HMMM_RETRIEVAL_QUERY_CACHE_H_
 #define HMMM_RETRIEVAL_QUERY_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "observability/metrics_registry.h"
@@ -25,6 +27,9 @@ struct QueryCacheStats {
   size_t misses = 0;
   size_t evictions = 0;      // entries dropped by the LRU capacity bound
   size_t invalidations = 0;  // full flushes (model-version bump or Clear)
+  size_t coalesced = 0;      // LookupOrCompute callers that waited behind
+                             // another caller's in-flight compute instead
+                             // of recomputing (stampede protection)
   size_t entries = 0;
   size_t capacity = 0;
 };
@@ -55,6 +60,29 @@ class QueryCache {
               std::vector<RetrievedPattern>* results,
               RetrievalStats* stats = nullptr);
 
+  /// What LookupOrCompute resolved to.
+  enum class LookupOutcome {
+    kHit,      // `results`/`stats` filled from the cache
+    kCompute,  // caller is the compute leader for `key` and MUST call
+               // FinishCompute(key) after Insert-ing or failing
+  };
+
+  /// Single-flight lookup (stampede protection): a miss with nobody
+  /// computing `key` makes the caller the leader (kCompute). A miss with
+  /// a compute already in flight blocks until that compute finishes,
+  /// then re-checks — served from the cache if the leader inserted
+  /// (kHit, counted as coalesced), otherwise the waiter is promoted to
+  /// the new leader (kCompute), so a failed or uncacheable compute never
+  /// strands waiters.
+  LookupOutcome LookupOrCompute(const std::string& key, uint64_t version,
+                                std::vector<RetrievedPattern>* results,
+                                RetrievalStats* stats = nullptr);
+
+  /// Ends a kCompute obligation (whether the compute succeeded, failed,
+  /// or produced an uncacheable result) and wakes waiters. Idempotent
+  /// for keys not in flight.
+  void FinishCompute(const std::string& key);
+
   /// Inserts (or refreshes) one ranking with the stats of the traversal
   /// that computed it, evicting the least recently used entry beyond
   /// capacity.
@@ -79,6 +107,9 @@ class QueryCache {
 
   const size_t capacity_;
   mutable std::mutex mutex_;
+  std::condition_variable in_flight_cv_;
+  /// Keys with a compute leader between LookupOrCompute → FinishCompute.
+  std::unordered_set<std::string> in_flight_;
   uint64_t version_ = 0;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
@@ -86,11 +117,13 @@ class QueryCache {
   size_t misses_ = 0;
   size_t evictions_ = 0;
   size_t invalidations_ = 0;
+  size_t coalesced_ = 0;
   // Optional registry mirrors; null until AttachMetrics.
   Counter* hits_metric_ = nullptr;
   Counter* misses_metric_ = nullptr;
   Counter* evictions_metric_ = nullptr;
   Counter* invalidations_metric_ = nullptr;
+  Counter* coalesced_metric_ = nullptr;
   Gauge* entries_metric_ = nullptr;
 };
 

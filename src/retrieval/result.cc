@@ -14,6 +14,8 @@ void AccumulateRetrievalStats(const RetrievalStats& from, RetrievalStats* to) {
   to->sim_memo_hits += from.sim_memo_hits;
   to->candidate_list_reuse += from.candidate_list_reuse;
   to->truncated = to->truncated || from.truncated;
+  to->degraded = to->degraded || from.degraded;
+  to->videos_skipped += from.videos_skipped;
 }
 
 std::string RetrievedPattern::ToString(const VideoCatalog& catalog) const {

@@ -37,10 +37,18 @@ struct RetrievalStats {
   size_t candidate_list_reuse = 0; // candidate-state lists served from the
                                    // query plan's per-walk cache
   bool truncated = false;          // an enumeration cap was hit
+  /// The retrieval hit its deadline (or was cancelled) and returned the
+  /// best *anytime* result over the prefix of Step-2 videos whose lattice
+  /// walks completed, instead of the full ranking.
+  bool degraded = false;
+  /// Videos left unvisited (or whose walks were abandoned mid-flight)
+  /// when a deadline/cancellation fired. 0 for a complete retrieval.
+  size_t videos_skipped = 0;
 };
 
-/// Adds every counter of `from` into `*to` (truncated is OR-ed). Used by
-/// the parallel shard merge and by cache hits replaying recorded stats.
+/// Adds every counter of `from` into `*to` (truncated/degraded are
+/// OR-ed). Used by the parallel shard merge and by cache hits replaying
+/// recorded stats.
 void AccumulateRetrievalStats(const RetrievalStats& from, RetrievalStats* to);
 
 }  // namespace hmmm

@@ -33,13 +33,25 @@ class ThreeLevelTraversal {
   /// The pruned video visiting order: clusters containing a first-step
   /// event (ordered by Pi3 then A3 chaining), their member videos
   /// in-cluster; videos of non-containing clusters are skipped entirely.
-  /// Falls back to all videos when no cluster contains the event.
+  /// Falls back to all videos when no cluster contains the event. Polls
+  /// the options' deadline/cancellation between cluster picks and
+  /// truncates at a cluster boundary when either fires (the underlying
+  /// fan-out then degrades over the truncated order).
   std::vector<VideoId> PrunedVideoOrder(const TemporalPattern& pattern) const;
 
  private:
+  /// PrunedVideoOrder plus degradation accounting: `*dropped_videos` is
+  /// how many videos an expired deadline/cancellation truncated away
+  /// (0 for a full order), so Retrieve can mark the result degraded with
+  /// the same contract as the 2-level engine.
+  std::vector<VideoId> PrunedVideoOrderInternal(const TemporalPattern& pattern,
+                                                size_t* dropped_videos) const;
+
   const HierarchicalModel& model_;
   const CategoryLevel& categories_;
   QueryTrace* trace_;  // = options.trace; may be null
+  std::chrono::steady_clock::time_point deadline_;  // = options.deadline
+  const CancellationToken* cancellation_;  // = options.cancellation
   HmmmTraversal traversal_;
 };
 

@@ -1,9 +1,13 @@
 #include "retrieval/traversal.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
 #include <memory>
 #include <utility>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -60,6 +64,12 @@ class TopKHeap {
 /// density) and the claim is a single relaxed fetch_add.
 constexpr size_t kParallelGrain = 1;
 
+/// Step-2 ordering polls the deadline/token once per this many picks —
+/// the affinity-chaining loop is quadratic in the containing-video count,
+/// so an unbounded ordering pass could otherwise blow the whole budget
+/// before Step 7 even starts.
+constexpr size_t kOrderPollInterval = 32;
+
 void AccumulateStats(const RetrievalStats& shard, RetrievalStats* stats) {
   stats->videos_considered += shard.videos_considered;
   stats->states_visited += shard.states_visited;
@@ -72,6 +82,38 @@ void AccumulateStats(const RetrievalStats& shard, RetrievalStats* stats) {
 }
 
 }  // namespace
+
+/// Shared cancellation state for one retrieval. The Step-7 claim indices
+/// are handed out by a monotonic fetch_add, so the set of fully walked
+/// videos can be pinned to an *order prefix* with a single atomic: any
+/// worker that observes expiry (at claim time or mid-walk on index i)
+/// CAS-lowers `cutoff` to i and abandons the video, and workers skip any
+/// claim at or beyond the current cutoff. Every index below the final
+/// cutoff was claimed earlier than the cut point and completed (an
+/// expired walk would have lowered the cutoff below itself), so merging
+/// only candidates/stats with order_index < cutoff yields exactly the
+/// retrieval restricted to order[0, cutoff) — deterministic for a fixed
+/// cutoff regardless of thread count or claim interleaving.
+struct HmmmTraversal::CancelScope {
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+  const CancellationToken* token = nullptr;
+  std::atomic<size_t> cutoff{std::numeric_limits<size_t>::max()};
+
+  bool Expired() const {
+    if (token != nullptr && token->cancelled()) return true;
+    return DeadlineExpired(deadline);
+  }
+
+  /// Lowers the cutoff to `index` (never raises it).
+  void CutAt(size_t index) {
+    size_t current = cutoff.load(std::memory_order_relaxed);
+    while (index < current &&
+           !cutoff.compare_exchange_weak(current, index,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+};
 
 HmmmTraversal::HmmmTraversal(const HierarchicalModel& model,
                              const VideoCatalog& catalog,
@@ -141,11 +183,34 @@ std::vector<VideoId> HmmmTraversal::VideoOrder(
       CurrentIndex().VideosContainingStep(pattern.steps.front());
   step_videos.ForEachSetBit(
       [&](size_t v) { containing.push_back(static_cast<VideoId>(v)); });
+  // Deadline/cancellation poll for the ordering pass. The chaining below
+  // is quadratic in |containing|, so it checks once per
+  // kOrderPollInterval picks; a fired poll truncates the order, which
+  // stays a prefix of the full one because every pick is a deterministic
+  // function of the picks before it.
+  const bool poll_expiry = options_.deadline != kNoDeadline ||
+                           options_.cancellation != nullptr ||
+                           HMMM_FAULT_ARMED_PREFIX("traversal.");
+  const auto ordering_expired = [&](size_t picked) {
+    if (!poll_expiry) return false;
+    if (HMMM_FAULT_FIRED_ARG("traversal.order_pick",
+                             static_cast<int64_t>(picked))) {
+      return true;
+    }
+    if (options_.cancellation != nullptr &&
+        options_.cancellation->cancelled()) {
+      return true;
+    }
+    return DeadlineExpired(options_.deadline);
+  };
   // Seed with the highest-Pi2 containing video, then chain by A2 affinity
   // with the previously chosen video (Step 2: "close affinity relationship
   // with the previous video").
   VideoId previous = -1;
   for (size_t picked = 0; picked < containing.size(); ++picked) {
+    if (picked % kOrderPollInterval == 0 && ordering_expired(picked)) {
+      return order;
+    }
     const double* a2_row =
         previous < 0 ? nullptr : model_.a2().RowPtr(static_cast<size_t>(previous));
     VideoId best = -1;
@@ -167,6 +232,7 @@ std::vector<VideoId> HmmmTraversal::VideoOrder(
   }
   // Step 7 walks all M videos; the ones without e_1 come last (they can
   // still host "similar" shots).
+  if (ordering_expired(order.size())) return order;
   std::vector<VideoId> rest;
   for (size_t v = 0; v < m; ++v) {
     if (!visited[v]) rest.push_back(static_cast<VideoId>(v));
@@ -307,15 +373,30 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::Retrieve(
     order = VideoOrder(pattern);
     span.Counter("videos_ordered", order.size());
   }
+  // A full ordering covers all M videos, so a shorter one means the
+  // deadline/cancellation fired during Step 2: the videos that never got
+  // ordered are degradation skips too, on top of whatever the fan-out
+  // abandons.
+  const size_t m = model_.num_videos();
+  if (order.size() < m) {
+    RetrievalStats local;
+    auto result = RetrieveWithVideoOrder(pattern, order, &local);
+    if (result.ok()) {
+      local.degraded = true;
+      local.videos_skipped += m - order.size();
+    }
+    if (stats != nullptr) AccumulateRetrievalStats(local, stats);
+    return result;
+  }
   return RetrieveWithVideoOrder(pattern, order, stats);
 }
 
-bool HmmmTraversal::TraverseVideo(VideoId video, const TemporalPattern& pattern,
-                                  QueryPlan& plan, RetrievalStats* stats,
-                                  RetrievedPattern* out, int parent_span,
-                                  int64_t order_index) const {
+HmmmTraversal::WalkOutcome HmmmTraversal::TraverseVideo(
+    VideoId video, const TemporalPattern& pattern, QueryPlan& plan,
+    RetrievalStats* stats, RetrievedPattern* out, int parent_span,
+    int64_t order_index, CancelScope* cancel) const {
   const LocalShotModel& local = model_.local(video);
-  if (local.num_states() == 0) return false;
+  if (local.num_states() == 0) return WalkOutcome::kNoCandidate;
 
   // All plan caches (Eq.-15 memo, candidate lists, path arena) are scoped
   // to this walk; see QueryPlan for why that keeps the stats counters
@@ -364,6 +445,19 @@ bool HmmmTraversal::TraverseVideo(VideoId video, const TemporalPattern& pattern,
 
     // Steps 3-5: extend through the remaining events of the pattern.
     for (size_t j = 1; j < pattern.size() && !beam_paths.empty(); ++j) {
+      // Bounded-interval poll: one deadline/cancellation check per
+      // pattern step keeps a long walk from overrunning the budget while
+      // adding nothing to the happy path (cancel is null there). An
+      // expired walk pins the prefix cutoff at this video and aborts
+      // without recording anything — the caller discards the partial
+      // stats, so the surviving prefix stays byte-identical to a full
+      // retrieval over it.
+      if (cancel != nullptr &&
+          (cancel->Expired() ||
+           HMMM_FAULT_FIRED_ARG("traversal.walk_fault", order_index))) {
+        cancel->CutAt(static_cast<size_t>(order_index));
+        return WalkOutcome::kAborted;
+      }
       std::vector<PathRef> expansions;
       for (const PathRef& path : beam_paths) {
         const size_t before = expansions.size();
@@ -416,7 +510,7 @@ bool HmmmTraversal::TraverseVideo(VideoId video, const TemporalPattern& pattern,
   video_span.Counter("annotated_fallbacks", video_stats.annotated_fallbacks);
   video_span.Counter("candidates_scored", video_stats.candidates_scored);
   if (stats != nullptr) AccumulateStats(video_stats, stats);
-  return found;
+  return found ? WalkOutcome::kCandidate : WalkOutcome::kNoCandidate;
 }
 
 StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
@@ -446,6 +540,17 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
   RetrievalStats accumulated;
   size_t total_evaluations = 0;
 
+  // Degradation machinery engages only when something could actually
+  // fire: a deadline or token in the options, or an armed traversal
+  // fault point. Otherwise the happy path below is the unchanged
+  // bounded-heap fan-out — zero cost when robustness features are off.
+  const bool cancellable = options_.deadline != kNoDeadline ||
+                           options_.cancellation != nullptr ||
+                           HMMM_FAULT_ARMED_PREFIX("traversal.");
+  CancelScope scope;
+  scope.deadline = options_.deadline;
+  scope.token = options_.cancellation;
+
   struct Shard {
     Shard(const HierarchicalModel& model, const EventBitmapIndex& index,
           const TemporalPattern& pattern, const ScorerOptions& options,
@@ -454,6 +559,14 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
     QueryPlan plan;
     TopKHeap top;
     RetrievalStats stats;
+    // Cancellable mode collects *everything* instead of using the heap:
+    // the merge must drop any candidate at or beyond the final cutoff,
+    // and a bounded heap could already have evicted a low-scoring
+    // candidate that belongs in the anytime top-K of the surviving
+    // prefix. Per-walk stats ride along so the reported counters cover
+    // exactly the walks that survive the cut.
+    std::vector<VideoCandidate> all;
+    std::vector<std::pair<size_t, RetrievalStats>> walks;
   };
   const bool parallel =
       pool_ != nullptr && pool_->size() > 1 && order.size() > 1;
@@ -473,37 +586,99 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
   ScopedSpan fanout_span(options_.trace, "step7_video_fanout");
   fanout_span.Counter("videos", order.size());
 
-  if (parallel) {
-    pool_->ParallelFor(order.size(), kParallelGrain,
-                       [&](int worker, size_t begin, size_t end) {
-                         Shard& shard = *shards[static_cast<size_t>(worker)];
-                         for (size_t i = begin; i < end; ++i) {
-                           RetrievedPattern candidate;
-                           if (TraverseVideo(order[i], pattern, shard.plan,
-                                             &shard.stats, &candidate,
-                                             fanout_span.id(),
-                                             static_cast<int64_t>(i))) {
-                             shard.top.Push({std::move(candidate), i});
-                           }
-                         }
-                       });
-  } else {
-    Shard& shard = *shards.front();
-    for (size_t i = 0; i < order.size(); ++i) {
+  const auto visit = [&](Shard& shard, size_t i) {
+    if (!cancellable) {
       RetrievedPattern candidate;
       if (TraverseVideo(order[i], pattern, shard.plan, &shard.stats,
                         &candidate, fanout_span.id(),
-                        static_cast<int64_t>(i))) {
+                        static_cast<int64_t>(i)) == WalkOutcome::kCandidate) {
         shard.top.Push({std::move(candidate), i});
       }
+      return;
+    }
+    // Cancellable claim protocol (see CancelScope): skip claims at or
+    // beyond the cutoff; an expiry observed at claim time pins the
+    // cutoff here and skips the walk.
+    if (i >= scope.cutoff.load(std::memory_order_acquire)) return;
+    if (scope.Expired() ||
+        HMMM_FAULT_FIRED_ARG("traversal.deadline_at_video",
+                             static_cast<int64_t>(i))) {
+      scope.CutAt(i);
+      return;
+    }
+    RetrievedPattern candidate;
+    std::pair<size_t, RetrievalStats> walk{i, RetrievalStats{}};
+    const size_t evaluations_before = shard.plan.scorer().evaluations();
+    const WalkOutcome outcome =
+        TraverseVideo(order[i], pattern, shard.plan, &walk.second, &candidate,
+                      fanout_span.id(), static_cast<int64_t>(i), &scope);
+    if (outcome == WalkOutcome::kAborted) return;
+    walk.second.sim_evaluations =
+        shard.plan.scorer().evaluations() - evaluations_before;
+    shard.walks.push_back(std::move(walk));
+    if (outcome == WalkOutcome::kCandidate) {
+      shard.all.push_back({std::move(candidate), i});
+    }
+  };
+
+  if (parallel) {
+    // ParallelFor rethrows the first worker exception (after every
+    // worker has drained); a poisoned retrieval surfaces as a Status
+    // instead of tearing down the process.
+    try {
+      pool_->ParallelFor(order.size(), kParallelGrain,
+                         [&](int worker, size_t begin, size_t end) {
+                           Shard& shard = *shards[static_cast<size_t>(worker)];
+                           for (size_t i = begin; i < end; ++i) {
+                             visit(shard, i);
+                           }
+                         });
+    } catch (const std::exception& e) {
+      return Status::Internal(
+          StrFormat("retrieval worker failed: %s", e.what()));
+    }
+  } else {
+    Shard& shard = *shards.front();
+    for (size_t i = 0; i < order.size(); ++i) visit(shard, i);
+  }
+
+  // The final cutoff (if any fired) bounds the surviving order prefix;
+  // everything claimed at or beyond it is discarded so the anytime
+  // result equals a full retrieval over order[0, cutoff).
+  size_t cutoff = order.size();
+  bool fired = false;
+  if (cancellable) {
+    const size_t cut = scope.cutoff.load(std::memory_order_acquire);
+    if (cut < order.size()) {
+      cutoff = cut;
+      fired = true;
     }
   }
   for (const std::unique_ptr<Shard>& shard : shards) {
-    for (VideoCandidate& candidate : shard->top.entries()) {
-      survivors.push_back(std::move(candidate));
+    if (cancellable) {
+      for (auto& walk : shard->walks) {
+        if (walk.first < cutoff) {
+          AccumulateRetrievalStats(walk.second, &accumulated);
+        }
+      }
+      for (VideoCandidate& candidate : shard->all) {
+        if (candidate.order_index < cutoff) {
+          survivors.push_back(std::move(candidate));
+        }
+      }
+    } else {
+      for (VideoCandidate& candidate : shard->top.entries()) {
+        survivors.push_back(std::move(candidate));
+      }
+      AccumulateStats(shard->stats, &accumulated);
+      total_evaluations += shard->plan.scorer().evaluations();
     }
-    AccumulateStats(shard->stats, &accumulated);
-    total_evaluations += shard->plan.scorer().evaluations();
+  }
+  if (fired) {
+    accumulated.degraded = true;
+    accumulated.videos_skipped += order.size() - cutoff;
+    fanout_span.Counter("deadline_fired", 1);
+    fanout_span.Counter("videos_skipped", order.size() - cutoff);
   }
   fanout_span.Counter("candidates", survivors.size());
   fanout_span.End();
@@ -521,7 +696,10 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
   }
   merge_span.Counter("results", results.size());
   if (stats != nullptr) {
-    AccumulateStats(accumulated, stats);
+    // The full accumulator (result.cc) carries sim_evaluations and the
+    // degradation fields; in heap mode per-walk sim_evaluations were
+    // never split out, so the shard-plan totals are added on top.
+    AccumulateRetrievalStats(accumulated, stats);
     stats->sim_evaluations += total_evaluations;
   }
   return results;

@@ -1,10 +1,12 @@
 #ifndef HMMM_RETRIEVAL_TRAVERSAL_H_
 #define HMMM_RETRIEVAL_TRAVERSAL_H_
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
 #include "observability/query_trace.h"
 #include "retrieval/query_plan.h"
@@ -52,6 +54,21 @@ struct TraversalOptions {
   /// output stays byte-identical with tracing on or off, at any thread
   /// count.
   QueryTrace* trace = nullptr;
+  /// Absolute wall-clock budget on the steady clock. When the deadline
+  /// fires mid-retrieval the traversal degrades gracefully instead of
+  /// failing: it returns the best *anytime* ranking over the prefix of
+  /// Step-2 videos whose lattice walks completed, sets stats->degraded
+  /// and counts the abandoned videos in stats->videos_skipped. For a
+  /// fixed set of completed videos the anytime ranking is byte-identical
+  /// to a full retrieval restricted to that video prefix, at any thread
+  /// count. Default: no deadline.
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+  /// Optional cooperative cancellation, polled at the same bounded
+  /// intervals as the deadline (between Step-2 ordering picks, between
+  /// per-video claims of the Step-7 fan-out, and between pattern steps
+  /// of each Steps-3-5 beam walk). Not owned; must outlive every
+  /// Retrieve call. Firing it degrades exactly like a deadline.
+  const CancellationToken* cancellation = nullptr;
   ScorerOptions scorer;
 };
 
@@ -81,7 +98,11 @@ class HmmmTraversal {
                 TraversalOptions options = {}, ThreadPool* pool = nullptr,
                 const EventBitmapIndex* index = nullptr);
 
-  /// Runs the retrieval; results are sorted by descending SS.
+  /// Runs the retrieval; results are sorted by descending SS. With a
+  /// deadline/cancellation armed in the options, a fired retrieval still
+  /// returns OK with the anytime prefix ranking (see
+  /// TraversalOptions::deadline); it never fails just for running out of
+  /// time.
   StatusOr<std::vector<RetrievedPattern>> Retrieve(
       const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
 
@@ -93,7 +114,10 @@ class HmmmTraversal {
 
   /// The Step-2 video visiting order for a pattern's first step: videos
   /// containing a first-step event (per B2) first — seeded by Pi2 and
-  /// chained by A2 affinity — then the rest. Exposed for tests.
+  /// chained by A2 affinity — then the rest. Exposed for tests. Polls
+  /// the options' deadline/cancellation between picks and truncates the
+  /// order (a prefix of the full one, since the affinity chaining is
+  /// deterministic) when either fires.
   std::vector<VideoId> VideoOrder(const TemporalPattern& pattern) const;
 
   /// The model-tier index this traversal runs on. A self-built index is
@@ -103,6 +127,18 @@ class HmmmTraversal {
   const EventBitmapIndex& event_index() const { return CurrentIndex(); }
 
  private:
+  /// Shared per-retrieval cancellation state: the deadline/token pair
+  /// plus the atomic video-order cutoff that makes degraded results a
+  /// deterministic order-prefix (defined in traversal.cc).
+  struct CancelScope;
+
+  /// How one video's lattice walk ended.
+  enum class WalkOutcome {
+    kNoCandidate,  // walked fully, no complete candidate in this video
+    kCandidate,    // walked fully, *out holds the video's best path
+    kAborted,      // deadline/cancellation fired mid-walk; nothing usable
+  };
+
   /// One beam entry: an arena-backed path (see QueryPlan::PathNode) plus
   /// the running Eq.-13/-15 accumulators the walk sorts and prunes on.
   /// Copying a PathRef is O(1) regardless of path length.
@@ -135,15 +171,19 @@ class HmmmTraversal {
                         std::vector<PathRef>* out) const;
 
   /// Steps 3-6 for one candidate video: the shot-level lattice walk.
-  /// Fills `out` with the video's best path and returns true when the
-  /// video yields a candidate. Thread-safe across distinct (plan, stats)
-  /// pairs — the model, catalog and index are only read. When tracing is
-  /// enabled `parent_span`/`order_index` place the video's span (and its
-  /// walk/scoring children) deterministically in the trace tree.
-  bool TraverseVideo(VideoId video, const TemporalPattern& pattern,
-                     QueryPlan& plan, RetrievalStats* stats,
-                     RetrievedPattern* out, int parent_span = -1,
-                     int64_t order_index = -1) const;
+  /// Fills `out` with the video's best path when the video yields a
+  /// candidate. Thread-safe across distinct (plan, stats) pairs — the
+  /// model, catalog and index are only read. When tracing is enabled
+  /// `parent_span`/`order_index` place the video's span (and its
+  /// walk/scoring children) deterministically in the trace tree. When
+  /// `cancel` is set the walk polls it between pattern steps; a fired
+  /// deadline/cancellation CAS-lowers the scope's cutoff to this walk's
+  /// order index and returns kAborted without touching `stats`.
+  WalkOutcome TraverseVideo(VideoId video, const TemporalPattern& pattern,
+                            QueryPlan& plan, RetrievalStats* stats,
+                            RetrievedPattern* out, int parent_span = -1,
+                            int64_t order_index = -1,
+                            CancelScope* cancel = nullptr) const;
 
   /// Self-built index, rebuilt under the lock when stale; unused when an
   /// external index was supplied.

@@ -39,10 +39,9 @@ VideoId VideoCatalog::AddVideo(const std::string& name) {
   return id;
 }
 
-StatusOr<ShotId> VideoCatalog::AddShot(VideoId video_id, double begin_time,
-                                       double end_time,
-                                       std::vector<EventId> events,
-                                       std::vector<double> raw_features) {
+Status VideoCatalog::ValidateNewShot(
+    VideoId video_id, double begin_time, const std::vector<EventId>& events,
+    const std::vector<double>& raw_features) const {
   if (video_id < 0 || static_cast<size_t>(video_id) >= videos_.size()) {
     return Status::NotFound(StrFormat("no video %d", video_id));
   }
@@ -56,13 +55,23 @@ StatusOr<ShotId> VideoCatalog::AddShot(VideoId video_id, double begin_time,
       return Status::InvalidArgument(StrFormat("event id %d out of range", e));
     }
   }
-  VideoRecord& video = videos_[static_cast<size_t>(video_id)];
+  const VideoRecord& video = videos_[static_cast<size_t>(video_id)];
   if (!video.shots.empty()) {
     const ShotRecord& last = shots_[static_cast<size_t>(video.shots.back())];
     if (begin_time < last.begin_time) {
       return Status::InvalidArgument("shots must be added in temporal order");
     }
   }
+  return Status::OK();
+}
+
+StatusOr<ShotId> VideoCatalog::AddShot(VideoId video_id, double begin_time,
+                                       double end_time,
+                                       std::vector<EventId> events,
+                                       std::vector<double> raw_features) {
+  HMMM_RETURN_IF_ERROR(
+      ValidateNewShot(video_id, begin_time, events, raw_features));
+  VideoRecord& video = videos_[static_cast<size_t>(video_id)];
   ShotRecord shot;
   shot.id = static_cast<ShotId>(shots_.size());
   shot.video_id = video_id;

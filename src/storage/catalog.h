@@ -59,6 +59,14 @@ class VideoCatalog {
                            double end_time, std::vector<EventId> events,
                            std::vector<double> raw_features);
 
+  /// The validation AddShot would run, without mutating anything. Lets a
+  /// write-ahead caller (the catalog journal) check an op *before*
+  /// logging it, then apply it only after the log write succeeded — so a
+  /// failed write leaves the in-memory catalog and the log agreeing.
+  Status ValidateNewShot(VideoId video_id, double begin_time,
+                         const std::vector<EventId>& events,
+                         const std::vector<double>& raw_features) const;
+
   const EventVocabulary& vocabulary() const { return vocabulary_; }
   int num_features() const { return num_features_; }
   size_t num_videos() const { return videos_.size(); }

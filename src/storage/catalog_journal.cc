@@ -76,12 +76,15 @@ Status ApplyOp(const std::string& op, VideoCatalog& catalog) {
 StatusOr<CatalogJournal> CatalogJournal::Open(
     const std::string& path, const EventVocabulary& vocabulary,
     int num_features) {
-  // Replay whatever exists. A missing file is an empty journal; any
-  // other failure (e.g. mid-file corruption) must not be masked.
+  // Replay whatever exists, truncating a torn tail back to the intact
+  // prefix so the writer opened below appends at a frame boundary. A
+  // missing file is an empty journal; any other failure (mid-file
+  // corruption, a genuine IO error surviving the bounded retry) must not
+  // be masked.
   RecordLogContents contents;
-  if (auto existing = ReadRecordLog(path); existing.ok()) {
+  if (auto existing = RecoverRecordLog(path); existing.ok()) {
     contents = std::move(existing).value();
-  } else if (existing.status().code() != StatusCode::kIOError) {
+  } else if (existing.status().code() != StatusCode::kNotFound) {
     return existing.status();
   }
 
@@ -136,16 +139,17 @@ StatusOr<VideoId> CatalogJournal::AppendVideo(const std::string& name) {
 StatusOr<ShotId> CatalogJournal::AppendShot(
     VideoId video, double begin_time, double end_time,
     std::vector<EventId> events, std::vector<double> raw_features) {
-  // Validate through a dry-run against the in-memory catalog first so the
-  // log never records an op that would fail to replay. AddShot itself is
-  // the validator, so apply first and only then log; if the log write
-  // fails the process should treat the journal as compromised anyway.
-  HMMM_ASSIGN_OR_RETURN(
-      ShotId id, catalog_.AddShot(video, begin_time, end_time, events,
-                                  raw_features));
+  // Validate first so the log never records an op that would fail to
+  // replay; log second; apply last. The ordering makes a failed append
+  // atomic: the in-memory catalog and the log still agree (nothing
+  // applied, nothing durably written — RecordLogWriter::Append fails
+  // before emitting any byte or not at all within one frame).
+  HMMM_RETURN_IF_ERROR(
+      catalog_.ValidateNewShot(video, begin_time, events, raw_features));
   HMMM_RETURN_IF_ERROR(writer_.Append(
       EncodeAddShot(video, begin_time, end_time, events, raw_features)));
-  return id;
+  return catalog_.AddShot(video, begin_time, end_time, std::move(events),
+                          std::move(raw_features));
 }
 
 Status CatalogJournal::Flush() { return writer_.Flush(); }

@@ -11,7 +11,9 @@ namespace hmmm {
 /// Durable, incrementally growing catalog: every mutation (add video, add
 /// shot) is appended to a record log before being applied to the
 /// in-memory VideoCatalog, and Open() rebuilds the catalog by replaying
-/// the log — including recovery from a torn tail after a crash. This is
+/// the log — including recovery from a torn tail after a crash, which is
+/// physically truncated away so post-recovery appends land at a valid
+/// frame boundary. This is
 /// the ingest-side persistence story (SaveCatalog/LoadCatalog snapshots
 /// remain the right tool for distributing finished archives).
 class CatalogJournal {

@@ -1,6 +1,10 @@
 #include "storage/record_log.h"
 
+#include <filesystem>
+#include <system_error>
+
 #include "common/crc32.h"
+#include "common/fault_injector.h"
 #include "common/serialization.h"
 #include "common/strings.h"
 
@@ -36,6 +40,12 @@ RecordLogWriter::~RecordLogWriter() {
 
 Status RecordLogWriter::Append(std::string_view record) {
   if (file_ == nullptr) return Status::FailedPrecondition("log closed");
+  // The probe sits before any byte is written: an injected append fault
+  // must not leave a partial frame behind, so recovery tests can tell
+  // injected failures (clean log) from simulated crashes (torn tail).
+  if (HMMM_FAULT_FIRED("storage.append")) {
+    return Status::IOError("injected fault: storage.append");
+  }
   BinaryWriter frame;
   frame.WriteVarint(record.size());
   frame.WriteUint32(Crc32c(record.data(), record.size()));
@@ -102,6 +112,24 @@ StatusOr<RecordLogContents> ReadRecordLog(const std::string& path) {
     }
     contents.records.emplace_back(payload);
     HMMM_RETURN_IF_ERROR(reader.Skip(static_cast<size_t>(*size)));
+  }
+  return contents;
+}
+
+StatusOr<RecordLogContents> RecoverRecordLog(const std::string& path) {
+  HMMM_ASSIGN_OR_RETURN(RecordLogContents contents, ReadRecordLog(path));
+  if (contents.dropped_tail_bytes > 0) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec) {
+      std::filesystem::resize_file(
+          path, size - contents.dropped_tail_bytes, ec);
+    }
+    if (ec) {
+      return Status::IOError(StrFormat("cannot truncate torn tail of %s: %s",
+                                       path.c_str(),
+                                       ec.message().c_str()));
+    }
   }
   return contents;
 }

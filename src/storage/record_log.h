@@ -53,8 +53,17 @@ struct RecordLogContents {
 
 /// Replays all records of a log. A torn tail (truncated frame or checksum
 /// mismatch in the final frame) is dropped and reported; corruption
-/// *before* the tail is a kDataLoss error.
+/// *before* the tail is a kDataLoss error. A missing file is kNotFound.
+/// The file itself is left untouched (read-only inspection).
 StatusOr<RecordLogContents> ReadRecordLog(const std::string& path);
+
+/// ReadRecordLog plus physical recovery: when a torn tail was dropped,
+/// the file is truncated back to the intact prefix so a subsequently
+/// opened writer appends at a valid frame boundary. Without the
+/// truncation, appends after a crash would land behind the torn bytes
+/// and turn the recoverable tail into mid-file corruption (kDataLoss) on
+/// the next replay.
+StatusOr<RecordLogContents> RecoverRecordLog(const std::string& path);
 
 }  // namespace hmmm
 

@@ -66,9 +66,9 @@ TEST(CatalogIoTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(CatalogIoTest, MissingFileIsIOError) {
+TEST(CatalogIoTest, MissingFileIsNotFound) {
   EXPECT_EQ(LoadCatalog("/nonexistent/catalog.bin").status().code(),
-            StatusCode::kIOError);
+            StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace hmmm {
+namespace {
+
+// The FaultInjector class itself is always compiled (only the call-site
+// macros are gated on HMMM_FAULT_INJECTION), so its trigger semantics are
+// tier-1 testable in every build flavor. The injector is process-global:
+// each test resets it on entry and exit.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedPointNeverFiresButCountsHits) {
+  FaultInjector& injector = FaultInjector::Instance();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(injector.ShouldFire("storage.read"));
+  }
+  EXPECT_EQ(injector.hits("storage.read"), 5u);
+  EXPECT_EQ(injector.fires("storage.read"), 0u);
+}
+
+TEST_F(FaultInjectorTest, DefaultConfigIsArmedButInert) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.Arm("storage.read", FaultPointConfig{});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.ShouldFire("storage.read"));
+  }
+  EXPECT_EQ(injector.fires("storage.read"), 0u);
+}
+
+TEST_F(FaultInjectorTest, AfterHitsFiresFromThatHitOnward) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPointConfig config;
+  config.after_hits = 2;
+  injector.Arm("storage.write", config);
+  EXPECT_FALSE(injector.ShouldFire("storage.write"));  // hit 0
+  EXPECT_FALSE(injector.ShouldFire("storage.write"));  // hit 1
+  EXPECT_TRUE(injector.ShouldFire("storage.write"));   // hit 2
+  EXPECT_TRUE(injector.ShouldFire("storage.write"));   // hit 3
+  EXPECT_EQ(injector.fires("storage.write"), 2u);
+}
+
+TEST_F(FaultInjectorTest, AfterHitsZeroFiresImmediately) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPointConfig config;
+  config.after_hits = 0;
+  injector.Arm("storage.append", config);
+  EXPECT_TRUE(injector.ShouldFire("storage.append"));
+}
+
+TEST_F(FaultInjectorTest, ArgThresholdComparesCallSiteArgument) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPointConfig config;
+  config.arg_threshold = 6;
+  injector.Arm("traversal.deadline_at_video", config);
+  EXPECT_FALSE(injector.ShouldFire("traversal.deadline_at_video", 0));
+  EXPECT_FALSE(injector.ShouldFire("traversal.deadline_at_video", 5));
+  EXPECT_TRUE(injector.ShouldFire("traversal.deadline_at_video", 6));
+  EXPECT_TRUE(injector.ShouldFire("traversal.deadline_at_video", 100));
+  // A call site that passes no argument (-1) never matches a threshold.
+  EXPECT_FALSE(injector.ShouldFire("traversal.deadline_at_video"));
+}
+
+TEST_F(FaultInjectorTest, MaxFiresModelsATransientError) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPointConfig config;
+  config.after_hits = 0;
+  config.max_fires = 1;
+  injector.Arm("storage.read", config);
+  EXPECT_TRUE(injector.ShouldFire("storage.read"));
+  EXPECT_FALSE(injector.ShouldFire("storage.read"));
+  EXPECT_FALSE(injector.ShouldFire("storage.read"));
+  EXPECT_EQ(injector.fires("storage.read"), 1u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityOneAlwaysFiresZeroNever) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.Seed(42);
+  FaultPointConfig always;
+  always.probability = 1.0;
+  injector.Arm("threadpool.task", always);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(injector.ShouldFire("threadpool.task"));
+  }
+  FaultPointConfig never;
+  never.probability = 0.0;
+  injector.Arm("threadpool.task", never);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(injector.ShouldFire("threadpool.task"));
+  }
+}
+
+TEST_F(FaultInjectorTest, SeededProbabilityScheduleReplays) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPointConfig config;
+  config.probability = 0.5;
+
+  auto run_schedule = [&] {
+    injector.Reset();
+    injector.Seed(7);
+    injector.Arm("storage.read", config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(injector.ShouldFire("storage.read"));
+    }
+    return fired;
+  };
+
+  const std::vector<bool> first = run_schedule();
+  const std::vector<bool> second = run_schedule();
+  EXPECT_EQ(first, second);
+  // A fair coin over 64 draws lands strictly inside (0, 64) with
+  // probability 1 - 2^-63; all-heads would mean the trigger is broken.
+  const size_t fires = injector.fires("storage.read");
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+}
+
+TEST_F(FaultInjectorTest, ArmResetsCountersSoAfterHitsCountsFresh) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPointConfig config;
+  config.after_hits = 1;
+  injector.Arm("storage.read", config);
+  EXPECT_FALSE(injector.ShouldFire("storage.read"));
+  EXPECT_TRUE(injector.ShouldFire("storage.read"));
+  // Re-arming starts the count over: the first post-arm hit is hit 0.
+  injector.Arm("storage.read", config);
+  EXPECT_FALSE(injector.ShouldFire("storage.read"));
+  EXPECT_TRUE(injector.ShouldFire("storage.read"));
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFiringButKeepsHitCounters) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPointConfig config;
+  config.after_hits = 0;
+  injector.Arm("storage.read", config);
+  EXPECT_TRUE(injector.ShouldFire("storage.read"));
+  injector.Disarm("storage.read");
+  EXPECT_FALSE(injector.ShouldFire("storage.read"));
+  EXPECT_EQ(injector.hits("storage.read"), 2u);
+  EXPECT_EQ(injector.fires("storage.read"), 1u);
+}
+
+TEST_F(FaultInjectorTest, ArmedWithPrefixMatchesSubsystemNamespaces) {
+  FaultInjector& injector = FaultInjector::Instance();
+  EXPECT_FALSE(injector.ArmedWithPrefix("traversal."));
+  FaultPointConfig config;
+  config.arg_threshold = 3;
+  injector.Arm("traversal.walk_fault", config);
+  EXPECT_TRUE(injector.ArmedWithPrefix("traversal."));
+  EXPECT_TRUE(injector.ArmedWithPrefix("traversal.walk_fault"));
+  EXPECT_FALSE(injector.ArmedWithPrefix("storage."));
+  injector.Disarm("traversal.walk_fault");
+  EXPECT_FALSE(injector.ArmedWithPrefix("traversal."));
+}
+
+TEST_F(FaultInjectorTest, SnapshotListsEveryPointSorted) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPointConfig config;
+  config.after_hits = 0;
+  injector.Arm("storage.write", config);
+  EXPECT_FALSE(injector.ShouldFire("storage.read"));
+  EXPECT_TRUE(injector.ShouldFire("storage.write"));
+
+  const std::vector<FaultPointStats> snapshot = injector.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].point, "storage.read");
+  EXPECT_EQ(snapshot[0].hits, 1u);
+  EXPECT_EQ(snapshot[0].fires, 0u);
+  EXPECT_FALSE(snapshot[0].armed);
+  EXPECT_EQ(snapshot[1].point, "storage.write");
+  EXPECT_EQ(snapshot[1].hits, 1u);
+  EXPECT_EQ(snapshot[1].fires, 1u);
+  EXPECT_TRUE(snapshot[1].armed);
+}
+
+TEST_F(FaultInjectorTest, ResetClearsPointsAndCounters) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPointConfig config;
+  config.after_hits = 0;
+  injector.Arm("storage.read", config);
+  EXPECT_TRUE(injector.ShouldFire("storage.read"));
+  injector.Reset();
+  EXPECT_TRUE(injector.Snapshot().empty());
+  EXPECT_EQ(injector.hits("storage.read"), 0u);
+  EXPECT_FALSE(injector.ShouldFire("storage.read"));
+}
+
+TEST_F(FaultInjectorTest, TriggersComposeWithOr) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPointConfig config;
+  config.after_hits = 3;
+  config.arg_threshold = 10;
+  injector.Arm("traversal.order_pick", config);
+  // Fires early via the argument threshold...
+  EXPECT_TRUE(injector.ShouldFire("traversal.order_pick", 10));  // hit 0
+  // ...stays quiet when neither trigger matches...
+  EXPECT_FALSE(injector.ShouldFire("traversal.order_pick", 1));  // hit 1
+  EXPECT_FALSE(injector.ShouldFire("traversal.order_pick", 2));  // hit 2
+  // ...and fires unconditionally once the hit count is reached.
+  EXPECT_TRUE(injector.ShouldFire("traversal.order_pick", 1));  // hit 3
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -111,11 +111,11 @@ TEST(ModelIoTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(ModelIoTest, MissingFileIsIOError) {
+TEST(ModelIoTest, MissingFileIsNotFound) {
   EXPECT_EQ(HierarchicalModel::LoadFromFile("/no/such/model.hmmm")
                 .status()
                 .code(),
-            StatusCode::kIOError);
+            StatusCode::kNotFound);
 }
 
 }  // namespace

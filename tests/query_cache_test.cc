@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "core/model_builder.h"
 #include "feedback/trainer.h"
 #include "retrieval/engine.h"
@@ -169,6 +172,126 @@ TEST(QueryCacheTest, AttachedMetricsMirrorTheCounters) {
 }
 
 // -- Engine integration ---------------------------------------------------
+
+TEST(SingleFlightTest, LeaderComputesAndWaitersAreCoalesced) {
+  QueryCache cache(4);
+  std::vector<RetrievedPattern> results;
+  // Nobody in flight: this caller becomes the leader.
+  ASSERT_EQ(cache.LookupOrCompute("k", 0, &results),
+            QueryCache::LookupOutcome::kCompute);
+
+  // A stampede of identical queries parks behind the leader.
+  constexpr int kWaiters = 6;
+  std::atomic<int> hits{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&cache, &hits] {
+      std::vector<RetrievedPattern> waiter_results;
+      RetrievalStats waiter_stats;
+      if (cache.LookupOrCompute("k", 0, &waiter_results, &waiter_stats) ==
+          QueryCache::LookupOutcome::kHit) {
+        hits.fetch_add(1);
+        EXPECT_EQ(waiter_results.size(), 1u);
+        EXPECT_EQ(waiter_stats.videos_considered, 9u);
+      }
+    });
+  }
+  // Release the leader only after every waiter is provably parked, so
+  // the coalesced count is deterministic.
+  while (cache.stats().coalesced < kWaiters) {
+    std::this_thread::yield();
+  }
+  RetrievalStats computed;
+  computed.videos_considered = 9;
+  cache.Insert("k", 0, {MakeResult(0.7, 5)}, computed);
+  cache.FinishCompute("k");
+  for (auto& t : waiters) t.join();
+
+  EXPECT_EQ(hits.load(), kWaiters);
+  const QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.coalesced, static_cast<size_t>(kWaiters));
+  // One compute for the whole stampede.
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(SingleFlightTest, FailedLeaderPromotesAWaiter) {
+  QueryCache cache(4);
+  std::vector<RetrievedPattern> results;
+  ASSERT_EQ(cache.LookupOrCompute("k", 0, &results),
+            QueryCache::LookupOutcome::kCompute);
+
+  std::atomic<int> computes{0};
+  std::thread waiter([&cache, &computes] {
+    std::vector<RetrievedPattern> waiter_results;
+    if (cache.LookupOrCompute("k", 0, &waiter_results) ==
+        QueryCache::LookupOutcome::kCompute) {
+      computes.fetch_add(1);
+      cache.Insert("k", 0, {MakeResult(0.4, 2)});
+      cache.FinishCompute("k");
+    }
+  });
+  while (cache.stats().coalesced < 1) {
+    std::this_thread::yield();
+  }
+  // The leader fails (or computed something uncacheable, e.g. a degraded
+  // anytime result): it finishes WITHOUT inserting. The waiter must be
+  // promoted to leader rather than stranded or served nothing.
+  cache.FinishCompute("k");
+  waiter.join();
+  EXPECT_EQ(computes.load(), 1);
+  // The promoted leader's entry is served to later callers.
+  ASSERT_TRUE(cache.Lookup("k", 0, &results));
+  EXPECT_DOUBLE_EQ(results[0].score, 0.4);
+}
+
+TEST(SingleFlightTest, FinishComputeIsIdempotentForUnknownKeys) {
+  QueryCache cache(4);
+  cache.FinishCompute("never-started");  // must not crash or wedge
+  std::vector<RetrievedPattern> results;
+  EXPECT_EQ(cache.LookupOrCompute("never-started", 0, &results),
+            QueryCache::LookupOutcome::kCompute);
+  cache.FinishCompute("never-started");
+}
+
+TEST(SingleFlightTest, DistinctKeysComputeIndependently) {
+  QueryCache cache(4);
+  std::vector<RetrievedPattern> results;
+  ASSERT_EQ(cache.LookupOrCompute("a", 0, &results),
+            QueryCache::LookupOutcome::kCompute);
+  // A different key is not blocked by "a"'s in-flight compute.
+  ASSERT_EQ(cache.LookupOrCompute("b", 0, &results),
+            QueryCache::LookupOutcome::kCompute);
+  cache.FinishCompute("a");
+  cache.FinishCompute("b");
+  EXPECT_EQ(cache.stats().coalesced, 0u);
+}
+
+TEST(SingleFlightTest, EngineStampedeCostsOneTraversal) {
+  const VideoCatalog catalog =
+      testing::GeneratedSoccerCatalog(/*seed=*/5, /*num_videos=*/10);
+  auto engine = RetrievalEngine::Create(catalog);
+  ASSERT_TRUE(engine.ok());
+  const auto pattern = TemporalPattern::FromEvents({2, 0});
+
+  constexpr int kCallers = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kCallers; ++i) {
+    threads.emplace_back([&] {
+      auto results = engine->Retrieve(pattern);
+      if (!results.ok() || results->empty()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const QueryCacheStats stats = engine->cache_stats();
+  // Exactly one caller computed; everyone else was a cache hit (either
+  // coalesced behind the leader or served after it finished).
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<size_t>(kCallers - 1));
+  EXPECT_EQ(stats.entries, 1u);
+}
 
 TEST(EngineCacheTest, SecondIdenticalQueryIsServedFromCache) {
   const VideoCatalog catalog = testing::SmallSoccerCatalog();

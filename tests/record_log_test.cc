@@ -137,9 +137,9 @@ TEST(RecordLogTest, MidFileCorruptionIsDataLoss) {
   std::remove(path.c_str());
 }
 
-TEST(RecordLogTest, MissingFileIsIOError) {
+TEST(RecordLogTest, MissingFileIsNotFound) {
   EXPECT_EQ(ReadRecordLog("/nonexistent/dir/wal.log").status().code(),
-            StatusCode::kIOError);
+            StatusCode::kNotFound);
 }
 
 TEST(RecordLogTest, MoveSemantics) {

@@ -163,9 +163,11 @@ TEST(FileIoTest, WriteAndReadBack) {
   std::remove(path.c_str());
 }
 
-TEST(FileIoTest, MissingFileIsIOError) {
+TEST(FileIoTest, MissingFileIsNotFound) {
+  // Distinct from kIOError so callers (and the transient-IO retry loop)
+  // can tell "nothing there" from "device misbehaving".
   EXPECT_EQ(ReadFileToString("/nonexistent/dir/file.bin").status().code(),
-            StatusCode::kIOError);
+            StatusCode::kNotFound);
 }
 
 }  // namespace

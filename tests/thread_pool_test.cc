@@ -6,6 +6,8 @@
 #include <condition_variable>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace hmmm {
@@ -127,6 +129,77 @@ TEST(ThreadPoolTest, ParallelForStressPartialSums) {
   const long long total =
       std::accumulate(partial.begin(), partial.end(), 0LL);
   EXPECT_EQ(total, static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotKillThePool) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([] { throw std::runtime_error("fire-and-forget boom"); });
+  }
+  // Every worker must still be alive: 64 follow-up tasks all complete.
+  std::mutex mutex;
+  std::condition_variable done;
+  int completed = 0;
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++completed == kTasks) done.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return completed == kTasks; });
+  }
+  EXPECT_EQ(completed, kTasks);
+  // Workers bump their counters after the task body returns, so the wakeup
+  // from the last completing task can arrive before the final increments;
+  // wait for the counters to settle rather than read them once. Hanging
+  // here (ctest timeout) would itself be the failure this test guards.
+  while (pool.stats().task_exceptions < 4u ||
+         pool.stats().tasks_executed < static_cast<uint64_t>(kTasks + 4)) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(pool.stats().task_exceptions, 4u);
+}
+
+TEST(ThreadPoolTest, SubmitWithFutureDeliversResultAndException) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  auto ok = pool.SubmitWithFuture([&ran] { ran = true; });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_TRUE(ran.load());
+
+  auto bad = pool.SubmitWithFuture(
+      [] { throw std::invalid_argument("typed boom"); });
+  try {
+    bad.get();
+    FAIL() << "expected the task's exception through the future";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "typed boom");
+  }
+  // A future-delivered exception is not a dropped one.
+  EXPECT_EQ(pool.stats().task_exceptions, 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstBodyException) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  try {
+    pool.ParallelFor(100, 1, [&](int, size_t begin, size_t) {
+      if (begin == 5) throw std::runtime_error("body boom at 5");
+      visited.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "body boom at 5");
+  }
+  // The pool is intact and immediately reusable after the failure.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(50, 3, [&](int, size_t begin, size_t end) {
+    count += end - begin;
+  });
+  EXPECT_EQ(count.load(), 50u);
 }
 
 TEST(ThreadPoolTest, ReusableAcrossCalls) {
