@@ -1,0 +1,192 @@
+// Serving-layer benchmark: end-to-end throughput and latency of the
+// QueryServer wire path over loopback TCP, against the in-process
+// VideoDatabase::Query cost of the same workload. Reports a
+// workers x clients sweep plus the wire/framing overhead of a single
+// unloaded request, and writes BENCH_serving.json for the CI baseline
+// gate (bench_compare.py checks every *_ms field).
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace hmmm::bench {
+namespace {
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string> queries = {
+      "free_kick ; goal",
+      "corner_kick ; goal",
+      "free_kick ; corner_kick",
+      "goal ; goal",
+      "foul ; free_kick ; goal",
+      "yellow_card ; free_kick",
+      "goal_kick ; corner_kick",
+      "free_kick & goal ; corner_kick",
+  };
+  return queries;
+}
+
+VideoDatabase& Database() {
+  static VideoDatabase* db = [] {
+    VideoDatabaseOptions options;
+    // No result cache: every served request must run a real traversal,
+    // so the sweep measures retrieval + serving, not cache hits.
+    options.query_cache_entries = 0;
+    auto created =
+        VideoDatabase::Create(MakeSoccerCatalog(/*num_videos=*/30), options);
+    HMMM_CHECK(created.ok());
+    return new VideoDatabase(std::move(created).value());
+  }();
+  return *db;
+}
+
+double Percentile(std::vector<double> values, double fraction) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(
+      fraction * static_cast<double>(values.size() - 1));
+  return values[index];
+}
+
+struct SweepPoint {
+  int workers = 0;
+  int clients = 0;
+  int requests = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double median_request_ms = 0.0;
+  double p99_request_ms = 0.0;
+};
+
+/// Runs `clients` concurrent QueryClients, each issuing
+/// `requests_per_client` temporal queries against a fresh server with
+/// `workers` worker threads.
+SweepPoint RunSweepPoint(int workers, int clients, int requests_per_client) {
+  QueryServerOptions options;
+  options.num_workers = workers;
+  QueryServer server(&Database());
+  HMMM_CHECK(server.Start().ok());
+
+  std::vector<std::vector<double>> per_client_ms(
+      static_cast<size_t>(clients));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  const double wall_ms = TimeMillis([&] {
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        QueryClientOptions client_options;
+        client_options.port = server.port();
+        QueryClient client(client_options);
+        auto& latencies = per_client_ms[static_cast<size_t>(c)];
+        latencies.reserve(static_cast<size_t>(requests_per_client));
+        for (int i = 0; i < requests_per_client; ++i) {
+          TemporalQueryRequest request;
+          request.text =
+              Queries()[static_cast<size_t>(c + i) % Queries().size()];
+          const double ms = TimeMillis([&] {
+            if (!client.TemporalQuery(request).ok()) ++failures;
+          });
+          latencies.push_back(ms);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  });
+  server.Shutdown();
+  HMMM_CHECK(failures.load() == 0);
+
+  std::vector<double> all;
+  for (const auto& latencies : per_client_ms) {
+    all.insert(all.end(), latencies.begin(), latencies.end());
+  }
+  SweepPoint point;
+  point.workers = workers;
+  point.clients = clients;
+  point.requests = clients * requests_per_client;
+  point.wall_ms = wall_ms;
+  point.qps = wall_ms > 0.0 ? 1000.0 * point.requests / wall_ms : 0.0;
+  point.median_request_ms = Percentile(all, 0.5);
+  point.p99_request_ms = Percentile(all, 0.99);
+  return point;
+}
+
+/// Median in-process latency of the same query mix — the no-network
+/// floor the served numbers are compared against.
+double InProcessMedianMs() {
+  std::vector<double> latencies;
+  for (int i = 0; i < 40; ++i) {
+    const std::string& text = Queries()[static_cast<size_t>(i) %
+                                        Queries().size()];
+    latencies.push_back(TimeMillis([&] {
+      HMMM_CHECK(Database().Query(text).ok());
+    }));
+  }
+  return Percentile(latencies, 0.5);
+}
+
+void RunServingBench() {
+  const double in_process_ms = InProcessMedianMs();
+
+  Banner("serving: workers x clients sweep (loopback TCP)");
+  Row({"workers", "clients", "requests", "wall ms", "qps", "median ms",
+       "p99 ms"});
+  std::vector<std::string> sweep_json;
+  std::vector<SweepPoint> sweep;
+  for (const auto& [workers, clients] :
+       std::vector<std::pair<int, int>>{{1, 1}, {1, 4}, {2, 4}, {4, 8}}) {
+    const SweepPoint point =
+        RunSweepPoint(workers, clients, /*requests_per_client=*/25);
+    sweep.push_back(point);
+    Row({StrFormat("%d", point.workers), StrFormat("%d", point.clients),
+         StrFormat("%d", point.requests), Fmt("%.2f", point.wall_ms),
+         Fmt("%.0f", point.qps), Fmt("%.3f", point.median_request_ms),
+         Fmt("%.3f", point.p99_request_ms)});
+    sweep_json.push_back(JsonObject({
+        {"workers", JsonNumber(point.workers)},
+        {"clients", JsonNumber(point.clients)},
+        {"requests", JsonNumber(point.requests)},
+        {"wall_ms", JsonNumber(point.wall_ms)},
+        {"qps", JsonNumber(point.qps)},
+        {"median_request_ms", JsonNumber(point.median_request_ms)},
+        {"p99_request_ms", JsonNumber(point.p99_request_ms)},
+    }));
+  }
+
+  // Wire overhead: one unloaded client against one worker, relative to
+  // the in-process floor.
+  const double served_ms = sweep.front().median_request_ms;
+  Banner("serving: single-request overhead");
+  Row({"in-process ms", "served ms", "overhead ms"});
+  Row({Fmt("%.3f", in_process_ms), Fmt("%.3f", served_ms),
+       Fmt("%.3f", served_ms - in_process_ms)});
+
+  WriteBenchJson(
+      "BENCH_serving.json",
+      JsonObject({
+          {"benchmark", JsonQuote("serving")},
+          {"videos",
+           JsonNumber(static_cast<double>(Database().catalog().num_videos()))},
+          {"shots",
+           JsonNumber(static_cast<double>(Database().catalog().num_shots()))},
+          {"in_process_median_ms", JsonNumber(in_process_ms)},
+          {"served_median_ms", JsonNumber(served_ms)},
+          {"wire_overhead_ms", JsonNumber(served_ms - in_process_ms)},
+          {"sweep", JsonArray(sweep_json)},
+      }));
+}
+
+}  // namespace
+}  // namespace hmmm::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  hmmm::bench::RunServingBench();
+  return 0;
+}

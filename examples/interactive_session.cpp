@@ -1,19 +1,28 @@
 // Interactive retrieval session: a text-mode stand-in for the paper's
-// Fig.-5 client. Builds (or loads) an archive, then reads commands from
-// stdin:
+// Fig.-5 client, now speaking the wire protocol. By default the example
+// spins up an in-process QueryServer over a synthetic soccer archive and
+// drives it through QueryClient over loopback TCP — the exact path a
+// remote client takes; with --connect it talks to an already-running
+// hmmm_serverd instead. Commands:
 //
 //   query <pattern>      e.g. query free_kick ; goal
+//   budget <ms>          wall-clock budget for subsequent queries
+//                        (budget 0 demonstrates maximal anytime
+//                        degradation; budget -1 removes the limit)
 //   mark <rank>          mark the rank-th result of the last query positive
 //   train                force an offline learning round
-//   similar <shot_id>    query by example
-//   stats                archive statistics
-//   clusters             category level summary
+//   health               server health snapshot
+//   metrics              server metrics (Prometheus text)
 //   help / quit
 //
 //   ./build/examples/interactive_session [catalog.bin model.bin]
+//   ./build/examples/interactive_session --connect <host> <port>
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -23,45 +32,89 @@ namespace {
 
 using namespace hmmm;
 
-void PrintResults(const VideoDatabase& db,
-                  const std::vector<RetrievedPattern>& results) {
-  if (results.empty()) {
+void PrintResults(const TemporalQueryResponse& response) {
+  if (response.degraded) {
+    std::printf("[degraded: budget hit, %llu videos skipped — ranking is "
+                "the best anytime prefix]\n",
+                static_cast<unsigned long long>(response.videos_skipped));
+  }
+  if (response.results.empty()) {
     std::printf("no results\n");
     return;
   }
-  for (size_t i = 0; i < results.size(); ++i) {
-    std::printf("#%zu %s\n", i + 1, results[i].ToString(db.catalog()).c_str());
+  for (size_t i = 0; i < response.results.size(); ++i) {
+    const RetrievedPattern& result = response.results[i];
+    std::printf("#%zu v%d [", i + 1, result.video);
+    for (size_t s = 0; s < result.shots.size(); ++s) {
+      std::printf("%s s%d", s == 0 ? "" : " ", result.shots[s]);
+    }
+    std::printf("] score=%.6f\n", result.score);
   }
 }
 
 int Run(int argc, char** argv) {
-  StatusOr<VideoDatabase> db = [&]() -> StatusOr<VideoDatabase> {
-    VideoDatabaseOptions options;
-    options.traversal.beam_width = 4;
-    options.traversal.max_results = 8;
-    options.feedback.retrain_threshold = 3;
-    if (argc >= 3) {
-      std::printf("loading %s + %s ...\n", argv[1], argv[2]);
-      return VideoDatabase::Open(argv[1], argv[2], options);
+  // Server side: either none (--connect) or an in-process database +
+  // QueryServer the session owns.
+  std::optional<VideoDatabase> db;
+  std::unique_ptr<QueryServer> server;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  if (argc >= 4 && std::string(argv[1]) == "--connect") {
+    host = argv[2];
+    port = static_cast<uint16_t>(std::atoi(argv[3]));
+    std::printf("connecting to %s:%u ...\n", host.c_str(), port);
+  } else {
+    StatusOr<VideoDatabase> opened = [&]() -> StatusOr<VideoDatabase> {
+      VideoDatabaseOptions options;
+      options.traversal.beam_width = 4;
+      options.traversal.max_results = 8;
+      options.feedback.retrain_threshold = 3;
+      if (argc >= 3) {
+        std::printf("loading %s + %s ...\n", argv[1], argv[2]);
+        return VideoDatabase::Open(argv[1], argv[2], options);
+      }
+      std::printf("no archive given; synthesizing a 20-video soccer corpus\n");
+      FeatureLevelConfig config = SoccerFeatureLevelDefaults(2026);
+      config.num_videos = 20;
+      FeatureLevelGenerator generator(config);
+      HMMM_ASSIGN_OR_RETURN(
+          VideoCatalog catalog,
+          VideoCatalog::FromGeneratedCorpus(generator.Generate()));
+      return VideoDatabase::Create(std::move(catalog), options);
+    }();
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+      return 1;
     }
-    std::printf("no archive given; synthesizing a 20-video soccer corpus\n");
-    FeatureLevelConfig config = SoccerFeatureLevelDefaults(2026);
-    config.num_videos = 20;
-    FeatureLevelGenerator generator(config);
-    HMMM_ASSIGN_OR_RETURN(VideoCatalog catalog,
-                          VideoCatalog::FromGeneratedCorpus(generator.Generate()));
-    return VideoDatabase::Create(std::move(catalog), options);
-  }();
-  if (!db.ok()) {
-    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    db.emplace(std::move(opened).value());
+    server = std::make_unique<QueryServer>(&*db);
+    if (Status started = server->Start(); !started.ok()) {
+      std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+  }
+
+  QueryClientOptions client_options;
+  client_options.host = host;
+  client_options.port = port;
+  QueryClient client(client_options);
+  const StatusOr<HealthResponse> health = client.Health();
+  if (!health.ok()) {
+    std::fprintf(stderr, "server unreachable: %s\n",
+                 health.status().ToString().c_str());
     return 1;
   }
-  std::printf("archive ready: %zu videos, %zu shots, %zu annotated. "
-              "Type 'help'.\n",
-              db->catalog().num_videos(), db->catalog().num_shots(),
-              db->catalog().num_annotated_shots());
+  std::printf("connected to %s:%u — %llu videos, %llu shots, %llu "
+              "annotated. Type 'help'.\n",
+              host.c_str(), port,
+              static_cast<unsigned long long>(health->videos),
+              static_cast<unsigned long long>(health->shots),
+              static_cast<unsigned long long>(health->annotated_shots));
 
-  std::vector<RetrievedPattern> last_results;
+  TemporalQueryResponse last_response;
+  int64_t budget_ms = -1;
   std::string line;
   while (std::printf("hmmm> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
@@ -71,71 +124,82 @@ int Run(int argc, char** argv) {
     if (command.empty()) continue;
     if (command == "quit" || command == "exit") break;
     if (command == "help") {
-      std::printf("commands: query <pattern> | mark <rank> | train | "
-                  "similar <shot_id> | stats | clusters | quit\n");
+      std::printf("commands: query <pattern> | budget <ms> | mark <rank> | "
+                  "train | health | metrics | quit\n");
     } else if (command == "query") {
       std::string pattern_text;
       std::getline(in, pattern_text);
-      auto results = db->Query(pattern_text);
-      if (!results.ok()) {
-        std::printf("error: %s\n", results.status().ToString().c_str());
+      TemporalQueryRequest request;
+      request.text = pattern_text;
+      request.budget_ms = budget_ms;
+      request.cancel_generation = client.NextCancelGeneration();
+      auto response = client.TemporalQuery(request);
+      if (!response.ok()) {
+        std::printf("error: %s\n", response.status().ToString().c_str());
         continue;
       }
-      last_results = std::move(results).value();
-      PrintResults(*db, last_results);
+      last_response = std::move(response).value();
+      PrintResults(last_response);
+    } else if (command == "budget") {
+      in >> budget_ms;
+      if (budget_ms < 0) {
+        budget_ms = -1;
+        std::printf("budget removed\n");
+      } else {
+        std::printf("queries now run under a %lld ms budget (0 = expire "
+                    "immediately, demonstrating anytime degradation)\n",
+                    static_cast<long long>(budget_ms));
+      }
     } else if (command == "mark") {
       size_t rank = 0;
       in >> rank;
-      if (rank < 1 || rank > last_results.size()) {
+      if (rank < 1 || rank > last_response.results.size()) {
         std::printf("no result at rank %zu\n", rank);
         continue;
       }
-      if (Status s = db->MarkPositive(last_results[rank - 1]); !s.ok()) {
-        std::printf("error: %s\n", s.ToString().c_str());
+      MarkPositiveRequest request;
+      request.pattern = last_response.results[rank - 1];
+      auto marked = client.MarkPositive(request);
+      if (!marked.ok()) {
+        std::printf("error: %s\n", marked.status().ToString().c_str());
       } else {
-        std::printf("marked; %zu training rounds so far\n",
-                    db->training_rounds());
+        std::printf("marked; %llu training rounds so far\n",
+                    static_cast<unsigned long long>(marked->training_rounds));
       }
     } else if (command == "train") {
-      auto trained = db->Train();
+      auto trained = client.Train();
       if (!trained.ok()) {
         std::printf("error: %s\n", trained.status().ToString().c_str());
       } else {
-        std::printf(*trained ? "trained\n" : "nothing to train on\n");
+        std::printf(trained->trained ? "trained (%llu rounds total)\n"
+                                     : "nothing to train on (%llu rounds)\n",
+                    static_cast<unsigned long long>(trained->training_rounds));
       }
-    } else if (command == "similar") {
-      int shot = -1;
-      in >> shot;
-      auto results = db->MoreLikeShot(shot);
-      if (!results.ok()) {
-        std::printf("error: %s\n", results.status().ToString().c_str());
+    } else if (command == "health") {
+      auto snapshot = client.Health();
+      if (!snapshot.ok()) {
+        std::printf("error: %s\n", snapshot.status().ToString().c_str());
         continue;
       }
-      for (const QbeResult& r : *results) {
-        std::printf("sim=%8.4f shot %d (%s)\n", r.similarity, r.shot,
-                    db->catalog()
-                        .video(db->catalog().shot(r.shot).video_id)
-                        .name.c_str());
-      }
-    } else if (command == "stats") {
-      std::printf("videos=%zu shots=%zu annotated=%zu annotations=%zu "
-                  "states=%zu training_rounds=%zu\n",
-                  db->catalog().num_videos(), db->catalog().num_shots(),
-                  db->catalog().num_annotated_shots(),
-                  db->catalog().num_annotations(),
-                  db->model().num_global_states(), db->training_rounds());
-    } else if (command == "clusters") {
-      if (Status s = db->RebuildCategories(); !s.ok()) {
-        std::printf("error: %s\n", s.ToString().c_str());
+      std::printf("videos=%llu shots=%llu annotated=%llu model_version=%llu "
+                  "draining=%s\n",
+                  static_cast<unsigned long long>(snapshot->videos),
+                  static_cast<unsigned long long>(snapshot->shots),
+                  static_cast<unsigned long long>(snapshot->annotated_shots),
+                  static_cast<unsigned long long>(snapshot->model_version),
+                  snapshot->draining ? "true" : "false");
+    } else if (command == "metrics") {
+      auto metrics = client.Metrics();
+      if (!metrics.ok()) {
+        std::printf("error: %s\n", metrics.status().ToString().c_str());
         continue;
       }
-      std::printf("%s", db->categories()
-                            ->ToString(db->catalog().vocabulary())
-                            .c_str());
+      std::printf("%s", metrics->prometheus_text.c_str());
     } else {
       std::printf("unknown command '%s' (try 'help')\n", command.c_str());
     }
   }
+  if (server != nullptr) server->Shutdown();
   return 0;
 }
 

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -10,7 +11,9 @@
 #include "core/model_builder.h"
 #include "feedback/trainer.h"
 #include "observability/metrics_registry.h"
+#include "retrieval/admission.h"
 #include "retrieval/qbe.h"
+#include "retrieval/query_cache.h"
 #include "retrieval/three_level.h"
 #include "retrieval/traversal.h"
 
@@ -27,6 +30,24 @@ struct VideoDatabaseOptions {
   /// Build and use the third (video-category) level for Step-2 pruning.
   bool enable_category_level = false;
   CategoryLevelOptions categories;
+  /// Entries in the query-result LRU cache (same semantics as the
+  /// RetrievalEngine cache: keyed by pattern signature + model version,
+  /// single-flight, degraded results never cached). 0 disables caching.
+  size_t query_cache_entries = 64;
+  /// Bounds concurrent Retrieve/Query calls; saturated databases shed
+  /// load with kResourceExhausted. Default: admission control off.
+  AdmissionOptions admission;
+};
+
+/// Per-query serving controls layered over the database-wide
+/// TraversalOptions: an absolute wall-clock deadline (anytime degradation,
+/// not an error), an external cancellation token (e.g. a server's
+/// shutdown token) and an optional trace sink. Fields left at their
+/// defaults inherit whatever VideoDatabaseOptions::traversal carries.
+struct QueryControls {
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+  const CancellationToken* cancellation = nullptr;
+  QueryTrace* trace = nullptr;
 };
 
 /// The multimedia database management system view of this library
@@ -50,18 +71,42 @@ class VideoDatabase {
   Status Save(const std::string& catalog_path,
               const std::string& model_path) const;
 
-  VideoDatabase(VideoDatabase&&) = default;
-  VideoDatabase& operator=(VideoDatabase&&) = default;
+  // Defined in video_database.cc where Admission is complete.
+  VideoDatabase(VideoDatabase&&) noexcept;
+  VideoDatabase& operator=(VideoDatabase&&) noexcept;
+  ~VideoDatabase();
 
   // -- Queries -----------------------------------------------------------
+  //
+  // All query entry points are safe to call concurrently with each other
+  // and with the feedback/replace entry points: queries hold a shared
+  // lock over the catalog/model/category state, mutators an exclusive
+  // one. Results are served from the LRU cache when an identical pattern
+  // was answered under the current model version (hits replay the
+  // recorded RetrievalStats); concurrent identical misses are coalesced
+  // (single-flight). May fail with kResourceExhausted when admission
+  // control is configured and the database is saturated.
 
   /// Compiles and answers a textual temporal pattern query.
   StatusOr<std::vector<RetrievedPattern>> Query(
       const std::string& text, RetrievalStats* stats = nullptr) const;
 
+  /// Same, with per-query deadline/cancellation/trace controls.
+  StatusOr<std::vector<RetrievedPattern>> Query(
+      const std::string& text, const QueryControls& controls,
+      RetrievalStats* stats = nullptr) const;
+
   /// Answers a translated pattern.
   StatusOr<std::vector<RetrievedPattern>> Retrieve(
       const TemporalPattern& pattern, RetrievalStats* stats = nullptr) const;
+
+  /// Same, with per-query deadline/cancellation/trace controls. A fired
+  /// deadline or cancellation degrades (anytime prefix ranking,
+  /// stats->degraded = true) rather than failing; degraded results are
+  /// never cached.
+  StatusOr<std::vector<RetrievedPattern>> Retrieve(
+      const TemporalPattern& pattern, const QueryControls& controls,
+      RetrievalStats* stats = nullptr) const;
 
   /// Query by example: ranks shots against a raw feature vector.
   StatusOr<std::vector<QbeResult>> QueryByExample(
@@ -82,9 +127,20 @@ class VideoDatabase {
   StatusOr<bool> Train();
 
   /// Feedback rounds applied so far.
-  size_t training_rounds() const { return trainer_->rounds_trained(); }
+  size_t training_rounds() const;
 
   // -- Introspection -----------------------------------------------------
+
+  /// Consistent snapshot of the archive/model shape, taken under the
+  /// state lock — safe to read while feedback or ReplaceCatalog runs on
+  /// another thread (unlike the raw catalog()/model() references).
+  struct HealthSnapshot {
+    size_t videos = 0;
+    size_t shots = 0;
+    size_t annotated_shots = 0;
+    uint64_t model_version = 0;
+  };
+  HealthSnapshot Health() const;
 
   const VideoCatalog& catalog() const { return *catalog_; }
   const HierarchicalModel& model() const { return *model_; }
@@ -105,6 +161,24 @@ class VideoDatabase {
   /// The same dump in Prometheus text exposition format.
   std::string DumpMetricsPrometheus() const;
 
+  /// Drops every cached query result. Called internally whenever the
+  /// model is replaced wholesale (ReplaceCatalog) or retrained (Train,
+  /// threshold-triggered training inside MarkPositive): a rebuilt model's
+  /// version counter restarts at zero, so the cache's version guard alone
+  /// cannot tell a fresh model from the one the entries were computed
+  /// under.
+  void ClearQueryCache();
+
+  /// Hit/miss/occupancy counters of the query-result cache; all-zero
+  /// capacity when caching is disabled.
+  QueryCacheStats cache_stats() const;
+
+  /// Replaces the admission policy. Takes effect for subsequent
+  /// Retrieve/Query calls; already-parked waiters re-evaluate against
+  /// the new bounds.
+  void set_admission_options(const AdmissionOptions& options);
+  AdmissionOptions admission_options() const;
+
   /// Re-clusters the category level (e.g. after heavy retraining).
   Status RebuildCategories();
 
@@ -119,7 +193,16 @@ class VideoDatabase {
                 VideoDatabaseOptions options);
 
   /// Copies pool usage and the model version into registry gauges.
+  /// Caller holds state_mutex_ (shared suffices).
   void RefreshResourceGauges() const;
+
+  /// RebuildCategories body; caller holds state_mutex_ exclusively.
+  Status RebuildCategoriesLocked();
+
+  /// Blocks (bounded) for an admission slot per admission_options().
+  /// Every OK must be paired with ReleaseSlot().
+  Status AcquireSlot() const;
+  void ReleaseSlot() const;
 
   VideoDatabaseOptions options_;
   std::unique_ptr<VideoCatalog> catalog_;
@@ -128,11 +211,21 @@ class VideoDatabase {
   std::unique_ptr<FeedbackTrainer> trainer_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads resolves to 1
   std::optional<CategoryLevel> categories_;
+  /// Readers-writer lock over catalog_/model_/categories_/trainer_:
+  /// queries share, mutators (MarkPositive/Train/ReplaceCatalog) are
+  /// exclusive. unique_ptr keeps the database movable.
+  std::unique_ptr<std::shared_mutex> state_mutex_;
+  std::unique_ptr<QueryCache> cache_;  // null when caching is disabled
+  /// Admission mutex + cv + in-flight counters behind a pointer, same
+  /// movability trick as state_mutex_.
+  struct Admission;
+  std::unique_ptr<Admission> admission_;
   // Hot-path handles into metrics_ (stable: the registry never relocates
   // entries).
   Counter* queries_total_ = nullptr;
   Counter* query_errors_total_ = nullptr;
   Counter* queries_degraded_total_ = nullptr;
+  Counter* admission_rejected_total_ = nullptr;
   Histogram* query_latency_ms_ = nullptr;
 };
 

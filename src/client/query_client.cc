@@ -1,0 +1,164 @@
+#include "client/query_client.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/cancellation.h"
+#include "common/strings.h"
+
+namespace hmmm {
+
+Status QueryClient::Connect() {
+  if (socket_.valid()) return Status::OK();
+  HMMM_ASSIGN_OR_RETURN(
+      socket_, TcpConnect(options_.host, options_.port,
+                          options_.connect_timeout));
+  return Status::OK();
+}
+
+StatusOr<std::string> QueryClient::Attempt(const std::string& frame,
+                                           MessageType expected_response,
+                                           bool idempotent, bool* retriable) {
+  *retriable = false;
+  if (!socket_.valid()) {
+    const Status connected = Connect();
+    if (!connected.ok()) {
+      // Nothing was sent, so a connect failure is always safe to retry.
+      *retriable = true;
+      return connected;
+    }
+  }
+  const auto deadline = DeadlineAfter(options_.io_timeout);
+  const Status written = WriteAll(socket_.fd(), frame, deadline);
+  if (!written.ok()) {
+    Disconnect();
+    *retriable = idempotent;
+    return written;
+  }
+  char header_bytes[kFrameHeaderBytes];
+  Status read =
+      ReadExact(socket_.fd(), header_bytes, kFrameHeaderBytes, deadline);
+  if (!read.ok()) {
+    Disconnect();
+    *retriable = idempotent;
+    return read;
+  }
+  FrameHeader header;
+  WireError wire_error = DecodeFrameHeader(
+      std::string_view(header_bytes, kFrameHeaderBytes),
+      options_.max_frame_bytes, &header);
+  if (wire_error != WireError::kNone) {
+    // A response we cannot frame means the stream is desynced: drop the
+    // connection, surface the reason, never retry blindly.
+    Disconnect();
+    return StatusFromWireError(wire_error, "response frame rejected");
+  }
+  std::string payload(header.payload_bytes, '\0');
+  if (header.payload_bytes > 0) {
+    read = ReadExact(socket_.fd(), payload.data(), payload.size(), deadline);
+    if (!read.ok()) {
+      Disconnect();
+      *retriable = idempotent;
+      return read;
+    }
+  }
+  wire_error = VerifyFramePayload(header, payload);
+  if (wire_error != WireError::kNone) {
+    Disconnect();
+    return StatusFromWireError(wire_error, "response payload corrupt");
+  }
+  if (header.type == MessageType::kErrorResponse) {
+    StatusOr<ErrorResponse> error = DecodeErrorResponse(payload);
+    if (!error.ok()) {
+      Disconnect();
+      return error.status();
+    }
+    // The server declares retriability: a retriable typed error means
+    // the request was refused before executing, so even non-idempotent
+    // requests may go again.
+    *retriable = error->retriable;
+    return StatusFromWireError(error->code, error->message);
+  }
+  if (header.type != expected_response) {
+    Disconnect();
+    return Status::Internal(
+        StrFormat("unexpected response type %u (wanted %u)",
+                  static_cast<unsigned>(header.type),
+                  static_cast<unsigned>(expected_response)));
+  }
+  return payload;
+}
+
+StatusOr<std::string> QueryClient::RoundTrip(MessageType request_type,
+                                             const std::string& payload,
+                                             MessageType expected_response,
+                                             bool idempotent) {
+  const std::string frame = EncodeFrame(request_type, payload);
+  std::chrono::milliseconds backoff = options_.retry_backoff;
+  for (int attempt = 0;; ++attempt) {
+    bool retriable = false;
+    StatusOr<std::string> result =
+        Attempt(frame, expected_response, idempotent, &retriable);
+    if (result.ok() || !retriable || attempt >= options_.max_retries) {
+      return result;
+    }
+    ++retries_performed_;
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, options_.retry_backoff_cap);
+  }
+}
+
+StatusOr<TemporalQueryResponse> QueryClient::TemporalQuery(
+    const TemporalQueryRequest& request) {
+  HMMM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(MessageType::kTemporalQueryRequest,
+                EncodeTemporalQueryRequest(request),
+                MessageType::kTemporalQueryResponse, /*idempotent=*/true));
+  return DecodeTemporalQueryResponse(payload);
+}
+
+StatusOr<QbeResponse> QueryClient::QueryByExample(const QbeRequest& request) {
+  HMMM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(MessageType::kQbeRequest, EncodeQbeRequest(request),
+                MessageType::kQbeResponse, /*idempotent=*/true));
+  return DecodeQbeResponse(payload);
+}
+
+StatusOr<MarkPositiveResponse> QueryClient::MarkPositive(
+    const MarkPositiveRequest& request) {
+  HMMM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(MessageType::kMarkPositiveRequest,
+                EncodeMarkPositiveRequest(request),
+                MessageType::kMarkPositiveResponse, /*idempotent=*/false));
+  return DecodeMarkPositiveResponse(payload);
+}
+
+StatusOr<TrainResponse> QueryClient::Train() {
+  HMMM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(MessageType::kTrainRequest, std::string(),
+                MessageType::kTrainResponse, /*idempotent=*/false));
+  return DecodeTrainResponse(payload);
+}
+
+StatusOr<MetricsResponse> QueryClient::Metrics() {
+  HMMM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(MessageType::kMetricsRequest, std::string(),
+                MessageType::kMetricsResponse, /*idempotent=*/true));
+  return DecodeMetricsResponse(payload);
+}
+
+StatusOr<HealthResponse> QueryClient::Health() {
+  HMMM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(MessageType::kHealthRequest, std::string(),
+                MessageType::kHealthResponse, /*idempotent=*/true));
+  return DecodeHealthResponse(payload);
+}
+
+}  // namespace hmmm

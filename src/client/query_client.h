@@ -1,0 +1,103 @@
+#ifndef HMMM_CLIENT_QUERY_CLIENT_H_
+#define HMMM_CLIENT_QUERY_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/socket.h"
+#include "common/status.h"
+#include "server/wire_protocol.h"
+
+namespace hmmm {
+
+struct QueryClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Bound on establishing (or re-establishing) the TCP connection.
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Per-request IO deadline covering the write of the request frame and
+  /// the read of the complete response frame.
+  std::chrono::milliseconds io_timeout{30000};
+  /// Additional attempts after the first one fails retriably. The retry
+  /// budget is per call, not per connection.
+  int max_retries = 3;
+  /// Backoff before the first retry; doubles per subsequent retry, up
+  /// to retry_backoff_cap (so a deep retry budget bounds total sleep at
+  /// roughly max_retries * cap instead of growing geometrically).
+  std::chrono::milliseconds retry_backoff{10};
+  std::chrono::milliseconds retry_backoff_cap{1000};
+  /// Responses announcing a larger payload are rejected as corrupt.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// Synchronous client for the QueryServer wire protocol: one connection,
+/// one in-flight request at a time, with lazy (re)connection and bounded
+/// retry.
+///
+/// Retry policy: an attempt is retried (up to max_retries, with doubling
+/// backoff) when either
+///  - the server answered a typed error marked retriable (admission shed
+///    kResourceExhausted, drain-time kShuttingDown) — always safe, the
+///    server refused before executing; or
+///  - the transport failed (connect/read/write/timeout/torn frame) and
+///    the request is idempotent. TemporalQuery, QueryByExample, Metrics
+///    and Health are idempotent; MarkPositive and Train are not — a
+///    transport failure after the request was sent leaves the server's
+///    execution state unknown, so those surface the error instead.
+/// Non-retriable typed errors surface as the mirrored Status immediately.
+class QueryClient {
+ public:
+  explicit QueryClient(QueryClientOptions options) : options_(options) {}
+  ~QueryClient() = default;
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+  QueryClient(QueryClient&&) = default;
+  QueryClient& operator=(QueryClient&&) = default;
+
+  /// Eagerly establishes the connection; otherwise the first request
+  /// connects lazily.
+  Status Connect();
+  void Disconnect() { socket_.Close(); }
+  bool connected() const { return socket_.valid(); }
+
+  StatusOr<TemporalQueryResponse> TemporalQuery(
+      const TemporalQueryRequest& request);
+  StatusOr<QbeResponse> QueryByExample(const QbeRequest& request);
+  StatusOr<MarkPositiveResponse> MarkPositive(
+      const MarkPositiveRequest& request);
+  StatusOr<TrainResponse> Train();
+  StatusOr<MetricsResponse> Metrics();
+  StatusOr<HealthResponse> Health();
+
+  /// Monotone generation for TemporalQueryRequest::cancel_generation: a
+  /// request stamped with a fresh generation supersedes every earlier
+  /// pipelined request still queued on the server.
+  uint64_t NextCancelGeneration() { return ++generation_; }
+
+  /// Retries performed across all calls (observability / tests).
+  uint64_t retries_performed() const { return retries_performed_; }
+
+ private:
+  /// Sends one request frame and returns the payload of the expected
+  /// response, applying the retry policy above.
+  StatusOr<std::string> RoundTrip(MessageType request_type,
+                                  const std::string& payload,
+                                  MessageType expected_response,
+                                  bool idempotent);
+  /// One attempt. Sets *retriable when the failure is safe to retry
+  /// under the policy (given `idempotent`).
+  StatusOr<std::string> Attempt(const std::string& frame,
+                                MessageType expected_response,
+                                bool idempotent, bool* retriable);
+
+  QueryClientOptions options_;
+  Socket socket_;
+  uint64_t generation_ = 0;
+  uint64_t retries_performed_ = 0;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_CLIENT_QUERY_CLIENT_H_

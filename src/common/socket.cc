@@ -1,0 +1,237 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/cancellation.h"
+#include "common/strings.h"
+
+namespace hmmm {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, strerror(errno)));
+}
+
+/// Resolves `host` into an IPv4 sockaddr. Only numeric addresses and
+/// "localhost" are supported — the serving layer binds loopback or
+/// explicit interface addresses; name resolution stays out of scope.
+Status FillAddress(const std::string& host, uint16_t port,
+                   sockaddr_in* address) {
+  memset(address, 0, sizeof(*address));
+  address->sin_family = AF_INET;
+  address->sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &address->sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+/// Remaining poll budget in milliseconds; -1 for no deadline, 0 when
+/// already past it.
+int PollBudgetMs(std::chrono::steady_clock::time_point deadline) {
+  if (deadline == kNoDeadline) return -1;
+  const auto remaining = deadline - std::chrono::steady_clock::now();
+  if (remaining <= std::chrono::steady_clock::duration::zero()) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+          .count();
+  // Round up so a sub-millisecond remainder still polls once.
+  return static_cast<int>(std::min<int64_t>(ms + 1, 1 << 30));
+}
+
+/// Polls `fd` for `events` until the deadline. OK when ready; kIOError
+/// on timeout or poll failure.
+Status PollFor(int fd, short events,
+               std::chrono::steady_clock::time_point deadline,
+               const char* what) {
+  for (;;) {
+    pollfd entry{fd, events, 0};
+    const int budget = PollBudgetMs(deadline);
+    if (budget == 0) {
+      return Status::IOError(StrFormat("%s timed out", what));
+    }
+    const int ready = ::poll(&entry, 1, budget);
+    if (ready > 0) return Status::OK();
+    if (ready == 0) return Status::IOError(StrFormat("%s timed out", what));
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+StatusOr<Socket> TcpListen(const std::string& host, uint16_t port,
+                           int backlog) {
+  sockaddr_in address;
+  HMMM_RETURN_IF_ERROR(FillAddress(host, port, &address));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(socket.fd(), reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(socket.fd(), backlog) != 0) return Errno("listen");
+  return socket;
+}
+
+StatusOr<uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in address;
+  socklen_t length = sizeof(address);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&address),
+                    &length) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(address.sin_port));
+}
+
+StatusOr<Socket> Accept(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  Socket socket(fd);
+  const int one = 1;
+  if (::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return socket;
+}
+
+StatusOr<Socket> TcpConnect(const std::string& host, uint16_t port,
+                            std::chrono::milliseconds timeout) {
+  sockaddr_in address;
+  HMMM_RETURN_IF_ERROR(FillAddress(host, port, &address));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return Errno("socket");
+  // Connect in non-blocking mode so the timeout is enforceable, then
+  // switch back: callers do their own deadline-driven polling on top of
+  // a blocking socket.
+  HMMM_RETURN_IF_ERROR(SetNonBlocking(socket.fd(), true));
+  if (::connect(socket.fd(), reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    if (errno != EINPROGRESS) return Errno("connect");
+    HMMM_RETURN_IF_ERROR(PollFor(socket.fd(), POLLOUT,
+                                 DeadlineAfter(timeout), "connect"));
+    int error = 0;
+    socklen_t length = sizeof(error);
+    if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &error, &length) !=
+        0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (error != 0) {
+      return Status::IOError(StrFormat("connect: %s", strerror(error)));
+    }
+  }
+  HMMM_RETURN_IF_ERROR(SetNonBlocking(socket.fd(), false));
+  const int one = 1;
+  if (::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return socket;
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int updated =
+      nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, updated) != 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status WriteAll(int fd, std::string_view data,
+                std::chrono::steady_clock::time_point deadline) {
+  size_t written = 0;
+  while (written < data.size()) {
+    // Poll before sending: a blocking socket never returns EAGAIN, so
+    // without this the deadline would only bind non-blocking fds.
+    if (deadline != kNoDeadline) {
+      HMMM_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline, "write"));
+    }
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as a
+    // Status, not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      HMMM_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline, "write"));
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status ReadExact(int fd, char* buffer, size_t size,
+                 std::chrono::steady_clock::time_point deadline) {
+  size_t received = 0;
+  while (received < size) {
+    // Poll before reading, for the same reason as WriteAll: blocking
+    // sockets would otherwise ignore the deadline entirely.
+    if (deadline != kNoDeadline) {
+      HMMM_RETURN_IF_ERROR(PollFor(fd, POLLIN, deadline, "read"));
+    }
+    const ssize_t n = ::recv(fd, buffer + received, size - received, 0);
+    if (n > 0) {
+      received += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (received == 0) return Status::NotFound("connection closed");
+      return Status::DataLoss(
+          StrFormat("connection closed mid-read (%zu of %zu bytes)",
+                    received, size));
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      HMMM_RETURN_IF_ERROR(PollFor(fd, POLLIN, deadline, "read"));
+      continue;
+    }
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+}  // namespace hmmm

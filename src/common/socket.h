@@ -1,0 +1,75 @@
+#ifndef HMMM_COMMON_SOCKET_H_
+#define HMMM_COMMON_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hmmm {
+
+/// RAII wrapper around a POSIX file descriptor. Move-only; closing twice
+/// is safe. Used for TCP sockets and the server's self-wake pipe.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// Relinquishes ownership without closing.
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host:port` (IPv4 dotted quad or "localhost").
+/// `port` 0 picks an ephemeral port — read it back with LocalPort. The
+/// returned socket has SO_REUSEADDR set and is in blocking mode.
+StatusOr<Socket> TcpListen(const std::string& host, uint16_t port,
+                           int backlog = 64);
+
+/// The locally bound port of a listening (or connected) socket.
+StatusOr<uint16_t> LocalPort(const Socket& socket);
+
+/// Accepts one pending connection from a listening socket (the caller
+/// polled it readable, so this does not block). The accepted socket has
+/// TCP_NODELAY set and inherits blocking mode.
+StatusOr<Socket> Accept(const Socket& listener);
+
+/// Connects to `host:port` with a bounded connect timeout. The returned
+/// socket is in blocking mode with TCP_NODELAY set (the wire protocol
+/// writes one small frame per request; Nagle would serialize the
+/// request/response ping-pong onto delayed-ACK timers).
+StatusOr<Socket> TcpConnect(const std::string& host, uint16_t port,
+                            std::chrono::milliseconds timeout);
+
+/// Switches O_NONBLOCK on or off.
+Status SetNonBlocking(int fd, bool nonblocking);
+
+/// Writes all of `data`, polling for writability until `deadline` (pass
+/// kNoDeadline for unbounded). Handles EINTR/EAGAIN on both blocking and
+/// non-blocking sockets. kIOError on timeout, connection reset or EPIPE.
+Status WriteAll(int fd, std::string_view data,
+                std::chrono::steady_clock::time_point deadline);
+
+/// Reads exactly `size` bytes into `buffer`, polling for readability
+/// until `deadline`. A clean peer close before the first byte returns
+/// kNotFound ("connection closed"); EOF mid-read returns kDataLoss (a
+/// torn frame); a timeout or socket error returns kIOError.
+Status ReadExact(int fd, char* buffer, size_t size,
+                 std::chrono::steady_clock::time_point deadline);
+
+}  // namespace hmmm
+
+#endif  // HMMM_COMMON_SOCKET_H_

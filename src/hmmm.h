@@ -13,6 +13,7 @@
 ///   4. learn: hmmm::FeedbackTrainer + hmmm::SimulatedUser (or real marks).
 
 #include "api/video_database.h"
+#include "client/query_client.h"
 #include "common/logging.h"
 #include "common/matrix.h"
 #include "common/rng.h"
@@ -55,6 +56,8 @@
 #include "retrieval/three_level.h"
 #include "retrieval/query_plan.h"
 #include "retrieval/traversal.h"
+#include "server/query_server.h"
+#include "server/wire_protocol.h"
 #include "shots/boundary_detector.h"
 #include "shots/keyframe.h"
 #include "shots/segmenter.h"

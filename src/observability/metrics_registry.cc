@@ -32,6 +32,77 @@ bool IsValidMetricName(const std::string& name) {
   return true;
 }
 
+bool IsValidLabelName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    if (alpha) continue;
+    if (i > 0 && c >= '0' && c <= '9') continue;
+    return false;
+  }
+  return true;
+}
+
+/// The `key="value",...` body of a series' label braces, with values
+/// escaped. Used both for rendering and (prefixed by the family name and
+/// '\x01') as the series' map key.
+std::string RenderLabels(const MetricLabels& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first + "=\"" +
+           MetricsRegistry::EscapeLabelValue(labels[i].second) + "\"";
+  }
+  return out;
+}
+
+/// The series name as exposed: `name` or `name{key="value",...}`.
+std::string SeriesName(const std::string& name, const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + RenderLabels(labels) + "}";
+}
+
+/// `name_bucket{<labels>,le="bound"}`-style merge of the series labels
+/// with the histogram's `le` label.
+std::string BucketName(const std::string& name, const MetricLabels& labels,
+                       const std::string& le) {
+  std::string out = name + "_bucket{";
+  if (!labels.empty()) out += RenderLabels(labels) + ",";
+  return out + "le=\"" + le + "\"}";
+}
+
+/// Minimal JSON string escaping for series names used as object keys
+/// (labeled series contain double quotes and may contain any byte).
+std::string JsonEscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<int>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// Deterministic number rendering shared by both expositions: integers
 /// print without a decimal point, everything else with 9 significant
 /// digits (enough for millisecond sums, stable across platforms).
@@ -85,89 +156,148 @@ const std::vector<double>& DefaultLatencyBucketsMs() {
   return buckets;
 }
 
+std::string MetricsRegistry::EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::ResolveLocked(
+    const std::string& name, const MetricLabels& labels,
+    const std::string& help, Kind kind) {
+  HMMM_CHECK(IsValidMetricName(name)) << "bad metric name: " << name;
+  for (const auto& [label_name, label_value] : labels) {
+    (void)label_value;
+    HMMM_CHECK(IsValidLabelName(label_name))
+        << "bad label name on " << name << ": " << label_name;
+  }
+  const std::string key = name + '\x01' + RenderLabels(labels);
+  auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    entry.name = name;
+    entry.labels = labels;
+    entry.help = help;
+    it = metrics_.emplace(key, std::move(entry)).first;
+  }
+  HMMM_CHECK(it->second.kind == kind)
+      << name << " already registered under a different kind";
+  return &it->second;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
-  HMMM_CHECK(IsValidMetricName(name)) << "bad metric name: " << name;
+  return GetCounter(name, {}, help);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels,
+                                     const std::string& help) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
-    Entry entry{Kind::kCounter, help, std::make_unique<Counter>(), nullptr,
-                nullptr};
-    it = metrics_.emplace(name, std::move(entry)).first;
-  }
-  HMMM_CHECK(it->second.kind == Kind::kCounter)
-      << name << " already registered under a different kind";
-  return it->second.counter.get();
+  Entry* entry = ResolveLocked(name, labels, help, Kind::kCounter);
+  if (entry->counter == nullptr) entry->counter = std::make_unique<Counter>();
+  return entry->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
-  HMMM_CHECK(IsValidMetricName(name)) << "bad metric name: " << name;
+  return GetGauge(name, {}, help);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels,
+                                 const std::string& help) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
-    Entry entry{Kind::kGauge, help, nullptr, std::make_unique<Gauge>(),
-                nullptr};
-    it = metrics_.emplace(name, std::move(entry)).first;
-  }
-  HMMM_CHECK(it->second.kind == Kind::kGauge)
-      << name << " already registered under a different kind";
-  return it->second.gauge.get();
+  Entry* entry = ResolveLocked(name, labels, help, Kind::kGauge);
+  if (entry->gauge == nullptr) entry->gauge = std::make_unique<Gauge>();
+  return entry->gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds,
                                          const std::string& help) {
-  HMMM_CHECK(IsValidMetricName(name)) << "bad metric name: " << name;
+  return GetHistogram(name, {}, std::move(bounds), help);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
-    Entry entry{Kind::kHistogram, help, nullptr, nullptr,
-                std::make_unique<Histogram>(std::move(bounds))};
-    it = metrics_.emplace(name, std::move(entry)).first;
-    return it->second.histogram.get();
+  Entry* entry = ResolveLocked(name, labels, help, Kind::kHistogram);
+  if (entry->histogram == nullptr) {
+    entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+    return entry->histogram.get();
   }
-  HMMM_CHECK(it->second.kind == Kind::kHistogram)
-      << name << " already registered under a different kind";
-  HMMM_CHECK(it->second.histogram->bounds() == bounds)
+  HMMM_CHECK(entry->histogram->bounds() == bounds)
       << name << " re-registered with different bucket bounds";
-  return it->second.histogram.get();
+  return entry->histogram.get();
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
-  for (const auto& [name, entry] : metrics_) {
-    if (!entry.help.empty()) {
-      out += StrFormat("# HELP %s %s\n", name.c_str(), entry.help.c_str());
+  // HELP/TYPE announce a family once; the map order keeps a family's
+  // labeled series contiguous.
+  const std::string* last_family = nullptr;
+  for (const auto& [key, entry] : metrics_) {
+    (void)key;
+    const std::string& name = entry.name;
+    if (last_family == nullptr || *last_family != name) {
+      last_family = &name;
+      if (!entry.help.empty()) {
+        out += StrFormat("# HELP %s %s\n", name.c_str(), entry.help.c_str());
+      }
+      const char* type = entry.kind == Kind::kCounter ? "counter"
+                         : entry.kind == Kind::kGauge ? "gauge"
+                                                      : "histogram";
+      out += StrFormat("# TYPE %s %s\n", name.c_str(), type);
     }
+    const std::string series = SeriesName(name, entry.labels);
     switch (entry.kind) {
       case Kind::kCounter:
-        out += StrFormat("# TYPE %s counter\n", name.c_str());
-        out += StrFormat("%s %llu\n", name.c_str(),
+        out += StrFormat("%s %llu\n", series.c_str(),
                          static_cast<unsigned long long>(
                              entry.counter->value()));
         break;
       case Kind::kGauge:
-        out += StrFormat("# TYPE %s gauge\n", name.c_str());
-        out += StrFormat("%s %s\n", name.c_str(),
+        out += StrFormat("%s %s\n", series.c_str(),
                          FormatNumber(entry.gauge->value()).c_str());
         break;
       case Kind::kHistogram: {
         const Histogram& h = *entry.histogram;
-        out += StrFormat("# TYPE %s histogram\n", name.c_str());
         const std::vector<uint64_t> cumulative = h.CumulativeCounts();
         for (size_t i = 0; i < h.bounds().size(); ++i) {
           out += StrFormat(
-              "%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
-              FormatNumber(h.bounds()[i]).c_str(),
+              "%s %llu\n",
+              BucketName(name, entry.labels, FormatNumber(h.bounds()[i]))
+                  .c_str(),
               static_cast<unsigned long long>(cumulative[i]));
         }
-        out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+        out += StrFormat("%s %llu\n",
+                         BucketName(name, entry.labels, "+Inf").c_str(),
                          static_cast<unsigned long long>(cumulative.back()));
-        out += StrFormat("%s_sum %s\n", name.c_str(),
+        out += StrFormat("%s %s\n",
+                         SeriesName(name + "_sum", entry.labels).c_str(),
                          FormatNumber(h.sum()).c_str());
-        out += StrFormat("%s_count %llu\n", name.c_str(),
+        out += StrFormat("%s %llu\n",
+                         SeriesName(name + "_count", entry.labels).c_str(),
                          static_cast<unsigned long long>(h.count()));
         break;
       }
@@ -179,17 +309,22 @@ std::string MetricsRegistry::RenderPrometheus() const {
 std::string MetricsRegistry::RenderJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string counters, gauges, histograms;
-  for (const auto& [name, entry] : metrics_) {
+  for (const auto& [key, entry] : metrics_) {
+    (void)key;
+    // Labeled series keep their Prometheus rendering as the JSON key
+    // (JSON-escaped, since it contains double quotes).
+    const std::string series =
+        JsonEscapeString(SeriesName(entry.name, entry.labels));
     switch (entry.kind) {
       case Kind::kCounter:
         if (!counters.empty()) counters += ',';
-        counters += StrFormat("\"%s\":%llu", name.c_str(),
+        counters += StrFormat("\"%s\":%llu", series.c_str(),
                               static_cast<unsigned long long>(
                                   entry.counter->value()));
         break;
       case Kind::kGauge:
         if (!gauges.empty()) gauges += ',';
-        gauges += StrFormat("\"%s\":%s", name.c_str(),
+        gauges += StrFormat("\"%s\":%s", series.c_str(),
                             FormatNumber(entry.gauge->value()).c_str());
         break;
       case Kind::kHistogram: {
@@ -210,7 +345,7 @@ std::string MetricsRegistry::RenderJson() const {
                                  cumulative.back()));
         histograms += StrFormat(
             "\"%s\":{\"count\":%llu,\"sum\":%s,\"buckets\":[%s]}",
-            name.c_str(), static_cast<unsigned long long>(h.count()),
+            series.c_str(), static_cast<unsigned long long>(h.count()),
             FormatNumber(h.sum()).c_str(), buckets.c_str());
         break;
       }

@@ -7,9 +7,16 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hmmm {
+
+/// Label set of one metric series, in emission order. Label names must
+/// match [a-zA-Z_][a-zA-Z0-9_]*; values are arbitrary bytes and get
+/// escaped at exposition time (see MetricsRegistry::EscapeLabelValue).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 /// A monotonically increasing event count. Increments are a single
 /// relaxed atomic add, so hot paths (per-query, per-task) never contend
@@ -72,6 +79,13 @@ const std::vector<double>& DefaultLatencyBucketsMs();
 /// [a-zA-Z_:][a-zA-Z0-9_:]* (the Prometheus grammar). Re-registering a
 /// name returns the existing metric; re-registering under a different
 /// kind (or histogram bounds) is a programmer error and aborts.
+///
+/// A metric family may carry labeled series (the `labels` overloads):
+/// each distinct label set is its own series, rendered Prometheus-style
+/// as `name{key="value"} 42` with backslashes, double quotes and
+/// newlines in label values escaped per the text exposition format.
+/// Labeled and unlabeled series may coexist under one family name, but
+/// the whole family must keep a single kind.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -82,6 +96,21 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name, const std::string& help = "");
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
                           const std::string& help = "");
+
+  /// Labeled-series variants. The same (name, labels) pair always
+  /// returns the same instance; `labels` participates in the identity
+  /// byte-for-byte (order and values included).
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels,
+                      const std::string& help);
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels,
+                  const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const MetricLabels& labels,
+                          std::vector<double> bounds, const std::string& help);
+
+  /// Escapes a label value for the Prometheus text exposition format:
+  /// backslash -> \\, double quote -> \", newline -> \n. Exposed so
+  /// tests (and external renderers) can assert the exact contract.
+  static std::string EscapeLabelValue(std::string_view value);
 
   /// Prometheus text exposition format (metrics sorted by name). The
   /// snapshot is per-metric consistent, not cross-metric atomic.
@@ -95,14 +124,25 @@ class MetricsRegistry {
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
     Kind kind;
+    std::string name;    // family name, without labels
+    MetricLabels labels; // empty for plain series
     std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// Locates or creates the series for (name, labels), checking the kind
+  /// invariant. Caller fills the metric pointer on creation.
+  Entry* ResolveLocked(const std::string& name, const MetricLabels& labels,
+                       const std::string& help, Kind kind);
+
   mutable std::mutex mutex_;
-  std::map<std::string, Entry> metrics_;  // sorted => deterministic render
+  /// Keyed by name + '\x01' + canonical label rendering: '\x01' sorts
+  /// before every printable byte, so all series of one family stay
+  /// contiguous (deterministic exposition with HELP/TYPE emitted once
+  /// per family).
+  std::map<std::string, Entry> metrics_;
 };
 
 }  // namespace hmmm

@@ -10,26 +10,11 @@
 #include "common/thread_pool.h"
 #include "core/model_builder.h"
 #include "observability/metrics_registry.h"
+#include "retrieval/admission.h"
 #include "retrieval/query_cache.h"
 #include "retrieval/traversal.h"
 
 namespace hmmm {
-
-/// Admission control for the engine's Retrieve/Query entry points:
-/// bounds the number of in-flight retrievals so an overloaded engine
-/// sheds load with a fast kResourceExhausted instead of queueing
-/// unboundedly and missing every deadline.
-struct AdmissionOptions {
-  /// Retrievals allowed to run concurrently. 0 = unlimited (default:
-  /// admission control off, zero overhead beyond one mutex hop).
-  int max_concurrent = 0;
-  /// Callers allowed to park waiting for a slot once max_concurrent is
-  /// reached; anyone beyond this fast-fails. 0 = no waiting at all.
-  int max_queued = 0;
-  /// How long a parked caller waits for a slot before giving up with
-  /// kResourceExhausted.
-  std::chrono::milliseconds max_queue_wait{50};
-};
 
 /// High-level facade over catalog + model + traversal: the public entry
 /// point a downstream application uses ("build the HMMM over my archive,

@@ -1,0 +1,174 @@
+// hmmm_serverd: stand-alone TCP front end for an HMMM video database.
+//
+// Serve a persisted archive:
+//   hmmm_serverd --catalog soccer.catalog --model soccer.model --port 8787
+//
+// Or spin up a synthetic soccer archive for demos and smoke tests:
+//   hmmm_serverd --synthetic --videos 12 --port 0
+//
+// The daemon prints one machine-readable line once it accepts traffic:
+//   LISTENING port=<port>
+// and shuts down gracefully (drain, then cooperative cancel) on SIGINT
+// or SIGTERM.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "api/video_database.h"
+#include "media/feature_level_generator.h"
+#include "server/query_server.h"
+#include "storage/catalog.h"
+
+namespace {
+
+// Signal handlers may only touch lock-free state; the main thread polls
+// this flag and runs the actual (lock-taking) shutdown.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int /*signal*/) { g_stop_requested = 1; }
+
+struct ServerdFlags {
+  std::string catalog_path;
+  std::string model_path;
+  bool synthetic = false;
+  int videos = 12;
+  std::string host = "127.0.0.1";
+  int port = 8787;
+  int workers = 2;
+  int query_threads = 0;  // 0 = hardware concurrency
+  int max_concurrent = 0;
+  int max_queued = 0;
+  int cache_entries = 64;
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--catalog PATH --model PATH | --synthetic [--videos N])\n"
+      "          [--host ADDR] [--port N] [--workers N] [--query-threads N]\n"
+      "          [--max-concurrent N] [--max-queued N] [--cache-entries N]\n",
+      argv0);
+}
+
+bool ParseFlags(int argc, char** argv, ServerdFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--catalog") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->catalog_path = value;
+    } else if (arg == "--model") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->model_path = value;
+    } else if (arg == "--synthetic") {
+      flags->synthetic = true;
+    } else if (arg == "--videos") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->videos = std::atoi(value);
+    } else if (arg == "--host") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->host = value;
+    } else if (arg == "--port") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->port = std::atoi(value);
+    } else if (arg == "--workers") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->workers = std::atoi(value);
+    } else if (arg == "--query-threads") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->query_threads = std::atoi(value);
+    } else if (arg == "--max-concurrent") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->max_concurrent = std::atoi(value);
+    } else if (arg == "--max-queued") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->max_queued = std::atoi(value);
+    } else if (arg == "--cache-entries") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->cache_entries = std::atoi(value);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  const bool persisted =
+      !flags->catalog_path.empty() && !flags->model_path.empty();
+  return persisted != flags->synthetic;  // exactly one source
+}
+
+hmmm::StatusOr<hmmm::VideoDatabase> OpenDatabase(const ServerdFlags& flags) {
+  hmmm::VideoDatabaseOptions options;
+  options.traversal.num_threads = flags.query_threads;
+  options.admission.max_concurrent = flags.max_concurrent;
+  options.admission.max_queued = flags.max_queued;
+  options.query_cache_entries =
+      flags.cache_entries > 0 ? static_cast<size_t>(flags.cache_entries) : 0;
+  if (flags.synthetic) {
+    hmmm::FeatureLevelConfig config = hmmm::SoccerFeatureLevelDefaults(1);
+    config.num_videos = flags.videos;
+    hmmm::FeatureLevelGenerator generator(config);
+    HMMM_ASSIGN_OR_RETURN(
+        hmmm::VideoCatalog catalog,
+        hmmm::VideoCatalog::FromGeneratedCorpus(generator.Generate()));
+    return hmmm::VideoDatabase::Create(std::move(catalog), options);
+  }
+  return hmmm::VideoDatabase::Open(flags.catalog_path, flags.model_path,
+                                   options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerdFlags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+  hmmm::StatusOr<hmmm::VideoDatabase> db = OpenDatabase(flags);
+  if (!db.ok()) {
+    std::fprintf(stderr, "failed to open database: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  hmmm::QueryServerOptions server_options;
+  server_options.host = flags.host;
+  server_options.port = static_cast<uint16_t>(flags.port);
+  server_options.num_workers = flags.workers;
+  hmmm::QueryServer server(&db.value(), server_options);
+  const hmmm::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "failed to start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING port=%u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0 && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  return 0;
+}

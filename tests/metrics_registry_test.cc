@@ -165,5 +165,69 @@ TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
             static_cast<uint64_t>(kThreads) * 100);
 }
 
+TEST(MetricsRegistryTest, LabeledSeriesAreDistinctAndShareOneHelpBlock) {
+  MetricsRegistry registry;
+  Counter* get = registry.GetCounter("req_total", {{"verb", "get"}}, "reqs");
+  Counter* put = registry.GetCounter("req_total", {{"verb", "put"}}, "reqs");
+  EXPECT_NE(get, put);
+  EXPECT_EQ(get, registry.GetCounter("req_total", MetricLabels{{"verb", "get"}}, ""));
+  get->Increment(2);
+  put->Increment();
+  EXPECT_EQ(registry.RenderPrometheus(),
+            "# HELP req_total reqs\n"
+            "# TYPE req_total counter\n"
+            "req_total{verb=\"get\"} 2\n"
+            "req_total{verb=\"put\"} 1\n");
+}
+
+// Prometheus label values must escape backslash, double quote and
+// newline (in that exposition-format order: `\\`, `\"`, `\n`). One test
+// per case so a regression names the exact broken escape.
+
+TEST(MetricsRegistryTest, EscapesBackslashInLabelValue) {
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("C:\\temp\\x"),
+            "C:\\\\temp\\\\x");
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", MetricLabels{{"path", "a\\b"}}, "")->Increment();
+  EXPECT_NE(registry.RenderPrometheus().find("c_total{path=\"a\\\\b\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EscapesDoubleQuoteInLabelValue) {
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("say \"hi\""),
+            "say \\\"hi\\\"");
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", MetricLabels{{"q", "\"quoted\""}}, "")->Increment();
+  EXPECT_NE(
+      registry.RenderPrometheus().find("c_total{q=\"\\\"quoted\\\"\"} 1"),
+      std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EscapesNewlineInLabelValue) {
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("line1\nline2"),
+            "line1\\nline2");
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", MetricLabels{{"msg", "a\nb"}}, "")->Increment();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("c_total{msg=\"a\\nb\"} 1"), std::string::npos);
+  // The rendered series must stay on one exposition line: a raw newline
+  // inside a label value would split it in two.
+  EXPECT_EQ(text.find("a\nb"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HostileLabelValueCannotInjectASeries) {
+  // A label value crafted to close the quote and start a fake series
+  // must come out inert.
+  MetricsRegistry registry;
+  registry
+      .GetCounter("c_total",
+                  MetricLabels{{"v", "x\"} 9\ninjected_total{v=\"y"}}, "")
+      ->Increment();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_EQ(text.find("\ninjected_total"), std::string::npos);
+  EXPECT_NE(text.find("c_total{v=\"x\\\"} 9\\ninjected_total{v=\\\"y\"} 1"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace hmmm

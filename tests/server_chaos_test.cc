@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/video_database.h"
+#include "client/query_client.h"
+#include "common/fault_injector.h"
+#include "server/query_server.h"
+#include "test_util.h"
+
+// Loopback chaos: arm the server's read/write fault points and assert the
+// serving stack degrades along its contract — connections may die, but
+// the server stays up, never crashes, and never emits a torn frame.
+// Probes only exist with -DHMMM_FAULT_INJECTION=ON; otherwise each test
+// skips (but still compiles).
+#ifdef HMMM_FAULT_INJECTION
+#define SKIP_WITHOUT_FAULT_INJECTION() (void)0
+#else
+#define SKIP_WITHOUT_FAULT_INJECTION() \
+  GTEST_SKIP() << "built without HMMM_FAULT_INJECTION"
+#endif
+
+namespace hmmm {
+namespace {
+
+class ServerChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().Reset();
+    auto db = VideoDatabase::Create(testing::GeneratedSoccerCatalog());
+    ASSERT_TRUE(db.ok());
+    db_.emplace(std::move(db).value());
+  }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  std::optional<VideoDatabase> db_;
+};
+
+QueryClientOptions ChaosClientOptions(uint16_t port) {
+  QueryClientOptions options;
+  options.port = port;
+  options.max_retries = 16;
+  options.retry_backoff = std::chrono::milliseconds(1);
+  // Keep the backoff flat: once the server shuts down mid-test, a
+  // client burning its whole retry budget against a refused port must
+  // finish in milliseconds, not geometric-backoff minutes.
+  options.retry_backoff_cap = std::chrono::milliseconds(2);
+  options.io_timeout = std::chrono::milliseconds(5000);
+  return options;
+}
+
+TEST_F(ServerChaosTest, TransientReadFaultsDropConnectionsNotTheServer) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  QueryServer server(&*db_);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Every 3rd poll-readable event on a connection "fails the read": the
+  // server treats the connection as dead and erases it. Clients see a
+  // transport failure on an idempotent request and reconnect-retry.
+  FaultPointConfig config;
+  config.probability = 0.34;
+  FaultInjector::Instance().Arm("server.read", config);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      QueryClient client(ChaosClientOptions(server.port()));
+      for (int i = 0; i < 8; ++i) {
+        TemporalQueryRequest request;
+        request.text = "free_kick ; goal";
+        if (!client.TemporalQuery(request).ok()) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // With a 16-deep retry budget per request, every query must get
+  // through despite the faulty reads.
+  EXPECT_EQ(failures.load(), 0);
+
+  FaultInjector::Instance().Disarm("server.read");
+  QueryClient client(ChaosClientOptions(server.port()));
+  EXPECT_TRUE(client.Health().ok());
+  server.Shutdown();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServerChaosTest, WriteFaultsCloseTheConnectionWithoutTornFrames) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  QueryServer server(&*db_);
+  ASSERT_TRUE(server.Start().ok());
+
+  FaultPointConfig config;
+  config.probability = 0.5;
+  FaultInjector::Instance().Arm("server.write", config);
+
+  // A fired write fault swallows the whole response and closes the
+  // connection: the client must observe clean transport failures (and
+  // retry), never a half-written frame surfacing as a CRC/framing error.
+  std::atomic<int> torn{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      QueryClient client(ChaosClientOptions(server.port()));
+      for (int i = 0; i < 8; ++i) {
+        TemporalQueryRequest request;
+        request.text = "corner_kick ; goal";
+        const auto response = client.TemporalQuery(request);
+        if (response.ok()) {
+          ++completed;
+        } else if (response.status().code() == StatusCode::kInvalidArgument ||
+                   response.status().code() == StatusCode::kDataLoss ||
+                   response.status().code() == StatusCode::kInternal) {
+          ++torn;
+          ADD_FAILURE() << "torn frame: " << response.status().ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(completed.load(), 0);
+
+  FaultInjector::Instance().Disarm("server.write");
+  QueryClient client(ChaosClientOptions(server.port()));
+  EXPECT_TRUE(client.Health().ok());
+}
+
+TEST_F(ServerChaosTest, ShutdownUnderActiveFaultsStillDrains) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  QueryServer server(&*db_);
+  ASSERT_TRUE(server.Start().ok());
+
+  FaultPointConfig config;
+  config.probability = 0.25;
+  FaultInjector::Instance().Arm("server.read", config);
+  FaultInjector::Instance().Arm("server.write", config);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      QueryClient client(ChaosClientOptions(server.port()));
+      while (!stop.load()) {
+        TemporalQueryRequest request;
+        request.text = "free_kick ; corner_kick";
+        (void)client.TemporalQuery(request);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Shutdown();  // must terminate despite armed faults
+  EXPECT_FALSE(server.running());
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -168,6 +168,57 @@ TEST(VideoDatabaseTest, ReplaceCatalogPreservesLearning) {
   EXPECT_FALSE(goal_kick->empty());
 }
 
+TEST(VideoDatabaseTest, ReplaceCatalogInvalidatesCachedRankings) {
+  // Regression test: a rebuilt model's version counter restarts at zero,
+  // so the query cache's (signature, version) guard alone cannot tell a
+  // swapped-in catalog from the one a cached ranking was computed under.
+  // Without the explicit ClearQueryCache inside ReplaceCatalog, the query
+  // below would replay the 2-video ranking against the 3-video archive.
+  auto db = VideoDatabase::Create(testing::SmallSoccerCatalog());
+  ASSERT_TRUE(db.ok());
+  auto before = db->Query("goal");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(db->cache_stats().entries, 1u);
+
+  VideoCatalog grown = testing::SmallSoccerCatalog();
+  const VideoId v2 = grown.AddVideo("video_c");
+  ASSERT_TRUE(grown.AddShot(v2, 0.0, 3.0, {0},
+                            testing::FeatureVector(8, 0.1, {0}, 0.9)).ok());
+  ASSERT_TRUE(db->ReplaceCatalog(std::move(grown)).ok());
+  EXPECT_EQ(db->cache_stats().entries, 0u);
+
+  auto after = db->Query("goal");
+  ASSERT_TRUE(after.ok());
+  // The new video's goal shot must show up — a stale cached ranking
+  // cannot contain it.
+  bool found_new_video = false;
+  for (const RetrievedPattern& pattern : *after) {
+    if (pattern.video == v2) found_new_video = true;
+  }
+  EXPECT_TRUE(found_new_video);
+  EXPECT_GT(after->size(), before->size());
+}
+
+TEST(VideoDatabaseTest, TrainingClearsCachedRankings) {
+  auto db = VideoDatabase::Create(testing::SmallSoccerCatalog());
+  ASSERT_TRUE(db.ok());
+  auto results = db->Query("free_kick ; goal");
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ(db->cache_stats().entries, 1u);
+  ASSERT_TRUE(db->MarkPositive(results->front()).ok());
+  ASSERT_TRUE(db->Train().ok());
+  // Retraining mutates the model in place; cached pre-training rankings
+  // are gone.
+  EXPECT_EQ(db->cache_stats().entries, 0u);
+
+  // ClearQueryCache is also callable directly.
+  ASSERT_TRUE(db->Query("free_kick ; goal").ok());
+  EXPECT_EQ(db->cache_stats().entries, 1u);
+  db->ClearQueryCache();
+  EXPECT_EQ(db->cache_stats().entries, 0u);
+}
+
 TEST(VideoDatabaseTest, MoveSemantics) {
   auto db = VideoDatabase::Create(testing::SmallSoccerCatalog());
   ASSERT_TRUE(db.ok());
