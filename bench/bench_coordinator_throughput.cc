@@ -1,0 +1,247 @@
+// Sharded-serving benchmark: end-to-end throughput and latency of the
+// CoordinatorServer scatter-gather path over loopback TCP at 1/2/4
+// shards, against a single-process QueryServer over the same archive.
+// Every deployment serves the same PartitionForServing slices of one
+// global model, so the merged rankings are byte-identical across shard
+// counts — the sweep measures what the fan-out/merge hop costs, not a
+// different workload. Writes BENCH_sharding.json for the CI baseline
+// gate (bench_compare.py checks every *_ms field).
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "api/catalog_partition.h"
+#include "bench_util.h"
+#include "coordinator/coordinator_service.h"
+#include "server/shard_map.h"
+
+namespace hmmm::bench {
+namespace {
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string> queries = {
+      "free_kick ; goal",
+      "corner_kick ; goal",
+      "free_kick ; corner_kick",
+      "goal ; goal",
+      "foul ; free_kick ; goal",
+      "yellow_card ; free_kick",
+      "goal_kick ; corner_kick",
+      "free_kick & goal ; corner_kick",
+  };
+  return queries;
+}
+
+VideoDatabase& Database() {
+  static VideoDatabase* db = [] {
+    VideoDatabaseOptions options;
+    // No result cache: every served request must run a real traversal,
+    // so the sweep measures retrieval + fan-out, not cache hits.
+    options.query_cache_entries = 0;
+    auto created =
+        VideoDatabase::Create(MakeSoccerCatalog(/*num_videos=*/30), options);
+    HMMM_CHECK(created.ok());
+    return new VideoDatabase(std::move(created).value());
+  }();
+  return *db;
+}
+
+double Percentile(std::vector<double> values, double fraction) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(
+      fraction * static_cast<double>(values.size() - 1));
+  return values[index];
+}
+
+/// One booted sharded deployment: N shard QueryServers over slices of
+/// the global archive, plus a coordinator front end fanning over them.
+struct Deployment {
+  std::vector<std::unique_ptr<VideoDatabase>> shard_dbs;
+  std::vector<std::unique_ptr<QueryServer>> shard_servers;
+  std::unique_ptr<CoordinatorServer> coordinator;
+
+  ~Deployment() {
+    if (coordinator != nullptr) coordinator->Shutdown();
+    for (auto& server : shard_servers) server->Shutdown();
+  }
+};
+
+std::unique_ptr<Deployment> BootDeployment(int num_shards) {
+  auto deployment = std::make_unique<Deployment>();
+  StatusOr<std::vector<CatalogShard>> shards =
+      PartitionForServing(Database().catalog(), Database().model(),
+                          num_shards);
+  HMMM_CHECK(shards.ok());
+  ShardMap map = ShardMapFromPartition(*shards, Database().catalog());
+  for (size_t s = 0; s < shards->size(); ++s) {
+    VideoDatabaseOptions options;
+    options.query_cache_entries = 0;
+    StatusOr<VideoDatabase> db = VideoDatabase::CreateWithModel(
+        std::move((*shards)[s].catalog), std::move((*shards)[s].model),
+        options);
+    HMMM_CHECK(db.ok());
+    deployment->shard_dbs.push_back(
+        std::make_unique<VideoDatabase>(std::move(db).value()));
+    QueryServerOptions server_options;
+    server_options.num_workers = 2;
+    auto server = std::make_unique<QueryServer>(
+        deployment->shard_dbs.back().get(), server_options);
+    HMMM_CHECK(server->Start().ok());
+    map.shards[s].endpoint =
+        StrFormat("127.0.0.1:%u", static_cast<unsigned>(server->port()));
+    deployment->shard_servers.push_back(std::move(server));
+  }
+  QueryServerOptions front_options;
+  front_options.num_workers = 4;
+  StatusOr<std::unique_ptr<CoordinatorServer>> coordinator =
+      CoordinatorServer::Create(std::move(map), CoordinatorOptions{},
+                                front_options);
+  HMMM_CHECK(coordinator.ok());
+  deployment->coordinator = std::move(coordinator).value();
+  HMMM_CHECK(deployment->coordinator->Start().ok());
+  return deployment;
+}
+
+struct SweepPoint {
+  int shards = 0;
+  int clients = 0;
+  int requests = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double median_request_ms = 0.0;
+  double p99_request_ms = 0.0;
+};
+
+/// Runs `clients` concurrent QueryClients, each issuing
+/// `requests_per_client` temporal queries against the given port.
+SweepPoint RunSweepPoint(uint16_t port, int shards, int clients,
+                         int requests_per_client) {
+  std::vector<std::vector<double>> per_client_ms(
+      static_cast<size_t>(clients));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  const double wall_ms = TimeMillis([&] {
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        QueryClientOptions client_options;
+        client_options.port = port;
+        QueryClient client(client_options);
+        auto& latencies = per_client_ms[static_cast<size_t>(c)];
+        latencies.reserve(static_cast<size_t>(requests_per_client));
+        for (int i = 0; i < requests_per_client; ++i) {
+          TemporalQueryRequest request;
+          request.text =
+              Queries()[static_cast<size_t>(c + i) % Queries().size()];
+          const double ms = TimeMillis([&] {
+            if (!client.TemporalQuery(request).ok()) ++failures;
+          });
+          latencies.push_back(ms);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  });
+  HMMM_CHECK(failures.load() == 0);
+
+  std::vector<double> all;
+  for (const auto& latencies : per_client_ms) {
+    all.insert(all.end(), latencies.begin(), latencies.end());
+  }
+  SweepPoint point;
+  point.shards = shards;
+  point.clients = clients;
+  point.requests = clients * requests_per_client;
+  point.wall_ms = wall_ms;
+  point.qps = wall_ms > 0.0 ? 1000.0 * point.requests / wall_ms : 0.0;
+  point.median_request_ms = Percentile(all, 0.5);
+  point.p99_request_ms = Percentile(all, 0.99);
+  return point;
+}
+
+/// Median served latency of the same query mix against one unsharded
+/// QueryServer — the no-coordinator floor the sharded numbers are
+/// compared against.
+double SingleProcessMedianMs() {
+  QueryServerOptions options;
+  options.num_workers = 2;
+  QueryServer server(&Database(), options);
+  HMMM_CHECK(server.Start().ok());
+  const SweepPoint point =
+      RunSweepPoint(server.port(), /*shards=*/0, /*clients=*/1,
+                    /*requests_per_client=*/25);
+  server.Shutdown();
+  return point.median_request_ms;
+}
+
+void RunShardingBench() {
+  const double single_process_ms = SingleProcessMedianMs();
+
+  Banner("sharding: shards x clients sweep (loopback TCP, coordinator)");
+  Row({"shards", "clients", "requests", "wall ms", "qps", "median ms",
+       "p99 ms"});
+  std::vector<std::string> sweep_json;
+  std::vector<SweepPoint> sweep;
+  for (int num_shards : {1, 2, 4}) {
+    const std::unique_ptr<Deployment> deployment = BootDeployment(num_shards);
+    for (int clients : {1, 4}) {
+      const SweepPoint point =
+          RunSweepPoint(deployment->coordinator->port(), num_shards, clients,
+                        /*requests_per_client=*/25);
+      sweep.push_back(point);
+      Row({StrFormat("%d", point.shards), StrFormat("%d", point.clients),
+           StrFormat("%d", point.requests), Fmt("%.2f", point.wall_ms),
+           Fmt("%.0f", point.qps), Fmt("%.3f", point.median_request_ms),
+           Fmt("%.3f", point.p99_request_ms)});
+      sweep_json.push_back(JsonObject({
+          {"shards", JsonNumber(point.shards)},
+          {"clients", JsonNumber(point.clients)},
+          {"requests", JsonNumber(point.requests)},
+          {"wall_ms", JsonNumber(point.wall_ms)},
+          {"qps", JsonNumber(point.qps)},
+          {"median_request_ms", JsonNumber(point.median_request_ms)},
+          {"p99_request_ms", JsonNumber(point.p99_request_ms)},
+      }));
+    }
+  }
+
+  // Coordinator overhead: one unloaded client at one shard, relative to
+  // the single-process served floor (one extra loopback hop + merge).
+  const double coordinated_ms = sweep.front().median_request_ms;
+  Banner("sharding: single-request coordinator overhead");
+  Row({"single-process ms", "1-shard coordinated ms", "overhead ms"});
+  Row({Fmt("%.3f", single_process_ms), Fmt("%.3f", coordinated_ms),
+       Fmt("%.3f", coordinated_ms - single_process_ms)});
+
+  WriteBenchJson(
+      "BENCH_sharding.json",
+      JsonObject({
+          {"benchmark", JsonQuote("sharding")},
+          {"videos",
+           JsonNumber(static_cast<double>(Database().catalog().num_videos()))},
+          {"shots",
+           JsonNumber(static_cast<double>(Database().catalog().num_shots()))},
+          {"single_process_median_ms", JsonNumber(single_process_ms)},
+          {"coordinated_median_ms", JsonNumber(coordinated_ms)},
+          {"coordinator_overhead_ms",
+           JsonNumber(coordinated_ms - single_process_ms)},
+          {"sweep", JsonArray(sweep_json)},
+      }));
+}
+
+}  // namespace
+}  // namespace hmmm::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  hmmm::bench::RunShardingBench();
+  return 0;
+}

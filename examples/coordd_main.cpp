@@ -1,0 +1,166 @@
+// hmmm_coordd: sharded scatter-gather front end. Loads a shards.map
+// written by hmmm_shardctl, binds each map entry to a running
+// hmmm_serverd shard, and serves the ordinary wire protocol — clients
+// cannot tell it from a single-process hmmm_serverd over the merged
+// archive (rankings are byte-identical while every shard is up; a dead
+// shard degrades results instead of failing queries).
+//
+//   hmmm_coordd --shard-map /tmp/dep/shards.map
+//       --shard 127.0.0.1:9001 --shard 127.0.0.1:9002
+//       --shard 127.0.0.1:9003 --port 8787
+//
+// --shard flags are positional: the i-th flag is shard i's endpoint.
+// When none are given the endpoints already recorded in the map are
+// used. Prints `LISTENING port=<port>` once it accepts traffic; SIGINT /
+// SIGTERM drain gracefully.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "coordinator/coordinator_service.h"
+#include "server/shard_map.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int /*signal*/) { g_stop_requested = 1; }
+
+struct CoorddFlags {
+  std::string shard_map_path;
+  std::vector<std::string> shard_endpoints;
+  std::string host = "127.0.0.1";
+  int port = 8787;
+  int workers = 2;
+  int fanout_threads = 0;
+  int merge_reserve_ms = 5;
+  int io_slack_ms = 100;
+  int max_results = 20;
+  int connect_timeout_ms = 500;
+  int io_timeout_ms = 30000;
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --shard-map PATH [--shard HOST:PORT]...\n"
+      "          [--host ADDR] [--port N] [--workers N] [--fanout-threads N]\n"
+      "          [--merge-reserve-ms N] [--io-slack-ms N] [--max-results N]\n"
+      "          [--connect-timeout-ms N] [--io-timeout-ms N]\n",
+      argv0);
+}
+
+bool ParseFlags(int argc, char** argv, CoorddFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--shard-map" && (value = next()) != nullptr) {
+      flags->shard_map_path = value;
+    } else if (arg == "--shard" && (value = next()) != nullptr) {
+      flags->shard_endpoints.push_back(value);
+    } else if (arg == "--host" && (value = next()) != nullptr) {
+      flags->host = value;
+    } else if (arg == "--port" && (value = next()) != nullptr) {
+      flags->port = std::atoi(value);
+    } else if (arg == "--workers" && (value = next()) != nullptr) {
+      flags->workers = std::atoi(value);
+    } else if (arg == "--fanout-threads" && (value = next()) != nullptr) {
+      flags->fanout_threads = std::atoi(value);
+    } else if (arg == "--merge-reserve-ms" && (value = next()) != nullptr) {
+      flags->merge_reserve_ms = std::atoi(value);
+    } else if (arg == "--io-slack-ms" && (value = next()) != nullptr) {
+      flags->io_slack_ms = std::atoi(value);
+    } else if (arg == "--max-results" && (value = next()) != nullptr) {
+      flags->max_results = std::atoi(value);
+    } else if (arg == "--connect-timeout-ms" && (value = next()) != nullptr) {
+      flags->connect_timeout_ms = std::atoi(value);
+    } else if (arg == "--io-timeout-ms" && (value = next()) != nullptr) {
+      flags->io_timeout_ms = std::atoi(value);
+    } else {
+      std::fprintf(stderr, "unknown or valueless flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !flags->shard_map_path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CoorddFlags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  hmmm::StatusOr<hmmm::ShardMap> map =
+      hmmm::LoadShardMap(flags.shard_map_path);
+  if (!map.ok()) {
+    std::fprintf(stderr, "failed to load shard map: %s\n",
+                 map.status().ToString().c_str());
+    return 1;
+  }
+  if (!flags.shard_endpoints.empty()) {
+    if (flags.shard_endpoints.size() != map->shards.size()) {
+      std::fprintf(stderr,
+                   "--shard count (%zu) does not match the map's shard count "
+                   "(%zu)\n",
+                   flags.shard_endpoints.size(), map->shards.size());
+      return 2;
+    }
+    for (size_t s = 0; s < map->shards.size(); ++s) {
+      map->shards[s].endpoint = flags.shard_endpoints[s];
+    }
+  }
+
+  hmmm::CoordinatorOptions coordinator_options;
+  coordinator_options.fanout_threads = flags.fanout_threads;
+  coordinator_options.merge_reserve_ms = flags.merge_reserve_ms;
+  coordinator_options.io_slack_ms = flags.io_slack_ms;
+  coordinator_options.max_results = flags.max_results;
+  coordinator_options.client.connect_timeout =
+      std::chrono::milliseconds(flags.connect_timeout_ms);
+  coordinator_options.client.io_timeout =
+      std::chrono::milliseconds(flags.io_timeout_ms);
+
+  hmmm::QueryServerOptions server_options;
+  server_options.host = flags.host;
+  server_options.port = static_cast<uint16_t>(flags.port);
+  server_options.num_workers = flags.workers;
+
+  hmmm::StatusOr<std::unique_ptr<hmmm::CoordinatorServer>> server =
+      hmmm::CoordinatorServer::Create(std::move(*map), coordinator_options,
+                                      server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "failed to create coordinator: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  const hmmm::Status started = (*server)->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "failed to start coordinator: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING port=%u\n", (*server)->port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0 && (*server)->running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down\n");
+  std::fflush(stdout);
+  (*server)->Shutdown();
+  return 0;
+}

@@ -1,0 +1,190 @@
+// hmmm_shardctl: builds the on-disk artefacts of a sharded serving
+// deployment. `partition` slices an archive (persisted or synthetic)
+// into N score-equivalent serving shards:
+//
+//   hmmm_shardctl partition --synthetic --videos 8 --shards 3 --out /tmp/dep
+//   hmmm_shardctl partition --catalog a.catalog --model a.model
+//       --shards 4 --out /tmp/dep
+//
+// writing global.catalog / global.model (the unsharded reference),
+// shard<i>.catalog / shard<i>.model for each shard, and shards.map (the
+// serving map hmmm_coordd loads; endpoints are left empty — they are
+// deployment config, supplied to coordd via --shard flags). Prints one
+// machine-readable line on success:
+//
+//   PARTITIONED shards=<n> videos=<v> shots=<s> out=<dir>
+//
+// `inspect` pretty-prints a shards.map.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/catalog_partition.h"
+#include "api/video_database.h"
+#include "media/feature_level_generator.h"
+#include "server/shard_map.h"
+#include "storage/model_io.h"
+
+namespace {
+
+struct ShardctlFlags {
+  std::string catalog_path;
+  std::string model_path;
+  bool synthetic = false;
+  int videos = 8;
+  int shards = 2;
+  std::string out_dir;
+  std::string map_path;  // inspect
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s partition (--catalog PATH --model PATH | --synthetic "
+      "[--videos N])\n"
+      "          --shards N --out DIR\n"
+      "       %s inspect --map PATH\n",
+      argv0, argv0);
+}
+
+bool ParseFlags(int argc, char** argv, std::string* command,
+                ShardctlFlags* flags) {
+  if (argc < 2) return false;
+  *command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--catalog" && (value = next()) != nullptr) {
+      flags->catalog_path = value;
+    } else if (arg == "--model" && (value = next()) != nullptr) {
+      flags->model_path = value;
+    } else if (arg == "--synthetic") {
+      flags->synthetic = true;
+    } else if (arg == "--videos" && (value = next()) != nullptr) {
+      flags->videos = std::atoi(value);
+    } else if (arg == "--shards" && (value = next()) != nullptr) {
+      flags->shards = std::atoi(value);
+    } else if (arg == "--out" && (value = next()) != nullptr) {
+      flags->out_dir = value;
+    } else if (arg == "--map" && (value = next()) != nullptr) {
+      flags->map_path = value;
+    } else {
+      std::fprintf(stderr, "unknown or valueless flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (*command == "partition") {
+    const bool persisted =
+        !flags->catalog_path.empty() && !flags->model_path.empty();
+    return (persisted != flags->synthetic) && !flags->out_dir.empty() &&
+           flags->shards >= 1;
+  }
+  if (*command == "inspect") return !flags->map_path.empty();
+  return false;
+}
+
+hmmm::StatusOr<hmmm::VideoDatabase> OpenArchive(const ShardctlFlags& flags) {
+  if (flags.synthetic) {
+    hmmm::FeatureLevelConfig config = hmmm::SoccerFeatureLevelDefaults(1);
+    config.num_videos = flags.videos;
+    hmmm::FeatureLevelGenerator generator(config);
+    HMMM_ASSIGN_OR_RETURN(
+        hmmm::VideoCatalog catalog,
+        hmmm::VideoCatalog::FromGeneratedCorpus(generator.Generate()));
+    return hmmm::VideoDatabase::Create(std::move(catalog));
+  }
+  return hmmm::VideoDatabase::Open(flags.catalog_path, flags.model_path);
+}
+
+int RunPartition(const ShardctlFlags& flags) {
+  if (::mkdir(flags.out_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create %s: %s\n", flags.out_dir.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  hmmm::StatusOr<hmmm::VideoDatabase> db = OpenArchive(flags);
+  if (!db.ok()) {
+    std::fprintf(stderr, "failed to open archive: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  const std::string prefix = flags.out_dir + "/";
+  hmmm::Status saved = db->Save(prefix + "global.catalog",
+                                prefix + "global.model");
+  if (!saved.ok()) {
+    std::fprintf(stderr, "failed to save global archive: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  hmmm::StatusOr<std::vector<hmmm::CatalogShard>> shards =
+      hmmm::PartitionForServing(db->catalog(), db->model(), flags.shards);
+  if (!shards.ok()) {
+    std::fprintf(stderr, "partition failed: %s\n",
+                 shards.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t s = 0; s < shards->size(); ++s) {
+    const hmmm::CatalogShard& shard = (*shards)[s];
+    const std::string stem = prefix + "shard" + std::to_string(s);
+    saved = hmmm::SaveCatalog(shard.catalog, stem + ".catalog");
+    if (saved.ok()) saved = shard.model.SaveToFile(stem + ".model");
+    if (!saved.ok()) {
+      std::fprintf(stderr, "failed to save shard %zu: %s\n", s,
+                   saved.ToString().c_str());
+      return 1;
+    }
+  }
+  const hmmm::ShardMap map = hmmm::ShardMapFromPartition(*shards,
+                                                         db->catalog());
+  saved = hmmm::SaveShardMap(map, prefix + "shards.map");
+  if (!saved.ok()) {
+    std::fprintf(stderr, "failed to save shard map: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("PARTITIONED shards=%zu videos=%lld shots=%lld out=%s\n",
+              shards->size(), static_cast<long long>(map.total_videos),
+              static_cast<long long>(map.total_shots), flags.out_dir.c_str());
+  return 0;
+}
+
+int RunInspect(const ShardctlFlags& flags) {
+  hmmm::StatusOr<hmmm::ShardMap> map = hmmm::LoadShardMap(flags.map_path);
+  if (!map.ok()) {
+    std::fprintf(stderr, "failed to load shard map: %s\n",
+                 map.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("shard map: %zu shards, %lld videos, %lld shots\n",
+              map->shards.size(), static_cast<long long>(map->total_videos),
+              static_cast<long long>(map->total_shots));
+  for (size_t s = 0; s < map->shards.size(); ++s) {
+    const hmmm::ShardMapEntry& entry = map->shards[s];
+    std::printf("  shard %zu: videos [%d, %d) (%d), %zu shots, endpoint=%s\n",
+                s, entry.video_begin, entry.video_end, entry.num_videos(),
+                entry.shot_to_global.size(),
+                entry.endpoint.empty() ? "<unset>" : entry.endpoint.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command;
+  ShardctlFlags flags;
+  if (!ParseFlags(argc, argv, &command, &flags)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+  return command == "partition" ? RunPartition(flags) : RunInspect(flags);
+}

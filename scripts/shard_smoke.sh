@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Black-box smoke of the sharded serving stack:
+#
+#   1. hmmm_shardctl partitions a synthetic archive into N shards,
+#      writing the unsharded reference (global.catalog/.model), the
+#      per-shard slices, and shards.map.
+#   2. N hmmm_serverd shard processes + one hmmm_coordd front end boot,
+#      alongside one hmmm_serverd over the unsharded archive.
+#   3. A query mix is issued against both front ends and byte-diffed:
+#      the coordinator's merged ranking must be identical to the
+#      single-process server's, down to the %.6f-formatted scores.
+#   4. One shard is SIGKILLed. The same query must then come back
+#      degraded (degraded=true, videos_skipped = the dead shard's
+#      share) — never as an error.
+#
+# Usage: shard_smoke.sh [BUILD_DIR] [NUM_SHARDS] [VIDEOS]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+NUM_SHARDS=${2:-3}
+VIDEOS=${3:-9}
+
+SHARDCTL=$BUILD_DIR/examples/hmmm_shardctl
+COORDD=$BUILD_DIR/examples/hmmm_coordd
+SERVERD=$BUILD_DIR/src/hmmm_serverd
+CLI=$BUILD_DIR/examples/query_client_cli
+for bin in "$SHARDCTL" "$COORDD" "$SERVERD" "$CLI"; do
+  [[ -x $bin ]] || { echo "missing binary: $bin" >&2; exit 2; }
+done
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Polls a daemon's log for the LISTENING line and echoes the port.
+wait_port() {
+  local log=$1 port=""
+  for _ in $(seq 1 100); do
+    port=$(grep -oP 'LISTENING port=\K[0-9]+' "$log" 2>/dev/null) && break
+    sleep 0.1
+  done
+  [[ -n $port ]] || { echo "no LISTENING line in $log" >&2; cat "$log" >&2; exit 1; }
+  echo "$port"
+}
+
+echo "== partitioning $VIDEOS videos into $NUM_SHARDS shards =="
+"$SHARDCTL" partition --synthetic --videos "$VIDEOS" \
+  --shards "$NUM_SHARDS" --out "$WORK/dep"
+
+echo "== booting $NUM_SHARDS shard servers =="
+SHARD_FLAGS=()
+SHARD_PIDS=()
+for s in $(seq 0 $((NUM_SHARDS - 1))); do
+  "$SERVERD" --catalog "$WORK/dep/shard$s.catalog" \
+    --model "$WORK/dep/shard$s.model" --port 0 \
+    > "$WORK/shard$s.log" 2>&1 &
+  SHARD_PIDS+=($!)
+  PIDS+=($!)
+done
+for s in $(seq 0 $((NUM_SHARDS - 1))); do
+  port=$(wait_port "$WORK/shard$s.log")
+  SHARD_FLAGS+=(--shard "127.0.0.1:$port")
+  echo "shard $s: 127.0.0.1:$port (pid ${SHARD_PIDS[$s]})"
+done
+
+echo "== booting coordinator and unsharded reference server =="
+"$COORDD" --shard-map "$WORK/dep/shards.map" "${SHARD_FLAGS[@]}" --port 0 \
+  > "$WORK/coordd.log" 2>&1 &
+PIDS+=($!)
+"$SERVERD" --catalog "$WORK/dep/global.catalog" \
+  --model "$WORK/dep/global.model" --port 0 \
+  > "$WORK/reference.log" 2>&1 &
+PIDS+=($!)
+COORD_PORT=$(wait_port "$WORK/coordd.log")
+REF_PORT=$(wait_port "$WORK/reference.log")
+echo "coordinator: 127.0.0.1:$COORD_PORT  reference: 127.0.0.1:$REF_PORT"
+
+"$CLI" 127.0.0.1 "$COORD_PORT" health
+"$CLI" 127.0.0.1 "$REF_PORT" health
+
+echo "== byte-diffing coordinator vs single-process rankings =="
+QUERIES=(
+  "free_kick ; goal"
+  "goal"
+  "corner_kick ; goal"
+  "foul ; free_kick ; goal"
+  "free_kick & goal ; corner_kick"
+)
+for query in "${QUERIES[@]}"; do
+  "$CLI" 127.0.0.1 "$COORD_PORT" query "$query" > "$WORK/coord.out"
+  "$CLI" 127.0.0.1 "$REF_PORT" query "$query" > "$WORK/ref.out"
+  if ! diff -u "$WORK/ref.out" "$WORK/coord.out"; then
+    echo "FAIL: coordinator ranking differs for '$query'" >&2
+    exit 1
+  fi
+  echo "BYTE-IDENTICAL: '$query' ($(grep -c $'\t' "$WORK/coord.out" || true) rows)"
+done
+
+echo "== killing shard 1 (SIGKILL), expecting degraded — not an error =="
+kill -9 "${SHARD_PIDS[1]}"
+wait "${SHARD_PIDS[1]}" 2>/dev/null || true
+"$CLI" 127.0.0.1 "$COORD_PORT" query "free_kick ; goal" --budget 2000 \
+  > "$WORK/degraded.out"
+cat "$WORK/degraded.out"
+grep -q 'degraded=true' "$WORK/degraded.out" || {
+  echo "FAIL: dead shard did not degrade the response" >&2; exit 1; }
+grep -Eq 'videos_skipped=[1-9]' "$WORK/degraded.out" || {
+  echo "FAIL: degraded response skipped no videos" >&2; exit 1; }
+
+# The surviving shards must still produce their slice of the ranking.
+grep -q $'\tv' "$WORK/degraded.out" || {
+  echo "FAIL: degraded response lost the surviving shards' results" >&2
+  exit 1; }
+
+echo "== shard smoke passed =="

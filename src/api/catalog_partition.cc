@@ -1,0 +1,63 @@
+#include "api/catalog_partition.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace hmmm {
+
+StatusOr<std::vector<CatalogShard>> PartitionForServing(
+    const VideoCatalog& catalog, const HierarchicalModel& model,
+    int num_shards) {
+  HMMM_RETURN_IF_ERROR(catalog.Validate());
+  const int num_videos = static_cast<int>(catalog.num_videos());
+  if (num_shards < 1 || num_shards > num_videos) {
+    return Status::InvalidArgument(
+        StrFormat("num_shards %d outside [1, %d]", num_shards, num_videos));
+  }
+  if (model.num_videos() != catalog.num_videos()) {
+    return Status::FailedPrecondition(
+        "model and catalog disagree on video count");
+  }
+  if (model.num_global_states() != catalog.num_annotated_shots()) {
+    return Status::FailedPrecondition(
+        "model and catalog disagree on annotated shots");
+  }
+
+  const int base = num_videos / num_shards;
+  const int extra = num_videos % num_shards;
+  std::vector<CatalogShard> shards;
+  shards.reserve(static_cast<size_t>(num_shards));
+  VideoId next_video = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    CatalogShard shard;
+    shard.video_begin = next_video;
+    shard.video_end = next_video + base + (s < extra ? 1 : 0);
+    next_video = shard.video_end;
+
+    VideoCatalog slice(catalog.vocabulary(), catalog.num_features());
+    std::vector<ShotId> global_to_local(catalog.num_shots(), -1);
+    for (VideoId v = shard.video_begin; v < shard.video_end; ++v) {
+      const VideoRecord& video = catalog.video(v);
+      const VideoId local_video = slice.AddVideo(video.name);
+      for (ShotId shot : video.shots) {
+        const ShotRecord& record = catalog.shot(shot);
+        HMMM_ASSIGN_OR_RETURN(
+            const ShotId local_shot,
+            slice.AddShot(local_video, record.begin_time, record.end_time,
+                          record.events, catalog.raw_features_of(shot)));
+        global_to_local[static_cast<size_t>(shot)] = local_shot;
+        shard.shot_to_global.push_back(shot);
+      }
+    }
+    HMMM_ASSIGN_OR_RETURN(shard.model,
+                          model.SliceForServing(shard.video_begin,
+                                                shard.video_end,
+                                                global_to_local));
+    shard.catalog = std::move(slice);
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,43 @@
+#ifndef HMMM_API_CATALOG_PARTITION_H_
+#define HMMM_API_CATALOG_PARTITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/hierarchical_model.h"
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+/// One shard's share of a partitioned archive: the contiguous global
+/// video range it owns, a densely re-indexed slice catalog, a
+/// score-equivalent slice of the global model
+/// (HierarchicalModel::SliceForServing), and the local -> global shot
+/// map a serving coordinator needs to reassemble global results.
+struct CatalogShard {
+  VideoId video_begin = 0;  // global range [video_begin, video_end)
+  VideoId video_end = 0;
+  VideoCatalog catalog;
+  HierarchicalModel model;
+  /// Slice ShotId -> global ShotId, dense over the slice catalog.
+  std::vector<ShotId> shot_to_global;
+};
+
+/// Partitions an archive and its built model into `num_shards` serving
+/// shards over contiguous video ranges (videos split as evenly as the
+/// count allows; the first `num_videos % num_shards` shards take one
+/// extra). Each shard's catalog re-adds its videos and shots in global
+/// order, so slice ShotIds enumerate the shard's shots in (video,
+/// temporal) order and the slice model's global-state order is the
+/// matching contiguous block of the full model's — the property the
+/// coordinator's deterministic merge relies on. Per-video query scores
+/// computed against a shard pair are bit-identical to the full archive's
+/// (see SliceForServing). Requires 1 <= num_shards <= num_videos and a
+/// model built from exactly this catalog.
+StatusOr<std::vector<CatalogShard>> PartitionForServing(
+    const VideoCatalog& catalog, const HierarchicalModel& model,
+    int num_shards);
+
+}  // namespace hmmm
+
+#endif  // HMMM_API_CATALOG_PARTITION_H_

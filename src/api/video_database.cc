@@ -98,6 +98,26 @@ StatusOr<VideoDatabase> VideoDatabase::Open(const std::string& catalog_path,
   return db;
 }
 
+StatusOr<VideoDatabase> VideoDatabase::CreateWithModel(
+    VideoCatalog catalog, HierarchicalModel model,
+    VideoDatabaseOptions options) {
+  HMMM_RETURN_IF_ERROR(catalog.Validate());
+  HMMM_RETURN_IF_ERROR(model.Validate());
+  if (model.num_videos() != catalog.num_videos()) {
+    return Status::FailedPrecondition(
+        "model and catalog disagree on video count");
+  }
+  if (model.num_global_states() != catalog.num_annotated_shots()) {
+    return Status::FailedPrecondition(
+        "model and catalog disagree on annotated shots");
+  }
+  VideoDatabase db(std::move(catalog), std::move(model), std::move(options));
+  if (db.options_.enable_category_level) {
+    HMMM_RETURN_IF_ERROR(db.RebuildCategories());
+  }
+  return db;
+}
+
 Status VideoDatabase::Save(const std::string& catalog_path,
                            const std::string& model_path) const {
   std::shared_lock<std::shared_mutex> lock(*state_mutex_);

@@ -67,6 +67,16 @@ class VideoDatabase {
                                       const std::string& model_path,
                                       VideoDatabaseOptions options = {});
 
+  /// Builds a database over an already-built model (same agreement
+  /// checks as Open, no file round-trip). This is how a shard server
+  /// adopts a PartitionForServing slice: the slice model must be served
+  /// as-is — rebuilding it from the slice catalog would refit the Eq.-3
+  /// normalizer and the B1'/P12 centroids to the slice and break
+  /// bit-identity with the full archive.
+  static StatusOr<VideoDatabase> CreateWithModel(
+      VideoCatalog catalog, HierarchicalModel model,
+      VideoDatabaseOptions options = {});
+
   /// Persists the catalog and the (possibly trained) model.
   Status Save(const std::string& catalog_path,
               const std::string& model_path) const;

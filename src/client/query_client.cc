@@ -9,6 +9,24 @@
 
 namespace hmmm {
 
+namespace {
+
+/// The socket layer reports a clean EOF as kNotFound ("connection
+/// closed"), which is meaningful for a server reading an idle
+/// connection — but from a client mid-round-trip it is a transport
+/// failure, and it must not collide with a typed kNotFound error the
+/// server might legitimately answer (e.g. an unknown event name). The
+/// shard coordinator relies on this separation to tell "request is at
+/// fault" from "peer is unavailable".
+Status AsTransportError(Status status) {
+  if (status.code() == StatusCode::kNotFound) {
+    return Status::IOError(status.message());
+  }
+  return status;
+}
+
+}  // namespace
+
 Status QueryClient::Connect() {
   if (socket_.valid()) return Status::OK();
   HMMM_ASSIGN_OR_RETURN(
@@ -42,7 +60,7 @@ StatusOr<std::string> QueryClient::Attempt(const std::string& frame,
   if (!read.ok()) {
     Disconnect();
     *retriable = idempotent;
-    return read;
+    return AsTransportError(std::move(read));
   }
   FrameHeader header;
   WireError wire_error = DecodeFrameHeader(
@@ -60,7 +78,7 @@ StatusOr<std::string> QueryClient::Attempt(const std::string& frame,
     if (!read.ok()) {
       Disconnect();
       *retriable = idempotent;
-      return read;
+      return AsTransportError(std::move(read));
     }
   }
   wire_error = VerifyFramePayload(header, payload);

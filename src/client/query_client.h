@@ -1,9 +1,14 @@
 #ifndef HMMM_CLIENT_QUERY_CLIENT_H_
 #define HMMM_CLIENT_QUERY_CLIENT_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/socket.h"
 #include "common/status.h"
@@ -76,6 +81,15 @@ class QueryClient {
   /// pipelined request still queued on the server.
   uint64_t NextCancelGeneration() { return ++generation_; }
 
+  /// Adjusts the per-request IO deadline for subsequent calls. Lets a
+  /// pooled connection serve requests with differing latency budgets
+  /// (the coordinator ties this to each query's per-shard budget so a
+  /// hung shard cannot stall a fan-out past the request's budget).
+  void set_io_timeout(std::chrono::milliseconds timeout) {
+    options_.io_timeout = timeout;
+  }
+  std::chrono::milliseconds io_timeout() const { return options_.io_timeout; }
+
   /// Retries performed across all calls (observability / tests).
   uint64_t retries_performed() const { return retries_performed_; }
 
@@ -96,6 +110,84 @@ class QueryClient {
   Socket socket_;
   uint64_t generation_ = 0;
   uint64_t retries_performed_ = 0;
+};
+
+/// A thread-safe pool of QueryClients to one endpoint, so concurrent
+/// fan-out calls (the shard coordinator's scatter phase) reuse warm TCP
+/// connections instead of paying a connect per request. Acquire() pops
+/// an idle client or creates a fresh one; the RAII lease returns it on
+/// destruction (up to max_idle — beyond that the connection just
+/// closes). A client whose last call failed is safe to recycle: it
+/// disconnects on transport errors and reconnects lazily.
+class QueryClientPool {
+ public:
+  explicit QueryClientPool(QueryClientOptions options, size_t max_idle = 8)
+      : options_(std::move(options)), max_idle_(max_idle) {}
+
+  QueryClientPool(const QueryClientPool&) = delete;
+  QueryClientPool& operator=(const QueryClientPool&) = delete;
+
+  class Lease {
+   public:
+    Lease(QueryClientPool* pool, std::unique_ptr<QueryClient> client)
+        : pool_(pool), client_(std::move(client)) {}
+    ~Lease() {
+      if (pool_ != nullptr && client_ != nullptr) {
+        pool_->Return(std::move(client_));
+      }
+    }
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    QueryClient* operator->() { return client_.get(); }
+    QueryClient& operator*() { return *client_; }
+
+   private:
+    QueryClientPool* pool_;
+    std::unique_ptr<QueryClient> client_;
+  };
+
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<QueryClient> client = std::move(idle_.back());
+        idle_.pop_back();
+        return Lease(this, std::move(client));
+      }
+    }
+    ++clients_created_;
+    return Lease(this, std::make_unique<QueryClient>(options_));
+  }
+
+  size_t idle() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return idle_.size();
+  }
+  /// Connections created over the pool's lifetime (observability: a
+  /// steady-state fan-out should plateau at ~max concurrent requests).
+  uint64_t clients_created() const {
+    return clients_created_.load(std::memory_order_relaxed);
+  }
+
+  const QueryClientOptions& options() const { return options_; }
+
+ private:
+  void Return(std::unique_ptr<QueryClient> client) {
+    // Reset the per-call override so the next lease starts from the
+    // configured default.
+    client->set_io_timeout(options_.io_timeout);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (idle_.size() < max_idle_) idle_.push_back(std::move(client));
+  }
+
+  QueryClientOptions options_;
+  size_t max_idle_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<QueryClient>> idle_;
+  std::atomic<uint64_t> clients_created_{0};
 };
 
 }  // namespace hmmm

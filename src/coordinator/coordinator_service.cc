@@ -1,0 +1,383 @@
+#include "coordinator/coordinator_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <string>
+#include <utility>
+
+namespace hmmm {
+
+namespace {
+
+/// "host:port" -> (host, port). The last ':' splits, so IPv6 literals
+/// with a bracketed host would need no change to the wire format later.
+Status ParseEndpoint(const std::string& endpoint, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return Status::InvalidArgument("shard endpoint must be host:port, got '" +
+                                   endpoint + "'");
+  }
+  int64_t parsed = 0;
+  for (size_t i = colon + 1; i < endpoint.size(); ++i) {
+    const char c = endpoint[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("shard endpoint has non-numeric port: '" +
+                                     endpoint + "'");
+    }
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > 65535) {
+      return Status::InvalidArgument("shard endpoint port out of range: '" +
+                                     endpoint + "'");
+    }
+  }
+  if (parsed == 0) {
+    return Status::InvalidArgument("shard endpoint port must be non-zero: '" +
+                                   endpoint + "'");
+  }
+  *host = endpoint.substr(0, colon);
+  *port = static_cast<uint16_t>(parsed);
+  return Status::OK();
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// A shard failure degrades the merged result unless the request itself
+/// is at fault: kInvalidArgument (malformed query/payload) and kNotFound
+/// (unknown event name) are properties of the request, identical on
+/// every shard, so they propagate as query errors rather than
+/// masquerading as a dead shard. QueryClient maps transport EOFs away
+/// from kNotFound, so these codes only ever carry typed server answers.
+bool IsQueryError(const Status& status) {
+  return status.code() == StatusCode::kInvalidArgument ||
+         status.code() == StatusCode::kNotFound;
+}
+
+}  // namespace
+
+int64_t ShardBudgetMs(int64_t budget_ms, const CoordinatorOptions& options) {
+  if (budget_ms < 0) return -1;
+  if (budget_ms == 0) return 0;
+  return std::max(options.min_shard_budget_ms,
+                  budget_ms - options.merge_reserve_ms);
+}
+
+std::vector<RetrievedPattern> MergeRankedResults(
+    std::vector<std::vector<RetrievedPattern>> per_shard, int max_results) {
+  size_t total = 0;
+  for (const auto& shard : per_shard) total += shard.size();
+  std::vector<RetrievedPattern> merged;
+  merged.reserve(total);
+  for (auto& shard : per_shard) {
+    for (auto& pattern : shard) merged.push_back(std::move(pattern));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const RetrievedPattern& a, const RetrievedPattern& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.video < b.video;
+            });
+  if (max_results >= 0 &&
+      merged.size() > static_cast<size_t>(max_results)) {
+    merged.resize(static_cast<size_t>(max_results));
+  }
+  return merged;
+}
+
+std::vector<QbeResult> MergeQbeResults(
+    std::vector<std::vector<QbeResult>> per_shard, int max_results) {
+  size_t total = 0;
+  for (const auto& shard : per_shard) total += shard.size();
+  std::vector<QbeResult> merged;
+  merged.reserve(total);
+  for (auto& shard : per_shard) {
+    for (auto& result : shard) merged.push_back(std::move(result));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const QbeResult& a, const QbeResult& b) {
+                     return a.similarity > b.similarity;
+                   });
+  if (max_results >= 0 &&
+      merged.size() > static_cast<size_t>(max_results)) {
+    merged.resize(static_cast<size_t>(max_results));
+  }
+  return merged;
+}
+
+CoordinatorService::CoordinatorService(ShardRouter router,
+                                       CoordinatorOptions options)
+    : router_(std::move(router)), options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<CoordinatorService>> CoordinatorService::Create(
+    ShardMap map, CoordinatorOptions options) {
+  HMMM_ASSIGN_OR_RETURN(ShardRouter router, ShardRouter::Create(std::move(map)));
+  std::unique_ptr<CoordinatorService> service(
+      new CoordinatorService(std::move(router), std::move(options)));
+
+  const int num_shards = service->router_.num_shards();
+  service->shards_.resize(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    const ShardMapEntry& entry = service->router_.shard(s);
+    QueryClientOptions client_options = service->options_.client;
+    HMMM_RETURN_IF_ERROR(ParseEndpoint(entry.endpoint, &client_options.host,
+                                       &client_options.port));
+    ShardState& state = service->shards_[static_cast<size_t>(s)];
+    state.pool = std::make_unique<QueryClientPool>(
+        client_options, service->options_.pool_max_idle);
+    const MetricLabels labels = {{"shard", std::to_string(s)}};
+    state.latency_ms = service->registry_.GetHistogram(
+        "hmmm_coordinator_shard_latency_ms", labels, DefaultLatencyBucketsMs(),
+        "Per-shard scatter call latency, including connect and IO");
+    state.errors = service->registry_.GetCounter(
+        "hmmm_coordinator_shard_errors_total", labels,
+        "Shard calls that failed (transport or typed error)");
+    state.connections_created = service->registry_.GetGauge(
+        "hmmm_coordinator_shard_connections_created", labels,
+        "TCP connections opened to this shard over the pool's lifetime");
+  }
+
+  service->registry_.GetGauge("hmmm_coordinator_shards",
+                              "Number of shards in the serving map")
+      ->Set(static_cast<double>(num_shards));
+  service->fanouts_total_ = service->registry_.GetCounter(
+      "hmmm_coordinator_fanouts_total",
+      "Scatter-gather fan-outs executed (all request types)");
+  service->queries_degraded_ = service->registry_.GetCounter(
+      "hmmm_coordinator_queries_degraded_total",
+      "Merged temporal responses marked degraded (shard-side budget or "
+      "dead shard)");
+  service->dead_shard_results_ = service->registry_.GetCounter(
+      "hmmm_coordinator_dead_shard_results_total",
+      "Per-shard scatter calls absorbed as degradation instead of failing "
+      "the query");
+
+  int fanout_threads = service->options_.fanout_threads;
+  if (fanout_threads <= 0) fanout_threads = 2 * num_shards;
+  fanout_threads = std::max(2, std::min(fanout_threads, 64));
+  service->fanout_pool_ = std::make_unique<ThreadPool>(fanout_threads);
+  return service;
+}
+
+template <typename T>
+std::vector<StatusOr<T>> CoordinatorService::FanOut(
+    const std::function<StatusOr<T>(int, QueryClient&)>& call) {
+  fanouts_total_->Increment();
+  const int num_shards = router_.num_shards();
+  std::vector<StatusOr<T>> results(
+      static_cast<size_t>(num_shards),
+      StatusOr<T>(Status::Internal("shard call did not run")));
+  std::vector<std::future<void>> done;
+  done.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    done.push_back(fanout_pool_->SubmitWithFuture([this, s, &call, &results] {
+      ShardState& state = shards_[static_cast<size_t>(s)];
+      const auto start = std::chrono::steady_clock::now();
+      {
+        QueryClientPool::Lease lease = state.pool->Acquire();
+        results[static_cast<size_t>(s)] = call(s, *lease);
+      }
+      state.latency_ms->Observe(ElapsedMs(start));
+      if (!results[static_cast<size_t>(s)].ok()) state.errors->Increment();
+    }));
+  }
+  for (auto& future : done) future.get();
+  return results;
+}
+
+StatusOr<TemporalQueryResponse> CoordinatorService::TemporalQuery(
+    const TemporalQueryRequest& request, const CancellationToken* shutdown) {
+  (void)shutdown;  // shards bound their own work via the scattered budget;
+                   // the front-end server stops admitting during drain.
+  TemporalQueryRequest shard_request = request;
+  // Supersession generations are per-connection state; pooled shard
+  // connections are shared across coordinator requests, so a client's
+  // generation must not leak downstream.
+  shard_request.cancel_generation = 0;
+  shard_request.budget_ms = ShardBudgetMs(request.budget_ms, options_);
+
+  auto per_shard = FanOut<TemporalQueryResponse>(
+      [&](int, QueryClient& client) -> StatusOr<TemporalQueryResponse> {
+        if (shard_request.budget_ms >= 0) {
+          // A hung shard must lose the race against the request's budget:
+          // cap transport IO just above the shard's own deadline so the
+          // shard's degraded answer normally arrives first.
+          client.set_io_timeout(std::chrono::milliseconds(
+              shard_request.budget_ms + options_.io_slack_ms));
+        }
+        return client.TemporalQuery(shard_request);
+      });
+
+  TemporalQueryResponse merged;
+  merged.has_stats = request.want_stats;
+  std::vector<std::vector<RetrievedPattern>> ranked(per_shard.size());
+  for (int s = 0; s < router_.num_shards(); ++s) {
+    StatusOr<TemporalQueryResponse>& shard_result =
+        per_shard[static_cast<size_t>(s)];
+    if (!shard_result.ok()) {
+      if (IsQueryError(shard_result.status())) return shard_result.status();
+      // Unreachable/slow/crashed shard: absorb as degradation. The whole
+      // shard's catalog share is unscanned from the client's viewpoint.
+      merged.degraded = true;
+      merged.videos_skipped += router_.VideosOwnedBy(s);
+      dead_shard_results_->Increment();
+      continue;
+    }
+    TemporalQueryResponse& response = *shard_result;
+    merged.degraded = merged.degraded || response.degraded;
+    merged.videos_skipped += response.videos_skipped;
+    if (request.want_stats && response.has_stats) {
+      AccumulateRetrievalStats(response.stats, &merged.stats);
+    }
+    if (request.want_trace) merged.trace_jsonl += response.trace_jsonl;
+    for (RetrievedPattern& pattern : response.results) {
+      pattern.video = router_.ToGlobalVideo(s, pattern.video);
+      for (ShotId& shot : pattern.shots) {
+        shot = router_.ToGlobalShot(s, shot);
+      }
+    }
+    ranked[static_cast<size_t>(s)] = std::move(response.results);
+  }
+  if (request.want_stats) {
+    merged.stats.degraded = merged.stats.degraded || merged.degraded;
+    merged.stats.videos_skipped =
+        std::max(merged.stats.videos_skipped,
+                 static_cast<size_t>(merged.videos_skipped));
+  }
+  merged.results = MergeRankedResults(std::move(ranked), options_.max_results);
+  if (merged.degraded) queries_degraded_->Increment();
+  // Even with every shard down the answer is a degraded empty ranking
+  // (videos_skipped == total catalog), never a query failure.
+  return merged;
+}
+
+StatusOr<QbeResponse> CoordinatorService::QueryByExample(
+    const QbeRequest& request) {
+  auto per_shard = FanOut<QbeResponse>(
+      [&](int, QueryClient& client) -> StatusOr<QbeResponse> {
+        return client.QueryByExample(request);
+      });
+
+  std::vector<std::vector<QbeResult>> ranked(per_shard.size());
+  bool any_ok = false;
+  Status first_error = Status::OK();
+  for (int s = 0; s < router_.num_shards(); ++s) {
+    StatusOr<QbeResponse>& shard_result = per_shard[static_cast<size_t>(s)];
+    if (!shard_result.ok()) {
+      if (IsQueryError(shard_result.status())) return shard_result.status();
+      if (first_error.ok()) first_error = shard_result.status();
+      dead_shard_results_->Increment();
+      continue;
+    }
+    any_ok = true;
+    for (QbeResult& result : shard_result->results) {
+      result.shot = router_.ToGlobalShot(s, result.shot);
+    }
+    ranked[static_cast<size_t>(s)] = std::move(shard_result->results);
+  }
+  // QbeResponse has no degraded channel in the frozen wire schema, so a
+  // partial gather merges silently; only a total outage surfaces.
+  if (!any_ok) return first_error;
+  QbeResponse merged;
+  merged.results = MergeQbeResults(std::move(ranked), request.max_results);
+  return merged;
+}
+
+StatusOr<MarkPositiveResponse> CoordinatorService::MarkPositive(
+    const MarkPositiveRequest& request) {
+  const int shard = router_.ShardOfVideo(request.pattern.video);
+  if (shard < 0) {
+    return Status::NotFound("feedback video " +
+                            std::to_string(request.pattern.video) +
+                            " is not in the shard map");
+  }
+  MarkPositiveRequest local = request;
+  local.pattern.video = router_.ToLocalVideo(shard, request.pattern.video);
+  for (ShotId& shot : local.pattern.shots) {
+    const auto located = router_.LocateShot(shot);
+    if (located.first != shard) {
+      return Status::InvalidArgument(
+          "feedback shot " + std::to_string(shot) +
+          " is not owned by the pattern's video shard");
+    }
+    shot = located.second;
+  }
+  ShardState& state = shards_[static_cast<size_t>(shard)];
+  const auto start = std::chrono::steady_clock::now();
+  QueryClientPool::Lease lease = state.pool->Acquire();
+  StatusOr<MarkPositiveResponse> response = lease->MarkPositive(local);
+  state.latency_ms->Observe(ElapsedMs(start));
+  if (!response.ok()) state.errors->Increment();
+  return response;
+}
+
+StatusOr<TrainResponse> CoordinatorService::Train() {
+  auto per_shard = FanOut<TrainResponse>(
+      [&](int, QueryClient& client) -> StatusOr<TrainResponse> {
+        return client.Train();
+      });
+  TrainResponse merged;
+  bool any_ok = false;
+  Status first_error = Status::OK();
+  for (auto& shard_result : per_shard) {
+    if (!shard_result.ok()) {
+      if (first_error.ok()) first_error = shard_result.status();
+      continue;
+    }
+    any_ok = true;
+    merged.trained = merged.trained || shard_result->trained;
+    merged.training_rounds += shard_result->training_rounds;
+  }
+  if (!any_ok) return first_error;
+  return merged;
+}
+
+StatusOr<MetricsResponse> CoordinatorService::Metrics() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].connections_created->Set(
+        static_cast<double>(shards_[s].pool->clients_created()));
+  }
+  MetricsResponse response;
+  response.prometheus_text = registry_.RenderPrometheus();
+  return response;
+}
+
+StatusOr<HealthResponse> CoordinatorService::Health() {
+  auto per_shard = FanOut<HealthResponse>(
+      [&](int, QueryClient& client) -> StatusOr<HealthResponse> {
+        return client.Health();
+      });
+  HealthResponse merged;
+  bool any_ok = false;
+  Status first_error = Status::OK();
+  for (auto& shard_result : per_shard) {
+    if (!shard_result.ok()) {
+      if (first_error.ok()) first_error = shard_result.status();
+      continue;
+    }
+    any_ok = true;
+    merged.videos += shard_result->videos;
+    merged.shots += shard_result->shots;
+    merged.annotated_shots += shard_result->annotated_shots;
+    merged.model_version += shard_result->model_version;
+  }
+  if (!any_ok) return first_error;
+  return merged;
+}
+
+StatusOr<std::unique_ptr<CoordinatorServer>> CoordinatorServer::Create(
+    ShardMap map, CoordinatorOptions coordinator_options,
+    QueryServerOptions server_options) {
+  HMMM_ASSIGN_OR_RETURN(
+      std::unique_ptr<CoordinatorService> service,
+      CoordinatorService::Create(std::move(map),
+                                 std::move(coordinator_options)));
+  return std::unique_ptr<CoordinatorServer>(new CoordinatorServer(
+      std::move(service), std::move(server_options)));
+}
+
+}  // namespace hmmm

@@ -1,0 +1,166 @@
+#ifndef HMMM_COORDINATOR_COORDINATOR_SERVICE_H_
+#define HMMM_COORDINATOR_COORDINATOR_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "client/query_client.h"
+#include "common/thread_pool.h"
+#include "coordinator/shard_router.h"
+#include "observability/metrics_registry.h"
+#include "server/query_server.h"
+#include "server/query_service.h"
+
+namespace hmmm {
+
+struct CoordinatorOptions {
+  /// Transport template for every shard connection; host/port are
+  /// overridden per shard from the shard map's endpoints. The defaults
+  /// deviate from QueryClientOptions' on purpose: a scatter path must
+  /// fail fast so a dead shard costs one quick connect refusal, not a
+  /// deep retry ladder eating the request's budget.
+  QueryClientOptions client;
+  /// Idle pooled connections kept per shard.
+  size_t pool_max_idle = 8;
+  /// Fan-out worker threads; <= 0 resolves to 2 * num_shards (shard
+  /// calls block on network IO, so the pool sizes over shard count, not
+  /// cores).
+  int fanout_threads = 0;
+  /// Milliseconds reserved from a TemporalQuery's budget_ms for the
+  /// gather + merge phase: each shard gets budget_ms - merge_reserve_ms.
+  int64_t merge_reserve_ms = 5;
+  /// Floor for a derived per-shard budget (a request whose budget is
+  /// smaller than the merge reserve still gives shards a sliver rather
+  /// than a nonsensical non-positive budget). budget_ms == 0 stays 0 —
+  /// "degrade immediately" must keep meaning that on every shard.
+  int64_t min_shard_budget_ms = 1;
+  /// Slack added on top of a budgeted request's per-shard IO timeout so
+  /// a shard's own (degraded) answer wins the race against the
+  /// transport deadline; only a truly hung shard trips the transport.
+  int64_t io_slack_ms = 100;
+  /// Ranked results kept after the temporal merge. Must equal the
+  /// shards' TraversalOptions::max_results (both default 20) for
+  /// byte-identical output.
+  int max_results = 20;
+
+  CoordinatorOptions() {
+    client.max_retries = 1;
+    client.connect_timeout = std::chrono::milliseconds(500);
+  }
+};
+
+/// Per-shard budget derivation (exposed for unit tests): -1 (no budget)
+/// passes through, 0 stays 0, anything else loses the merge reserve but
+/// never drops below min_shard_budget_ms.
+int64_t ShardBudgetMs(int64_t budget_ms, const CoordinatorOptions& options);
+
+/// Deterministic cross-shard merge of per-shard temporal rankings
+/// (already remapped to global ids): (score desc, global video asc),
+/// truncated to max_results. Per-video candidates are unique and shards
+/// partition the videos, so this is a total order — the merged ranking
+/// is the same for every fan-out width and arrival order.
+std::vector<RetrievedPattern> MergeRankedResults(
+    std::vector<std::vector<RetrievedPattern>> per_shard, int max_results);
+
+/// Deterministic QBE merge: per-shard lists concatenated in shard order
+/// (= global state order, since shards own contiguous video ranges) and
+/// stably sorted by similarity desc — reproducing the single-process
+/// stable sort bit-for-bit.
+std::vector<QbeResult> MergeQbeResults(
+    std::vector<std::vector<QbeResult>> per_shard, int max_results);
+
+/// Scatter-gather QueryService over N shard servers, each serving one
+/// PartitionForServing slice behind the ordinary wire protocol.
+///
+/// TemporalQuery/QueryByExample fan out over pooled per-shard
+/// QueryClient connections on a dedicated thread pool and merge under
+/// the deterministic total orders above, so a coordinator's ranking is
+/// byte-identical to a single-process server over the merged catalog.
+/// A slow or dead shard degrades the merged result — videos_skipped
+/// grows by the shard's catalog share — and never fails the query; only
+/// kInvalidArgument / kNotFound (the request itself is at fault,
+/// identically on every shard) propagate as errors. MarkPositive routes to the
+/// owning shard by global video id; Train broadcasts. Per-shard latency
+/// histograms and degraded/dead-shard counters land in the
+/// hmmm_coordinator_* metric families of the owned registry.
+class CoordinatorService : public QueryService {
+ public:
+  /// Validates the map (including its endpoints) and connects nothing
+  /// yet: shard connections are established lazily per fan-out.
+  static StatusOr<std::unique_ptr<CoordinatorService>> Create(
+      ShardMap map, CoordinatorOptions options = {});
+
+  MetricsRegistry& metrics_registry() override { return registry_; }
+  StatusOr<TemporalQueryResponse> TemporalQuery(
+      const TemporalQueryRequest& request,
+      const CancellationToken* shutdown) override;
+  StatusOr<QbeResponse> QueryByExample(const QbeRequest& request) override;
+  StatusOr<MarkPositiveResponse> MarkPositive(
+      const MarkPositiveRequest& request) override;
+  StatusOr<TrainResponse> Train() override;
+  StatusOr<MetricsResponse> Metrics() override;
+  StatusOr<HealthResponse> Health() override;
+
+  const ShardRouter& router() const { return router_; }
+  const CoordinatorOptions& options() const { return options_; }
+
+ private:
+  struct ShardState {
+    std::unique_ptr<QueryClientPool> pool;
+    Histogram* latency_ms = nullptr;
+    Counter* errors = nullptr;
+    Gauge* connections_created = nullptr;
+  };
+
+  CoordinatorService(ShardRouter router, CoordinatorOptions options);
+
+  /// Runs `call(shard_index, client)` for every shard on the fan-out
+  /// pool, each against a pooled connection, recording per-shard
+  /// latency/errors. Blocks until every shard answered or failed.
+  template <typename T>
+  std::vector<StatusOr<T>> FanOut(
+      const std::function<StatusOr<T>(int, QueryClient&)>& call);
+
+  ShardRouter router_;
+  CoordinatorOptions options_;
+  MetricsRegistry registry_;
+  std::vector<ShardState> shards_;
+  std::unique_ptr<ThreadPool> fanout_pool_;
+
+  Counter* fanouts_total_ = nullptr;
+  Counter* queries_degraded_ = nullptr;
+  Counter* dead_shard_results_ = nullptr;
+};
+
+/// The sharded drop-in for hmmm_serverd: a QueryServer front end bound
+/// to a CoordinatorService, speaking the existing wire protocol
+/// unchanged.
+class CoordinatorServer {
+ public:
+  static StatusOr<std::unique_ptr<CoordinatorServer>> Create(
+      ShardMap map, CoordinatorOptions coordinator_options = {},
+      QueryServerOptions server_options = {});
+
+  Status Start() { return server_->Start(); }
+  uint16_t port() const { return server_->port(); }
+  void Shutdown() { server_->Shutdown(); }
+  bool running() const { return server_->running(); }
+  CoordinatorService& service() { return *service_; }
+
+ private:
+  CoordinatorServer(std::unique_ptr<CoordinatorService> service,
+                    QueryServerOptions server_options)
+      : service_(std::move(service)),
+        server_(std::make_unique<QueryServer>(service_.get(),
+                                              std::move(server_options))) {}
+
+  std::unique_ptr<CoordinatorService> service_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_COORDINATOR_COORDINATOR_SERVICE_H_

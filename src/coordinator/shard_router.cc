@@ -1,0 +1,52 @@
+#include "coordinator/shard_router.h"
+
+namespace hmmm {
+
+StatusOr<ShardRouter> ShardRouter::Create(ShardMap map) {
+  HMMM_RETURN_IF_ERROR(ValidateShardMap(map));
+  ShardRouter router(std::move(map));
+  router.video_to_shard_.assign(
+      static_cast<size_t>(router.map_.total_videos), -1);
+  router.shot_to_shard_.assign(static_cast<size_t>(router.map_.total_shots),
+                               {-1, -1});
+  for (size_t s = 0; s < router.map_.shards.size(); ++s) {
+    const ShardMapEntry& entry = router.map_.shards[s];
+    for (VideoId v = entry.video_begin; v < entry.video_end; ++v) {
+      router.video_to_shard_[static_cast<size_t>(v)] =
+          static_cast<int32_t>(s);
+    }
+    for (size_t local = 0; local < entry.shot_to_global.size(); ++local) {
+      router.shot_to_shard_[static_cast<size_t>(entry.shot_to_global[local])] =
+          {static_cast<int32_t>(s), static_cast<int32_t>(local)};
+    }
+  }
+  return router;
+}
+
+int ShardRouter::ShardOfVideo(VideoId global_video) const {
+  if (global_video < 0 ||
+      static_cast<size_t>(global_video) >= video_to_shard_.size()) {
+    return -1;
+  }
+  return video_to_shard_[static_cast<size_t>(global_video)];
+}
+
+std::pair<int, ShotId> ShardRouter::LocateShot(ShotId global_shot) const {
+  if (global_shot < 0 ||
+      static_cast<size_t>(global_shot) >= shot_to_shard_.size()) {
+    return {-1, -1};
+  }
+  const auto& located = shot_to_shard_[static_cast<size_t>(global_shot)];
+  return {located.first, located.second};
+}
+
+ShotId ShardRouter::ToGlobalShot(int shard, ShotId local_shot) const {
+  const ShardMapEntry& entry = this->shard(shard);
+  if (local_shot < 0 ||
+      static_cast<size_t>(local_shot) >= entry.shot_to_global.size()) {
+    return -1;
+  }
+  return entry.shot_to_global[static_cast<size_t>(local_shot)];
+}
+
+}  // namespace hmmm

@@ -1,0 +1,63 @@
+#ifndef HMMM_COORDINATOR_SHARD_ROUTER_H_
+#define HMMM_COORDINATOR_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "server/shard_map.h"
+
+namespace hmmm {
+
+/// Routing view over a validated ShardMap: O(1) ownership lookups by
+/// global video or shot id, and the local <-> global id translations
+/// the coordinator applies to every request it scatters and every
+/// result it gathers. Immutable after Create; safe to share across
+/// fan-out threads.
+class ShardRouter {
+ public:
+  /// Validates the map and builds the inverse indexes.
+  static StatusOr<ShardRouter> Create(ShardMap map);
+
+  int num_shards() const { return static_cast<int>(map_.shards.size()); }
+  const ShardMap& map() const { return map_; }
+  const ShardMapEntry& shard(int index) const {
+    return map_.shards[static_cast<size_t>(index)];
+  }
+  int64_t total_videos() const { return map_.total_videos; }
+  int64_t total_shots() const { return map_.total_shots; }
+
+  /// Owning shard of a global video id; -1 when out of range.
+  int ShardOfVideo(VideoId global_video) const;
+  /// Owning (shard, slice-local ShotId) of a global shot id; {-1, -1}
+  /// when out of range.
+  std::pair<int, ShotId> LocateShot(ShotId global_shot) const;
+
+  VideoId ToGlobalVideo(int shard, VideoId local_video) const {
+    return this->shard(shard).video_begin + local_video;
+  }
+  VideoId ToLocalVideo(int shard, VideoId global_video) const {
+    return global_video - this->shard(shard).video_begin;
+  }
+  /// Local -> global through the shard's shot map; -1 when the local id
+  /// is outside the shard's catalog (a misbehaving shard response).
+  ShotId ToGlobalShot(int shard, ShotId local_shot) const;
+
+  /// Catalog share of one shard, in videos — what a dead shard adds to
+  /// a degraded response's videos_skipped.
+  size_t VideosOwnedBy(int shard) const {
+    return static_cast<size_t>(this->shard(shard).num_videos());
+  }
+
+ private:
+  explicit ShardRouter(ShardMap map) : map_(std::move(map)) {}
+
+  ShardMap map_;
+  std::vector<int32_t> video_to_shard_;              // by global VideoId
+  std::vector<std::pair<int32_t, int32_t>> shot_to_shard_;  // by global ShotId
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_COORDINATOR_SHARD_ROUTER_H_

@@ -116,6 +116,104 @@ Status HierarchicalModel::Validate() const {
   return Status::OK();
 }
 
+StatusOr<HierarchicalModel> HierarchicalModel::SliceForServing(
+    VideoId video_begin, VideoId video_end,
+    const std::vector<ShotId>& global_to_local_shot) const {
+  if (video_begin < 0 || video_end < video_begin ||
+      static_cast<size_t>(video_end) > locals_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("video range [%d, %d) outside [0, %zu)", video_begin,
+                  video_end, locals_.size()));
+  }
+  const size_t n = static_cast<size_t>(video_end - video_begin);
+  HierarchicalModel slice;
+  slice.vocabulary_ = vocabulary_;
+
+  // Level 1: local MMMs copied verbatim, states renumbered into the
+  // slice catalog's dense ShotId space.
+  size_t state_begin = 0;
+  for (VideoId v = 0; v < video_begin; ++v) {
+    state_begin += locals_[static_cast<size_t>(v)].num_states();
+  }
+  size_t num_states = 0;
+  slice.locals_.reserve(n);
+  for (VideoId v = video_begin; v < video_end; ++v) {
+    const LocalShotModel& src = locals_[static_cast<size_t>(v)];
+    LocalShotModel local;
+    local.video_id = v - video_begin;
+    local.states.reserve(src.states.size());
+    for (ShotId shot : src.states) {
+      if (shot < 0 ||
+          static_cast<size_t>(shot) >= global_to_local_shot.size() ||
+          global_to_local_shot[static_cast<size_t>(shot)] < 0) {
+        return Status::InvalidArgument(
+            StrFormat("shot %d of video %d has no slice mapping", shot, v));
+      }
+      local.states.push_back(global_to_local_shot[static_cast<size_t>(shot)]);
+    }
+    local.a1 = src.a1;
+    local.pi1 = src.pi1;
+    num_states += local.states.size();
+    slice.locals_.push_back(std::move(local));
+  }
+
+  // B1: the shard's rows form one contiguous block because the global
+  // state index enumerates locals_ in video order.
+  const size_t k = b1_.cols();
+  slice.b1_ = Matrix(num_states, k, 0.0);
+  for (size_t r = 0; r < num_states; ++r) {
+    for (size_t c = 0; c < k; ++c) {
+      slice.b1_.at(r, c) = b1_.at(state_begin + r, c);
+    }
+  }
+
+  // Archive-global pieces, carried over unchanged so Eq.-3/-14 terms
+  // stay bit-identical.
+  slice.feature_minima_ = feature_minima_;
+  slice.feature_maxima_ = feature_maxima_;
+  slice.p12_ = p12_;
+  slice.b1_prime_ = b1_prime_;
+
+  // Level 2 restricted to the range. A2 rows and Pi2 lose the mass that
+  // pointed at videos outside the shard, so renormalize (uniform
+  // fallback when everything pointed outside) — this only reorders the
+  // Step-2 walk within the shard.
+  slice.a2_ = Matrix(n, n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      const double value = a2_.at(static_cast<size_t>(video_begin) + r,
+                                  static_cast<size_t>(video_begin) + c);
+      slice.a2_.at(r, c) = value;
+      sum += value;
+    }
+    if (sum > 0.0) {
+      for (size_t c = 0; c < n; ++c) slice.a2_.at(r, c) /= sum;
+    }
+  }
+  slice.b2_ = Matrix(n, b2_.cols(), 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < b2_.cols(); ++c) {
+      slice.b2_.at(r, c) = b2_.at(static_cast<size_t>(video_begin) + r, c);
+    }
+  }
+  slice.pi2_.assign(n, 0.0);
+  double pi2_sum = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    slice.pi2_[r] = pi2_[static_cast<size_t>(video_begin) + r];
+    pi2_sum += slice.pi2_[r];
+  }
+  if (pi2_sum > 0.0) {
+    for (double& p : slice.pi2_) p /= pi2_sum;
+  } else if (n > 0) {
+    for (double& p : slice.pi2_) p = 1.0 / static_cast<double>(n);
+  }
+
+  slice.RebuildStateIndex();
+  HMMM_RETURN_IF_ERROR(slice.Validate());
+  return slice;
+}
+
 std::string HierarchicalModel::Serialize() const {
   BinaryWriter w;
   w.WriteVarint(vocabulary_.size());

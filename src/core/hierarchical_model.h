@@ -122,6 +122,24 @@ class HierarchicalModel {
   /// Full structural validation of the 8-tuple.
   Status Validate() const;
 
+  /// Extracts the serving model of one shard owning the contiguous video
+  /// range [video_begin, video_end): local MMMs and B1 rows are copied
+  /// verbatim (states renumbered through `global_to_local_shot`, a
+  /// catalog-wide vector mapping global ShotId -> slice ShotId, -1 for
+  /// shots outside the shard), and the archive-global pieces — B1', P12,
+  /// the Eq.-3 normalizer parameters and the vocabulary — are carried
+  /// over unchanged. Because a candidate's Eq.-12-15 score depends only
+  /// on its own video's local MMM, its B1 rows and those global pieces,
+  /// per-video scores computed on the slice are bit-identical to the
+  /// full model's. The sliced A2 rows and Pi2 are renormalized so the
+  /// slice validates as a standalone model; they only steer the Step-2
+  /// visiting order within the shard, never a score. Requires the full
+  /// model's cross_video hand-over to be unused by the serving layer (a
+  /// slice cannot continue a pattern into a video another shard owns).
+  StatusOr<HierarchicalModel> SliceForServing(
+      VideoId video_begin, VideoId video_end,
+      const std::vector<ShotId>& global_to_local_shot) const;
+
   /// Checksummed binary round-trip.
   std::string Serialize() const;
   static StatusOr<HierarchicalModel> Deserialize(std::string_view data);

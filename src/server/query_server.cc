@@ -10,7 +10,6 @@
 #include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/strings.h"
-#include "observability/query_trace.h"
 
 namespace hmmm {
 namespace {
@@ -56,8 +55,17 @@ bool HasCompleteFrame(const std::string& buffer, uint32_t max_frame_bytes) {
 }  // namespace
 
 QueryServer::QueryServer(VideoDatabase* db, QueryServerOptions options)
-    : db_(db), options_(std::move(options)) {
-  HMMM_CHECK(db_ != nullptr);
+    : owned_service_(std::make_unique<VideoDatabaseService>(db)),
+      service_(owned_service_.get()),
+      options_(std::move(options)) {
+  if (options_.num_workers <= 0) {
+    options_.num_workers = ThreadPool::ResolveThreadCount(0);
+  }
+}
+
+QueryServer::QueryServer(QueryService* service, QueryServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  HMMM_CHECK(service_ != nullptr);
   if (options_.num_workers <= 0) {
     options_.num_workers = ThreadPool::ResolveThreadCount(0);
   }
@@ -84,7 +92,7 @@ Status QueryServer::Start() {
   HMMM_RETURN_IF_ERROR(SetNonBlocking(wake_read_.fd(), true));
   HMMM_RETURN_IF_ERROR(SetNonBlocking(wake_write_.fd(), true));
 
-  MetricsRegistry& registry = db_->metrics_registry();
+  MetricsRegistry& registry = service_->metrics_registry();
   connections_total_ = registry.GetCounter("hmmm_server_connections_total",
                                            "TCP connections accepted");
   connections_open_ =
@@ -499,27 +507,11 @@ std::string QueryServer::HandleTemporalQuery(Connection* conn,
     return ErrorFrame(WireError::kSuperseded,
                       "replaced by a newer request generation");
   }
-  QueryControls controls;
-  if (request.budget_ms >= 0) {
-    controls.deadline =
-        DeadlineAfter(std::chrono::milliseconds(request.budget_ms));
-  }
-  controls.cancellation = &shutdown_token_;
-  QueryTrace trace;
-  if (request.want_trace) controls.trace = &trace;
-  RetrievalStats stats;
-  StatusOr<std::vector<RetrievedPattern>> results =
-      db_->Query(request.text, controls, &stats);
-  if (!results.ok()) return StatusErrorFrame(results.status());
-  TemporalQueryResponse response;
-  response.results = std::move(results).value();
-  response.degraded = stats.degraded;
-  response.videos_skipped = stats.videos_skipped;
-  response.has_stats = request.want_stats;
-  if (request.want_stats) response.stats = stats;
-  if (request.want_trace) response.trace_jsonl = trace.RenderJsonl();
+  StatusOr<TemporalQueryResponse> response =
+      service_->TemporalQuery(request, &shutdown_token_);
+  if (!response.ok()) return StatusErrorFrame(response.status());
   return EncodeFrame(MessageType::kTemporalQueryResponse,
-                     EncodeTemporalQueryResponse(response));
+                     EncodeTemporalQueryResponse(*response));
 }
 
 std::string QueryServer::HandleQbe(const std::string& payload) {
@@ -528,14 +520,9 @@ std::string QueryServer::HandleQbe(const std::string& payload) {
     return ErrorFrame(WireError::kMalformedPayload,
                       decoded.status().message());
   }
-  QbeOptions options;
-  options.max_results = decoded->max_results;
-  StatusOr<std::vector<QbeResult>> results =
-      db_->QueryByExample(decoded->features, options);
-  if (!results.ok()) return StatusErrorFrame(results.status());
-  QbeResponse response;
-  response.results = std::move(results).value();
-  return EncodeFrame(MessageType::kQbeResponse, EncodeQbeResponse(response));
+  StatusOr<QbeResponse> response = service_->QueryByExample(*decoded);
+  if (!response.ok()) return StatusErrorFrame(response.status());
+  return EncodeFrame(MessageType::kQbeResponse, EncodeQbeResponse(*response));
 }
 
 std::string QueryServer::HandleMarkPositive(const std::string& payload) {
@@ -544,38 +531,31 @@ std::string QueryServer::HandleMarkPositive(const std::string& payload) {
     return ErrorFrame(WireError::kMalformedPayload,
                       decoded.status().message());
   }
-  const Status status = db_->MarkPositive(decoded->pattern);
-  if (!status.ok()) return StatusErrorFrame(status);
-  MarkPositiveResponse response;
-  response.training_rounds = db_->training_rounds();
+  StatusOr<MarkPositiveResponse> response =
+      service_->MarkPositive(*decoded);
+  if (!response.ok()) return StatusErrorFrame(response.status());
   return EncodeFrame(MessageType::kMarkPositiveResponse,
-                     EncodeMarkPositiveResponse(response));
+                     EncodeMarkPositiveResponse(*response));
 }
 
 std::string QueryServer::HandleTrain() {
-  StatusOr<bool> trained = db_->Train();
-  if (!trained.ok()) return StatusErrorFrame(trained.status());
-  TrainResponse response;
-  response.trained = *trained;
-  response.training_rounds = db_->training_rounds();
+  StatusOr<TrainResponse> response = service_->Train();
+  if (!response.ok()) return StatusErrorFrame(response.status());
   return EncodeFrame(MessageType::kTrainResponse,
-                     EncodeTrainResponse(response));
+                     EncodeTrainResponse(*response));
 }
 
 std::string QueryServer::HandleMetrics() {
-  MetricsResponse response;
-  response.prometheus_text = db_->DumpMetricsPrometheus();
+  StatusOr<MetricsResponse> response = service_->Metrics();
+  if (!response.ok()) return StatusErrorFrame(response.status());
   return EncodeFrame(MessageType::kMetricsResponse,
-                     EncodeMetricsResponse(response));
+                     EncodeMetricsResponse(*response));
 }
 
 std::string QueryServer::HandleHealth() {
-  const VideoDatabase::HealthSnapshot health = db_->Health();
-  HealthResponse response;
-  response.videos = health.videos;
-  response.shots = health.shots;
-  response.annotated_shots = health.annotated_shots;
-  response.model_version = health.model_version;
+  StatusOr<HealthResponse> health = service_->Health();
+  if (!health.ok()) return StatusErrorFrame(health.status());
+  HealthResponse response = std::move(health).value();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     response.draining = draining_;
@@ -586,7 +566,7 @@ std::string QueryServer::HandleHealth() {
 
 std::string QueryServer::ErrorFrame(WireError code,
                                     const std::string& message) {
-  db_->metrics_registry()
+  service_->metrics_registry()
       .GetCounter("hmmm_server_errors_total",
                   {{"code", WireErrorName(code)}},
                   "typed error responses, by wire error code")

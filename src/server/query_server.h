@@ -18,6 +18,7 @@
 #include "common/cancellation.h"
 #include "common/socket.h"
 #include "common/thread_pool.h"
+#include "server/query_service.h"
 #include "server/wire_protocol.h"
 
 namespace hmmm {
@@ -73,8 +74,16 @@ struct QueryServerOptions {
 class QueryServer {
  public:
   /// `db` must outlive the server. Server metrics register into the
-  /// database's MetricsRegistry (hmmm_server_* families).
+  /// database's MetricsRegistry (hmmm_server_* families). Convenience
+  /// for the common single-process case: wraps the database in an owned
+  /// VideoDatabaseService.
   explicit QueryServer(VideoDatabase* db, QueryServerOptions options = {});
+
+  /// Serves an arbitrary backend (e.g. a shard-fan-out
+  /// CoordinatorService). `service` must outlive the server; transport
+  /// metrics register into service->metrics_registry().
+  explicit QueryServer(QueryService* service, QueryServerOptions options = {});
+
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -149,7 +158,10 @@ class QueryServer {
   /// Writes one byte into the self-wake pipe (interrupts poll()).
   void Wake();
 
-  VideoDatabase* db_;
+  /// Set by the VideoDatabase convenience constructor; service_ points
+  /// at it then.
+  std::unique_ptr<VideoDatabaseService> owned_service_;
+  QueryService* service_;
   QueryServerOptions options_;
   uint16_t port_ = 0;
 

@@ -1,0 +1,84 @@
+#include "server/query_service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "observability/query_trace.h"
+
+namespace hmmm {
+
+VideoDatabaseService::VideoDatabaseService(VideoDatabase* db) : db_(db) {
+  HMMM_CHECK(db_ != nullptr);
+}
+
+MetricsRegistry& VideoDatabaseService::metrics_registry() {
+  return db_->metrics_registry();
+}
+
+StatusOr<TemporalQueryResponse> VideoDatabaseService::TemporalQuery(
+    const TemporalQueryRequest& request, const CancellationToken* shutdown) {
+  QueryControls controls;
+  if (request.budget_ms >= 0) {
+    controls.deadline =
+        DeadlineAfter(std::chrono::milliseconds(request.budget_ms));
+  }
+  controls.cancellation = shutdown;
+  QueryTrace trace;
+  if (request.want_trace) controls.trace = &trace;
+  RetrievalStats stats;
+  HMMM_ASSIGN_OR_RETURN(std::vector<RetrievedPattern> results,
+                        db_->Query(request.text, controls, &stats));
+  TemporalQueryResponse response;
+  response.results = std::move(results);
+  response.degraded = stats.degraded;
+  response.videos_skipped = stats.videos_skipped;
+  response.has_stats = request.want_stats;
+  if (request.want_stats) response.stats = stats;
+  if (request.want_trace) response.trace_jsonl = trace.RenderJsonl();
+  return response;
+}
+
+StatusOr<QbeResponse> VideoDatabaseService::QueryByExample(
+    const QbeRequest& request) {
+  QbeOptions options;
+  options.max_results = request.max_results;
+  HMMM_ASSIGN_OR_RETURN(std::vector<QbeResult> results,
+                        db_->QueryByExample(request.features, options));
+  QbeResponse response;
+  response.results = std::move(results);
+  return response;
+}
+
+StatusOr<MarkPositiveResponse> VideoDatabaseService::MarkPositive(
+    const MarkPositiveRequest& request) {
+  HMMM_RETURN_IF_ERROR(db_->MarkPositive(request.pattern));
+  MarkPositiveResponse response;
+  response.training_rounds = db_->training_rounds();
+  return response;
+}
+
+StatusOr<TrainResponse> VideoDatabaseService::Train() {
+  HMMM_ASSIGN_OR_RETURN(const bool trained, db_->Train());
+  TrainResponse response;
+  response.trained = trained;
+  response.training_rounds = db_->training_rounds();
+  return response;
+}
+
+StatusOr<MetricsResponse> VideoDatabaseService::Metrics() {
+  MetricsResponse response;
+  response.prometheus_text = db_->DumpMetricsPrometheus();
+  return response;
+}
+
+StatusOr<HealthResponse> VideoDatabaseService::Health() {
+  const VideoDatabase::HealthSnapshot health = db_->Health();
+  HealthResponse response;
+  response.videos = health.videos;
+  response.shots = health.shots;
+  response.annotated_shots = health.annotated_shots;
+  response.model_version = health.model_version;
+  return response;
+}
+
+}  // namespace hmmm

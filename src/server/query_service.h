@@ -1,0 +1,71 @@
+#ifndef HMMM_SERVER_QUERY_SERVICE_H_
+#define HMMM_SERVER_QUERY_SERVICE_H_
+
+#include "api/video_database.h"
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "server/wire_protocol.h"
+
+namespace hmmm {
+
+/// The request-execution backend behind a QueryServer: one method per
+/// wire-protocol request, working in decoded request/response structs.
+/// The server owns everything transport-shaped — framing, pipelining,
+/// supersession, drain — and delegates execution here, so the same
+/// front end can serve a local VideoDatabase (VideoDatabaseService) or
+/// fan out across shard servers (CoordinatorService) without the wire
+/// protocol changing.
+///
+/// Implementations must be safe to call from multiple server workers
+/// concurrently.
+class QueryService {
+ public:
+  virtual ~QueryService() = default;
+
+  /// Registry the owning server registers its hmmm_server_* transport
+  /// metrics into (and Metrics() typically dumps). Stable for the
+  /// service's lifetime.
+  virtual MetricsRegistry& metrics_registry() = 0;
+
+  /// `shutdown` is the server's shutdown token (never null while the
+  /// server runs); implementations should degrade, not fail, when it
+  /// fires mid-request.
+  virtual StatusOr<TemporalQueryResponse> TemporalQuery(
+      const TemporalQueryRequest& request,
+      const CancellationToken* shutdown) = 0;
+  virtual StatusOr<QbeResponse> QueryByExample(const QbeRequest& request) = 0;
+  virtual StatusOr<MarkPositiveResponse> MarkPositive(
+      const MarkPositiveRequest& request) = 0;
+  virtual StatusOr<TrainResponse> Train() = 0;
+  virtual StatusOr<MetricsResponse> Metrics() = 0;
+  /// The server overrides HealthResponse::draining with its own state.
+  virtual StatusOr<HealthResponse> Health() = 0;
+};
+
+/// QueryService over one local VideoDatabase — the single-process
+/// backend (previously inlined in QueryServer's handlers). Maps a
+/// request's budget_ms onto the query deadline; a fired budget or
+/// shutdown degrades to the anytime prefix ranking.
+class VideoDatabaseService : public QueryService {
+ public:
+  /// `db` must outlive the service.
+  explicit VideoDatabaseService(VideoDatabase* db);
+
+  MetricsRegistry& metrics_registry() override;
+  StatusOr<TemporalQueryResponse> TemporalQuery(
+      const TemporalQueryRequest& request,
+      const CancellationToken* shutdown) override;
+  StatusOr<QbeResponse> QueryByExample(const QbeRequest& request) override;
+  StatusOr<MarkPositiveResponse> MarkPositive(
+      const MarkPositiveRequest& request) override;
+  StatusOr<TrainResponse> Train() override;
+  StatusOr<MetricsResponse> Metrics() override;
+  StatusOr<HealthResponse> Health() override;
+
+ private:
+  VideoDatabase* db_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_SERVER_QUERY_SERVICE_H_

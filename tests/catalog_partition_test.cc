@@ -1,0 +1,197 @@
+#include "api/catalog_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "api/video_database.h"
+#include "coordinator/coordinator_service.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+using ::hmmm::testing::GeneratedSoccerCatalog;
+using ::hmmm::testing::SmallSoccerCatalog;
+
+/// One shared archive for the whole suite: model building over the
+/// generated corpus is the expensive part.
+const VideoDatabase& GlobalDb() {
+  static VideoDatabase* db = [] {
+    StatusOr<VideoDatabase> built =
+        VideoDatabase::Create(GeneratedSoccerCatalog(3, 8));
+    HMMM_CHECK(built.ok());
+    return new VideoDatabase(std::move(built).value());
+  }();
+  return *db;
+}
+
+TEST(CatalogPartitionTest, SplitsVideosEvenly) {
+  StatusOr<std::vector<CatalogShard>> shards =
+      PartitionForServing(GlobalDb().catalog(), GlobalDb().model(), 3);
+  ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+  ASSERT_EQ(shards->size(), 3u);
+  // 8 videos over 3 shards: 3 + 3 + 2, contiguous from 0.
+  EXPECT_EQ((*shards)[0].video_begin, 0);
+  EXPECT_EQ((*shards)[0].video_end, 3);
+  EXPECT_EQ((*shards)[1].video_begin, 3);
+  EXPECT_EQ((*shards)[1].video_end, 6);
+  EXPECT_EQ((*shards)[2].video_begin, 6);
+  EXPECT_EQ((*shards)[2].video_end, 8);
+  size_t total_shots = 0;
+  for (const CatalogShard& shard : *shards) {
+    EXPECT_EQ(shard.catalog.num_videos(),
+              static_cast<size_t>(shard.video_end - shard.video_begin));
+    EXPECT_EQ(shard.catalog.num_shots(), shard.shot_to_global.size());
+    EXPECT_TRUE(shard.model.Validate().ok());
+    total_shots += shard.catalog.num_shots();
+  }
+  EXPECT_EQ(total_shots, GlobalDb().catalog().num_shots());
+}
+
+TEST(CatalogPartitionTest, ShotMapsPartitionTheGlobalShots) {
+  StatusOr<std::vector<CatalogShard>> shards =
+      PartitionForServing(GlobalDb().catalog(), GlobalDb().model(), 4);
+  ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+  std::vector<int> owners(GlobalDb().catalog().num_shots(), 0);
+  for (const CatalogShard& shard : *shards) {
+    for (ShotId global : shard.shot_to_global) {
+      ASSERT_GE(global, 0);
+      ASSERT_LT(static_cast<size_t>(global), owners.size());
+      ++owners[static_cast<size_t>(global)];
+    }
+  }
+  for (size_t shot = 0; shot < owners.size(); ++shot) {
+    EXPECT_EQ(owners[shot], 1) << "global shot " << shot;
+  }
+}
+
+TEST(CatalogPartitionTest, RejectsBadShardCounts) {
+  EXPECT_FALSE(
+      PartitionForServing(GlobalDb().catalog(), GlobalDb().model(), 0).ok());
+  EXPECT_FALSE(
+      PartitionForServing(GlobalDb().catalog(), GlobalDb().model(), -2).ok());
+  // More shards than videos: some shard would be empty.
+  EXPECT_FALSE(
+      PartitionForServing(GlobalDb().catalog(), GlobalDb().model(), 9).ok());
+}
+
+TEST(CatalogPartitionTest, RejectsModelCatalogMismatch) {
+  StatusOr<VideoDatabase> other = VideoDatabase::Create(SmallSoccerCatalog());
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(
+      PartitionForServing(GlobalDb().catalog(), other->model(), 2).ok());
+}
+
+TEST(CatalogPartitionTest, SingleShardIsTheWholeArchive) {
+  StatusOr<std::vector<CatalogShard>> shards =
+      PartitionForServing(GlobalDb().catalog(), GlobalDb().model(), 1);
+  ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+  ASSERT_EQ(shards->size(), 1u);
+  const CatalogShard& shard = (*shards)[0];
+  EXPECT_EQ(shard.catalog.num_videos(), GlobalDb().catalog().num_videos());
+  EXPECT_EQ(shard.catalog.num_shots(), GlobalDb().catalog().num_shots());
+  // Re-adding in global order keeps shot ids literally identical.
+  for (size_t shot = 0; shot < shard.shot_to_global.size(); ++shot) {
+    EXPECT_EQ(shard.shot_to_global[shot], static_cast<ShotId>(shot));
+  }
+}
+
+/// The core serving property: per-video scores computed against a slice
+/// are bit-identical to the full archive's, so merging per-shard
+/// rankings under (score desc, global video asc) reproduces the global
+/// ranking exactly — for every shard count.
+TEST(CatalogPartitionTest, ShardQueriesMergeToGlobalRanking) {
+  const std::vector<std::string> queries = {
+      "free_kick ; goal", "goal", "corner_kick ; goal", "free_kick"};
+  StatusOr<std::vector<RetrievedPattern>> reference_or =
+      GlobalDb().Query(queries[0]);
+  ASSERT_TRUE(reference_or.ok());
+
+  for (int num_shards : {1, 2, 4}) {
+    StatusOr<std::vector<CatalogShard>> shards = PartitionForServing(
+        GlobalDb().catalog(), GlobalDb().model(), num_shards);
+    ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+    std::vector<VideoDatabase> shard_dbs;
+    for (CatalogShard& shard : *shards) {
+      StatusOr<VideoDatabase> db = VideoDatabase::CreateWithModel(
+          std::move(shard.catalog), std::move(shard.model));
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+      shard_dbs.push_back(std::move(db).value());
+    }
+
+    for (const std::string& query : queries) {
+      StatusOr<std::vector<RetrievedPattern>> reference =
+          GlobalDb().Query(query);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+      std::vector<std::vector<RetrievedPattern>> per_shard;
+      for (size_t s = 0; s < shard_dbs.size(); ++s) {
+        StatusOr<std::vector<RetrievedPattern>> local =
+            shard_dbs[s].Query(query);
+        ASSERT_TRUE(local.ok()) << local.status().ToString();
+        for (RetrievedPattern& pattern : *local) {
+          pattern.video += (*shards)[s].video_begin;
+          for (ShotId& shot : pattern.shots) {
+            shot = (*shards)[s]
+                       .shot_to_global[static_cast<size_t>(shot)];
+          }
+        }
+        per_shard.push_back(std::move(local).value());
+      }
+      const std::vector<RetrievedPattern> merged =
+          MergeRankedResults(std::move(per_shard), 20);
+
+      ASSERT_EQ(merged.size(), reference->size())
+          << num_shards << " shards, query '" << query << "'";
+      for (size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i].video, (*reference)[i].video) << "rank " << i;
+        EXPECT_EQ(merged[i].shots, (*reference)[i].shots) << "rank " << i;
+        // Bit-identical, not approximately equal: the slice preserves the
+        // Eq.-3 normalizer and every model row the score reads.
+        EXPECT_EQ(merged[i].score, (*reference)[i].score) << "rank " << i;
+        EXPECT_EQ(merged[i].edge_weights, (*reference)[i].edge_weights)
+            << "rank " << i;
+      }
+    }
+  }
+}
+
+TEST(CatalogPartitionTest, ShardQbeMergesToGlobalRanking) {
+  const std::vector<double> example =
+      testing::FeatureVector(GlobalDb().catalog().num_features(), 0.1,
+                             {0, 2}, 0.9);
+  StatusOr<std::vector<QbeResult>> reference =
+      GlobalDb().QueryByExample(example);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (int num_shards : {2, 4}) {
+    StatusOr<std::vector<CatalogShard>> shards = PartitionForServing(
+        GlobalDb().catalog(), GlobalDb().model(), num_shards);
+    ASSERT_TRUE(shards.ok());
+    std::vector<std::vector<QbeResult>> per_shard;
+    for (CatalogShard& shard : *shards) {
+      StatusOr<VideoDatabase> db = VideoDatabase::CreateWithModel(
+          std::move(shard.catalog), std::move(shard.model));
+      ASSERT_TRUE(db.ok());
+      StatusOr<std::vector<QbeResult>> local = db->QueryByExample(example);
+      ASSERT_TRUE(local.ok()) << local.status().ToString();
+      for (QbeResult& result : *local) {
+        result.shot = shard.shot_to_global[static_cast<size_t>(result.shot)];
+      }
+      per_shard.push_back(std::move(local).value());
+    }
+    const std::vector<QbeResult> merged =
+        MergeQbeResults(std::move(per_shard), 20);
+    ASSERT_EQ(merged.size(), reference->size()) << num_shards << " shards";
+    for (size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged[i].shot, (*reference)[i].shot) << "rank " << i;
+      EXPECT_EQ(merged[i].similarity, (*reference)[i].similarity)
+          << "rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hmmm
