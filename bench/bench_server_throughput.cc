@@ -64,15 +64,10 @@ struct SweepPoint {
   double p99_request_ms = 0.0;
 };
 
-/// Runs `clients` concurrent QueryClients, each issuing
-/// `requests_per_client` temporal queries against a fresh server with
-/// `workers` worker threads.
-SweepPoint RunSweepPoint(int workers, int clients, int requests_per_client) {
-  QueryServerOptions options;
-  options.num_workers = workers;
-  QueryServer server(&Database());
-  HMMM_CHECK(server.Start().ok());
-
+/// Issues `clients` x `requests_per_client` temporal queries against an
+/// already-started server and folds the latencies into a SweepPoint.
+SweepPoint MeasureAgainst(QueryServer& server, int workers, int clients,
+                          int requests_per_client) {
   std::vector<std::vector<double>> per_client_ms(
       static_cast<size_t>(clients));
   std::atomic<int> failures{0};
@@ -98,7 +93,6 @@ SweepPoint RunSweepPoint(int workers, int clients, int requests_per_client) {
     }
     for (std::thread& t : threads) t.join();
   });
-  server.Shutdown();
   HMMM_CHECK(failures.load() == 0);
 
   std::vector<double> all;
@@ -113,6 +107,39 @@ SweepPoint RunSweepPoint(int workers, int clients, int requests_per_client) {
   point.qps = wall_ms > 0.0 ? 1000.0 * point.requests / wall_ms : 0.0;
   point.median_request_ms = Percentile(all, 0.5);
   point.p99_request_ms = Percentile(all, 0.99);
+  return point;
+}
+
+/// Runs `clients` concurrent QueryClients, each issuing
+/// `requests_per_client` temporal queries against a fresh server with
+/// `workers` worker threads. Trace sampling stays at its 0.0 default:
+/// the sweep measures the untraced fast path.
+SweepPoint RunSweepPoint(int workers, int clients, int requests_per_client) {
+  QueryServerOptions options;
+  options.num_workers = workers;
+  QueryServer server(&Database(), options);
+  HMMM_CHECK(server.Start().ok());
+  SweepPoint point = MeasureAgainst(server, workers, clients,
+                                    requests_per_client);
+  server.Shutdown();
+  return point;
+}
+
+/// Same single-client workload against a service with head sampling
+/// forced on (trace_sample_rate = 1.0): every request opens, renders and
+/// tail-captures a full span tree, so the delta against the untraced
+/// point is the per-request cost of always-on tracing.
+SweepPoint RunSampledPoint(int requests) {
+  QueryServiceOptions service_options;
+  service_options.trace_sample_rate = 1.0;
+  VideoDatabaseService service(&Database(), service_options);
+  QueryServerOptions server_options;
+  server_options.num_workers = 1;  // mirror the untraced 1x1 sweep point
+  QueryServer server(&service, server_options);
+  HMMM_CHECK(server.Start().ok());
+  SweepPoint point = MeasureAgainst(server, /*workers=*/1, /*clients=*/1,
+                                    requests);
+  server.Shutdown();
   return point;
 }
 
@@ -140,8 +167,11 @@ void RunServingBench() {
   std::vector<SweepPoint> sweep;
   for (const auto& [workers, clients] :
        std::vector<std::pair<int, int>>{{1, 1}, {1, 4}, {2, 4}, {4, 8}}) {
+    // 100 requests per client keeps the p99 a real percentile rather
+    // than the max of a couple dozen samples — the tail is what the
+    // baseline gate watches.
     const SweepPoint point =
-        RunSweepPoint(workers, clients, /*requests_per_client=*/25);
+        RunSweepPoint(workers, clients, /*requests_per_client=*/100);
     sweep.push_back(point);
     Row({StrFormat("%d", point.workers), StrFormat("%d", point.clients),
          StrFormat("%d", point.requests), Fmt("%.2f", point.wall_ms),
@@ -166,6 +196,15 @@ void RunServingBench() {
   Row({Fmt("%.3f", in_process_ms), Fmt("%.3f", served_ms),
        Fmt("%.3f", served_ms - in_process_ms)});
 
+  // Tracing overhead: the same unloaded workload with head sampling
+  // forced to 1.0 (every request traced + tail-captured), against the
+  // untraced point above.
+  const SweepPoint sampled = RunSampledPoint(/*requests=*/100);
+  Banner("serving: always-on trace sampling overhead");
+  Row({"untraced ms", "sampled ms", "overhead ms"});
+  Row({Fmt("%.3f", served_ms), Fmt("%.3f", sampled.median_request_ms),
+       Fmt("%.3f", sampled.median_request_ms - served_ms)});
+
   WriteBenchJson(
       "BENCH_serving.json",
       JsonObject({
@@ -177,6 +216,9 @@ void RunServingBench() {
           {"in_process_median_ms", JsonNumber(in_process_ms)},
           {"served_median_ms", JsonNumber(served_ms)},
           {"wire_overhead_ms", JsonNumber(served_ms - in_process_ms)},
+          {"sampled_median_ms", JsonNumber(sampled.median_request_ms)},
+          {"sampling_overhead_ms",
+           JsonNumber(sampled.median_request_ms - served_ms)},
           {"sweep", JsonArray(sweep_json)},
       }));
 }

@@ -44,6 +44,9 @@ struct CoorddFlags {
   int max_results = 20;
   int connect_timeout_ms = 500;
   int io_timeout_ms = 30000;
+  double trace_sample_rate = 0.0;
+  double slow_query_threshold_ms = 250.0;
+  int slow_query_capacity = 128;
 };
 
 void PrintUsage(const char* argv0) {
@@ -52,7 +55,9 @@ void PrintUsage(const char* argv0) {
       "usage: %s --shard-map PATH [--shard HOST:PORT]...\n"
       "          [--host ADDR] [--port N] [--workers N] [--fanout-threads N]\n"
       "          [--merge-reserve-ms N] [--io-slack-ms N] [--max-results N]\n"
-      "          [--connect-timeout-ms N] [--io-timeout-ms N]\n",
+      "          [--connect-timeout-ms N] [--io-timeout-ms N]\n"
+      "          [--trace-sample-rate F] [--slow-query-threshold-ms F]\n"
+      "          [--slow-query-capacity N]\n",
       argv0);
 }
 
@@ -85,6 +90,13 @@ bool ParseFlags(int argc, char** argv, CoorddFlags* flags) {
       flags->connect_timeout_ms = std::atoi(value);
     } else if (arg == "--io-timeout-ms" && (value = next()) != nullptr) {
       flags->io_timeout_ms = std::atoi(value);
+    } else if (arg == "--trace-sample-rate" && (value = next()) != nullptr) {
+      flags->trace_sample_rate = std::atof(value);
+    } else if (arg == "--slow-query-threshold-ms" &&
+               (value = next()) != nullptr) {
+      flags->slow_query_threshold_ms = std::atof(value);
+    } else if (arg == "--slow-query-capacity" && (value = next()) != nullptr) {
+      flags->slow_query_capacity = std::atoi(value);
     } else {
       std::fprintf(stderr, "unknown or valueless flag: %s\n", arg.c_str());
       return false;
@@ -131,6 +143,14 @@ int main(int argc, char** argv) {
       std::chrono::milliseconds(flags.connect_timeout_ms);
   coordinator_options.client.io_timeout =
       std::chrono::milliseconds(flags.io_timeout_ms);
+  coordinator_options.observability.trace_sample_rate =
+      flags.trace_sample_rate;
+  coordinator_options.observability.slow_query_threshold_ms =
+      flags.slow_query_threshold_ms;
+  if (flags.slow_query_capacity > 0) {
+    coordinator_options.observability.slow_query_capacity =
+        static_cast<size_t>(flags.slow_query_capacity);
+  }
 
   hmmm::QueryServerOptions server_options;
   server_options.host = flags.host;

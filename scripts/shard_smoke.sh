@@ -24,7 +24,8 @@ SHARDCTL=$BUILD_DIR/examples/hmmm_shardctl
 COORDD=$BUILD_DIR/examples/hmmm_coordd
 SERVERD=$BUILD_DIR/src/hmmm_serverd
 CLI=$BUILD_DIR/examples/query_client_cli
-for bin in "$SHARDCTL" "$COORDD" "$SERVERD" "$CLI"; do
+TRACE=$BUILD_DIR/examples/hmmm_trace
+for bin in "$SHARDCTL" "$COORDD" "$SERVERD" "$CLI" "$TRACE"; do
   [[ -x $bin ]] || { echo "missing binary: $bin" >&2; exit 2; }
 done
 
@@ -101,6 +102,24 @@ for query in "${QUERIES[@]}"; do
   echo "BYTE-IDENTICAL: '$query' ($(grep -c $'\t' "$WORK/coord.out" || true) rows)"
 done
 
+echo "== fetching a sampled distributed trace through the coordinator =="
+"$TRACE" --port "$COORD_PORT" --jsonl query "free_kick ; goal" \
+  > "$WORK/trace.jsonl"
+# The assembled tree must contain one grafted server_query sub-trace per
+# live shard, each fan-out span tagged with its shard id.
+SERVER_SPANS=$(grep -c '"name":"server_query"' "$WORK/trace.jsonl" || true)
+[[ $SERVER_SPANS -eq $NUM_SHARDS ]] || {
+  echo "FAIL: trace has $SERVER_SPANS server_query spans, want $NUM_SHARDS" >&2
+  cat "$WORK/trace.jsonl" >&2; exit 1; }
+for s in $(seq 0 $((NUM_SHARDS - 1))); do
+  grep -q "\"shard\":\"$s\"" "$WORK/trace.jsonl" || {
+    echo "FAIL: trace lacks a fan-out span for shard $s" >&2
+    cat "$WORK/trace.jsonl" >&2; exit 1; }
+done
+grep -q '"name":"coordinator_query"' "$WORK/trace.jsonl" || {
+  echo "FAIL: trace lacks the coordinator root span" >&2; exit 1; }
+echo "TRACED: $SERVER_SPANS shard sub-traces under one coordinator root"
+
 echo "== killing shard 1 (SIGKILL), expecting degraded — not an error =="
 kill -9 "${SHARD_PIDS[1]}"
 wait "${SHARD_PIDS[1]}" 2>/dev/null || true
@@ -116,5 +135,30 @@ grep -Eq 'videos_skipped=[1-9]' "$WORK/degraded.out" || {
 grep -q $'\tv' "$WORK/degraded.out" || {
   echo "FAIL: degraded response lost the surviving shards' results" >&2
   exit 1; }
+
+echo "== tracing through the degraded fan-out =="
+"$TRACE" --port "$COORD_PORT" --budget-ms 2000 --jsonl \
+  query "free_kick ; goal" > "$WORK/trace_degraded.jsonl"
+grep -q '# results=.* degraded=1' "$WORK/trace_degraded.jsonl" || {
+  echo "FAIL: traced degraded query not marked degraded" >&2
+  cat "$WORK/trace_degraded.jsonl" >&2; exit 1; }
+# The dead shard contributes no sub-trace: one fewer server_query span,
+# and shard 1's fan-out span carries an error tag instead.
+DEGRADED_SPANS=$(grep -c '"name":"server_query"' "$WORK/trace_degraded.jsonl" || true)
+[[ $DEGRADED_SPANS -eq $((NUM_SHARDS - 1)) ]] || {
+  echo "FAIL: degraded trace has $DEGRADED_SPANS server_query spans," \
+       "want $((NUM_SHARDS - 1))" >&2
+  cat "$WORK/trace_degraded.jsonl" >&2; exit 1; }
+grep '"shard":"1"' "$WORK/trace_degraded.jsonl" | grep -q '"error"' || {
+  echo "FAIL: dead shard's fan-out span lacks an error tag" >&2
+  cat "$WORK/trace_degraded.jsonl" >&2; exit 1; }
+echo "TRACED-DEGRADED: dead shard absent, error tagged on its fan-out span"
+
+echo "== dumping the coordinator's slow-query log =="
+"$TRACE" --port "$COORD_PORT" slow > "$WORK/slow.jsonl" || {
+  echo "FAIL: slow-query dump errored" >&2; exit 1; }
+grep -q '"reason":"degraded"' "$WORK/slow.jsonl" || {
+  echo "FAIL: degraded query missing from the slow-query log" >&2
+  cat "$WORK/slow.jsonl" >&2; exit 1; }
 
 echo "== shard smoke passed =="

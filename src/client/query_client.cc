@@ -37,7 +37,8 @@ Status QueryClient::Connect() {
 
 StatusOr<std::string> QueryClient::Attempt(const std::string& frame,
                                            MessageType expected_response,
-                                           bool idempotent, bool* retriable) {
+                                           bool idempotent, bool* retriable,
+                                           uint16_t* response_version) {
   *retriable = false;
   if (!socket_.valid()) {
     const Status connected = Connect();
@@ -92,6 +93,17 @@ StatusOr<std::string> QueryClient::Attempt(const std::string& frame,
       Disconnect();
       return error.status();
     }
+    if (error->code == WireError::kUnsupportedVersion &&
+        peer_version_ > kWireMinProtocolVersion) {
+      // The peer speaks an older protocol. Downgrade to the floor
+      // version and retry: the request was refused before executing, so
+      // even non-idempotent requests may go again. The server closes
+      // the connection after this answer, so reconnect too.
+      peer_version_ = kWireMinProtocolVersion;
+      Disconnect();
+      *retriable = true;
+      return StatusFromWireError(error->code, error->message);
+    }
     // The server declares retriability: a retriable typed error means
     // the request was refused before executing, so even non-idempotent
     // requests may go again.
@@ -105,19 +117,29 @@ StatusOr<std::string> QueryClient::Attempt(const std::string& frame,
                   static_cast<unsigned>(header.type),
                   static_cast<unsigned>(expected_response)));
   }
+  if (response_version != nullptr) *response_version = header.version;
   return payload;
 }
 
 StatusOr<std::string> QueryClient::RoundTrip(MessageType request_type,
-                                             const std::string& payload,
+                                             const void* request,
+                                             PayloadEncoder encode,
                                              MessageType expected_response,
-                                             bool idempotent) {
-  const std::string frame = EncodeFrame(request_type, payload);
+                                             bool idempotent,
+                                             uint16_t* response_version) {
   std::chrono::milliseconds backoff = options_.retry_backoff;
   for (int attempt = 0;; ++attempt) {
+    // Re-encoded per attempt: a kUnsupportedVersion answer downgrades
+    // peer_version_, and the retry must carry the older payload schema
+    // under the older frame stamp.
+    const uint16_t version = peer_version_;
+    const std::string payload =
+        encode != nullptr ? encode(request, version) : std::string();
+    const std::string frame = EncodeFrame(request_type, payload, version);
     bool retriable = false;
-    StatusOr<std::string> result =
-        Attempt(frame, expected_response, idempotent, &retriable);
+    StatusOr<std::string> result = Attempt(frame, expected_response,
+                                           idempotent, &retriable,
+                                           response_version);
     if (result.ok() || !retriable || attempt >= options_.max_retries) {
       return result;
     }
@@ -129,54 +151,82 @@ StatusOr<std::string> QueryClient::RoundTrip(MessageType request_type,
 
 StatusOr<TemporalQueryResponse> QueryClient::TemporalQuery(
     const TemporalQueryRequest& request) {
+  uint16_t response_version = kWireMinProtocolVersion;
   HMMM_ASSIGN_OR_RETURN(
       const std::string payload,
-      RoundTrip(MessageType::kTemporalQueryRequest,
-                EncodeTemporalQueryRequest(request),
-                MessageType::kTemporalQueryResponse, /*idempotent=*/true));
-  return DecodeTemporalQueryResponse(payload);
+      RoundTrip(
+          MessageType::kTemporalQueryRequest, &request,
+          +[](const void* req, uint16_t version) {
+            return EncodeTemporalQueryRequest(
+                *static_cast<const TemporalQueryRequest*>(req), version);
+          },
+          MessageType::kTemporalQueryResponse, /*idempotent=*/true,
+          &response_version));
+  return DecodeTemporalQueryResponse(payload, response_version);
 }
 
 StatusOr<QbeResponse> QueryClient::QueryByExample(const QbeRequest& request) {
+  uint16_t response_version = kWireMinProtocolVersion;
   HMMM_ASSIGN_OR_RETURN(
       const std::string payload,
-      RoundTrip(MessageType::kQbeRequest, EncodeQbeRequest(request),
-                MessageType::kQbeResponse, /*idempotent=*/true));
-  return DecodeQbeResponse(payload);
+      RoundTrip(
+          MessageType::kQbeRequest, &request,
+          +[](const void* req, uint16_t version) {
+            return EncodeQbeRequest(*static_cast<const QbeRequest*>(req),
+                                    version);
+          },
+          MessageType::kQbeResponse, /*idempotent=*/true, &response_version));
+  return DecodeQbeResponse(payload, response_version);
 }
 
 StatusOr<MarkPositiveResponse> QueryClient::MarkPositive(
     const MarkPositiveRequest& request) {
   HMMM_ASSIGN_OR_RETURN(
       const std::string payload,
-      RoundTrip(MessageType::kMarkPositiveRequest,
-                EncodeMarkPositiveRequest(request),
-                MessageType::kMarkPositiveResponse, /*idempotent=*/false));
+      RoundTrip(
+          MessageType::kMarkPositiveRequest, &request,
+          +[](const void* req, uint16_t) {
+            return EncodeMarkPositiveRequest(
+                *static_cast<const MarkPositiveRequest*>(req));
+          },
+          MessageType::kMarkPositiveResponse, /*idempotent=*/false));
   return DecodeMarkPositiveResponse(payload);
 }
 
 StatusOr<TrainResponse> QueryClient::Train() {
   HMMM_ASSIGN_OR_RETURN(
       const std::string payload,
-      RoundTrip(MessageType::kTrainRequest, std::string(),
+      RoundTrip(MessageType::kTrainRequest, nullptr, nullptr,
                 MessageType::kTrainResponse, /*idempotent=*/false));
   return DecodeTrainResponse(payload);
 }
 
 StatusOr<MetricsResponse> QueryClient::Metrics() {
+  uint16_t response_version = kWireMinProtocolVersion;
   HMMM_ASSIGN_OR_RETURN(
       const std::string payload,
-      RoundTrip(MessageType::kMetricsRequest, std::string(),
-                MessageType::kMetricsResponse, /*idempotent=*/true));
-  return DecodeMetricsResponse(payload);
+      RoundTrip(MessageType::kMetricsRequest, nullptr, nullptr,
+                MessageType::kMetricsResponse, /*idempotent=*/true,
+                &response_version));
+  return DecodeMetricsResponse(payload, response_version);
 }
 
 StatusOr<HealthResponse> QueryClient::Health() {
+  uint16_t response_version = kWireMinProtocolVersion;
   HMMM_ASSIGN_OR_RETURN(
       const std::string payload,
-      RoundTrip(MessageType::kHealthRequest, std::string(),
-                MessageType::kHealthResponse, /*idempotent=*/true));
+      RoundTrip(MessageType::kHealthRequest, nullptr, nullptr,
+                MessageType::kHealthResponse, /*idempotent=*/true,
+                &response_version));
   return DecodeHealthResponse(payload);
+}
+
+StatusOr<DumpSlowQueriesResponse> QueryClient::DumpSlowQueries() {
+  HMMM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(MessageType::kDumpSlowQueriesRequest, nullptr, nullptr,
+                MessageType::kDumpSlowQueriesResponse, /*idempotent=*/true));
+  return DecodeDumpSlowQueriesResponse(payload);
 }
 
 }  // namespace hmmm

@@ -34,6 +34,11 @@ struct QueryClientOptions {
   std::chrono::milliseconds retry_backoff_cap{1000};
   /// Responses announcing a larger payload are rejected as corrupt.
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Highest wire protocol version to speak. The client starts at this
+  /// version; a server answering kUnsupportedVersion makes it downgrade
+  /// to the floor version and retry (see peer_version()). Setting 1
+  /// emulates an old client against a new server.
+  uint16_t protocol_version = kWireProtocolVersion;
 };
 
 /// Synchronous client for the QueryServer wire protocol: one connection,
@@ -53,7 +58,8 @@ struct QueryClientOptions {
 /// Non-retriable typed errors surface as the mirrored Status immediately.
 class QueryClient {
  public:
-  explicit QueryClient(QueryClientOptions options) : options_(options) {}
+  explicit QueryClient(QueryClientOptions options)
+      : options_(options), peer_version_(options.protocol_version) {}
   ~QueryClient() = default;
 
   QueryClient(const QueryClient&) = delete;
@@ -75,6 +81,10 @@ class QueryClient {
   StatusOr<TrainResponse> Train();
   StatusOr<MetricsResponse> Metrics();
   StatusOr<HealthResponse> Health();
+  /// v2+: fetches the server's slow-query log (JSONL, oldest first). A
+  /// v1 peer answers kUnsupportedVersion for the unknown request tag,
+  /// surfaced as a Status.
+  StatusOr<DumpSlowQueriesResponse> DumpSlowQueries();
 
   /// Monotone generation for TemporalQueryRequest::cancel_generation: a
   /// request stamped with a fresh generation supersedes every earlier
@@ -93,23 +103,41 @@ class QueryClient {
   /// Retries performed across all calls (observability / tests).
   uint64_t retries_performed() const { return retries_performed_; }
 
+  /// The protocol version currently spoken to the peer. Starts at
+  /// options.protocol_version and drops to the floor version after a
+  /// kUnsupportedVersion answer (sticky for the client's lifetime — the
+  /// peer will not learn v2 mid-conversation).
+  uint16_t peer_version() const { return peer_version_; }
+
  private:
-  /// Sends one request frame and returns the payload of the expected
-  /// response, applying the retry policy above.
+  /// Encodes a request payload at a given protocol version. Re-invoked
+  /// per attempt so a mid-call version downgrade re-encodes the request
+  /// in the older schema.
+  using PayloadEncoder = std::string (*)(const void* request,
+                                         uint16_t version);
+
+  /// Sends one request and returns the payload of the expected response,
+  /// applying the retry policy above. `request` is passed through to
+  /// `encode` untouched (null for empty-payload requests). On success
+  /// *response_version (if non-null) holds the response frame's version,
+  /// for version-aware payload decoding.
   StatusOr<std::string> RoundTrip(MessageType request_type,
-                                  const std::string& payload,
+                                  const void* request, PayloadEncoder encode,
                                   MessageType expected_response,
-                                  bool idempotent);
+                                  bool idempotent,
+                                  uint16_t* response_version = nullptr);
   /// One attempt. Sets *retriable when the failure is safe to retry
   /// under the policy (given `idempotent`).
   StatusOr<std::string> Attempt(const std::string& frame,
                                 MessageType expected_response,
-                                bool idempotent, bool* retriable);
+                                bool idempotent, bool* retriable,
+                                uint16_t* response_version);
 
   QueryClientOptions options_;
   Socket socket_;
   uint64_t generation_ = 0;
   uint64_t retries_performed_ = 0;
+  uint16_t peer_version_ = kWireProtocolVersion;
 };
 
 /// A thread-safe pool of QueryClients to one endpoint, so concurrent

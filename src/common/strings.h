@@ -27,6 +27,11 @@ std::string ToLower(std::string_view text);
 /// True if `text` begins with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
+/// Escapes `text` for embedding inside a double-quoted JSON string:
+/// backslash, double quote, and control characters (as \uXXXX or the
+/// short forms \n \r \t).
+std::string JsonEscape(std::string_view text);
+
 }  // namespace hmmm
 
 #endif  // HMMM_COMMON_STRINGS_H_

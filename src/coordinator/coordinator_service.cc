@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "common/logging.h"
+
 namespace hmmm {
 
 namespace {
@@ -111,7 +113,13 @@ std::vector<QbeResult> MergeQbeResults(
 
 CoordinatorService::CoordinatorService(ShardRouter router,
                                        CoordinatorOptions options)
-    : router_(std::move(router)), options_(std::move(options)) {}
+    : router_(std::move(router)),
+      options_(std::move(options)),
+      sampler_(options_.observability.trace_sample_rate),
+      slow_log_(options_.observability.slow_query_capacity == 0
+                    ? 1
+                    : options_.observability.slow_query_capacity),
+      latency_window_(DefaultLatencyBucketsMs()) {}
 
 StatusOr<std::unique_ptr<CoordinatorService>> CoordinatorService::Create(
     ShardMap map, CoordinatorOptions options) {
@@ -155,6 +163,18 @@ StatusOr<std::unique_ptr<CoordinatorService>> CoordinatorService::Create(
       "hmmm_coordinator_dead_shard_results_total",
       "Per-shard scatter calls absorbed as degradation instead of failing "
       "the query");
+  service->traces_sampled_ = service->registry_.GetCounter(
+      "hmmm_coordinator_traces_sampled_total",
+      "Temporal queries traced (client-requested or head-sampled)");
+  service->latency_p50_ = service->registry_.GetGauge(
+      "hmmm_coordinator_query_latency_p50_ms",
+      "Sliding-window median merged temporal query latency");
+  service->latency_p99_ = service->registry_.GetGauge(
+      "hmmm_coordinator_query_latency_p99_ms",
+      "Sliding-window p99 merged temporal query latency");
+  service->latency_p999_ = service->registry_.GetGauge(
+      "hmmm_coordinator_query_latency_p999_ms",
+      "Sliding-window p99.9 merged temporal query latency");
 
   int fanout_threads = service->options_.fanout_threads;
   if (fanout_threads <= 0) fanout_threads = 2 * num_shards;
@@ -165,25 +185,34 @@ StatusOr<std::unique_ptr<CoordinatorService>> CoordinatorService::Create(
 
 template <typename T>
 std::vector<StatusOr<T>> CoordinatorService::FanOut(
-    const std::function<StatusOr<T>(int, QueryClient&)>& call) {
+    const std::function<StatusOr<T>(int, QueryClient&)>& call,
+    std::vector<double>* elapsed_ms_out) {
   fanouts_total_->Increment();
   const int num_shards = router_.num_shards();
   std::vector<StatusOr<T>> results(
       static_cast<size_t>(num_shards),
       StatusOr<T>(Status::Internal("shard call did not run")));
+  if (elapsed_ms_out != nullptr) {
+    elapsed_ms_out->assign(static_cast<size_t>(num_shards), 0.0);
+  }
   std::vector<std::future<void>> done;
   done.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
-    done.push_back(fanout_pool_->SubmitWithFuture([this, s, &call, &results] {
-      ShardState& state = shards_[static_cast<size_t>(s)];
-      const auto start = std::chrono::steady_clock::now();
-      {
-        QueryClientPool::Lease lease = state.pool->Acquire();
-        results[static_cast<size_t>(s)] = call(s, *lease);
-      }
-      state.latency_ms->Observe(ElapsedMs(start));
-      if (!results[static_cast<size_t>(s)].ok()) state.errors->Increment();
-    }));
+    done.push_back(fanout_pool_->SubmitWithFuture(
+        [this, s, &call, &results, elapsed_ms_out] {
+          ShardState& state = shards_[static_cast<size_t>(s)];
+          const auto start = std::chrono::steady_clock::now();
+          {
+            QueryClientPool::Lease lease = state.pool->Acquire();
+            results[static_cast<size_t>(s)] = call(s, *lease);
+          }
+          const double elapsed = ElapsedMs(start);
+          state.latency_ms->Observe(elapsed);
+          if (elapsed_ms_out != nullptr) {
+            (*elapsed_ms_out)[static_cast<size_t>(s)] = elapsed;
+          }
+          if (!results[static_cast<size_t>(s)].ok()) state.errors->Increment();
+        }));
   }
   for (auto& future : done) future.get();
   return results;
@@ -193,15 +222,70 @@ StatusOr<TemporalQueryResponse> CoordinatorService::TemporalQuery(
     const TemporalQueryRequest& request, const CancellationToken* shutdown) {
   (void)shutdown;  // shards bound their own work via the scattered budget;
                    // the front-end server stops admitting during drain.
+  const auto start = std::chrono::steady_clock::now();
+  const int num_shards = router_.num_shards();
+
+  // Head-sampling decision for the whole fan-out: want_trace always
+  // traces, otherwise the deterministic sampler fires. The context is
+  // minted here (the coordinator is the root of the distributed trace)
+  // and propagated to every shard.
+  const bool sampled = request.want_trace || sampler_.Decide();
+  TraceContext context;
+  context.trace_id_hi = request.trace_id_hi;
+  context.trace_id_lo = request.trace_id_lo;
+  context.parent_span_id = request.parent_span_id;
+  if (sampled && !context.has_trace_id()) {
+    const TraceContext minted = MintTraceContext();
+    context.trace_id_hi = minted.trace_id_hi;
+    context.trace_id_lo = minted.trace_id_lo;
+  }
+  const std::string trace_id_hex =
+      sampled ? TraceIdHex(context.trace_id_hi, context.trace_id_lo)
+              : std::string();
+
   TemporalQueryRequest shard_request = request;
   // Supersession generations are per-connection state; pooled shard
   // connections are shared across coordinator requests, so a client's
   // generation must not leak downstream.
   shard_request.cancel_generation = 0;
   shard_request.budget_ms = ShardBudgetMs(request.budget_ms, options_);
+  shard_request.want_trace = sampled;
+  shard_request.trace_id_hi = context.trace_id_hi;
+  shard_request.trace_id_lo = context.trace_id_lo;
 
+  // Root and fan-out spans are opened serially before the scatter so
+  // their ids are deterministic for a fixed shard map (0 = root,
+  // 1..num_shards = fan-out spans in shard order); the workers only
+  // close them. Sibling sort_key = shard index keeps the rendered order
+  // deterministic too.
+  QueryTrace trace;
+  int root_span = -1;
+  std::vector<int> fanout_spans(static_cast<size_t>(num_shards), -1);
+  if (sampled) {
+    traces_sampled_->Increment();
+    root_span = trace.BeginSpan("coordinator_query");
+    trace.AddAttribute(root_span, "trace_id", trace_id_hex);
+    if (context.parent_span_id != 0) {
+      trace.AddAttribute(root_span, "parent_span_id",
+                         std::to_string(context.parent_span_id));
+    }
+    trace.AddCounter(root_span, "shards",
+                     static_cast<uint64_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      const int id = trace.BeginSpan("shard_fanout", root_span, s);
+      fanout_spans[static_cast<size_t>(s)] = id;
+      trace.AddAttribute(id, "shard", std::to_string(s));
+      trace.AddAttribute(id, "endpoint", router_.shard(s).endpoint);
+      if (shard_request.budget_ms >= 0) {
+        trace.AddCounter(id, "budget_ms",
+                         static_cast<uint64_t>(shard_request.budget_ms));
+      }
+    }
+  }
+
+  std::vector<double> shard_elapsed_ms;
   auto per_shard = FanOut<TemporalQueryResponse>(
-      [&](int, QueryClient& client) -> StatusOr<TemporalQueryResponse> {
+      [&](int s, QueryClient& client) -> StatusOr<TemporalQueryResponse> {
         if (shard_request.budget_ms >= 0) {
           // A hung shard must lose the race against the request's budget:
           // cap transport IO just above the shard's own deadline so the
@@ -209,13 +293,25 @@ StatusOr<TemporalQueryResponse> CoordinatorService::TemporalQuery(
           client.set_io_timeout(std::chrono::milliseconds(
               shard_request.budget_ms + options_.io_slack_ms));
         }
-        return client.TemporalQuery(shard_request);
-      });
+        TemporalQueryRequest req = shard_request;
+        if (sampled) {
+          // Informational parent (assembly grafts by response blob, not
+          // by this id): the shard's fan-out span, +1 to keep it
+          // nonzero, so shard logs correlate back to the scatter slot.
+          req.parent_span_id = static_cast<uint64_t>(
+              fanout_spans[static_cast<size_t>(s)] + 1);
+        }
+        StatusOr<TemporalQueryResponse> result = client.TemporalQuery(req);
+        if (sampled) trace.EndSpan(fanout_spans[static_cast<size_t>(s)]);
+        return result;
+      },
+      &shard_elapsed_ms);
 
   TemporalQueryResponse merged;
   merged.has_stats = request.want_stats;
   std::vector<std::vector<RetrievedPattern>> ranked(per_shard.size());
-  for (int s = 0; s < router_.num_shards(); ++s) {
+  std::vector<std::pair<int, std::string>> shard_errors;
+  for (int s = 0; s < num_shards; ++s) {
     StatusOr<TemporalQueryResponse>& shard_result =
         per_shard[static_cast<size_t>(s)];
     if (!shard_result.ok()) {
@@ -225,6 +321,18 @@ StatusOr<TemporalQueryResponse> CoordinatorService::TemporalQuery(
       merged.degraded = true;
       merged.videos_skipped += router_.VideosOwnedBy(s);
       dead_shard_results_->Increment();
+      shard_errors.emplace_back(
+          s, StatusCodeToString(shard_result.status().code()));
+      if (sampled) {
+        trace.AddAttribute(fanout_spans[static_cast<size_t>(s)], "error",
+                           StatusCodeToString(shard_result.status().code()));
+      }
+      HMMM_LOG(Error) << "shard " << s << " ("
+                      << router_.shard(s).endpoint
+                      << ") failed temporal query: "
+                      << shard_result.status().message()
+                      << (sampled ? " trace_id=" + trace_id_hex
+                                  : std::string());
       continue;
     }
     TemporalQueryResponse& response = *shard_result;
@@ -233,7 +341,6 @@ StatusOr<TemporalQueryResponse> CoordinatorService::TemporalQuery(
     if (request.want_stats && response.has_stats) {
       AccumulateRetrievalStats(response.stats, &merged.stats);
     }
-    if (request.want_trace) merged.trace_jsonl += response.trace_jsonl;
     for (RetrievedPattern& pattern : response.results) {
       pattern.video = router_.ToGlobalVideo(s, pattern.video);
       for (ShotId& shot : pattern.shots) {
@@ -250,6 +357,71 @@ StatusOr<TemporalQueryResponse> CoordinatorService::TemporalQuery(
   }
   merged.results = MergeRankedResults(std::move(ranked), options_.max_results);
   if (merged.degraded) queries_degraded_->Increment();
+
+  if (sampled) {
+    trace.AddCounter(root_span, "videos_skipped", merged.videos_skipped);
+    trace.AddCounter(root_span, "degraded", merged.degraded ? 1 : 0);
+    trace.EndSpan(root_span);
+  }
+  if (request.want_trace) {
+    // Cross-process assembly: each live shard's sub-trace blob is
+    // grafted under its fan-out span, with the remote offsets shifted by
+    // the fan-out span's own start offset — monotonic clocks only, no
+    // clock sync. Shards that answered v1 (no blob) simply contribute no
+    // sub-tree. Grafting in shard order keeps the remapped ids
+    // deterministic for a fixed shard map.
+    std::vector<TraceSpan> assembled = trace.Spans();
+    for (int s = 0; s < num_shards; ++s) {
+      const StatusOr<TemporalQueryResponse>& shard_result =
+          per_shard[static_cast<size_t>(s)];
+      if (!shard_result.ok() || shard_result->trace_blob.empty()) continue;
+      StatusOr<std::vector<TraceSpan>> sub =
+          DeserializeSpans(shard_result->trace_blob);
+      if (!sub.ok()) {
+        HMMM_LOG(Warning) << "shard " << s
+                          << " returned an undecodable trace blob: "
+                          << sub.status().message()
+                          << " trace_id=" << trace_id_hex;
+        continue;
+      }
+      const int fanout_id = fanout_spans[static_cast<size_t>(s)];
+      double base_offset_ms = 0.0;
+      for (const TraceSpan& span : assembled) {
+        if (span.id == fanout_id) {
+          base_offset_ms = span.start_offset_ms;
+          break;
+        }
+      }
+      GraftSpans(&assembled, fanout_id, std::move(sub).value(),
+                 base_offset_ms);
+    }
+    merged.trace_jsonl = RenderSpansJsonl(assembled);
+    merged.trace_blob = SerializeSpans(assembled);
+  }
+
+  const double total_ms = ElapsedMs(start);
+  latency_window_.Observe(total_ms);
+  latency_p50_->Set(latency_window_.Quantile(0.5));
+  latency_p99_->Set(latency_window_.Quantile(0.99));
+  latency_p999_->Set(latency_window_.Quantile(0.999));
+  if (merged.degraded ||
+      total_ms >= options_.observability.slow_query_threshold_ms) {
+    SlowQueryEntry entry;
+    entry.reason = merged.degraded ? "degraded" : "slow";
+    entry.pattern = request.text;
+    entry.trace_id = trace_id_hex;
+    entry.total_ms = total_ms;
+    entry.budget_ms =
+        request.budget_ms >= 0 ? static_cast<double>(request.budget_ms) : -1.0;
+    entry.degraded = merged.degraded;
+    entry.videos_skipped = merged.videos_skipped;
+    for (int s = 0; s < num_shards; ++s) {
+      entry.shard_latency_ms.emplace_back(
+          s, shard_elapsed_ms[static_cast<size_t>(s)]);
+    }
+    entry.shard_errors = std::move(shard_errors);
+    slow_log_.Add(std::move(entry));
+  }
   // Even with every shard down the answer is a degraded empty ranking
   // (videos_skipped == total catalog), never a query failure.
   return merged;
@@ -341,8 +513,37 @@ StatusOr<MetricsResponse> CoordinatorService::Metrics() {
     shards_[s].connections_created->Set(
         static_cast<double>(shards_[s].pool->clients_created()));
   }
+  // Fleet aggregation: scrape every shard's machine-readable snapshot
+  // and merge into one throwaway registry, labelling each series with
+  // its shard index. Dead shards (and v1 shards, whose responses carry
+  // no snapshot) just contribute nothing — a scrape never fails.
+  auto per_shard = FanOut<MetricsResponse>(
+      [&](int, QueryClient& client) -> StatusOr<MetricsResponse> {
+        return client.Metrics();
+      });
+  MetricsRegistry fleet;
+  for (int s = 0; s < router_.num_shards(); ++s) {
+    const StatusOr<MetricsResponse>& shard_result =
+        per_shard[static_cast<size_t>(s)];
+    if (!shard_result.ok() || shard_result->json_snapshot.empty()) continue;
+    const Status loaded = fleet.LoadSnapshotJson(
+        shard_result->json_snapshot, {{"shard", std::to_string(s)}});
+    if (!loaded.ok()) {
+      HMMM_LOG(Warning) << "shard " << s
+                        << " metrics snapshot rejected: "
+                        << loaded.message();
+    }
+  }
   MetricsResponse response;
-  response.prometheus_text = registry_.RenderPrometheus();
+  response.prometheus_text =
+      registry_.RenderPrometheus() + fleet.RenderPrometheus();
+  response.json_snapshot = registry_.SnapshotJson();
+  return response;
+}
+
+StatusOr<DumpSlowQueriesResponse> CoordinatorService::DumpSlowQueries() {
+  DumpSlowQueriesResponse response;
+  response.jsonl = slow_log_.DumpJsonl();
   return response;
 }
 

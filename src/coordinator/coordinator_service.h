@@ -11,6 +11,10 @@
 #include "common/thread_pool.h"
 #include "coordinator/shard_router.h"
 #include "observability/metrics_registry.h"
+#include "observability/query_trace.h"
+#include "observability/sliding_window.h"
+#include "observability/slow_query_log.h"
+#include "observability/trace_codec.h"
 #include "server/query_server.h"
 #include "server/query_service.h"
 
@@ -45,6 +49,10 @@ struct CoordinatorOptions {
   /// shards' TraversalOptions::max_results (both default 20) for
   /// byte-identical output.
   int max_results = 20;
+  /// Tracing and slow-query-log knobs (trace_sample_rate & co.). A
+  /// sampled coordinator query propagates its trace context downstream,
+  /// so one decision traces the whole fan-out.
+  QueryServiceOptions observability;
 
   CoordinatorOptions() {
     client.max_retries = 1;
@@ -101,11 +109,18 @@ class CoordinatorService : public QueryService {
   StatusOr<MarkPositiveResponse> MarkPositive(
       const MarkPositiveRequest& request) override;
   StatusOr<TrainResponse> Train() override;
+  /// Own hmmm_coordinator_* exposition plus the fleet aggregation: every
+  /// live shard's SnapshotJson merged into one registry with a
+  /// shard="<index>" label on each series, rendered after the
+  /// coordinator's own families. json_snapshot carries the coordinator's
+  /// own registry only.
   StatusOr<MetricsResponse> Metrics() override;
   StatusOr<HealthResponse> Health() override;
+  StatusOr<DumpSlowQueriesResponse> DumpSlowQueries() override;
 
   const ShardRouter& router() const { return router_; }
   const CoordinatorOptions& options() const { return options_; }
+  SlowQueryLog& slow_query_log() { return slow_log_; }
 
  private:
   struct ShardState {
@@ -119,20 +134,32 @@ class CoordinatorService : public QueryService {
 
   /// Runs `call(shard_index, client)` for every shard on the fan-out
   /// pool, each against a pooled connection, recording per-shard
-  /// latency/errors. Blocks until every shard answered or failed.
+  /// latency/errors. Blocks until every shard answered or failed. When
+  /// `elapsed_ms_out` is non-null it is resized to num_shards and filled
+  /// with each shard call's wall time.
   template <typename T>
   std::vector<StatusOr<T>> FanOut(
-      const std::function<StatusOr<T>(int, QueryClient&)>& call);
+      const std::function<StatusOr<T>(int, QueryClient&)>& call,
+      std::vector<double>* elapsed_ms_out = nullptr);
 
   ShardRouter router_;
   CoordinatorOptions options_;
   MetricsRegistry registry_;
+  TraceSampler sampler_;
+  SlowQueryLog slow_log_;
+  /// Sliding-window latency of merged temporal queries, feeding the
+  /// hmmm_coordinator_query_latency_p* gauges.
+  SlidingWindowHistogram latency_window_;
   std::vector<ShardState> shards_;
   std::unique_ptr<ThreadPool> fanout_pool_;
 
   Counter* fanouts_total_ = nullptr;
   Counter* queries_degraded_ = nullptr;
   Counter* dead_shard_results_ = nullptr;
+  Counter* traces_sampled_ = nullptr;
+  Gauge* latency_p50_ = nullptr;
+  Gauge* latency_p99_ = nullptr;
+  Gauge* latency_p999_ = nullptr;
 };
 
 /// The sharded drop-in for hmmm_serverd: a QueryServer front end bound

@@ -42,8 +42,12 @@
 #include "media/feature_level_generator.h"
 #include "media/news_generator.h"
 #include "media/soccer_generator.h"
+#include "coordinator/coordinator_service.h"
 #include "observability/metrics_registry.h"
 #include "observability/query_trace.h"
+#include "observability/sliding_window.h"
+#include "observability/slow_query_log.h"
+#include "observability/trace_codec.h"
 #include "query/matn.h"
 #include "query/parser.h"
 #include "query/translator.h"

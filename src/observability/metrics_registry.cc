@@ -1,6 +1,7 @@
 #include "observability/metrics_registry.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -115,6 +116,218 @@ std::string FormatNumber(double value) {
   return StrFormat("%.9g", value);
 }
 
+/// `labels` with `extra` appended, skipping extra labels whose name the
+/// series already carries.
+MetricLabels MergeConstLabels(const MetricLabels& labels,
+                              const MetricLabels& extra) {
+  if (extra.empty()) return labels;
+  MetricLabels merged = labels;
+  for (const auto& [name, value] : extra) {
+    bool present = false;
+    for (const auto& [existing, unused] : labels) {
+      (void)unused;
+      if (existing == name) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) merged.emplace_back(name, value);
+  }
+  return merged;
+}
+
+// -- Minimal JSON reader for SnapshotJson payloads ------------------------
+//
+// Parses exactly the JSON subset our own serializers emit (objects,
+// arrays, double-quoted strings with short escapes, numbers, booleans,
+// null). Returns kDataLoss on anything malformed rather than aborting,
+// since snapshots arrive over the network.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [name, value] : object) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    HMMM_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipSpace();
+    if (pos_ != text_.size()) return Malformed("trailing bytes");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  Status Malformed(const char* what) const {
+    return Status(StatusCode::kDataLoss,
+                  StrFormat("bad metrics snapshot json: %s at byte %zu",
+                            what, pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Malformed("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Malformed("truncated");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") return Malformed("bad literal");
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) return value;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Malformed("expected object key");
+      }
+      HMMM_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      if (!Consume(':')) return Malformed("expected ':'");
+      HMMM_ASSIGN_OR_RETURN(JsonValue element, ParseValue(depth + 1));
+      value.object.emplace_back(std::move(key.string), std::move(element));
+      if (Consume('}')) return value;
+      if (!Consume(',')) return Malformed("expected ',' or '}'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) return value;
+    while (true) {
+      HMMM_ASSIGN_OR_RETURN(JsonValue element, ParseValue(depth + 1));
+      value.array.push_back(std::move(element));
+      if (Consume(']')) return value;
+      if (!Consume(',')) return Malformed("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseString() {
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': value.string += '"'; break;
+        case '\\': value.string += '\\'; break;
+        case '/': value.string += '/'; break;
+        case 'n': value.string += '\n'; break;
+        case 'r': value.string += '\r'; break;
+        case 't': value.string += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Malformed("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Malformed("bad \\u escape");
+          }
+          // Our serializers only emit \u for control bytes; anything
+          // beyond Latin-1 would need UTF-8 encoding we don't produce.
+          if (code > 0xFF) return Malformed("unsupported \\u escape");
+          value.string += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Malformed("bad escape");
+      }
+    }
+    return Malformed("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseBool() {
+    JsonValue value;
+    value.type = JsonValue::Type::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      value.boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    return Malformed("bad literal");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            (text_[pos_] >= '0' && text_[pos_] <= '9'))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Malformed("expected value");
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    value.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Malformed("bad number");
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
 }  // namespace
 
 void Gauge::Add(double delta) { AtomicAdd(value_, delta); }
@@ -148,6 +361,25 @@ std::vector<uint64_t> Histogram::CumulativeCounts() const {
     cumulative[i] = running;
   }
   return cumulative;
+}
+
+void Histogram::MergeBucketized(const std::vector<uint64_t>& bucket_counts,
+                                double sum) {
+  HMMM_CHECK(bucket_counts.size() == buckets_.size())
+      << "bucketized merge with mismatched bucket count";
+  uint64_t total = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(bucket_counts[i], std::memory_order_relaxed);
+    total += bucket_counts[i];
+  }
+  count_.fetch_add(total, std::memory_order_relaxed);
+  AtomicAdd(sum_, sum);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
 }
 
 const std::vector<double>& DefaultLatencyBucketsMs() {
@@ -251,6 +483,11 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
+  return RenderPrometheus(MetricLabels{});
+}
+
+std::string MetricsRegistry::RenderPrometheus(
+    const MetricLabels& const_labels) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   // HELP/TYPE announce a family once; the map order keeps a family's
@@ -269,7 +506,8 @@ std::string MetricsRegistry::RenderPrometheus() const {
                                                       : "histogram";
       out += StrFormat("# TYPE %s %s\n", name.c_str(), type);
     }
-    const std::string series = SeriesName(name, entry.labels);
+    const MetricLabels labels = MergeConstLabels(entry.labels, const_labels);
+    const std::string series = SeriesName(name, labels);
     switch (entry.kind) {
       case Kind::kCounter:
         out += StrFormat("%s %llu\n", series.c_str(),
@@ -286,18 +524,17 @@ std::string MetricsRegistry::RenderPrometheus() const {
         for (size_t i = 0; i < h.bounds().size(); ++i) {
           out += StrFormat(
               "%s %llu\n",
-              BucketName(name, entry.labels, FormatNumber(h.bounds()[i]))
-                  .c_str(),
+              BucketName(name, labels, FormatNumber(h.bounds()[i])).c_str(),
               static_cast<unsigned long long>(cumulative[i]));
         }
         out += StrFormat("%s %llu\n",
-                         BucketName(name, entry.labels, "+Inf").c_str(),
+                         BucketName(name, labels, "+Inf").c_str(),
                          static_cast<unsigned long long>(cumulative.back()));
         out += StrFormat("%s %s\n",
-                         SeriesName(name + "_sum", entry.labels).c_str(),
+                         SeriesName(name + "_sum", labels).c_str(),
                          FormatNumber(h.sum()).c_str());
         out += StrFormat("%s %llu\n",
-                         SeriesName(name + "_count", entry.labels).c_str(),
+                         SeriesName(name + "_count", labels).c_str(),
                          static_cast<unsigned long long>(h.count()));
         break;
       }
@@ -354,6 +591,226 @@ std::string MetricsRegistry::RenderJson() const {
   return StrFormat(
       "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}",
       counters.c_str(), gauges.c_str(), histograms.c_str());
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string metrics;
+  for (const auto& [key, entry] : metrics_) {
+    (void)key;
+    if (!metrics.empty()) metrics += ',';
+    std::string labels;
+    for (const auto& [label_name, label_value] : entry.labels) {
+      if (!labels.empty()) labels += ',';
+      labels += StrFormat("[\"%s\",\"%s\"]",
+                          JsonEscapeString(label_name).c_str(),
+                          JsonEscapeString(label_value).c_str());
+    }
+    metrics += StrFormat(
+        "{\"kind\":\"%s\",\"name\":\"%s\",\"labels\":[%s],\"help\":\"%s\"",
+        entry.kind == Kind::kCounter ? "counter"
+        : entry.kind == Kind::kGauge ? "gauge"
+                                     : "histogram",
+        JsonEscapeString(entry.name).c_str(), labels.c_str(),
+        JsonEscapeString(entry.help).c_str());
+    switch (entry.kind) {
+      case Kind::kCounter:
+        metrics += StrFormat(
+            ",\"value\":%llu}",
+            static_cast<unsigned long long>(entry.counter->value()));
+        break;
+      case Kind::kGauge:
+        metrics += StrFormat(",\"value\":%s}",
+                             FormatNumber(entry.gauge->value()).c_str());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        std::string bounds;
+        for (double bound : h.bounds()) {
+          if (!bounds.empty()) bounds += ',';
+          bounds += FormatNumber(bound);
+        }
+        // Per-bucket counts (not cumulative) so loading is a plain merge.
+        const std::vector<uint64_t> cumulative = h.CumulativeCounts();
+        std::string buckets;
+        uint64_t previous = 0;
+        for (uint64_t c : cumulative) {
+          if (!buckets.empty()) buckets += ',';
+          buckets += StrFormat("%llu",
+                               static_cast<unsigned long long>(c - previous));
+          previous = c;
+        }
+        metrics += StrFormat(
+            ",\"bounds\":[%s],\"buckets\":[%s],\"sum\":%s,\"count\":%llu}",
+            bounds.c_str(), buckets.c_str(), FormatNumber(h.sum()).c_str(),
+            static_cast<unsigned long long>(h.count()));
+        break;
+      }
+    }
+  }
+  return StrFormat("{\"v\":1,\"metrics\":[%s]}", metrics.c_str());
+}
+
+Status MetricsRegistry::LoadSnapshotJson(std::string_view json,
+                                         const MetricLabels& extra_labels) {
+  JsonReader reader(json);
+  HMMM_ASSIGN_OR_RETURN(const JsonValue root, reader.Parse());
+  if (root.type != JsonValue::Type::kObject) {
+    return Status(StatusCode::kDataLoss, "snapshot is not a json object");
+  }
+  const JsonValue* version = root.Find("v");
+  if (version == nullptr || version->type != JsonValue::Type::kNumber ||
+      version->number != 1.0) {
+    return Status(StatusCode::kDataLoss, "unknown snapshot version");
+  }
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || metrics->type != JsonValue::Type::kArray) {
+    return Status(StatusCode::kDataLoss, "snapshot lacks metrics array");
+  }
+  const auto bad = [](const char* what) {
+    return Status(StatusCode::kDataLoss,
+                  StrFormat("bad snapshot metric: %s", what));
+  };
+  for (const JsonValue& metric : metrics->array) {
+    if (metric.type != JsonValue::Type::kObject) return bad("not an object");
+    const JsonValue* kind = metric.Find("kind");
+    const JsonValue* name = metric.Find("name");
+    const JsonValue* labels_value = metric.Find("labels");
+    const JsonValue* help = metric.Find("help");
+    if (kind == nullptr || kind->type != JsonValue::Type::kString ||
+        name == nullptr || name->type != JsonValue::Type::kString ||
+        labels_value == nullptr ||
+        labels_value->type != JsonValue::Type::kArray) {
+      return bad("missing kind/name/labels");
+    }
+    if (!IsValidMetricName(name->string)) return bad("metric name");
+    MetricLabels labels;
+    for (const JsonValue& label : labels_value->array) {
+      if (label.type != JsonValue::Type::kArray ||
+          label.array.size() != 2 ||
+          label.array[0].type != JsonValue::Type::kString ||
+          label.array[1].type != JsonValue::Type::kString) {
+        return bad("label entry");
+      }
+      if (!IsValidLabelName(label.array[0].string)) return bad("label name");
+      labels.emplace_back(label.array[0].string, label.array[1].string);
+    }
+    for (const auto& [label_name, label_value] : extra_labels) {
+      (void)label_value;
+      if (!IsValidLabelName(label_name)) return bad("extra label name");
+    }
+    labels = MergeConstLabels(labels, extra_labels);
+    const std::string help_text =
+        help != nullptr && help->type == JsonValue::Type::kString
+            ? help->string
+            : "";
+
+    // Resolve by hand instead of through ResolveLocked: a remote kind or
+    // bounds conflict must surface as a Status, not abort the process.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string series_key =
+        name->string + '\x01' + RenderLabels(labels);
+    const Kind want = kind->string == "counter"  ? Kind::kCounter
+                      : kind->string == "gauge"  ? Kind::kGauge
+                      : kind->string == "histogram"
+                          ? Kind::kHistogram
+                          : Kind::kCounter;
+    if (kind->string != "counter" && kind->string != "gauge" &&
+        kind->string != "histogram") {
+      return bad("kind");
+    }
+    auto it = metrics_.find(series_key);
+    if (it != metrics_.end() && it->second.kind != want) {
+      return Status(StatusCode::kDataLoss,
+                    StrFormat("snapshot kind conflict on %s",
+                              name->string.c_str()));
+    }
+    if (it == metrics_.end()) {
+      Entry entry;
+      entry.kind = want;
+      entry.name = name->string;
+      entry.labels = labels;
+      entry.help = help_text;
+      it = metrics_.emplace(series_key, std::move(entry)).first;
+    }
+    Entry& entry = it->second;
+    switch (want) {
+      case Kind::kCounter: {
+        const JsonValue* value = metric.Find("value");
+        if (value == nullptr || value->type != JsonValue::Type::kNumber ||
+            value->number < 0) {
+          return bad("counter value");
+        }
+        if (entry.counter == nullptr) {
+          entry.counter = std::make_unique<Counter>();
+        }
+        entry.counter->Increment(static_cast<uint64_t>(value->number));
+        break;
+      }
+      case Kind::kGauge: {
+        const JsonValue* value = metric.Find("value");
+        if (value == nullptr || value->type != JsonValue::Type::kNumber) {
+          return bad("gauge value");
+        }
+        if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+        entry.gauge->Set(value->number);
+        break;
+      }
+      case Kind::kHistogram: {
+        const JsonValue* bounds_value = metric.Find("bounds");
+        const JsonValue* buckets_value = metric.Find("buckets");
+        const JsonValue* sum = metric.Find("sum");
+        if (bounds_value == nullptr ||
+            bounds_value->type != JsonValue::Type::kArray ||
+            buckets_value == nullptr ||
+            buckets_value->type != JsonValue::Type::kArray ||
+            sum == nullptr || sum->type != JsonValue::Type::kNumber) {
+          return bad("histogram fields");
+        }
+        std::vector<double> bounds;
+        bounds.reserve(bounds_value->array.size());
+        for (const JsonValue& bound : bounds_value->array) {
+          if (bound.type != JsonValue::Type::kNumber) return bad("bound");
+          if (!bounds.empty() && bound.number <= bounds.back()) {
+            return bad("bounds not ascending");
+          }
+          bounds.push_back(bound.number);
+        }
+        if (buckets_value->array.size() != bounds.size() + 1) {
+          return bad("bucket count");
+        }
+        std::vector<uint64_t> buckets;
+        buckets.reserve(buckets_value->array.size());
+        for (const JsonValue& bucket : buckets_value->array) {
+          if (bucket.type != JsonValue::Type::kNumber ||
+              bucket.number < 0) {
+            return bad("bucket value");
+          }
+          buckets.push_back(static_cast<uint64_t>(bucket.number));
+        }
+        if (entry.histogram == nullptr) {
+          entry.histogram = std::make_unique<Histogram>(bounds);
+        } else if (entry.histogram->bounds() != bounds) {
+          return Status(StatusCode::kDataLoss,
+                        StrFormat("snapshot bounds conflict on %s",
+                                  name->string.c_str()));
+        }
+        entry.histogram->MergeBucketized(buckets, sum->number);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : metrics_) {
+    (void)key;
+    if (entry.counter != nullptr) entry.counter->Reset();
+    if (entry.gauge != nullptr) entry.gauge->Reset();
+    if (entry.histogram != nullptr) entry.histogram->Reset();
+  }
 }
 
 }  // namespace hmmm

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace hmmm {
 
 /// Label set of one metric series, in emission order. Label names must
@@ -27,6 +29,7 @@ class Counter {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> value_{0};
@@ -39,6 +42,7 @@ class Gauge {
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
   void Add(double delta);
   double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
@@ -61,6 +65,16 @@ class Histogram {
   /// observations <= bounds[i]; the final entry (the +Inf bucket) equals
   /// count().
   std::vector<uint64_t> CumulativeCounts() const;
+
+  /// Adds pre-bucketed observations: `bucket_counts` are per-bucket
+  /// (non-cumulative) counts, one entry per finite bound plus the +Inf
+  /// bucket; `sum` is their combined observation sum. Used by the
+  /// snapshot loader to merge a remote histogram.
+  void MergeBucketized(const std::vector<uint64_t>& bucket_counts,
+                       double sum);
+
+  /// Zeroes every bucket, the count and the sum.
+  void Reset();
 
  private:
   std::vector<double> bounds_;
@@ -116,9 +130,34 @@ class MetricsRegistry {
   /// snapshot is per-metric consistent, not cross-metric atomic.
   std::string RenderPrometheus() const;
 
+  /// Same exposition with `const_labels` appended to every series'
+  /// label set (e.g. {{"shard","2"}}); a const label whose name a series
+  /// already carries is skipped for that series.
+  std::string RenderPrometheus(const MetricLabels& const_labels) const;
+
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
   /// {name:{"count":..,"sum":..,"buckets":[{"le":..,"count":..}]}}}.
   std::string RenderJson() const;
+
+  /// Machine-readable snapshot that round-trips through
+  /// LoadSnapshotJson: {"v":1,"metrics":[{"kind":..,"name":..,
+  /// "labels":[[k,v],..],"help":..,<kind-specific values>},..]}.
+  /// Histograms carry per-bucket (non-cumulative) counts so loading is a
+  /// plain merge. Carried over the wire as MetricsResponse.json_snapshot
+  /// and aggregated fleet-wide by the coordinator.
+  std::string SnapshotJson() const;
+
+  /// Merges a SnapshotJson() payload into this registry, appending
+  /// `extra_labels` (e.g. {{"shard","1"}}) to every series. Counters and
+  /// histograms add onto existing series; gauges overwrite. Malformed
+  /// input or a kind/bounds conflict with an existing series returns
+  /// kDataLoss — entries applied before the error stick.
+  Status LoadSnapshotJson(std::string_view json,
+                          const MetricLabels& extra_labels = {});
+
+  /// Zeroes every registered metric's value, keeping registration (and
+  /// the pointers handed out) intact. For tests.
+  void Reset();
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

@@ -1,22 +1,116 @@
 #include "observability/query_trace.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace hmmm {
+namespace {
+
+/// Pre-order over a free-standing span forest: (index into `spans`,
+/// depth). Parent references are by TraceSpan::id; unknown parents make a
+/// span a root. Siblings order by (sort_key, id).
+std::vector<std::pair<size_t, int>> PreOrderSpans(
+    const std::vector<TraceSpan>& spans) {
+  std::unordered_map<int, size_t> index_of;
+  index_of.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) index_of.emplace(spans[i].id, i);
+  // children[i] = indices of i's children; spans.size() holds roots.
+  std::vector<std::vector<size_t>> children(spans.size() + 1);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const auto it = index_of.find(spans[i].parent);
+    const size_t parent = spans[i].parent >= 0 && it != index_of.end()
+                              ? it->second
+                              : spans.size();
+    children[parent].push_back(i);
+  }
+  for (std::vector<size_t>& siblings : children) {
+    std::sort(siblings.begin(), siblings.end(), [&](size_t a, size_t b) {
+      if (spans[a].sort_key != spans[b].sort_key) {
+        return spans[a].sort_key < spans[b].sort_key;
+      }
+      return spans[a].id < spans[b].id;
+    });
+  }
+  std::vector<std::pair<size_t, int>> ordered;
+  ordered.reserve(spans.size());
+  std::vector<std::pair<size_t, int>> stack;  // (index, depth)
+  for (auto it = children.back().rbegin(); it != children.back().rend();
+       ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    // A parent-cycle (possible only in hand-built forests) would revisit
+    // indices; bail rather than loop forever.
+    if (ordered.size() >= spans.size()) break;
+    ordered.emplace_back(index, depth);
+    const std::vector<size_t>& kids = children[index];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return ordered;
+}
+
+void AppendTreeLine(std::string& out, const TraceSpan& span, int depth) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += span.name;
+  out += StrFormat(" %.3fms", span.elapsed_ms);
+  for (const auto& [name, value] : span.attributes) {
+    out += StrFormat(" %s=%s", name.c_str(), value.c_str());
+  }
+  for (const auto& [name, value] : span.counters) {
+    out += StrFormat(" %s=%llu", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  out += '\n';
+}
+
+void AppendJsonlLine(std::string& out, const TraceSpan& span, int depth) {
+  std::string counters;
+  for (const auto& [name, value] : span.counters) {
+    if (!counters.empty()) counters += ',';
+    counters += StrFormat("\"%s\":%llu", name.c_str(),
+                          static_cast<unsigned long long>(value));
+  }
+  std::string attributes;
+  for (const auto& [name, value] : span.attributes) {
+    if (!attributes.empty()) attributes += ',';
+    attributes += StrFormat("\"%s\":\"%s\"", JsonEscape(name).c_str(),
+                            JsonEscape(value).c_str());
+  }
+  out += StrFormat(
+      "{\"name\":\"%s\",\"id\":%d,\"parent\":%d,\"depth\":%d,"
+      "\"start_ms\":%.6f,\"elapsed_ms\":%.6f,\"counters\":{%s},"
+      "\"attributes\":{%s}}\n",
+      JsonEscape(span.name).c_str(), span.id, span.parent, depth,
+      span.start_offset_ms, span.elapsed_ms, counters.c_str(),
+      attributes.c_str());
+}
+
+}  // namespace
 
 int QueryTrace::BeginSpan(std::string name, int parent, int64_t sort_key) {
+  const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mutex_);
   const int id = static_cast<int>(records_.size());
   HMMM_CHECK(parent >= -1 && parent < id) << "bad parent span";
+  if (!has_epoch_) {
+    epoch_ = now;
+    has_epoch_ = true;
+  }
   Record record;
   record.span.name = std::move(name);
   record.span.id = id;
   record.span.parent = parent;
   record.span.sort_key = sort_key >= 0 ? sort_key : id;
-  record.start = std::chrono::steady_clock::now();
+  record.span.start_offset_ms =
+      std::chrono::duration<double, std::milli>(now - epoch_).count();
+  record.start = now;
   records_.push_back(std::move(record));
   return id;
 }
@@ -34,13 +128,44 @@ void QueryTrace::EndSpan(int id) {
 void QueryTrace::AddCounter(int id, std::string name, uint64_t value) {
   std::lock_guard<std::mutex> lock(mutex_);
   HMMM_CHECK(id >= 0 && static_cast<size_t>(id) < records_.size());
-  records_[static_cast<size_t>(id)].span.counters.emplace_back(
-      std::move(name), value);
+  auto& counters = records_[static_cast<size_t>(id)].span.counters;
+  for (auto& counter : counters) {
+    if (counter.first == name) {
+      counter.second += value;
+      return;
+    }
+  }
+  counters.emplace_back(std::move(name), value);
+}
+
+void QueryTrace::AddAttribute(int id, std::string name, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HMMM_CHECK(id >= 0 && static_cast<size_t>(id) < records_.size());
+  auto& attributes = records_[static_cast<size_t>(id)].span.attributes;
+  for (auto& attribute : attributes) {
+    if (attribute.first == name) {
+      attribute.second = std::move(value);
+      return;
+    }
+  }
+  attributes.emplace_back(std::move(name), std::move(value));
+}
+
+void QueryTrace::ReparentRoots(int new_parent) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HMMM_CHECK(new_parent >= 0 &&
+             static_cast<size_t>(new_parent) < records_.size());
+  for (Record& record : records_) {
+    if (record.span.parent == -1 && record.span.id != new_parent) {
+      record.span.parent = new_parent;
+    }
+  }
 }
 
 void QueryTrace::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   records_.clear();
+  has_epoch_ = false;
 }
 
 std::vector<std::pair<const TraceSpan*, int>> QueryTrace::PreOrderLocked()
@@ -93,14 +218,7 @@ std::string QueryTrace::RenderTree() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   for (const auto& [span, depth] : PreOrderLocked()) {
-    out.append(static_cast<size_t>(depth) * 2, ' ');
-    out += span->name;
-    out += StrFormat(" %.3fms", span->elapsed_ms);
-    for (const auto& [name, value] : span->counters) {
-      out += StrFormat(" %s=%llu", name.c_str(),
-                       static_cast<unsigned long long>(value));
-    }
-    out += '\n';
+    AppendTreeLine(out, *span, depth);
   }
   return out;
 }
@@ -109,17 +227,23 @@ std::string QueryTrace::RenderJsonl() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   for (const auto& [span, depth] : PreOrderLocked()) {
-    std::string counters;
-    for (const auto& [name, value] : span->counters) {
-      if (!counters.empty()) counters += ',';
-      counters += StrFormat("\"%s\":%llu", name.c_str(),
-                            static_cast<unsigned long long>(value));
-    }
-    out += StrFormat(
-        "{\"name\":\"%s\",\"id\":%d,\"parent\":%d,\"depth\":%d,"
-        "\"elapsed_ms\":%.6f,\"counters\":{%s}}\n",
-        span->name.c_str(), span->id, span->parent, depth, span->elapsed_ms,
-        counters.c_str());
+    AppendJsonlLine(out, *span, depth);
+  }
+  return out;
+}
+
+std::string RenderSpanTree(const std::vector<TraceSpan>& spans) {
+  std::string out;
+  for (const auto& [index, depth] : PreOrderSpans(spans)) {
+    AppendTreeLine(out, spans[index], depth);
+  }
+  return out;
+}
+
+std::string RenderSpansJsonl(const std::vector<TraceSpan>& spans) {
+  std::string out;
+  for (const auto& [index, depth] : PreOrderSpans(spans)) {
+    AppendJsonlLine(out, spans[index], depth);
   }
   return out;
 }

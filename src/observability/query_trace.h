@@ -21,9 +21,18 @@ struct TraceSpan {
   /// the rendered tree is identical at every thread count; spans opened
   /// serially keep their insertion sequence.
   int64_t sort_key = 0;
+  /// Begin time relative to the trace's first span, in milliseconds of the
+  /// local process's monotonic clock. Cross-process trace assembly shifts
+  /// these offsets when grafting a remote sub-trace, so no clock
+  /// synchronization between hosts is ever needed.
+  double start_offset_ms = 0.0;
   double elapsed_ms = 0.0;
   bool finished = false;
+  /// Named counters, unique by name within a span (see AddCounter).
   std::vector<std::pair<std::string, uint64_t>> counters;
+  /// Free-form string tags (shard id, endpoint, trace id, ...), unique by
+  /// name within a span; a repeated AddAttribute overwrites.
+  std::vector<std::pair<std::string, std::string>> attributes;
 };
 
 /// Records the spans of one traversal. Attach an instance through
@@ -48,7 +57,23 @@ class QueryTrace {
   void EndSpan(int id);
 
   /// Attaches one named counter to an open or closed span.
+  ///
+  /// Contract: counter names are unique within a span and values are
+  /// additive — calling AddCounter twice with the same name accumulates
+  /// into the one existing entry. (Before this was specified, duplicates
+  /// were appended verbatim and JSONL consumers saw whichever value their
+  /// parser kept, typically the last write.)
   void AddCounter(int id, std::string name, uint64_t value);
+
+  /// Attaches one string attribute to an open or closed span. Attribute
+  /// names are unique within a span; a repeated name overwrites.
+  void AddAttribute(int id, std::string name, std::string value);
+
+  /// Reparents every root span (parent == -1) other than `new_parent`
+  /// itself under `new_parent`. Used by the serving layer to adopt the
+  /// traversal's phase spans under a per-request server span that was
+  /// opened before the traversal ran.
+  void ReparentRoots(int new_parent);
 
   void Clear();
 
@@ -61,7 +86,7 @@ class QueryTrace {
   std::string RenderTree() const;
 
   /// One JSON object per line per span (JSONL), pre-order, with name,
-  /// depth, parent, elapsed_ms and counters.
+  /// depth, parent, start_ms, elapsed_ms, counters and attributes.
   std::string RenderJsonl() const;
 
  private:
@@ -76,7 +101,18 @@ class QueryTrace {
 
   mutable std::mutex mutex_;
   std::vector<Record> records_;
+  /// Monotonic time of the first BeginSpan since construction / Clear();
+  /// all start_offset_ms values are relative to it.
+  std::chrono::steady_clock::time_point epoch_;
+  bool has_epoch_ = false;
 };
+
+/// Pre-order rendering of a free-standing span forest (e.g. one assembled
+/// from several processes, where spans no longer live in a QueryTrace).
+/// Parent references use TraceSpan::id; spans whose parent id is absent
+/// from `spans` are treated as roots. Siblings order by (sort_key, id).
+std::string RenderSpanTree(const std::vector<TraceSpan>& spans);
+std::string RenderSpansJsonl(const std::vector<TraceSpan>& spans);
 
 /// RAII span that tolerates a null trace (all operations no-op), so call
 /// sites read the same with tracing on and off.
@@ -97,6 +133,12 @@ class ScopedSpan {
 
   void Counter(std::string name, uint64_t value) {
     if (trace_ != nullptr) trace_->AddCounter(id_, std::move(name), value);
+  }
+
+  void Attribute(std::string name, std::string value) {
+    if (trace_ != nullptr) {
+      trace_->AddAttribute(id_, std::move(name), std::move(value));
+    }
   }
 
   /// Closes the span early (idempotent).

@@ -1,0 +1,95 @@
+#include "observability/sliding_window.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hmmm {
+
+SlidingWindowHistogram::SlidingWindowHistogram(
+    std::vector<double> bounds, size_t num_slices,
+    std::chrono::milliseconds slice_duration)
+    : bounds_(std::move(bounds)),
+      slice_duration_(slice_duration),
+      slice_start_(std::chrono::steady_clock::now()) {
+  HMMM_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    HMMM_CHECK(bounds_[i] > bounds_[i - 1]) << "bounds must ascend";
+  }
+  HMMM_CHECK(num_slices >= 2) << "window needs at least two slices";
+  HMMM_CHECK(slice_duration_.count() > 0);
+  slices_.resize(num_slices);
+  for (Slice& slice : slices_) slice.buckets.resize(bounds_.size() + 1, 0);
+}
+
+void SlidingWindowHistogram::Observe(double value) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  RotateLocked(now);
+  Slice& slice = slices_[current_];
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  slice.buckets[static_cast<size_t>(it - bounds_.begin())] += 1;
+  slice.count += 1;
+  slice.max_value = std::max(slice.max_value, value);
+}
+
+double SlidingWindowHistogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // No rotation here: a read-only scrape reports the window as last
+  // written; stale slices age out on the next Observe.
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  uint64_t total = 0;
+  double max_value = 0.0;
+  for (const Slice& slice : slices_) {
+    for (size_t b = 0; b < merged.size(); ++b) merged[b] += slice.buckets[b];
+    total += slice.count;
+    max_value = std::max(max_value, slice.max_value);
+  }
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < merged.size(); ++b) {
+    seen += merged[b];
+    if (seen >= rank) {
+      return b < bounds_.size() ? bounds_[b] : max_value;
+    }
+  }
+  return max_value;
+}
+
+uint64_t SlidingWindowHistogram::WindowCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const Slice& slice : slices_) total += slice.count;
+  return total;
+}
+
+void SlidingWindowHistogram::RotateForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdvanceOneLocked();
+}
+
+void SlidingWindowHistogram::RotateLocked(
+    std::chrono::steady_clock::time_point now) {
+  // Cap the catch-up at one full window: after a long idle gap every slice
+  // is stale anyway.
+  for (size_t steps = 0;
+       now - slice_start_ >= slice_duration_ && steps < slices_.size();
+       ++steps) {
+    AdvanceOneLocked();
+    slice_start_ += slice_duration_;
+  }
+  if (now - slice_start_ >= slice_duration_) slice_start_ = now;
+}
+
+void SlidingWindowHistogram::AdvanceOneLocked() {
+  current_ = (current_ + 1) % slices_.size();
+  Slice& slice = slices_[current_];
+  std::fill(slice.buckets.begin(), slice.buckets.end(), 0);
+  slice.count = 0;
+  slice.max_value = 0.0;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,58 @@
+#ifndef HMMM_OBSERVABILITY_SLIDING_WINDOW_H_
+#define HMMM_OBSERVABILITY_SLIDING_WINDOW_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hmmm {
+
+/// Sliding-window latency histogram for SLO reporting (p50/p99/p999
+/// gauges). Observations land in the current time slice; quantiles are
+/// computed over the most recent `num_slices` slices, so a latency burst
+/// ages out of the reported percentiles after num_slices * slice duration
+/// instead of polluting a forever-cumulative histogram. Thread-safe.
+class SlidingWindowHistogram {
+ public:
+  /// `bounds` are strictly-ascending bucket upper bounds (ms); values
+  /// above the last bound land in an implicit overflow bucket.
+  SlidingWindowHistogram(
+      std::vector<double> bounds, size_t num_slices = 6,
+      std::chrono::milliseconds slice_duration = std::chrono::seconds(10));
+
+  void Observe(double value);
+
+  /// Upper bound of the bucket containing quantile `q` (0 < q <= 1) over
+  /// the window; the overflow bucket reports the window's max observation.
+  /// Returns 0 when the window is empty.
+  double Quantile(double q) const;
+
+  uint64_t WindowCount() const;
+
+  /// Forces one slice rotation regardless of wall time (tests).
+  void RotateForTesting();
+
+ private:
+  struct Slice {
+    std::vector<uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+    uint64_t count = 0;
+    double max_value = 0.0;
+  };
+
+  /// Advances current_ past every slice boundary `now` has crossed,
+  /// clearing reused slices. Caller holds mutex_.
+  void RotateLocked(std::chrono::steady_clock::time_point now);
+  void AdvanceOneLocked();
+
+  const std::vector<double> bounds_;
+  const std::chrono::milliseconds slice_duration_;
+  mutable std::mutex mutex_;
+  std::vector<Slice> slices_;
+  size_t current_ = 0;
+  std::chrono::steady_clock::time_point slice_start_;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_OBSERVABILITY_SLIDING_WINDOW_H_

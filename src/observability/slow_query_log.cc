@@ -1,0 +1,74 @@
+#include "observability/slow_query_log.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hmmm {
+
+SlowQueryLog::SlowQueryLog(size_t capacity) : capacity_(capacity) {
+  HMMM_CHECK(capacity_ > 0) << "slow-query log needs capacity >= 1";
+}
+
+void SlowQueryLog::Add(SlowQueryEntry entry) {
+  if (entry.unix_ms == 0) {
+    entry.unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (entries_.size() >= capacity_) {
+    entries_.pop_front();
+    ++dropped_;
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::string SlowQueryLog::DumpJsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const SlowQueryEntry& entry : entries_) {
+    std::string shard_latency;
+    for (const auto& [shard, ms] : entry.shard_latency_ms) {
+      if (!shard_latency.empty()) shard_latency += ',';
+      shard_latency += StrFormat("\"%d\":%.3f", shard, ms);
+    }
+    std::string shard_errors;
+    for (const auto& [shard, code] : entry.shard_errors) {
+      if (!shard_errors.empty()) shard_errors += ',';
+      shard_errors +=
+          StrFormat("\"%d\":\"%s\"", shard, JsonEscape(code).c_str());
+    }
+    out += StrFormat(
+        "{\"ts_ms\":%lld,\"reason\":\"%s\",\"pattern\":\"%s\","
+        "\"trace_id\":\"%s\",\"total_ms\":%.3f,\"budget_ms\":%.3f,"
+        "\"degraded\":%s,\"videos_skipped\":%llu,"
+        "\"shard_latency_ms\":{%s},\"shard_errors\":{%s}}\n",
+        static_cast<long long>(entry.unix_ms),
+        JsonEscape(entry.reason).c_str(), JsonEscape(entry.pattern).c_str(),
+        JsonEscape(entry.trace_id).c_str(), entry.total_ms, entry.budget_ms,
+        entry.degraded ? "true" : "false",
+        static_cast<unsigned long long>(entry.videos_skipped),
+        shard_latency.c_str(), shard_errors.c_str());
+  }
+  return out;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+uint64_t SlowQueryLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace hmmm

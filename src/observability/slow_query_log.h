@@ -1,0 +1,62 @@
+#ifndef HMMM_OBSERVABILITY_SLOW_QUERY_LOG_H_
+#define HMMM_OBSERVABILITY_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hmmm {
+
+/// One captured slow / degraded query, rendered as a single JSONL line by
+/// SlowQueryLog::DumpJsonl.
+struct SlowQueryEntry {
+  /// Wall-clock capture time (unix ms); stamped by Add() when left 0.
+  int64_t unix_ms = 0;
+  /// Why the entry was captured: "slow", "degraded" or "error".
+  std::string reason;
+  /// The query's pattern signature (normalized event text for temporal
+  /// queries, "qbe:<n>" for query-by-example).
+  std::string pattern;
+  /// 32-hex-digit trace id if the query was sampled, empty otherwise.
+  /// Grep this against server logs: error lines carry trace_id=<hex>.
+  std::string trace_id;
+  double total_ms = 0.0;
+  double budget_ms = -1.0;
+  bool degraded = false;
+  uint64_t videos_skipped = 0;
+  /// Per-shard wall latencies, (shard, ms); empty on a single server.
+  std::vector<std::pair<int, double>> shard_latency_ms;
+  /// Shards that failed this query, (shard, status code name).
+  std::vector<std::pair<int, std::string>> shard_errors;
+};
+
+/// Bounded ring buffer of slow-query entries. Adding beyond capacity
+/// evicts the oldest entry; `dropped()` counts evictions so a scrape can
+/// tell how much history it lost. Thread-safe.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity);
+
+  void Add(SlowQueryEntry entry);
+
+  /// One JSON object per line, oldest entry first.
+  std::string DumpJsonl() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const;
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<SlowQueryEntry> entries_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_OBSERVABILITY_SLOW_QUERY_LOG_H_

@@ -1,0 +1,160 @@
+#include "observability/trace_codec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <unordered_map>
+
+#include "common/serialization.h"
+#include "common/strings.h"
+
+namespace hmmm {
+namespace {
+
+constexpr uint8_t kTraceBlobVersion = 1;
+// Caps on untrusted blob contents; far above anything a real query
+// produces, far below an allocation-bomb.
+constexpr uint64_t kMaxSpans = 1 << 20;
+constexpr uint64_t kMaxPairsPerSpan = 1 << 16;
+
+uint64_t ProcessRandomHi() {
+  static const uint64_t hi = [] {
+    std::random_device rd;
+    uint64_t v = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    // Reserve the zero hi-word so a minted id can never be all-zero even
+    // if the counter wraps.
+    return v != 0 ? v : uint64_t{1};
+  }();
+  return hi;
+}
+
+}  // namespace
+
+TraceContext MintTraceContext() {
+  static std::atomic<uint64_t> counter{1};
+  TraceContext context;
+  context.trace_id_hi = ProcessRandomHi();
+  context.trace_id_lo = counter.fetch_add(1, std::memory_order_relaxed);
+  return context;
+}
+
+std::string TraceIdHex(uint64_t hi, uint64_t lo) {
+  return StrFormat("%016llx%016llx", static_cast<unsigned long long>(hi),
+                   static_cast<unsigned long long>(lo));
+}
+
+std::string SerializeSpans(const std::vector<TraceSpan>& spans) {
+  BinaryWriter writer;
+  writer.WriteUint8(kTraceBlobVersion);
+  writer.WriteVarint(spans.size());
+  for (const TraceSpan& span : spans) {
+    writer.WriteString(span.name);
+    writer.WriteInt32(span.id);
+    writer.WriteInt32(span.parent);
+    writer.WriteInt64(span.sort_key);
+    writer.WriteDouble(span.start_offset_ms);
+    writer.WriteDouble(span.elapsed_ms);
+    writer.WriteUint8(span.finished ? 1 : 0);
+    writer.WriteVarint(span.counters.size());
+    for (const auto& [name, value] : span.counters) {
+      writer.WriteString(name);
+      writer.WriteUint64(value);
+    }
+    writer.WriteVarint(span.attributes.size());
+    for (const auto& [name, value] : span.attributes) {
+      writer.WriteString(name);
+      writer.WriteString(value);
+    }
+  }
+  return std::move(writer).TakeBuffer();
+}
+
+StatusOr<std::vector<TraceSpan>> DeserializeSpans(std::string_view blob) {
+  BinaryReader reader(blob);
+  HMMM_ASSIGN_OR_RETURN(const uint8_t version, reader.ReadUint8());
+  if (version != kTraceBlobVersion) {
+    return Status(StatusCode::kDataLoss, "unknown trace blob version");
+  }
+  HMMM_ASSIGN_OR_RETURN(const uint64_t count, reader.ReadVarint());
+  if (count > kMaxSpans) {
+    return Status(StatusCode::kDataLoss, "trace blob span count too large");
+  }
+  std::vector<TraceSpan> spans;
+  spans.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    TraceSpan span;
+    HMMM_ASSIGN_OR_RETURN(span.name, reader.ReadString());
+    HMMM_ASSIGN_OR_RETURN(span.id, reader.ReadInt32());
+    HMMM_ASSIGN_OR_RETURN(span.parent, reader.ReadInt32());
+    HMMM_ASSIGN_OR_RETURN(span.sort_key, reader.ReadInt64());
+    HMMM_ASSIGN_OR_RETURN(span.start_offset_ms, reader.ReadDouble());
+    HMMM_ASSIGN_OR_RETURN(span.elapsed_ms, reader.ReadDouble());
+    HMMM_ASSIGN_OR_RETURN(const uint8_t finished, reader.ReadUint8());
+    span.finished = finished != 0;
+    HMMM_ASSIGN_OR_RETURN(const uint64_t num_counters, reader.ReadVarint());
+    if (num_counters > kMaxPairsPerSpan) {
+      return Status(StatusCode::kDataLoss, "trace blob counter count");
+    }
+    span.counters.reserve(static_cast<size_t>(num_counters));
+    for (uint64_t c = 0; c < num_counters; ++c) {
+      std::pair<std::string, uint64_t> counter;
+      HMMM_ASSIGN_OR_RETURN(counter.first, reader.ReadString());
+      HMMM_ASSIGN_OR_RETURN(counter.second, reader.ReadUint64());
+      span.counters.push_back(std::move(counter));
+    }
+    HMMM_ASSIGN_OR_RETURN(const uint64_t num_attributes, reader.ReadVarint());
+    if (num_attributes > kMaxPairsPerSpan) {
+      return Status(StatusCode::kDataLoss, "trace blob attribute count");
+    }
+    span.attributes.reserve(static_cast<size_t>(num_attributes));
+    for (uint64_t a = 0; a < num_attributes; ++a) {
+      std::pair<std::string, std::string> attribute;
+      HMMM_ASSIGN_OR_RETURN(attribute.first, reader.ReadString());
+      HMMM_ASSIGN_OR_RETURN(attribute.second, reader.ReadString());
+      span.attributes.push_back(std::move(attribute));
+    }
+    spans.push_back(std::move(span));
+  }
+  if (!reader.AtEnd()) {
+    return Status(StatusCode::kDataLoss, "trailing bytes after trace blob");
+  }
+  return spans;
+}
+
+void GraftSpans(std::vector<TraceSpan>* dest, int parent_id,
+                std::vector<TraceSpan> sub, double base_offset_ms) {
+  int next_id = parent_id + 1;
+  for (const TraceSpan& span : *dest) {
+    next_id = std::max(next_id, span.id + 1);
+  }
+  std::unordered_map<int, int> remap;
+  remap.reserve(sub.size());
+  for (const TraceSpan& span : sub) {
+    remap.emplace(span.id, next_id++);
+  }
+  for (TraceSpan& span : sub) {
+    span.id = remap.at(span.id);
+    const auto it = remap.find(span.parent);
+    span.parent = span.parent >= 0 && it != remap.end() ? it->second
+                                                        : parent_id;
+    span.start_offset_ms += base_offset_ms;
+    dest->push_back(std::move(span));
+  }
+}
+
+TraceSampler::TraceSampler(double rate)
+    : rate_(rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate)) {}
+
+bool TraceSampler::Decide() {
+  if (rate_ <= 0.0) return false;
+  if (rate_ >= 1.0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  accumulator_ += rate_;
+  if (accumulator_ >= 1.0) {
+    accumulator_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hmmm

@@ -40,11 +40,12 @@ const char* FramingErrorMessage(WireError code) {
 
 /// True when `buffer` holds either one complete frame or a framing error
 /// that MaybeDispatch would turn into an answerable job.
-bool HasCompleteFrame(const std::string& buffer, uint32_t max_frame_bytes) {
+bool HasCompleteFrame(const std::string& buffer, uint32_t max_frame_bytes,
+                      uint16_t max_version) {
   if (buffer.size() < kFrameHeaderBytes) return false;
   FrameHeader header;
   const WireError error =
-      DecodeFrameHeader(buffer, max_frame_bytes, &header);
+      DecodeFrameHeader(buffer, max_frame_bytes, &header, max_version);
   if (error == WireError::kBadMagic || error == WireError::kFrameTooLarge ||
       error == WireError::kUnsupportedVersion) {
     return true;
@@ -108,7 +109,7 @@ Status QueryServer::Start() {
   request_latency_ms_ = registry.GetHistogram(
       "hmmm_server_request_latency_ms", DefaultLatencyBucketsMs(),
       "per-request wall time from dispatch to response written");
-  for (uint16_t tag = 1; tag <= 6; ++tag) {
+  for (uint16_t tag = 1; tag <= 7; ++tag) {
     const auto type = static_cast<MessageType>(tag);
     requests_total_by_type_[tag] = registry.GetCounter(
         "hmmm_server_requests_total", {{"type", MessageTypeLabel(type)}},
@@ -299,7 +300,8 @@ bool QueryServer::ReadAvailable(Connection* conn) {
       // Peer finished sending. Frames already buffered in full still get
       // answered (pipelined requests then close); anything partial dies
       // with the connection.
-      if (HasCompleteFrame(conn->buffer, options_.max_frame_bytes)) {
+      if (HasCompleteFrame(conn->buffer, options_.max_frame_bytes,
+                           options_.protocol_version)) {
         conn->close_after_flush = true;
         return true;
       }
@@ -316,7 +318,8 @@ void QueryServer::MaybeDispatch(int fd, Connection* conn) {
   while (conn->buffer.size() >= kFrameHeaderBytes) {
     FrameHeader header;
     const WireError header_error =
-        DecodeFrameHeader(conn->buffer, options_.max_frame_bytes, &header);
+        DecodeFrameHeader(conn->buffer, options_.max_frame_bytes, &header,
+                          options_.protocol_version);
     if (header_error == WireError::kBadMagic ||
         header_error == WireError::kFrameTooLarge ||
         header_error == WireError::kUnsupportedVersion) {
@@ -352,6 +355,9 @@ void QueryServer::MaybeDispatch(int fd, Connection* conn) {
     }
     FrameJob job;
     job.type = header.type;
+    // The header passed magic/CRC/version checks, so the frame's own
+    // version is trusted and the response is stamped with it.
+    job.version = header.version;
     if (!IsRequestType(header.type)) {
       // Well-framed but not a request we know: typed error, connection
       // stays usable.
@@ -413,7 +419,7 @@ void QueryServer::ProcessBatch(int fd, Connection* conn,
       continue;
     }
     StatusOr<TemporalQueryRequest> decoded =
-        DecodeTemporalQueryRequest(job.payload);
+        DecodeTemporalQueryRequest(job.payload, job.version);
     if (decoded.ok() && decoded->cancel_generation > conn->max_generation) {
       conn->max_generation = decoded->cancel_generation;
     }
@@ -452,7 +458,7 @@ void QueryServer::ProcessBatch(int fd, Connection* conn,
 std::string QueryServer::HandleJob(Connection* conn, const FrameJob& job) {
   if (job.framing_error != WireError::kNone) {
     return ErrorFrame(job.framing_error,
-                      FramingErrorMessage(job.framing_error));
+                      FramingErrorMessage(job.framing_error), job.version);
   }
   const auto tag = static_cast<uint16_t>(job.type);
   if (tag < requests_total_by_type_.size() &&
@@ -465,107 +471,124 @@ std::string QueryServer::HandleJob(Connection* conn, const FrameJob& job) {
     draining = draining_;
   }
   switch (job.type) {
-    // Health and Metrics keep answering during a drain so probes can
-    // watch the shutdown progress.
+    // Health, Metrics and the slow-query dump keep answering during a
+    // drain so probes (and a post-incident scrape) can watch the
+    // shutdown progress.
     case MessageType::kHealthRequest:
-      return HandleHealth();
+      return HandleHealth(job.version);
     case MessageType::kMetricsRequest:
-      return HandleMetrics();
+      return HandleMetrics(job.version);
+    case MessageType::kDumpSlowQueriesRequest:
+      return HandleDumpSlowQueries(job.version);
     default:
       break;
   }
   if (draining) {
     return ErrorFrame(WireError::kShuttingDown,
-                      "server is draining; retry against another replica");
+                      "server is draining; retry against another replica",
+                      job.version);
   }
   switch (job.type) {
     case MessageType::kTemporalQueryRequest:
-      return HandleTemporalQuery(conn, job.payload);
+      return HandleTemporalQuery(conn, job.payload, job.version);
     case MessageType::kQbeRequest:
-      return HandleQbe(job.payload);
+      return HandleQbe(job.payload, job.version);
     case MessageType::kMarkPositiveRequest:
-      return HandleMarkPositive(job.payload);
+      return HandleMarkPositive(job.payload, job.version);
     case MessageType::kTrainRequest:
-      return HandleTrain();
+      return HandleTrain(job.version);
     default:
       return ErrorFrame(WireError::kUnknownMessageType,
-                        FramingErrorMessage(WireError::kUnknownMessageType));
+                        FramingErrorMessage(WireError::kUnknownMessageType),
+                        job.version);
   }
 }
 
 std::string QueryServer::HandleTemporalQuery(Connection* conn,
-                                             const std::string& payload) {
+                                             const std::string& payload,
+                                             uint16_t version) {
   StatusOr<TemporalQueryRequest> decoded =
-      DecodeTemporalQueryRequest(payload);
+      DecodeTemporalQueryRequest(payload, version);
   if (!decoded.ok()) {
     return ErrorFrame(WireError::kMalformedPayload,
-                      decoded.status().message());
+                      decoded.status().message(), version);
   }
   const TemporalQueryRequest& request = *decoded;
   if (request.cancel_generation != 0 &&
       request.cancel_generation < conn->max_generation) {
     return ErrorFrame(WireError::kSuperseded,
-                      "replaced by a newer request generation");
+                      "replaced by a newer request generation", version);
   }
   StatusOr<TemporalQueryResponse> response =
       service_->TemporalQuery(request, &shutdown_token_);
-  if (!response.ok()) return StatusErrorFrame(response.status());
+  if (!response.ok()) return StatusErrorFrame(response.status(), version);
   return EncodeFrame(MessageType::kTemporalQueryResponse,
-                     EncodeTemporalQueryResponse(*response));
+                     EncodeTemporalQueryResponse(*response, version), version);
 }
 
-std::string QueryServer::HandleQbe(const std::string& payload) {
-  StatusOr<QbeRequest> decoded = DecodeQbeRequest(payload);
+std::string QueryServer::HandleQbe(const std::string& payload,
+                                   uint16_t version) {
+  StatusOr<QbeRequest> decoded = DecodeQbeRequest(payload, version);
   if (!decoded.ok()) {
     return ErrorFrame(WireError::kMalformedPayload,
-                      decoded.status().message());
+                      decoded.status().message(), version);
   }
   StatusOr<QbeResponse> response = service_->QueryByExample(*decoded);
-  if (!response.ok()) return StatusErrorFrame(response.status());
-  return EncodeFrame(MessageType::kQbeResponse, EncodeQbeResponse(*response));
+  if (!response.ok()) return StatusErrorFrame(response.status(), version);
+  return EncodeFrame(MessageType::kQbeResponse,
+                     EncodeQbeResponse(*response, version), version);
 }
 
-std::string QueryServer::HandleMarkPositive(const std::string& payload) {
+std::string QueryServer::HandleMarkPositive(const std::string& payload,
+                                            uint16_t version) {
   StatusOr<MarkPositiveRequest> decoded = DecodeMarkPositiveRequest(payload);
   if (!decoded.ok()) {
     return ErrorFrame(WireError::kMalformedPayload,
-                      decoded.status().message());
+                      decoded.status().message(), version);
   }
   StatusOr<MarkPositiveResponse> response =
       service_->MarkPositive(*decoded);
-  if (!response.ok()) return StatusErrorFrame(response.status());
+  if (!response.ok()) return StatusErrorFrame(response.status(), version);
   return EncodeFrame(MessageType::kMarkPositiveResponse,
-                     EncodeMarkPositiveResponse(*response));
+                     EncodeMarkPositiveResponse(*response), version);
 }
 
-std::string QueryServer::HandleTrain() {
+std::string QueryServer::HandleTrain(uint16_t version) {
   StatusOr<TrainResponse> response = service_->Train();
-  if (!response.ok()) return StatusErrorFrame(response.status());
+  if (!response.ok()) return StatusErrorFrame(response.status(), version);
   return EncodeFrame(MessageType::kTrainResponse,
-                     EncodeTrainResponse(*response));
+                     EncodeTrainResponse(*response), version);
 }
 
-std::string QueryServer::HandleMetrics() {
+std::string QueryServer::HandleMetrics(uint16_t version) {
   StatusOr<MetricsResponse> response = service_->Metrics();
-  if (!response.ok()) return StatusErrorFrame(response.status());
+  if (!response.ok()) return StatusErrorFrame(response.status(), version);
   return EncodeFrame(MessageType::kMetricsResponse,
-                     EncodeMetricsResponse(*response));
+                     EncodeMetricsResponse(*response, version), version);
 }
 
-std::string QueryServer::HandleHealth() {
+std::string QueryServer::HandleHealth(uint16_t version) {
   StatusOr<HealthResponse> health = service_->Health();
-  if (!health.ok()) return StatusErrorFrame(health.status());
+  if (!health.ok()) return StatusErrorFrame(health.status(), version);
   HealthResponse response = std::move(health).value();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     response.draining = draining_;
   }
   return EncodeFrame(MessageType::kHealthResponse,
-                     EncodeHealthResponse(response));
+                     EncodeHealthResponse(response), version);
+}
+
+std::string QueryServer::HandleDumpSlowQueries(uint16_t version) {
+  StatusOr<DumpSlowQueriesResponse> response = service_->DumpSlowQueries();
+  if (!response.ok()) return StatusErrorFrame(response.status(), version);
+  return EncodeFrame(MessageType::kDumpSlowQueriesResponse,
+                     EncodeDumpSlowQueriesResponse(*response), version);
 }
 
 std::string QueryServer::ErrorFrame(WireError code,
-                                    const std::string& message) {
+                                    const std::string& message,
+                                    uint16_t version) {
   service_->metrics_registry()
       .GetCounter("hmmm_server_errors_total",
                   {{"code", WireErrorName(code)}},
@@ -576,11 +599,12 @@ std::string QueryServer::ErrorFrame(WireError code,
   response.retriable = WireErrorRetriable(code);
   response.message = message;
   return EncodeFrame(MessageType::kErrorResponse,
-                     EncodeErrorResponse(response));
+                     EncodeErrorResponse(response), version);
 }
 
-std::string QueryServer::StatusErrorFrame(const Status& status) {
-  return ErrorFrame(WireErrorFromStatus(status), status.message());
+std::string QueryServer::StatusErrorFrame(const Status& status,
+                                          uint16_t version) {
+  return ErrorFrame(WireErrorFromStatus(status), status.message(), version);
 }
 
 }  // namespace hmmm

@@ -43,6 +43,13 @@ struct QueryServerOptions {
   /// Graceful-shutdown budget: how long Shutdown() lets in-flight
   /// requests finish before cancelling them through the shutdown token.
   std::chrono::milliseconds drain_timeout{5000};
+  /// Highest wire protocol version this server speaks. Requests above it
+  /// are answered with a typed kUnsupportedVersion error; requests at or
+  /// below are answered in the request frame's own version, so old
+  /// clients get old-schema responses byte-for-byte. Lowering this below
+  /// kWireProtocolVersion emulates an old server (used by the
+  /// mixed-version tests).
+  uint16_t protocol_version = kWireProtocolVersion;
 };
 
 /// Multi-threaded TCP front end for a VideoDatabase, speaking the binary
@@ -112,6 +119,10 @@ class QueryServer {
     MessageType type = MessageType::kErrorResponse;
     std::string payload;
     WireError framing_error = WireError::kNone;
+    /// Protocol version of the request frame; responses (including typed
+    /// errors) are encoded and stamped at this version. Framing errors
+    /// where no version could be trusted answer at the floor version.
+    uint16_t version = kWireMinProtocolVersion;
   };
 
   /// Per-connection state. Ownership alternates: the IO thread touches
@@ -144,16 +155,19 @@ class QueryServer {
   void ProcessBatch(int fd, Connection* conn, std::vector<FrameJob> jobs);
   /// Executes one request job into a ready-to-send response frame.
   std::string HandleJob(Connection* conn, const FrameJob& job);
-  std::string HandleTemporalQuery(Connection* conn,
-                                  const std::string& payload);
-  std::string HandleQbe(const std::string& payload);
-  std::string HandleMarkPositive(const std::string& payload);
-  std::string HandleTrain();
-  std::string HandleMetrics();
-  std::string HandleHealth();
-  /// Builds a typed error frame and bumps hmmm_server_errors_total{code}.
-  std::string ErrorFrame(WireError code, const std::string& message);
-  std::string StatusErrorFrame(const Status& status);
+  std::string HandleTemporalQuery(Connection* conn, const std::string& payload,
+                                  uint16_t version);
+  std::string HandleQbe(const std::string& payload, uint16_t version);
+  std::string HandleMarkPositive(const std::string& payload, uint16_t version);
+  std::string HandleTrain(uint16_t version);
+  std::string HandleMetrics(uint16_t version);
+  std::string HandleHealth(uint16_t version);
+  std::string HandleDumpSlowQueries(uint16_t version);
+  /// Builds a typed error frame (stamped at `version`) and bumps
+  /// hmmm_server_errors_total{code}.
+  std::string ErrorFrame(WireError code, const std::string& message,
+                         uint16_t version);
+  std::string StatusErrorFrame(const Status& status, uint16_t version);
 
   /// Writes one byte into the self-wake pipe (interrupts poll()).
   void Wake();
@@ -194,7 +208,7 @@ class QueryServer {
   Counter* bytes_read_total_ = nullptr;
   Counter* bytes_written_total_ = nullptr;
   Histogram* request_latency_ms_ = nullptr;
-  /// hmmm_server_requests_total{type=...}, indexed by request tag (1-6);
+  /// hmmm_server_requests_total{type=...}, indexed by request tag (1-7);
   /// pre-resolved so the per-request path never takes the registry lock.
   std::array<Counter*, 8> requests_total_by_type_{};
 };

@@ -4,6 +4,8 @@
 #include "api/video_database.h"
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "observability/slow_query_log.h"
+#include "observability/trace_codec.h"
 #include "server/wire_protocol.h"
 
 namespace hmmm {
@@ -40,16 +42,39 @@ class QueryService {
   virtual StatusOr<MetricsResponse> Metrics() = 0;
   /// The server overrides HealthResponse::draining with its own state.
   virtual StatusOr<HealthResponse> Health() = 0;
+  /// Snapshot of the service's slow-query ring buffer (v2 wire request).
+  /// Default: empty log, so minimal test services need not implement it.
+  virtual StatusOr<DumpSlowQueriesResponse> DumpSlowQueries();
+};
+
+/// Tracing/observability knobs shared by the service implementations.
+struct QueryServiceOptions {
+  /// Head-sampling rate for queries that did not ask for a trace
+  /// themselves (want_trace always traces). 0.0 = never, 1.0 = always;
+  /// the sampler is deterministic (see TraceSampler).
+  double trace_sample_rate = 0.0;
+  /// A query at least this slow is captured in the slow-query log.
+  /// Degraded (budget-fired) queries are always captured.
+  double slow_query_threshold_ms = 250.0;
+  /// Ring-buffer capacity of the slow-query log.
+  size_t slow_query_capacity = 128;
 };
 
 /// QueryService over one local VideoDatabase — the single-process
 /// backend (previously inlined in QueryServer's handlers). Maps a
 /// request's budget_ms onto the query deadline; a fired budget or
 /// shutdown degrades to the anytime prefix ranking.
+///
+/// Tracing: a sampled request (want_trace, or the head sampler firing)
+/// runs under a "server_query" root span tagged with the trace id; the
+/// traversal's Fig.-2 phase spans are adopted as its children. Only
+/// requests that asked (want_trace) get the trace bytes back on the
+/// wire — sampler-only traces feed the slow-query log's trace ids.
 class VideoDatabaseService : public QueryService {
  public:
   /// `db` must outlive the service.
-  explicit VideoDatabaseService(VideoDatabase* db);
+  explicit VideoDatabaseService(VideoDatabase* db,
+                                QueryServiceOptions options = {});
 
   MetricsRegistry& metrics_registry() override;
   StatusOr<TemporalQueryResponse> TemporalQuery(
@@ -61,9 +86,15 @@ class VideoDatabaseService : public QueryService {
   StatusOr<TrainResponse> Train() override;
   StatusOr<MetricsResponse> Metrics() override;
   StatusOr<HealthResponse> Health() override;
+  StatusOr<DumpSlowQueriesResponse> DumpSlowQueries() override;
+
+  SlowQueryLog& slow_query_log() { return slow_log_; }
 
  private:
   VideoDatabase* db_;
+  QueryServiceOptions options_;
+  TraceSampler sampler_;
+  SlowQueryLog slow_log_;
 };
 
 }  // namespace hmmm

@@ -44,6 +44,9 @@ struct ServerdFlags {
   int max_concurrent = 0;
   int max_queued = 0;
   int cache_entries = 64;
+  double trace_sample_rate = 0.0;
+  double slow_query_threshold_ms = 250.0;
+  int slow_query_capacity = 128;
 };
 
 void PrintUsage(const char* argv0) {
@@ -51,7 +54,9 @@ void PrintUsage(const char* argv0) {
       stderr,
       "usage: %s (--catalog PATH --model PATH | --synthetic [--videos N])\n"
       "          [--host ADDR] [--port N] [--workers N] [--query-threads N]\n"
-      "          [--max-concurrent N] [--max-queued N] [--cache-entries N]\n",
+      "          [--max-concurrent N] [--max-queued N] [--cache-entries N]\n"
+      "          [--trace-sample-rate F] [--slow-query-threshold-ms F]\n"
+      "          [--slow-query-capacity N]\n",
       argv0);
 }
 
@@ -103,6 +108,18 @@ bool ParseFlags(int argc, char** argv, ServerdFlags* flags) {
       const char* value = next();
       if (value == nullptr) return false;
       flags->cache_entries = std::atoi(value);
+    } else if (arg == "--trace-sample-rate") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->trace_sample_rate = std::atof(value);
+    } else if (arg == "--slow-query-threshold-ms") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->slow_query_threshold_ms = std::atof(value);
+    } else if (arg == "--slow-query-capacity") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->slow_query_capacity = std::atoi(value);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -148,11 +165,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  hmmm::QueryServiceOptions service_options;
+  service_options.trace_sample_rate = flags.trace_sample_rate;
+  service_options.slow_query_threshold_ms = flags.slow_query_threshold_ms;
+  if (flags.slow_query_capacity > 0) {
+    service_options.slow_query_capacity =
+        static_cast<size_t>(flags.slow_query_capacity);
+  }
+  hmmm::VideoDatabaseService service(&db.value(), service_options);
+
   hmmm::QueryServerOptions server_options;
   server_options.host = flags.host;
   server_options.port = static_cast<uint16_t>(flags.port);
   server_options.num_workers = flags.workers;
-  hmmm::QueryServer server(&db.value(), server_options);
+  hmmm::QueryServer server(&service, server_options);
   const hmmm::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "failed to start server: %s\n",

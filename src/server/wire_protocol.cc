@@ -83,6 +83,7 @@ bool IsRequestType(MessageType type) {
     case MessageType::kMarkPositiveRequest:
     case MessageType::kTrainRequest:
     case MessageType::kMetricsRequest:
+    case MessageType::kDumpSlowQueriesRequest:
       return true;
     default:
       return false;
@@ -109,6 +110,9 @@ const char* MessageTypeLabel(MessageType type) {
     case MessageType::kMetricsRequest:
     case MessageType::kMetricsResponse:
       return "metrics";
+    case MessageType::kDumpSlowQueriesRequest:
+    case MessageType::kDumpSlowQueriesResponse:
+      return "dump_slow_queries";
     case MessageType::kErrorResponse:
       return "error";
   }
@@ -237,11 +241,12 @@ const char* WireErrorName(WireError code) {
   return "unknown";
 }
 
-std::string EncodeFrame(MessageType type, std::string_view payload) {
+std::string EncodeFrame(MessageType type, std::string_view payload,
+                        uint16_t version) {
   BinaryWriter writer;
   writer.WriteUint32(kWireMagic);
-  writer.WriteUint8(static_cast<uint8_t>(kWireProtocolVersion & 0xFF));
-  writer.WriteUint8(static_cast<uint8_t>(kWireProtocolVersion >> 8));
+  writer.WriteUint8(static_cast<uint8_t>(version & 0xFF));
+  writer.WriteUint8(static_cast<uint8_t>(version >> 8));
   const uint16_t tag = static_cast<uint16_t>(type);
   writer.WriteUint8(static_cast<uint8_t>(tag & 0xFF));
   writer.WriteUint8(static_cast<uint8_t>(tag >> 8));
@@ -253,7 +258,7 @@ std::string EncodeFrame(MessageType type, std::string_view payload) {
 }
 
 WireError DecodeFrameHeader(std::string_view bytes, uint32_t max_frame_bytes,
-                            FrameHeader* out) {
+                            FrameHeader* out, uint16_t max_version) {
   if (bytes.size() < kFrameHeaderBytes) return WireError::kMalformedPayload;
   BinaryReader reader(bytes.substr(0, kFrameHeaderBytes));
   const uint32_t magic = *reader.ReadUint32();
@@ -271,7 +276,9 @@ WireError DecodeFrameHeader(std::string_view bytes, uint32_t max_frame_bytes,
   out->type = static_cast<MessageType>(tag);
   out->payload_bytes = payload_bytes;
   out->crc32c = crc;
-  if (version != kWireProtocolVersion) return WireError::kUnsupportedVersion;
+  if (version < kWireMinProtocolVersion || version > max_version) {
+    return WireError::kUnsupportedVersion;
+  }
   return WireError::kNone;
 }
 
@@ -286,18 +293,24 @@ WireError VerifyFramePayload(const FrameHeader& header,
   return WireError::kNone;
 }
 
-std::string EncodeTemporalQueryRequest(const TemporalQueryRequest& request) {
+std::string EncodeTemporalQueryRequest(const TemporalQueryRequest& request,
+                                       uint16_t version) {
   BinaryWriter writer;
   writer.WriteString(request.text);
   writer.WriteInt64(request.budget_ms);
   writer.WriteUint64(request.cancel_generation);
   writer.WriteUint8(request.want_stats ? 1 : 0);
   writer.WriteUint8(request.want_trace ? 1 : 0);
+  if (version >= 2) {
+    writer.WriteUint64(request.trace_id_hi);
+    writer.WriteUint64(request.trace_id_lo);
+    writer.WriteUint64(request.parent_span_id);
+  }
   return std::move(writer).TakeBuffer();
 }
 
 StatusOr<TemporalQueryRequest> DecodeTemporalQueryRequest(
-    std::string_view payload) {
+    std::string_view payload, uint16_t version) {
   BinaryReader reader(payload);
   TemporalQueryRequest request;
   HMMM_ASSIGN_OR_RETURN(request.text, reader.ReadString());
@@ -307,21 +320,40 @@ StatusOr<TemporalQueryRequest> DecodeTemporalQueryRequest(
   request.want_stats = want_stats != 0;
   HMMM_ASSIGN_OR_RETURN(const uint8_t want_trace, reader.ReadUint8());
   request.want_trace = want_trace != 0;
+  if (version >= 2) {
+    HMMM_ASSIGN_OR_RETURN(request.trace_id_hi, reader.ReadUint64());
+    HMMM_ASSIGN_OR_RETURN(request.trace_id_lo, reader.ReadUint64());
+    HMMM_ASSIGN_OR_RETURN(request.parent_span_id, reader.ReadUint64());
+  }
   return request;
 }
 
-std::string EncodeQbeRequest(const QbeRequest& request) {
+std::string EncodeQbeRequest(const QbeRequest& request, uint16_t version) {
   BinaryWriter writer;
   writer.WriteDoubleVector(request.features);
   writer.WriteInt32(request.max_results);
+  if (version >= 2) {
+    writer.WriteUint8(request.want_trace ? 1 : 0);
+    writer.WriteUint64(request.trace_id_hi);
+    writer.WriteUint64(request.trace_id_lo);
+    writer.WriteUint64(request.parent_span_id);
+  }
   return std::move(writer).TakeBuffer();
 }
 
-StatusOr<QbeRequest> DecodeQbeRequest(std::string_view payload) {
+StatusOr<QbeRequest> DecodeQbeRequest(std::string_view payload,
+                                      uint16_t version) {
   BinaryReader reader(payload);
   QbeRequest request;
   HMMM_ASSIGN_OR_RETURN(request.features, reader.ReadDoubleVector());
   HMMM_ASSIGN_OR_RETURN(request.max_results, reader.ReadInt32());
+  if (version >= 2) {
+    HMMM_ASSIGN_OR_RETURN(const uint8_t want_trace, reader.ReadUint8());
+    request.want_trace = want_trace != 0;
+    HMMM_ASSIGN_OR_RETURN(request.trace_id_hi, reader.ReadUint64());
+    HMMM_ASSIGN_OR_RETURN(request.trace_id_lo, reader.ReadUint64());
+    HMMM_ASSIGN_OR_RETURN(request.parent_span_id, reader.ReadUint64());
+  }
   return request;
 }
 
@@ -339,8 +371,8 @@ StatusOr<MarkPositiveRequest> DecodeMarkPositiveRequest(
   return request;
 }
 
-std::string EncodeTemporalQueryResponse(
-    const TemporalQueryResponse& response) {
+std::string EncodeTemporalQueryResponse(const TemporalQueryResponse& response,
+                                        uint16_t version) {
   BinaryWriter writer;
   writer.WriteVarint(response.results.size());
   for (const RetrievedPattern& pattern : response.results) {
@@ -351,11 +383,12 @@ std::string EncodeTemporalQueryResponse(
   writer.WriteUint8(response.has_stats ? 1 : 0);
   if (response.has_stats) EncodeStats(writer, response.stats);
   writer.WriteString(response.trace_jsonl);
+  if (version >= 2) writer.WriteString(response.trace_blob);
   return std::move(writer).TakeBuffer();
 }
 
 StatusOr<TemporalQueryResponse> DecodeTemporalQueryResponse(
-    std::string_view payload) {
+    std::string_view payload, uint16_t version) {
   BinaryReader reader(payload);
   TemporalQueryResponse response;
   HMMM_ASSIGN_OR_RETURN(const uint64_t count, reader.ReadVarint());
@@ -375,20 +408,26 @@ StatusOr<TemporalQueryResponse> DecodeTemporalQueryResponse(
     HMMM_ASSIGN_OR_RETURN(response.stats, DecodeStats(reader));
   }
   HMMM_ASSIGN_OR_RETURN(response.trace_jsonl, reader.ReadString());
+  if (version >= 2) {
+    HMMM_ASSIGN_OR_RETURN(response.trace_blob, reader.ReadString());
+  }
   return response;
 }
 
-std::string EncodeQbeResponse(const QbeResponse& response) {
+std::string EncodeQbeResponse(const QbeResponse& response,
+                              uint16_t version) {
   BinaryWriter writer;
   writer.WriteVarint(response.results.size());
   for (const QbeResult& result : response.results) {
     writer.WriteInt32(result.shot);
     writer.WriteDouble(result.similarity);
   }
+  if (version >= 2) writer.WriteString(response.trace_blob);
   return std::move(writer).TakeBuffer();
 }
 
-StatusOr<QbeResponse> DecodeQbeResponse(std::string_view payload) {
+StatusOr<QbeResponse> DecodeQbeResponse(std::string_view payload,
+                                        uint16_t version) {
   BinaryReader reader(payload);
   QbeResponse response;
   HMMM_ASSIGN_OR_RETURN(const uint64_t count, reader.ReadVarint());
@@ -399,6 +438,9 @@ StatusOr<QbeResponse> DecodeQbeResponse(std::string_view payload) {
     HMMM_ASSIGN_OR_RETURN(result.shot, reader.ReadInt32());
     HMMM_ASSIGN_OR_RETURN(result.similarity, reader.ReadDouble());
     response.results.push_back(result);
+  }
+  if (version >= 2) {
+    HMMM_ASSIGN_OR_RETURN(response.trace_blob, reader.ReadString());
   }
   return response;
 }
@@ -433,16 +475,37 @@ StatusOr<TrainResponse> DecodeTrainResponse(std::string_view payload) {
   return response;
 }
 
-std::string EncodeMetricsResponse(const MetricsResponse& response) {
+std::string EncodeMetricsResponse(const MetricsResponse& response,
+                                  uint16_t version) {
   BinaryWriter writer;
   writer.WriteString(response.prometheus_text);
+  if (version >= 2) writer.WriteString(response.json_snapshot);
   return std::move(writer).TakeBuffer();
 }
 
-StatusOr<MetricsResponse> DecodeMetricsResponse(std::string_view payload) {
+StatusOr<MetricsResponse> DecodeMetricsResponse(std::string_view payload,
+                                                uint16_t version) {
   BinaryReader reader(payload);
   MetricsResponse response;
   HMMM_ASSIGN_OR_RETURN(response.prometheus_text, reader.ReadString());
+  if (version >= 2) {
+    HMMM_ASSIGN_OR_RETURN(response.json_snapshot, reader.ReadString());
+  }
+  return response;
+}
+
+std::string EncodeDumpSlowQueriesResponse(
+    const DumpSlowQueriesResponse& response) {
+  BinaryWriter writer;
+  writer.WriteString(response.jsonl);
+  return std::move(writer).TakeBuffer();
+}
+
+StatusOr<DumpSlowQueriesResponse> DecodeDumpSlowQueriesResponse(
+    std::string_view payload) {
+  BinaryReader reader(payload);
+  DumpSlowQueriesResponse response;
+  HMMM_ASSIGN_OR_RETURN(response.jsonl, reader.ReadString());
   return response;
 }
 

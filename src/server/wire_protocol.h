@@ -18,7 +18,7 @@ namespace hmmm {
 //
 //   offset  size  field
 //   0       4     magic 0x484D4D51 ("QMMH" in memory, little-endian)
-//   4       2     protocol version (currently 1)
+//   4       2     protocol version (1 or 2)
 //   6       2     message type (MessageType)
 //   8       4     payload size in bytes
 //   12      4     CRC-32C of the payload
@@ -29,9 +29,25 @@ namespace hmmm {
 // does not speak with a typed kUnsupportedVersion error. Payload schemas
 // may only change with a version bump; within one version fields are
 // append-only.
+//
+// Version history:
+//   v1  initial protocol (PR 5).
+//   v2  distributed tracing: TemporalQuery/Qbe requests append a trace
+//       context (128-bit trace id, parent span id; the existing
+//       want_trace bit doubles as the sampling flag), their responses
+//       append a serialized sub-trace blob, MetricsResponse appends a
+//       machine-readable registry snapshot, and the DumpSlowQueries
+//       message pair is added. A v2 speaker answers each request in the
+//       request frame's version, so v1 clients get byte-identical v1
+//       service; a client that receives kUnsupportedVersion for its v2
+//       frame downgrades the connection to v1 and retries.
 
 inline constexpr uint32_t kWireMagic = 0x484D4D51u;
-inline constexpr uint16_t kWireProtocolVersion = 1;
+inline constexpr uint16_t kWireProtocolVersion = 2;
+/// Oldest version this build still speaks. Frames inside
+/// [kWireMinProtocolVersion, kWireProtocolVersion] are served; anything
+/// else gets a typed kUnsupportedVersion answer.
+inline constexpr uint16_t kWireMinProtocolVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 16;
 /// Default per-connection frame cap (requests and responses). A header
 /// announcing more than the cap is treated as corruption.
@@ -46,16 +62,18 @@ enum class MessageType : uint16_t {
   kMarkPositiveRequest = 4,
   kTrainRequest = 5,
   kMetricsRequest = 6,
+  kDumpSlowQueriesRequest = 7,  // v2+
   kHealthResponse = 129,
   kTemporalQueryResponse = 130,
   kQbeResponse = 131,
   kMarkPositiveResponse = 132,
   kTrainResponse = 133,
   kMetricsResponse = 134,
+  kDumpSlowQueriesResponse = 135,  // v2+
   kErrorResponse = 255,
 };
 
-/// True for the six request tags.
+/// True for the request tags.
 bool IsRequestType(MessageType type);
 /// Stable lowercase label for metrics/logging ("temporal_query", ...).
 const char* MessageTypeLabel(MessageType type);
@@ -104,14 +122,20 @@ struct FrameHeader {
   uint32_t crc32c = 0;
 };
 
-/// One ready-to-send frame: header + payload.
-std::string EncodeFrame(MessageType type, std::string_view payload);
+/// One ready-to-send frame: header + payload. `version` is the protocol
+/// version stamped into the header — encode the payload with the same
+/// version.
+std::string EncodeFrame(MessageType type, std::string_view payload,
+                        uint16_t version = kWireProtocolVersion);
 
 /// Validates the fixed 16-byte prefix (magic, version, length bound).
 /// Returns kNone and fills `out` on success. `bytes` must hold at least
-/// kFrameHeaderBytes.
+/// kFrameHeaderBytes. Versions in [kWireMinProtocolVersion, max_version]
+/// pass; others return kUnsupportedVersion after filling `out`, so the
+/// caller can still skip the well-framed payload and answer typed.
 WireError DecodeFrameHeader(std::string_view bytes, uint32_t max_frame_bytes,
-                            FrameHeader* out);
+                            FrameHeader* out,
+                            uint16_t max_version = kWireProtocolVersion);
 
 /// CRC check of a received payload against its header.
 WireError VerifyFramePayload(const FrameHeader& header,
@@ -131,12 +155,24 @@ struct TemporalQueryRequest {
   /// the client replaced it.
   uint64_t cancel_generation = 0;
   bool want_stats = false;
+  /// Ask the server to record and return a QueryTrace. Doubles as the
+  /// trace-context sampling flag in v2: a sampled hop propagates it
+  /// downstream together with the trace id.
   bool want_trace = false;
+  /// v2 trace context (ignored by v1 peers; see trace_codec.h). Zero
+  /// trace id = unset; a traced server mints one.
+  uint64_t trace_id_hi = 0;   // v2+
+  uint64_t trace_id_lo = 0;   // v2+
+  uint64_t parent_span_id = 0;  // v2+
 };
 
 struct QbeRequest {
   std::vector<double> features;
   int32_t max_results = 20;
+  bool want_trace = false;      // v2+
+  uint64_t trace_id_hi = 0;     // v2+
+  uint64_t trace_id_lo = 0;     // v2+
+  uint64_t parent_span_id = 0;  // v2+
 };
 
 struct MarkPositiveRequest {
@@ -156,10 +192,14 @@ struct TemporalQueryResponse {
   /// QueryTrace::RenderJsonl of the serving traversal; empty when the
   /// request did not ask for a trace.
   std::string trace_jsonl;
+  /// v2: SerializeSpans() of the same trace — the machine-readable
+  /// sub-trace a coordinator grafts into its cross-process tree.
+  std::string trace_blob;  // v2+
 };
 
 struct QbeResponse {
   std::vector<QbeResult> results;
+  std::string trace_blob;  // v2+
 };
 
 struct MarkPositiveResponse {
@@ -173,6 +213,15 @@ struct TrainResponse {
 
 struct MetricsResponse {
   std::string prometheus_text;
+  /// v2: MetricsRegistry::SnapshotJson() of the same registry, so a
+  /// coordinator can merge shard metrics instead of scraping text.
+  std::string json_snapshot;  // v2+
+};
+
+/// DumpSlowQueries (v2+): request payload is empty; the response carries
+/// the server's SlowQueryLog::DumpJsonl(), oldest entry first.
+struct DumpSlowQueriesResponse {
+  std::string jsonl;
 };
 
 struct HealthResponse {
@@ -194,24 +243,35 @@ struct ErrorResponse {
 // Encode* returns the payload bytes (frame them with EncodeFrame);
 // Decode* returns kDataLoss/kInvalidArgument on truncated or
 // out-of-range input — the server answers those with kMalformedPayload.
+// Codecs whose schema changed in v2 take the frame's protocol version:
+// encoding at v1 stops before the v2 fields, decoding at v1 leaves them
+// defaulted.
 
-std::string EncodeTemporalQueryRequest(const TemporalQueryRequest& request);
+std::string EncodeTemporalQueryRequest(
+    const TemporalQueryRequest& request,
+    uint16_t version = kWireProtocolVersion);
 StatusOr<TemporalQueryRequest> DecodeTemporalQueryRequest(
-    std::string_view payload);
+    std::string_view payload, uint16_t version = kWireProtocolVersion);
 
-std::string EncodeQbeRequest(const QbeRequest& request);
-StatusOr<QbeRequest> DecodeQbeRequest(std::string_view payload);
+std::string EncodeQbeRequest(const QbeRequest& request,
+                             uint16_t version = kWireProtocolVersion);
+StatusOr<QbeRequest> DecodeQbeRequest(
+    std::string_view payload, uint16_t version = kWireProtocolVersion);
 
 std::string EncodeMarkPositiveRequest(const MarkPositiveRequest& request);
 StatusOr<MarkPositiveRequest> DecodeMarkPositiveRequest(
     std::string_view payload);
 
-std::string EncodeTemporalQueryResponse(const TemporalQueryResponse& response);
+std::string EncodeTemporalQueryResponse(
+    const TemporalQueryResponse& response,
+    uint16_t version = kWireProtocolVersion);
 StatusOr<TemporalQueryResponse> DecodeTemporalQueryResponse(
-    std::string_view payload);
+    std::string_view payload, uint16_t version = kWireProtocolVersion);
 
-std::string EncodeQbeResponse(const QbeResponse& response);
-StatusOr<QbeResponse> DecodeQbeResponse(std::string_view payload);
+std::string EncodeQbeResponse(const QbeResponse& response,
+                              uint16_t version = kWireProtocolVersion);
+StatusOr<QbeResponse> DecodeQbeResponse(
+    std::string_view payload, uint16_t version = kWireProtocolVersion);
 
 std::string EncodeMarkPositiveResponse(const MarkPositiveResponse& response);
 StatusOr<MarkPositiveResponse> DecodeMarkPositiveResponse(
@@ -220,8 +280,15 @@ StatusOr<MarkPositiveResponse> DecodeMarkPositiveResponse(
 std::string EncodeTrainResponse(const TrainResponse& response);
 StatusOr<TrainResponse> DecodeTrainResponse(std::string_view payload);
 
-std::string EncodeMetricsResponse(const MetricsResponse& response);
-StatusOr<MetricsResponse> DecodeMetricsResponse(std::string_view payload);
+std::string EncodeMetricsResponse(const MetricsResponse& response,
+                                  uint16_t version = kWireProtocolVersion);
+StatusOr<MetricsResponse> DecodeMetricsResponse(
+    std::string_view payload, uint16_t version = kWireProtocolVersion);
+
+std::string EncodeDumpSlowQueriesResponse(
+    const DumpSlowQueriesResponse& response);
+StatusOr<DumpSlowQueriesResponse> DecodeDumpSlowQueriesResponse(
+    std::string_view payload);
 
 std::string EncodeHealthResponse(const HealthResponse& response);
 StatusOr<HealthResponse> DecodeHealthResponse(std::string_view payload);

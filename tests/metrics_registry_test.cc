@@ -229,5 +229,99 @@ TEST(MetricsRegistryTest, HostileLabelValueCannotInjectASeries) {
             std::string::npos);
 }
 
+// -- Snapshot round-trip and fleet aggregation ----------------------------
+
+MetricsRegistry* PopulatedRegistry(MetricsRegistry* registry) {
+  registry->GetCounter("requests_total", "reqs")->Increment(3);
+  registry->GetGauge("depth", "queue depth")->Set(2.5);
+  Histogram* lat = registry->GetHistogram("lat", {1.0, 10.0}, "latency");
+  lat->Observe(0.5);
+  lat->Observe(5.0);
+  registry->GetCounter("req_total", MetricLabels{{"verb", "get"}}, "")
+      ->Increment(2);
+  return registry;
+}
+
+TEST(MetricsSnapshotTest, SnapshotJsonRoundTripsExactly) {
+  MetricsRegistry source;
+  PopulatedRegistry(&source);
+  MetricsRegistry loaded;
+  const Status status = loaded.LoadSnapshotJson(source.SnapshotJson());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(loaded.RenderPrometheus(), source.RenderPrometheus());
+  EXPECT_EQ(loaded.SnapshotJson(), source.SnapshotJson());
+}
+
+TEST(MetricsSnapshotTest, LoadWithExtraLabelsTagsEverySeries) {
+  // The coordinator merges shard snapshots with a `shard` label so one
+  // exposition distinguishes every process's series.
+  MetricsRegistry source;
+  PopulatedRegistry(&source);
+  MetricsRegistry fleet;
+  ASSERT_TRUE(
+      fleet.LoadSnapshotJson(source.SnapshotJson(), {{"shard", "2"}}).ok());
+  const std::string text = fleet.RenderPrometheus();
+  EXPECT_NE(text.find("requests_total{shard=\"2\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("depth{shard=\"2\"} 2.5"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{shard=\"2\",le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  // Pre-existing labels survive alongside the added one.
+  EXPECT_NE(text.find("verb=\"get\""), std::string::npos);
+  // No unlabeled series leaked through.
+  EXPECT_EQ(text.find("requests_total 3"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, RepeatedLoadsAddCountersAndOverwriteGauges) {
+  MetricsRegistry source;
+  PopulatedRegistry(&source);
+  const std::string snapshot = source.SnapshotJson();
+  MetricsRegistry dest;
+  ASSERT_TRUE(dest.LoadSnapshotJson(snapshot).ok());
+  ASSERT_TRUE(dest.LoadSnapshotJson(snapshot).ok());
+  EXPECT_EQ(dest.GetCounter("requests_total")->value(), 6u);
+  EXPECT_DOUBLE_EQ(dest.GetGauge("depth")->value(), 2.5);
+  EXPECT_EQ(dest.GetHistogram("lat", {1.0, 10.0})->count(), 4u);
+}
+
+TEST(MetricsSnapshotTest, MalformedSnapshotIsRejected) {
+  MetricsRegistry registry;
+  for (const char* bad :
+       {"", "not json", "{\"v\":99,\"metrics\":[]}", "{\"v\":1}",
+        "{\"v\":1,\"metrics\":[{\"kind\":\"counter\"}]}"}) {
+    const Status status = registry.LoadSnapshotJson(bad);
+    EXPECT_FALSE(status.ok()) << "accepted: " << bad;
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss) << bad;
+  }
+  // These all fail before the first metric applies, so nothing sticks.
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+}
+
+TEST(MetricsSnapshotTest, ConstLabelsApplyToTheWholeExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", "reqs")->Increment(3);
+  registry.GetCounter("req_total", MetricLabels{{"verb", "get"}}, "")
+      ->Increment();
+  const std::string text =
+      registry.RenderPrometheus(MetricLabels{{"shard", "0"}});
+  EXPECT_NE(text.find("requests_total{shard=\"0\"} 3"), std::string::npos);
+  // Const labels append after a series' own labels.
+  EXPECT_NE(text.find("req_total{verb=\"get\",shard=\"0\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsSnapshotTest, ResetZeroesEveryMetricButKeepsRegistrations) {
+  MetricsRegistry registry;
+  PopulatedRegistry(&registry);
+  Counter* counter = registry.GetCounter("requests_total");
+  registry.Reset();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(registry.GetCounter("requests_total"), counter);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("depth")->value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("lat", {1.0, 10.0})->count(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetHistogram("lat", {1.0, 10.0})->sum(), 0.0);
+}
+
 }  // namespace
 }  // namespace hmmm

@@ -48,6 +48,95 @@ TEST(QueryTraceTest, RecordsSpanTreeWithCounters) {
   EXPECT_EQ(lines, 3u);
 }
 
+TEST(QueryTraceTest, RepeatedCounterNamesAccumulate) {
+  // Documented contract: counter names are unique within a span and
+  // values are additive, so shard-merge paths can tally into one entry.
+  QueryTrace trace;
+  const int id = trace.BeginSpan("merge");
+  trace.AddCounter(id, "videos_skipped", 3);
+  trace.AddCounter(id, "videos_skipped", 4);
+  trace.AddCounter(id, "other", 1);
+  trace.EndSpan(id);
+  const std::vector<TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].counters.size(), 2u);
+  EXPECT_EQ(spans[0].counters[0].first, "videos_skipped");
+  EXPECT_EQ(spans[0].counters[0].second, 7u);
+  EXPECT_NE(trace.RenderJsonl().find("\"videos_skipped\":7"),
+            std::string::npos);
+}
+
+TEST(QueryTraceTest, RepeatedAttributeNamesOverwrite) {
+  QueryTrace trace;
+  const int id = trace.BeginSpan("tagged");
+  trace.AddAttribute(id, "shard", "0");
+  trace.AddAttribute(id, "shard", "2");
+  trace.AddAttribute(id, "endpoint", "127.0.0.1:9001");
+  trace.EndSpan(id);
+  const std::vector<TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attributes.size(), 2u);
+  EXPECT_EQ(spans[0].attributes[0].first, "shard");
+  EXPECT_EQ(spans[0].attributes[0].second, "2");
+  EXPECT_NE(trace.RenderJsonl().find("\"shard\":\"2\""), std::string::npos);
+}
+
+TEST(QueryTraceTest, ReparentRootsAdoptsOrphanPhases) {
+  // The serving layer opens its per-request span, runs the traversal
+  // (whose phase spans open as roots), then adopts them.
+  QueryTrace trace;
+  const int server = trace.BeginSpan("server_query");
+  const int phase1 = trace.BeginSpan("step2_video_order");
+  trace.EndSpan(phase1);
+  const int phase2 = trace.BeginSpan("step8_9_merge_rank");
+  trace.EndSpan(phase2);
+  trace.ReparentRoots(server);
+  trace.EndSpan(server);
+  for (const TraceSpan& span : trace.Spans()) {
+    if (span.id == server) {
+      EXPECT_EQ(span.parent, -1);
+    } else {
+      EXPECT_EQ(span.parent, server);
+    }
+  }
+  const std::string tree = trace.RenderTree();
+  EXPECT_LT(tree.find("server_query"), tree.find("  step2_video_order"));
+}
+
+TEST(QueryTraceTest, FreeRenderersTreatUnknownParentsAsRoots) {
+  std::vector<TraceSpan> spans;
+  TraceSpan orphan;
+  orphan.name = "adrift";
+  orphan.id = 42;
+  orphan.parent = 999;  // no such span in the forest
+  orphan.finished = true;
+  spans.push_back(orphan);
+  TraceSpan child;
+  child.name = "leaf";
+  child.id = 43;
+  child.parent = 42;
+  child.finished = true;
+  spans.push_back(child);
+  const std::string tree = RenderSpanTree(spans);
+  EXPECT_EQ(tree.rfind("adrift", 0), 0u);  // rendered at depth 0
+  EXPECT_NE(tree.find("  leaf"), std::string::npos);
+  const std::string jsonl = RenderSpansJsonl(spans);
+  EXPECT_NE(jsonl.find("\"name\":\"adrift\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"depth\":1"), std::string::npos);
+}
+
+TEST(QueryTraceTest, StartOffsetsAreRelativeToTheFirstSpan) {
+  QueryTrace trace;
+  const int first = trace.BeginSpan("first");
+  const int second = trace.BeginSpan("second");
+  trace.EndSpan(second);
+  trace.EndSpan(first);
+  const std::vector<TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_DOUBLE_EQ(spans[0].start_offset_ms, 0.0);
+  EXPECT_GE(spans[1].start_offset_ms, 0.0);
+}
+
 TEST(QueryTraceTest, NullTraceScopedSpanIsANoOp) {
   ScopedSpan span(nullptr, "nothing");
   span.Counter("x", 1);

@@ -1,0 +1,304 @@
+#include "observability/trace_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "observability/query_trace.h"
+#include "observability/sliding_window.h"
+#include "observability/slow_query_log.h"
+
+namespace hmmm {
+namespace {
+
+TraceSpan MakeSpan(const char* name, int id, int parent, double start_ms,
+                   double elapsed_ms) {
+  TraceSpan span;
+  span.name = name;
+  span.id = id;
+  span.parent = parent;
+  span.sort_key = id;
+  span.start_offset_ms = start_ms;
+  span.elapsed_ms = elapsed_ms;
+  span.finished = true;
+  return span;
+}
+
+// -- TraceContext ---------------------------------------------------------
+
+TEST(TraceContextTest, MintedIdsAreNonZeroAndDistinct) {
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (int i = 0; i < 100; ++i) {
+    const TraceContext context = MintTraceContext();
+    EXPECT_TRUE(context.has_trace_id());
+    seen.insert({context.trace_id_hi, context.trace_id_lo});
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_FALSE(TraceContext{}.has_trace_id());
+}
+
+TEST(TraceContextTest, HexRenderingIs32Digits) {
+  EXPECT_EQ(TraceIdHex(0, 1), "00000000000000000000000000000001");
+  EXPECT_EQ(TraceIdHex(0x0123456789abcdefull, 0xfedcba9876543210ull),
+            "0123456789abcdeffedcba9876543210");
+}
+
+// -- Span blob codec ------------------------------------------------------
+
+TEST(SpanCodecTest, RoundTripsEveryField) {
+  std::vector<TraceSpan> spans;
+  spans.push_back(MakeSpan("server_query", 0, -1, 0.0, 12.5));
+  spans.push_back(MakeSpan("step7_video_fanout", 1, 0, 0.25, 10.0));
+  spans[1].sort_key = 42;
+  spans[1].counters = {{"videos", 8}, {"candidates", 31}};
+  spans[1].attributes = {{"shard", "2"}, {"endpoint", "127.0.0.1:9001"}};
+  spans.push_back(MakeSpan("unfinished", 2, 0, 1.0, 0.0));
+  spans[2].finished = false;
+
+  const std::string blob = SerializeSpans(spans);
+  const auto decoded = DeserializeSpans(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].name, spans[i].name);
+    EXPECT_EQ((*decoded)[i].id, spans[i].id);
+    EXPECT_EQ((*decoded)[i].parent, spans[i].parent);
+    EXPECT_EQ((*decoded)[i].sort_key, spans[i].sort_key);
+    EXPECT_DOUBLE_EQ((*decoded)[i].start_offset_ms,
+                     spans[i].start_offset_ms);
+    EXPECT_DOUBLE_EQ((*decoded)[i].elapsed_ms, spans[i].elapsed_ms);
+    EXPECT_EQ((*decoded)[i].finished, spans[i].finished);
+    EXPECT_EQ((*decoded)[i].counters, spans[i].counters);
+    EXPECT_EQ((*decoded)[i].attributes, spans[i].attributes);
+  }
+}
+
+TEST(SpanCodecTest, EmptyForestRoundTrips) {
+  const auto decoded = DeserializeSpans(SerializeSpans({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(SpanCodecTest, EveryTruncationIsRejected) {
+  std::vector<TraceSpan> spans;
+  spans.push_back(MakeSpan("a", 0, -1, 0.0, 1.0));
+  spans[0].counters = {{"n", 1}};
+  spans[0].attributes = {{"k", "v"}};
+  const std::string blob = SerializeSpans(spans);
+  for (size_t n = 0; n < blob.size(); ++n) {
+    const auto decoded = DeserializeSpans(blob.substr(0, n));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << n;
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(SpanCodecTest, HostileCountsCannotForceHugeAllocations) {
+  // A blob whose leading count claims billions of spans must fail fast
+  // with kDataLoss instead of attempting the allocation. Layout: version
+  // byte, then a varint span count — craft one of ~2^34.
+  const std::string hostile("\x01\xff\xff\xff\xff\x7f", 6);
+  const auto decoded = DeserializeSpans(hostile);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(decoded.status().ToString().find("count"), std::string::npos);
+
+  // Unknown blob version is rejected up front.
+  std::string wrong_version = SerializeSpans({MakeSpan("a", 0, -1, 0, 1)});
+  wrong_version[0] = '\x09';
+  EXPECT_FALSE(DeserializeSpans(wrong_version).ok());
+
+  // Trailing garbage after a well-formed forest is data loss, not
+  // silently ignored.
+  std::string trailing = SerializeSpans({MakeSpan("a", 0, -1, 0, 1)});
+  trailing += "junk";
+  EXPECT_FALSE(DeserializeSpans(trailing).ok());
+}
+
+TEST(SpanCodecTest, GraftRemapsIdsAndShiftsOffsets) {
+  // Coordinator-side forest: root (id 0) with one fan-out span (id 1).
+  std::vector<TraceSpan> dest;
+  dest.push_back(MakeSpan("coordinator_query", 0, -1, 0.0, 20.0));
+  dest.push_back(MakeSpan("shard_fanout", 1, 0, 2.0, 15.0));
+
+  // Shard-side forest deliberately reuses ids 0/1 — grafting must remap.
+  std::vector<TraceSpan> sub;
+  sub.push_back(MakeSpan("server_query", 0, -1, 0.0, 14.0));
+  sub.push_back(MakeSpan("step2_video_order", 1, 0, 0.5, 1.0));
+
+  GraftSpans(&dest, /*parent_id=*/1, sub, /*base_offset_ms=*/2.0);
+  ASSERT_EQ(dest.size(), 4u);
+  const TraceSpan& grafted_root = dest[2];
+  const TraceSpan& grafted_child = dest[3];
+  EXPECT_EQ(grafted_root.name, "server_query");
+  EXPECT_EQ(grafted_root.parent, 1);
+  EXPECT_NE(grafted_root.id, 0);
+  EXPECT_NE(grafted_root.id, 1);
+  EXPECT_EQ(grafted_child.parent, grafted_root.id);
+  EXPECT_DOUBLE_EQ(grafted_root.start_offset_ms, 2.0);
+  EXPECT_DOUBLE_EQ(grafted_child.start_offset_ms, 2.5);
+}
+
+TEST(SpanCodecTest, GraftingTwoShardsKeepsForestsDisjoint) {
+  std::vector<TraceSpan> dest;
+  dest.push_back(MakeSpan("coordinator_query", 0, -1, 0.0, 20.0));
+  dest.push_back(MakeSpan("shard_fanout", 1, 0, 1.0, 9.0));
+  dest.push_back(MakeSpan("shard_fanout", 2, 0, 1.0, 8.0));
+  for (int shard = 0; shard < 2; ++shard) {
+    std::vector<TraceSpan> sub;
+    sub.push_back(MakeSpan("server_query", 0, -1, 0.0, 7.0));
+    GraftSpans(&dest, /*parent_id=*/1 + shard, sub, 1.0);
+  }
+  std::set<int> ids;
+  for (const TraceSpan& span : dest) ids.insert(span.id);
+  EXPECT_EQ(ids.size(), dest.size()) << "duplicate span ids after graft";
+  EXPECT_EQ(dest[3].parent, 1);
+  EXPECT_EQ(dest[4].parent, 2);
+}
+
+// -- TraceSampler ---------------------------------------------------------
+
+TEST(TraceSamplerTest, RateZeroNeverSamples) {
+  TraceSampler sampler(0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(sampler.Decide());
+}
+
+TEST(TraceSamplerTest, RateOneAlwaysSamples) {
+  TraceSampler sampler(1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(sampler.Decide());
+}
+
+TEST(TraceSamplerTest, FractionalRateIsExactOverManyCalls) {
+  TraceSampler sampler(0.25);
+  int sampled = 0;
+  for (int i = 0; i < 1000; ++i) sampled += sampler.Decide() ? 1 : 0;
+  EXPECT_EQ(sampled, 250);
+  // Negative and >1 rates clamp to the boundaries.
+  TraceSampler never(-0.5);
+  EXPECT_FALSE(never.Decide());
+  TraceSampler always(7.0);
+  EXPECT_TRUE(always.Decide());
+}
+
+TEST(TraceSamplerTest, ConcurrentDecisionsPreserveTheBudget) {
+  TraceSampler sampler(0.5);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<int> counts(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sampler, &counts, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counts[t] += sampler.Decide() ? 1 : 0;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, kThreads * kPerThread / 2);
+}
+
+// -- SlowQueryLog ---------------------------------------------------------
+
+SlowQueryEntry MakeEntry(const char* pattern, double total_ms) {
+  SlowQueryEntry entry;
+  entry.unix_ms = 1700000000000;
+  entry.reason = "slow";
+  entry.pattern = pattern;
+  entry.total_ms = total_ms;
+  return entry;
+}
+
+TEST(SlowQueryLogTest, RingEvictsOldestAndCountsDrops) {
+  SlowQueryLog log(2);
+  log.Add(MakeEntry("first", 100));
+  log.Add(MakeEntry("second", 200));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 0u);
+  log.Add(MakeEntry("third", 300));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  const std::string jsonl = log.DumpJsonl();
+  EXPECT_EQ(jsonl.find("first"), std::string::npos);
+  ASSERT_NE(jsonl.find("second"), std::string::npos);
+  ASSERT_NE(jsonl.find("third"), std::string::npos);
+  // Oldest first.
+  EXPECT_LT(jsonl.find("second"), jsonl.find("third"));
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.DumpJsonl(), "");
+}
+
+TEST(SlowQueryLogTest, JsonlCarriesEveryField) {
+  SlowQueryLog log(4);
+  SlowQueryEntry entry;
+  entry.unix_ms = 1700000000123;
+  entry.reason = "degraded";
+  entry.pattern = "corner_kick then \"goal\"";
+  entry.trace_id = "0123456789abcdeffedcba9876543210";
+  entry.total_ms = 312.5;
+  entry.budget_ms = 250.0;
+  entry.degraded = true;
+  entry.videos_skipped = 9;
+  entry.shard_latency_ms = {{0, 12.5}, {2, 300.0}};
+  entry.shard_errors = {{1, "DEADLINE_EXCEEDED"}};
+  log.Add(std::move(entry));
+  const std::string jsonl = log.DumpJsonl();
+  EXPECT_NE(jsonl.find("\"ts_ms\":1700000000123"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"reason\":\"degraded\""), std::string::npos);
+  // The pattern's embedded quotes are JSON-escaped.
+  EXPECT_NE(jsonl.find("corner_kick then \\\"goal\\\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"trace_id\":\"0123456789abcdef"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"videos_skipped\":9"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"shard_errors\":{\"1\":\"DEADLINE_EXCEEDED\"}"),
+            std::string::npos)
+      << jsonl;
+}
+
+TEST(SlowQueryLogTest, AddStampsMissingWallClock) {
+  SlowQueryLog log(1);
+  SlowQueryEntry entry;
+  entry.reason = "slow";
+  log.Add(std::move(entry));
+  const std::string jsonl = log.DumpJsonl();
+  EXPECT_EQ(jsonl.find("\"ts_ms\":0,"), std::string::npos) << jsonl;
+}
+
+// -- SlidingWindowHistogram -----------------------------------------------
+
+TEST(SlidingWindowTest, QuantilesOverOneSlice) {
+  SlidingWindowHistogram histogram({1.0, 5.0, 25.0, 100.0});
+  for (int i = 0; i < 90; ++i) histogram.Observe(0.5);
+  for (int i = 0; i < 9; ++i) histogram.Observe(20.0);
+  histogram.Observe(600.0);
+  EXPECT_EQ(histogram.WindowCount(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 25.0);
+  // The p999 observation lives in the overflow bucket, which reports the
+  // window max instead of a fake bound.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.999), 600.0);
+}
+
+TEST(SlidingWindowTest, OldSlicesAgeOutOfTheWindow) {
+  SlidingWindowHistogram histogram({10.0}, /*num_slices=*/2);
+  histogram.Observe(500.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 500.0);
+  histogram.RotateForTesting();
+  // Still inside the 2-slice window.
+  EXPECT_EQ(histogram.WindowCount(), 1u);
+  histogram.RotateForTesting();
+  EXPECT_EQ(histogram.WindowCount(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 0.0);
+  histogram.Observe(1.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 10.0);
+}
+
+}  // namespace
+}  // namespace hmmm

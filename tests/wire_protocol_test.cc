@@ -281,8 +281,10 @@ TEST(CodecTest, MarkPositiveTrainMetricsHealthRoundTrip) {
   EXPECT_TRUE(decoded_train->trained);
   EXPECT_EQ(decoded_train->training_rounds, 4u);
 
-  const auto decoded_metrics = DecodeMetricsResponse(
-      EncodeMetricsResponse({"# HELP x\nx 1\n"}));
+  MetricsResponse metrics_response;
+  metrics_response.prometheus_text = "# HELP x\nx 1\n";
+  const auto decoded_metrics =
+      DecodeMetricsResponse(EncodeMetricsResponse(metrics_response));
   ASSERT_TRUE(decoded_metrics.ok());
   EXPECT_EQ(decoded_metrics->prometheus_text, "# HELP x\nx 1\n");
 
@@ -312,6 +314,145 @@ TEST(CodecTest, ErrorResponseRoundTrips) {
   EXPECT_EQ(decoded->code, WireError::kResourceExhausted);
   EXPECT_TRUE(decoded->retriable);
   EXPECT_EQ(decoded->message, error.message);
+}
+
+// -- v2 trace fields and mixed-version codecs -----------------------------
+
+TEST(CodecV2Test, TraceContextFieldsRoundTrip) {
+  TemporalQueryRequest request;
+  request.text = "goal";
+  request.want_trace = true;
+  request.trace_id_hi = 0x0123456789ABCDEFull;
+  request.trace_id_lo = 0xFEDCBA9876543210ull;
+  request.parent_span_id = 7;
+  const auto decoded =
+      DecodeTemporalQueryRequest(EncodeTemporalQueryRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->trace_id_hi, request.trace_id_hi);
+  EXPECT_EQ(decoded->trace_id_lo, request.trace_id_lo);
+  EXPECT_EQ(decoded->parent_span_id, 7u);
+
+  QbeRequest qbe;
+  qbe.features = {0.5};
+  qbe.want_trace = true;
+  qbe.trace_id_hi = 1;
+  qbe.trace_id_lo = 2;
+  qbe.parent_span_id = 3;
+  const auto decoded_qbe = DecodeQbeRequest(EncodeQbeRequest(qbe));
+  ASSERT_TRUE(decoded_qbe.ok());
+  EXPECT_TRUE(decoded_qbe->want_trace);
+  EXPECT_EQ(decoded_qbe->trace_id_hi, 1u);
+  EXPECT_EQ(decoded_qbe->trace_id_lo, 2u);
+  EXPECT_EQ(decoded_qbe->parent_span_id, 3u);
+
+  TemporalQueryResponse response;
+  response.results = {MakePattern(0.5)};
+  response.trace_blob = std::string("\x01\x02\x00", 3);
+  const auto decoded_response =
+      DecodeTemporalQueryResponse(EncodeTemporalQueryResponse(response));
+  ASSERT_TRUE(decoded_response.ok());
+  EXPECT_EQ(decoded_response->trace_blob, response.trace_blob);
+
+  QbeResponse qbe_response;
+  qbe_response.results = {{11, 0.75}};
+  qbe_response.trace_blob = "blob";
+  const auto decoded_qbe_response =
+      DecodeQbeResponse(EncodeQbeResponse(qbe_response));
+  ASSERT_TRUE(decoded_qbe_response.ok());
+  EXPECT_EQ(decoded_qbe_response->trace_blob, "blob");
+
+  MetricsResponse metrics;
+  metrics.prometheus_text = "x 1\n";
+  metrics.json_snapshot = "{\"v\":1,\"metrics\":[]}";
+  const auto decoded_metrics =
+      DecodeMetricsResponse(EncodeMetricsResponse(metrics));
+  ASSERT_TRUE(decoded_metrics.ok());
+  EXPECT_EQ(decoded_metrics->json_snapshot, metrics.json_snapshot);
+
+  DumpSlowQueriesResponse slow;
+  slow.jsonl = "{\"reason\":\"slow\"}\n";
+  const auto decoded_slow =
+      DecodeDumpSlowQueriesResponse(EncodeDumpSlowQueriesResponse(slow));
+  ASSERT_TRUE(decoded_slow.ok());
+  EXPECT_EQ(decoded_slow->jsonl, slow.jsonl);
+}
+
+TEST(CodecV2Test, V1EncodingOmitsTraceFields) {
+  // Encoding at v1 must stop before the v2 fields — byte-compatible with
+  // an old peer — and decoding those bytes at v1 leaves them defaulted.
+  TemporalQueryRequest request;
+  request.text = "goal";
+  request.trace_id_hi = 99;
+  request.trace_id_lo = 98;
+  request.parent_span_id = 97;
+  const std::string v1 = EncodeTemporalQueryRequest(request, 1);
+  const std::string v2 = EncodeTemporalQueryRequest(request, 2);
+  EXPECT_LT(v1.size(), v2.size());
+  const auto decoded = DecodeTemporalQueryRequest(v1, 1);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->text, "goal");
+  EXPECT_EQ(decoded->trace_id_hi, 0u);
+  EXPECT_EQ(decoded->trace_id_lo, 0u);
+  EXPECT_EQ(decoded->parent_span_id, 0u);
+  // A v2 decode of v1 bytes fails (truncated), and vice versa a v1
+  // decode of v2 bytes fails (trailing bytes) — versions don't blur.
+  EXPECT_FALSE(DecodeTemporalQueryRequest(v1, 2).ok());
+
+  TemporalQueryResponse response;
+  response.results = {MakePattern(0.5)};
+  response.trace_blob = "blob";
+  const std::string resp_v1 = EncodeTemporalQueryResponse(response, 1);
+  const auto decoded_resp = DecodeTemporalQueryResponse(resp_v1, 1);
+  ASSERT_TRUE(decoded_resp.ok());
+  EXPECT_TRUE(decoded_resp->trace_blob.empty());
+}
+
+TEST(CodecV2Test, TruncatedV2PayloadsRejected) {
+  TemporalQueryRequest request;
+  request.text = "corner_kick then goal";
+  request.want_trace = true;
+  request.trace_id_hi = ~0ull;
+  request.trace_id_lo = 1;
+  request.parent_span_id = 12345;
+  const std::string payload = EncodeTemporalQueryRequest(request);
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeTemporalQueryRequest(payload.substr(0, n)).ok())
+        << "prefix length " << n << " decoded successfully";
+  }
+  QbeRequest qbe;
+  qbe.features = {0.25, 0.5};
+  qbe.want_trace = true;
+  qbe.trace_id_lo = 2;
+  const std::string qbe_payload = EncodeQbeRequest(qbe);
+  for (size_t n = 0; n < qbe_payload.size(); ++n) {
+    EXPECT_FALSE(DecodeQbeRequest(qbe_payload.substr(0, n)).ok())
+        << "prefix length " << n << " decoded successfully";
+  }
+}
+
+TEST(CodecV2Test, FrameVersionParameterIsStamped) {
+  const std::string frame =
+      EncodeFrame(MessageType::kHealthRequest, "", 1);
+  FrameHeader header;
+  ASSERT_EQ(DecodeFrameHeader(frame, kDefaultMaxFrameBytes, &header),
+            WireError::kNone);
+  EXPECT_EQ(header.version, 1u);
+  // A v1-capped decoder (an old server) rejects a v2-stamped frame but
+  // still fills the header so it can answer typed.
+  const std::string v2_frame =
+      EncodeFrame(MessageType::kTemporalQueryRequest, "x", 2);
+  EXPECT_EQ(DecodeFrameHeader(v2_frame, kDefaultMaxFrameBytes, &header,
+                              /*max_version=*/1),
+            WireError::kUnsupportedVersion);
+  EXPECT_EQ(header.type, MessageType::kTemporalQueryRequest);
+  EXPECT_EQ(header.payload_bytes, 1u);
+}
+
+TEST(MessageTypeTest, DumpSlowQueriesIsARequest) {
+  EXPECT_TRUE(IsRequestType(MessageType::kDumpSlowQueriesRequest));
+  EXPECT_FALSE(IsRequestType(MessageType::kDumpSlowQueriesResponse));
+  EXPECT_STREQ(MessageTypeLabel(MessageType::kDumpSlowQueriesRequest),
+               "dump_slow_queries");
 }
 
 TEST(MessageTypeTest, RequestClassification) {
