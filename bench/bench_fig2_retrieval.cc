@@ -236,6 +236,9 @@ void WriteFig2Json() {
         {"sim_evaluations_unmemoized",
          JsonNumber(
              static_cast<double>(stats.sim_evaluations + stats.sim_memo_hits))},
+        {"heap_pops", JsonNumber(static_cast<double>(stats.heap_pops))},
+        {"grid_cells_skipped",
+         JsonNumber(static_cast<double>(stats.grid_cells_skipped))},
     }));
   }
 
@@ -270,6 +273,9 @@ void WriteFig2Json() {
          JsonNumber(static_cast<double>(stats.sim_memo_hits))},
         {"candidate_list_reuse",
          JsonNumber(static_cast<double>(stats.candidate_list_reuse))},
+        {"heap_pops", JsonNumber(static_cast<double>(stats.heap_pops))},
+        {"grid_cells_skipped",
+         JsonNumber(static_cast<double>(stats.grid_cells_skipped))},
         {"metrics", engine.DumpMetricsJson()},
     }));
   }
@@ -279,6 +285,7 @@ void WriteFig2Json() {
       JsonObject({
           {"benchmark", JsonQuote("fig2_retrieval")},
           {"query", JsonQuote("free_kick ; goal")},
+          {"kernel", JsonQuote(Eq14KernelName(DefaultEq14Kernel()))},
           {"videos", JsonNumber(static_cast<double>(scale.catalog.num_videos()))},
           {"shots", JsonNumber(static_cast<double>(scale.catalog.num_shots()))},
           {"annotated_shots",

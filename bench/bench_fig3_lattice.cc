@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bench_util.h"
 
 namespace hmmm::bench {
@@ -159,6 +161,9 @@ void WriteFig3Json() {
           {"sim_evaluations_unmemoized",
            JsonNumber(static_cast<double>(stats.sim_evaluations +
                                           stats.sim_memo_hits))},
+          {"heap_pops", JsonNumber(static_cast<double>(stats.heap_pops))},
+          {"grid_cells_skipped",
+           JsonNumber(static_cast<double>(stats.grid_cells_skipped))},
           {"top_score", JsonNumber(top)},
       }));
     }
@@ -198,15 +203,75 @@ void WriteFig3Json() {
   HMMM_CHECK(traced.Retrieve(pattern).ok());
   const double plan_build_ms = SpanElapsedMs(trace, "query_plan_build");
 
+  // Kernel A/B at C=4, beam 8: the scalar Eq.-14 kernel against the
+  // runtime CPU pick, covering both places the kernel runs — the index's
+  // batch sim precomputation (index_build_ms) and the query-time row
+  // evaluations (median_ms, with the scorer forced to match). Rankings
+  // and every counter are bit-identical by construction; only the wall
+  // times may differ, and those ride the regular latency regression gate.
+  std::vector<std::string> kernel_ab;
+  {
+    TraversalOptions ab_options;
+    ab_options.beam_width = 8;
+    const auto ab_pattern = PatternOfLength(4);
+    std::vector<RetrievedPattern> reference_ranking;
+    size_t reference_evals = 0;
+    bool first_leg = true;
+    for (const bool force_scalar : {true, false}) {
+      const Eq14Kernel kernel =
+          force_scalar ? Eq14Kernel::kScalar : DefaultEq14Kernel();
+      std::unique_ptr<EventBitmapIndex> index;
+      const double index_build_ms = MedianMillis([&] {
+        index = std::make_unique<EventBitmapIndex>(Model(), Catalog(), kernel);
+      });
+      TraversalOptions options = ab_options;
+      options.scorer.force_scalar_kernel = force_scalar;
+      HmmmTraversal traversal(Model(), Catalog(), options, /*pool=*/nullptr,
+                              index.get());
+      RetrievalStats stats;
+      std::vector<RetrievedPattern> ranking;
+      const double ms = MedianMillis([&] {
+        stats = RetrievalStats();
+        auto results = traversal.Retrieve(ab_pattern, &stats);
+        HMMM_CHECK(results.ok());
+        ranking = std::move(results).value();
+      });
+      if (first_leg) {
+        reference_ranking = ranking;
+        reference_evals = stats.sim_evaluations;
+        first_leg = false;
+      } else {
+        HMMM_CHECK(stats.sim_evaluations == reference_evals);
+        HMMM_CHECK(ranking.size() == reference_ranking.size());
+        for (size_t i = 0; i < ranking.size(); ++i) {
+          HMMM_CHECK(ranking[i].shots == reference_ranking[i].shots);
+          HMMM_CHECK(ranking[i].score == reference_ranking[i].score);
+        }
+      }
+      kernel_ab.push_back(JsonObject({
+          {"kernel", JsonQuote(Eq14KernelName(kernel))},
+          {"index_build_ms", JsonNumber(index_build_ms)},
+          {"median_ms", JsonNumber(ms)},
+          {"sim_evaluations",
+           JsonNumber(static_cast<double>(stats.sim_evaluations))},
+          {"heap_pops", JsonNumber(static_cast<double>(stats.heap_pops))},
+          {"grid_cells_skipped",
+           JsonNumber(static_cast<double>(stats.grid_cells_skipped))},
+      }));
+    }
+  }
+
   WriteBenchJson(
       "BENCH_fig3.json",
       JsonObject({
           {"benchmark", JsonQuote("fig3_lattice")},
           {"videos", JsonNumber(static_cast<double>(Catalog().num_videos()))},
           {"shots", JsonNumber(static_cast<double>(Catalog().num_shots()))},
+          {"kernel", JsonQuote(Eq14KernelName(DefaultEq14Kernel()))},
           {"plan_build_ms", JsonNumber(plan_build_ms)},
           {"lattice_sweep", JsonArray(lattice)},
           {"thread_sweep", JsonArray(sweep)},
+          {"kernel_ab", JsonArray(kernel_ab)},
           {"trace_sample", JsonlToArray(trace.RenderJsonl())},
       }));
 }

@@ -10,10 +10,13 @@ Two families of checks:
     `median_ms` entries inside sweep arrays) may regress by at most
     --latency-tolerance (default 10%). Values under --min-latency-ms are
     skipped: sub-tenth-millisecond medians are timer noise, not signal.
-  * Work counters (`sim_evaluations`, `states_visited`, `sim_memo_hits`,
-    ...) are deterministic for a fixed generator seed, so the current run
-    must not *increase* any `sim_evaluations` or `states_visited` entry —
-    an increase means the query-plan layer stopped reusing work.
+  * Work counters are deterministic for a fixed generator seed, so the
+    current run must not *increase* any `sim_evaluations`,
+    `states_visited` or `heap_pops` entry — an increase means the
+    query-plan layer stopped reusing work or the cube-pruned frontier
+    started paying for cells it used to prove away. Symmetrically,
+    `grid_cells_skipped` must not *decrease*: fewer skips with the same
+    grid means evaluations leaked back in.
 
 Exit status: 0 when every check passes, 1 on any regression, 2 on usage
 or file errors. The full delta table prints either way so CI logs show
@@ -26,7 +29,13 @@ import sys
 
 # Counters that must never grow relative to the baseline (same seed, same
 # query => byte-identical traversal => identical counts or better reuse).
-MONOTONE_COUNTERS = ("sim_evaluations", "states_visited")
+MONOTONE_COUNTERS = ("sim_evaluations", "states_visited", "heap_pops")
+
+# Counters that must never shrink: every lattice cell resolves to exactly
+# one of heap_pops (paid an evaluation) or grid_cells_skipped (proved away
+# by its precomputed priority), so with states_visited pinned, losing
+# skips means paying for cells the frontier used to prune.
+ANTITONE_COUNTERS = ("grid_cells_skipped",)
 
 
 def iter_latency_fields(node, path=""):
@@ -49,17 +58,19 @@ def iter_latency_fields(node, path=""):
             yield from iter_latency_fields(value, f"{path}[{label(node, i)}]")
 
 
-def iter_counter_fields(node, path=""):
+def iter_counter_fields(node, names, path=""):
     if isinstance(node, dict):
         for key, value in node.items():
             child = f"{path}.{key}" if path else key
-            if isinstance(value, (int, float)) and key in MONOTONE_COUNTERS:
+            if isinstance(value, (int, float)) and key in names:
                 yield child, float(value)
             else:
-                yield from iter_counter_fields(value, child)
+                yield from iter_counter_fields(value, names, child)
     elif isinstance(node, list):
         for i, value in enumerate(node):
-            yield from iter_counter_fields(value, f"{path}[{label(node, i)}]")
+            yield from iter_counter_fields(
+                value, names, f"{path}[{label(node, i)}]"
+            )
 
 
 def label(parent, index):
@@ -112,8 +123,10 @@ def main():
 
     base_latency = dict(iter_latency_fields(baseline))
     cur_latency = dict(iter_latency_fields(current))
-    base_counters = dict(iter_counter_fields(baseline))
-    cur_counters = dict(iter_counter_fields(current))
+    base_counters = dict(iter_counter_fields(baseline, MONOTONE_COUNTERS))
+    cur_counters = dict(iter_counter_fields(current, MONOTONE_COUNTERS))
+    base_antitone = dict(iter_counter_fields(baseline, ANTITONE_COUNTERS))
+    cur_antitone = dict(iter_counter_fields(current, ANTITONE_COUNTERS))
 
     failures = []
     print(f"{'field':60s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
@@ -144,6 +157,19 @@ def main():
             mark = "  REGRESSION"
             failures.append(
                 f"{path}: {base:.0f} -> {cur:.0f} (work counter increased)"
+            )
+        print(f"{path:60s} {base:12.0f} {cur:12.0f} {cur - base:+8.0f}{mark}")
+
+    for path in sorted(base_antitone):
+        if path not in cur_antitone:
+            failures.append(f"counter disappeared: {path}")
+            continue
+        base, cur = base_antitone[path], cur_antitone[path]
+        mark = ""
+        if cur < base:
+            mark = "  REGRESSION"
+            failures.append(
+                f"{path}: {base:.0f} -> {cur:.0f} (pruning counter shrank)"
             )
         print(f"{path:60s} {base:12.0f} {cur:12.0f} {cur - base:+8.0f}{mark}")
 

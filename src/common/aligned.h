@@ -1,0 +1,57 @@
+#ifndef HMMM_COMMON_ALIGNED_H_
+#define HMMM_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace hmmm {
+
+/// Minimal std::allocator drop-in that over-aligns every allocation to
+/// `Alignment` bytes. Matrix row storage and the Eq.-14 kernel's SoA
+/// scratch use 32 bytes so a 256-bit vector load of four doubles never
+/// splits a cache line (and can use aligned moves when the row width is
+/// a multiple of four columns).
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T), "alignment below the type's own");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not 2^k");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// 32-byte-aligned vector of doubles: the SIMD-friendly buffer type used
+/// by Matrix storage and the kernel SoA layouts.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 32>>;
+
+}  // namespace hmmm
+
+#endif  // HMMM_COMMON_ALIGNED_H_

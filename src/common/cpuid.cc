@@ -1,0 +1,15 @@
+#include "common/cpuid.h"
+
+namespace hmmm {
+
+bool CpuSupportsAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  // GCC and Clang both implement the runtime probe; it reads CPUID once
+  // and caches the result in the runtime.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace hmmm

@@ -1,0 +1,14 @@
+#ifndef HMMM_COMMON_CPUID_H_
+#define HMMM_COMMON_CPUID_H_
+
+namespace hmmm {
+
+/// True when the CPU this process runs on supports both AVX2 and FMA —
+/// the feature set the vectorized Eq.-14 kernel is compiled for. Always
+/// false on non-x86 targets. The probe itself is cheap but cached by the
+/// kernel-selection layer anyway (see retrieval/eq14_kernel.h).
+bool CpuSupportsAvx2Fma();
+
+}  // namespace hmmm
+
+#endif  // HMMM_COMMON_CPUID_H_

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 
 namespace hmmm {
@@ -15,6 +16,12 @@ namespace hmmm {
 /// a simple contiguous buffer without blocking is appropriate.
 class Matrix {
  public:
+  /// Backing storage: 32-byte aligned so the vectorized Eq.-14 kernel can
+  /// read rows with full-width 256-bit loads that never split a cache
+  /// line. Still a std::vector (just with an over-aligning allocator), so
+  /// all iterator/element access is unchanged.
+  using Buffer = AlignedVector<double>;
+
   Matrix() = default;
   /// Creates a rows x cols matrix filled with `fill`.
   Matrix(size_t rows, size_t cols, double fill = 0.0);
@@ -46,8 +53,8 @@ class Matrix {
   const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
   double* MutableRowPtr(size_t r) { return data_.data() + r * cols_; }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& mutable_data() { return data_; }
+  const Buffer& data() const { return data_; }
+  Buffer& mutable_data() { return data_; }
 
   /// Copies row r out.
   std::vector<double> Row(size_t r) const;
@@ -98,7 +105,7 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<double> data_;
+  Buffer data_;
 };
 
 }  // namespace hmmm

@@ -12,9 +12,10 @@ namespace {
 /// Flattened snapshot of every affinity matrix the learner rewrites
 /// (A2 followed by each local A1), used to measure update magnitude.
 std::vector<double> FlattenAffinities(const HierarchicalModel& model) {
-  std::vector<double> flat = model.a2().data();
+  std::vector<double> flat(model.a2().data().begin(),
+                           model.a2().data().end());
   for (const LocalShotModel& local : model.locals()) {
-    const std::vector<double>& a1 = local.a1.data();
+    const auto& a1 = local.a1.data();
     flat.insert(flat.end(), a1.begin(), a1.end());
   }
   return flat;

@@ -1,0 +1,233 @@
+#include "retrieval/eq14_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/cpuid.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HMMM_EQ14_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define HMMM_EQ14_HAVE_AVX2 0
+#endif
+
+namespace hmmm {
+namespace {
+
+/// One canonical term: t_k = (1 - |x - r|) / max(r, eps). The division is
+/// applied to the (1 - diff) numerator BEFORE the weight multiplies in —
+/// the weight then joins through a single-rounding fma in the caller, so
+/// scalar and vector land on identical bits.
+inline double Eq14Term(double x, double r, double eps) {
+  const double c = std::max(r, eps);
+  const double d = std::abs(x - r);
+  return (1.0 - d) / c;
+}
+
+double Eq14RowScalar(const double* x, const double* r, const double* w,
+                     size_t n, double eps) {
+  const size_t main = n & ~size_t{3};
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  for (size_t k = 0; k < main; k += 4) {
+    s0 = std::fma(w[k + 0], Eq14Term(x[k + 0], r[k + 0], eps), s0);
+    s1 = std::fma(w[k + 1], Eq14Term(x[k + 1], r[k + 1], eps), s1);
+    s2 = std::fma(w[k + 2], Eq14Term(x[k + 2], r[k + 2], eps), s2);
+    s3 = std::fma(w[k + 3], Eq14Term(x[k + 3], r[k + 3], eps), s3);
+  }
+  double sim = (s0 + s2) + (s1 + s3);
+  for (size_t k = main; k < n; ++k) {
+    sim = std::fma(w[k], Eq14Term(x[k], r[k], eps), sim);
+  }
+  return sim;
+}
+
+/// Strided variant backing the scalar batch path: term k of candidate c
+/// reads x_soa[k * stride + c].
+double Eq14ColumnScalar(const double* x_soa, size_t stride, const double* r,
+                        const double* w, size_t n, double eps) {
+  const size_t main = n & ~size_t{3};
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  for (size_t k = 0; k < main; k += 4) {
+    s0 = std::fma(w[k + 0], Eq14Term(x_soa[(k + 0) * stride], r[k + 0], eps), s0);
+    s1 = std::fma(w[k + 1], Eq14Term(x_soa[(k + 1) * stride], r[k + 1], eps), s1);
+    s2 = std::fma(w[k + 2], Eq14Term(x_soa[(k + 2) * stride], r[k + 2], eps), s2);
+    s3 = std::fma(w[k + 3], Eq14Term(x_soa[(k + 3) * stride], r[k + 3], eps), s3);
+  }
+  double sim = (s0 + s2) + (s1 + s3);
+  for (size_t k = main; k < n; ++k) {
+    sim = std::fma(w[k], Eq14Term(x_soa[k * stride], r[k], eps), sim);
+  }
+  return sim;
+}
+
+#if HMMM_EQ14_HAVE_AVX2
+
+__attribute__((target("avx2,fma"))) inline __m256d
+Eq14TermV(__m256d x, __m256d r, __m256d eps, __m256d ones, __m256d sign_mask) {
+  const __m256d c = _mm256_max_pd(r, eps);
+  const __m256d d = _mm256_andnot_pd(sign_mask, _mm256_sub_pd(x, r));
+  return _mm256_div_pd(_mm256_sub_pd(ones, d), c);
+}
+
+/// Features-in-lanes: lane j of the accumulator holds the canonical
+/// partial s_j (term k lands in lane k mod 4), the 128-bit-halves
+/// reduction IS the canonical (s0 + s2) + (s1 + s3), and the tail folds
+/// in scalar with fma — the exact op sequence of Eq14RowScalar.
+__attribute__((target("avx2,fma"))) double Eq14RowAvx2(
+    const double* x, const double* r, const double* w, size_t n, double eps) {
+  const size_t main = n & ~size_t{3};
+  const __m256d epsv = _mm256_set1_pd(eps);
+  const __m256d ones = _mm256_set1_pd(1.0);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t k = 0; k < main; k += 4) {
+    const __m256d t = Eq14TermV(_mm256_loadu_pd(x + k), _mm256_loadu_pd(r + k),
+                                epsv, ones, sign_mask);
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(w + k), t, acc);
+  }
+  const __m128d halves =
+      _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+  double sim = _mm_cvtsd_f64(halves) +
+               _mm_cvtsd_f64(_mm_unpackhi_pd(halves, halves));
+  for (size_t k = main; k < n; ++k) {
+    sim = std::fma(w[k], Eq14Term(x[k], r[k], eps), sim);
+  }
+  return sim;
+}
+
+/// Candidates-in-lanes over the SoA block: four accumulator registers
+/// carry the four canonical lane partials for four candidates at once
+/// (register q's lane c accumulates candidate c's terms k ≡ q mod 4), so
+/// each candidate's sum rounds exactly like Eq14RowScalar would.
+__attribute__((target("avx2,fma"))) void Eq14BatchAvx2(
+    const double* x_soa, size_t stride, size_t count, const double* r,
+    const double* w, size_t n, double eps, double* out) {
+  const size_t main = n & ~size_t{3};
+  const __m256d epsv = _mm256_set1_pd(eps);
+  const __m256d ones = _mm256_set1_pd(1.0);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const size_t cmain = count & ~size_t{3};
+  for (size_t c = 0; c < cmain; c += 4) {
+    __m256d s0 = _mm256_setzero_pd();
+    __m256d s1 = _mm256_setzero_pd();
+    __m256d s2 = _mm256_setzero_pd();
+    __m256d s3 = _mm256_setzero_pd();
+    for (size_t k = 0; k < main; k += 4) {
+      s0 = _mm256_fmadd_pd(
+          _mm256_set1_pd(w[k + 0]),
+          Eq14TermV(_mm256_loadu_pd(x_soa + (k + 0) * stride + c),
+                    _mm256_set1_pd(r[k + 0]), epsv, ones, sign_mask),
+          s0);
+      s1 = _mm256_fmadd_pd(
+          _mm256_set1_pd(w[k + 1]),
+          Eq14TermV(_mm256_loadu_pd(x_soa + (k + 1) * stride + c),
+                    _mm256_set1_pd(r[k + 1]), epsv, ones, sign_mask),
+          s1);
+      s2 = _mm256_fmadd_pd(
+          _mm256_set1_pd(w[k + 2]),
+          Eq14TermV(_mm256_loadu_pd(x_soa + (k + 2) * stride + c),
+                    _mm256_set1_pd(r[k + 2]), epsv, ones, sign_mask),
+          s2);
+      s3 = _mm256_fmadd_pd(
+          _mm256_set1_pd(w[k + 3]),
+          Eq14TermV(_mm256_loadu_pd(x_soa + (k + 3) * stride + c),
+                    _mm256_set1_pd(r[k + 3]), epsv, ones, sign_mask),
+          s3);
+    }
+    __m256d sim = _mm256_add_pd(_mm256_add_pd(s0, s2), _mm256_add_pd(s1, s3));
+    for (size_t k = main; k < n; ++k) {
+      sim = _mm256_fmadd_pd(
+          _mm256_set1_pd(w[k]),
+          Eq14TermV(_mm256_loadu_pd(x_soa + k * stride + c),
+                    _mm256_set1_pd(r[k]), epsv, ones, sign_mask),
+          sim);
+    }
+    _mm256_storeu_pd(out + c, sim);
+  }
+  for (size_t c = cmain; c < count; ++c) {
+    out[c] = Eq14ColumnScalar(x_soa + c, stride, r, w, n, eps);
+  }
+}
+
+#endif  // HMMM_EQ14_HAVE_AVX2
+
+bool ForceScalarFromEnv() {
+  const char* value = std::getenv("HMMM_FORCE_SCALAR");
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+bool Avx2KernelAvailable() {
+#if HMMM_EQ14_HAVE_AVX2
+  static const bool available = CpuSupportsAvx2Fma();
+  return available;
+#else
+  return false;
+#endif
+}
+
+Eq14Kernel DefaultEq14Kernel() {
+  static const Eq14Kernel kernel = [] {
+    if (ForceScalarFromEnv()) return Eq14Kernel::kScalar;
+    return Avx2KernelAvailable() ? Eq14Kernel::kAvx2 : Eq14Kernel::kScalar;
+  }();
+  return kernel;
+}
+
+const char* Eq14KernelName(Eq14Kernel kernel) {
+  return kernel == Eq14Kernel::kAvx2 ? "avx2" : "scalar";
+}
+
+double Eq14Row(Eq14Kernel kernel, const double* x, const double* r,
+               const double* w, size_t n, double eps) {
+#if HMMM_EQ14_HAVE_AVX2
+  if (kernel == Eq14Kernel::kAvx2) return Eq14RowAvx2(x, r, w, n, eps);
+#else
+  (void)kernel;
+#endif
+  return Eq14RowScalar(x, r, w, n, eps);
+}
+
+double Eq14RowIndexed(const double* x, const double* r, const double* w,
+                      const int* idx, size_t n, double eps) {
+  const size_t main = n & ~size_t{3};
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  for (size_t k = 0; k < main; k += 4) {
+    const size_t f0 = static_cast<size_t>(idx[k + 0]);
+    const size_t f1 = static_cast<size_t>(idx[k + 1]);
+    const size_t f2 = static_cast<size_t>(idx[k + 2]);
+    const size_t f3 = static_cast<size_t>(idx[k + 3]);
+    s0 = std::fma(w[f0], Eq14Term(x[f0], r[f0], eps), s0);
+    s1 = std::fma(w[f1], Eq14Term(x[f1], r[f1], eps), s1);
+    s2 = std::fma(w[f2], Eq14Term(x[f2], r[f2], eps), s2);
+    s3 = std::fma(w[f3], Eq14Term(x[f3], r[f3], eps), s3);
+  }
+  double sim = (s0 + s2) + (s1 + s3);
+  for (size_t k = main; k < n; ++k) {
+    const size_t f = static_cast<size_t>(idx[k]);
+    sim = std::fma(w[f], Eq14Term(x[f], r[f], eps), sim);
+  }
+  return sim;
+}
+
+void Eq14Batch(Eq14Kernel kernel, const double* x_soa, size_t stride,
+               size_t count, const double* r, const double* w, size_t n,
+               double eps, double* out) {
+#if HMMM_EQ14_HAVE_AVX2
+  if (kernel == Eq14Kernel::kAvx2) {
+    Eq14BatchAvx2(x_soa, stride, count, r, w, n, eps, out);
+    return;
+  }
+#else
+  (void)kernel;
+#endif
+  for (size_t c = 0; c < count; ++c) {
+    out[c] = Eq14ColumnScalar(x_soa + c, stride, r, w, n, eps);
+  }
+}
+
+}  // namespace hmmm

@@ -1,0 +1,75 @@
+#ifndef HMMM_RETRIEVAL_EQ14_KERNEL_H_
+#define HMMM_RETRIEVAL_EQ14_KERNEL_H_
+
+#include <cstddef>
+
+namespace hmmm {
+
+/// The Eq.-14 weighted-distance kernel family. Every entry point computes
+///
+///   sim = sum_k w[k] * ((1 - |x[k] - r[k]|) / max(r[k], eps))
+///
+/// in ONE canonical association order shared bit-for-bit by the scalar
+/// and the AVX2 implementations:
+///
+///   * the first 4*floor(n/4) terms accumulate into four lane partials
+///     s0..s3 by position (term k goes to s_{k mod 4}), each step a
+///     single-rounding fused multiply-add `s = fma(w, t, s)`;
+///   * the partials combine as (s0 + s2) + (s1 + s3) — exactly how a
+///     256-bit register reduces via its 128-bit halves;
+///   * the tail terms (n mod 4) fold into the combined sum sequentially,
+///     again with fma.
+///
+/// Because the order is fixed, kernel choice can never change a computed
+/// similarity: the traversal's rankings — and the exact per-(state,
+/// event) priorities the cube-pruned search trusts (query_plan.h) — stay
+/// byte-identical whether the CPU has AVX2 or the scalar fallback runs.
+/// That is a hard contract, asserted by eq14_kernel_test; any new
+/// implementation must reproduce the same floating-point op sequence.
+enum class Eq14Kernel {
+  kScalar,  // portable canonical-order implementation
+  kAvx2,    // 256-bit lanes + FMA; requires CpuSupportsAvx2Fma()
+};
+
+/// The kernel the process resolved at startup: kAvx2 when the build has
+/// an AVX2 code path, the CPU supports AVX2+FMA, and the
+/// HMMM_FORCE_SCALAR environment escape hatch is unset/0; kScalar
+/// otherwise. Cached after the first call.
+Eq14Kernel DefaultEq14Kernel();
+
+/// True when this build carries the AVX2 code path and the CPU can run
+/// it (ignores HMMM_FORCE_SCALAR — used by tests to decide whether an
+/// A/B sweep is meaningful).
+bool Avx2KernelAvailable();
+
+const char* Eq14KernelName(Eq14Kernel kernel);
+
+/// Scores one dense row: x, r and w are n contiguous doubles.
+double Eq14Row(Eq14Kernel kernel, const double* x, const double* r,
+               const double* w, size_t n, double eps);
+
+/// Scores one row through an index list: term k reads x[idx[k]],
+/// r[idx[k]], w[idx[k]] (the scorer's feature_subset path). Gathered
+/// loads defeat vectorization, so this is always the canonical scalar
+/// sequence — still position-ordered, so a subset of size n costs and
+/// rounds exactly like a dense row of size n.
+double Eq14RowIndexed(const double* x, const double* r, const double* w,
+                      const int* idx, size_t n, double eps);
+
+/// Scores a whole candidate list in one call. `x_soa` is the
+/// structure-of-arrays (feature-major) candidate block: candidate c's
+/// value for term k lives at x_soa[k * stride + c], with the base pointer
+/// and stride 32-byte-aligned so every lane load is aligned. r and w are
+/// the shared per-term centroid/weight rows. out[c] receives candidate
+/// c's similarity, bit-identical to Eq14Row over candidate c's features.
+void Eq14Batch(Eq14Kernel kernel, const double* x_soa, size_t stride,
+               size_t count, const double* r, const double* w, size_t n,
+               double eps, double* out);
+
+/// Rounds a candidate count up to a 32-byte-aligned SoA stride (a
+/// multiple of four doubles).
+inline size_t Eq14SoaStride(size_t count) { return (count + 3) & ~size_t{3}; }
+
+}  // namespace hmmm
+
+#endif  // HMMM_RETRIEVAL_EQ14_KERNEL_H_

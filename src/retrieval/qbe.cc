@@ -8,7 +8,9 @@
 namespace hmmm {
 
 QbeMatcher::QbeMatcher(const HierarchicalModel& model, QbeOptions options)
-    : model_(model), options_(std::move(options)) {
+    : model_(model),
+      options_(std::move(options)),
+      kernel_(DefaultEq14Kernel()) {
   if (options_.feature_subset.empty()) {
     features_.resize(static_cast<size_t>(model_.num_features()));
     for (size_t i = 0; i < features_.size(); ++i) {
@@ -20,34 +22,41 @@ QbeMatcher::QbeMatcher(const HierarchicalModel& model, QbeOptions options)
       HMMM_CHECK(f >= 0 && f < model_.num_features());
     }
   }
+  // Resolve the per-feature weights once: the weight event's learned P12
+  // row, or uniform 1/K over the selected features.
+  const bool weighted =
+      options_.weight_event >= 0 &&
+      static_cast<size_t>(options_.weight_event) < model_.p12().rows();
+  weights_.resize(static_cast<size_t>(model_.num_features()));
+  const double uniform_weight =
+      features_.empty() ? 0.0 : 1.0 / static_cast<double>(features_.size());
+  for (size_t f = 0; f < weights_.size(); ++f) {
+    weights_[f] =
+        weighted
+            ? model_.p12().at(static_cast<size_t>(options_.weight_event), f)
+            : uniform_weight;
+  }
 }
 
 std::vector<QbeResult> QbeMatcher::RankAgainst(
     const std::vector<double>& normalized, int exclude_state) const {
   const Matrix& b1 = model_.b1();
-  const bool weighted =
-      options_.weight_event >= 0 &&
-      static_cast<size_t>(options_.weight_event) < model_.p12().rows();
-  const double uniform_weight =
-      features_.empty() ? 0.0 : 1.0 / static_cast<double>(features_.size());
-
+  // Eq. 14 with the query sample playing the role of the event centroid
+  // B1', scored through the shared kernel family (eq14_kernel.h): the
+  // vector kernel for full-width queries, the indexed scalar sequence for
+  // the paper's K-feature subsets.
+  const bool dense = options_.feature_subset.empty();
   std::vector<QbeResult> results;
   results.reserve(model_.num_global_states());
   for (size_t state = 0; state < model_.num_global_states(); ++state) {
     if (static_cast<int>(state) == exclude_state) continue;
-    double sim = 0.0;
-    for (int f : features_) {
-      const auto fy = static_cast<size_t>(f);
-      const double weight =
-          weighted ? model_.p12().at(
-                         static_cast<size_t>(options_.weight_event), fy)
-                   : uniform_weight;
-      // Eq. 14 with the query sample playing the role of the event
-      // centroid B1'.
-      const double reference = std::max(normalized[fy], options_.epsilon);
-      const double diff = std::abs(b1.at(state, fy) - normalized[fy]);
-      sim += weight * (1.0 - diff) / reference;
-    }
+    const double* row = b1.RowPtr(state);
+    const double sim =
+        dense ? Eq14Row(kernel_, row, normalized.data(), weights_.data(),
+                        weights_.size(), options_.epsilon)
+              : Eq14RowIndexed(row, normalized.data(), weights_.data(),
+                               features_.data(), features_.size(),
+                               options_.epsilon);
     results.push_back(
         QbeResult{model_.ShotOfGlobalState(static_cast<int>(state)), sim});
   }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/hierarchical_model.h"
+#include "retrieval/eq14_kernel.h"
 #include "retrieval/scorer.h"
 
 namespace hmmm {
@@ -53,6 +54,11 @@ class QbeMatcher {
   const HierarchicalModel& model_;
   QbeOptions options_;
   std::vector<int> features_;
+  // Per-feature Eq.-14 weights resolved once: the weight event's P12 row
+  // or uniform 1/K. Full-width so both the dense row kernel and the
+  // indexed subset kernel can index it by feature id.
+  std::vector<double> weights_;
+  Eq14Kernel kernel_ = Eq14Kernel::kScalar;  // resolved at construction
 };
 
 }  // namespace hmmm

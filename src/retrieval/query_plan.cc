@@ -1,8 +1,11 @@
 #include "retrieval/query_plan.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "common/aligned.h"
 #include "common/logging.h"
+#include "retrieval/eq14_kernel.h"
 #include "storage/event_index.h"
 
 namespace hmmm {
@@ -43,7 +46,8 @@ void DenseBitset::SetAll() {
 void DenseBitset::Reset() { std::fill(words_.begin(), words_.end(), 0); }
 
 EventBitmapIndex::EventBitmapIndex(const HierarchicalModel& model,
-                                   const VideoCatalog& catalog)
+                                   const VideoCatalog& catalog,
+                                   Eq14Kernel kernel)
     : model_version_(model.version()),
       num_videos_(model.num_videos()),
       num_events_(model.vocabulary().size()) {
@@ -79,6 +83,32 @@ EventBitmapIndex::EventBitmapIndex(const HierarchicalModel& model,
           static_cast<size_t>(model.VideoOfGlobalState(state));
       shot_events_[video * num_events_ + e].Set(
           static_cast<size_t>(model.LocalStateIndexOf(state)));
+    }
+  }
+
+  // Exact per-(state, event) Eq.-14 similarities under the DEFAULT scorer
+  // options, one batch kernel call per event over a feature-major SoA
+  // transpose of B1 (32-byte-aligned base, lane-padded stride). The batch
+  // kernel shares the row kernel's association order, so these are the
+  // same bits a query-time scorer produces — which is what lets the
+  // cube-pruned traversal use them as its frontier priorities.
+  centroid_epsilon_ = ScorerOptions{}.centroid_epsilon;
+  const auto num_states = static_cast<size_t>(model.num_global_states());
+  const auto num_features = static_cast<size_t>(model.num_features());
+  event_sims_ = Matrix(num_events_, num_states);
+  if (num_states > 0 && num_events_ > 0) {
+    const size_t stride = Eq14SoaStride(num_states);
+    AlignedVector<double> b1_soa(num_features * stride, 0.0);
+    for (size_t s = 0; s < num_states; ++s) {
+      const double* row = model.b1().RowPtr(s);
+      for (size_t f = 0; f < num_features; ++f) {
+        b1_soa[f * stride + s] = row[f];
+      }
+    }
+    for (size_t e = 0; e < num_events_; ++e) {
+      Eq14Batch(kernel, b1_soa.data(), stride, num_states,
+                model.b1_prime().RowPtr(e), model.p12().RowPtr(e),
+                num_features, centroid_epsilon_, event_sims_.MutableRowPtr(e));
     }
   }
 }
@@ -138,11 +168,45 @@ QueryPlan::QueryPlan(const HierarchicalModel& model,
       index_(index),
       pattern_(pattern),
       scorer_(model, scorer_options),
-      num_steps_(pattern.size()) {
+      num_steps_(pattern.size()),
+      exact_priorities_(index.HasExactSims(scorer_options)) {
   HMMM_CHECK(index_.FreshFor(model));
   memo_epoch_.assign(model.num_global_states() * num_steps_, 0);
   memo_value_.assign(memo_epoch_.size(), 0.0);
   candidates_.resize(model.num_videos() * num_steps_);
+  if (exact_priorities_) {
+    // Combine the index's per-(state, event) sims into a flat
+    // (state x step) priority table once per plan: priorities are
+    // query-scoped (no walk state feeds them), and a table lookup keeps
+    // the per-cell cost of the cube-pruned frontier to one multiply.
+    // The combination mirrors SimilarityScorer::StepSimilarity
+    // bit-for-bit: events of an alternative sum in declaration order,
+    // the mean divides once, and the best alternative wins by
+    // (first || mean > best). Any drift here would desynchronize the
+    // frontier's priorities from the true weights and break the ranking
+    // guarantee, so keep the arithmetic in lockstep.
+    priorities_.resize(memo_epoch_.size());
+    const auto num_states = static_cast<size_t>(model.num_global_states());
+    for (size_t state = 0; state < num_states; ++state) {
+      for (size_t step = 0; step < num_steps_; ++step) {
+        double best = 0.0;
+        bool first = true;
+        for (const auto& alternative : pattern_.steps[step].alternatives) {
+          if (alternative.empty()) continue;
+          double sum = 0.0;
+          for (EventId e : alternative) {
+            sum += index_.EventSimilarity(static_cast<int>(state), e);
+          }
+          const double mean = sum / static_cast<double>(alternative.size());
+          if (first || mean > best) {
+            best = mean;
+            first = false;
+          }
+        }
+        priorities_[state * num_steps_ + step] = first ? 0.0 : best;
+      }
+    }
+  }
 }
 
 void QueryPlan::BeginVideoWalk() {

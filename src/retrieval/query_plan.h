@@ -2,10 +2,12 @@
 #define HMMM_RETRIEVAL_QUERY_PLAN_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/hierarchical_model.h"
 #include "query/translator.h"
+#include "retrieval/eq14_kernel.h"
 #include "retrieval/result.h"
 #include "retrieval/scorer.h"
 #include "storage/catalog.h"
@@ -72,12 +74,22 @@ class DenseBitset {
 ///    ShotRecord::HasEvent loops of Step 3. Built by walking the
 ///    catalog's EventIndex postings (event -> shots), so construction is
 ///    O(annotations), not O(states x events).
+///  - EventSimilarity(s, e): the EXACT Eq.-14 similarity of every
+///    (global state, event) pair under default scorer options,
+///    precomputed with one SoA batch-kernel call per event over a
+///    32-byte-aligned feature-major transpose of B1. The cube-pruned
+///    traversal orders its frontier by these, so only near-winning hops
+///    pay a query-time Eq.-14/15 evaluation (DESIGN.md §5.1).
 class EventBitmapIndex {
  public:
   /// Both references are only read during construction. The built index
   /// snapshots model.version(); FreshFor() tells a caching layer when a
-  /// rebuild is due.
-  EventBitmapIndex(const HierarchicalModel& model, const VideoCatalog& catalog);
+  /// rebuild is due. `kernel` selects the Eq.-14 batch kernel for the
+  /// sim precomputation (default: runtime CPU pick); every kernel
+  /// produces identical bits, so the choice only affects build time —
+  /// exposed for the scalar-vs-SIMD A/B benches.
+  EventBitmapIndex(const HierarchicalModel& model, const VideoCatalog& catalog,
+                   Eq14Kernel kernel = DefaultEq14Kernel());
 
   uint64_t model_version() const { return model_version_; }
   bool FreshFor(const HierarchicalModel& model) const {
@@ -119,6 +131,25 @@ class EventBitmapIndex {
   void StatesAnnotatedForStep(VideoId video, const PatternStep& step,
                               DenseBitset* out) const;
 
+  /// Precomputed Eq.-14 similarity of `global_state` to `event`. Bit-for-
+  /// bit equal to what a SimilarityScorer computes at query time — the
+  /// batch and row kernels share one association order — but ONLY under
+  /// the options HasExactSims() accepts.
+  double EventSimilarity(int global_state, EventId event) const {
+    return event_sims_.at(static_cast<size_t>(event),
+                          static_cast<size_t>(global_state));
+  }
+
+  /// True when the precomputed sims are valid for `options`: the default
+  /// centroid epsilon and no feature subset. Kernel choice is irrelevant
+  /// (all kernels produce identical bits). When this is false, QueryPlan
+  /// falls back to +infinity priorities, which degrades the cube-pruned
+  /// search to evaluating every cell — same results, no saving.
+  bool HasExactSims(const ScorerOptions& options) const {
+    return options.feature_subset.empty() &&
+           options.centroid_epsilon == centroid_epsilon_;
+  }
+
  private:
   uint64_t model_version_ = 0;
   size_t num_videos_ = 0;
@@ -126,6 +157,8 @@ class EventBitmapIndex {
   std::vector<DenseBitset> video_events_;  // [event] -> videos
   DenseBitset nonempty_videos_;
   std::vector<DenseBitset> shot_events_;   // [video*E + event] -> local states
+  double centroid_epsilon_ = 0.0;  // epsilon event_sims_ was built with
+  Matrix event_sims_;              // [event][global state] exact Eq.-14 sims
 };
 
 /// Query-tier scratch of the query-plan layer: one instance per worker
@@ -176,6 +209,25 @@ class QueryPlan {
   /// from the memo and counted in memo_hits().
   double StepSimilarity(int state, size_t step_index);
 
+  /// The priority oracle of the cube-pruned frontier: when
+  /// exact_priorities() is true this returns EXACTLY the value
+  /// StepSimilarity would (the index's precomputed per-event sims,
+  /// combined at plan build with the same sum-in-order / divide / max-by
+  /// arithmetic into a flat (state x step) table), without touching the
+  /// scorer or its evaluation counter. Otherwise it returns +infinity —
+  /// an admissible bound that makes every frontier cell pop, reproducing
+  /// the unpruned search.
+  double StepPriority(int state, size_t step_index) const {
+    if (!exact_priorities_) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return priorities_[static_cast<size_t>(state) * num_steps_ + step_index];
+  }
+
+  /// True when the index's precomputed sims match this plan's scorer
+  /// options, i.e. StepPriority is exact rather than +infinity.
+  bool exact_priorities() const { return exact_priorities_; }
+
   /// Sorted local states of `video` annotated for step `step_index`
   /// (Step 3's candidate set before range slicing). Computed once per
   /// walk per (video, step); repeats are counted in candidate_reuse().
@@ -210,6 +262,10 @@ class QueryPlan {
   // even before the first BeginVideoWalk().
   uint32_t epoch_ = 1;
   size_t num_steps_ = 0;
+  bool exact_priorities_ = false;
+  // (state x step) exact step priorities, filled at construction when
+  // exact_priorities_ (query-scoped: they do not depend on the walk).
+  std::vector<double> priorities_;
 
   // (state x step) Eq.-15 memo; a slot is valid iff its stamp == epoch_.
   std::vector<uint32_t> memo_epoch_;

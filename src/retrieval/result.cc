@@ -13,6 +13,8 @@ void AccumulateRetrievalStats(const RetrievalStats& from, RetrievalStats* to) {
   to->annotated_fallbacks += from.annotated_fallbacks;
   to->sim_memo_hits += from.sim_memo_hits;
   to->candidate_list_reuse += from.candidate_list_reuse;
+  to->heap_pops += from.heap_pops;
+  to->grid_cells_skipped += from.grid_cells_skipped;
   to->truncated = to->truncated || from.truncated;
   to->degraded = to->degraded || from.degraded;
   to->videos_skipped += from.videos_skipped;

@@ -36,6 +36,14 @@ struct RetrievalStats {
                                    // query plan's per-walk memo
   size_t candidate_list_reuse = 0; // candidate-state lists served from the
                                    // query plan's per-walk cache
+  size_t heap_pops = 0;            // grid cells that paid a query-time
+                                   // Eq.-14/15 step evaluation: winners
+                                   // whose weight a later step consumed,
+                                   // plus each video's Step-6 argmax cell
+  size_t grid_cells_skipped = 0;   // grid cells that never paid: proved
+                                   // non-winning by their precomputed
+                                   // priority, or winners that dead-ended;
+                                   // always states_visited - heap_pops
   bool truncated = false;          // an enumeration cap was hit
   /// The retrieval hit its deadline (or was cancelled) and returned the
   /// best *anytime* result over the prefix of Step-2 videos whose lattice

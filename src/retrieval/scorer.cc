@@ -15,12 +15,16 @@ SimilarityScorer::SimilarityScorer(const HierarchicalModel& model,
     for (size_t i = 0; i < features_.size(); ++i) {
       features_[i] = static_cast<int>(i);
     }
+    dense_ = true;
   } else {
     features_ = options_.feature_subset;
     for (int f : features_) {
       HMMM_CHECK(f >= 0 && f < model_.num_features());
     }
+    dense_ = false;
   }
+  kernel_ = options_.force_scalar_kernel ? Eq14Kernel::kScalar
+                                         : DefaultEq14Kernel();
 }
 
 double SimilarityScorer::EventSimilarity(int global_state,
@@ -29,20 +33,17 @@ double SimilarityScorer::EventSimilarity(int global_state,
   const auto state = static_cast<size_t>(global_state);
   const auto e = static_cast<size_t>(event);
   // Row pointers hoist the three per-row offset computations (and their
-  // bounds logic) out of the feature loop; the arithmetic itself is
-  // unchanged, so scores stay bit-identical.
+  // bounds logic) out of the kernel; the kernel's canonical association
+  // order keeps the score independent of which implementation runs.
   const double* b1_row = model_.b1().RowPtr(state);
   const double* centroid_row = model_.b1_prime().RowPtr(e);
   const double* p12_row = model_.p12().RowPtr(e);
-  double sim = 0.0;
-  for (int f : features_) {
-    const auto fy = static_cast<size_t>(f);
-    const double centroid =
-        std::max(centroid_row[fy], options_.centroid_epsilon);
-    const double diff = std::abs(b1_row[fy] - centroid_row[fy]);
-    sim += p12_row[fy] * (1.0 - diff) / centroid;
+  if (dense_) {
+    return Eq14Row(kernel_, b1_row, centroid_row, p12_row, features_.size(),
+                   options_.centroid_epsilon);
   }
-  return sim;
+  return Eq14RowIndexed(b1_row, centroid_row, p12_row, features_.data(),
+                        features_.size(), options_.centroid_epsilon);
 }
 
 double SimilarityScorer::StepSimilarity(int global_state,

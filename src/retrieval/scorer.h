@@ -5,6 +5,7 @@
 
 #include "core/hierarchical_model.h"
 #include "query/translator.h"
+#include "retrieval/eq14_kernel.h"
 
 namespace hmmm {
 
@@ -16,6 +17,11 @@ struct ScorerOptions {
   /// Restrict the evaluation to these feature indices (the paper's
   /// "non-zero features of the query sample", 1 <= K <= 20). Empty = all.
   std::vector<int> feature_subset;
+  /// Force the scalar Eq.-14 kernel for this scorer regardless of CPU
+  /// support (programmatic twin of the HMMM_FORCE_SCALAR env var; used
+  /// by the kernel A/B tests and benches). Scores are bit-identical
+  /// either way — this only changes which instructions compute them.
+  bool force_scalar_kernel = false;
 };
 
 /// Implements the similarity of Eq. 14:
@@ -23,6 +29,12 @@ struct ScorerOptions {
 /// plus the step-level extension for compound query steps: a conjunctive
 /// arc scores the mean of its events' similarities, and a step scores its
 /// best alternative arc.
+///
+/// The per-feature loop is delegated to the Eq.-14 kernel family
+/// (eq14_kernel.h): the dense path dispatches to the runtime-selected
+/// scalar/AVX2 row kernel, the feature_subset path to the indexed scalar
+/// kernel. All kernels share one association order, so the similarity a
+/// scorer reports never depends on the kernel that ran.
 class SimilarityScorer {
  public:
   /// The model must outlive the scorer.
@@ -40,10 +52,16 @@ class SimilarityScorer {
   size_t evaluations() const { return evaluations_; }
   void ResetEvaluationCount() { evaluations_ = 0; }
 
+  /// The kernel this scorer resolved at construction.
+  Eq14Kernel kernel() const { return kernel_; }
+  const char* kernel_name() const { return Eq14KernelName(kernel_); }
+
  private:
   const HierarchicalModel& model_;
   ScorerOptions options_;
   std::vector<int> features_;  // resolved feature index list
+  bool dense_ = false;         // features_ is the full identity range
+  Eq14Kernel kernel_ = Eq14Kernel::kScalar;
   mutable size_t evaluations_ = 0;
 };
 

@@ -13,6 +13,11 @@ namespace hmmm {
 /// signature contains a first-step event are traversed — the multi-level
 /// generalization Definition 1 allows, applied as ClassView-style ([10])
 /// hierarchical pruning on top of the 2-level engine.
+///
+/// The per-video lattice walk is delegated to HmmmTraversal, so the
+/// cube-pruned best-first beam selection and its heap_pops /
+/// grid_cells_skipped accounting (traversal.h) apply here unchanged —
+/// the category layer only decides WHICH videos are walked, never how.
 class ThreeLevelTraversal {
  public:
   /// All references must outlive the traversal. `pool` and `index`

@@ -10,6 +10,7 @@
 #include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "retrieval/topk.h"
 
 namespace hmmm {
 namespace {
@@ -24,40 +25,18 @@ struct VideoCandidate {
 
 /// Strict total order: higher SS first, then earlier visiting position.
 /// Total because order_index is unique per candidate.
-bool BetterCandidate(const VideoCandidate& a, const VideoCandidate& b) {
-  if (a.pattern.score != b.pattern.score) {
-    return a.pattern.score > b.pattern.score;
-  }
-  return a.order_index < b.order_index;
-}
-
-/// Bounded best-K accumulator: a heap with the *worst* retained
-/// candidate at the front so an insertion beyond capacity evicts it.
-class TopKHeap {
- public:
-  explicit TopKHeap(size_t capacity) : capacity_(capacity) {}
-
-  void Push(VideoCandidate candidate) {
-    if (entries_.size() == capacity_) {
-      // Full: the front holds the worst retained candidate, so anything
-      // not beating it would be pushed and immediately popped — skip the
-      // heap churn entirely.
-      if (!BetterCandidate(candidate, entries_.front())) return;
-      std::pop_heap(entries_.begin(), entries_.end(), BetterCandidate);
-      entries_.back() = std::move(candidate);
-      std::push_heap(entries_.begin(), entries_.end(), BetterCandidate);
-      return;
+struct BetterCandidate {
+  bool operator()(const VideoCandidate& a, const VideoCandidate& b) const {
+    if (a.pattern.score != b.pattern.score) {
+      return a.pattern.score > b.pattern.score;
     }
-    entries_.push_back(std::move(candidate));
-    std::push_heap(entries_.begin(), entries_.end(), BetterCandidate);
+    return a.order_index < b.order_index;
   }
-
-  std::vector<VideoCandidate>& entries() { return entries_; }
-
- private:
-  size_t capacity_;
-  std::vector<VideoCandidate> entries_;
 };
+
+/// Bounded best-K accumulator for the per-shard Step 7-9 merge
+/// (retrieval/topk.h for the heap mechanics).
+using CandidateHeap = TopKHeap<VideoCandidate, BetterCandidate>;
 
 /// Dynamic-scheduling chunk size for the per-video fan-out: one video per
 /// claim balances well (per-video lattice cost varies with annotation
@@ -78,6 +57,8 @@ void AccumulateStats(const RetrievalStats& shard, RetrievalStats* stats) {
   stats->annotated_fallbacks += shard.annotated_fallbacks;
   stats->sim_memo_hits += shard.sim_memo_hits;
   stats->candidate_list_reuse += shard.candidate_list_reuse;
+  stats->heap_pops += shard.heap_pops;
+  stats->grid_cells_skipped += shard.grid_cells_skipped;
   stats->truncated = stats->truncated || shard.truncated;
 }
 
@@ -255,9 +236,27 @@ HmmmTraversal::PathRef HmmmTraversal::Extend(QueryPlan& plan,
   return extended;
 }
 
-void HmmmTraversal::ExpandWithinVideo(QueryPlan& plan, const PathRef& path,
-                                      size_t step_index, RetrievalStats* stats,
-                                      std::vector<PathRef>* out) const {
+namespace {
+
+/// Frontier key of an unevaluated cell: the exact true weight when the
+/// plan's priorities are exact, +infinity otherwise. The infinity case is
+/// computed directly (never base * inf, which would produce NaN for a
+/// zero base and wreck the heap order); it makes every cell pop, so the
+/// search degrades to the reference's evaluate-everything behavior.
+double CellPriority(const QueryPlan& plan, double base, int state,
+                    size_t step_index) {
+  if (!plan.exact_priorities()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return base * plan.StepPriority(state, step_index);
+}
+
+}  // namespace
+
+void HmmmTraversal::BuildWithinRow(QueryPlan& plan, const PathRef& path,
+                                   size_t step_index, RetrievalStats* stats,
+                                   int32_t row, WalkScratch& scratch) const {
+  std::vector<GridCell>* out = &scratch.cells;
   const LocalShotModel& local = model_.local(path.current_video);
   const int n = static_cast<int>(local.num_states());
   if (n == 0) return;
@@ -274,7 +273,8 @@ void HmmmTraversal::ExpandWithinVideo(QueryPlan& plan, const PathRef& path,
   // shots of the current one.
   const int last_next =
       pattern_step.max_gap >= 0 ? current_local + pattern_step.max_gap : n - 1;
-  std::vector<int> candidates;
+  std::vector<int>& candidates = scratch.candidates;
+  candidates.clear();
   CandidateStates(plan, path.current_video, first_next, last_next, step_index,
                   stats, &candidates);
   const double* a1_row = local.a1.RowPtr(static_cast<size_t>(current_local));
@@ -283,22 +283,29 @@ void HmmmTraversal::ExpandWithinVideo(QueryPlan& plan, const PathRef& path,
     if (transition <= 0.0) continue;
     const int next_global =
         model_.GlobalStateOf(local.states[static_cast<size_t>(t)]);
-    const double sim = plan.StepSimilarity(next_global, step_index);
-    const double weight = path.last_weight * transition * sim;  // Eq. 13
+    // Eq.-13 prefix: w_j = (last_weight * A1) * sim, so the cell carries
+    // base = last_weight * A1 and the sim factor joins only if the cell
+    // pops. The grid cell itself still counts as a visited lattice node.
+    const double base = path.last_weight * transition;
     if (stats != nullptr) ++stats->states_visited;
-    out->push_back(Extend(plan, path, next_global, weight));
+    out->push_back(GridCell{base,
+                            CellPriority(plan, base, next_global, step_index),
+                            next_global, static_cast<uint32_t>(out->size()),
+                            row, path.current_video, false});
   }
 }
 
-void HmmmTraversal::ExpandCrossVideo(QueryPlan& plan, const PathRef& path,
-                                     size_t step_index, RetrievalStats* stats,
-                                     std::vector<PathRef>* out) const {
+void HmmmTraversal::BuildCrossCells(QueryPlan& plan, const PathRef& path,
+                                    size_t step_index, RetrievalStats* stats,
+                                    int32_t row, WalkScratch& scratch) const {
+  std::vector<GridCell>* out = &scratch.cells;
   // Rank candidate next videos by A2 affinity from the current one,
   // preferring videos that contain the anticipated event (Fig. 3's
   // higher-level hand-over). Containment comes from the step's video
   // bitset (B2 positivity) instead of per-video B2 row scans.
   const PatternStep& pattern_step = plan.pattern().steps[step_index];
-  std::vector<VideoId> candidates;
+  std::vector<VideoId>& candidates = scratch.cross_videos;
+  candidates.clear();
   const DenseBitset step_videos = plan.index().VideosContainingStep(pattern_step);
   step_videos.ForEachSetBit([&](size_t v) {
     const auto video = static_cast<VideoId>(v);
@@ -320,21 +327,206 @@ void HmmmTraversal::ExpandCrossVideo(QueryPlan& plan, const PathRef& path,
   for (VideoId video : candidates) {
     const LocalShotModel& local = model_.local(video);
     const double hop = a2_row[static_cast<size_t>(video)];
-    std::vector<int> states;
+    const double hop_weight = path.last_weight * hop;
+    std::vector<int>& states = scratch.candidates;
+    states.clear();
     CandidateStates(plan, video, 0, static_cast<int>(local.num_states()) - 1,
                     step_index, stats, &states);
     for (int ti : states) {
       const auto t = static_cast<size_t>(ti);
       const int next_global = model_.GlobalStateOf(local.states[t]);
-      const double sim = plan.StepSimilarity(next_global, step_index);
-      const double weight = path.last_weight * hop * local.pi1[t] * sim;
+      // Reference association order: ((last_weight * hop) * Pi1) * sim.
+      const double base = hop_weight * local.pi1[t];
       if (stats != nullptr) ++stats->states_visited;
-      PathRef extended = Extend(plan, path, next_global, weight);
-      extended.crossed_video = true;
-      extended.current_video = video;
-      out->push_back(extended);
+      out->push_back(
+          GridCell{base, CellPriority(plan, base, next_global, step_index),
+                   next_global, static_cast<uint32_t>(out->size()), row, video,
+                   true});
     }
   }
+}
+
+void HmmmTraversal::SelectWinners(QueryPlan& plan, size_t step_index,
+                                  size_t beam, bool final_step,
+                                  const std::vector<PathRef>* parents,
+                                  WalkScratch& scratch,
+                                  RetrievalStats* stats) const {
+  std::vector<GridCell>& cells = scratch.cells;
+  const std::vector<RowSpan>& rows = scratch.rows;
+  std::vector<ScoredCell>* winners = &scratch.winners;
+  winners->clear();
+  const size_t total = cells.size();
+  if (total == 0) return;
+  const bool exact = plan.exact_priorities();
+  if (stats != nullptr && total > beam) stats->beam_pruned += total - beam;
+
+  // (weight desc, gen asc): the reference's stable-sort winner order,
+  // total because gen is unique per cell within a step.
+  struct BetterScoredCell {
+    bool operator()(const ScoredCell& a, const ScoredCell& b) const {
+      if (a.weight != b.weight) return a.weight > b.weight;
+      return a.cell.gen < b.cell.gen;
+    }
+  };
+  // (priority desc, gen asc): the frontier's pop order. With exact
+  // priorities it coincides with BetterScoredCell over the true weights.
+  struct BetterCellFn {
+    bool operator()(const GridCell& a, const GridCell& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.gen < b.gen;
+    }
+  };
+  const BetterCellFn BetterCell;
+
+  // Frontier over the row spans: at most one live cell per row, highest
+  // (priority, then earliest gen) at the front. Because each row is
+  // sorted by the same key and a cell enters only after its row
+  // predecessor popped, cells pop in global (priority desc, gen asc)
+  // order — with exact priorities that IS (true weight desc, gen asc),
+  // the reference's stable-sort order. Only engaged when total > beam;
+  // otherwise every cell is a winner and the heaps would be pure
+  // overhead.
+  const auto frontier_less = [&](const FrontierRef& a, const FrontierRef& b) {
+    return BetterCell(cells[b.index], cells[a.index]);
+  };
+  std::vector<FrontierRef>& frontier = scratch.frontier;
+  frontier.clear();
+  const auto build_frontier = [&] {
+    for (const RowSpan& row : rows) {
+      if (row.begin == row.end) continue;
+      std::sort(cells.begin() + row.begin, cells.begin() + row.end,
+                BetterCell);
+      frontier.push_back(FrontierRef{row.begin, row.end});
+    }
+    std::make_heap(frontier.begin(), frontier.end(), frontier_less);
+  };
+
+  if (final_step && exact) {
+    // Lazy last level: no later step consumes a final-step weight — the
+    // only downstream reader is Step 6's argmax over score_sum, and with
+    // exact priorities (priority == true weight bit-for-bit) that argmax
+    // can run on unevaluated cells. So determine the top-`beam` set by
+    // priority, pick the cell the reference's Step-6 scan would pick
+    // (max score_sum, earliest in (weight desc, gen asc) order on ties),
+    // and only THAT cell — the one whose weight the materialized result
+    // reports — pays the Eq.-14/15 evaluation.
+    const GridCell* best = nullptr;
+    double best_score = 0.0;
+    const auto consider = [&](const GridCell& cell) {
+      const double score =
+          parents == nullptr
+              ? cell.priority
+              : (*parents)[static_cast<size_t>(cell.row)].score_sum +
+                    cell.priority;
+      if (best == nullptr || score > best_score ||
+          (score == best_score && BetterCell(cell, *best))) {
+        best = &cell;
+        best_score = score;
+      }
+    };
+    if (total <= beam) {
+      for (const GridCell& cell : cells) consider(cell);
+    } else {
+      build_frontier();
+      for (size_t popped = 0; popped < beam && !frontier.empty(); ++popped) {
+        const FrontierRef top = frontier.front();
+        std::pop_heap(frontier.begin(), frontier.end(), frontier_less);
+        frontier.pop_back();
+        consider(cells[top.index]);
+        if (top.index + 1 < top.end) {
+          frontier.push_back(FrontierRef{top.index + 1, top.end});
+          std::push_heap(frontier.begin(), frontier.end(), frontier_less);
+        }
+      }
+    }
+    const double sim = plan.StepSimilarity(best->state, step_index);
+    const double weight = best->base * sim;
+    // The evaluated weight must equal the precomputed key bit-for-bit;
+    // any drift means the index's sims or the kernel association order
+    // desynchronized from the scorer.
+    HMMM_CHECK(weight == best->priority);
+    if (stats != nullptr) {
+      stats->heap_pops += 1;
+      stats->grid_cells_skipped += total - 1;
+    }
+    winners->push_back(ScoredCell{*best, weight});
+    return;
+  }
+
+  if (exact) {
+    // Intermediate step with exact priorities: pop order IS the true
+    // (weight desc, gen asc) winner order, so the top-min(beam, total)
+    // pops are the winners with weight = priority — no winner heap, no
+    // stop rule, and no evaluation HERE. A winner pays its Eq.-14/15
+    // evaluation at the moment the next step consumes its weight as an
+    // Eq.-13 base prefix (TraverseVideo's deferred payment); a winner
+    // whose path dead-ends is consumed by nothing and never pays.
+    if (total <= beam) {
+      std::sort(cells.begin(), cells.end(), BetterCell);
+      winners->reserve(total);
+      for (const GridCell& cell : cells) {
+        winners->push_back(ScoredCell{cell, cell.priority});
+      }
+      return;
+    }
+    build_frontier();
+    winners->reserve(beam);
+    while (winners->size() < beam && !frontier.empty()) {
+      const FrontierRef top = frontier.front();
+      std::pop_heap(frontier.begin(), frontier.end(), frontier_less);
+      frontier.pop_back();
+      winners->push_back(
+          ScoredCell{cells[top.index], cells[top.index].priority});
+      if (top.index + 1 < top.end) {
+        frontier.push_back(FrontierRef{top.index + 1, top.end});
+        std::push_heap(frontier.begin(), frontier.end(), frontier_less);
+      }
+    }
+    // The cells the frontier proved non-winning resolve to skipped right
+    // away; the winners resolve to popped-or-skipped when (if) they are
+    // consumed.
+    if (stats != nullptr) stats->grid_cells_skipped += total - winners->size();
+    return;
+  }
+
+  // Inexact fallback (+infinity priorities): the frontier cannot prove
+  // anything, so every cell pops, pays an evaluation, and competes in a
+  // true-weight top-K heap — the reference's evaluate-everything
+  // behavior with the same winners and counters.
+  if (total <= beam) {
+    winners->reserve(total);
+    for (const GridCell& cell : cells) {
+      const double sim = plan.StepSimilarity(cell.state, step_index);
+      winners->push_back(ScoredCell{cell, cell.base * sim});
+    }
+    if (stats != nullptr) stats->heap_pops += total;
+    std::sort(winners->begin(), winners->end(), BetterScoredCell{});
+    return;
+  }
+
+  build_frontier();
+  TopKHeap<ScoredCell, BetterScoredCell> best(beam);
+  size_t pops = 0;
+  while (!frontier.empty()) {
+    const FrontierRef top = frontier.front();
+    const GridCell& cell = cells[top.index];
+    std::pop_heap(frontier.begin(), frontier.end(), frontier_less);
+    frontier.pop_back();
+    ++pops;
+    const double sim = plan.StepSimilarity(cell.state, step_index);
+    best.Push(ScoredCell{cell, cell.base * sim});
+    if (top.index + 1 < top.end) {
+      frontier.push_back(FrontierRef{top.index + 1, top.end});
+      std::push_heap(frontier.begin(), frontier.end(), frontier_less);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->heap_pops += pops;
+    stats->grid_cells_skipped += total - pops;
+  }
+  *winners = std::move(best.entries());
+  std::sort(winners->begin(), winners->end(), BetterScoredCell{});
 }
 
 namespace {
@@ -393,8 +585,8 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::Retrieve(
 
 HmmmTraversal::WalkOutcome HmmmTraversal::TraverseVideo(
     VideoId video, const TemporalPattern& pattern, QueryPlan& plan,
-    RetrievalStats* stats, RetrievedPattern* out, int parent_span,
-    int64_t order_index, CancelScope* cancel) const {
+    WalkScratch& scratch, RetrievalStats* stats, RetrievedPattern* out,
+    int parent_span, int64_t order_index, CancelScope* cancel) const {
   const LocalShotModel& local = model_.local(video);
   if (local.num_states() == 0) return WalkOutcome::kNoCandidate;
 
@@ -408,39 +600,59 @@ HmmmTraversal::WalkOutcome HmmmTraversal::TraverseVideo(
   RetrievalStats video_stats;
   ++video_stats.videos_considered;
   QueryTrace* trace = options_.trace;
-  ScopedSpan video_span(trace, StrFormat("video:%d", static_cast<int>(video)),
+  // The span name is only formatted when a trace will record it — the
+  // untraced hot path shouldn't pay a heap-allocating format per video.
+  ScopedSpan video_span(trace,
+                        trace == nullptr
+                            ? std::string()
+                            : StrFormat("video:%d", static_cast<int>(video)),
                         parent_span, order_index);
   const size_t evaluations_before = plan.scorer().evaluations();
   const size_t memo_hits_before = plan.memo_hits();
   const size_t reuse_before = plan.candidate_reuse();
 
   const auto beam = static_cast<size_t>(options_.beam_width);
-  std::vector<PathRef> beam_paths;
+  std::vector<PathRef>& beam_paths = scratch.beam_paths;
+  beam_paths.clear();
   {
     ScopedSpan walk_span(trace, "steps3_5_walk", video_span.id());
-    // Step 4 (j = 1): w1 = Pi1(s1) * sim(s1, e1)  (Eq. 12).
-    std::vector<int> seeds;
-    CandidateStates(plan, video, 0, static_cast<int>(local.num_states()) - 1,
-                    0, &video_stats, &seeds);
-    for (int ii : seeds) {
-      const auto i = static_cast<size_t>(ii);
-      const int global = model_.GlobalStateOf(local.states[i]);
-      const double weight = local.pi1[i] * plan.StepSimilarity(global, 0);
-      ++video_stats.states_visited;
+    // The scratch's flat cell buffer + row spans are reused across steps
+    // and across this worker's videos (clear() keeps the capacity, so
+    // steady state allocates nothing).
+    std::vector<GridCell>& cells = scratch.cells;
+    std::vector<RowSpan>& rows = scratch.rows;
+    std::vector<ScoredCell>& winners = scratch.winners;
+    cells.clear();
+    rows.clear();
+    // Step 4 (j = 1): w1 = Pi1(s1) * sim(s1, e1)  (Eq. 12). The seeds
+    // form a one-row grid with base = Pi1; the frontier pops at most
+    // beam winners, so only those pay the Eq.-15 evaluation.
+    {
+      std::vector<int>& seeds = scratch.candidates;
+      seeds.clear();
+      CandidateStates(plan, video, 0, static_cast<int>(local.num_states()) - 1,
+                      0, &video_stats, &seeds);
+      for (int ii : seeds) {
+        const auto i = static_cast<size_t>(ii);
+        const int global = model_.GlobalStateOf(local.states[i]);
+        const double base = local.pi1[i];
+        ++video_stats.states_visited;
+        cells.push_back(GridCell{base, CellPriority(plan, base, global, 0),
+                                 global, static_cast<uint32_t>(cells.size()),
+                                 0, video, false});
+      }
+      rows.push_back(RowSpan{0, static_cast<uint32_t>(cells.size())});
+    }
+    SelectWinners(plan, 0, beam, /*final_step=*/pattern.size() == 1,
+                  /*parents=*/nullptr, scratch, &video_stats);
+    beam_paths.reserve(winners.size());
+    for (const ScoredCell& w : winners) {
       PathRef path;
-      path.node = plan.AddPathNode(-1, global, weight);
-      path.last_weight = weight;
-      path.score_sum = weight;
+      path.node = plan.AddPathNode(-1, w.cell.state, w.weight);
+      path.last_weight = w.weight;
+      path.score_sum = w.weight;
       path.current_video = video;
       beam_paths.push_back(path);
-    }
-    std::stable_sort(beam_paths.begin(), beam_paths.end(),
-                     [](const PathRef& a, const PathRef& b) {
-                       return a.last_weight > b.last_weight;
-                     });
-    if (beam_paths.size() > beam) {
-      video_stats.beam_pruned += beam_paths.size() - beam;
-      beam_paths.resize(beam);
     }
 
     // Steps 3-5: extend through the remaining events of the pattern.
@@ -458,27 +670,61 @@ HmmmTraversal::WalkOutcome HmmmTraversal::TraverseVideo(
         cancel->CutAt(static_cast<size_t>(order_index));
         return WalkOutcome::kAborted;
       }
-      std::vector<PathRef> expansions;
-      for (const PathRef& path : beam_paths) {
-        const size_t before = expansions.size();
-        ExpandWithinVideo(plan, path, j, &video_stats, &expansions);
+      // Build the step's score grid — one row span per surviving beam
+      // path — without evaluating anything: cells carry bases and
+      // precomputed priorities only. The flat emission order (rows in
+      // beam order, candidates in list order) doubles as the gen
+      // tie-break that makes winner ties resolve exactly like the old
+      // stable sort over a flat expansion list.
+      cells.clear();
+      rows.clear();
+      for (size_t r = 0; r < beam_paths.size(); ++r) {
+        const PathRef& path = beam_paths[r];
+        const auto begin = static_cast<uint32_t>(cells.size());
+        BuildWithinRow(plan, path, j, &video_stats, static_cast<int32_t>(r),
+                       scratch);
         // A finite gap bound implies same-video continuation: the gap is
         // measured in annotated-shot positions, which another video's
         // timeline cannot satisfy.
-        if (expansions.size() == before && options_.cross_video &&
+        if (cells.size() == begin && options_.cross_video &&
             pattern.steps[j].max_gap < 0) {
-          ExpandCrossVideo(plan, path, j, &video_stats, &expansions);
+          BuildCrossCells(plan, path, j, &video_stats,
+                          static_cast<int32_t>(r), scratch);
+        }
+        rows.push_back(RowSpan{begin, static_cast<uint32_t>(cells.size())});
+        if (plan.exact_priorities()) {
+          // Deferred payment for the parent's winning hop (see
+          // SelectWinners): this row's Eq.-13 bases just consumed its
+          // weight — or nothing did, if the path dead-ended, in which
+          // case the hop resolves to skipped and its evaluation is never
+          // paid at all.
+          const int parent_state = plan.node(path.node).state;
+          if (cells.size() > begin) {
+            const double sim = plan.StepSimilarity(parent_state, j - 1);
+            // The evaluated similarity must equal the plan's precomputed
+            // priority bit-for-bit; drift means the index's sims or the
+            // kernel association order desynchronized from the scorer.
+            HMMM_CHECK(sim == plan.StepPriority(parent_state, j - 1));
+            ++video_stats.heap_pops;
+          } else {
+            ++video_stats.grid_cells_skipped;
+          }
         }
       }
-      std::stable_sort(expansions.begin(), expansions.end(),
-                       [](const PathRef& a, const PathRef& b) {
-                         return a.last_weight > b.last_weight;
-                       });
-      if (expansions.size() > beam) {
-        video_stats.beam_pruned += expansions.size() - beam;
-        expansions.resize(beam);
+      SelectWinners(plan, j, beam, /*final_step=*/j + 1 == pattern.size(),
+                    &beam_paths, scratch, &video_stats);
+      std::vector<PathRef>& next_paths = scratch.next_paths;
+      next_paths.clear();
+      next_paths.reserve(winners.size());
+      for (const ScoredCell& w : winners) {
+        PathRef extended =
+            Extend(plan, beam_paths[static_cast<size_t>(w.cell.row)],
+                   w.cell.state, w.weight);
+        if (w.cell.crossed) extended.crossed_video = true;
+        extended.current_video = w.cell.video;
+        next_paths.push_back(extended);
       }
-      beam_paths = std::move(expansions);
+      std::swap(beam_paths, next_paths);
     }
   }
 
@@ -507,6 +753,8 @@ HmmmTraversal::WalkOutcome HmmmTraversal::TraverseVideo(
   video_span.Counter("sim_memo_hits", video_stats.sim_memo_hits);
   video_span.Counter("candidate_list_reuse", video_stats.candidate_list_reuse);
   video_span.Counter("beam_pruned", video_stats.beam_pruned);
+  video_span.Counter("heap_pops", video_stats.heap_pops);
+  video_span.Counter("grid_cells_skipped", video_stats.grid_cells_skipped);
   video_span.Counter("annotated_fallbacks", video_stats.annotated_fallbacks);
   video_span.Counter("candidates_scored", video_stats.candidates_scored);
   if (stats != nullptr) AccumulateStats(video_stats, stats);
@@ -557,8 +805,11 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
           size_t capacity)
         : plan(model, index, pattern, options), top(capacity) {}
     QueryPlan plan;
-    TopKHeap top;
+    CandidateHeap top;
     RetrievalStats stats;
+    // Reused across this worker's walks; capacities reach steady state
+    // after the first couple of videos and the fan-out stops allocating.
+    WalkScratch scratch;
     // Cancellable mode collects *everything* instead of using the heap:
     // the merge must drop any candidate at or beyond the final cutoff,
     // and a bounded heap could already have evicted a low-scoring
@@ -589,8 +840,8 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
   const auto visit = [&](Shard& shard, size_t i) {
     if (!cancellable) {
       RetrievedPattern candidate;
-      if (TraverseVideo(order[i], pattern, shard.plan, &shard.stats,
-                        &candidate, fanout_span.id(),
+      if (TraverseVideo(order[i], pattern, shard.plan, shard.scratch,
+                        &shard.stats, &candidate, fanout_span.id(),
                         static_cast<int64_t>(i)) == WalkOutcome::kCandidate) {
         shard.top.Push({std::move(candidate), i});
       }
@@ -610,8 +861,9 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
     std::pair<size_t, RetrievalStats> walk{i, RetrievalStats{}};
     const size_t evaluations_before = shard.plan.scorer().evaluations();
     const WalkOutcome outcome =
-        TraverseVideo(order[i], pattern, shard.plan, &walk.second, &candidate,
-                      fanout_span.id(), static_cast<int64_t>(i), &scope);
+        TraverseVideo(order[i], pattern, shard.plan, shard.scratch,
+                      &walk.second, &candidate, fanout_span.id(),
+                      static_cast<int64_t>(i), &scope);
     if (outcome == WalkOutcome::kAborted) return;
     walk.second.sim_evaluations =
         shard.plan.scorer().evaluations() - evaluations_before;
@@ -687,7 +939,7 @@ StatusOr<std::vector<RetrievedPattern>> HmmmTraversal::RetrieveWithVideoOrder(
   // max_results candidates, so the union is a superset of the global top
   // K; the (score, order) total order reproduces the serial ranking.
   ScopedSpan merge_span(options_.trace, "step8_9_merge_rank");
-  std::sort(survivors.begin(), survivors.end(), BetterCandidate);
+  std::sort(survivors.begin(), survivors.end(), BetterCandidate{});
   if (survivors.size() > top_k) survivors.resize(top_k);
   std::vector<RetrievedPattern> results;
   results.reserve(survivors.size());

@@ -83,9 +83,27 @@ struct TraversalOptions {
 /// model-tier EventBitmapIndex answers "which videos / local shots carry
 /// this event" with bitsets, and a per-worker QueryPlan memoizes Eq.-15
 /// scores, caches per-(video, step) candidate lists and arena-allocates
-/// beam paths. Neither tier changes any computed value — rankings, edge
-/// weights and every RetrievalStats counter are byte-identical to the
-/// naive per-path walk (asserted by reference_traversal_test).
+/// beam paths.
+///
+/// Each step's beam selection is a cube-pruned best-first search rather
+/// than a breadth-first expand-all: the (prev-path x candidate-state)
+/// score grid is enumerated as unevaluated cells carrying an exact
+/// priority from the index's precomputed per-(state, event) similarities,
+/// a frontier heap seeded with each row's best cell pops at most
+/// beam-width winners, and only winning cells pay a query-time Eq.-14/15
+/// evaluation (heap_pops); the rest are skipped (grid_cells_skipped).
+/// Payment is deferred to the point of consumption: an intermediate
+/// winner pays when the next step reads its weight as an Eq.-13 base
+/// prefix (a dead-ended path never pays), and on the final step — whose
+/// weights feed nothing but Step 6's argmax, which runs on the exact
+/// priorities — only the one winning cell per video pays (see
+/// SelectWinners).
+/// Neither the plan tiers nor the pruned search change any computed
+/// value — rankings, edge weights, states_visited, beam_pruned and the
+/// other structural counters are byte-identical to the naive per-path
+/// walk at every beam width, thread count and kernel choice (asserted by
+/// reference_traversal_test); only the evaluation-effort counters
+/// (sim_evaluations, sim_memo_hits) shrink. See DESIGN.md §5.1.
 class HmmmTraversal {
  public:
   /// Model and catalog must outlive the traversal. When `pool` is given
@@ -150,6 +168,107 @@ class HmmmTraversal {
     bool crossed_video = false;
   };
 
+  /// One unevaluated cell of a step's (prev-path x candidate-state) score
+  /// grid. `base` is the Eq.-13 weight prefix — everything except the
+  /// final sim factor, accumulated in the reference association order —
+  /// and `priority` is the cell's frontier key: base * the index's exact
+  /// precomputed step similarity (bit-for-bit the true weight) when the
+  /// plan's priorities are exact, +infinity otherwise. `gen` is the
+  /// cell's position in the reference emission order (rows in beam
+  /// order, candidates in list order — its append index in the step's
+  /// flat cell buffer), the tie-break that keeps winner selection
+  /// byte-identical to the reference stable sort.
+  struct GridCell {
+    double base = 0.0;
+    double priority = 0.0;
+    int state = -1;        // global state of the hop
+    uint32_t gen = 0;
+    int32_t row = -1;      // index of the beam path this cell extends
+    VideoId video = -1;    // path's video after this hop
+    bool crossed = false;  // hop jumps to another video (Fig. 3 hand-over)
+  };
+
+  /// Half-open [begin, end) range of one beam path's cells within the
+  /// step's flat cell buffer. A flat buffer plus spans is reused across
+  /// steps (capacity survives clear()), where a vector-of-rows would
+  /// reallocate every inner vector each step.
+  struct RowSpan {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  /// A popped cell with its evaluated true weight w_j = base * sim.
+  struct ScoredCell {
+    GridCell cell;
+    double weight = 0.0;
+  };
+
+  /// One live frontier entry: a row's current best unpopped cell position
+  /// in the flat cell buffer, plus the row's end. The row successor
+  /// (index + 1) enters the heap only after this cell pops.
+  struct FrontierRef {
+    uint32_t index = 0;
+    uint32_t end = 0;
+  };
+
+  /// Per-worker scratch buffers threaded through the walk so the
+  /// steady-state traversal allocates nothing: each vector's capacity
+  /// survives clear() across rows, steps and videos. One instance per
+  /// fan-out shard — never shared across threads.
+  struct WalkScratch {
+    std::vector<GridCell> cells;       // one step's flat score grid
+    std::vector<RowSpan> rows;         // one span per beam path
+    std::vector<ScoredCell> winners;   // SelectWinners output
+    std::vector<FrontierRef> frontier; // cube-pruning heap storage
+    std::vector<int> candidates;       // CandidateStates output
+    std::vector<VideoId> cross_videos; // BuildCrossCells video ranking
+    std::vector<PathRef> beam_paths;   // surviving beam, current step
+    std::vector<PathRef> next_paths;   // beam under construction
+  };
+
+  /// Appends the within-video grid row for `path` at `step_index` to
+  /// `scratch.cells`: candidate states sliced to the gap window,
+  /// transition-filtered, with base = last_weight * A1 — the reference
+  /// expansion minus its Eq.-15 evaluation. Each cell counts toward
+  /// states_visited; its gen is its append position in the buffer.
+  void BuildWithinRow(QueryPlan& plan, const PathRef& path, size_t step_index,
+                      RetrievalStats* stats, int32_t row,
+                      WalkScratch& scratch) const;
+  /// Appends the cross-video fallback cells for `path` (called only when
+  /// its within-video row came up empty, mirroring the reference) to
+  /// `scratch.cells`: top-beam affine videos, base = (last_weight * A2
+  /// hop) * Pi1.
+  void BuildCrossCells(QueryPlan& plan, const PathRef& path, size_t step_index,
+                       RetrievalStats* stats, int32_t row,
+                       WalkScratch& scratch) const;
+  /// The cube-pruned selection over a step's flat cell buffer (`rows`
+  /// spans one range per beam path): sorts each row range by (priority
+  /// desc, gen asc), seeds a frontier heap with every row's best cell,
+  /// and pops the top-`beam` winners. Fills `winners` sorted by (weight
+  /// desc, gen asc), exactly the reference's stable-sorted,
+  /// beam-truncated expansion list. Counts beam_pruned and the pay/skip
+  /// split of heap_pops / grid_cells_skipped.
+  ///
+  /// Who pays the query-time Eq.-14/15 evaluation depends on the mode:
+  ///  - Exact priorities, intermediate step: nobody here. Priority ==
+  ///    true weight bit-for-bit, so pop order is winner order and the
+  ///    winners carry their priorities as weights; each pays later, at
+  ///    the moment the next step consumes its weight (TraverseVideo's
+  ///    deferred payment) — or never, if its path dead-ends.
+  ///  - Exact priorities, `final_step`: the "lazy last level". No later
+  ///    step consumes a final-step weight, and Step 6's argmax over
+  ///    score_sum runs on the exact priorities, so only the single
+  ///    argmax cell — the one whose weight the materialized result
+  ///    actually reports — pays. `parents` supplies the score_sum
+  ///    prefixes (null for the seed step, where the prefix is 0).
+  ///  - Inexact (+infinity) priorities: the frontier can prove nothing,
+  ///    so every cell pops and pays — the reference's
+  ///    evaluate-everything behavior, same winners, same counters.
+  /// Reads `scratch.cells` / `scratch.rows`, fills `scratch.winners`.
+  void SelectWinners(QueryPlan& plan, size_t step_index, size_t beam,
+                     bool final_step, const std::vector<PathRef>* parents,
+                     WalkScratch& scratch, RetrievalStats* stats) const;
+
   /// Appends `state` to `path` with edge weight `weight`.
   static PathRef Extend(QueryPlan& plan, const PathRef& path, int state,
                         double weight);
@@ -163,13 +282,6 @@ class HmmmTraversal {
                        size_t step_index, RetrievalStats* stats,
                        std::vector<int>* out) const;
 
-  void ExpandWithinVideo(QueryPlan& plan, const PathRef& path,
-                         size_t step_index, RetrievalStats* stats,
-                         std::vector<PathRef>* out) const;
-  void ExpandCrossVideo(QueryPlan& plan, const PathRef& path,
-                        size_t step_index, RetrievalStats* stats,
-                        std::vector<PathRef>* out) const;
-
   /// Steps 3-6 for one candidate video: the shot-level lattice walk.
   /// Fills `out` with the video's best path when the video yields a
   /// candidate. Thread-safe across distinct (plan, stats) pairs — the
@@ -180,9 +292,9 @@ class HmmmTraversal {
   /// deadline/cancellation CAS-lowers the scope's cutoff to this walk's
   /// order index and returns kAborted without touching `stats`.
   WalkOutcome TraverseVideo(VideoId video, const TemporalPattern& pattern,
-                            QueryPlan& plan, RetrievalStats* stats,
-                            RetrievedPattern* out, int parent_span = -1,
-                            int64_t order_index = -1,
+                            QueryPlan& plan, WalkScratch& scratch,
+                            RetrievalStats* stats, RetrievedPattern* out,
+                            int parent_span = -1, int64_t order_index = -1,
                             CancelScope* cancel = nullptr) const;
 
   /// Self-built index, rebuilt under the lock when stale; unused when an

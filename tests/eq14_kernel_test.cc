@@ -1,0 +1,179 @@
+#include "retrieval/eq14_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/aligned.h"
+
+namespace hmmm {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+// Deterministic value streams with plenty of sign changes, exact ties
+// (x == r) and sub-eps centroids, so both the |x - r| and max(r, eps)
+// branches get exercised.
+double XVal(size_t k) { return 0.05 * static_cast<double>((k * 7) % 23) - 0.4; }
+double RVal(size_t k) {
+  if (k % 11 == 0) return 0.0;           // centroid below eps
+  if (k % 5 == 0) return XVal(k);        // exact tie: |x - r| == 0
+  return 0.04 * static_cast<double>((k * 13) % 19) + 0.01;
+}
+double WVal(size_t k) { return 0.03 * static_cast<double>((k * 5) % 17) + 0.002; }
+
+std::vector<double> Fill(size_t n, double (*gen)(size_t)) {
+  std::vector<double> out(n);
+  for (size_t k = 0; k < n; ++k) out[k] = gen(k);
+  return out;
+}
+
+// The reference the whole family must reproduce bit-for-bit: four lane
+// partials by position, fma per term, (s0 + s2) + (s1 + s3), sequential
+// fma tail. Written independently of the production code.
+double CanonicalRow(const double* x, const double* r, const double* w,
+                    size_t n) {
+  const size_t main = n & ~size_t{3};
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t k = 0; k < main; ++k) {
+    const double c = r[k] > kEps ? r[k] : kEps;
+    s[k % 4] = std::fma(w[k], (1.0 - std::abs(x[k] - r[k])) / c, s[k % 4]);
+  }
+  double sim = (s[0] + s[2]) + (s[1] + s[3]);
+  for (size_t k = main; k < n; ++k) {
+    const double c = r[k] > kEps ? r[k] : kEps;
+    sim = std::fma(w[k], (1.0 - std::abs(x[k] - r[k])) / c, sim);
+  }
+  return sim;
+}
+
+// Widths crossing every alignment case: sub-lane, exact multiples of
+// four, and every tail length, plus the paper's 20-dim Table-1 vector.
+const size_t kWidths[] = {0, 1, 2, 3, 4, 5, 7, 8, 11, 16, 19, 20, 33};
+
+TEST(Eq14KernelTest, ScalarRowMatchesCanonicalOrderBitForBit) {
+  for (size_t n : kWidths) {
+    const auto x = Fill(n, XVal);
+    const auto r = Fill(n, RVal);
+    const auto w = Fill(n, WVal);
+    const double got =
+        Eq14Row(Eq14Kernel::kScalar, x.data(), r.data(), w.data(), n, kEps);
+    EXPECT_EQ(got, CanonicalRow(x.data(), r.data(), w.data(), n)) << "n=" << n;
+  }
+}
+
+TEST(Eq14KernelTest, Avx2RowIsBitIdenticalToScalar) {
+  if (!Avx2KernelAvailable()) {
+    GTEST_SKIP() << "no AVX2+FMA on this CPU/build";
+  }
+  for (size_t n : kWidths) {
+    const auto x = Fill(n, XVal);
+    const auto r = Fill(n, RVal);
+    const auto w = Fill(n, WVal);
+    const double scalar =
+        Eq14Row(Eq14Kernel::kScalar, x.data(), r.data(), w.data(), n, kEps);
+    const double avx2 =
+        Eq14Row(Eq14Kernel::kAvx2, x.data(), r.data(), w.data(), n, kEps);
+    EXPECT_EQ(scalar, avx2) << "n=" << n;
+  }
+}
+
+TEST(Eq14KernelTest, IndexedRowMatchesDenseOnIdentitySubset) {
+  for (size_t n : kWidths) {
+    const auto x = Fill(n, XVal);
+    const auto r = Fill(n, RVal);
+    const auto w = Fill(n, WVal);
+    std::vector<int> idx(n);
+    for (size_t k = 0; k < n; ++k) idx[k] = static_cast<int>(k);
+    const double dense =
+        Eq14Row(Eq14Kernel::kScalar, x.data(), r.data(), w.data(), n, kEps);
+    const double indexed =
+        Eq14RowIndexed(x.data(), r.data(), w.data(), idx.data(), n, kEps);
+    EXPECT_EQ(dense, indexed) << "n=" << n;
+  }
+}
+
+// A permuted subset must round exactly like a dense row holding the
+// gathered values in subset position order.
+TEST(Eq14KernelTest, IndexedSubsetRoundsLikeGatheredDenseRow) {
+  constexpr size_t kFull = 20;
+  const auto x = Fill(kFull, XVal);
+  const auto r = Fill(kFull, RVal);
+  const auto w = Fill(kFull, WVal);
+  const std::vector<int> idx = {17, 3, 0, 12, 9, 5, 19};
+  std::vector<double> gx, gr, gw;
+  for (int f : idx) {
+    gx.push_back(x[static_cast<size_t>(f)]);
+    gr.push_back(r[static_cast<size_t>(f)]);
+    gw.push_back(w[static_cast<size_t>(f)]);
+  }
+  const double indexed = Eq14RowIndexed(x.data(), r.data(), w.data(),
+                                        idx.data(), idx.size(), kEps);
+  const double dense = Eq14Row(Eq14Kernel::kScalar, gx.data(), gr.data(),
+                               gw.data(), idx.size(), kEps);
+  EXPECT_EQ(indexed, dense);
+}
+
+TEST(Eq14KernelTest, SoaStrideRoundsUpToFourDoubles) {
+  EXPECT_EQ(Eq14SoaStride(0), 0u);
+  EXPECT_EQ(Eq14SoaStride(1), 4u);
+  EXPECT_EQ(Eq14SoaStride(4), 4u);
+  EXPECT_EQ(Eq14SoaStride(5), 8u);
+  EXPECT_EQ(Eq14SoaStride(7), 8u);
+  EXPECT_EQ(Eq14SoaStride(8), 8u);
+}
+
+// Batch over an SoA block must equal a per-candidate Eq14Row over the
+// same values — for every kernel, every candidate count (vector main
+// lanes + scalar remainder), and every feature width.
+TEST(Eq14KernelTest, BatchMatchesRowPerCandidateForAllKernels) {
+  std::vector<Eq14Kernel> kernels = {Eq14Kernel::kScalar};
+  if (Avx2KernelAvailable()) kernels.push_back(Eq14Kernel::kAvx2);
+  const size_t counts[] = {1, 2, 3, 4, 5, 7, 8, 9, 13};
+  for (size_t n : {size_t{3}, size_t{8}, size_t{20}}) {
+    const auto r = Fill(n, RVal);
+    const auto w = Fill(n, WVal);
+    for (size_t count : counts) {
+      const size_t stride = Eq14SoaStride(count);
+      // Candidate c's feature k: reuse the row stream shifted by c so
+      // every candidate sees distinct values.
+      AlignedVector<double> soa(n * stride, 0.0);
+      std::vector<std::vector<double>> rows(count);
+      for (size_t c = 0; c < count; ++c) {
+        rows[c].resize(n);
+        for (size_t k = 0; k < n; ++k) {
+          rows[c][k] = XVal(k + 3 * c);
+          soa[k * stride + c] = rows[c][k];
+        }
+      }
+      for (Eq14Kernel kernel : kernels) {
+        std::vector<double> out(count, -1.0);
+        Eq14Batch(kernel, soa.data(), stride, count, r.data(), w.data(), n,
+                  kEps, out.data());
+        for (size_t c = 0; c < count; ++c) {
+          const double row = Eq14Row(Eq14Kernel::kScalar, rows[c].data(),
+                                     r.data(), w.data(), n, kEps);
+          EXPECT_EQ(out[c], row)
+              << Eq14KernelName(kernel) << " n=" << n << " count=" << count
+              << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(Eq14KernelTest, DefaultKernelIsNamedAndStable) {
+  const Eq14Kernel first = DefaultEq14Kernel();
+  EXPECT_EQ(first, DefaultEq14Kernel());
+  const char* name = Eq14KernelName(first);
+  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "avx2");
+  if (!Avx2KernelAvailable()) {
+    EXPECT_EQ(first, Eq14Kernel::kScalar);
+  }
+}
+
+}  // namespace
+}  // namespace hmmm

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 namespace hmmm {
 namespace {
@@ -16,6 +17,34 @@ TEST(MatrixTest, ConstructAndFill) {
   }
   m.Fill(1.25);
   EXPECT_DOUBLE_EQ(m.at(1, 2), 1.25);
+}
+
+// The storage contract the SIMD Eq.-14 kernel relies on: the backing
+// buffer is 32-byte aligned for every shape (so RowPtr(0) always is, and
+// when cols is a multiple of four doubles EVERY row start is), and the
+// alignment survives copies, moves, and FromRows construction.
+TEST(MatrixTest, StorageIs32ByteAligned) {
+  auto aligned32 = [](const double* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % 32 == 0;
+  };
+  for (size_t rows : {1u, 2u, 5u, 17u}) {
+    for (size_t cols : {1u, 3u, 4u, 8u, 20u, 21u}) {
+      Matrix m(rows, cols, 1.0);
+      EXPECT_TRUE(aligned32(m.data().data())) << rows << "x" << cols;
+      EXPECT_TRUE(aligned32(m.RowPtr(0))) << rows << "x" << cols;
+      if (cols % 4 == 0) {
+        for (size_t r = 0; r < rows; ++r) {
+          EXPECT_TRUE(aligned32(m.RowPtr(r))) << rows << "x" << cols << " row " << r;
+        }
+      }
+    }
+  }
+  auto from_rows = *Matrix::FromRows({{1, 2, 3, 4}, {5, 6, 7, 8}});
+  EXPECT_TRUE(aligned32(from_rows.RowPtr(1)));
+  Matrix copy = from_rows;
+  EXPECT_TRUE(aligned32(copy.RowPtr(1)));
+  Matrix moved = std::move(copy);
+  EXPECT_TRUE(aligned32(moved.RowPtr(1)));
 }
 
 TEST(MatrixTest, FromRowsAndEquality) {

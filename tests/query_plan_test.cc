@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -248,6 +249,92 @@ TEST_F(QueryPlanTest, PathArenaMaterializesHeadFirst) {
   EXPECT_EQ(shots[1], model_.ShotOfGlobalState(1));
   EXPECT_EQ(shots[2], model_.ShotOfGlobalState(2));
   EXPECT_EQ(weights, (std::vector<double>{0.5, 0.25, 0.125}));
+}
+
+// -- Exact priorities (the cube-pruned frontier's oracle) -----------------
+
+// Under default scorer options the flat priority table must mirror what
+// the scorer would compute, bit for bit, without costing an evaluation —
+// that equality is what lets SelectWinners skip cells unevaluated.
+TEST_F(QueryPlanTest, ExactPrioritiesMirrorStepSimilarityBitForBit) {
+  const EventBitmapIndex index(model_, catalog_);
+  const auto pattern = TemporalPattern::FromEvents({2, 0, 1});
+  QueryPlan plan(model_, index, pattern, ScorerOptions{});
+  ASSERT_TRUE(plan.exact_priorities());
+
+  SimilarityScorer reference(model_, ScorerOptions{});
+  const size_t evals_before = plan.scorer().evaluations();
+  for (size_t s = 0; s < model_.num_global_states(); ++s) {
+    for (size_t j = 0; j < pattern.size(); ++j) {
+      EXPECT_EQ(plan.StepPriority(static_cast<int>(s), j),
+                reference.StepSimilarity(static_cast<int>(s),
+                                         pattern.steps[j]))
+          << "state " << s << " step " << j;
+    }
+  }
+  // Reading priorities never touches the plan's scorer.
+  EXPECT_EQ(plan.scorer().evaluations(), evals_before);
+}
+
+// The precomputed per-(state, event) sims in the index are the inputs to
+// that table; they must match a query-time scorer exactly as well.
+TEST_F(QueryPlanTest, IndexEventSimilarityMatchesScorerBitForBit) {
+  const EventBitmapIndex index(model_, catalog_);
+  SimilarityScorer reference(model_, ScorerOptions{});
+  ASSERT_TRUE(index.HasExactSims(ScorerOptions{}));
+  for (size_t s = 0; s < model_.num_global_states(); ++s) {
+    for (size_t e = 0; e < index.num_events(); ++e) {
+      EXPECT_EQ(index.EventSimilarity(static_cast<int>(s),
+                                      static_cast<EventId>(e)),
+                reference.EventSimilarity(static_cast<int>(s),
+                                          static_cast<EventId>(e)))
+          << "state " << s << " event " << e;
+    }
+  }
+}
+
+// Options the precomputation did not cover must degrade to +infinity
+// priorities (every frontier cell pops → unpruned search, same results).
+TEST_F(QueryPlanTest, NonExactOptionsDegradeToInfinitePriorities) {
+  const EventBitmapIndex index(model_, catalog_);
+  const auto pattern = TemporalPattern::FromEvents({2, 0});
+
+  ScorerOptions subset;
+  subset.feature_subset = {0, 1, 2};
+  EXPECT_FALSE(index.HasExactSims(subset));
+  QueryPlan subset_plan(model_, index, pattern, subset);
+  EXPECT_FALSE(subset_plan.exact_priorities());
+  EXPECT_TRUE(std::isinf(subset_plan.StepPriority(0, 0)));
+
+  ScorerOptions epsilon;
+  epsilon.centroid_epsilon = 1e-6;
+  EXPECT_FALSE(index.HasExactSims(epsilon));
+  QueryPlan epsilon_plan(model_, index, pattern, epsilon);
+  EXPECT_FALSE(epsilon_plan.exact_priorities());
+
+  // Kernel choice is NOT an exactness concern: all kernels agree bitwise.
+  ScorerOptions scalar;
+  scalar.force_scalar_kernel = true;
+  EXPECT_TRUE(index.HasExactSims(scalar));
+  QueryPlan scalar_plan(model_, index, pattern, scalar);
+  EXPECT_TRUE(scalar_plan.exact_priorities());
+}
+
+// Building the index with an explicitly scalar batch kernel must yield
+// the exact bits of the runtime-selected kernel (the A/B bench leans on
+// this: only build time may differ).
+TEST_F(QueryPlanTest, IndexBitsAreKernelInvariant) {
+  const EventBitmapIndex fast(model_, catalog_);
+  const EventBitmapIndex scalar(model_, catalog_, Eq14Kernel::kScalar);
+  for (size_t s = 0; s < model_.num_global_states(); ++s) {
+    for (size_t e = 0; e < fast.num_events(); ++e) {
+      EXPECT_EQ(fast.EventSimilarity(static_cast<int>(s),
+                                     static_cast<EventId>(e)),
+                scalar.EventSimilarity(static_cast<int>(s),
+                                       static_cast<EventId>(e)))
+          << "state " << s << " event " << e;
+    }
+  }
 }
 
 // -- Engine integration ---------------------------------------------------

@@ -467,12 +467,20 @@ TEST_P(ReferenceEquivalenceTest, PlanLayerIsByteIdenticalToTheNaiveWalk) {
         EXPECT_EQ(stats.annotated_fallbacks, ref_stats.annotated_fallbacks)
             << label;
         EXPECT_EQ(stats.truncated, ref_stats.truncated) << label;
-        // ...while the memo only removes work the naive walk duplicated:
-        // it can never evaluate more, and at beam 1 the walk has no
-        // duplicates to save.
+        // ...while the evaluation effort only shrinks: the memo removes
+        // work the naive walk duplicated, and the cube-pruned frontier
+        // charges a query-time evaluation only to cells whose weight is
+        // actually consumed (plus each video's Step-6 argmax), never to
+        // the cells its precomputed priorities prove away.
         EXPECT_LE(stats.sim_evaluations, ref_stats.sim_evaluations) << label;
+        // Every grid cell resolves to exactly one of paid (heap_pops) or
+        // proved-away (grid_cells_skipped).
+        EXPECT_EQ(stats.states_visited,
+                  stats.heap_pops + stats.grid_cells_skipped)
+            << label;
         if (workload.options.beam_width == 1) {
-          EXPECT_EQ(stats.sim_evaluations, ref_stats.sim_evaluations) << label;
+          // A beam-1 walk follows a single path, so each (state, step)
+          // pair is paid at most once: the memo never fires.
           EXPECT_EQ(stats.sim_memo_hits, 0u) << label;
         }
       }
@@ -497,6 +505,79 @@ TEST_P(ReferenceEquivalenceTest, PlanLayerIsByteIdenticalToTheNaiveWalk) {
     EXPECT_EQ(serial_stats.candidate_list_reuse,
               wide_stats.candidate_list_reuse)
         << workload.name;
+    EXPECT_EQ(serial_stats.heap_pops, wide_stats.heap_pops) << workload.name;
+    EXPECT_EQ(serial_stats.grid_cells_skipped, wide_stats.grid_cells_skipped)
+        << workload.name;
+  }
+}
+
+// The tentpole's acceptance sweep: the cube-pruned best-first traversal
+// against the reference breadth-first walk across beams {1, 2, 8, 16},
+// thread counts {1, 2, 4, 8} and both Eq.-14 kernels (runtime pick vs.
+// forced scalar). Rankings, scores and edge weights must be
+// byte-identical in every cell of the grid; the new heap_pops /
+// grid_cells_skipped counters must be invariant across thread counts and
+// kernel choices (they are per-walk deterministic and kernels produce
+// identical bits), and every visited grid cell must resolve to exactly
+// one of the two.
+TEST_P(ReferenceEquivalenceTest, CubePrunedSweepIsByteIdenticalEverywhere) {
+  const VideoCatalog catalog =
+      testing::GeneratedSoccerCatalog(GetParam(), /*num_videos=*/14);
+  auto built = ModelBuilder(catalog).Build();
+  ASSERT_TRUE(built.ok());
+  const HierarchicalModel model = std::move(built).value();
+  const auto pattern = TemporalPattern::FromEvents({2, 0, 1});
+
+  for (int beam : {1, 2, 8, 16}) {
+    TraversalOptions ref_options;
+    ref_options.beam_width = beam;
+    const ReferenceTraversal reference(model, catalog, ref_options);
+    RetrievalStats ref_stats;
+    const std::vector<RetrievedPattern> expected =
+        reference.Retrieve(pattern, &ref_stats);
+
+    bool have_first = false;
+    size_t first_heap_pops = 0;
+    size_t first_skipped = 0;
+    size_t first_evaluations = 0;
+    for (bool force_scalar : {false, true}) {
+      for (int threads : {1, 2, 4, 8}) {
+        const std::string label =
+            "beam=" + std::to_string(beam) +
+            " threads=" + std::to_string(threads) +
+            (force_scalar ? " kernel=scalar" : " kernel=auto");
+        TraversalOptions options;
+        options.beam_width = beam;
+        options.num_threads = threads;
+        options.scorer.force_scalar_kernel = force_scalar;
+        HmmmTraversal traversal(model, catalog, options);
+        RetrievalStats stats;
+        auto results = traversal.Retrieve(pattern, &stats);
+        ASSERT_TRUE(results.ok()) << label;
+        ExpectIdenticalResults(expected, *results, label);
+
+        // Structural counters are pinned to the reference walk.
+        EXPECT_EQ(stats.states_visited, ref_stats.states_visited) << label;
+        EXPECT_EQ(stats.beam_pruned, ref_stats.beam_pruned) << label;
+        EXPECT_LE(stats.sim_evaluations, ref_stats.sim_evaluations) << label;
+        EXPECT_EQ(stats.states_visited,
+                  stats.heap_pops + stats.grid_cells_skipped)
+            << label;
+
+        // The pay/skip split is identical in every sweep cell: thread
+        // count cannot move it (per-walk determinism) and neither can the
+        // kernel (bit-identical sims select bit-identical winners).
+        if (!have_first) {
+          first_heap_pops = stats.heap_pops;
+          first_skipped = stats.grid_cells_skipped;
+          first_evaluations = stats.sim_evaluations;
+          have_first = true;
+        }
+        EXPECT_EQ(stats.heap_pops, first_heap_pops) << label;
+        EXPECT_EQ(stats.grid_cells_skipped, first_skipped) << label;
+        EXPECT_EQ(stats.sim_evaluations, first_evaluations) << label;
+      }
+    }
   }
 }
 

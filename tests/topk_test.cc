@@ -1,0 +1,139 @@
+#include "retrieval/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace hmmm {
+namespace {
+
+// Mirrors the traversal's candidate ordering: score descending, ties
+// broken by ascending arrival order (video order / generation). A strict
+// total order as TopKHeap requires.
+struct Entry {
+  double score = 0.0;
+  int order = 0;
+};
+
+struct BetterEntry {
+  bool operator()(const Entry& a, const Entry& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.order < b.order;
+  }
+};
+
+// Same order, but counts invocations so tests can pin down how many
+// comparisons a Push costs on each path.
+struct CountingBetter {
+  size_t* calls;
+  bool operator()(const Entry& a, const Entry& b) const {
+    ++*calls;
+    return BetterEntry{}(a, b);
+  }
+};
+
+std::vector<Entry> Sorted(const TopKHeap<Entry, BetterEntry>& heap) {
+  std::vector<Entry> out = heap.entries();
+  std::sort(out.begin(), out.end(), BetterEntry{});
+  return out;
+}
+
+TEST(TopKHeapTest, KeepsBestKInOrder) {
+  TopKHeap<Entry, BetterEntry> heap(3);
+  for (int i = 0; i < 8; ++i) {
+    heap.Push(Entry{static_cast<double>(i % 5), i});
+  }
+  const std::vector<Entry> got = Sorted(heap);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].score, 4.0);
+  EXPECT_EQ(got[0].order, 4);
+  EXPECT_EQ(got[1].score, 3.0);
+  EXPECT_EQ(got[1].order, 3);
+  EXPECT_EQ(got[2].score, 2.0);
+  EXPECT_EQ(got[2].order, 2);
+}
+
+// The boundary the traversal's determinism rides on: an element whose
+// score TIES the retained worst but whose video order is LARGER must be
+// rejected — it does not beat the incumbent under the total order, so
+// evicting it would change the ranking relative to the serial walk.
+TEST(TopKHeapTest, TieWithHigherOrderIsRejectedWithoutEviction) {
+  TopKHeap<Entry, BetterEntry> heap(2);
+  heap.Push(Entry{5.0, 0});
+  heap.Push(Entry{1.0, 1});
+  ASSERT_TRUE(heap.full());
+  ASSERT_EQ(heap.worst().score, 1.0);
+  ASSERT_EQ(heap.worst().order, 1);
+
+  heap.Push(Entry{1.0, 7});  // same score, later order: loses the tie
+  const std::vector<Entry> got = Sorted(heap);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].score, 1.0);
+  EXPECT_EQ(got[1].order, 1);  // incumbent survived
+}
+
+// ...and the mirror image: a tie with a SMALLER order beats the
+// incumbent and must evict it.
+TEST(TopKHeapTest, TieWithLowerOrderEvictsIncumbent) {
+  TopKHeap<Entry, BetterEntry> heap(2);
+  heap.Push(Entry{5.0, 3});
+  heap.Push(Entry{1.0, 9});
+  ASSERT_TRUE(heap.full());
+
+  heap.Push(Entry{1.0, 2});  // same score, earlier order: wins the tie
+  const std::vector<Entry> got = Sorted(heap);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].score, 1.0);
+  EXPECT_EQ(got[1].order, 2);  // newcomer replaced order 9
+}
+
+// The early-reject path's contract: a push that loses to the current
+// worst costs exactly ONE comparison (the former pop_heap + push_heap
+// round trip re-compared the loser against elements it had already
+// lost to).
+TEST(TopKHeapTest, EarlyRejectCostsExactlyOneComparison) {
+  size_t calls = 0;
+  TopKHeap<Entry, CountingBetter> heap(4, CountingBetter{&calls});
+  for (int i = 0; i < 4; ++i) {
+    heap.Push(Entry{10.0 + i, i});
+  }
+  ASSERT_TRUE(heap.full());
+
+  calls = 0;
+  heap.Push(Entry{1.0, 100});  // clear loser
+  EXPECT_EQ(calls, 1u);
+
+  calls = 0;
+  heap.Push(Entry{10.0, 100});  // ties the worst, later order: still 1
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(heap.worst().order, 0);
+}
+
+// A winning push on a full heap replaces the front with one sift-down,
+// never growing past capacity, and the surviving set matches a from-
+// scratch sort of everything pushed.
+TEST(TopKHeapTest, ReplaceTopMatchesFullSort) {
+  constexpr size_t kCapacity = 5;
+  TopKHeap<Entry, BetterEntry> heap(kCapacity);
+  std::vector<Entry> all;
+  // Deterministic pseudo-random-ish sequence with repeated scores so
+  // ties exercise the order tiebreak.
+  for (int i = 0; i < 64; ++i) {
+    Entry e{static_cast<double>((i * 7) % 11), i};
+    all.push_back(e);
+    heap.Push(e);
+    EXPECT_LE(heap.size(), kCapacity);
+  }
+  std::sort(all.begin(), all.end(), BetterEntry{});
+  const std::vector<Entry> got = Sorted(heap);
+  ASSERT_EQ(got.size(), kCapacity);
+  for (size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(got[i].score, all[i].score) << i;
+    EXPECT_EQ(got[i].order, all[i].order) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hmmm
