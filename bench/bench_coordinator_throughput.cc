@@ -74,30 +74,42 @@ struct Deployment {
   }
 };
 
-std::unique_ptr<Deployment> BootDeployment(int num_shards) {
+std::unique_ptr<Deployment> BootDeployment(int num_shards,
+                                           int replicas = 1) {
   auto deployment = std::make_unique<Deployment>();
-  StatusOr<std::vector<CatalogShard>> shards =
-      PartitionForServing(Database().catalog(), Database().model(),
-                          num_shards);
-  HMMM_CHECK(shards.ok());
-  ShardMap map = ShardMapFromPartition(*shards, Database().catalog());
-  for (size_t s = 0; s < shards->size(); ++s) {
-    VideoDatabaseOptions options;
-    options.query_cache_entries = 0;
-    StatusOr<VideoDatabase> db = VideoDatabase::CreateWithModel(
-        std::move((*shards)[s].catalog), std::move((*shards)[s].model),
-        options);
-    HMMM_CHECK(db.ok());
-    deployment->shard_dbs.push_back(
-        std::make_unique<VideoDatabase>(std::move(db).value()));
-    QueryServerOptions server_options;
-    server_options.num_workers = 2;
-    auto server = std::make_unique<QueryServer>(
-        deployment->shard_dbs.back().get(), server_options);
-    HMMM_CHECK(server->Start().ok());
-    map.shards[s].endpoint =
-        StrFormat("127.0.0.1:%u", static_cast<unsigned>(server->port()));
-    deployment->shard_servers.push_back(std::move(server));
+  ShardMap map;
+  // PartitionForServing is deterministic, so partitioning once per
+  // replica produces byte-identical slices — exactly how a replicated
+  // deployment is provisioned for real.
+  for (int r = 0; r < replicas; ++r) {
+    StatusOr<std::vector<CatalogShard>> shards =
+        PartitionForServing(Database().catalog(), Database().model(),
+                            num_shards);
+    HMMM_CHECK(shards.ok());
+    if (r == 0) map = ShardMapFromPartition(*shards, Database().catalog());
+    for (size_t s = 0; s < shards->size(); ++s) {
+      VideoDatabaseOptions options;
+      options.query_cache_entries = 0;
+      StatusOr<VideoDatabase> db = VideoDatabase::CreateWithModel(
+          std::move((*shards)[s].catalog), std::move((*shards)[s].model),
+          options);
+      HMMM_CHECK(db.ok());
+      deployment->shard_dbs.push_back(
+          std::make_unique<VideoDatabase>(std::move(db).value()));
+      QueryServerOptions server_options;
+      server_options.num_workers = 2;
+      auto server = std::make_unique<QueryServer>(
+          deployment->shard_dbs.back().get(), server_options);
+      HMMM_CHECK(server->Start().ok());
+      const std::string endpoint =
+          StrFormat("127.0.0.1:%u", static_cast<unsigned>(server->port()));
+      if (r == 0) {
+        map.shards[s].endpoint = endpoint;
+      } else {
+        map.shards[s].replica_endpoints.push_back(endpoint);
+      }
+      deployment->shard_servers.push_back(std::move(server));
+    }
   }
   QueryServerOptions front_options;
   front_options.num_workers = 4;
@@ -210,6 +222,33 @@ void RunShardingBench() {
           {"p99_request_ms", JsonNumber(point.p99_request_ms)},
       }));
     }
+  }
+
+  // Replicated serving rides the same sweep: 2 shards x 2 replicas with
+  // every primary healthy, measuring what the failover/breaker/health
+  // bookkeeping costs on the happy path (appended last so the earlier
+  // sweep indices stay aligned with older baselines).
+  {
+    const std::unique_ptr<Deployment> deployment =
+        BootDeployment(/*num_shards=*/2, /*replicas=*/2);
+    const SweepPoint point =
+        RunSweepPoint(deployment->coordinator->port(), /*shards=*/2,
+                      /*clients=*/4, /*requests_per_client=*/25);
+    sweep.push_back(point);
+    Row({StrFormat("%d*2", point.shards), StrFormat("%d", point.clients),
+         StrFormat("%d", point.requests), Fmt("%.2f", point.wall_ms),
+         Fmt("%.0f", point.qps), Fmt("%.3f", point.median_request_ms),
+         Fmt("%.3f", point.p99_request_ms)});
+    sweep_json.push_back(JsonObject({
+        {"shards", JsonNumber(point.shards)},
+        {"replicas", JsonNumber(2)},
+        {"clients", JsonNumber(point.clients)},
+        {"requests", JsonNumber(point.requests)},
+        {"wall_ms", JsonNumber(point.wall_ms)},
+        {"qps", JsonNumber(point.qps)},
+        {"median_request_ms", JsonNumber(point.median_request_ms)},
+        {"p99_request_ms", JsonNumber(point.p99_request_ms)},
+    }));
   }
 
   // Coordinator overhead: one unloaded client at one shard, relative to

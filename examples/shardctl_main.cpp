@@ -14,7 +14,17 @@
 //
 //   PARTITIONED shards=<n> videos=<v> shots=<s> out=<dir>
 //
-// `inspect` pretty-prints a shards.map.
+// `inspect` pretty-prints a shards.map (epoch, ranges, replicas).
+//
+// `reload` pushes a shards.map to a live coordinator over the wire
+// (ReloadShardMap, v3+) for a hot swap without restarting it:
+//
+//   hmmm_shardctl reload --map shards.map --coordinator 127.0.0.1:8787
+//       [--epoch N]
+//
+// The coordinator only accepts a map whose epoch is strictly greater
+// than the one it serves; --epoch overrides the file's epoch before the
+// push. Prints `RELOADED epoch=<n> shards=<n>` on success.
 
 #include <sys/stat.h>
 
@@ -27,6 +37,7 @@
 
 #include "api/catalog_partition.h"
 #include "api/video_database.h"
+#include "client/query_client.h"
 #include "media/feature_level_generator.h"
 #include "server/shard_map.h"
 #include "storage/model_io.h"
@@ -40,7 +51,9 @@ struct ShardctlFlags {
   int videos = 8;
   int shards = 2;
   std::string out_dir;
-  std::string map_path;  // inspect
+  std::string map_path;         // inspect / reload
+  std::string coordinator;      // reload: host:port
+  long long epoch_override = -1;  // reload: -1 keeps the file's epoch
 };
 
 void PrintUsage(const char* argv0) {
@@ -49,8 +62,9 @@ void PrintUsage(const char* argv0) {
       "usage: %s partition (--catalog PATH --model PATH | --synthetic "
       "[--videos N])\n"
       "          --shards N --out DIR\n"
-      "       %s inspect --map PATH\n",
-      argv0, argv0);
+      "       %s inspect --map PATH\n"
+      "       %s reload --map PATH --coordinator HOST:PORT [--epoch N]\n",
+      argv0, argv0, argv0);
 }
 
 bool ParseFlags(int argc, char** argv, std::string* command,
@@ -77,6 +91,10 @@ bool ParseFlags(int argc, char** argv, std::string* command,
       flags->out_dir = value;
     } else if (arg == "--map" && (value = next()) != nullptr) {
       flags->map_path = value;
+    } else if (arg == "--coordinator" && (value = next()) != nullptr) {
+      flags->coordinator = value;
+    } else if (arg == "--epoch" && (value = next()) != nullptr) {
+      flags->epoch_override = std::atoll(value);
     } else {
       std::fprintf(stderr, "unknown or valueless flag: %s\n", arg.c_str());
       return false;
@@ -89,6 +107,9 @@ bool ParseFlags(int argc, char** argv, std::string* command,
            flags->shards >= 1;
   }
   if (*command == "inspect") return !flags->map_path.empty();
+  if (*command == "reload") {
+    return !flags->map_path.empty() && !flags->coordinator.empty();
+  }
   return false;
 }
 
@@ -164,16 +185,56 @@ int RunInspect(const ShardctlFlags& flags) {
                  map.status().ToString().c_str());
     return 1;
   }
-  std::printf("shard map: %zu shards, %lld videos, %lld shots\n",
+  std::printf("shard map: %zu shards, %lld videos, %lld shots, epoch %llu\n",
               map->shards.size(), static_cast<long long>(map->total_videos),
-              static_cast<long long>(map->total_shots));
+              static_cast<long long>(map->total_shots),
+              static_cast<unsigned long long>(map->epoch));
   for (size_t s = 0; s < map->shards.size(); ++s) {
     const hmmm::ShardMapEntry& entry = map->shards[s];
-    std::printf("  shard %zu: videos [%d, %d) (%d), %zu shots, endpoint=%s\n",
+    std::printf("  shard %zu: videos [%d, %d) (%d), %zu shots, endpoint=%s",
                 s, entry.video_begin, entry.video_end, entry.num_videos(),
                 entry.shot_to_global.size(),
                 entry.endpoint.empty() ? "<unset>" : entry.endpoint.c_str());
+    for (const std::string& replica : entry.replica_endpoints) {
+      std::printf(",%s", replica.c_str());
+    }
+    std::printf("\n");
   }
+  return 0;
+}
+
+int RunReload(const ShardctlFlags& flags) {
+  hmmm::StatusOr<hmmm::ShardMap> map = hmmm::LoadShardMap(flags.map_path);
+  if (!map.ok()) {
+    std::fprintf(stderr, "failed to load shard map: %s\n",
+                 map.status().ToString().c_str());
+    return 1;
+  }
+  if (flags.epoch_override >= 0) {
+    map->epoch = static_cast<uint64_t>(flags.epoch_override);
+  }
+  const size_t colon = flags.coordinator.rfind(':');
+  if (colon == std::string::npos || colon + 1 == flags.coordinator.size()) {
+    std::fprintf(stderr, "--coordinator must be HOST:PORT\n");
+    return 2;
+  }
+  hmmm::QueryClientOptions options;
+  options.host = flags.coordinator.substr(0, colon);
+  options.port = static_cast<uint16_t>(
+      std::atoi(flags.coordinator.c_str() + colon + 1));
+  hmmm::QueryClient client(options);
+  hmmm::ReloadShardMapRequest request;
+  request.map_blob = hmmm::SerializeShardMap(*map);
+  hmmm::StatusOr<hmmm::ReloadShardMapResponse> response =
+      client.ReloadShardMap(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "reload rejected: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("RELOADED epoch=%llu shards=%u\n",
+              static_cast<unsigned long long>(response->epoch),
+              response->num_shards);
   return 0;
 }
 
@@ -186,5 +247,7 @@ int main(int argc, char** argv) {
     PrintUsage(argv[0]);
     return 2;
   }
-  return command == "partition" ? RunPartition(flags) : RunInspect(flags);
+  if (command == "partition") return RunPartition(flags);
+  if (command == "reload") return RunReload(flags);
+  return RunInspect(flags);
 }

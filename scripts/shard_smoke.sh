@@ -13,6 +13,13 @@
 #      degraded (degraded=true, videos_skipped = the dead shard's
 #      share) — never as an error.
 #
+#   5. A second, replicated deployment boots (2 replicas per range) and
+#      the primary of one range is SIGKILLed: every query must keep
+#      answering degraded=false and byte-identical to the reference —
+#      failover must be invisible. Killing the range's LAST replica must
+#      then degrade (not error), and a SIGHUP shard-map reload under the
+#      degraded deployment must hot-swap without a restart.
+#
 # Usage: shard_smoke.sh [BUILD_DIR] [NUM_SHARDS] [VIDEOS]
 set -euo pipefail
 
@@ -160,5 +167,80 @@ echo "== dumping the coordinator's slow-query log =="
 grep -q '"reason":"degraded"' "$WORK/slow.jsonl" || {
   echo "FAIL: degraded query missing from the slow-query log" >&2
   cat "$WORK/slow.jsonl" >&2; exit 1; }
+
+echo "== booting the replicated deployment (2 replicas per range) =="
+REPL_FLAGS=()
+PRIMARY_PIDS=()
+REPLICA_PIDS=()
+for s in $(seq 0 $((NUM_SHARDS - 1))); do
+  for r in 0 1; do
+    "$SERVERD" --catalog "$WORK/dep/shard$s.catalog" \
+      --model "$WORK/dep/shard$s.model" --port 0 \
+      > "$WORK/repl_shard${s}_r${r}.log" 2>&1 &
+    pid=$!
+    PIDS+=($pid)
+    if [[ $r -eq 0 ]]; then PRIMARY_PIDS+=($pid); else REPLICA_PIDS+=($pid); fi
+  done
+done
+for s in $(seq 0 $((NUM_SHARDS - 1))); do
+  p0=$(wait_port "$WORK/repl_shard${s}_r0.log")
+  p1=$(wait_port "$WORK/repl_shard${s}_r1.log")
+  REPL_FLAGS+=(--shard "127.0.0.1:$p0,127.0.0.1:$p1")
+  echo "shard $s: primary 127.0.0.1:$p0 (pid ${PRIMARY_PIDS[$s]})," \
+       "replica 127.0.0.1:$p1 (pid ${REPLICA_PIDS[$s]})"
+done
+"$COORDD" --shard-map "$WORK/dep/shards.map" "${REPL_FLAGS[@]}" --port 0 \
+  --health-probe-interval-ms 100 --breaker-cooldown-ms 500 \
+  > "$WORK/repl_coordd.log" 2>&1 &
+REPL_COORD_PID=$!
+PIDS+=($REPL_COORD_PID)
+REPL_PORT=$(wait_port "$WORK/repl_coordd.log")
+echo "replicated coordinator: 127.0.0.1:$REPL_PORT (pid $REPL_COORD_PID)"
+"$CLI" 127.0.0.1 "$REPL_PORT" health
+
+echo "== SIGKILLing shard 1's primary: failover must be invisible =="
+kill -9 "${PRIMARY_PIDS[1]}"
+wait "${PRIMARY_PIDS[1]}" 2>/dev/null || true
+DEGRADED_COUNT=0
+for query in "${QUERIES[@]}"; do
+  "$CLI" 127.0.0.1 "$REPL_PORT" query "$query" > "$WORK/repl.out"
+  "$CLI" 127.0.0.1 "$REF_PORT" query "$query" > "$WORK/ref.out"
+  if ! diff -u "$WORK/ref.out" "$WORK/repl.out"; then
+    echo "FAIL: replicated ranking differs for '$query' after primary kill" >&2
+    exit 1
+  fi
+  if grep -q 'degraded=true' "$WORK/repl.out"; then
+    DEGRADED_COUNT=$((DEGRADED_COUNT + 1))
+  fi
+  echo "FAILOVER-IDENTICAL: '$query'"
+done
+[[ $DEGRADED_COUNT -eq 0 ]] || {
+  echo "FAIL: $DEGRADED_COUNT queries degraded despite a live replica" >&2
+  exit 1; }
+
+echo "== SIGKILLing shard 1's last replica: now it must degrade =="
+kill -9 "${REPLICA_PIDS[1]}"
+wait "${REPLICA_PIDS[1]}" 2>/dev/null || true
+"$CLI" 127.0.0.1 "$REPL_PORT" query "free_kick ; goal" --budget 2000 \
+  > "$WORK/repl_degraded.out"
+grep -q 'degraded=true' "$WORK/repl_degraded.out" || {
+  echo "FAIL: range with no live replica did not degrade" >&2
+  cat "$WORK/repl_degraded.out" >&2; exit 1; }
+
+echo "== SIGHUP hot reload on the live coordinator =="
+touch "$WORK/dep/shards.map"  # epoch <= live is auto-bumped on SIGHUP
+kill -HUP "$REPL_COORD_PID"
+for _ in $(seq 1 50); do
+  grep -q 'RELOADED epoch=' "$WORK/repl_coordd.log" && break
+  sleep 0.1
+done
+grep -q 'RELOADED epoch=' "$WORK/repl_coordd.log" || {
+  echo "FAIL: coordinator never logged the SIGHUP reload" >&2
+  cat "$WORK/repl_coordd.log" >&2; exit 1; }
+# The reloaded map serves immediately — same process, same port.
+"$CLI" 127.0.0.1 "$REPL_PORT" query "goal" --budget 2000 > "$WORK/reload.out"
+grep -q $'\tv' "$WORK/reload.out" || {
+  echo "FAIL: no results after the hot reload" >&2; exit 1; }
+echo "RELOADED: hot swap served queries without a restart"
 
 echo "== shard smoke passed =="

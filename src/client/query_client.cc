@@ -1,6 +1,10 @@
 #include "client/query_client.h"
 
+#include <errno.h>
+#include <poll.h>
+
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <utility>
 
@@ -26,6 +30,37 @@ Status AsTransportError(Status status) {
 }
 
 }  // namespace
+
+std::chrono::milliseconds NextDecorrelatedBackoff(
+    std::chrono::milliseconds base, std::chrono::milliseconds cap,
+    std::chrono::milliseconds prev, Rng& rng) {
+  const int64_t lo = std::max<int64_t>(0, base.count());
+  const int64_t hi = std::max<int64_t>(lo, 3 * prev.count());
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  const auto picked =
+      std::chrono::milliseconds(lo + static_cast<int64_t>(rng.NextUint64(span)));
+  return std::min(cap, picked);
+}
+
+uint64_t DeriveRetryJitterSeed(uint64_t configured) {
+  if (configured != 0) return configured;
+  // Golden-ratio stride: consecutive clients land on well-separated
+  // SplitMix64 seeds (Rng decorrelates nearby seeds anyway; this keeps
+  // them distinct even under concurrent construction).
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed);
+}
+
+bool QueryClient::IdleConnectionHealthy() const {
+  if (!socket_.valid()) return true;
+  pollfd entry{socket_.fd(), POLLIN, 0};
+  const int ready = ::poll(&entry, 1, 0);
+  if (ready == 0) return true;           // silent, as an idle peer should be
+  if (ready < 0) return errno == EINTR;  // poll itself failed: assume dead
+  // Readable (or POLLERR/POLLHUP) with nothing in flight: the server
+  // hung up or desynced.
+  return false;
+}
 
 Status QueryClient::Connect() {
   if (socket_.valid()) return Status::OK();
@@ -145,7 +180,9 @@ StatusOr<std::string> QueryClient::RoundTrip(MessageType request_type,
     }
     ++retries_performed_;
     if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, options_.retry_backoff_cap);
+    backoff = NextDecorrelatedBackoff(options_.retry_backoff,
+                                      options_.retry_backoff_cap, backoff,
+                                      rng_);
   }
 }
 
@@ -194,11 +231,13 @@ StatusOr<MarkPositiveResponse> QueryClient::MarkPositive(
 }
 
 StatusOr<TrainResponse> QueryClient::Train() {
+  uint16_t response_version = kWireMinProtocolVersion;
   HMMM_ASSIGN_OR_RETURN(
       const std::string payload,
       RoundTrip(MessageType::kTrainRequest, nullptr, nullptr,
-                MessageType::kTrainResponse, /*idempotent=*/false));
-  return DecodeTrainResponse(payload);
+                MessageType::kTrainResponse, /*idempotent=*/false,
+                &response_version));
+  return DecodeTrainResponse(payload, response_version);
 }
 
 StatusOr<MetricsResponse> QueryClient::Metrics() {
@@ -227,6 +266,20 @@ StatusOr<DumpSlowQueriesResponse> QueryClient::DumpSlowQueries() {
       RoundTrip(MessageType::kDumpSlowQueriesRequest, nullptr, nullptr,
                 MessageType::kDumpSlowQueriesResponse, /*idempotent=*/true));
   return DecodeDumpSlowQueriesResponse(payload);
+}
+
+StatusOr<ReloadShardMapResponse> QueryClient::ReloadShardMap(
+    const ReloadShardMapRequest& request) {
+  HMMM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(
+          MessageType::kReloadShardMapRequest, &request,
+          +[](const void* req, uint16_t) {
+            return EncodeReloadShardMapRequest(
+                *static_cast<const ReloadShardMapRequest*>(req));
+          },
+          MessageType::kReloadShardMapResponse, /*idempotent=*/false));
+  return DecodeReloadShardMapResponse(payload);
 }
 
 }  // namespace hmmm

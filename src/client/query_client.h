@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/socket.h"
 #include "common/status.h"
 #include "server/wire_protocol.h"
@@ -27,11 +28,16 @@ struct QueryClientOptions {
   /// Additional attempts after the first one fails retriably. The retry
   /// budget is per call, not per connection.
   int max_retries = 3;
-  /// Backoff before the first retry; doubles per subsequent retry, up
-  /// to retry_backoff_cap (so a deep retry budget bounds total sleep at
-  /// roughly max_retries * cap instead of growing geometrically).
+  /// Backoff before the first retry; subsequent retries use decorrelated
+  /// jitter (uniform in [retry_backoff, 3 * previous]) capped at
+  /// retry_backoff_cap, so a fleet of clients that failed together does
+  /// not hammer a recovering shard in lockstep.
   std::chrono::milliseconds retry_backoff{10};
   std::chrono::milliseconds retry_backoff_cap{1000};
+  /// Seed for the backoff jitter. 0 (default) derives a distinct seed
+  /// per client from a process-global counter — concurrent clients
+  /// decorrelate; a nonzero value pins the jitter sequence for tests.
+  uint64_t retry_jitter_seed = 0;
   /// Responses announcing a larger payload are rejected as corrupt.
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Highest wire protocol version to speak. The client starts at this
@@ -41,12 +47,24 @@ struct QueryClientOptions {
   uint16_t protocol_version = kWireProtocolVersion;
 };
 
+/// One decorrelated-jitter backoff step: uniform in [base, 3 * prev],
+/// clamped to cap. Exposed as a free function so tests can pin the Rng
+/// and check the distribution without a live socket.
+std::chrono::milliseconds NextDecorrelatedBackoff(
+    std::chrono::milliseconds base, std::chrono::milliseconds cap,
+    std::chrono::milliseconds prev, Rng& rng);
+
+/// Resolves QueryClientOptions::retry_jitter_seed: a nonzero configured
+/// seed is used verbatim; 0 draws from a process-global counter so every
+/// client gets a distinct jitter stream.
+uint64_t DeriveRetryJitterSeed(uint64_t configured);
+
 /// Synchronous client for the QueryServer wire protocol: one connection,
 /// one in-flight request at a time, with lazy (re)connection and bounded
 /// retry.
 ///
-/// Retry policy: an attempt is retried (up to max_retries, with doubling
-/// backoff) when either
+/// Retry policy: an attempt is retried (up to max_retries, with
+/// decorrelated-jitter backoff) when either
 ///  - the server answered a typed error marked retriable (admission shed
 ///    kResourceExhausted, drain-time kShuttingDown) — always safe, the
 ///    server refused before executing; or
@@ -59,7 +77,9 @@ struct QueryClientOptions {
 class QueryClient {
  public:
   explicit QueryClient(QueryClientOptions options)
-      : options_(options), peer_version_(options.protocol_version) {}
+      : options_(options),
+        rng_(DeriveRetryJitterSeed(options.retry_jitter_seed)),
+        peer_version_(options.protocol_version) {}
   ~QueryClient() = default;
 
   QueryClient(const QueryClient&) = delete;
@@ -85,6 +105,12 @@ class QueryClient {
   /// v1 peer answers kUnsupportedVersion for the unknown request tag,
   /// surfaced as a Status.
   StatusOr<DumpSlowQueriesResponse> DumpSlowQueries();
+  /// v3+: pushes a serialized shard map to a coordinator for a hot swap.
+  /// Non-idempotent under the epoch fence: a retry of an applied reload
+  /// is answered kFailedPrecondition ("epoch not newer"), so transport
+  /// failures surface instead of being retried blindly.
+  StatusOr<ReloadShardMapResponse> ReloadShardMap(
+      const ReloadShardMapRequest& request);
 
   /// Monotone generation for TemporalQueryRequest::cancel_generation: a
   /// request stamped with a fresh generation supersedes every earlier
@@ -102,6 +128,13 @@ class QueryClient {
 
   /// Retries performed across all calls (observability / tests).
   uint64_t retries_performed() const { return retries_performed_; }
+
+  /// Cheap liveness check for an idle connection: polls the socket with
+  /// zero timeout. A request/response connection with nothing in flight
+  /// must be silent — readable means EOF or stray bytes, either of which
+  /// would burn a retry inside the next call's budget. An unconnected
+  /// client is trivially healthy (it connects lazily).
+  bool IdleConnectionHealthy() const;
 
   /// The protocol version currently spoken to the peer. Starts at
   /// options.protocol_version and drops to the floor version after a
@@ -135,6 +168,7 @@ class QueryClient {
 
   QueryClientOptions options_;
   Socket socket_;
+  Rng rng_;
   uint64_t generation_ = 0;
   uint64_t retries_performed_ = 0;
   uint16_t peer_version_ = kWireProtocolVersion;
@@ -178,13 +212,21 @@ class QueryClientPool {
   };
 
   Lease Acquire() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!idle_.empty()) {
-        std::unique_ptr<QueryClient> client = std::move(idle_.back());
+    for (;;) {
+      std::unique_ptr<QueryClient> client;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (idle_.empty()) break;
+        client = std::move(idle_.back());
         idle_.pop_back();
+      }
+      // A connection that went stale while pooled (shard restarted, peer
+      // hung up) would burn a retry inside the fan-out's budget; a
+      // zero-timeout poll catches it for the price of one syscall.
+      if (client->IdleConnectionHealthy()) {
         return Lease(this, std::move(client));
       }
+      stale_discarded_.fetch_add(1, std::memory_order_relaxed);
     }
     ++clients_created_;
     return Lease(this, std::make_unique<QueryClient>(options_));
@@ -198,6 +240,11 @@ class QueryClientPool {
   /// steady-state fan-out should plateau at ~max concurrent requests).
   uint64_t clients_created() const {
     return clients_created_.load(std::memory_order_relaxed);
+  }
+  /// Pooled connections dropped at checkout because their socket
+  /// reported EOF/error while idle.
+  uint64_t stale_discarded() const {
+    return stale_discarded_.load(std::memory_order_relaxed);
   }
 
   const QueryClientOptions& options() const { return options_; }
@@ -216,6 +263,7 @@ class QueryClientPool {
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<QueryClient>> idle_;
   std::atomic<uint64_t> clients_created_{0};
+  std::atomic<uint64_t> stale_discarded_{0};
 };
 
 }  // namespace hmmm

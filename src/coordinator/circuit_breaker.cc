@@ -1,0 +1,85 @@
+#include "coordinator/circuit_breaker.h"
+
+namespace hmmm {
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::AllowRequest(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ < options_.open_cooldown) {
+        ++rejected_total_;
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      ++half_opened_total_;
+      consecutive_successes_ = 0;
+      probes_in_flight_ = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probes_in_flight_ >= options_.half_open_max_probes) {
+        ++rejected_total_;
+        return false;
+      }
+      ++probes_in_flight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(TimePoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+    if (++consecutive_successes_ >= options_.success_threshold) {
+      state_ = State::kClosed;
+      ++closed_total_;
+      consecutive_successes_ = 0;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        TransitionToOpen(now);
+      }
+      break;
+    case State::kHalfOpen:
+      // One failed probe is enough evidence: back to Open, cooldown
+      // restarts from now.
+      if (probes_in_flight_ > 0) --probes_in_flight_;
+      TransitionToOpen(now);
+      break;
+    case State::kOpen:
+      // A late failure from a request admitted before the trip; the
+      // cooldown clock is not restarted for it.
+      break;
+  }
+}
+
+void CircuitBreaker::TransitionToOpen(TimePoint now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  ++opened_total_;
+  consecutive_failures_ = 0;
+  consecutive_successes_ = 0;
+}
+
+}  // namespace hmmm

@@ -1,0 +1,98 @@
+#ifndef HMMM_COORDINATOR_CIRCUIT_BREAKER_H_
+#define HMMM_COORDINATOR_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace hmmm {
+
+/// Per-endpoint circuit breaker for the coordinator's fan-out path.
+///
+/// State machine:
+///
+///   Closed ──(failure_threshold consecutive failures)──► Open
+///   Open ──(open_cooldown elapsed)──► HalfOpen
+///   HalfOpen ──(success_threshold consecutive successes)──► Closed
+///   HalfOpen ──(any failure)──► Open (cooldown restarts)
+///
+/// While Open, AllowRequest() refuses immediately, so a dead endpoint
+/// costs the fan-out nothing (no connect timeout burned inside the query
+/// budget). While HalfOpen, at most `half_open_max_probes` requests are
+/// admitted concurrently as probes; the rest are refused until the
+/// probes resolve the endpoint's fate.
+///
+/// Time is injected (steady_clock time_points passed by the caller) so
+/// tests drive transitions without sleeping. All methods are thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive failures that trip Closed -> Open.
+    int failure_threshold = 3;
+    /// Consecutive HalfOpen successes that restore Closed.
+    int success_threshold = 2;
+    /// How long Open refuses before admitting HalfOpen probes.
+    std::chrono::milliseconds open_cooldown{1000};
+    /// Concurrent probe admissions while HalfOpen.
+    int half_open_max_probes = 1;
+  };
+
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  /// True when a request may be sent to the endpoint now. May transition
+  /// Open -> HalfOpen (cooldown elapsed) as a side effect; a true return
+  /// in HalfOpen reserves one probe slot — the caller MUST follow up
+  /// with RecordSuccess or RecordFailure to release it.
+  bool AllowRequest(TimePoint now);
+
+  void RecordSuccess(TimePoint now);
+  void RecordFailure(TimePoint now);
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+  }
+
+  /// Lifetime transition counts (exported as coordinator metrics).
+  uint64_t opened_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return opened_total_;
+  }
+  uint64_t half_opened_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return half_opened_total_;
+  }
+  uint64_t closed_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_total_;
+  }
+  uint64_t rejected_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_total_;
+  }
+
+  static const char* StateName(State state);
+
+ private:
+  void TransitionToOpen(TimePoint now);  // caller holds mutex_
+
+  Options options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int consecutive_successes_ = 0;
+  int probes_in_flight_ = 0;
+  TimePoint opened_at_{};
+  uint64_t opened_total_ = 0;
+  uint64_t half_opened_total_ = 0;
+  uint64_t closed_total_ = 0;
+  uint64_t rejected_total_ = 0;
+};
+
+}  // namespace hmmm
+
+#endif  // HMMM_COORDINATOR_CIRCUIT_BREAKER_H_

@@ -1,0 +1,148 @@
+#include "coordinator/health_prober.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "client/query_client.h"
+#include "common/logging.h"
+
+namespace hmmm {
+
+const char* EndpointHealthName(EndpointHealth health) {
+  switch (health) {
+    case EndpointHealth::kUp:
+      return "up";
+    case EndpointHealth::kSuspect:
+      return "suspect";
+    case EndpointHealth::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+HealthProber::HealthProber(Options options, EndpointLister lister,
+                           ProbeFn probe, TransitionObserver observer)
+    : options_(options),
+      lister_(std::move(lister)),
+      probe_(std::move(probe)),
+      observer_(std::move(observer)) {}
+
+HealthProber::~HealthProber() { Stop(); }
+
+void HealthProber::Start() {
+  {
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] {
+    ProbeOnce();  // learn the fleet's state before the first interval
+    std::unique_lock<std::mutex> lock(run_mutex_);
+    while (!stop_) {
+      if (wake_.wait_for(lock, options_.probe_interval,
+                         [this] { return stop_; })) {
+        break;
+      }
+      lock.unlock();
+      ProbeOnce();
+      lock.lock();
+    }
+  });
+}
+
+void HealthProber::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  running_ = false;
+}
+
+EndpointHealth HealthProber::HealthOf(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = states_.find(endpoint);
+  return it == states_.end() ? EndpointHealth::kUp : it->second.health;
+}
+
+std::vector<std::pair<std::string, EndpointHealth>> HealthProber::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, EndpointHealth>> out;
+  out.reserve(states_.size());
+  for (const auto& [endpoint, state] : states_) {
+    out.emplace_back(endpoint, state.health);
+  }
+  return out;
+}
+
+void HealthProber::ProbeOnce() {
+  const std::vector<std::string> endpoints = lister_();
+  // Probes run outside the state lock (a hung endpoint must not block
+  // HealthOf callers); transitions collected for the observer.
+  std::vector<std::pair<std::string, EndpointHealth>> transitions;
+  for (const std::string& endpoint : endpoints) {
+    const Status alive = probe_(endpoint);
+    std::lock_guard<std::mutex> lock(mutex_);
+    EndpointState& state = states_[endpoint];
+    const EndpointHealth before = state.health;
+    if (alive.ok()) {
+      state.consecutive_failures = 0;
+      if (state.health != EndpointHealth::kUp &&
+          ++state.consecutive_successes >= options_.successes_to_up) {
+        state.health = EndpointHealth::kUp;
+        state.consecutive_successes = 0;
+      }
+    } else {
+      state.consecutive_successes = 0;
+      ++state.consecutive_failures;
+      state.health = state.consecutive_failures >= options_.failures_to_down
+                         ? EndpointHealth::kDown
+                         : EndpointHealth::kSuspect;
+    }
+    if (state.health != before) {
+      transitions.emplace_back(endpoint, state.health);
+    }
+  }
+  {
+    // Forget endpoints dropped by a map reload so Snapshot() mirrors the
+    // live fleet.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = states_.begin(); it != states_.end();) {
+      const bool listed = std::find(endpoints.begin(), endpoints.end(),
+                                    it->first) != endpoints.end();
+      it = listed ? std::next(it) : states_.erase(it);
+    }
+    ++cycles_completed_;
+  }
+  for (const auto& [endpoint, health] : transitions) {
+    HMMM_LOG(Info) << "endpoint " << endpoint << " is now "
+                   << EndpointHealthName(health);
+    if (observer_ != nullptr) observer_(endpoint, health);
+  }
+}
+
+HealthProber::ProbeFn MakeHealthRpcProbe(std::chrono::milliseconds timeout) {
+  return [timeout](const std::string& endpoint) -> Status {
+    const size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("endpoint missing port: " + endpoint);
+    }
+    QueryClientOptions options;
+    options.host = endpoint.substr(0, colon);
+    options.port = static_cast<uint16_t>(
+        std::strtoul(endpoint.c_str() + colon + 1, nullptr, 10));
+    options.connect_timeout = timeout;
+    options.io_timeout = timeout;
+    options.max_retries = 0;
+    QueryClient client(options);
+    return client.Health().status();
+  };
+}
+
+}  // namespace hmmm

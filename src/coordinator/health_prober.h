@@ -1,0 +1,122 @@
+#ifndef HMMM_COORDINATOR_HEALTH_PROBER_H_
+#define HMMM_COORDINATOR_HEALTH_PROBER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hmmm {
+
+/// Active liveness of one endpoint as seen by the prober.
+///
+///   kUp      last probe(s) succeeded — preferred for routing.
+///   kSuspect some probes failed but not enough to declare death; still
+///            routable, after every kUp replica of the range.
+///   kDown    failures_to_down consecutive probes failed — skipped by
+///            the failover order unless every replica of the range is
+///            excluded.
+enum class EndpointHealth { kUp, kSuspect, kDown };
+
+const char* EndpointHealthName(EndpointHealth health);
+
+/// Periodically probes a set of endpoints with lightweight Health RPCs
+/// on a dedicated thread and keeps a per-endpoint UP/SUSPECT/DOWN state
+/// driven by consecutive-failure/success thresholds.
+///
+/// The endpoint set is re-listed every cycle through the injected
+/// lister, so a hot shard-map reload changes the probe set without
+/// restarting the prober; endpoints that disappear from the lister are
+/// forgotten. The probe itself is injected too, which keeps the class
+/// free of socket details and lets tests flip an endpoint's fate
+/// deterministically.
+class HealthProber {
+ public:
+  struct Options {
+    std::chrono::milliseconds probe_interval{500};
+    /// Consecutive probe failures before kSuspect becomes kDown.
+    int failures_to_down = 3;
+    /// Consecutive probe successes before a non-kUp endpoint is kUp
+    /// again.
+    int successes_to_up = 1;
+  };
+
+  /// Returns the endpoints to probe this cycle.
+  using EndpointLister = std::function<std::vector<std::string>()>;
+  /// One Health round-trip against `endpoint`; OK = alive.
+  using ProbeFn = std::function<Status(const std::string& endpoint)>;
+  /// Observes health transitions (metrics hookup). Called outside the
+  /// state lock.
+  using TransitionObserver =
+      std::function<void(const std::string& endpoint, EndpointHealth health)>;
+
+  HealthProber(Options options, EndpointLister lister, ProbeFn probe,
+               TransitionObserver observer = nullptr);
+  ~HealthProber();
+
+  HealthProber(const HealthProber&) = delete;
+  HealthProber& operator=(const HealthProber&) = delete;
+
+  /// Spawns the probe thread (idempotent). The first cycle runs
+  /// immediately, so a freshly started coordinator learns dead endpoints
+  /// within one probe round-trip, not one interval.
+  void Start();
+  /// Stops and joins the probe thread (idempotent; also run by the
+  /// destructor). A cycle in progress finishes its current probe.
+  void Stop();
+
+  /// Health of `endpoint`; endpoints never probed are optimistically
+  /// kUp (a fresh replica must be routable before its first probe).
+  EndpointHealth HealthOf(const std::string& endpoint) const;
+
+  /// All tracked endpoints and their current health.
+  std::vector<std::pair<std::string, EndpointHealth>> Snapshot() const;
+
+  /// Runs one synchronous probe cycle on the caller's thread (tests and
+  /// the Start() warm-up use this; safe to call concurrently with the
+  /// background thread).
+  void ProbeOnce();
+
+  uint64_t cycles_completed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cycles_completed_;
+  }
+
+ private:
+  struct EndpointState {
+    EndpointHealth health = EndpointHealth::kUp;
+    int consecutive_failures = 0;
+    int consecutive_successes = 0;
+  };
+
+  Options options_;
+  EndpointLister lister_;
+  ProbeFn probe_;
+  TransitionObserver observer_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, EndpointState> states_;
+  uint64_t cycles_completed_ = 0;
+
+  std::mutex run_mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+/// The default ProbeFn: one Health RPC with no retries and tight
+/// connect/io timeouts, so a dead endpoint costs one `timeout`, not a
+/// client's full default budget.
+HealthProber::ProbeFn MakeHealthRpcProbe(std::chrono::milliseconds timeout);
+
+}  // namespace hmmm
+
+#endif  // HMMM_COORDINATOR_HEALTH_PROBER_H_

@@ -109,7 +109,7 @@ Status QueryServer::Start() {
   request_latency_ms_ = registry.GetHistogram(
       "hmmm_server_request_latency_ms", DefaultLatencyBucketsMs(),
       "per-request wall time from dispatch to response written");
-  for (uint16_t tag = 1; tag <= 7; ++tag) {
+  for (uint16_t tag = 1; tag <= 8; ++tag) {
     const auto type = static_cast<MessageType>(tag);
     requests_total_by_type_[tag] = registry.GetCounter(
         "hmmm_server_requests_total", {{"type", MessageTypeLabel(type)}},
@@ -497,6 +497,8 @@ std::string QueryServer::HandleJob(Connection* conn, const FrameJob& job) {
       return HandleMarkPositive(job.payload, job.version);
     case MessageType::kTrainRequest:
       return HandleTrain(job.version);
+    case MessageType::kReloadShardMapRequest:
+      return HandleReloadShardMap(job.payload, job.version);
     default:
       return ErrorFrame(WireError::kUnknownMessageType,
                         FramingErrorMessage(WireError::kUnknownMessageType),
@@ -584,6 +586,21 @@ std::string QueryServer::HandleDumpSlowQueries(uint16_t version) {
   if (!response.ok()) return StatusErrorFrame(response.status(), version);
   return EncodeFrame(MessageType::kDumpSlowQueriesResponse,
                      EncodeDumpSlowQueriesResponse(*response), version);
+}
+
+std::string QueryServer::HandleReloadShardMap(const std::string& payload,
+                                              uint16_t version) {
+  StatusOr<ReloadShardMapRequest> decoded =
+      DecodeReloadShardMapRequest(payload);
+  if (!decoded.ok()) {
+    return ErrorFrame(WireError::kMalformedPayload,
+                      decoded.status().message(), version);
+  }
+  StatusOr<ReloadShardMapResponse> response =
+      service_->ReloadShardMap(*decoded);
+  if (!response.ok()) return StatusErrorFrame(response.status(), version);
+  return EncodeFrame(MessageType::kReloadShardMapResponse,
+                     EncodeReloadShardMapResponse(*response), version);
 }
 
 std::string QueryServer::ErrorFrame(WireError code,

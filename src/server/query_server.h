@@ -163,6 +163,8 @@ class QueryServer {
   std::string HandleMetrics(uint16_t version);
   std::string HandleHealth(uint16_t version);
   std::string HandleDumpSlowQueries(uint16_t version);
+  std::string HandleReloadShardMap(const std::string& payload,
+                                   uint16_t version);
   /// Builds a typed error frame (stamped at `version`) and bumps
   /// hmmm_server_errors_total{code}.
   std::string ErrorFrame(WireError code, const std::string& message,
@@ -208,9 +210,9 @@ class QueryServer {
   Counter* bytes_read_total_ = nullptr;
   Counter* bytes_written_total_ = nullptr;
   Histogram* request_latency_ms_ = nullptr;
-  /// hmmm_server_requests_total{type=...}, indexed by request tag (1-7);
+  /// hmmm_server_requests_total{type=...}, indexed by request tag (1-8);
   /// pre-resolved so the per-request path never takes the registry lock.
-  std::array<Counter*, 8> requests_total_by_type_{};
+  std::array<Counter*, 9> requests_total_by_type_{};
 };
 
 }  // namespace hmmm

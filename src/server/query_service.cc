@@ -1,8 +1,10 @@
 #include "server/query_service.h"
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "observability/query_trace.h"
 
@@ -21,6 +23,11 @@ StatusOr<DumpSlowQueriesResponse> QueryService::DumpSlowQueries() {
   return DumpSlowQueriesResponse{};
 }
 
+StatusOr<ReloadShardMapResponse> QueryService::ReloadShardMap(
+    const ReloadShardMapRequest&) {
+  return Status::Unimplemented("this service does not route a shard map");
+}
+
 VideoDatabaseService::VideoDatabaseService(VideoDatabase* db,
                                            QueryServiceOptions options)
     : db_(db),
@@ -37,6 +44,11 @@ MetricsRegistry& VideoDatabaseService::metrics_registry() {
 
 StatusOr<TemporalQueryResponse> VideoDatabaseService::TemporalQuery(
     const TemporalQueryRequest& request, const CancellationToken* shutdown) {
+  // Chaos hook: a fired point stalls this replica long enough for a
+  // coordinator's hedge delay to elapse, without failing the request.
+  if (HMMM_FAULT_FIRED("service.slow_temporal_query")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
   const auto start = std::chrono::steady_clock::now();
   QueryControls controls;
   if (request.budget_ms >= 0) {

@@ -45,6 +45,11 @@ class QueryService {
   /// Snapshot of the service's slow-query ring buffer (v2 wire request).
   /// Default: empty log, so minimal test services need not implement it.
   virtual StatusOr<DumpSlowQueriesResponse> DumpSlowQueries();
+  /// Hot shard-map swap (v3 wire request). Only routing front ends
+  /// (CoordinatorService) implement it; default: kUnimplemented, so leaf
+  /// shard servers answer with a typed error.
+  virtual StatusOr<ReloadShardMapResponse> ReloadShardMap(
+      const ReloadShardMapRequest& request);
 };
 
 /// Tracing/observability knobs shared by the service implementations.

@@ -15,21 +15,37 @@ namespace hmmm {
 /// File-format magic for serialized shard maps (sibling of kCatalogMagic
 /// / kModelMagic in storage/model_io.h).
 inline constexpr uint32_t kShardMapMagic = 0x484D4D53;  // "SMMH"
-inline constexpr uint32_t kShardMapVersion = 1;
+/// v1: endpoint + range + shot mapping. v2 adds a replica endpoint list
+/// per entry and a map-wide epoch (monotone reload fencing). v1 blobs
+/// still load (no replicas, epoch 0).
+inline constexpr uint32_t kShardMapVersion = 2;
+inline constexpr uint32_t kShardMapMinVersion = 1;
 
 /// One shard's entry in the serving map: which contiguous global video
 /// range it owns, how its slice-local ShotIds map back to global ones,
-/// and (optionally) where it is reachable. The endpoint is deployment
+/// and (optionally) where it is reachable. Endpoints are deployment
 /// config, not partition output — hmmm_shardctl writes maps with empty
 /// endpoints and hmmm_coordd fills them from its --shard flags.
 struct ShardMapEntry {
-  std::string endpoint;  // "host:port", may be empty until deployment
+  std::string endpoint;  // primary "host:port", may be empty until deployment
+  /// Additional replicas serving the same slice (identical catalog +
+  /// model), tried in order after the primary. Failover between them is
+  /// ranking-transparent: any replica returns byte-identical slices.
+  std::vector<std::string> replica_endpoints;
   VideoId video_begin = 0;
   VideoId video_end = 0;  // global range [video_begin, video_end)
   /// Slice ShotId -> global ShotId, dense over the shard's catalog.
   std::vector<ShotId> shot_to_global;
 
   int num_videos() const { return video_end - video_begin; }
+  /// Primary followed by replicas, in deterministic failover order.
+  std::vector<std::string> all_endpoints() const {
+    std::vector<std::string> all;
+    all.reserve(1 + replica_endpoints.size());
+    all.push_back(endpoint);
+    all.insert(all.end(), replica_endpoints.begin(), replica_endpoints.end());
+    return all;
+  }
 };
 
 /// The catalog partition of one serving deployment: contiguous,
@@ -38,6 +54,9 @@ struct ShardMapEntry {
 struct ShardMap {
   int64_t total_videos = 0;
   int64_t total_shots = 0;
+  /// Monotone map generation. A live coordinator only accepts a reload
+  /// whose epoch is strictly greater than the one it is serving.
+  uint64_t epoch = 0;
   std::vector<ShardMapEntry> shards;
 };
 
@@ -53,8 +72,12 @@ ShardMap ShardMapFromPartition(const std::vector<CatalogShard>& shards,
 
 /// Checksummed binary round-trip (WrapChecksummed envelope, same
 /// corruption guarantees as the catalog/model codecs). Deserialize
-/// validates before returning.
-std::string SerializeShardMap(const ShardMap& map);
+/// validates before returning and accepts any version in
+/// [kShardMapMinVersion, kShardMapVersion]. `version` lets tests (and
+/// tools talking to old coordinators) emit the legacy layout; writing
+/// v1 drops replicas/epoch.
+std::string SerializeShardMap(const ShardMap& map,
+                              uint32_t version = kShardMapVersion);
 StatusOr<ShardMap> DeserializeShardMap(std::string_view data);
 Status SaveShardMap(const ShardMap& map, const std::string& path);
 StatusOr<ShardMap> LoadShardMap(const std::string& path);

@@ -84,6 +84,7 @@ bool IsRequestType(MessageType type) {
     case MessageType::kTrainRequest:
     case MessageType::kMetricsRequest:
     case MessageType::kDumpSlowQueriesRequest:
+    case MessageType::kReloadShardMapRequest:
       return true;
     default:
       return false;
@@ -113,6 +114,9 @@ const char* MessageTypeLabel(MessageType type) {
     case MessageType::kDumpSlowQueriesRequest:
     case MessageType::kDumpSlowQueriesResponse:
       return "dump_slow_queries";
+    case MessageType::kReloadShardMapRequest:
+    case MessageType::kReloadShardMapResponse:
+      return "reload_shard_map";
     case MessageType::kErrorResponse:
       return "error";
   }
@@ -459,19 +463,29 @@ StatusOr<MarkPositiveResponse> DecodeMarkPositiveResponse(
   return response;
 }
 
-std::string EncodeTrainResponse(const TrainResponse& response) {
+std::string EncodeTrainResponse(const TrainResponse& response,
+                                uint16_t version) {
   BinaryWriter writer;
   writer.WriteUint8(response.trained ? 1 : 0);
   writer.WriteUint64(response.training_rounds);
+  if (version >= 3) {
+    writer.WriteUint32(response.shards_attempted);
+    writer.WriteUint32(response.shards_failed);
+  }
   return std::move(writer).TakeBuffer();
 }
 
-StatusOr<TrainResponse> DecodeTrainResponse(std::string_view payload) {
+StatusOr<TrainResponse> DecodeTrainResponse(std::string_view payload,
+                                            uint16_t version) {
   BinaryReader reader(payload);
   TrainResponse response;
   HMMM_ASSIGN_OR_RETURN(const uint8_t trained, reader.ReadUint8());
   response.trained = trained != 0;
   HMMM_ASSIGN_OR_RETURN(response.training_rounds, reader.ReadUint64());
+  if (version >= 3) {
+    HMMM_ASSIGN_OR_RETURN(response.shards_attempted, reader.ReadUint32());
+    HMMM_ASSIGN_OR_RETURN(response.shards_failed, reader.ReadUint32());
+  }
   return response;
 }
 
@@ -506,6 +520,37 @@ StatusOr<DumpSlowQueriesResponse> DecodeDumpSlowQueriesResponse(
   BinaryReader reader(payload);
   DumpSlowQueriesResponse response;
   HMMM_ASSIGN_OR_RETURN(response.jsonl, reader.ReadString());
+  return response;
+}
+
+std::string EncodeReloadShardMapRequest(const ReloadShardMapRequest& request) {
+  BinaryWriter writer;
+  writer.WriteString(request.map_blob);
+  return std::move(writer).TakeBuffer();
+}
+
+StatusOr<ReloadShardMapRequest> DecodeReloadShardMapRequest(
+    std::string_view payload) {
+  BinaryReader reader(payload);
+  ReloadShardMapRequest request;
+  HMMM_ASSIGN_OR_RETURN(request.map_blob, reader.ReadString());
+  return request;
+}
+
+std::string EncodeReloadShardMapResponse(
+    const ReloadShardMapResponse& response) {
+  BinaryWriter writer;
+  writer.WriteUint64(response.epoch);
+  writer.WriteUint32(response.num_shards);
+  return std::move(writer).TakeBuffer();
+}
+
+StatusOr<ReloadShardMapResponse> DecodeReloadShardMapResponse(
+    std::string_view payload) {
+  BinaryReader reader(payload);
+  ReloadShardMapResponse response;
+  HMMM_ASSIGN_OR_RETURN(response.epoch, reader.ReadUint64());
+  HMMM_ASSIGN_OR_RETURN(response.num_shards, reader.ReadUint32());
   return response;
 }
 

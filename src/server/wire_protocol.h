@@ -41,9 +41,15 @@ namespace hmmm {
 //       request frame's version, so v1 clients get byte-identical v1
 //       service; a client that receives kUnsupportedVersion for its v2
 //       frame downgrades the connection to v1 and retries.
+//   v3  replication control plane: the ReloadShardMap message pair is
+//       added (request carries a serialized SMMH shard-map blob, the
+//       response echoes the applied map epoch), and TrainResponse
+//       appends per-shard broadcast accounting (shards_attempted /
+//       shards_failed) so a coordinator fan-out can report partial
+//       training failures instead of masking them.
 
 inline constexpr uint32_t kWireMagic = 0x484D4D51u;
-inline constexpr uint16_t kWireProtocolVersion = 2;
+inline constexpr uint16_t kWireProtocolVersion = 3;
 /// Oldest version this build still speaks. Frames inside
 /// [kWireMinProtocolVersion, kWireProtocolVersion] are served; anything
 /// else gets a typed kUnsupportedVersion answer.
@@ -63,6 +69,7 @@ enum class MessageType : uint16_t {
   kTrainRequest = 5,
   kMetricsRequest = 6,
   kDumpSlowQueriesRequest = 7,  // v2+
+  kReloadShardMapRequest = 8,   // v3+
   kHealthResponse = 129,
   kTemporalQueryResponse = 130,
   kQbeResponse = 131,
@@ -70,6 +77,7 @@ enum class MessageType : uint16_t {
   kTrainResponse = 133,
   kMetricsResponse = 134,
   kDumpSlowQueriesResponse = 135,  // v2+
+  kReloadShardMapResponse = 136,   // v3+
   kErrorResponse = 255,
 };
 
@@ -179,6 +187,14 @@ struct MarkPositiveRequest {
   RetrievedPattern pattern;
 };
 
+/// ReloadShardMap (v3+): hot-swaps a coordinator's shard map. The blob
+/// is a complete serialized SMMH map (SerializeShardMap output); the
+/// receiver validates it and rejects the swap unless the new epoch is
+/// strictly greater than the epoch it is serving.
+struct ReloadShardMapRequest {
+  std::string map_blob;
+};
+
 // Train / Metrics / Health requests have empty payloads.
 
 // -- Response payloads ----------------------------------------------------
@@ -209,6 +225,11 @@ struct MarkPositiveResponse {
 struct TrainResponse {
   bool trained = false;
   uint64_t training_rounds = 0;
+  /// v3: per-shard broadcast accounting from a coordinator fan-out.
+  /// Standalone servers report 1/0 (or 1/1 on failure — but a failed
+  /// standalone Train is an error frame, so in practice 1/0).
+  uint32_t shards_attempted = 1;  // v3+
+  uint32_t shards_failed = 0;     // v3+
 };
 
 struct MetricsResponse {
@@ -222,6 +243,12 @@ struct MetricsResponse {
 /// the server's SlowQueryLog::DumpJsonl(), oldest entry first.
 struct DumpSlowQueriesResponse {
   std::string jsonl;
+};
+
+/// ReloadShardMap (v3+) success answer: the epoch now being served.
+struct ReloadShardMapResponse {
+  uint64_t epoch = 0;
+  uint32_t num_shards = 0;
 };
 
 struct HealthResponse {
@@ -262,6 +289,10 @@ std::string EncodeMarkPositiveRequest(const MarkPositiveRequest& request);
 StatusOr<MarkPositiveRequest> DecodeMarkPositiveRequest(
     std::string_view payload);
 
+std::string EncodeReloadShardMapRequest(const ReloadShardMapRequest& request);
+StatusOr<ReloadShardMapRequest> DecodeReloadShardMapRequest(
+    std::string_view payload);
+
 std::string EncodeTemporalQueryResponse(
     const TemporalQueryResponse& response,
     uint16_t version = kWireProtocolVersion);
@@ -277,8 +308,10 @@ std::string EncodeMarkPositiveResponse(const MarkPositiveResponse& response);
 StatusOr<MarkPositiveResponse> DecodeMarkPositiveResponse(
     std::string_view payload);
 
-std::string EncodeTrainResponse(const TrainResponse& response);
-StatusOr<TrainResponse> DecodeTrainResponse(std::string_view payload);
+std::string EncodeTrainResponse(const TrainResponse& response,
+                                uint16_t version = kWireProtocolVersion);
+StatusOr<TrainResponse> DecodeTrainResponse(
+    std::string_view payload, uint16_t version = kWireProtocolVersion);
 
 std::string EncodeMetricsResponse(const MetricsResponse& response,
                                   uint16_t version = kWireProtocolVersion);
@@ -288,6 +321,11 @@ StatusOr<MetricsResponse> DecodeMetricsResponse(
 std::string EncodeDumpSlowQueriesResponse(
     const DumpSlowQueriesResponse& response);
 StatusOr<DumpSlowQueriesResponse> DecodeDumpSlowQueriesResponse(
+    std::string_view payload);
+
+std::string EncodeReloadShardMapResponse(
+    const ReloadShardMapResponse& response);
+StatusOr<ReloadShardMapResponse> DecodeReloadShardMapResponse(
     std::string_view payload);
 
 std::string EncodeHealthResponse(const HealthResponse& response);

@@ -1,0 +1,137 @@
+#include "coordinator/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace hmmm {
+namespace {
+
+using State = CircuitBreaker::State;
+
+/// All transitions are driven by injected time points, so the tests
+/// never sleep: `At(ms)` is an absolute instant on a fake steady clock.
+CircuitBreaker::TimePoint At(int64_t ms) {
+  return CircuitBreaker::TimePoint{} + std::chrono::milliseconds(ms);
+}
+
+CircuitBreaker::Options SmallOptions() {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.success_threshold = 2;
+  options.open_cooldown = std::chrono::milliseconds(100);
+  options.half_open_max_probes = 1;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  CircuitBreaker breaker{SmallOptions()};
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(At(0)));
+  EXPECT_EQ(breaker.rejected_total(), 0u);
+}
+
+TEST(CircuitBreakerTest, TripsOpenAfterConsecutiveFailures) {
+  CircuitBreaker breaker{SmallOptions()};
+  breaker.RecordFailure(At(1));
+  breaker.RecordFailure(At(2));
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  breaker.RecordFailure(At(3));
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.opened_total(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker{SmallOptions()};
+  breaker.RecordFailure(At(1));
+  breaker.RecordFailure(At(2));
+  breaker.RecordSuccess(At(3));  // streak broken
+  breaker.RecordFailure(At(4));
+  breaker.RecordFailure(At(5));
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  breaker.RecordFailure(At(6));
+  EXPECT_EQ(breaker.state(), State::kOpen);
+}
+
+TEST(CircuitBreakerTest, OpenRejectsUntilCooldownElapses) {
+  CircuitBreaker breaker{SmallOptions()};
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(At(10));
+  ASSERT_EQ(breaker.state(), State::kOpen);
+
+  EXPECT_FALSE(breaker.AllowRequest(At(50)));
+  EXPECT_FALSE(breaker.AllowRequest(At(109)));
+  EXPECT_EQ(breaker.rejected_total(), 2u);
+
+  // Cooldown elapsed: the next AllowRequest transitions to HalfOpen and
+  // admits exactly one probe.
+  EXPECT_TRUE(breaker.AllowRequest(At(110)));
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);
+  EXPECT_EQ(breaker.half_opened_total(), 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenLimitsConcurrentProbes) {
+  CircuitBreaker breaker{SmallOptions()};
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(At(0));
+  ASSERT_TRUE(breaker.AllowRequest(At(100)));  // probe slot taken
+
+  // The slot is occupied until the probe resolves; further requests are
+  // refused rather than piling onto a possibly-dead endpoint.
+  EXPECT_FALSE(breaker.AllowRequest(At(101)));
+  EXPECT_EQ(breaker.rejected_total(), 1u);
+
+  breaker.RecordSuccess(At(102));  // releases the slot
+  EXPECT_TRUE(breaker.AllowRequest(At(103)));
+}
+
+TEST(CircuitBreakerTest, HalfOpenClosesAfterSuccessThreshold) {
+  CircuitBreaker breaker{SmallOptions()};
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(At(0));
+  ASSERT_TRUE(breaker.AllowRequest(At(100)));
+  breaker.RecordSuccess(At(101));
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);  // needs 2 successes
+
+  ASSERT_TRUE(breaker.AllowRequest(At(102)));
+  breaker.RecordSuccess(At(103));
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_EQ(breaker.closed_total(), 1u);
+  EXPECT_TRUE(breaker.AllowRequest(At(104)));
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensAndRestartsCooldown) {
+  CircuitBreaker breaker{SmallOptions()};
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(At(0));
+  ASSERT_TRUE(breaker.AllowRequest(At(100)));
+  breaker.RecordFailure(At(105));
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.opened_total(), 2u);
+
+  // The cooldown restarts from the reopening failure, not the original
+  // trip: 100ms after the At(105) failure, not after At(0).
+  EXPECT_FALSE(breaker.AllowRequest(At(150)));
+  EXPECT_TRUE(breaker.AllowRequest(At(205)));
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, FullRecoveryCycleCounters) {
+  CircuitBreaker breaker{SmallOptions()};
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(At(0));
+  EXPECT_FALSE(breaker.AllowRequest(At(1)));
+  ASSERT_TRUE(breaker.AllowRequest(At(100)));
+  breaker.RecordSuccess(At(101));
+  ASSERT_TRUE(breaker.AllowRequest(At(102)));
+  breaker.RecordSuccess(At(103));
+
+  EXPECT_EQ(breaker.opened_total(), 1u);
+  EXPECT_EQ(breaker.half_opened_total(), 1u);
+  EXPECT_EQ(breaker.closed_total(), 1u);
+  EXPECT_EQ(breaker.rejected_total(), 1u);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitBreaker::StateName(State::kClosed), "closed");
+  EXPECT_STREQ(CircuitBreaker::StateName(State::kOpen), "open");
+  EXPECT_STREQ(CircuitBreaker::StateName(State::kHalfOpen), "half_open");
+}
+
+}  // namespace
+}  // namespace hmmm

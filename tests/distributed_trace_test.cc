@@ -455,10 +455,11 @@ TEST(FleetMetricsTest, CoordinatorExpositionCarriesShardLabeledSeries) {
   EXPECT_NE(metrics->prometheus_text.find("hmmm_coordinator_fanouts_total"),
             std::string::npos);
   // hmmm_server_* families only exist inside the shard processes, so
-  // their presence with a shard label proves the fleet aggregation.
+  // their presence with shard/replica labels proves the fleet
+  // aggregation.
   for (const char* series :
-       {"hmmm_server_connections_total{shard=\"0\"}",
-        "hmmm_server_connections_total{shard=\"1\"}"}) {
+       {"hmmm_server_connections_total{shard=\"0\",replica=\"0\"}",
+        "hmmm_server_connections_total{shard=\"1\",replica=\"0\"}"}) {
     EXPECT_NE(metrics->prometheus_text.find(series), std::string::npos)
         << "missing series " << series << "\n"
         << metrics->prometheus_text;

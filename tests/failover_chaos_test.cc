@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/catalog_partition.h"
+#include "api/video_database.h"
+#include "common/fault_injector.h"
+#include "common/logging.h"
+#include "coordinator/coordinator_service.h"
+#include "server/query_server.h"
+#include "server/shard_map.h"
+#include "test_util.h"
+
+// Chaos coverage for the replicated fan-out path: the armed
+// `service.slow_temporal_query` point stalls a replica for 200ms inside
+// its TemporalQuery handler, letting a coordinator's hedge delay elapse
+// for real — the hedge must win the race and the ranking must not move.
+// Probes only exist with -DHMMM_FAULT_INJECTION=ON; otherwise each test
+// skips (but still compiles).
+#ifdef HMMM_FAULT_INJECTION
+#define SKIP_WITHOUT_FAULT_INJECTION() (void)0
+#else
+#define SKIP_WITHOUT_FAULT_INJECTION() \
+  GTEST_SKIP() << "built without HMMM_FAULT_INJECTION"
+#endif
+
+namespace hmmm {
+namespace {
+
+using ::hmmm::testing::GeneratedSoccerCatalog;
+
+struct ChaosDeployment {
+  std::unique_ptr<VideoDatabase> global;
+  std::vector<std::unique_ptr<VideoDatabase>> dbs;
+  std::vector<std::vector<std::unique_ptr<QueryServer>>> servers;
+  ShardMap map;
+
+  ~ChaosDeployment() {
+    for (auto& replicas : servers) {
+      for (auto& server : replicas) {
+        if (server != nullptr) server->Shutdown();
+      }
+    }
+  }
+};
+
+std::unique_ptr<ChaosDeployment> MakeChaosDeployment(int num_shards,
+                                                     int replicas) {
+  auto deployment = std::make_unique<ChaosDeployment>();
+  StatusOr<VideoDatabase> global =
+      VideoDatabase::Create(GeneratedSoccerCatalog(3, 8));
+  HMMM_CHECK(global.ok());
+  deployment->global =
+      std::make_unique<VideoDatabase>(std::move(global).value());
+  deployment->servers.resize(num_shards);
+  for (int r = 0; r < replicas; ++r) {
+    StatusOr<std::vector<CatalogShard>> shards =
+        PartitionForServing(deployment->global->catalog(),
+                            deployment->global->model(), num_shards);
+    HMMM_CHECK(shards.ok());
+    if (r == 0) {
+      deployment->map =
+          ShardMapFromPartition(*shards, deployment->global->catalog());
+    }
+    for (int s = 0; s < num_shards; ++s) {
+      CatalogShard& shard = (*shards)[s];
+      StatusOr<VideoDatabase> db = VideoDatabase::CreateWithModel(
+          std::move(shard.catalog), std::move(shard.model));
+      HMMM_CHECK(db.ok());
+      deployment->dbs.push_back(
+          std::make_unique<VideoDatabase>(std::move(db).value()));
+      QueryServerOptions options;
+      options.port = 0;
+      auto server = std::make_unique<QueryServer>(
+          deployment->dbs.back().get(), options);
+      HMMM_CHECK(server->Start().ok());
+      const std::string endpoint =
+          "127.0.0.1:" + std::to_string(server->port());
+      deployment->servers[s].push_back(std::move(server));
+      if (r == 0) {
+        deployment->map.shards[s].endpoint = endpoint;
+      } else {
+        deployment->map.shards[s].replica_endpoints.push_back(endpoint);
+      }
+    }
+  }
+  return deployment;
+}
+
+double MetricValue(const std::string& text, const std::string& series) {
+  const std::string needle = series + " ";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::atof(text.c_str() + pos + needle.size());
+    }
+    pos += needle.size();
+  }
+  return -1.0;
+}
+
+class FailoverChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FailoverChaosTest, HedgeAbsorbsAnInjectedSlowReplica) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  std::unique_ptr<ChaosDeployment> deployment = MakeChaosDeployment(2, 2);
+  CoordinatorOptions options;
+  options.health_probe_interval = std::chrono::milliseconds(0);
+  options.hedge_delay_ms = 25;
+  StatusOr<std::unique_ptr<CoordinatorService>> coordinator =
+      CoordinatorService::Create(deployment->map, options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  TemporalQueryRequest request;
+  request.text = "free_kick ; goal";
+  StatusOr<std::vector<RetrievedPattern>> reference =
+      deployment->global->Query(request.text);
+  ASSERT_TRUE(reference.ok());
+
+  // The first replica handler to reach the point stalls 200ms — far past
+  // the 25ms hedge delay — so the hedge fires and its answer (fault
+  // exhausted by then, max_fires=1) must win the race.
+  FaultPointConfig fault;
+  fault.after_hits = 0;
+  fault.max_fires = 1;
+  FaultInjector::Instance().Arm("service.slow_temporal_query", fault);
+
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<TemporalQueryResponse> response =
+      (*coordinator)->TemporalQuery(request, nullptr);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->degraded);
+  ASSERT_EQ(response->results.size(), reference->size());
+  for (size_t i = 0; i < reference->size(); ++i) {
+    EXPECT_EQ(response->results[i].video, (*reference)[i].video);
+    EXPECT_EQ(response->results[i].score, (*reference)[i].score);
+  }
+  // The merged answer must not have waited out the 200ms stall.
+  EXPECT_LT(elapsed_ms, 180.0);
+
+  StatusOr<MetricsResponse> metrics = (*coordinator)->Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(MetricValue(metrics->prometheus_text,
+                        "hmmm_coordinator_hedges_total"),
+            1.0);
+  EXPECT_GE(MetricValue(metrics->prometheus_text,
+                        "hmmm_coordinator_hedge_wins_total"),
+            1.0);
+}
+
+TEST_F(FailoverChaosTest, SlowReplicaWithoutHedgingOnlyCostsLatency) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  std::unique_ptr<ChaosDeployment> deployment = MakeChaosDeployment(2, 2);
+  CoordinatorOptions options;
+  options.health_probe_interval = std::chrono::milliseconds(0);
+  // hedge_delay_ms stays -1: the stall is simply waited out, proving the
+  // determinism contract never depends on hedging being on.
+  StatusOr<std::unique_ptr<CoordinatorService>> coordinator =
+      CoordinatorService::Create(deployment->map, options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  TemporalQueryRequest request;
+  request.text = "goal";
+  StatusOr<std::vector<RetrievedPattern>> reference =
+      deployment->global->Query(request.text);
+  ASSERT_TRUE(reference.ok());
+
+  FaultPointConfig fault;
+  fault.after_hits = 0;
+  fault.max_fires = 1;
+  FaultInjector::Instance().Arm("service.slow_temporal_query", fault);
+
+  StatusOr<TemporalQueryResponse> response =
+      (*coordinator)->TemporalQuery(request, nullptr);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->degraded);
+  ASSERT_EQ(response->results.size(), reference->size());
+  for (size_t i = 0; i < reference->size(); ++i) {
+    EXPECT_EQ(response->results[i].video, (*reference)[i].video);
+    EXPECT_EQ(response->results[i].score, (*reference)[i].score);
+  }
+
+  StatusOr<MetricsResponse> metrics = (*coordinator)->Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(MetricValue(metrics->prometheus_text,
+                        "hmmm_coordinator_hedges_total"),
+            0.0);
+}
+
+TEST_F(FailoverChaosTest, AdaptiveHedgeDelayKicksInAtTheObservedTail) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  std::unique_ptr<ChaosDeployment> deployment = MakeChaosDeployment(2, 2);
+  CoordinatorOptions options;
+  options.health_probe_interval = std::chrono::milliseconds(0);
+  options.hedge_delay_ms = 0;       // adaptive: max(min_delay, p99)
+  options.hedge_min_delay_ms = 15;  // floor while the window is empty
+  StatusOr<std::unique_ptr<CoordinatorService>> coordinator =
+      CoordinatorService::Create(deployment->map, options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  TemporalQueryRequest request;
+  request.text = "free_kick ; goal";
+  StatusOr<std::vector<RetrievedPattern>> reference =
+      deployment->global->Query(request.text);
+  ASSERT_TRUE(reference.ok());
+
+  // Warm the latency window with fast queries, then stall one replica:
+  // the adaptive delay (p99 of the fast history, floored at 15ms) fires
+  // well before the 200ms fault resolves.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*coordinator)->TemporalQuery(request, nullptr).ok());
+  }
+  FaultPointConfig fault;
+  fault.after_hits = 0;
+  fault.max_fires = 1;
+  FaultInjector::Instance().Arm("service.slow_temporal_query", fault);
+
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<TemporalQueryResponse> response =
+      (*coordinator)->TemporalQuery(request, nullptr);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->degraded);
+  ASSERT_EQ(response->results.size(), reference->size());
+  for (size_t i = 0; i < reference->size(); ++i) {
+    EXPECT_EQ(response->results[i].video, (*reference)[i].video);
+    EXPECT_EQ(response->results[i].score, (*reference)[i].score);
+  }
+  EXPECT_LT(elapsed_ms, 180.0);
+
+  StatusOr<MetricsResponse> metrics = (*coordinator)->Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(MetricValue(metrics->prometheus_text,
+                        "hmmm_coordinator_hedges_total"),
+            1.0);
+}
+
+}  // namespace
+}  // namespace hmmm

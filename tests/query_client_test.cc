@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -273,6 +275,109 @@ TEST(QueryClientTest, NextCancelGenerationIsMonotone) {
   EXPECT_EQ(client.NextCancelGeneration(), 1u);
   EXPECT_EQ(client.NextCancelGeneration(), 2u);
   EXPECT_EQ(client.NextCancelGeneration(), 3u);
+}
+
+TEST(RetryBackoffTest, DecorrelatedJitterStaysInItsEnvelope) {
+  Rng rng(1234);
+  const std::chrono::milliseconds base(10);
+  const std::chrono::milliseconds cap(200);
+  std::chrono::milliseconds prev = base;
+  for (int i = 0; i < 2000; ++i) {
+    const std::chrono::milliseconds next =
+        NextDecorrelatedBackoff(base, cap, prev, rng);
+    EXPECT_GE(next, base);
+    EXPECT_LE(next, cap);
+    EXPECT_LE(next.count(), std::min<int64_t>(cap.count(),
+                                              3 * prev.count()));
+    prev = next;
+  }
+}
+
+TEST(RetryBackoffTest, JitterActuallySpreadsAcrossTheRange) {
+  // Decorrelation is the whole point: a fleet that failed together must
+  // not retry in lockstep. With prev pinned high, successive draws from
+  // one stream must take more than a handful of distinct values.
+  Rng rng(99);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(NextDecorrelatedBackoff(std::chrono::milliseconds(10),
+                                        std::chrono::milliseconds(10000),
+                                        std::chrono::milliseconds(300), rng)
+                    .count());
+  }
+  EXPECT_GT(seen.size(), 50u);
+}
+
+TEST(RetryBackoffTest, PinnedSeedReplaysTheSameSchedule) {
+  const auto draw = [](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<int64_t> schedule;
+    std::chrono::milliseconds prev(10);
+    for (int i = 0; i < 16; ++i) {
+      prev = NextDecorrelatedBackoff(std::chrono::milliseconds(10),
+                                     std::chrono::milliseconds(1000), prev,
+                                     rng);
+      schedule.push_back(prev.count());
+    }
+    return schedule;
+  };
+  EXPECT_EQ(draw(7), draw(7));
+  EXPECT_NE(draw(7), draw(8));
+}
+
+TEST(RetryBackoffTest, DeriveRetryJitterSeedDecorrelatesClients) {
+  // A configured seed is used verbatim (tests pin schedules); the 0
+  // default derives a distinct stream per client.
+  EXPECT_EQ(DeriveRetryJitterSeed(42), 42u);
+  EXPECT_NE(DeriveRetryJitterSeed(0), DeriveRetryJitterSeed(0));
+}
+
+TEST(QueryClientPoolTest, DiscardsStaleConnectionsAtCheckout) {
+  StatusOr<Socket> listener = TcpListen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  StatusOr<uint16_t> port = LocalPort(*listener);
+  ASSERT_TRUE(port.ok());
+
+  QueryClientOptions options;
+  options.port = *port;
+  QueryClientPool pool(options, /*max_idle=*/4);
+  {
+    QueryClientPool::Lease lease = pool.Acquire();
+    ASSERT_TRUE(lease->Connect().ok());
+    // Accept the connection server-side, then drop it: the pooled
+    // client's socket now holds an unread EOF.
+    StatusOr<Socket> conn = Accept(*listener);
+    ASSERT_TRUE(conn.ok());
+  }  // lease returns the (now half-closed) client to the idle pool
+  ASSERT_EQ(pool.idle(), 1u);
+
+  // Give the FIN a beat to arrive, then check out: the stale connection
+  // must be discarded, not leased into a fan-out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  QueryClientPool::Lease lease = pool.Acquire();
+  EXPECT_FALSE(lease->connected());
+  EXPECT_EQ(pool.stale_discarded(), 1u);
+  EXPECT_EQ(pool.clients_created(), 2u);
+}
+
+TEST(QueryClientPoolTest, HealthyIdleConnectionIsReused) {
+  FakeServer server([](int, MessageType, const std::string&) {
+    return HealthFrame();
+  });
+  QueryClientOptions options;
+  options.port = server.port();
+  QueryClientPool pool(options, /*max_idle=*/4);
+  {
+    QueryClientPool::Lease lease = pool.Acquire();
+    ASSERT_TRUE(lease->Health().ok());
+  }
+  {
+    QueryClientPool::Lease lease = pool.Acquire();
+    EXPECT_TRUE(lease->connected());
+    ASSERT_TRUE(lease->Health().ok());
+  }
+  EXPECT_EQ(pool.clients_created(), 1u);
+  EXPECT_EQ(pool.stale_discarded(), 0u);
 }
 
 }  // namespace

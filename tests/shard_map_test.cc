@@ -112,6 +112,54 @@ TEST(ShardMapTest, SerializeRoundTrips) {
   }
 }
 
+TEST(ShardMapTest, V2RoundTripsReplicasAndEpoch) {
+  ShardMap map = TwoShardMap();
+  map.epoch = 42;
+  map.shards[0].replica_endpoints = {"127.0.0.1:9101", "127.0.0.1:9201"};
+  map.shards[1].replica_endpoints = {"127.0.0.1:9102"};
+  const std::string blob = SerializeShardMap(map);
+  StatusOr<ShardMap> restored = DeserializeShardMap(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->epoch, 42u);
+  ASSERT_EQ(restored->shards.size(), 2u);
+  EXPECT_EQ(restored->shards[0].replica_endpoints,
+            map.shards[0].replica_endpoints);
+  EXPECT_EQ(restored->shards[1].replica_endpoints,
+            map.shards[1].replica_endpoints);
+  EXPECT_EQ(restored->shards[0].all_endpoints(),
+            (std::vector<std::string>{"127.0.0.1:9001", "127.0.0.1:9101",
+                                      "127.0.0.1:9201"}));
+}
+
+TEST(ShardMapTest, V1BlobLoadsWithoutReplicasOrEpoch) {
+  // A map written by the previous release (v1 layout) must still load:
+  // replicas empty, epoch 0 — exactly the pre-replication semantics.
+  ShardMap map = TwoShardMap();
+  map.epoch = 42;
+  map.shards[0].replica_endpoints = {"127.0.0.1:9101"};
+  const std::string blob = SerializeShardMap(map, /*version=*/1);
+  StatusOr<ShardMap> restored = DeserializeShardMap(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->epoch, 0u);
+  for (const ShardMapEntry& entry : restored->shards) {
+    EXPECT_TRUE(entry.replica_endpoints.empty());
+  }
+  // Everything v1 carried survives the downgrade.
+  EXPECT_EQ(restored->shards[0].endpoint, map.shards[0].endpoint);
+  EXPECT_EQ(restored->shards[1].shot_to_global,
+            map.shards[1].shot_to_global);
+}
+
+TEST(ShardMapTest, V2BlobRejectsCorruptionInTheReplicaSection) {
+  ShardMap map = TwoShardMap();
+  map.epoch = 7;
+  map.shards[0].replica_endpoints = {"127.0.0.1:9101"};
+  std::string blob = SerializeShardMap(map);
+  // Flip a byte near the end, where the v2 additions live.
+  blob[blob.size() - 5] ^= 0x10;
+  EXPECT_FALSE(DeserializeShardMap(blob).ok());
+}
+
 TEST(ShardMapTest, DeserializeRejectsCorruption) {
   std::string blob = SerializeShardMap(TwoShardMap());
   blob[blob.size() / 2] ^= 0x40;
