@@ -65,7 +65,8 @@ struct CoorddFlags {
 void PrintUsage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --shard-map PATH [--shard HOST:PORT[,HOST:PORT...]]...\n"
+      "usage: %s (--shard-map PATH | --snapshot-dir DIR)\n"
+      "          [--shard HOST:PORT[,HOST:PORT...]]...\n"
       "          [--host ADDR] [--port N] [--workers N] [--fanout-threads N]\n"
       "          [--merge-reserve-ms N] [--io-slack-ms N] [--max-results N]\n"
       "          [--connect-timeout-ms N] [--io-timeout-ms N]\n"
@@ -86,6 +87,10 @@ bool ParseFlags(int argc, char** argv, CoorddFlags* flags) {
     const char* value = nullptr;
     if (arg == "--shard-map" && (value = next()) != nullptr) {
       flags->shard_map_path = value;
+    } else if (arg == "--snapshot-dir" && (value = next()) != nullptr) {
+      // Sugar for a shardctl-partitioned snapshot directory: the shard
+      // map lives next to the per-shard .hmms slices.
+      flags->shard_map_path = std::string(value) + "/shards.map";
     } else if (arg == "--shard" && (value = next()) != nullptr) {
       flags->shard_endpoints.push_back(value);
     } else if (arg == "--host" && (value = next()) != nullptr) {

@@ -153,11 +153,26 @@ int RunPartition(const ShardctlFlags& flags) {
                  shards.status().ToString().c_str());
     return 1;
   }
+  // Global snapshot next to the blob pair, so a coordinator-side archive
+  // (or an unsharded server) can cold-start from the mmap path.
+  saved = db->WriteSnapshot(prefix + "global.hmms");
+  if (!saved.ok()) {
+    std::fprintf(stderr, "failed to save global snapshot: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
   for (size_t s = 0; s < shards->size(); ++s) {
     const hmmm::CatalogShard& shard = (*shards)[s];
     const std::string stem = prefix + "shard" + std::to_string(s);
     saved = hmmm::SaveCatalog(shard.catalog, stem + ".catalog");
     if (saved.ok()) saved = shard.model.SaveToFile(stem + ".model");
+    // Per-shard snapshot slice alongside the blobs: the same frozen
+    // format, so shard servers boot with --snapshot shard<i>.hmms and
+    // skip deserialization entirely.
+    if (saved.ok()) {
+      saved = hmmm::WriteSnapshot(shard.model, shard.catalog,
+                                  stem + ".hmms");
+    }
     if (!saved.ok()) {
       std::fprintf(stderr, "failed to save shard %zu: %s\n", s,
                    saved.ToString().c_str());

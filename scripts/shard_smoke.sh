@@ -13,6 +13,12 @@
 #      degraded (degraded=true, videos_skipped = the dead shard's
 #      share) — never as an error.
 #
+#   3b. A second fleet boots from the partition's snapshot slices
+#      (--snapshot shard<i>.hmms, the mmap cold-start path) plus one
+#      snapshot-booted unsharded server from global.hmms; both are
+#      byte-diffed against the blob-booted reference. Frozen pages must
+#      serve the same bytes the blob loader rebuilds.
+#
 #   5. A second, replicated deployment boots (2 replicas per range) and
 #      the primary of one range is SIGKILLed: every query must keep
 #      answering degraded=false and byte-identical to the reference —
@@ -108,6 +114,53 @@ for query in "${QUERIES[@]}"; do
   fi
   echo "BYTE-IDENTICAL: '$query' ($(grep -c $'\t' "$WORK/coord.out" || true) rows)"
 done
+
+echo "== booting a snapshot-backed fleet (mmap cold start) =="
+SNAP_SHARD_FLAGS=()
+SNAP_PIDS=()
+for s in $(seq 0 $((NUM_SHARDS - 1))); do
+  [[ -f $WORK/dep/shard$s.hmms ]] || {
+    echo "FAIL: partition emitted no snapshot slice shard$s.hmms" >&2
+    exit 1; }
+  "$SERVERD" --snapshot "$WORK/dep/shard$s.hmms" --snapshot-verify --port 0 \
+    > "$WORK/snap_shard$s.log" 2>&1 &
+  SNAP_PIDS+=($!)
+  PIDS+=($!)
+done
+for s in $(seq 0 $((NUM_SHARDS - 1))); do
+  port=$(wait_port "$WORK/snap_shard$s.log")
+  SNAP_SHARD_FLAGS+=(--shard "127.0.0.1:$port")
+done
+"$COORDD" --shard-map "$WORK/dep/shards.map" "${SNAP_SHARD_FLAGS[@]}" \
+  --port 0 > "$WORK/snap_coordd.log" 2>&1 &
+SNAP_PIDS+=($!)
+PIDS+=($!)
+"$SERVERD" --snapshot "$WORK/dep/global.hmms" --snapshot-verify --port 0 \
+  > "$WORK/snap_global.log" 2>&1 &
+SNAP_PIDS+=($!)
+PIDS+=($!)
+SNAP_COORD_PORT=$(wait_port "$WORK/snap_coordd.log")
+SNAP_GLOBAL_PORT=$(wait_port "$WORK/snap_global.log")
+echo "snapshot coordinator: 127.0.0.1:$SNAP_COORD_PORT" \
+     "snapshot global: 127.0.0.1:$SNAP_GLOBAL_PORT"
+
+for query in "${QUERIES[@]}"; do
+  "$CLI" 127.0.0.1 "$REF_PORT" query "$query" > "$WORK/ref.out"
+  "$CLI" 127.0.0.1 "$SNAP_COORD_PORT" query "$query" > "$WORK/snap_coord.out"
+  if ! diff -u "$WORK/ref.out" "$WORK/snap_coord.out"; then
+    echo "FAIL: snapshot-booted shard fleet differs for '$query'" >&2
+    exit 1
+  fi
+  "$CLI" 127.0.0.1 "$SNAP_GLOBAL_PORT" query "$query" > "$WORK/snap_global.out"
+  if ! diff -u "$WORK/ref.out" "$WORK/snap_global.out"; then
+    echo "FAIL: snapshot-booted unsharded server differs for '$query'" >&2
+    exit 1
+  fi
+  echo "SNAPSHOT-IDENTICAL: '$query'"
+done
+# The snapshot fleet proved its point; free its processes before the
+# failure-injection legs below.
+for pid in "${SNAP_PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
 
 echo "== fetching a sampled distributed trace through the coordinator =="
 "$TRACE" --port "$COORD_PORT" --jsonl query "free_kick ; goal" \

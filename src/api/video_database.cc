@@ -5,6 +5,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/logging.h"
 #include "storage/model_io.h"
 
 namespace hmmm {
@@ -98,6 +99,54 @@ StatusOr<VideoDatabase> VideoDatabase::Open(const std::string& catalog_path,
   return db;
 }
 
+StatusOr<VideoDatabase> VideoDatabase::OpenSnapshot(
+    const std::string& path, VideoDatabaseOptions options,
+    const SnapshotOptions& snapshot_options) {
+  HMMM_ASSIGN_OR_RETURN(std::unique_ptr<SnapshotReader> reader,
+                        SnapshotReader::Open(path, snapshot_options));
+  HMMM_ASSIGN_OR_RETURN(VideoCatalog catalog, reader->BuildCatalog());
+  HMMM_ASSIGN_OR_RETURN(HierarchicalModel model, reader->BuildModel());
+  // The same agreement checks Open() runs on a blob pair; the full
+  // Validate() pair is skipped deliberately — the writer ran it, and
+  // rerunning it here would rescan every mapped matrix.
+  if (model.num_videos() != catalog.num_videos()) {
+    return Status::FailedPrecondition(
+        "snapshot model and catalog disagree on video count");
+  }
+  if (model.num_global_states() != catalog.num_annotated_shots()) {
+    return Status::FailedPrecondition(
+        "snapshot model and catalog disagree on annotated shots");
+  }
+  VideoDatabase db(std::move(catalog), std::move(model), std::move(options));
+  if (reader->has_event_index()) {
+    HMMM_ASSIGN_OR_RETURN(EventBitmapIndex index,
+                          reader->BuildEventIndex(*db.model_, *db.catalog_));
+    db.prebuilt_index_ =
+        std::make_unique<EventBitmapIndex>(std::move(index));
+  }
+  // The keepalive goes in AFTER everything borrowing it was built, and
+  // the member order guarantees borrowers are destroyed first.
+  db.snapshot_keepalive_ = std::move(reader);
+  if (db.options_.enable_category_level) {
+    HMMM_RETURN_IF_ERROR(db.RebuildCategories());
+  }
+  return db;
+}
+
+StatusOr<VideoDatabase> VideoDatabase::OpenSnapshotWithFallback(
+    const std::string& snapshot_path, const std::string& catalog_path,
+    const std::string& model_path, VideoDatabaseOptions options,
+    const SnapshotOptions& snapshot_options) {
+  if (!snapshot_path.empty()) {
+    StatusOr<VideoDatabase> db =
+        OpenSnapshot(snapshot_path, options, snapshot_options);
+    if (db.ok()) return db;
+    HMMM_LOG(Warning) << "snapshot open failed (" << db.status().ToString()
+                      << "); falling back to blob load";
+  }
+  return Open(catalog_path, model_path, std::move(options));
+}
+
 StatusOr<VideoDatabase> VideoDatabase::CreateWithModel(
     VideoCatalog catalog, HierarchicalModel model,
     VideoDatabaseOptions options) {
@@ -123,6 +172,18 @@ Status VideoDatabase::Save(const std::string& catalog_path,
   std::shared_lock<std::shared_mutex> lock(*state_mutex_);
   HMMM_RETURN_IF_ERROR(SaveCatalog(*catalog_, catalog_path));
   return model_->SaveToFile(model_path);
+}
+
+Status VideoDatabase::WriteSnapshot(const std::string& path,
+                                    SnapshotWriteOptions options) const {
+  std::shared_lock<std::shared_mutex> lock(*state_mutex_);
+  return ::hmmm::WriteSnapshot(*model_, *catalog_, path, options);
+}
+
+StatusOr<std::string> VideoDatabase::PublishSnapshot(const std::string& dir,
+                                                     uint64_t generation) const {
+  std::shared_lock<std::shared_mutex> lock(*state_mutex_);
+  return ::hmmm::PublishSnapshot(*model_, *catalog_, dir, generation);
 }
 
 StatusOr<std::vector<RetrievedPattern>> VideoDatabase::Query(
@@ -174,15 +235,24 @@ StatusOr<std::vector<RetrievedPattern>> VideoDatabase::Retrieve(
   }
   if (controls.trace != nullptr) traversal_options.trace = controls.trace;
 
+  // A snapshot-opened database hands its adopted frozen index to every
+  // traversal while it is still fresh; training bumps the model version,
+  // after which traversals silently revert to building their own. The
+  // frozen sims are the same bits the build would produce, so rankings
+  // are identical either way.
+  const EventBitmapIndex* prebuilt =
+      (prebuilt_index_ != nullptr && prebuilt_index_->FreshFor(*model_))
+          ? prebuilt_index_.get()
+          : nullptr;
   const auto run_traversal =
       [&](RetrievalStats* computed) -> StatusOr<std::vector<RetrievedPattern>> {
     if (categories_.has_value()) {
       ThreeLevelTraversal traversal(*model_, *catalog_, *categories_,
-                                    traversal_options, pool_.get());
+                                    traversal_options, pool_.get(), prebuilt);
       return traversal.Retrieve(pattern, computed);
     }
     HmmmTraversal traversal(*model_, *catalog_, traversal_options,
-                            pool_.get());
+                            pool_.get(), prebuilt);
     return traversal.Retrieve(pattern, computed);
   };
 
@@ -278,7 +348,12 @@ Status VideoDatabase::ReplaceCatalog(VideoCatalog catalog) {
   *model_ = std::move(model);
   // The rebuilt model's version counter restarts, so it can collide with
   // the version the cached rankings were computed under — the guard
-  // cannot catch that; clear explicitly.
+  // cannot catch that; clear explicitly. The adopted snapshot index has
+  // the same version-collision hazard (FreshFor compares counters), and
+  // nothing borrows the mapping once the old catalog/model are gone, so
+  // both go now — index first, it borrows the mapping's sims.
+  prebuilt_index_.reset();
+  snapshot_keepalive_.reset();
   if (cache_ != nullptr) cache_->Clear();
   // The trainer references the catalog object (stable address), but any
   // pending global-state feedback refers to the old model: start fresh.

@@ -16,6 +16,8 @@
 #include "retrieval/query_cache.h"
 #include "retrieval/three_level.h"
 #include "retrieval/traversal.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
 
 namespace hmmm {
 
@@ -77,9 +79,41 @@ class VideoDatabase {
       VideoCatalog catalog, HierarchicalModel model,
       VideoDatabaseOptions options = {});
 
+  /// Opens a frozen snapshot file (snapshot_format.h) by mmap'ing it:
+  /// every matrix is served as a borrowed view of the mapped pages (the
+  /// reader is kept alive inside the database), and the frozen event
+  /// index is adopted so no Eq.-14 sweep runs at open. Cold-start cost is
+  /// O(shot records), independent of feature/matrix volume. Queries
+  /// return byte-identical rankings to a blob-opened database; training
+  /// works too (mutated matrices copy to the heap on first write).
+  static StatusOr<VideoDatabase> OpenSnapshot(
+      const std::string& path, VideoDatabaseOptions options = {},
+      const SnapshotOptions& snapshot_options = {});
+
+  /// OpenSnapshot, degrading to the legacy blob pair on ANY snapshot
+  /// failure (missing file, map failure, corruption) — a snapshot is a
+  /// serving accelerator, never a single point of failure. Pass an empty
+  /// `snapshot_path` to skip straight to the blobs.
+  static StatusOr<VideoDatabase> OpenSnapshotWithFallback(
+      const std::string& snapshot_path, const std::string& catalog_path,
+      const std::string& model_path, VideoDatabaseOptions options = {},
+      const SnapshotOptions& snapshot_options = {});
+
   /// Persists the catalog and the (possibly trained) model.
   Status Save(const std::string& catalog_path,
               const std::string& model_path) const;
+
+  /// Freezes the current catalog + model (+ event index) into a snapshot
+  /// file at `path` (atomic tmp + rename), under the shared state lock.
+  Status WriteSnapshot(const std::string& path,
+                       SnapshotWriteOptions options = {}) const;
+
+  /// Freezes into `dir/snapshot-<generation>.hmms` and repoints
+  /// `dir/CURRENT` (the generation publish protocol); returns the
+  /// published path. This is how Train() results reach cold-starting
+  /// shards without a byte of re-serialization on their side.
+  StatusOr<std::string> PublishSnapshot(const std::string& dir,
+                                        uint64_t generation) const;
 
   // Defined in video_database.cc where Admission is complete.
   VideoDatabase(VideoDatabase&&) noexcept;
@@ -226,6 +260,14 @@ class VideoDatabase {
   /// exclusive. unique_ptr keeps the database movable.
   std::unique_ptr<std::shared_mutex> state_mutex_;
   std::unique_ptr<QueryCache> cache_;  // null when caching is disabled
+  /// For a snapshot-opened database: the mapping every borrowed matrix
+  /// points into. Declared above the prebuilt index so the index (which
+  /// borrows the frozen sims) is destroyed first.
+  std::unique_ptr<SnapshotReader> snapshot_keepalive_;
+  /// The adopted frozen event index. Used by Retrieve only while
+  /// FreshFor(model) holds — the first training round invalidates it and
+  /// traversals fall back to their own per-model index build.
+  std::unique_ptr<EventBitmapIndex> prebuilt_index_;
   /// Admission mutex + cv + in-flight counters behind a pointer, same
   /// movability trick as state_mutex_.
   struct Admission;

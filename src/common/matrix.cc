@@ -34,9 +34,23 @@ Matrix Matrix::Identity(size_t n) {
   return m;
 }
 
+Matrix Matrix::FromBorrowed(const double* data, size_t rows, size_t cols) {
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  if (rows * cols > 0) m.borrowed_ = data;
+  return m;
+}
+
+void Matrix::EnsureOwned() {
+  if (borrowed_ == nullptr) return;
+  data_.assign(borrowed_, borrowed_ + rows_ * cols_);
+  borrowed_ = nullptr;
+}
+
 std::vector<double> Matrix::Row(size_t r) const {
-  return std::vector<double>(data_.begin() + r * cols_,
-                             data_.begin() + (r + 1) * cols_);
+  const double* row = ptr() + r * cols_;
+  return std::vector<double>(row, row + cols_);
 }
 
 Status Matrix::SetRow(size_t r, const std::vector<double>& values) {
@@ -44,11 +58,29 @@ Status Matrix::SetRow(size_t r, const std::vector<double>& values) {
   if (values.size() != cols_) {
     return Status::InvalidArgument("row width mismatch in SetRow");
   }
+  EnsureOwned();
   std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
   return Status::OK();
 }
 
+Status Matrix::AppendRow(const std::vector<double>& values) {
+  if (values.size() != cols_) {
+    return Status::InvalidArgument("row width mismatch in AppendRow");
+  }
+  EnsureOwned();
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+  return Status::OK();
+}
+
 void Matrix::Fill(double value) {
+  // A borrowed matrix about to be wiped wholesale never needs its old
+  // bytes copied; just allocate the owned buffer directly.
+  if (borrowed_ != nullptr) {
+    data_.assign(rows_ * cols_, value);
+    borrowed_ = nullptr;
+    return;
+  }
   std::fill(data_.begin(), data_.end(), value);
 }
 
@@ -59,10 +91,11 @@ double Matrix::RowSum(size_t r) const {
 }
 
 void Matrix::NormalizeRows(double zero_tolerance) {
+  EnsureOwned();
   for (size_t r = 0; r < rows_; ++r) {
     const double sum = RowSum(r);
     if (sum <= zero_tolerance) continue;
-    for (size_t c = 0; c < cols_; ++c) at(r, c) /= sum;
+    for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] /= sum;
   }
 }
 
@@ -76,6 +109,7 @@ int Matrix::RowArgMax(size_t r) const {
 }
 
 void Matrix::Scale(double factor) {
+  EnsureOwned();
   for (double& v : data_) v *= factor;
 }
 
@@ -123,10 +157,19 @@ double Matrix::MaxAbsDiff(const Matrix& other) const {
     return std::numeric_limits<double>::infinity();
   }
   double max_diff = 0.0;
-  for (size_t i = 0; i < data_.size(); ++i) {
-    max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+  const double* a = ptr();
+  const double* b = other.ptr();
+  for (size_t i = 0; i < rows_ * cols_; ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
   }
   return max_diff;
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  const double* a = ptr();
+  const double* b = other.ptr();
+  return std::equal(a, a + rows_ * cols_, b);
 }
 
 std::string Matrix::ToString(int precision) const {

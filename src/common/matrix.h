@@ -14,6 +14,18 @@ namespace hmmm {
 /// HMMM component matrix (A, B, Pi as a 1xN, P, L, AF accumulators, ...).
 /// Sized for the paper's regime (hundreds of states, tens of features), so
 /// a simple contiguous buffer without blocking is appropriate.
+///
+/// Storage comes in two modes:
+///  - owned (the default): a 32-byte over-aligned heap buffer, exactly as
+///    before;
+///  - borrowed: a non-owning view over external read-only memory — the
+///    zero-copy mode SnapshotReader uses to serve matrices straight out
+///    of mmap'ed snapshot pages. A borrowed matrix reads identically to
+///    an owned one (same raw bits, same accessors), and the first
+///    mutating access materializes a private owned copy (copy-on-write),
+///    so training on a snapshot-opened model just works. The borrowed
+///    pointer's lifetime is the caller's problem (the snapshot reader
+///    keeps the mapping alive for as long as any view needs it).
 class Matrix {
  public:
   /// Backing storage: 32-byte aligned so the vectorized Eq.-14 kernel can
@@ -26,6 +38,9 @@ class Matrix {
   /// Creates a rows x cols matrix filled with `fill`.
   Matrix(size_t rows, size_t cols, double fill = 0.0);
 
+  // Copying preserves the mode: an owned matrix deep-copies its buffer,
+  // a borrowed one shallow-copies the view (both cheap and correct — the
+  // invariant `borrowed_ != nullptr XOR data_ owns` carries over).
   Matrix(const Matrix&) = default;
   Matrix& operator=(const Matrix&) = default;
   Matrix(Matrix&&) = default;
@@ -38,29 +53,65 @@ class Matrix {
   /// Identity matrix of size n.
   static Matrix Identity(size_t n);
 
+  /// Non-owning view over `rows * cols` doubles in row-major order at
+  /// `data`. The memory must outlive every read of the returned matrix
+  /// and of any matrix copied from it while still borrowed. `data` may
+  /// be null only when rows * cols == 0.
+  static Matrix FromBorrowed(const double* data, size_t rows, size_t cols);
+
+  /// True when this matrix reads from external memory it does not own.
+  bool borrowed() const { return borrowed_ != nullptr; }
+
+  /// Materializes an owned private copy of a borrowed matrix; no-op when
+  /// already owned. Every mutating accessor calls this, so external
+  /// callers only need it to detach a view from its backing mapping
+  /// explicitly (e.g. before the mapping goes away).
+  void EnsureOwned();
+
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
-  bool empty() const { return data_.empty(); }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ * cols_ == 0; }
 
-  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& at(size_t r, size_t c) {
+    EnsureOwned();
+    return data_[r * cols_ + c];
+  }
+  double at(size_t r, size_t c) const { return ptr()[r * cols_ + c]; }
   double& operator()(size_t r, size_t c) { return at(r, c); }
   double operator()(size_t r, size_t c) const { return at(r, c); }
 
   /// Borrowed pointer to the cols() contiguous entries of row r — the
   /// zero-copy alternative to Row() for hot row scans. Invalidated by any
-  /// reshaping operation.
-  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
-  double* MutableRowPtr(size_t r) { return data_.data() + r * cols_; }
+  /// reshaping operation (and, for borrowed matrices, by EnsureOwned).
+  const double* RowPtr(size_t r) const { return ptr() + r * cols_; }
+  double* MutableRowPtr(size_t r) {
+    EnsureOwned();
+    return data_.data() + r * cols_;
+  }
 
-  const Buffer& data() const { return data_; }
-  Buffer& mutable_data() { return data_; }
+  /// Contiguous row-major storage, regardless of mode. Null only for an
+  /// empty matrix.
+  const double* ptr() const {
+    return borrowed_ != nullptr ? borrowed_ : data_.data();
+  }
+
+  /// Owned mutable storage; materializes a borrowed matrix first.
+  Buffer& mutable_data() {
+    EnsureOwned();
+    return data_;
+  }
 
   /// Copies row r out.
   std::vector<double> Row(size_t r) const;
 
   /// Overwrites row r; `values` must have cols() entries.
   Status SetRow(size_t r, const std::vector<double>& values);
+
+  /// Appends one row; `values` must have cols() entries. Grows the owned
+  /// buffer (a borrowed matrix is materialized first). Amortized O(cols)
+  /// — this is how the catalog's feature table grows shot by shot.
+  Status AppendRow(const std::vector<double>& values);
 
   /// Fills the whole matrix with `value`.
   void Fill(double value);
@@ -94,10 +145,9 @@ class Matrix {
   /// Max absolute elementwise difference; infinity on shape mismatch.
   double MaxAbsDiff(const Matrix& other) const;
 
-  bool operator==(const Matrix& other) const {
-    return rows_ == other.rows_ && cols_ == other.cols_ &&
-           data_ == other.data_;
-  }
+  /// Elementwise equality over the same shape; mode (owned vs borrowed)
+  /// is storage, not value, so it never participates.
+  bool operator==(const Matrix& other) const;
 
   /// Debug rendering with fixed precision.
   std::string ToString(int precision = 4) const;
@@ -105,7 +155,8 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  Buffer data_;
+  Buffer data_;                    // owned storage (empty when borrowed)
+  const double* borrowed_ = nullptr;  // non-owning view (null when owned)
 };
 
 }  // namespace hmmm

@@ -57,7 +57,8 @@ void BinaryWriter::WriteInt32Vector(const std::vector<int32_t>& v) {
 void BinaryWriter::WriteMatrix(const Matrix& m) {
   WriteVarint(m.rows());
   WriteVarint(m.cols());
-  for (double x : m.data()) WriteDouble(x);
+  const double* values = m.ptr();
+  for (size_t i = 0; i < m.size(); ++i) WriteDouble(values[i]);
 }
 
 Status BinaryReader::Need(size_t n) const {
@@ -181,33 +182,6 @@ StatusOr<Matrix> BinaryReader::ReadMatrix() {
 }
 
 namespace {
-
-/// Transient-IO retry budget shared by ReadFileToString and WriteFile:
-/// kIOError attempts are repeated with linear backoff; every other code
-/// (kNotFound in particular) returns immediately. Keeping the retry at
-/// this choke point hardens every storage load/save path — catalog
-/// snapshots, model files, record-log replay — at once.
-constexpr int kTransientIoAttempts = 3;
-constexpr std::chrono::milliseconds kIoRetryBackoffStep{1};
-
-template <typename Op>
-auto WithIoRetry(const Op& op) -> decltype(op()) {
-  for (int attempt = 0;; ++attempt) {
-    auto result = op();
-    const Status& status = [&]() -> const Status& {
-      if constexpr (std::is_same_v<decltype(op()), Status>) {
-        return result;
-      } else {
-        return result.status();
-      }
-    }();
-    if (status.code() != StatusCode::kIOError ||
-        attempt + 1 >= kTransientIoAttempts) {
-      return result;
-    }
-    std::this_thread::sleep_for(kIoRetryBackoffStep * (attempt + 1));
-  }
-}
 
 Status WriteFileOnce(const std::string& path, std::string_view contents) {
   if (HMMM_FAULT_FIRED("storage.write")) {

@@ -1,15 +1,50 @@
 #ifndef HMMM_COMMON_SERIALIZATION_H_
 #define HMMM_COMMON_SERIALIZATION_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/matrix.h"
 #include "common/status.h"
 
 namespace hmmm {
+
+/// Transient-IO retry budget shared by every storage entry point:
+/// kIOError attempts are repeated with linear backoff; every other code
+/// returns immediately — kNotFound is an answer, and kDataLoss
+/// (corruption) never heals by rereading. ReadFileToString/WriteFile
+/// route through this, and loaders that compose extra syscalls on top
+/// (the snapshot reader's open/fstat/mmap sequence, LoadCatalog /
+/// HierarchicalModel::LoadFromFile) reuse it so the retry semantics stay
+/// uniform across the storage surface.
+inline constexpr int kTransientIoAttempts = 3;
+inline constexpr std::chrono::milliseconds kIoRetryBackoffStep{1};
+
+/// Runs `op` (returning Status or StatusOr<T>) under the transient-IO
+/// retry policy above and returns its last result.
+template <typename Op>
+auto WithIoRetry(const Op& op) -> decltype(op()) {
+  for (int attempt = 0;; ++attempt) {
+    auto result = op();
+    const Status& status = [&]() -> const Status& {
+      if constexpr (std::is_same_v<decltype(op()), Status>) {
+        return result;
+      } else {
+        return result.status();
+      }
+    }();
+    if (status.code() != StatusCode::kIOError ||
+        attempt + 1 >= kTransientIoAttempts) {
+      return result;
+    }
+    std::this_thread::sleep_for(kIoRetryBackoffStep * (attempt + 1));
+  }
+}
 
 /// Append-only binary encoder. Fixed-width little-endian scalars, varint
 /// lengths for strings/vectors. Pairs with BinaryReader.
@@ -83,6 +118,11 @@ StatusOr<std::string> ReadFileToString(const std::string& path);
 /// magic(4) | version(4) | payload_size(8) | crc32c(4) | payload.
 std::string WrapChecksummed(uint32_t magic, uint32_t version,
                             std::string_view payload);
+
+/// Size of the fixed envelope prefix WrapChecksummed writes before the
+/// payload. A file shorter than this is a short read / truncation — a
+/// kDataLoss condition — never a version or format question.
+inline constexpr size_t kChecksummedEnvelopeBytes = 20;
 
 /// Verifies and strips the envelope written by WrapChecksummed. Checks the
 /// magic, returns the version through `version_out` if non-null.

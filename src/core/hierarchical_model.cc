@@ -284,8 +284,15 @@ Status HierarchicalModel::SaveToFile(const std::string& path) const {
 
 StatusOr<HierarchicalModel> HierarchicalModel::LoadFromFile(
     const std::string& path) {
+  // Same load contract as LoadCatalog: kNotFound / kIOError pass through
+  // (the read is already retried), truncation and corruption surface as
+  // kDataLoss with file context.
   HMMM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
-  return Deserialize(data);
+  StatusOr<HierarchicalModel> model = Deserialize(data);
+  if (!model.ok()) {
+    return AnnotateBlobError(model.status(), "model", path, data.size());
+  }
+  return model;
 }
 
 }  // namespace hmmm

@@ -148,6 +148,7 @@ class HierarchicalModel {
 
  private:
   friend class ModelBuilder;
+  friend class SnapshotReader;
 
   /// Rebuilds the ShotId <-> global-state maps from `locals_`.
   void RebuildStateIndex();

@@ -12,11 +12,11 @@ namespace {
 /// Flattened snapshot of every affinity matrix the learner rewrites
 /// (A2 followed by each local A1), used to measure update magnitude.
 std::vector<double> FlattenAffinities(const HierarchicalModel& model) {
-  std::vector<double> flat(model.a2().data().begin(),
-                           model.a2().data().end());
+  std::vector<double> flat(model.a2().ptr(),
+                           model.a2().ptr() + model.a2().size());
   for (const LocalShotModel& local : model.locals()) {
-    const auto& a1 = local.a1.data();
-    flat.insert(flat.end(), a1.begin(), a1.end());
+    const double* a1 = local.a1.ptr();
+    flat.insert(flat.end(), a1, a1 + local.a1.size());
   }
   return flat;
 }

@@ -63,6 +63,9 @@
 #include "server/query_server.h"
 #include "server/wire_protocol.h"
 #include "shots/boundary_detector.h"
+#include "snapshot/snapshot_format.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
 #include "shots/keyframe.h"
 #include "shots/segmenter.h"
 #include "storage/catalog.h"

@@ -45,12 +45,8 @@ void DenseBitset::SetAll() {
 
 void DenseBitset::Reset() { std::fill(words_.begin(), words_.end(), 0); }
 
-EventBitmapIndex::EventBitmapIndex(const HierarchicalModel& model,
-                                   const VideoCatalog& catalog,
-                                   Eq14Kernel kernel)
-    : model_version_(model.version()),
-      num_videos_(model.num_videos()),
-      num_events_(model.vocabulary().size()) {
+void EventBitmapIndex::BuildBitsets(const HierarchicalModel& model,
+                                    const VideoCatalog& catalog) {
   video_events_.assign(num_events_, DenseBitset(num_videos_));
   for (size_t e = 0; e < num_events_; ++e) {
     for (size_t v = 0; v < num_videos_; ++v) {
@@ -85,6 +81,15 @@ EventBitmapIndex::EventBitmapIndex(const HierarchicalModel& model,
           static_cast<size_t>(model.LocalStateIndexOf(state)));
     }
   }
+}
+
+EventBitmapIndex::EventBitmapIndex(const HierarchicalModel& model,
+                                   const VideoCatalog& catalog,
+                                   Eq14Kernel kernel)
+    : model_version_(model.version()),
+      num_videos_(model.num_videos()),
+      num_events_(model.vocabulary().size()) {
+  BuildBitsets(model, catalog);
 
   // Exact per-(state, event) Eq.-14 similarities under the DEFAULT scorer
   // options, one batch kernel call per event over a feature-major SoA
@@ -111,6 +116,19 @@ EventBitmapIndex::EventBitmapIndex(const HierarchicalModel& model,
                 num_features, centroid_epsilon_, event_sims_.MutableRowPtr(e));
     }
   }
+}
+
+EventBitmapIndex::EventBitmapIndex(const HierarchicalModel& model,
+                                   const VideoCatalog& catalog,
+                                   Matrix event_sims, double centroid_epsilon)
+    : model_version_(model.version()),
+      num_videos_(model.num_videos()),
+      num_events_(model.vocabulary().size()),
+      centroid_epsilon_(centroid_epsilon),
+      event_sims_(std::move(event_sims)) {
+  HMMM_CHECK(event_sims_.rows() == num_events_);
+  HMMM_CHECK(event_sims_.cols() == model.num_global_states());
+  BuildBitsets(model, catalog);
 }
 
 bool EventBitmapIndex::VideoContainsStep(VideoId video,

@@ -91,6 +91,17 @@ class EventBitmapIndex {
   EventBitmapIndex(const HierarchicalModel& model, const VideoCatalog& catalog,
                    Eq14Kernel kernel = DefaultEq14Kernel());
 
+  /// Adopts precomputed exact Eq.-14 sims instead of running the batch
+  /// kernel — the snapshot fast path: SnapshotReader hands in the frozen
+  /// `event_sims` section as a borrowed matrix (zero copies) plus the
+  /// centroid epsilon it was computed with, and only the cheap bitsets
+  /// (O(annotations)) are rebuilt here. The caller vouches that
+  /// `event_sims` is events x global-states for exactly this (model,
+  /// catalog) pair; the writer froze what the kernel constructor would
+  /// have produced, so query results stay bit-identical.
+  EventBitmapIndex(const HierarchicalModel& model, const VideoCatalog& catalog,
+                   Matrix event_sims, double centroid_epsilon);
+
   uint64_t model_version() const { return model_version_; }
   bool FreshFor(const HierarchicalModel& model) const {
     return model_version_ == model.version();
@@ -150,7 +161,17 @@ class EventBitmapIndex {
            options.centroid_epsilon == centroid_epsilon_;
   }
 
+  /// The precomputed sims table and the epsilon it was built with —
+  /// what SnapshotWriter freezes so no index rebuild is needed at open.
+  const Matrix& event_sims() const { return event_sims_; }
+  double sims_centroid_epsilon() const { return centroid_epsilon_; }
+
  private:
+  /// Shared bitset construction of both constructors: B2 containment
+  /// bitsets, non-empty videos, per-(video, event) local-state bitsets
+  /// from the inverted event index.
+  void BuildBitsets(const HierarchicalModel& model,
+                    const VideoCatalog& catalog);
   uint64_t model_version_ = 0;
   size_t num_videos_ = 0;
   size_t num_events_ = 0;

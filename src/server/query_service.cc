@@ -209,6 +209,15 @@ StatusOr<TrainResponse> VideoDatabaseService::Train() {
   TrainResponse response;
   response.trained = trained;
   response.training_rounds = db_->training_rounds();
+  if (trained && !options_.snapshot_publish_dir.empty()) {
+    const StatusOr<std::string> published = db_->PublishSnapshot(
+        options_.snapshot_publish_dir,
+        static_cast<uint64_t>(response.training_rounds));
+    if (!published.ok()) {
+      HMMM_LOG(Warning) << "snapshot publish after training failed: "
+                        << published.status().ToString();
+    }
+  }
   return response;
 }
 

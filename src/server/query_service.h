@@ -63,6 +63,13 @@ struct QueryServiceOptions {
   double slow_query_threshold_ms = 250.0;
   /// Ring-buffer capacity of the slow-query log.
   size_t slow_query_capacity = 128;
+  /// When non-empty, every Train() round that actually trained publishes
+  /// a fresh snapshot generation into this directory (atomic write +
+  /// CURRENT repoint, generation = training_rounds), so cold-starting
+  /// replicas pick up learned weights via the mmap path instead of
+  /// re-serializing blobs. Publish failures are logged, never propagated:
+  /// training succeeded, and the snapshot is a serving accelerator.
+  std::string snapshot_publish_dir;
 };
 
 /// QueryService over one local VideoDatabase — the single-process

@@ -35,6 +35,10 @@ void HandleStopSignal(int /*signal*/) { g_stop_requested = 1; }
 struct ServerdFlags {
   std::string catalog_path;
   std::string model_path;
+  std::string snapshot_path;
+  std::string snapshot_publish_dir;
+  bool snapshot_verify = false;
+  bool snapshot_willneed = false;
   bool synthetic = false;
   int videos = 12;
   std::string host = "127.0.0.1";
@@ -53,6 +57,8 @@ void PrintUsage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--catalog PATH --model PATH | --synthetic [--videos N])\n"
+      "          [--snapshot PATH] [--snapshot-verify] [--snapshot-willneed]\n"
+      "          [--snapshot-publish-dir DIR]\n"
       "          [--host ADDR] [--port N] [--workers N] [--query-threads N]\n"
       "          [--max-concurrent N] [--max-queued N] [--cache-entries N]\n"
       "          [--trace-sample-rate F] [--slow-query-threshold-ms F]\n"
@@ -74,6 +80,18 @@ bool ParseFlags(int argc, char** argv, ServerdFlags* flags) {
       const char* value = next();
       if (value == nullptr) return false;
       flags->model_path = value;
+    } else if (arg == "--snapshot") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->snapshot_path = value;
+    } else if (arg == "--snapshot-publish-dir") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      flags->snapshot_publish_dir = value;
+    } else if (arg == "--snapshot-verify") {
+      flags->snapshot_verify = true;
+    } else if (arg == "--snapshot-willneed") {
+      flags->snapshot_willneed = true;
     } else if (arg == "--synthetic") {
       flags->synthetic = true;
     } else if (arg == "--videos") {
@@ -126,7 +144,8 @@ bool ParseFlags(int argc, char** argv, ServerdFlags* flags) {
     }
   }
   const bool persisted =
-      !flags->catalog_path.empty() && !flags->model_path.empty();
+      (!flags->catalog_path.empty() && !flags->model_path.empty()) ||
+      !flags->snapshot_path.empty();
   return persisted != flags->synthetic;  // exactly one source
 }
 
@@ -145,6 +164,20 @@ hmmm::StatusOr<hmmm::VideoDatabase> OpenDatabase(const ServerdFlags& flags) {
         hmmm::VideoCatalog catalog,
         hmmm::VideoCatalog::FromGeneratedCorpus(generator.Generate()));
     return hmmm::VideoDatabase::Create(std::move(catalog), options);
+  }
+  if (!flags.snapshot_path.empty()) {
+    // Snapshot-first cold start: mmap the frozen image; fall back to the
+    // blob pair (when given) on any snapshot failure.
+    hmmm::SnapshotOptions snapshot_options;
+    snapshot_options.verify_section_crcs = flags.snapshot_verify;
+    snapshot_options.advise_willneed = flags.snapshot_willneed;
+    if (!flags.catalog_path.empty() && !flags.model_path.empty()) {
+      return hmmm::VideoDatabase::OpenSnapshotWithFallback(
+          flags.snapshot_path, flags.catalog_path, flags.model_path, options,
+          snapshot_options);
+    }
+    return hmmm::VideoDatabase::OpenSnapshot(flags.snapshot_path, options,
+                                             snapshot_options);
   }
   return hmmm::VideoDatabase::Open(flags.catalog_path, flags.model_path,
                                    options);
@@ -168,6 +201,7 @@ int main(int argc, char** argv) {
   hmmm::QueryServiceOptions service_options;
   service_options.trace_sample_rate = flags.trace_sample_rate;
   service_options.slow_query_threshold_ms = flags.slow_query_threshold_ms;
+  service_options.snapshot_publish_dir = flags.snapshot_publish_dir;
   if (flags.slow_query_capacity > 0) {
     service_options.slow_query_capacity =
         static_cast<size_t>(flags.slow_query_capacity);

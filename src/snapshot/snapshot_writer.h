@@ -1,0 +1,58 @@
+#ifndef HMMM_SNAPSHOT_SNAPSHOT_WRITER_H_
+#define HMMM_SNAPSHOT_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/hierarchical_model.h"
+#include "storage/catalog.h"
+
+namespace hmmm {
+
+struct SnapshotWriteOptions {
+  /// Stamped into the header; the publish protocol uses it to order
+  /// snapshot files within a directory.
+  uint64_t generation = 0;
+  /// Freeze the EventBitmapIndex sims alongside the model so a
+  /// snapshot-opened database needs no index rebuild. Costs one batch
+  /// Eq.-14 sweep at write time (the same sweep every server would
+  /// otherwise run at startup).
+  bool include_event_index = true;
+};
+
+/// Freezes (model, catalog) into one in-memory snapshot image in the
+/// format of snapshot_format.h. Pure function of its inputs: the same
+/// model + catalog always produce byte-identical images, which is what
+/// lets the shard smoke test byte-diff snapshot-booted servers against
+/// blob-booted ones.
+std::string BuildSnapshotImage(const HierarchicalModel& model,
+                               const VideoCatalog& catalog,
+                               const SnapshotWriteOptions& options = {});
+
+/// BuildSnapshotImage + atomic WriteFile (tmp + rename) to `path`.
+Status WriteSnapshot(const HierarchicalModel& model,
+                     const VideoCatalog& catalog, const std::string& path,
+                     const SnapshotWriteOptions& options = {});
+
+/// The generation-directory publish protocol (DESIGN.md §11): writes
+/// `dir/snapshot-<generation>.hmms` atomically, then atomically repoints
+/// the one-line `dir/CURRENT` file at it. Readers that resolved the old
+/// CURRENT keep serving from their mapping (the old file stays on disk);
+/// new opens see the new generation. Returns the published file's path.
+StatusOr<std::string> PublishSnapshot(const HierarchicalModel& model,
+                                      const VideoCatalog& catalog,
+                                      const std::string& dir,
+                                      uint64_t generation);
+
+/// Resolves `dir/CURRENT` to the current snapshot's path. kNotFound when
+/// no snapshot has been published yet; kDataLoss for a CURRENT file that
+/// names nothing.
+StatusOr<std::string> ResolveCurrentSnapshot(const std::string& dir);
+
+/// Name of the pointer file PublishSnapshot maintains.
+inline constexpr char kSnapshotCurrentFile[] = "CURRENT";
+
+}  // namespace hmmm
+
+#endif  // HMMM_SNAPSHOT_SNAPSHOT_WRITER_H_

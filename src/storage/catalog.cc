@@ -11,7 +11,9 @@ bool ShotRecord::HasEvent(EventId event) const {
 }
 
 VideoCatalog::VideoCatalog(EventVocabulary vocabulary, int num_features)
-    : vocabulary_(std::move(vocabulary)), num_features_(num_features) {}
+    : vocabulary_(std::move(vocabulary)),
+      num_features_(num_features),
+      features_(0, static_cast<size_t>(num_features)) {}
 
 StatusOr<VideoCatalog> VideoCatalog::FromGeneratedCorpus(
     const GeneratedCorpus& corpus) {
@@ -82,7 +84,7 @@ StatusOr<ShotId> VideoCatalog::AddShot(VideoId video_id, double begin_time,
   video.shots.push_back(shot.id);
   const ShotId id = shot.id;
   shots_.push_back(std::move(shot));
-  raw_features_.push_back(std::move(raw_features));
+  HMMM_RETURN_IF_ERROR(features_.AppendRow(raw_features));
   return id;
 }
 
@@ -122,21 +124,13 @@ std::vector<ShotId> VideoCatalog::AllAnnotatedShots() const {
   return out;
 }
 
-Matrix VideoCatalog::RawFeatureMatrix() const {
-  Matrix m(shots_.size(), static_cast<size_t>(num_features_));
-  for (size_t r = 0; r < shots_.size(); ++r) {
-    for (size_t c = 0; c < static_cast<size_t>(num_features_); ++c) {
-      m.at(r, c) = raw_features_[r][c];
-    }
-  }
-  return m;
-}
+Matrix VideoCatalog::RawFeatureMatrix() const { return features_; }
 
 Matrix VideoCatalog::RawFeatureMatrixFor(
     const std::vector<ShotId>& shots) const {
   Matrix m(shots.size(), static_cast<size_t>(num_features_));
   for (size_t r = 0; r < shots.size(); ++r) {
-    const auto& row = raw_features_[static_cast<size_t>(shots[r])];
+    const double* row = features_.RowPtr(static_cast<size_t>(shots[r]));
     for (size_t c = 0; c < static_cast<size_t>(num_features_); ++c) {
       m.at(r, c) = row[c];
     }
@@ -155,7 +149,8 @@ Matrix VideoCatalog::EventCountMatrix() const {
 }
 
 Status VideoCatalog::Validate() const {
-  if (raw_features_.size() != shots_.size()) {
+  if (features_.rows() != shots_.size() ||
+      features_.cols() != static_cast<size_t>(num_features_)) {
     return Status::Internal("feature table out of sync with shots");
   }
   for (size_t v = 0; v < videos_.size(); ++v) {

@@ -83,8 +83,16 @@ class VideoCatalog {
   }
   const std::vector<VideoRecord>& videos() const { return videos_; }
   const std::vector<ShotRecord>& shots() const { return shots_; }
-  const std::vector<double>& raw_features_of(ShotId id) const {
-    return raw_features_[static_cast<size_t>(id)];
+  /// Copies the shot's raw feature row out. For hot zero-copy scans use
+  /// RawFeatureRow().
+  std::vector<double> raw_features_of(ShotId id) const {
+    return features_.Row(static_cast<size_t>(id));
+  }
+  /// Borrowed pointer to the shot's num_features() contiguous raw
+  /// features — rows of the catalog-wide BB1 table. For a snapshot-opened
+  /// catalog this points straight into the mapped pages.
+  const double* RawFeatureRow(ShotId id) const {
+    return features_.RowPtr(static_cast<size_t>(id));
   }
 
   /// Annotated shots of one video in temporal order — the S1 states of
@@ -108,11 +116,19 @@ class VideoCatalog {
   Status Validate() const;
 
  private:
+  /// Fills the private members directly from a mapped snapshot (the
+  /// packed shot table plus a borrowed feature matrix), bypassing the
+  /// per-shot AddShot validation the writer already ran.
+  friend class SnapshotReader;
+
   EventVocabulary vocabulary_;
   int num_features_ = 0;
   std::vector<VideoRecord> videos_;
   std::vector<ShotRecord> shots_;
-  std::vector<std::vector<double>> raw_features_;  // by ShotId
+  /// The raw shot-feature table BB1 as one dense shots x features matrix
+  /// (row = ShotId). Owned for an ingested catalog; borrowed (a view
+  /// into mmap'ed pages) for a snapshot-opened one.
+  Matrix features_;
 };
 
 }  // namespace hmmm

@@ -1,6 +1,22 @@
 #include "storage/model_io.h"
 
+#include "common/strings.h"
+
 namespace hmmm {
+
+Status AnnotateBlobError(const Status& status, const char* kind,
+                         const std::string& path, size_t file_bytes) {
+  if (status.code() != StatusCode::kDataLoss) return status;
+  if (file_bytes < kChecksummedEnvelopeBytes) {
+    return Status::DataLoss(
+        StrFormat("%s file %s truncated: %zu bytes, checksummed envelope "
+                  "needs at least %zu",
+                  kind, path.c_str(), file_bytes, kChecksummedEnvelopeBytes));
+  }
+  return Status::DataLoss(StrFormat("%s file %s (%zu bytes): %s", kind,
+                                    path.c_str(), file_bytes,
+                                    status.message().c_str()));
+}
 
 std::string SerializeCatalog(const VideoCatalog& catalog) {
   BinaryWriter w;
@@ -76,8 +92,16 @@ Status SaveCatalog(const VideoCatalog& catalog, const std::string& path) {
 }
 
 StatusOr<VideoCatalog> LoadCatalog(const std::string& path) {
+  // ReadFileToString already routes through WithIoRetry, so a transient
+  // kIOError here has exhausted its retry budget; it surfaces with its
+  // code intact. Parse failures are corruption (kDataLoss), annotated
+  // with the file so a short read is diagnosable from the message alone.
   HMMM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
-  return DeserializeCatalog(data);
+  StatusOr<VideoCatalog> catalog = DeserializeCatalog(data);
+  if (!catalog.ok()) {
+    return AnnotateBlobError(catalog.status(), "catalog", path, data.size());
+  }
+  return catalog;
 }
 
 }  // namespace hmmm

@@ -21,9 +21,21 @@ std::string SerializeCatalog(const VideoCatalog& catalog);
 /// checksum and all structural invariants.
 StatusOr<VideoCatalog> DeserializeCatalog(std::string_view data);
 
-/// Convenience file round-trips.
+/// Convenience file round-trips. LoadCatalog surfaces failure modes
+/// distinctly: kNotFound for a missing file, kIOError for a transient
+/// read failure (retried by WithIoRetry before it surfaces), kDataLoss
+/// with path + size context for a short read / truncated or corrupt
+/// blob. HierarchicalModel::LoadFromFile follows the same contract.
 Status SaveCatalog(const VideoCatalog& catalog, const std::string& path);
 StatusOr<VideoCatalog> LoadCatalog(const std::string& path);
+
+/// Maps a blob-parse failure onto the load contract above: kDataLoss
+/// keeps its code but gains file context (kind, path, byte count) so a
+/// truncated file reads distinctly from a transient kIOError — which
+/// passes through untouched, preserving retryability. Shared by
+/// LoadCatalog, HierarchicalModel::LoadFromFile and the snapshot loader.
+Status AnnotateBlobError(const Status& status, const char* kind,
+                         const std::string& path, size_t file_bytes);
 
 }  // namespace hmmm
 

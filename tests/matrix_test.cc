@@ -30,7 +30,7 @@ TEST(MatrixTest, StorageIs32ByteAligned) {
   for (size_t rows : {1u, 2u, 5u, 17u}) {
     for (size_t cols : {1u, 3u, 4u, 8u, 20u, 21u}) {
       Matrix m(rows, cols, 1.0);
-      EXPECT_TRUE(aligned32(m.data().data())) << rows << "x" << cols;
+      EXPECT_TRUE(aligned32(m.ptr())) << rows << "x" << cols;
       EXPECT_TRUE(aligned32(m.RowPtr(0))) << rows << "x" << cols;
       if (cols % 4 == 0) {
         for (size_t r = 0; r < rows; ++r) {
@@ -156,6 +156,89 @@ TEST(MatrixTest, ToStringRendersRows) {
   const std::string s = m.ToString(1);
   EXPECT_NE(s.find("1.0"), std::string::npos);
   EXPECT_NE(s.find("2.0"), std::string::npos);
+}
+
+// -- Borrowed (non-owning) storage mode -----------------------------------
+
+TEST(MatrixTest, FromBorrowedReadsExternalMemory) {
+  const double backing[6] = {1, 2, 3, 4, 5, 6};
+  const Matrix m = Matrix::FromBorrowed(backing, 2, 3);
+  EXPECT_TRUE(m.borrowed());
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.ptr(), backing);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 6.0);
+  EXPECT_EQ(m.Row(0), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(m.RowPtr(1), backing + 3);
+}
+
+TEST(MatrixTest, BorrowedEqualsOwnedWithSameValues) {
+  const double backing[4] = {1, 2, 3, 4};
+  const Matrix view = Matrix::FromBorrowed(backing, 2, 2);
+  const Matrix owned = *Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_TRUE(view == owned);
+  EXPECT_TRUE(owned == view);
+  EXPECT_DOUBLE_EQ(view.MaxAbsDiff(owned), 0.0);
+}
+
+TEST(MatrixTest, BorrowedCopyStaysBorrowedOwnedCopyIsDeep) {
+  const double backing[2] = {7, 8};
+  const Matrix view = Matrix::FromBorrowed(backing, 1, 2);
+  const Matrix view_copy = view;
+  EXPECT_TRUE(view_copy.borrowed());
+  EXPECT_EQ(view_copy.ptr(), backing);
+
+  Matrix owned = view;  // still borrowed
+  owned.EnsureOwned();
+  EXPECT_FALSE(owned.borrowed());
+  EXPECT_NE(owned.ptr(), backing);
+  EXPECT_DOUBLE_EQ(owned.at(0, 1), 8.0);
+}
+
+TEST(MatrixTest, MutatingABorrowedMatrixCopiesOnWrite) {
+  double backing[4] = {1, 2, 3, 4};
+  Matrix m = Matrix::FromBorrowed(backing, 2, 2);
+  m.at(0, 0) = 99.0;  // non-const at() materializes an owned copy
+  EXPECT_FALSE(m.borrowed());
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 99.0);
+  EXPECT_DOUBLE_EQ(backing[0], 1.0) << "backing memory must stay untouched";
+
+  Matrix scaled = Matrix::FromBorrowed(backing, 2, 2);
+  scaled.Scale(2.0);
+  EXPECT_FALSE(scaled.borrowed());
+  EXPECT_DOUBLE_EQ(scaled.at(1, 1), 8.0);
+  EXPECT_DOUBLE_EQ(backing[3], 4.0);
+
+  Matrix normalized = Matrix::FromBorrowed(backing, 2, 2);
+  normalized.NormalizeRows();
+  EXPECT_FALSE(normalized.borrowed());
+  EXPECT_DOUBLE_EQ(normalized.at(0, 0) + normalized.at(0, 1), 1.0);
+
+  Matrix filled = Matrix::FromBorrowed(backing, 2, 2);
+  filled.Fill(0.5);
+  EXPECT_FALSE(filled.borrowed());
+  EXPECT_DOUBLE_EQ(filled.at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(backing[2], 3.0);
+}
+
+TEST(MatrixTest, BorrowedMatrixSupportsDerivedOps) {
+  const double backing[4] = {0.25, 0.75, 0.5, 0.5};
+  const Matrix m = Matrix::FromBorrowed(backing, 2, 2);
+  EXPECT_TRUE(m.IsRowStochastic());
+  EXPECT_EQ(m.RowArgMax(0), 1);
+  EXPECT_DOUBLE_EQ(m.RowSum(1), 1.0);
+  const Matrix t = m.Transposed();
+  EXPECT_FALSE(t.borrowed());
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 0.75);
+  const auto product = m.Multiply(Matrix::Identity(2));
+  ASSERT_TRUE(product.ok());
+  EXPECT_TRUE(*product == m);
+}
+
+TEST(MatrixTest, EmptyBorrowedMatrixIsOwned) {
+  const Matrix m = Matrix::FromBorrowed(nullptr, 0, 0);
+  EXPECT_FALSE(m.borrowed());
+  EXPECT_TRUE(m.empty());
 }
 
 }  // namespace

@@ -1,0 +1,153 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/video_database.h"
+#include "common/fault_injector.h"
+#include "core/model_builder.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
+#include "test_util.h"
+
+// Chaos coverage for the mmap cold-start path: the snapshot.open /
+// snapshot.map / snapshot.read probes fire as transient kIOError, and
+// the serving stack's documented contract is degrade-to-blob-loader,
+// never a crash. See chaos_test.cc for the suite conventions.
+#ifdef HMMM_FAULT_INJECTION
+#define SKIP_WITHOUT_FAULT_INJECTION() (void)0
+#else
+#define SKIP_WITHOUT_FAULT_INJECTION() \
+  GTEST_SKIP() << "built without HMMM_FAULT_INJECTION"
+#endif
+
+namespace hmmm {
+namespace {
+
+class SnapshotChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().Reset();
+    catalog_ = testing::GeneratedSoccerCatalog(/*seed=*/13, /*num_videos=*/5);
+    auto model = ModelBuilder(catalog_).Build();
+    ASSERT_TRUE(model.ok()) << model.status();
+    model_ = std::move(model).value();
+    path_ = testing::TempPath("snapshot_chaos.hmms");
+    ASSERT_TRUE(WriteSnapshot(model_, catalog_, path_).ok());
+  }
+  void TearDown() override {
+    FaultInjector::Instance().Reset();
+    std::remove(path_.c_str());
+  }
+
+  VideoCatalog catalog_;
+  HierarchicalModel model_;
+  std::string path_;
+};
+
+TEST_F(SnapshotChaosTest, TransientOpenFaultIsAbsorbedByTheRetryLoop) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  FaultPointConfig transient;
+  transient.after_hits = 0;
+  transient.max_fires = 1;
+  FaultInjector::Instance().Arm("snapshot.open", transient);
+  auto reader = SnapshotReader::Open(path_);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(FaultInjector::Instance().fires("snapshot.open"), 1u);
+}
+
+TEST_F(SnapshotChaosTest, PersistentOpenFaultExhaustsTheBoundedRetry) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  FaultPointConfig persistent;
+  persistent.after_hits = 0;
+  FaultInjector::Instance().Arm("snapshot.open", persistent);
+  auto reader = SnapshotReader::Open(path_);
+  EXPECT_EQ(reader.status().code(), StatusCode::kIOError);
+  // Same attempt budget as the storage layer — bounded, no spinning.
+  EXPECT_EQ(FaultInjector::Instance().hits("snapshot.open"), 3u);
+}
+
+TEST_F(SnapshotChaosTest, MapFaultIsTransientTooAndRetriesAsOneUnit) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  FaultPointConfig transient;
+  transient.after_hits = 0;
+  transient.max_fires = 1;
+  FaultInjector::Instance().Arm("snapshot.map", transient);
+  auto reader = SnapshotReader::Open(path_);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(FaultInjector::Instance().fires("snapshot.map"), 1u);
+}
+
+TEST_F(SnapshotChaosTest, ReadFaultDuringVerifiedOpenIsIOErrorNotDataLoss) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  FaultPointConfig persistent;
+  persistent.after_hits = 0;
+  FaultInjector::Instance().Arm("snapshot.read", persistent);
+  SnapshotOptions options;
+  options.verify_section_crcs = true;
+  auto reader = SnapshotReader::Open(path_, options);
+  // A flaky page-in is transient I/O, not corruption: callers may retry
+  // or fall back; they must not quarantine the file.
+  EXPECT_EQ(reader.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(SnapshotChaosTest, ReadFaultDuringBuildFailsCleanlyAndRecovers) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  auto reader = SnapshotReader::Open(path_);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  FaultPointConfig transient;
+  transient.after_hits = 0;
+  transient.max_fires = 1;
+  FaultInjector::Instance().Arm("snapshot.read", transient);
+  EXPECT_EQ((*reader)->BuildCatalog().status().code(), StatusCode::kIOError);
+
+  // The reader carries no poisoned state: the same call now succeeds.
+  auto catalog = (*reader)->BuildCatalog();
+  EXPECT_TRUE(catalog.ok()) << catalog.status();
+}
+
+TEST_F(SnapshotChaosTest, MapFailureDegradesToTheBlobLoaderNotACrash) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  const std::string catalog_path = testing::TempPath("snapchaos.catalog");
+  const std::string model_path = testing::TempPath("snapchaos.model");
+  auto heap = VideoDatabase::Create(VideoCatalog(catalog_));
+  ASSERT_TRUE(heap.ok()) << heap.status();
+  ASSERT_TRUE(heap->Save(catalog_path, model_path).ok());
+  ASSERT_TRUE(heap->WriteSnapshot(path_).ok());
+
+  FaultPointConfig persistent;
+  persistent.after_hits = 0;
+  FaultInjector::Instance().Arm("snapshot.map", persistent);
+  auto db = VideoDatabase::OpenSnapshotWithFallback(path_, catalog_path,
+                                                    model_path);
+  ASSERT_TRUE(db.ok()) << db.status();
+  FaultInjector::Instance().Reset();
+
+  // The fallback database serves the same bytes the snapshot would have.
+  auto expected = heap->Query("free_kick ; goal");
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  auto actual = db->Query("free_kick ; goal");
+  ASSERT_TRUE(actual.ok()) << actual.status();
+  ASSERT_EQ(expected->size(), actual->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ((*expected)[i].shots, (*actual)[i].shots);
+    EXPECT_EQ((*expected)[i].score, (*actual)[i].score);
+  }
+
+  std::remove(catalog_path.c_str());
+  std::remove(model_path.c_str());
+}
+
+TEST_F(SnapshotChaosTest, SnapshotOnlyOpenSurfacesTheErrorWithoutFallback) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  FaultPointConfig persistent;
+  persistent.after_hits = 0;
+  FaultInjector::Instance().Arm("snapshot.open", persistent);
+  auto db = VideoDatabase::OpenSnapshot(path_);
+  EXPECT_EQ(db.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace hmmm

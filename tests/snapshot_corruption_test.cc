@@ -1,0 +1,254 @@
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "core/model_builder.h"
+#include "snapshot/snapshot_format.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
+#include "test_util.h"
+
+namespace hmmm {
+namespace {
+
+// Corruption corpus for the mmap snapshot loader: every test takes a
+// healthy image, damages one structural invariant, re-seals whatever
+// checksums the damage is supposed to hide behind, and asserts the open
+// path classifies it as kDataLoss (corruption — never retried) rather
+// than kIOError (transient) or a crash.
+
+uint32_t GetU32(const std::string& image, size_t offset) {
+  uint32_t v;
+  std::memcpy(&v, image.data() + offset, sizeof(v));
+  return v;
+}
+
+uint64_t GetU64(const std::string& image, size_t offset) {
+  uint64_t v;
+  std::memcpy(&v, image.data() + offset, sizeof(v));
+  return v;
+}
+
+void PutU32(std::string* image, size_t offset, uint32_t v) {
+  std::memcpy(image->data() + offset, &v, sizeof(v));
+}
+
+void PutU64(std::string* image, size_t offset, uint64_t v) {
+  std::memcpy(image->data() + offset, &v, sizeof(v));
+}
+
+// Re-seals the header checksum after a deliberate header edit, so the
+// edited field itself — not the checksum — is what the reader trips on.
+void SealHeader(std::string* image) {
+  PutU32(image, 52, Crc32c(image->data(), 52));
+}
+
+// Re-seals the section-table checksum (and the header over it).
+void SealTable(std::string* image) {
+  const uint32_t count = GetU32(*image, 32);
+  PutU32(image, 36,
+         Crc32c(image->data() + kSnapshotHeaderBytes,
+                static_cast<size_t>(count) * kSnapshotSectionEntryBytes));
+  SealHeader(image);
+}
+
+struct TableEntry {
+  size_t table_pos = 0;  // byte offset of this entry within the image
+  uint32_t id = 0;
+  uint32_t flags = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+std::vector<TableEntry> ParseTable(const std::string& image) {
+  const uint32_t count = GetU32(image, 32);
+  std::vector<TableEntry> entries(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TableEntry& e = entries[i];
+    e.table_pos = kSnapshotHeaderBytes + i * kSnapshotSectionEntryBytes;
+    e.id = GetU32(image, e.table_pos);
+    e.flags = GetU32(image, e.table_pos + 4);
+    e.offset = GetU64(image, e.table_pos + 8);
+    e.length = GetU64(image, e.table_pos + 16);
+  }
+  return entries;
+}
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    VideoCatalog catalog = testing::SmallSoccerCatalog();
+    auto model = ModelBuilder(catalog).Build();
+    ASSERT_TRUE(model.ok()) << model.status();
+    image_ = BuildSnapshotImage(*model, catalog);
+    path_ = testing::TempPath("snapshot_corruption.hmms");
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Writes damaged bytes verbatim (no tmp+rename — the damage IS the
+  // point) and returns the open status under the given verification mode.
+  Status OpenStatus(const std::string& bytes, bool verify = false) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    SnapshotOptions options;
+    options.verify_section_crcs = verify;
+    return SnapshotReader::Open(path_, options).status();
+  }
+
+  std::string image_;
+  std::string path_;
+};
+
+TEST_F(SnapshotCorruptionTest, HealthyImageOpensUnderFullVerification) {
+  const Status status = OpenStatus(image_, /*verify=*/true);
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+TEST_F(SnapshotCorruptionTest, BadMagicIsDataLoss) {
+  std::string bad = image_;
+  PutU32(&bad, 0, 0xDEADBEEF);
+  const Status status = OpenStatus(bad);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("magic"), std::string::npos) << status;
+}
+
+TEST_F(SnapshotCorruptionTest, FutureVersionIsDataLossNotAGuess) {
+  std::string bad = image_;
+  PutU32(&bad, 4, kSnapshotVersion + 1);
+  SealHeader(&bad);
+  const Status status = OpenStatus(bad);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("version"), std::string::npos) << status;
+}
+
+TEST_F(SnapshotCorruptionTest, HeaderBitFlipIsCaughtByTheHeaderChecksum) {
+  std::string bad = image_;
+  bad[16] ^= 0x01;  // generation field, checksum NOT re-sealed
+  const Status status = OpenStatus(bad);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("header checksum"), std::string::npos)
+      << status;
+}
+
+TEST_F(SnapshotCorruptionTest, TruncatedTailIsDataLoss) {
+  std::string bad = image_.substr(0, image_.size() - 7);
+  const Status status = OpenStatus(bad);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("truncated"), std::string::npos) << status;
+}
+
+TEST_F(SnapshotCorruptionTest, FileShorterThanAHeaderIsDataLoss) {
+  const Status status = OpenStatus("HMMS");
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SnapshotCorruptionTest, MissingFileIsNotFoundNotDataLoss) {
+  const Status status =
+      SnapshotReader::Open(testing::TempPath("no_such_snapshot.hmms"))
+          .status();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotCorruptionTest, TableBitFlipIsCaughtByTheTableChecksum) {
+  std::string bad = image_;
+  bad[kSnapshotHeaderBytes + 16] ^= 0x40;  // first entry's length field
+  const Status status = OpenStatus(bad);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("section table checksum"),
+            std::string::npos)
+      << status;
+}
+
+TEST_F(SnapshotCorruptionTest, PayloadBitFlipInEverySectionFailsVerifiedOpen) {
+  const std::vector<TableEntry> entries = ParseTable(image_);
+  ASSERT_FALSE(entries.empty());
+  for (const TableEntry& entry : entries) {
+    if (entry.length == 0) continue;
+    SCOPED_TRACE("section " + std::to_string(entry.id));
+    std::string bad = image_;
+    bad[entry.offset + entry.length / 2] ^= 0x10;
+    const Status status = OpenStatus(bad, /*verify=*/true);
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+    EXPECT_NE(status.message().find("checksum"), std::string::npos) << status;
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, LazyOpenSkipsPayloadChecksums) {
+  // With verification off, open touches only the header and table — a
+  // payload flip surfaces later (if at all), which is the documented
+  // cost of O(1) opens. A flipped feature double must not block open.
+  const std::vector<TableEntry> entries = ParseTable(image_);
+  for (const TableEntry& entry : entries) {
+    if (entry.id != kSectionRawFeatures) continue;
+    std::string bad = image_;
+    bad[entry.offset + 8] ^= 0x10;
+    const Status status = OpenStatus(bad, /*verify=*/false);
+    EXPECT_TRUE(status.ok()) << status;
+    return;
+  }
+  FAIL() << "no raw-features section in image";
+}
+
+TEST_F(SnapshotCorruptionTest, MisalignedMatrixSectionIsDataLoss) {
+  const std::vector<TableEntry> entries = ParseTable(image_);
+  for (const TableEntry& entry : entries) {
+    if ((entry.flags & kSnapshotSectionAligned) == 0) continue;
+    std::string bad = image_;
+    PutU64(&bad, entry.table_pos + 8, entry.offset + 8);
+    SealTable(&bad);
+    const Status status = OpenStatus(bad);
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+    EXPECT_NE(status.message().find("misaligned"), std::string::npos)
+        << status;
+    return;
+  }
+  FAIL() << "no aligned section in image";
+}
+
+TEST_F(SnapshotCorruptionTest, SectionBeyondTheFileIsDataLoss) {
+  const std::vector<TableEntry> entries = ParseTable(image_);
+  ASSERT_FALSE(entries.empty());
+  std::string bad = image_;
+  PutU64(&bad, entries[0].table_pos + 16,
+         static_cast<uint64_t>(image_.size()) * 2);
+  SealTable(&bad);
+  const Status status = OpenStatus(bad);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("out of bounds"), std::string::npos)
+      << status;
+}
+
+TEST_F(SnapshotCorruptionTest, ShotTableOrderViolationIsDataLossAtBuild) {
+  // Swap two shots' video ids in the packed table: the per-video
+  // index_in_video replay no longer lines up, and BuildCatalog — not the
+  // open — reports corruption. Seal the section CRC so only the semantic
+  // check can object.
+  const std::vector<TableEntry> entries = ParseTable(image_);
+  for (const TableEntry& entry : entries) {
+    if (entry.id != kSectionShotTable) continue;
+    ASSERT_GE(entry.length, 64u);
+    std::string bad = image_;
+    PutU32(&bad, entry.offset + 16, 1);  // shot 0 now claims video 1
+    PutU32(&bad, entry.table_pos + 24,
+           Crc32c(bad.data() + entry.offset, entry.length));
+    SealTable(&bad);
+    ASSERT_TRUE(OpenStatus(bad, /*verify=*/true).ok());
+    SnapshotOptions options;
+    auto reader = SnapshotReader::Open(path_, options);
+    ASSERT_TRUE(reader.ok()) << reader.status();
+    const Status built = (*reader)->BuildCatalog().status();
+    EXPECT_EQ(built.code(), StatusCode::kDataLoss) << built;
+    return;
+  }
+  FAIL() << "no shot-table section in image";
+}
+
+}  // namespace
+}  // namespace hmmm
